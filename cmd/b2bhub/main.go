@@ -1,0 +1,148 @@
+// Command b2bhub runs the advanced integration hub end to end over the
+// simulated network: it deploys the Figure 14 model (plus the Figure 15
+// partner with -tp3), spins up one client per partner, pushes purchase
+// orders through the full stack and reports throughput, latency and
+// reliable-messaging statistics.
+//
+// Usage:
+//
+//	b2bhub [-n 100] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/msg"
+)
+
+var (
+	n       = flag.Int("n", 100, "purchase orders per partner")
+	loss    = flag.Float64("loss", 0, "message loss probability (in-process network only)")
+	dup     = flag.Float64("dup", 0, "message duplication probability (in-process network only)")
+	tp3     = flag.Bool("tp3", false, "add the Figure 15 partner (OAGIS)")
+	trace   = flag.Bool("trace", false, "print the exchange trace of the first order")
+	tcp     = flag.Bool("tcp", false, "use real TCP loopback sockets instead of the in-process network")
+	fa997   = flag.Bool("fa997", false, "enable EDI 997 functional acknowledgments")
+	invoice = flag.Bool("invoice", false, "push a one-way invoice after each round trip")
+)
+
+// network abstracts the two transports the tool can run over.
+type network interface {
+	Endpoint(addr string) (msg.Endpoint, error)
+	Close() error
+}
+
+func main() {
+	flag.Parse()
+
+	model, err := core.PaperFigure14Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub, err := core.NewHub(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tp3 {
+		if _, err := hub.AddPartner(core.Figure15Partner()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *fa997 {
+		if _, err := hub.EnableFunctionalAcks(formats.EDI); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *invoice {
+		if _, err := hub.EnableInvoicing(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var network network
+	if *tcp {
+		if *loss > 0 || *dup > 0 {
+			log.Fatal("fault injection requires the in-process network (drop -tcp)")
+		}
+		network = msg.NewTCPNetwork()
+	} else {
+		network = msg.NewInProcNetwork(msg.Faults{LossProb: *loss, DupProb: *dup, Seed: 1})
+	}
+	defer network.Close()
+	rcfg := msg.ReliableConfig{RetryInterval: 15 * time.Millisecond, MaxAttempts: 100}
+	hubEP, err := network.Endpoint("hub")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := core.NewServer(hub, hubEP, rcfg)
+	defer server.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	go server.Serve(ctx, nil)
+
+	sellerParty := doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"}
+	start := time.Now()
+	total := 0
+	for _, p := range hub.Model.Partners {
+		ep, err := network.Endpoint(p.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client := core.NewClient(p, ep, rcfg, "hub")
+		g := doc.NewGenerator(int64(len(p.ID)))
+		buyerParty := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+		var firstLatency time.Duration
+		for i := 0; i < *n; i++ {
+			po := g.PO(buyerParty, sellerParty)
+			t0 := time.Now()
+			poa, err := client.RoundTrip(ctx, po)
+			if err != nil {
+				log.Fatalf("%s order %d: %v", p.ID, i, err)
+			}
+			if i == 0 {
+				firstLatency = time.Since(t0)
+				if *trace {
+					if ex, ok := hub.ExchangeByID("ex-000001"); ok {
+						fmt.Println("first exchange trace:")
+						for _, hop := range ex.Trace {
+							fmt.Println("   ", hop)
+						}
+					}
+				}
+			}
+			if poa.POID != po.ID {
+				log.Fatalf("%s order %d: wrong correlation", p.ID, i)
+			}
+			if *invoice {
+				if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
+					log.Fatalf("%s invoice for %s: %v", p.ID, po.ID, err)
+				}
+			}
+			total++
+		}
+		st := client.Stats()
+		fmt.Printf("%-4s %-12s: %4d round trips (first latency %v, retries %d)\n",
+			p.ID, p.Protocol, *n, firstLatency.Round(time.Microsecond), st.Retries)
+		client.Close()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\n%d round trips in %v (%.0f/s) over loss=%.0f%% dup=%.0f%%\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *loss*100, *dup*100)
+	ss := server.Stats()
+	fmt.Printf("hub reliable layer: delivered=%d duplicates-suppressed=%d acks-sent=%d\n",
+		ss.Delivered, ss.Duplicates, ss.AcksSent)
+	for name, sys := range hub.Systems {
+		fmt.Printf("backend %-7s stored %d orders\n", name, sys.StoredOrders())
+	}
+	hs := hub.Stats()
+	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n", hs.Exchanges, hs.Invoices, hs.Failed)
+}

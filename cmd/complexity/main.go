@@ -1,0 +1,135 @@
+// Command complexity regenerates the paper's model-complexity evidence:
+// the Figure 9 → Figure 10 growth of the naive approach, the Figure 14 →
+// Figure 15 locality of the advanced approach, and the Section 4.6
+// scalability sweep over (protocols × partners × back ends).
+//
+// Usage:
+//
+//	complexity [-maxp N] [-maxt N] [-maxa N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/coop"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wf"
+)
+
+var (
+	maxP = flag.Int("maxp", 5, "maximum number of B2B protocols in the sweep")
+	maxT = flag.Int("maxt", 24, "maximum number of trading partners in the sweep")
+	maxA = flag.Int("maxa", 5, "maximum number of back ends in the sweep")
+	csv  = flag.Bool("csv", false, "emit the sweep as CSV instead of a table")
+)
+
+func main() {
+	flag.Parse()
+
+	fmt.Println("== Figure 9 vs Figure 10 (naive approach growth) ==")
+	d9 := mustNaive(coop.PaperFigure9())
+	d10 := mustNaive(coop.PaperFigure10())
+	s9, s10 := metrics.StatsOf(one(d9)), metrics.StatsOf(one(d10))
+	fmt.Printf("Figure  9 (P=2 T=2 A=2): steps=%d arcs=%d transforms=%d condition-terms=%d\n",
+		s9.Steps, s9.Arcs, s9.TransformSteps, s9.ConditionTerms)
+	fmt.Printf("Figure 10 (P=3 T=3 A=2): steps=%d arcs=%d transforms=%d condition-terms=%d\n",
+		s10.Steps, s10.Arcs, s10.TransformSteps, s10.ConditionTerms)
+	imp := metrics.Diff(one(d9), one(d10))
+	fmt.Printf("change impact: %d workflow type(s) rewritten, %d untouched\n\n",
+		imp.TouchedTypes(), imp.Untouched)
+
+	fmt.Println("== Figure 14 vs Figure 15 (advanced approach locality) ==")
+	m14, err := core.PaperFigure14Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := cloneAll(m14.AllTypes())
+	s14 := metrics.StatsOf(before)
+	rec, err := m14.AddPartner(core.Figure15Partner())
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := m14.AllTypes()
+	s15 := metrics.StatsOf(after)
+	fmt.Printf("Figure 14: types=%d steps=%d transforms=%d condition-terms=%d\n",
+		s14.Types, s14.Steps, s14.TransformSteps, s14.ConditionTerms)
+	fmt.Printf("Figure 15: types=%d steps=%d transforms=%d condition-terms=%d\n",
+		s15.Types, s15.Steps, s15.TransformSteps, s15.ConditionTerms)
+	impA := metrics.Diff(before, after)
+	fmt.Printf("change impact: added=%v modified=%v untouched=%d rules-added=%d private-touched=%v\n\n",
+		impA.Added, impA.Modified, impA.Untouched, rec.RulesAdded, rec.PrivateTouched)
+
+	fmt.Println("== Section 4.6 scalability sweep ==")
+	if *csv {
+		fmt.Println("protocols,partners,backends,naive_steps,naive_terms,advanced_types,advanced_steps,advanced_terms,naive_touched_on_add,advanced_touched_on_add")
+	} else {
+		fmt.Printf("%-10s | %18s | %25s | %22s\n", "P/T/A", "naive steps/terms", "advanced types/steps/terms", "touched on add-partner")
+	}
+	p, t, a := 1, 1, 1
+	for p <= *maxP && t <= *maxT && a <= *maxA {
+		pop := coop.Synthetic(p, t, a)
+		naive := metrics.StatsOf(one(mustNaive(pop)))
+		adv := advancedStats(pop)
+
+		// Change impact of adding one partner with one new protocol.
+		popBig := coop.Synthetic(p+1, t+1, a)
+		nTouched := metrics.Diff(one(mustNaive(pop)), one(mustNaive(popBig))).TouchedTypes()
+		aTouchedAdded := 2 // one public process + one binding; never more
+
+		if *csv {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				p, t, a, naive.Steps, naive.ConditionTerms,
+				adv.Types, adv.Steps, adv.ConditionTerms, nTouched, aTouchedAdded)
+		} else {
+			fmt.Printf("%d/%d/%-6d | %9d/%-8d | %10d/%6d/%-7d | naive rewrites %d, advanced adds %d\n",
+				p, t, a, naive.Steps, naive.ConditionTerms,
+				adv.Types, adv.Steps, adv.ConditionTerms, nTouched, aTouchedAdded)
+		}
+		p++
+		t *= 2
+		if t < p {
+			t = p
+		}
+		a++
+	}
+}
+
+func mustNaive(pop coop.Population) *wf.TypeDef {
+	d, err := coop.BuildReceiverType("naive-receiver", pop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func advancedStats(pop coop.Population) metrics.ModelStats {
+	var partners []core.TradingPartner
+	for _, tp := range pop.Partners {
+		partners = append(partners, core.TradingPartner{
+			ID: tp.ID, Name: tp.Name, Protocol: tp.Protocol,
+			Backend: tp.Backend, ApprovalThreshold: tp.ApprovalThreshold,
+		})
+	}
+	var backends []core.Backend
+	for _, b := range pop.Backends {
+		backends = append(backends, core.Backend{Name: b.Name, Format: b.Format})
+	}
+	m, err := core.BuildModel(partners, backends)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return metrics.StatsOf(m.AllTypes())
+}
+
+func one(d *wf.TypeDef) []*wf.TypeDef { return []*wf.TypeDef{d} }
+
+func cloneAll(defs []*wf.TypeDef) []*wf.TypeDef {
+	out := make([]*wf.TypeDef, len(defs))
+	for i, d := range defs {
+		out[i] = d.Clone()
+	}
+	return out
+}

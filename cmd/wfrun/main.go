@@ -1,0 +1,130 @@
+// Command wfrun loads a workflow type definition from a JSON file, deploys
+// it on a fresh engine and runs one instance to quiescence — a debugging
+// tool for workflow definitions. Task steps may use the built-in handlers
+// "noop" (do nothing), "print" (print the step name) and "set:<key>=<val>"
+// (set instance data).
+//
+// Usage:
+//
+//	wfrun [-data k=v,...] [-deliver port=value] definition.json
+//
+// Example definition:
+//
+//	{
+//	  "Name": "demo", "Version": 1,
+//	  "Steps": [
+//	    {"Name": "a", "Kind": "task", "Handler": "print"},
+//	    {"Name": "b", "Kind": "task", "Handler": "print"}
+//	  ],
+//	  "Arcs": [{"From": "a", "To": "b"}]
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+var (
+	dataFlag    = flag.String("data", "", "initial instance data as k=v,k=v (values are strings)")
+	deliverFlag = flag.String("deliver", "", "after start, deliver port=value pairs separated by commas")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wfrun [-data k=v,...] [-deliver port=value,...] definition.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var def wf.TypeDef
+	if err := json.Unmarshal(raw, &def); err != nil {
+		log.Fatalf("parse %s: %v", flag.Arg(0), err)
+	}
+	if def.Version == 0 {
+		def.Version = 1
+	}
+
+	h := wf.NewHandlers()
+	h.Register("noop", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return nil })
+	h.Register("print", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		fmt.Printf("step %q executed\n", s.Name)
+		return nil
+	})
+	ports := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		fmt.Printf("step %q sent %v on port %q\n", s.Name, payload, s.Port)
+		return nil
+	}
+	engine := wf.NewEngine("wfrun", wfstore.NewMemStore(), h, ports)
+
+	// set:<key>=<value> handlers are synthesized on demand.
+	for i := range def.Steps {
+		s := def.Steps[i]
+		if s.Kind == wf.StepTask && strings.HasPrefix(s.Handler, "set:") {
+			spec := strings.TrimPrefix(s.Handler, "set:")
+			k, v, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("step %q: bad set handler %q", s.Name, s.Handler)
+			}
+			h.Register(s.Handler, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+				in.Data[k] = v
+				return nil
+			})
+		}
+	}
+
+	if err := engine.Deploy(&def); err != nil {
+		log.Fatal(err)
+	}
+	data := map[string]any{}
+	if *dataFlag != "" {
+		for _, kv := range strings.Split(*dataFlag, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				log.Fatalf("bad -data entry %q", kv)
+			}
+			data[k] = v
+		}
+	}
+
+	ctx := context.Background()
+	in, err := engine.Start(ctx, def.Name, data)
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+	if *deliverFlag != "" {
+		for _, pv := range strings.Split(*deliverFlag, ",") {
+			port, val, ok := strings.Cut(pv, "=")
+			if !ok {
+				log.Fatalf("bad -deliver entry %q", pv)
+			}
+			if err := engine.Deliver(ctx, in.ID, port, val); err != nil {
+				log.Fatalf("deliver %s: %v", port, err)
+			}
+		}
+	}
+	got, err := engine.Instance(in.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(got.Summary())
+	fmt.Println("history:")
+	for _, e := range got.History {
+		step := e.Step
+		if step == "" {
+			step = "(instance)"
+		}
+		fmt.Printf("  %3d %-24s %s\n", e.Seq, step, e.What)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Christoph Bussler's
+// "The Application of Workflow Technology in Semantic B2B Integration"
+// (Distributed and Parallel Databases 12, 2002): a complete B2B integration
+// framework built on public processes, private processes and bindings,
+// together with the workflow-engine, messaging, document-format,
+// transformation, business-rule and back-end substrates it depends on, and
+// the baselines (distributed inter-organizational and cooperative workflow
+// management) the paper argues against.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every figure-level experiment; the implementation lives in
+// the internal packages — see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the measured results.
+package repro

@@ -1,0 +1,98 @@
+// Collaboration: the ebXML-style path of Section 5.1. Two enterprises that
+// don't share a pre-defined standard (like a RosettaNet PIP) define their
+// collaboration in the BPSS-like language, compile each role's public
+// process from the shared definition, verify the processes are
+// complementary, and run the responder side on the workflow engine. The
+// definition carries message names and sequencing only — agreeing on it
+// shares no business rules or internal process structure.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/bpss"
+	"repro/internal/conformance"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+func main() {
+	// A negotiated collaboration that no standard pre-defines: the buyer
+	// orders, the seller acknowledges each of two order lines separately
+	// (the paper's example of why ebXML-style definable public processes
+	// matter), and the buyer closes with a confirmation.
+	spec := []byte(`{
+	  "name": "PO with per-line acks",
+	  "requester": "Buyer",
+	  "responder": "Seller",
+	  "transactions": [
+	    {"name": "Create Order",       "request": "PO"},
+	    {"name": "Acknowledge Line 1", "request": "LineAck1", "initiator": "responder"},
+	    {"name": "Acknowledge Line 2", "request": "LineAck2", "initiator": "responder"},
+	    {"name": "Confirm",            "request": "Confirmation", "response": "ConfirmationAck"}
+	  ]
+	}`)
+	collab, err := bpss.Parse(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collaboration %q: %d transactions between %s and %s\n",
+		collab.Name, len(collab.Transactions), collab.Requester, collab.Responder)
+
+	buyerProc, sellerProc, err := collab.CompileBoth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q (%d steps) and %q (%d steps)\n",
+		buyerProc.Name, buyerProc.CountSteps(), sellerProc.Name, sellerProc.CountSteps())
+
+	// The agreement check: both sides verify complementarity before going
+	// live — all they ever exchange is this definition.
+	if err := conformance.Check(buyerProc, sellerProc); err != nil {
+		log.Fatal(err)
+	}
+	bp, _ := conformance.ProfileOf(buyerProc)
+	fmt.Println("agreed message sequence (buyer's view):")
+	for _, e := range bp {
+		fmt.Printf("  %s\n", e)
+	}
+
+	// Run the seller's public process on a live engine, feeding it the
+	// exchange step by step.
+	var sent []string
+	ports := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		sent = append(sent, fmt.Sprintf("%s → %v", s.Port, payload))
+		return nil
+	}
+	engine := wf.NewEngine("seller", wfstore.NewMemStore(), wf.NewHandlers(), ports)
+	if err := engine.Deploy(sellerProc); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	in, err := engine.Start(ctx, sellerProc.Name, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deliver := func(port string, payload any) {
+		if err := engine.Deliver(ctx, in.ID, port, payload); err != nil {
+			log.Fatalf("deliver %s: %v", port, err)
+		}
+	}
+	deliver("pub.in:PO", "PO document")                       // buyer's order arrives
+	deliver("bpss.out:LineAck1", "line 1 accepted")           // seller's binding supplies ack 1
+	deliver("bpss.out:LineAck2", "line 2 backordered")        // …and ack 2
+	deliver("pub.in:Confirmation", "buyer confirms")          // buyer confirms
+	deliver("bpss.out:ConfirmationAck", "confirmation noted") // seller acknowledges
+
+	got, err := engine.Instance(in.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nseller public process: %s\n", got.Summary())
+	fmt.Println("outbound traffic:")
+	for _, s := range sent {
+		fmt.Println("  ", s)
+	}
+}

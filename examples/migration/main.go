@@ -1,0 +1,89 @@
+// Migration: the Section 2 demonstration. Two organizations run their own
+// workflow engines. Org A's approval workflow — with its proprietary
+// 550000 approval threshold embedded as a condition — migrates mid-flight
+// to org B's engine using automatic workflow type migration (Figure 6).
+// The instance completes on B, but B can now read A's business rule and
+// execution state: the knowledge leak that motivates public/private
+// processes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/doc"
+	"repro/internal/interorg"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+func main() {
+	ctx := context.Background()
+	orgA := wf.NewEngine("orgA", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+	orgB := wf.NewEngine("orgB", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+
+	const secretThreshold = "PO.amount > 550000"
+	approval := &wf.TypeDef{
+		Name: "po-approval", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "store PO", Kind: wf.StepNoop},
+			{Name: "wait funds", Kind: wf.StepReceive, Port: "funds", DataKey: "funds"},
+			{Name: "approve PO", Kind: wf.StepNoop},
+			{Name: "done", Kind: wf.StepNoop, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "store PO", To: "wait funds"},
+			{From: "wait funds", To: "approve PO", Condition: secretThreshold},
+			{From: "wait funds", To: "done", Condition: "PO.amount <= 550000"},
+			{From: "approve PO", To: "done"},
+		},
+	}
+	if err := orgA.Deploy(approval); err != nil {
+		log.Fatal(err)
+	}
+
+	g := doc.NewGenerator(1)
+	po := g.POWithAmount(
+		doc.Party{ID: "TP1", Name: "Acme"}, doc.Party{ID: "S", Name: "Widget"}, 600000)
+	in, err := orgA.Start(ctx, "po-approval", map[string]any{"document": po})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("org A started %s (parked on 'wait funds')\n", in.Summary())
+
+	leaked, _ := interorg.CanReadCondition(orgB, secretThreshold)
+	fmt.Printf("before migration: org B can read A's threshold: %v\n", leaked)
+
+	m := interorg.Migrator{AutoTypeMigration: true}
+	typeMigrated, err := m.MigrateInstance(orgA, orgB, in.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s migrated to org B (type migrated too: %v)\n", in.ID, typeMigrated)
+
+	if err := orgB.Deliver(ctx, in.ID, "funds", "allocated"); err != nil {
+		log.Fatal(err)
+	}
+	got, err := orgB.Instance(in.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("org B completed the instance: %s (approval ran: %v)\n",
+		got.State, got.StepStateOf("approve PO") == wf.StepCompleted)
+
+	leaked, _ = interorg.CanReadCondition(orgB, secretThreshold)
+	fmt.Printf("after migration:  org B can read A's threshold: %v  ← the Section 2.3 leak\n", leaked)
+
+	ex, err := interorg.ExposureOf(orgB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("org B's full exposure report:")
+	fmt.Printf("  workflow types:   %v\n", ex.Types)
+	fmt.Printf("  business rules:   %v\n", ex.Conditions)
+	fmt.Printf("  instance states:  %v\n", ex.Instances)
+
+	tomb, _ := orgA.Instance(in.ID)
+	fmt.Printf("org A keeps a tombstone: state=%s\n", tomb.State)
+}

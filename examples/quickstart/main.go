@@ -1,0 +1,72 @@
+// Quickstart: one trading partner (TP1, EDI X12) exchanges a purchase
+// order with an enterprise running the advanced integration architecture
+// (public process → binding → private process → application binding → SAP),
+// and receives a purchase order acknowledgment back.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+func main() {
+	// 1. Define the integration model: partners, back ends. The approval
+	//    rule (threshold 55000) is registered automatically — outside any
+	//    workflow type.
+	model, err := core.BuildModel(
+		[]core.TradingPartner{{
+			ID: "TP1", Name: "Acme Corp", DUNS: "111111111",
+			Protocol: formats.EDI, Backend: "SAP", ApprovalThreshold: 55000,
+		}},
+		[]core.Backend{{Name: "SAP", Format: formats.SAPIDoc}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Start the integration hub: it deploys the public process, the
+	//    binding, the private process and the application binding onto the
+	//    workflow engine and connects the simulated SAP system.
+	hub, err := core.NewHub(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A purchase order arrives from TP1.
+	po := &doc.PurchaseOrder{
+		ID:       "PO-TP1-000001",
+		Buyer:    doc.Party{ID: "TP1", Name: "Acme Corp", DUNS: "111111111"},
+		Seller:   doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"},
+		Currency: "USD",
+		ShipTo:   "Acme Receiving Dock 1",
+		Lines: []doc.Line{
+			{Number: 1, SKU: "LAP-100", Description: "Laptop 14in", Quantity: 40, UnitPrice: 1450},
+			{Number: 2, SKU: "MON-27", Description: "Monitor 27in", Quantity: 40, UnitPrice: 480},
+		},
+	}
+	fmt.Printf("inbound PO %s from %s, amount %.2f %s\n", po.ID, po.Buyer.Name, po.Amount(), po.Currency)
+
+	poa, ex, err := hub.RoundTrip(context.Background(), po)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the result.
+	fmt.Printf("outbound POA %s: status=%s, %d lines\n", poa.ID, poa.Status, len(poa.Lines))
+	priv, err := hub.PrivateInstance(ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("business rule applied: %v (needs approval: %v, approved: %v)\n",
+		priv.Data["ruleApplied"], priv.Data["needsApproval"], priv.Data["approved"])
+	fmt.Println("exchange trace:")
+	for _, hop := range ex.Trace {
+		fmt.Println("  ", hop)
+	}
+	fmt.Printf("SAP back end now holds %d order(s)\n", hub.Systems["SAP"].StoredOrders())
+}

@@ -1,0 +1,122 @@
+// RFQ: the Section 2.3 request-for-quotation scenario. A buyer requests
+// quotes from three suppliers and selects among the replies using private
+// business rules. Under distributed inter-organizational workflow the
+// suppliers could read the selection workflow and shape their quotes to
+// win ("the receiver could structure future quotes in such a way that the
+// sender's selection will select his quote"); here the selection rules
+// live in the buyer's external rule registry, bound to a private process
+// only the buyer's engine holds. Suppliers see nothing but RFQ and Quote
+// documents.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/rules"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The buyer's private quote-selection rules. Competitive knowledge:
+	// a quote is acceptable if cheap enough and fast enough, with a
+	// special exemption for the strategic supplier S2.
+	reg := rules.NewRegistry()
+	sel := reg.Set("select-quote")
+	must(sel.Add(rules.Rule{
+		Name: "strategic supplier exemption", Source: "S2", DocType: doc.TypeQT,
+		Condition: "Quote.unitPrice <= 130",
+	}))
+	must(sel.Add(rules.Rule{
+		Name: "standard selection", DocType: doc.TypeQT,
+		Condition: "Quote.unitPrice <= 110 && Quote.leadTimeDays <= 7",
+	}))
+
+	// The buyer's private process: collect a quote, evaluate the private
+	// selection rule, accept or decline. One instance per incoming quote.
+	h := wf.NewHandlers()
+	h.Register("evaluate-quote", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		q := in.Document().(*doc.Quote)
+		d, err := reg.Evaluate("select-quote", q.Supplier.ID, "BUYER", q)
+		if err != nil {
+			return err
+		}
+		in.Data["acceptable"] = d.Result
+		in.Data["rule"] = d.Rule
+		return nil
+	})
+	h.Register("accept", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["decision"] = "accept"
+		return nil
+	})
+	h.Register("decline", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["decision"] = "decline"
+		return nil
+	})
+	private := &wf.TypeDef{
+		Name: "private:quote-selection", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "Receive quote", Kind: wf.StepReceive, Port: "quote-in", DataKey: "document"},
+			{Name: "Evaluate quote", Kind: wf.StepTask, Handler: "evaluate-quote"},
+			{Name: "Accept quote", Kind: wf.StepTask, Handler: "accept"},
+			{Name: "Decline quote", Kind: wf.StepTask, Handler: "decline"},
+		},
+		Arcs: []wf.Arc{
+			{From: "Receive quote", To: "Evaluate quote"},
+			{From: "Evaluate quote", To: "Accept quote", Condition: "acceptable == true"},
+			{From: "Evaluate quote", To: "Decline quote", Condition: "acceptable == false"},
+		},
+	}
+	buyer := wf.NewEngine("buyer", wfstore.NewMemStore(), h, nil)
+	must(buyer.Deploy(private))
+
+	// Three suppliers answer the RFQ. What each supplier "knows" is only
+	// the RFQ document; the selection logic never leaves the buyer.
+	rfq := &doc.RequestForQuote{
+		ID:    "RFQ-2001-09-001",
+		Buyer: doc.Party{ID: "BUYER", Name: "Acme Corp"},
+		Suppliers: []doc.Party{
+			{ID: "S1", Name: "FastParts"}, {ID: "S2", Name: "StrategicCo"}, {ID: "S3", Name: "CheapCo"},
+		},
+		SKU: "LAP-100", Quantity: 100, Currency: "USD",
+		NeededBy: time.Date(2001, 9, 20, 0, 0, 0, 0, time.UTC),
+	}
+	must(rfq.Validate())
+	fmt.Printf("RFQ %s: %d × %s, needed by %s\n", rfq.ID, rfq.Quantity, rfq.SKU, rfq.NeededBy.Format("2006-01-02"))
+
+	quotes := []*doc.Quote{
+		{ID: "Q-S1", RFQID: rfq.ID, Supplier: rfq.Suppliers[0], UnitPrice: 105, LeadTimeDays: 5},
+		{ID: "Q-S2", RFQID: rfq.ID, Supplier: rfq.Suppliers[1], UnitPrice: 125, LeadTimeDays: 14},
+		{ID: "Q-S3", RFQID: rfq.ID, Supplier: rfq.Suppliers[2], UnitPrice: 95, LeadTimeDays: 21},
+	}
+	for _, q := range quotes {
+		must(q.Validate())
+		in, err := buyer.Start(ctx, "private:quote-selection", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buyer.Deliver(ctx, in.ID, "quote-in", q); err != nil {
+			log.Fatal(err)
+		}
+		got, err := buyer.Instance(in.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  quote %s from %-11s $%6.2f / %2dd → %-7s (rule: %v)\n",
+			q.ID, q.Supplier.Name, q.UnitPrice, q.LeadTimeDays, got.Data["decision"], got.Data["rule"])
+	}
+	fmt.Println("\nsuppliers saw only RFQ and Quote documents; the selection rules")
+	fmt.Println("(including the strategic-supplier exemption) stayed in the buyer's registry.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

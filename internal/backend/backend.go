@@ -1,0 +1,212 @@
+// Package backend simulates the back-end application systems of the paper:
+// the "SAP" and "Oracle" ERPs that purchase orders are stored into and
+// purchase order acknowledgments are extracted from (Figure 9's "Store SAP
+// PO" / "Extract SAP POA" and "Store Oracle PO" / "Extract Oracle POA").
+//
+// Each system speaks only its own native format (SAP IDoc flat files,
+// Oracle open interface JSON batches) — the reason the bindings must
+// transform. Processing is autonomous: given a stored order, the system
+// allocates against its simulated inventory and emits an acknowledgment
+// with per-line dispositions (accepted / backordered / rejected), which is
+// exactly the behavioral contract the integration layer depends on and
+// nothing more.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// System is a simulated back-end application.
+type System interface {
+	// Name identifies the system instance ("SAP", "Oracle").
+	Name() string
+	// Format is the native document format the system accepts and emits.
+	Format() formats.Format
+	// Submit stores an inbound purchase order given in the native format.
+	Submit(wire []byte) error
+	// Extract returns the next pending acknowledgment in the native
+	// format; ok is false when none is pending.
+	Extract() (wire []byte, ok bool, err error)
+	// ExtractByPO returns the pending acknowledgment for the given order,
+	// in the native format; ok is false when it is not pending. Concurrent
+	// integration flows use this so one exchange never consumes another's
+	// acknowledgment.
+	ExtractByPO(poID string) (wire []byte, ok bool, err error)
+	// ExtractInvoiceByPO returns the billing document the system produced
+	// for the given order, in the native format (SAP INVOIC IDoc, Oracle
+	// receivables batch); ok is false when the order was not billed (not
+	// processed yet, or fully rejected).
+	ExtractInvoiceByPO(poID string) (wire []byte, ok bool, err error)
+	// Process processes all stored, unprocessed orders, queueing their
+	// acknowledgments for extraction, and reports how many it processed.
+	Process() (int, error)
+	// StoredOrders reports how many orders have been stored in total.
+	StoredOrders() int
+}
+
+// ErrDuplicateOrder is returned when the same order number is stored twice
+// (the duplicate-message error case of the paper's Section 1).
+var ErrDuplicateOrder = errors.New("backend: duplicate purchase order")
+
+// core is the format-independent ERP simulation. The format-specific
+// systems wrap it with their codecs.
+type core struct {
+	name string
+
+	mu         sync.Mutex
+	inventory  map[string]int // SKU → stock; nil means unlimited
+	seen       map[string]bool
+	queue      []*doc.PurchaseOrder // stored, not yet processed
+	pending    []*doc.PurchaseOrderAck
+	pendingInv []*doc.Invoice
+	stored     int
+	ackSeq     int
+	invSeq     int
+}
+
+func newCore(name string, inventory map[string]int) *core {
+	var inv map[string]int
+	if inventory != nil {
+		inv = make(map[string]int, len(inventory))
+		for k, v := range inventory {
+			inv[k] = v
+		}
+	}
+	return &core{name: name, inventory: inv, seen: map[string]bool{}}
+}
+
+func (c *core) store(po *doc.PurchaseOrder) error {
+	if err := po.Validate(); err != nil {
+		return fmt.Errorf("backend %s: %w", c.name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[po.ID] {
+		return fmt.Errorf("%w: %s already stored in %s", ErrDuplicateOrder, po.ID, c.name)
+	}
+	c.seen[po.ID] = true
+	c.queue = append(c.queue, po.Clone())
+	c.stored++
+	return nil
+}
+
+// processAll turns every queued order into an acknowledgment by allocating
+// inventory per line.
+func (c *core) processAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, po := range c.queue {
+		c.ackSeq++
+		ack := &doc.PurchaseOrderAck{
+			ID:       fmt.Sprintf("%s-ACK-%06d", c.name, c.ackSeq),
+			POID:     po.ID,
+			Buyer:    po.Buyer,
+			Seller:   po.Seller,
+			IssuedAt: po.IssuedAt.Add(2 * 3600 * 1e9), // two hours later
+		}
+		allAccepted, anyAccepted := true, false
+		for _, l := range po.Lines {
+			al := doc.AckLine{Number: l.Number, ShipDate: po.IssuedAt.Add(7 * 24 * 3600 * 1e9)}
+			avail := l.Quantity
+			if c.inventory != nil {
+				avail = c.inventory[l.SKU]
+			}
+			switch {
+			case avail >= l.Quantity:
+				al.Status = doc.LineAccepted
+				al.Quantity = l.Quantity
+				anyAccepted = true
+			case avail > 0:
+				al.Status = doc.LineBackorder
+				al.Quantity = avail
+				anyAccepted = true
+				allAccepted = false
+			default:
+				al.Status = doc.LineRejected
+				al.Quantity = 0
+				al.ShipDate = po.IssuedAt // no promise
+				allAccepted = false
+			}
+			if c.inventory != nil {
+				c.inventory[l.SKU] = max(0, avail-l.Quantity)
+			}
+			ack.Lines = append(ack.Lines, al)
+		}
+		switch {
+		case allAccepted:
+			ack.Status = doc.AckAccepted
+		case anyAccepted:
+			ack.Status = doc.AckPartial
+		default:
+			ack.Status = doc.AckRejected
+			ack.Note = "no inventory"
+		}
+		c.pending = append(c.pending, ack)
+		// Billing: every order with at least one accepted line produces an
+		// invoice for the confirmed quantities.
+		if ack.Status != doc.AckRejected {
+			c.invSeq++
+			inv, err := doc.InvoiceFor(po, ack, fmt.Sprintf("%s-INV-%06d", c.name, c.invSeq))
+			if err == nil {
+				c.pendingInv = append(c.pendingInv, inv)
+			}
+		}
+		n++
+	}
+	c.queue = nil
+	return n
+}
+
+func (c *core) invoiceFor(poID string) (*doc.Invoice, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, inv := range c.pendingInv {
+		if inv.POID == poID {
+			c.pendingInv = append(c.pendingInv[:i], c.pendingInv[i+1:]...)
+			return inv, true
+		}
+	}
+	return nil, false
+}
+
+func (c *core) nextAck() (*doc.PurchaseOrderAck, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) == 0 {
+		return nil, false
+	}
+	ack := c.pending[0]
+	c.pending = c.pending[1:]
+	return ack, true
+}
+
+func (c *core) ackFor(poID string) (*doc.PurchaseOrderAck, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ack := range c.pending {
+		if ack.POID == poID {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return ack, true
+		}
+	}
+	return nil, false
+}
+
+func (c *core) storedOrders() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stored
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,322 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/sapidoc"
+	"repro/internal/transform"
+)
+
+var (
+	buyer  = doc.Party{ID: "TP1", Name: "Acme"}
+	seller = doc.Party{ID: "HUB", Name: "Widget"}
+)
+
+func sapWire(t *testing.T, po *doc.PurchaseOrder) []byte {
+	t.Helper()
+	orders, err := transform.NormalizedPOToSAP(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := orders.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func oracleWire(t *testing.T, po *doc.PurchaseOrder) []byte {
+	t.Helper()
+	batch, err := transform.NormalizedPOToOracle(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := batch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestSAPRoundTripUnlimitedStock(t *testing.T) {
+	sys := NewSAP("SAP", nil)
+	g := doc.NewGenerator(1)
+	po := g.PO(buyer, seller)
+	ackWire, err := SubmitAndProcess(sys, sapWire(t, po))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordrsp, err := sapidoc.DecodeOrdrsp(ackWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, err := transform.SAPPOAToNormalized(ordrsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID {
+		t.Fatalf("POID %q, want %q", poa.POID, po.ID)
+	}
+	if poa.Status != doc.AckAccepted {
+		t.Fatalf("status %s", poa.Status)
+	}
+	if len(poa.Lines) != len(po.Lines) {
+		t.Fatalf("lines %d vs %d", len(poa.Lines), len(po.Lines))
+	}
+	for i, l := range poa.Lines {
+		if l.Status != doc.LineAccepted || l.Quantity != po.Lines[i].Quantity {
+			t.Fatalf("line %d: %+v", i, l)
+		}
+	}
+	if sys.StoredOrders() != 1 {
+		t.Fatalf("stored %d", sys.StoredOrders())
+	}
+}
+
+func TestOracleRoundTrip(t *testing.T) {
+	sys := NewOracle("Oracle", nil)
+	g := doc.NewGenerator(2)
+	po := g.PO(buyer, seller)
+	ackWire, err := SubmitAndProcess(sys, oracleWire(t, po))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := oracleoif.DecodePOA(ackWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, err := transform.OraclePOAToNormalized(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID || poa.Status != doc.AckAccepted {
+		t.Fatalf("%+v", poa)
+	}
+	if sys.Format() != formats.OracleOIF || sys.Name() != "Oracle" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestInventoryBackorderAndReject(t *testing.T) {
+	g := doc.NewGenerator(3)
+	po := g.POWithAmount(buyer, seller, 100)
+	po.Lines = []doc.Line{
+		{Number: 1, SKU: "FULL", Quantity: 5, UnitPrice: 1},
+		{Number: 2, SKU: "PART", Quantity: 10, UnitPrice: 1},
+		{Number: 3, SKU: "NONE", Quantity: 3, UnitPrice: 1},
+	}
+	sys := NewSAP("SAP", map[string]int{"FULL": 10, "PART": 4, "NONE": 0})
+	ackWire, err := SubmitAndProcess(sys, sapWire(t, po))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordrsp, err := sapidoc.DecodeOrdrsp(ackWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, err := transform.SAPPOAToNormalized(ordrsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.Status != doc.AckPartial {
+		t.Fatalf("status %s", poa.Status)
+	}
+	want := []struct {
+		status doc.LineStatus
+		qty    int
+	}{
+		{doc.LineAccepted, 5},
+		{doc.LineBackorder, 4},
+		{doc.LineRejected, 0},
+	}
+	for i, w := range want {
+		if poa.Lines[i].Status != w.status || poa.Lines[i].Quantity != w.qty {
+			t.Fatalf("line %d: %+v, want %+v", i, poa.Lines[i], w)
+		}
+	}
+}
+
+func TestInventoryDepletion(t *testing.T) {
+	sys := NewOracle("Oracle", map[string]int{"X": 5})
+	g := doc.NewGenerator(4)
+	po1 := g.POWithAmount(buyer, seller, 10)
+	po1.Lines = []doc.Line{{Number: 1, SKU: "X", Quantity: 5, UnitPrice: 2}}
+	po2 := g.POWithAmount(buyer, seller, 10)
+	po2.Lines = []doc.Line{{Number: 1, SKU: "X", Quantity: 5, UnitPrice: 2}}
+
+	ack1, err := SubmitAndProcess(sys, oracleWire(t, po1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := oracleoif.DecodePOA(ack1)
+	if b1.Headers[0].AcceptanceType != "accepted" {
+		t.Fatalf("first order: %s", b1.Headers[0].AcceptanceType)
+	}
+	ack2, err := SubmitAndProcess(sys, oracleWire(t, po2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := oracleoif.DecodePOA(ack2)
+	if b2.Headers[0].AcceptanceType != "rejected" {
+		t.Fatalf("second order should be rejected, got %s", b2.Headers[0].AcceptanceType)
+	}
+}
+
+func TestDuplicateOrderRejected(t *testing.T) {
+	sys := NewSAP("SAP", nil)
+	g := doc.NewGenerator(5)
+	po := g.PO(buyer, seller)
+	wire := sapWire(t, po)
+	if err := sys.Submit(wire); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit(wire); !errors.Is(err, ErrDuplicateOrder) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestGarbageWireRejected(t *testing.T) {
+	if err := NewSAP("SAP", nil).Submit([]byte("garbage")); err == nil {
+		t.Fatal("SAP accepted garbage")
+	}
+	if err := NewOracle("Oracle", nil).Submit([]byte("garbage")); err == nil {
+		t.Fatal("Oracle accepted garbage")
+	}
+	// Oracle wire into SAP is a format error.
+	g := doc.NewGenerator(6)
+	po := g.PO(buyer, seller)
+	if err := NewSAP("SAP", nil).Submit(oracleWire(t, po)); err == nil {
+		t.Fatal("SAP accepted an Oracle batch")
+	}
+}
+
+func TestExtractWithoutProcess(t *testing.T) {
+	sys := NewSAP("SAP", nil)
+	g := doc.NewGenerator(7)
+	if err := sys.Submit(sapWire(t, g.PO(buyer, seller))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := sys.Extract(); ok || err != nil {
+		t.Fatalf("unprocessed order should not be extractable: %v %v", ok, err)
+	}
+	n, err := sys.Process()
+	if err != nil || n != 1 {
+		t.Fatalf("process %d %v", n, err)
+	}
+	if _, ok, err := sys.Extract(); !ok || err != nil {
+		t.Fatalf("extract after process: %v %v", ok, err)
+	}
+	if _, ok, _ := sys.Extract(); ok {
+		t.Fatal("double extract")
+	}
+}
+
+func TestBatchProcessing(t *testing.T) {
+	sys := NewSAP("SAP", nil)
+	g := doc.NewGenerator(8)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := sys.Submit(sapWire(t, g.PO(buyer, seller))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sys.Process()
+	if err != nil || got != n {
+		t.Fatalf("processed %d %v", got, err)
+	}
+	count := 0
+	for {
+		_, ok, err := sys.Extract()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("extracted %d", count)
+	}
+}
+
+func TestInvoiceEmission(t *testing.T) {
+	sys := NewSAP("SAP", nil)
+	g := doc.NewGenerator(9)
+	po := g.PO(buyer, seller)
+	if _, err := SubmitAndProcess(sys, sapWire(t, po)); err != nil {
+		t.Fatal(err)
+	}
+	wire, ok, err := sys.ExtractInvoiceByPO(po.ID)
+	if err != nil || !ok {
+		t.Fatalf("invoice extraction: %v %v", ok, err)
+	}
+	idoc, err := sapidoc.DecodeInvoic(wire)
+	if err != nil {
+		t.Fatalf("invoice wire invalid: %v\n%s", err, wire)
+	}
+	inv, err := transform.SAPINVToNormalized(idoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.POID != po.ID {
+		t.Fatalf("invoice references %q", inv.POID)
+	}
+	if inv.Amount() != po.Amount() {
+		t.Fatalf("invoice amount %v != order amount %v (fully accepted order)", inv.Amount(), po.Amount())
+	}
+	// Only one invoice per order.
+	if _, ok, _ := sys.ExtractInvoiceByPO(po.ID); ok {
+		t.Fatal("double billing")
+	}
+	// Unknown order has no invoice.
+	if _, ok, _ := sys.ExtractInvoiceByPO("PO-GHOST"); ok {
+		t.Fatal("invoice for unknown order")
+	}
+}
+
+func TestInvoiceBillsOnlyConfirmedQuantities(t *testing.T) {
+	g := doc.NewGenerator(10)
+	po := g.POWithAmount(buyer, seller, 100)
+	po.Lines = []doc.Line{
+		{Number: 1, SKU: "FULL", Quantity: 5, UnitPrice: 10},
+		{Number: 2, SKU: "PART", Quantity: 10, UnitPrice: 10},
+	}
+	sys := NewOracle("Oracle", map[string]int{"FULL": 5, "PART": 4})
+	if _, err := SubmitAndProcess(sys, oracleWire(t, po)); err != nil {
+		t.Fatal(err)
+	}
+	wire, ok, err := sys.ExtractInvoiceByPO(po.ID)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	batch, err := oracleoif.DecodeInvoice(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := transform.OracleINVToNormalized(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5×10 accepted + 4×10 backordered-confirmed = 90, not the ordered 150.
+	if inv.Amount() != 90 {
+		t.Fatalf("invoice amount %v, want 90", inv.Amount())
+	}
+}
+
+func TestNoInvoiceForRejectedOrder(t *testing.T) {
+	g := doc.NewGenerator(11)
+	po := g.POWithAmount(buyer, seller, 100)
+	po.Lines = []doc.Line{{Number: 1, SKU: "NONE", Quantity: 5, UnitPrice: 20}}
+	sys := NewSAP("SAP", map[string]int{"NONE": 0})
+	if _, err := SubmitAndProcess(sys, sapWire(t, po)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := sys.ExtractInvoiceByPO(po.ID); ok {
+		t.Fatal("rejected order billed")
+	}
+}

@@ -1,0 +1,198 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/sapidoc"
+	"repro/internal/transform"
+)
+
+// SAPSystem is the simulated SAP-like ERP: it accepts ORDERS IDocs and
+// emits ORDRSP IDocs.
+type SAPSystem struct {
+	c *core
+}
+
+// NewSAP creates an SAP-like system. inventory maps SKU to stock; nil means
+// unlimited stock (every order fully accepted).
+func NewSAP(name string, inventory map[string]int) *SAPSystem {
+	return &SAPSystem{c: newCore(name, inventory)}
+}
+
+// Name implements System.
+func (s *SAPSystem) Name() string { return s.c.name }
+
+// Format implements System.
+func (s *SAPSystem) Format() formats.Format { return formats.SAPIDoc }
+
+// Submit implements System: wire must be an ORDERS IDoc flat file.
+func (s *SAPSystem) Submit(wire []byte) error {
+	orders, err := sapidoc.DecodeOrders(wire)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	po, err := transform.SAPPOToNormalized(orders)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return s.c.store(po)
+}
+
+// Process implements System.
+func (s *SAPSystem) Process() (int, error) { return s.c.processAll(), nil }
+
+// Extract implements System: the wire result is an ORDRSP IDoc flat file.
+func (s *SAPSystem) Extract() ([]byte, bool, error) {
+	ack, ok := s.c.nextAck()
+	if !ok {
+		return nil, false, nil
+	}
+	return s.encodeAck(ack)
+}
+
+// ExtractByPO implements System.
+func (s *SAPSystem) ExtractByPO(poID string) ([]byte, bool, error) {
+	ack, ok := s.c.ackFor(poID)
+	if !ok {
+		return nil, false, nil
+	}
+	return s.encodeAck(ack)
+}
+
+func (s *SAPSystem) encodeAck(ack *doc.PurchaseOrderAck) ([]byte, bool, error) {
+	ordrsp, err := transform.NormalizedPOAToSAP(ack)
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	wire, err := ordrsp.Encode()
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return wire, true, nil
+}
+
+// StoredOrders implements System.
+func (s *SAPSystem) StoredOrders() int { return s.c.storedOrders() }
+
+// OracleSystem is the simulated Oracle-like ERP: it accepts purchase order
+// open-interface batches and emits acknowledgment batches.
+type OracleSystem struct {
+	c *core
+}
+
+// NewOracle creates an Oracle-like system; inventory semantics as NewSAP.
+func NewOracle(name string, inventory map[string]int) *OracleSystem {
+	return &OracleSystem{c: newCore(name, inventory)}
+}
+
+// Name implements System.
+func (s *OracleSystem) Name() string { return s.c.name }
+
+// Format implements System.
+func (s *OracleSystem) Format() formats.Format { return formats.OracleOIF }
+
+// Submit implements System: wire must be a PO interface batch.
+func (s *OracleSystem) Submit(wire []byte) error {
+	batch, err := oracleoif.DecodePO(wire)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	po, err := transform.OraclePOToNormalized(batch)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return s.c.store(po)
+}
+
+// Process implements System.
+func (s *OracleSystem) Process() (int, error) { return s.c.processAll(), nil }
+
+// Extract implements System: the wire result is an acknowledgment batch.
+func (s *OracleSystem) Extract() ([]byte, bool, error) {
+	ack, ok := s.c.nextAck()
+	if !ok {
+		return nil, false, nil
+	}
+	return s.encodeAck(ack)
+}
+
+// ExtractByPO implements System.
+func (s *OracleSystem) ExtractByPO(poID string) ([]byte, bool, error) {
+	ack, ok := s.c.ackFor(poID)
+	if !ok {
+		return nil, false, nil
+	}
+	return s.encodeAck(ack)
+}
+
+func (s *OracleSystem) encodeAck(ack *doc.PurchaseOrderAck) ([]byte, bool, error) {
+	batch, err := transform.NormalizedPOAToOracle(ack)
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	wire, err := batch.Encode()
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return wire, true, nil
+}
+
+// StoredOrders implements System.
+func (s *OracleSystem) StoredOrders() int { return s.c.storedOrders() }
+
+// SubmitAndProcess is a convenience for synchronous round trips: store the
+// order, process, and extract its acknowledgment.
+func SubmitAndProcess(s System, wire []byte) ([]byte, error) {
+	if err := s.Submit(wire); err != nil {
+		return nil, err
+	}
+	if _, err := s.Process(); err != nil {
+		return nil, err
+	}
+	ack, ok, err := s.Extract()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("backend %s: processed order produced no acknowledgment", s.Name())
+	}
+	return ack, nil
+}
+
+// ExtractInvoiceByPO implements System: the wire result is an INVOIC IDoc.
+func (s *SAPSystem) ExtractInvoiceByPO(poID string) ([]byte, bool, error) {
+	inv, ok := s.c.invoiceFor(poID)
+	if !ok {
+		return nil, false, nil
+	}
+	idoc, err := transform.NormalizedINVToSAP(inv)
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	wire, err := idoc.Encode()
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return wire, true, nil
+}
+
+// ExtractInvoiceByPO implements System: the wire result is a receivables
+// interface batch.
+func (s *OracleSystem) ExtractInvoiceByPO(poID string) ([]byte, bool, error) {
+	inv, ok := s.c.invoiceFor(poID)
+	if !ok {
+		return nil, false, nil
+	}
+	batch, err := transform.NormalizedINVToOracle(inv)
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	wire, err := batch.Encode()
+	if err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return wire, true, nil
+}

@@ -1,0 +1,134 @@
+package bpss
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/formats"
+	"repro/internal/wf"
+)
+
+// Agreement is the collaboration-protocol-agreement layer of ebXML
+// (CPP/CPA, the paper's reference [18]): it binds a collaboration
+// definition to two concrete trading parties with their technical
+// parameters — document format, network addresses and reliable-messaging
+// settings. Like the collaboration itself, an agreement carries no
+// business rules or internal process structure; it is the complete set of
+// information two enterprises must share to interoperate.
+type Agreement struct {
+	// Name identifies the agreement.
+	Name string `json:"name"`
+	// Collaboration is the agreed public-process definition.
+	Collaboration Collaboration `json:"collaboration"`
+	// RequesterParty and ResponderParty assign the roles.
+	RequesterParty PartyBinding `json:"requesterParty"`
+	ResponderParty PartyBinding `json:"responderParty"`
+	// DocumentFormat is the concrete wire format both sides encode
+	// business documents in.
+	DocumentFormat formats.Format `json:"documentFormat"`
+	// RetryIntervalMillis and MaxAttempts parameterize the reliable
+	// messaging layer (the RNIF/ebXML-MSS settings of the agreement).
+	RetryIntervalMillis int `json:"retryIntervalMillis"`
+	MaxAttempts         int `json:"maxAttempts"`
+	// ValidFrom/ValidUntil bound the agreement (ISO dates); zero values
+	// mean unbounded.
+	ValidFrom  string `json:"validFrom,omitempty"`
+	ValidUntil string `json:"validUntil,omitempty"`
+}
+
+// PartyBinding assigns one collaboration role to a concrete party.
+type PartyBinding struct {
+	// PartnerID is the trading partner identifier ("TP1").
+	PartnerID string `json:"partnerId"`
+	// Address is the party's network address for the message layer.
+	Address string `json:"address"`
+}
+
+// Validate reports structural problems with the agreement.
+func (a *Agreement) Validate() error {
+	var problems []string
+	if a.Name == "" {
+		problems = append(problems, "missing agreement name")
+	}
+	if err := a.Collaboration.Validate(); err != nil {
+		problems = append(problems, err.Error())
+	}
+	if a.RequesterParty.PartnerID == "" || a.ResponderParty.PartnerID == "" {
+		problems = append(problems, "both parties must be assigned")
+	}
+	if a.RequesterParty.PartnerID == a.ResponderParty.PartnerID {
+		problems = append(problems, "parties must differ")
+	}
+	if a.RequesterParty.Address == "" || a.ResponderParty.Address == "" {
+		problems = append(problems, "both parties need network addresses")
+	}
+	if a.DocumentFormat == "" {
+		problems = append(problems, "missing document format")
+	}
+	if a.RetryIntervalMillis < 0 || a.MaxAttempts < 0 {
+		problems = append(problems, "negative reliable-messaging parameters")
+	}
+	if a.ValidFrom != "" && a.ValidUntil != "" {
+		from, errF := time.Parse("2006-01-02", a.ValidFrom)
+		until, errU := time.Parse("2006-01-02", a.ValidUntil)
+		switch {
+		case errF != nil:
+			problems = append(problems, fmt.Sprintf("bad validFrom %q", a.ValidFrom))
+		case errU != nil:
+			problems = append(problems, fmt.Sprintf("bad validUntil %q", a.ValidUntil))
+		case !until.After(from):
+			problems = append(problems, "validUntil must be after validFrom")
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("bpss: invalid agreement %q: %s", a.Name, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// ParseAgreement reads an agreement from JSON.
+func ParseAgreement(data []byte) (*Agreement, error) {
+	var a Agreement
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("bpss: parse agreement: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// CompileFor compiles the public process for the named party, resolving
+// which collaboration role it plays under this agreement.
+func (a *Agreement) CompileFor(partnerID string) (Role, *wf.TypeDef, error) {
+	if err := a.Validate(); err != nil {
+		return "", nil, err
+	}
+	var role Role
+	switch partnerID {
+	case a.RequesterParty.PartnerID:
+		role = Requester
+	case a.ResponderParty.PartnerID:
+		role = Responder
+	default:
+		return "", nil, fmt.Errorf("bpss: party %q is not bound by agreement %q", partnerID, a.Name)
+	}
+	t, err := a.Collaboration.Compile(role)
+	if err != nil {
+		return "", nil, err
+	}
+	return role, t, nil
+}
+
+// CounterpartyOf resolves the other side of the agreement.
+func (a *Agreement) CounterpartyOf(partnerID string) (PartyBinding, error) {
+	switch partnerID {
+	case a.RequesterParty.PartnerID:
+		return a.ResponderParty, nil
+	case a.ResponderParty.PartnerID:
+		return a.RequesterParty, nil
+	}
+	return PartyBinding{}, fmt.Errorf("bpss: party %q is not bound by agreement %q", partnerID, a.Name)
+}

@@ -1,0 +1,117 @@
+package bpss
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/formats"
+)
+
+func sampleAgreement() Agreement {
+	return Agreement{
+		Name:                "Acme–Widget PO agreement",
+		Collaboration:       PORoundTrip,
+		RequesterParty:      PartyBinding{PartnerID: "TP1", Address: "TP1"},
+		ResponderParty:      PartyBinding{PartnerID: "HUB", Address: "hub"},
+		DocumentFormat:      formats.EDI,
+		RetryIntervalMillis: 50,
+		MaxAttempts:         8,
+		ValidFrom:           "2001-09-01",
+		ValidUntil:          "2002-09-01",
+	}
+}
+
+func TestAgreementValidateAndJSON(t *testing.T) {
+	a := sampleAgreement()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAgreement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != a.Name || back.DocumentFormat != formats.EDI {
+		t.Fatalf("%+v", back)
+	}
+}
+
+func TestAgreementValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Agreement)
+		want   string
+	}{
+		{"no name", func(a *Agreement) { a.Name = "" }, "missing agreement name"},
+		{"bad collaboration", func(a *Agreement) { a.Collaboration.Transactions = nil }, "no transactions"},
+		{"same parties", func(a *Agreement) { a.ResponderParty.PartnerID = "TP1" }, "parties must differ"},
+		{"no address", func(a *Agreement) { a.RequesterParty.Address = "" }, "network addresses"},
+		{"no format", func(a *Agreement) { a.DocumentFormat = "" }, "missing document format"},
+		{"bad window", func(a *Agreement) { a.ValidUntil = "2000-01-01" }, "validUntil must be after"},
+		{"bad date", func(a *Agreement) { a.ValidFrom = "yesterday" }, "bad validFrom"},
+		{"negative retries", func(a *Agreement) { a.MaxAttempts = -1 }, "negative reliable-messaging"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := sampleAgreement()
+			c.mutate(&a)
+			err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAgreementCompileFor(t *testing.T) {
+	a := sampleAgreement()
+	roleReq, tReq, err := a.CompileFor("TP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roleReq != Requester {
+		t.Fatalf("role %s", roleReq)
+	}
+	roleResp, tResp, err := a.CompileFor("HUB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roleResp != Responder {
+		t.Fatalf("role %s", roleResp)
+	}
+	// The two compiled sides conform — the agreement is self-consistent.
+	if err := conformance.Check(tReq, tResp); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.CompileFor("GHOST"); err == nil {
+		t.Fatal("unbound party compiled")
+	}
+}
+
+func TestCounterpartyOf(t *testing.T) {
+	a := sampleAgreement()
+	cp, err := a.CounterpartyOf("TP1")
+	if err != nil || cp.PartnerID != "HUB" {
+		t.Fatalf("%+v %v", cp, err)
+	}
+	cp, err = a.CounterpartyOf("HUB")
+	if err != nil || cp.PartnerID != "TP1" {
+		t.Fatalf("%+v %v", cp, err)
+	}
+	if _, err := a.CounterpartyOf("GHOST"); err == nil {
+		t.Fatal("unbound party resolved")
+	}
+}
+
+func TestParseAgreementGarbage(t *testing.T) {
+	for _, s := range []string{"", "nope", "{}"} {
+		if _, err := ParseAgreement([]byte(s)); err == nil {
+			t.Errorf("ParseAgreement(%q): expected error", s)
+		}
+	}
+}

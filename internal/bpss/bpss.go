@@ -1,0 +1,262 @@
+// Package bpss implements a small business-process-specification language
+// in the spirit of ebXML BPSS (the paper's Section 5.1): instead of
+// pre-defined public processes (RosettaNet PIPs), two enterprises define
+// an arbitrary collaboration — a named sequence of business transactions,
+// each a request document and an optional response document between a
+// requesting and a responding role — agree on it, and each compiles its
+// own role's public process from the shared definition.
+//
+// Compilation guarantees conformance by construction: the two generated
+// public processes always have complementary message profiles (package
+// conformance), which reproduces the ebXML property that agreeing on the
+// collaboration is sufficient to interoperate. The definition contains
+// message names and sequencing only — no business rules, no internal
+// steps — so sharing it shares no competitive knowledge.
+package bpss
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/wf"
+)
+
+// Transaction is one business transaction of a collaboration: the
+// initiating role sends the request document; if Response is non-empty the
+// other role answers with it (request/response), otherwise the transaction
+// is one-way (the paper's "one-way messages" pattern).
+type Transaction struct {
+	// Name identifies the transaction ("Create Order").
+	Name string `json:"name"`
+	// Request is the request document name ("PO").
+	Request string `json:"request"`
+	// Response is the response document name ("POA"), empty for one-way.
+	Response string `json:"response,omitempty"`
+	// Initiator names the role that sends the request; empty means the
+	// collaboration's requester. Per-transaction initiators express
+	// exchanges like separate line-item acknowledgments flowing back from
+	// the responder (the ebXML flexibility example of Section 5.1).
+	Initiator Role `json:"initiator,omitempty"`
+}
+
+// initiator resolves the transaction's initiating role.
+func (tx Transaction) initiator() Role {
+	if tx.Initiator == "" {
+		return Requester
+	}
+	return tx.Initiator
+}
+
+// Collaboration is a shared public-process definition between two roles.
+type Collaboration struct {
+	// Name identifies the collaboration ("PO round trip").
+	Name string `json:"name"`
+	// Requester and Responder name the two roles ("Buyer", "Seller").
+	Requester string `json:"requester"`
+	Responder string `json:"responder"`
+	// Transactions execute in order.
+	Transactions []Transaction `json:"transactions"`
+}
+
+// Parse reads a collaboration from JSON.
+func Parse(data []byte) (*Collaboration, error) {
+	var c Collaboration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("bpss: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate reports structural problems with the collaboration.
+func (c *Collaboration) Validate() error {
+	var problems []string
+	if c.Name == "" {
+		problems = append(problems, "missing collaboration name")
+	}
+	if c.Requester == "" || c.Responder == "" {
+		problems = append(problems, "missing role names")
+	}
+	if c.Requester == c.Responder {
+		problems = append(problems, "roles must differ")
+	}
+	if len(c.Transactions) == 0 {
+		problems = append(problems, "no transactions")
+	}
+	seen := map[string]bool{}
+	for i, tx := range c.Transactions {
+		if tx.Name == "" {
+			problems = append(problems, fmt.Sprintf("transaction %d: missing name", i))
+		}
+		if seen[tx.Name] {
+			problems = append(problems, fmt.Sprintf("duplicate transaction %q", tx.Name))
+		}
+		seen[tx.Name] = true
+		if tx.Request == "" {
+			problems = append(problems, fmt.Sprintf("transaction %q: missing request document", tx.Name))
+		}
+		if tx.Request == tx.Response {
+			problems = append(problems, fmt.Sprintf("transaction %q: request and response documents must differ", tx.Name))
+		}
+		switch tx.Initiator {
+		case "", Requester, Responder:
+		default:
+			problems = append(problems, fmt.Sprintf("transaction %q: unknown initiator %q", tx.Name, tx.Initiator))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("bpss: invalid collaboration %q: %s", c.Name, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Role selects which side's public process to compile.
+type Role string
+
+// The two roles of a collaboration.
+const (
+	Requester Role = "requester"
+	Responder Role = "responder"
+)
+
+// sanitize makes a string safe for type/port names.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r == ' ':
+			return '-'
+		}
+		return '_'
+	}, s)
+}
+
+// Compile generates the public process workflow type for one role of the
+// collaboration. The generated process alternates message steps with
+// connection steps to the enterprise's bindings: inbound documents are
+// passed to the binding, outbound documents are awaited from it — the
+// internal processing between them stays each enterprise's private affair.
+func (c *Collaboration) Compile(role Role) (*wf.TypeDef, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	roleName := c.Requester
+	if role == Responder {
+		roleName = c.Responder
+	}
+	t := &wf.TypeDef{
+		Name:    fmt.Sprintf("public:%s:%s", sanitize(c.Name), sanitize(roleName)),
+		Version: 1,
+	}
+	var prev string
+	link := func(name string) {
+		if prev != "" {
+			t.Arcs = append(t.Arcs, wf.Arc{From: prev, To: name})
+		}
+		prev = name
+	}
+	addSend := func(tx, docName string) {
+		fromBinding := fmt.Sprintf("From binding (%s %s)", tx, docName)
+		send := fmt.Sprintf("Send %s (%s)", docName, tx)
+		t.Steps = append(t.Steps,
+			wf.StepDef{Name: fromBinding, Kind: wf.StepConnection, Dir: wf.DirIn,
+				Port: "bpss.out:" + sanitize(docName), DataKey: "document"},
+			wf.StepDef{Name: send, Kind: wf.StepSend, Port: "pub.out", Message: docName},
+		)
+		link(fromBinding)
+		link(send)
+	}
+	addReceive := func(tx, docName string) {
+		recv := fmt.Sprintf("Receive %s (%s)", docName, tx)
+		toBinding := fmt.Sprintf("To binding (%s %s)", tx, docName)
+		t.Steps = append(t.Steps,
+			wf.StepDef{Name: recv, Kind: wf.StepReceive, Port: "pub.in:" + sanitize(docName),
+				DataKey: "document", Message: docName},
+			wf.StepDef{Name: toBinding, Kind: wf.StepConnection, Dir: wf.DirOut,
+				Port: "bpss.in:" + sanitize(docName)},
+		)
+		link(recv)
+		link(toBinding)
+	}
+	for _, tx := range c.Transactions {
+		if role == tx.initiator() {
+			addSend(tx.Name, tx.Request)
+			if tx.Response != "" {
+				addReceive(tx.Name, tx.Response)
+			}
+		} else {
+			addReceive(tx.Name, tx.Request)
+			if tx.Response != "" {
+				addSend(tx.Name, tx.Response)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CompileBoth compiles both roles' public processes.
+func (c *Collaboration) CompileBoth() (requester, responder *wf.TypeDef, err error) {
+	requester, err = c.Compile(Requester)
+	if err != nil {
+		return nil, nil, err
+	}
+	responder, err = c.Compile(Responder)
+	if err != nil {
+		return nil, nil, err
+	}
+	return requester, responder, nil
+}
+
+// PO round trip is the paper's running example as a collaboration.
+var PORoundTrip = Collaboration{
+	Name:      "PO round trip",
+	Requester: "Buyer",
+	Responder: "Seller",
+	Transactions: []Transaction{
+		{Name: "Create Order", Request: "PO", Response: "POA"},
+	},
+}
+
+// Pip3A4 models RosettaNet PIP 3A4 as a collaboration (Section 5.1: the
+// "create purchase order" / "purchase order acceptance" exchange between
+// the Buyer and Seller roles).
+var Pip3A4 = Collaboration{
+	Name:      "PIP3A4",
+	Requester: "Buyer",
+	Responder: "Seller",
+	Transactions: []Transaction{
+		{Name: "Request Purchase Order", Request: "Pip3A4PurchaseOrderRequest", Response: "Pip3A4PurchaseOrderConfirmation"},
+	},
+}
+
+// LineItemAcks is the ebXML flexibility example from Section 5.1: "an
+// enterprise might acknowledge a purchase order not in one purchase order
+// acknowledgment message but in several acknowledging line items
+// separately" — impossible to express with a fixed PIP, a one-liner here:
+// the buyer sends the PO, then the seller initiates one one-way line-ack
+// transaction per order line.
+func LineItemAcks(lines int) Collaboration {
+	c := Collaboration{
+		Name:      fmt.Sprintf("PO with %d line acks", lines),
+		Requester: "Buyer",
+		Responder: "Seller",
+		Transactions: []Transaction{
+			{Name: "Create Order", Request: "PO"},
+		},
+	}
+	for i := 1; i <= lines; i++ {
+		c.Transactions = append(c.Transactions, Transaction{
+			Name:      fmt.Sprintf("Acknowledge Line %d", i),
+			Request:   fmt.Sprintf("LineAck%d", i),
+			Initiator: Responder,
+		})
+	}
+	return c
+}

@@ -1,0 +1,211 @@
+package bpss
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/wf"
+)
+
+func TestPORoundTripCompiles(t *testing.T) {
+	req, resp, err := PORoundTrip.CompileBoth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requester: send PO, receive POA (with binding connections around).
+	pr, err := conformance.ProfileOf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []conformance.Event{{Dir: conformance.Send, Message: "PO"}, {Dir: conformance.Receive, Message: "POA"}}
+	if len(pr) != 2 || pr[0] != want[0] || pr[1] != want[1] {
+		t.Fatalf("requester profile %v", pr)
+	}
+	// Both sides runnable types.
+	for _, d := range []*wf.TypeDef{req, resp} {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestComplementaryByConstruction: any valid collaboration compiles to
+// complementary public processes — the ebXML interoperability property.
+func TestComplementaryByConstruction(t *testing.T) {
+	cases := []Collaboration{
+		PORoundTrip,
+		Pip3A4,
+		LineItemAcks(1),
+		LineItemAcks(5),
+		{
+			Name: "forecast exchange", Requester: "OEM", Responder: "Supplier",
+			Transactions: []Transaction{
+				{Name: "Share Forecast", Request: "Forecast"},
+				{Name: "Commit", Request: "Commitment", Response: "CommitmentAck", Initiator: Responder},
+				{Name: "Order", Request: "PO", Response: "POA"},
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			req, resp, err := c.CompileBoth()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := conformance.Check(req, resp); err != nil {
+				t.Fatalf("not complementary by construction: %v", err)
+			}
+		})
+	}
+}
+
+// TestPropertyRandomCollaborationsComplementary fuzzes collaborations.
+func TestPropertyRandomCollaborationsComplementary(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		c := Collaboration{
+			Name:      fmt.Sprintf("rand-%d", seed),
+			Requester: "A",
+			Responder: "B",
+		}
+		n := 1 + seed%6
+		for i := 0; i < n; i++ {
+			tx := Transaction{
+				Name:    fmt.Sprintf("tx%d", i),
+				Request: fmt.Sprintf("Req%d", i),
+			}
+			if (seed+i)%2 == 0 {
+				tx.Response = fmt.Sprintf("Resp%d", i)
+			}
+			if (seed+i)%3 == 0 {
+				tx.Initiator = Responder
+			}
+			c.Transactions = append(c.Transactions, tx)
+		}
+		req, resp, err := c.CompileBoth()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := conformance.Check(req, resp); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	data, err := json.Marshal(PORoundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != PORoundTrip.Name || len(c.Transactions) != 1 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "not json", "{}", `{"name":"x"}`} {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Collaboration)
+		want   string
+	}{
+		{"no name", func(c *Collaboration) { c.Name = "" }, "missing collaboration name"},
+		{"no roles", func(c *Collaboration) { c.Requester = "" }, "missing role names"},
+		{"same roles", func(c *Collaboration) { c.Responder = c.Requester }, "roles must differ"},
+		{"no transactions", func(c *Collaboration) { c.Transactions = nil }, "no transactions"},
+		{"nameless tx", func(c *Collaboration) { c.Transactions[0].Name = "" }, "missing name"},
+		{"no request", func(c *Collaboration) { c.Transactions[0].Request = "" }, "missing request"},
+		{"same docs", func(c *Collaboration) { c.Transactions[0].Response = c.Transactions[0].Request }, "must differ"},
+		{"bad initiator", func(c *Collaboration) { c.Transactions[0].Initiator = "referee" }, "unknown initiator"},
+		{"dup tx", func(c *Collaboration) {
+			c.Transactions = append(c.Transactions, c.Transactions[0])
+		}, "duplicate transaction"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			col := PORoundTrip // copy
+			col.Transactions = append([]Transaction(nil), PORoundTrip.Transactions...)
+			c.mutate(&col)
+			err := col.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLineItemAcksShape(t *testing.T) {
+	c := LineItemAcks(3)
+	req, err := c.Compile(Requester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := conformance.ProfileOf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buyer: send PO, then receive three line acks.
+	if len(p) != 4 {
+		t.Fatalf("profile %v", p)
+	}
+	if p[0].Dir != conformance.Send || p[0].Message != "PO" {
+		t.Fatalf("profile %v", p)
+	}
+	for i := 1; i <= 3; i++ {
+		if p[i].Dir != conformance.Receive || p[i].Message != fmt.Sprintf("LineAck%d", i) {
+			t.Fatalf("profile %v", p)
+		}
+	}
+}
+
+func TestCompiledProcessRuns(t *testing.T) {
+	// The generated responder process executes on the engine: deliver the
+	// PO, feed the binding connection, provide the POA, observe the send.
+	_, resp, err := PORoundTrip.CompileBoth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []string
+	e := newEngineWithCapture(&sent)
+	if err := e.Deploy(resp); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testContext()
+	in, err := e.Start(ctx, resp.Name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deliver(ctx, in.ID, "pub.in:PO", "the PO"); err != nil {
+		t.Fatal(err)
+	}
+	// The process passed the PO to the binding and now waits for the POA.
+	if err := e.Deliver(ctx, in.ID, "bpss.out:POA", "the POA"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Instance(in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != wf.InstCompleted {
+		t.Fatalf("state %s", got.State)
+	}
+	if len(sent) != 2 { // one connection-out to the binding, one network send
+		t.Fatalf("sent %v", sent)
+	}
+	if sent[1] != "pub.out:the POA" {
+		t.Fatalf("sent %v", sent)
+	}
+}

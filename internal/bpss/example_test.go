@@ -1,0 +1,39 @@
+package bpss_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bpss"
+	"repro/internal/conformance"
+)
+
+// ExampleCollaboration_Compile defines a collaboration in the BPSS-style
+// language and compiles both roles' public processes, which are
+// complementary by construction.
+func ExampleCollaboration_Compile() {
+	collab, err := bpss.Parse([]byte(`{
+	  "name": "PO round trip",
+	  "requester": "Buyer",
+	  "responder": "Seller",
+	  "transactions": [
+	    {"name": "Create Order", "request": "PO", "response": "POA"}
+	  ]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyerProc, sellerProc, err := collab.CompileBoth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conforms:", conformance.Check(buyerProc, sellerProc) == nil)
+	profile, _ := conformance.ProfileOf(buyerProc)
+	for _, e := range profile {
+		fmt.Println(e)
+	}
+	// Output:
+	// conforms: true
+	// send(PO)
+	// receive(POA)
+}

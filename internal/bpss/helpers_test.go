@@ -1,0 +1,21 @@
+package bpss
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+func testContext() context.Context { return context.Background() }
+
+// newEngineWithCapture builds an engine whose port function records every
+// outbound payload as "port:payload".
+func newEngineWithCapture(sent *[]string) *wf.Engine {
+	ports := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		*sent = append(*sent, fmt.Sprintf("%s:%v", s.Port, payload))
+		return nil
+	}
+	return wf.NewEngine("bpss-test", wfstore.NewMemStore(), wf.NewHandlers(), ports)
+}

@@ -1,0 +1,163 @@
+// Package conformance checks that two enterprises' processes agree on
+// message sequencing — the contract the paper's Section 3 identifies as
+// the one thing cooperating enterprises must share:
+//
+//	"the message sequencing needs to be agreed upon so that for each
+//	message sent by one enterprise there is a receiving step within the
+//	other enterprise. … the collaborative workflows never get into a
+//	situation where a message is sent but there is no corresponding
+//	receiving step or if a receiving step waits but there is not
+//	corresponding sending step."
+//
+// A process's message profile is the sequence of its send and receive
+// steps (those with a logical Message name) in control-flow order. Two
+// profiles are complementary when they have the same length and each
+// send of one aligns with a receive of the same message in the other.
+// Profiles are extracted only from the workflow type's message steps —
+// checking conformance reveals nothing about either side's internal
+// steps, which is exactly the advanced approach's visibility boundary.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wf"
+)
+
+// Dir is the direction of a message event.
+type Dir string
+
+// Message event directions.
+const (
+	Send    Dir = "send"
+	Receive Dir = "receive"
+)
+
+// Event is one step of a message profile.
+type Event struct {
+	Dir Dir
+	// Message is the logical business message name.
+	Message string
+}
+
+func (e Event) String() string { return fmt.Sprintf("%s(%s)", e.Dir, e.Message) }
+
+// ErrAmbiguousOrder is returned when two message steps are concurrent, so
+// the process does not define a total message order to agree on.
+var ErrAmbiguousOrder = errors.New("conformance: message steps are not totally ordered")
+
+// ErrNotComplementary is wrapped in errors reporting a sequencing mismatch.
+var ErrNotComplementary = errors.New("conformance: message sequences are not complementary")
+
+// ProfileOf extracts the message profile of a workflow type: its send and
+// receive steps (including connection steps facing the network are NOT
+// counted — only Port-level send/receive with a Message name) linearized
+// by control flow. The type must order its message steps totally.
+func ProfileOf(t *wf.TypeDef) ([]Event, error) {
+	cp := t.Clone()
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	// Collect message steps.
+	isMessage := func(s *wf.StepDef) bool {
+		return s.Message != "" && (s.Kind == wf.StepSend || s.Kind == wf.StepReceive)
+	}
+	// Build reachability over non-loop arcs.
+	succ := map[string][]string{}
+	for _, a := range cp.Arcs {
+		if !a.Loop {
+			succ[a.From] = append(succ[a.From], a.To)
+		}
+	}
+	memo := map[string]map[string]bool{}
+	var reach func(string) map[string]bool
+	reach = func(n string) map[string]bool {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		r := map[string]bool{}
+		memo[n] = r // break cycles defensively (validated DAG anyway)
+		for _, m := range succ[n] {
+			r[m] = true
+			for k := range reach(m) {
+				r[k] = true
+			}
+		}
+		return r
+	}
+	var msgSteps []*wf.StepDef
+	for i := range cp.Steps {
+		s := &cp.Steps[i]
+		if isMessage(s) {
+			msgSteps = append(msgSteps, s)
+		}
+	}
+	// Total order check: for every pair, one must reach the other.
+	for i := 0; i < len(msgSteps); i++ {
+		for j := i + 1; j < len(msgSteps); j++ {
+			a, b := msgSteps[i].Name, msgSteps[j].Name
+			if !reach(a)[b] && !reach(b)[a] {
+				return nil, fmt.Errorf("%w: %q and %q are concurrent in type %q",
+					ErrAmbiguousOrder, a, b, cp.Name)
+			}
+		}
+	}
+	// Sort by reachability (a before b iff a reaches b).
+	ordered := append([]*wf.StepDef(nil), msgSteps...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && reach(ordered[j].Name)[ordered[j-1].Name]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	events := make([]Event, len(ordered))
+	for i, s := range ordered {
+		d := Send
+		if s.Kind == wf.StepReceive {
+			d = Receive
+		}
+		events[i] = Event{Dir: d, Message: s.Message}
+	}
+	return events, nil
+}
+
+// mirror returns the complementary event.
+func mirror(e Event) Event {
+	if e.Dir == Send {
+		return Event{Dir: Receive, Message: e.Message}
+	}
+	return Event{Dir: Send, Message: e.Message}
+}
+
+// Complementary verifies that profile b is the mirror of profile a: every
+// message a sends, b receives, in the same order, and vice versa.
+func Complementary(a, b []Event) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%w: %d events vs %d", ErrNotComplementary, len(a), len(b))
+	}
+	for i := range a {
+		if b[i] != mirror(a[i]) {
+			return fmt.Errorf("%w: position %d: %s vs %s (want %s)",
+				ErrNotComplementary, i, a[i], b[i], mirror(a[i]))
+		}
+	}
+	return nil
+}
+
+// Check extracts both profiles and verifies complementarity — the
+// "agreement on message formats and sequencing" two enterprises perform
+// before going live.
+func Check(a, b *wf.TypeDef) error {
+	pa, err := ProfileOf(a)
+	if err != nil {
+		return err
+	}
+	pb, err := ProfileOf(b)
+	if err != nil {
+		return err
+	}
+	if err := Complementary(pa, pb); err != nil {
+		return fmt.Errorf("types %q / %q: %w", a.Name, b.Name, err)
+	}
+	return nil
+}

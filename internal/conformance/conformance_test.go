@@ -1,0 +1,246 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formats"
+	"repro/internal/wf"
+)
+
+func mustProfile(t *testing.T, def *wf.TypeDef) []Event {
+	t.Helper()
+	p, err := ProfileOf(def)
+	if err != nil {
+		t.Fatalf("ProfileOf(%s): %v", def.Name, err)
+	}
+	return p
+}
+
+func TestProfileOfPublicProcess(t *testing.T) {
+	pub, err := core.BuildPublicProcess(formats.EDI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustProfile(t, pub)
+	want := []Event{{Receive, "PO"}, {Send, "POA"}}
+	if len(p) != 2 || p[0] != want[0] || p[1] != want[1] {
+		t.Fatalf("profile %v, want %v", p, want)
+	}
+}
+
+func TestPublicProcessesAreComplementary(t *testing.T) {
+	for _, f := range []formats.Format{formats.EDI, formats.RosettaNet, formats.OAGIS} {
+		hubSide, err := core.BuildPublicProcess(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partnerSide, err := core.BuildPartnerPublicProcess(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(hubSide, partnerSide); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+}
+
+// TestAckVariantStillComplementary: the Section 4.5 local change (transport
+// acks inside the public process) does not change the business message
+// profile, so the partner's process still conforms without change.
+func TestAckVariantStillComplementary(t *testing.T) {
+	hubSide, err := core.BuildPublicProcessWithAcks(formats.EDI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partnerSide, err := core.BuildPartnerPublicProcess(formats.EDI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(hubSide, partnerSide); err != nil {
+		t.Fatalf("local public-process change broke conformance: %v", err)
+	}
+}
+
+func TestNotComplementaryMissingReceive(t *testing.T) {
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "s1", Kind: wf.StepSend, Port: "o", Message: "PO"},
+			{Name: "r1", Kind: wf.StepReceive, Port: "i", Message: "POA"},
+		},
+		Arcs: []wf.Arc{{From: "s1", To: "r1"}},
+	}
+	// b never sends the POA back.
+	b := &wf.TypeDef{
+		Name: "b", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "r1", Kind: wf.StepReceive, Port: "i", Message: "PO"},
+		},
+	}
+	if err := Check(a, b); !errors.Is(err, ErrNotComplementary) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestNotComplementaryWrongOrder(t *testing.T) {
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "s1", Kind: wf.StepSend, Port: "o", Message: "PO"},
+			{Name: "s2", Kind: wf.StepSend, Port: "o", Message: "Forecast"},
+		},
+		Arcs: []wf.Arc{{From: "s1", To: "s2"}},
+	}
+	b := &wf.TypeDef{
+		Name: "b", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "r2", Kind: wf.StepReceive, Port: "i", Message: "Forecast"},
+			{Name: "r1", Kind: wf.StepReceive, Port: "i", Message: "PO"},
+		},
+		Arcs: []wf.Arc{{From: "r2", To: "r1"}},
+	}
+	if err := Check(a, b); !errors.Is(err, ErrNotComplementary) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestNotComplementaryBothSend(t *testing.T) {
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{{Name: "s", Kind: wf.StepSend, Port: "o", Message: "PO"}},
+	}
+	b := &wf.TypeDef{
+		Name: "b", Version: 1,
+		Steps: []wf.StepDef{{Name: "s", Kind: wf.StepSend, Port: "o", Message: "PO"}},
+	}
+	if err := Check(a, b); !errors.Is(err, ErrNotComplementary) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestAmbiguousOrderRejected(t *testing.T) {
+	// Two concurrent sends: no total message order to agree on.
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "fork", Kind: wf.StepNoop},
+			{Name: "s1", Kind: wf.StepSend, Port: "o", Message: "A"},
+			{Name: "s2", Kind: wf.StepSend, Port: "o", Message: "B"},
+		},
+		Arcs: []wf.Arc{{From: "fork", To: "s1"}, {From: "fork", To: "s2"}},
+	}
+	if _, err := ProfileOf(a); !errors.Is(err, ErrAmbiguousOrder) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestInternalStepsInvisible(t *testing.T) {
+	// Profiles reveal only message steps — the private steps between them
+	// do not appear, matching the paper's visibility boundary.
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "r", Kind: wf.StepReceive, Port: "i", Message: "PO"},
+			{Name: "secret business step", Kind: wf.StepNoop},
+			{Name: "another secret", Kind: wf.StepNoop},
+			{Name: "s", Kind: wf.StepSend, Port: "o", Message: "POA"},
+		},
+		Arcs: []wf.Arc{
+			{From: "r", To: "secret business step"},
+			{From: "secret business step", To: "another secret"},
+			{From: "another secret", To: "s"},
+		},
+	}
+	p := mustProfile(t, a)
+	if len(p) != 2 {
+		t.Fatalf("profile leaked internal steps: %v", p)
+	}
+}
+
+func TestMessagelessStepsIgnored(t *testing.T) {
+	// Send/receive steps without a Message name (infrastructure traffic)
+	// are not part of the agreed sequence.
+	a := &wf.TypeDef{
+		Name: "a", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "r", Kind: wf.StepReceive, Port: "i", Message: "PO"},
+			{Name: "internal send", Kind: wf.StepSend, Port: "log"},
+			{Name: "s", Kind: wf.StepSend, Port: "o", Message: "POA"},
+		},
+		Arcs: []wf.Arc{{From: "r", To: "internal send"}, {From: "internal send", To: "s"}},
+	}
+	p := mustProfile(t, a)
+	if len(p) != 2 {
+		t.Fatalf("profile %v", p)
+	}
+}
+
+func TestMultiStepExchange(t *testing.T) {
+	// A longer negotiated exchange: RFQ → Quote → PO → POA.
+	buyer := &wf.TypeDef{
+		Name: "buyer", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "send rfq", Kind: wf.StepSend, Port: "o", Message: "RFQ"},
+			{Name: "recv quote", Kind: wf.StepReceive, Port: "i", Message: "Quote"},
+			{Name: "send po", Kind: wf.StepSend, Port: "o", Message: "PO"},
+			{Name: "recv poa", Kind: wf.StepReceive, Port: "i", Message: "POA"},
+		},
+		Arcs: []wf.Arc{
+			{From: "send rfq", To: "recv quote"},
+			{From: "recv quote", To: "send po"},
+			{From: "send po", To: "recv poa"},
+		},
+	}
+	supplier := &wf.TypeDef{
+		Name: "supplier", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "recv rfq", Kind: wf.StepReceive, Port: "i", Message: "RFQ"},
+			{Name: "send quote", Kind: wf.StepSend, Port: "o", Message: "Quote"},
+			{Name: "recv po", Kind: wf.StepReceive, Port: "i", Message: "PO"},
+			{Name: "send poa", Kind: wf.StepSend, Port: "o", Message: "POA"},
+		},
+		Arcs: []wf.Arc{
+			{From: "recv rfq", To: "send quote"},
+			{From: "send quote", To: "recv po"},
+			{From: "recv po", To: "send poa"},
+		},
+	}
+	if err := Check(buyer, supplier); err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric.
+	if err := Check(supplier, buyer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMirrorAlwaysComplementary: for any profile, its event-wise
+// mirror is complementary — and a single flipped event breaks it.
+func TestPropertyMirrorAlwaysComplementary(t *testing.T) {
+	for seed := 0; seed < 200; seed++ {
+		n := 1 + seed%8
+		a := make([]Event, n)
+		for i := range a {
+			d := Send
+			if (seed+i)%2 == 0 {
+				d = Receive
+			}
+			a[i] = Event{Dir: d, Message: string(rune('A' + (seed+i)%26))}
+		}
+		b := make([]Event, n)
+		for i, e := range a {
+			b[i] = mirror(e)
+		}
+		if err := Complementary(a, b); err != nil {
+			t.Fatalf("seed %d: mirror not complementary: %v", seed, err)
+		}
+		// Flip one event: must fail.
+		bad := append([]Event(nil), b...)
+		bad[seed%n] = mirror(bad[seed%n])
+		if err := Complementary(a, bad); err == nil {
+			t.Fatalf("seed %d: flipped profile accepted", seed)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package coop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/formats"
+	"repro/internal/wf"
+)
+
+// Port names of the generated types.
+func inPort(p formats.Format) string  { return "in:" + string(p) }
+func outPort(p formats.Format) string { return "out:" + string(p) }
+
+// approvalCondition builds the Figure 9/10 conditional expression for one
+// back end: the disjunction of every partner's threshold clause. This is
+// where trading-partner business rules leak into workflow types in the
+// naive approach — the condition grows with every partner, and (as in the
+// paper's figure, where the same "≥55000 AND TP1 OR ≥40000 AND TP2"
+// expression appears in every block) it is duplicated into every protocol
+// branch that can reach the back end.
+func approvalCondition(pop Population, backend string) string {
+	var clauses []string
+	for _, tp := range pop.Partners {
+		if tp.Backend != backend {
+			continue
+		}
+		clauses = append(clauses, fmt.Sprintf("(source == %q && amount >= %v)", tp.ID, tp.ApprovalThreshold))
+	}
+	if len(clauses) == 0 {
+		return "false"
+	}
+	return strings.Join(clauses, " || ")
+}
+
+// BuildReceiverType generates the receiving enterprise's monolithic
+// workflow type of Figures 9/10 for the population: per protocol a receive
+// and route entry, per protocol × back end a PO transformation, per back
+// end store/approve/extract with partner-specific approval conditions, per
+// back end × protocol a POA transformation, and per protocol a send.
+//
+// The type executes on the workflow engine against the handlers registered
+// by NewReceiverScenario. Handler names are parameterized by protocol and
+// back end precisely because the naive approach forces that duplication.
+func BuildReceiverType(name string, pop Population) (*wf.TypeDef, error) {
+	if err := pop.Validate(); err != nil {
+		return nil, err
+	}
+	t := &wf.TypeDef{Name: name, Version: 1}
+	add := func(s wf.StepDef) { t.Steps = append(t.Steps, s) }
+	arc := func(a wf.Arc) { t.Arcs = append(t.Arcs, a) }
+
+	protocols := pop.Protocols()
+
+	// As in Figure 9, every protocol entry duplicates the complete back-end
+	// block: transform, store, approve (with the full partner-threshold
+	// disjunction), extract and the POA transformation back.
+	for _, p := range protocols {
+		recv := fmt.Sprintf("Receive %s PO", p)
+		route := fmt.Sprintf("Target %s", p)
+		send := fmt.Sprintf("Send %s POA", p)
+		add(wf.StepDef{Name: recv, Kind: wf.StepReceive, Port: inPort(p), DataKey: "document"})
+		add(wf.StepDef{Name: route, Kind: wf.StepTask, Handler: "route:" + string(p)})
+		add(wf.StepDef{Name: send, Kind: wf.StepSend, Port: outPort(p), Join: wf.JoinAny})
+		arc(wf.Arc{From: recv, To: route})
+
+		for _, b := range pop.Backends {
+			xform := fmt.Sprintf("Transform %s to %s PO", p, b.Name)
+			store := fmt.Sprintf("Store %s PO (%s)", b.Name, p)
+			approve := fmt.Sprintf("Approve %s PO (%s)", b.Name, p)
+			extract := fmt.Sprintf("Extract %s POA (%s)", b.Name, p)
+			xformBack := fmt.Sprintf("Transform %s to %s POA", b.Name, p)
+			add(wf.StepDef{
+				Name: xform, Kind: wf.StepTask,
+				Handler: fmt.Sprintf("xform-po:%s:%s", p, b.Format),
+			})
+			add(wf.StepDef{Name: store, Kind: wf.StepTask, Handler: "store:" + b.Name})
+			add(wf.StepDef{Name: approve, Kind: wf.StepTask, Handler: "approve"})
+			add(wf.StepDef{Name: extract, Kind: wf.StepTask, Handler: "extract:" + b.Name, Join: wf.JoinAny})
+			add(wf.StepDef{
+				Name: xformBack, Kind: wf.StepTask,
+				Handler: fmt.Sprintf("xform-poa:%s:%s", b.Format, p),
+			})
+			arc(wf.Arc{From: route, To: xform, Condition: fmt.Sprintf("target == %q", b.Name)})
+			arc(wf.Arc{From: xform, To: store})
+			cond := approvalCondition(pop, b.Name)
+			arc(wf.Arc{From: store, To: approve, Condition: cond})
+			arc(wf.Arc{From: store, To: extract, Condition: "!(" + cond + ")"})
+			arc(wf.Arc{From: approve, To: extract})
+			arc(wf.Arc{From: extract, To: xformBack})
+			arc(wf.Arc{From: xformBack, To: send})
+		}
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildBuyerType generates the sending enterprise's cooperative workflow of
+// Figure 8 (left side) for one protocol: extract, transform, send, then
+// receive the POA, transform and store. The explicit send→receive control
+// dependency the paper discusses is the arc between "Send PO" and
+// "Receive POA".
+func BuildBuyerType(name string, protocol formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: name, Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "Extract PO", Kind: wf.StepTask, Handler: "buyer-extract"},
+			{Name: fmt.Sprintf("Transform PO to %s", protocol), Kind: wf.StepTask, Handler: "buyer-xform-po:" + string(protocol)},
+			{Name: "Send PO", Kind: wf.StepSend, Port: outPort(protocol)},
+			{Name: "Receive POA", Kind: wf.StepReceive, Port: inPort(protocol), DataKey: "document"},
+			{Name: fmt.Sprintf("Transform POA from %s", protocol), Kind: wf.StepTask, Handler: "buyer-xform-poa:" + string(protocol)},
+			{Name: "Store POA", Kind: wf.StepTask, Handler: "buyer-store"},
+		},
+		Arcs: []wf.Arc{
+			{From: "Extract PO", To: fmt.Sprintf("Transform PO to %s", protocol)},
+			{From: fmt.Sprintf("Transform PO to %s", protocol), To: "Send PO"},
+			// The control dependency introduced by the split (Section 3):
+			// the receive may only start after the send.
+			{From: "Send PO", To: "Receive POA"},
+			{From: "Receive POA", To: fmt.Sprintf("Transform POA from %s", protocol)},
+			{From: fmt.Sprintf("Transform POA from %s", protocol), To: "Store POA"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,308 @@
+package coop
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/wf"
+)
+
+func TestPopulationValidate(t *testing.T) {
+	if err := PaperFigure9().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperFigure10().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Population{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	p := PaperFigure9()
+	p.Partners[1].Backend = "ghost"
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("err %v", err)
+	}
+	p = PaperFigure9()
+	p.Partners = append(p.Partners, p.Partners[0])
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate partner") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestProtocolsDistinctSorted(t *testing.T) {
+	p := PaperFigure10()
+	protos := p.Protocols()
+	if len(protos) != 3 {
+		t.Fatalf("protocols %v", protos)
+	}
+	for i := 1; i < len(protos); i++ {
+		if protos[i-1] >= protos[i] {
+			t.Fatalf("not sorted: %v", protos)
+		}
+	}
+}
+
+func TestSyntheticPopulation(t *testing.T) {
+	p := Synthetic(4, 10, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Partners) != 10 || len(p.Backends) != 3 {
+		t.Fatalf("%d partners, %d backends", len(p.Partners), len(p.Backends))
+	}
+	if len(p.Protocols()) != 4 {
+		t.Fatalf("protocols %v", p.Protocols())
+	}
+}
+
+func TestBuildReceiverTypeShape(t *testing.T) {
+	pop := PaperFigure9()
+	def, err := BuildReceiverType("fig9", pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P=2, A=2: steps = 3P + 5PA = 6 + 20 = 26.
+	if got := def.CountSteps(); got != 26 {
+		t.Fatalf("steps %d, want 26", got)
+	}
+	// Named steps from the paper's figure are present.
+	for _, name := range []string{
+		"Receive EDI-X12 PO", "Transform EDI-X12 to SAP PO", "Store SAP PO (EDI-X12)",
+		"Approve SAP PO (EDI-X12)", "Extract SAP POA (EDI-X12)", "Transform SAP to EDI-X12 POA",
+		"Send EDI-X12 POA", "Transform RosettaNet to Oracle PO",
+	} {
+		if _, ok := def.Step(name); !ok {
+			t.Errorf("missing step %q", name)
+		}
+	}
+	// The approval condition embeds the partner threshold — competitive
+	// knowledge inside the workflow type.
+	found := false
+	for _, a := range def.Arcs {
+		if strings.Contains(a.Condition, "55000") && strings.Contains(a.Condition, "TP1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("approval threshold not embedded in workflow type")
+	}
+}
+
+// TestFigure9VsFigure10Growth measures the Figure 9 → Figure 10 change:
+// one more partner with one more protocol makes the single workflow type
+// significantly bigger and rewrites it (non-local change).
+func TestFigure9VsFigure10Growth(t *testing.T) {
+	d9, err := BuildReceiverType("receiver", PaperFigure9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d10, err := BuildReceiverType("receiver", PaperFigure10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st9 := metrics.StatsOf(defs(d9))
+	st10 := metrics.StatsOf(defs(d10))
+	if st10.Steps <= st9.Steps {
+		t.Fatalf("steps did not grow: %d vs %d", st9.Steps, st10.Steps)
+	}
+	if st10.TransformSteps <= st9.TransformSteps {
+		t.Fatalf("transform steps did not grow: %d vs %d", st9.TransformSteps, st10.TransformSteps)
+	}
+	if st10.ConditionTerms <= st9.ConditionTerms {
+		t.Fatalf("condition terms did not grow: %d vs %d", st9.ConditionTerms, st10.ConditionTerms)
+	}
+	impact := metrics.Diff(defs(d9), defs(d10))
+	if len(impact.Modified) != 1 || impact.Untouched != 0 {
+		t.Fatalf("the naive change must rewrite the single monolithic type: %+v", impact)
+	}
+}
+
+func TestMultiplicativeGrowth(t *testing.T) {
+	// Transform steps grow with P×A (2 per pair: PO in, POA out).
+	for _, c := range []struct{ p, tp, a, wantXforms int }{
+		{1, 1, 1, 2},
+		{2, 2, 2, 8},
+		{3, 3, 2, 12},
+		{4, 8, 4, 32},
+	} {
+		pop := Synthetic(c.p, c.tp, c.a)
+		def, err := BuildReceiverType("x", pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := metrics.StatsOf(defs(def))
+		if st.TransformSteps != c.wantXforms {
+			t.Errorf("P=%d A=%d: transforms %d, want %d", c.p, c.a, st.TransformSteps, c.wantXforms)
+		}
+	}
+}
+
+// TestNaiveRoundTripEDIPartner drives Figure 9 end to end for the EDI
+// partner (TP1 → SAP, threshold 55000).
+func TestNaiveRoundTripEDIPartner(t *testing.T) {
+	s, err := NewReceiverScenario(PaperFigure9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := doc.NewGenerator(1)
+	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	seller := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+
+	// Above threshold: approval runs.
+	po := g.POWithAmount(buyer, seller, 60000)
+	res, err := s.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ack.POID != po.ID {
+		t.Fatalf("ack references %q, want %q", res.Ack.POID, po.ID)
+	}
+	if res.Ack.Status != doc.AckAccepted {
+		t.Fatalf("status %s", res.Ack.Status)
+	}
+	if !res.Approved {
+		t.Fatal("60000 > 55000 should be approved")
+	}
+	if s.Systems["SAP"].StoredOrders() != 1 {
+		t.Fatal("order not stored in SAP")
+	}
+	if s.Systems["Oracle"].StoredOrders() != 0 {
+		t.Fatal("order leaked into Oracle")
+	}
+
+	// Below threshold: approval skipped.
+	po2 := g.POWithAmount(buyer, seller, 100)
+	res2, err := s.RoundTrip(ctx, po2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Approved {
+		t.Fatal("100 < 55000 should not be approved")
+	}
+	if res2.Instance.StepStateOf("Approve SAP PO (EDI-X12)") != "skipped" {
+		t.Fatalf("approve step state %s", res2.Instance.StepStateOf("Approve SAP PO (EDI-X12)"))
+	}
+}
+
+// TestNaiveRoundTripRNPartner drives the RosettaNet partner (TP2 → Oracle,
+// threshold 40000) through the same monolithic type.
+func TestNaiveRoundTripRNPartner(t *testing.T) {
+	s, err := NewReceiverScenario(PaperFigure9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := doc.NewGenerator(2)
+	buyer := doc.Party{ID: "TP2", Name: "Trading Partner 2", DUNS: "222222222"}
+	seller := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	po := g.POWithAmount(buyer, seller, 45000)
+	res, err := s.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Fatal("45000 > 40000 should be approved for TP2")
+	}
+	if s.Systems["Oracle"].StoredOrders() != 1 || s.Systems["SAP"].StoredOrders() != 0 {
+		t.Fatal("order routed to wrong backend")
+	}
+}
+
+// TestNaiveRoundTripFigure10 adds TP3 (OAGIS, threshold 10000) and drives
+// it through the regenerated monolith.
+func TestNaiveRoundTripFigure10(t *testing.T) {
+	s, err := NewReceiverScenario(PaperFigure10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := doc.NewGenerator(3)
+	buyer := doc.Party{ID: "TP3", Name: "Trading Partner 3", DUNS: "333333333"}
+	seller := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	po := g.POWithAmount(buyer, seller, 15000)
+	res, err := s.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Fatal("15000 > 10000 should be approved for TP3")
+	}
+	if res.Ack.Status != doc.AckAccepted {
+		t.Fatalf("status %s", res.Ack.Status)
+	}
+}
+
+func TestUnknownPartnerFails(t *testing.T) {
+	s, err := NewReceiverScenario(PaperFigure9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := doc.NewGenerator(4)
+	po := g.POWithAmount(doc.Party{ID: "GHOST", Name: "?"}, doc.Party{ID: "HUB", Name: "R"}, 100)
+	if _, err := s.RoundTrip(context.Background(), po); err == nil {
+		t.Fatal("unknown partner accepted")
+	}
+}
+
+// TestFigure8CooperativeRoundTrip runs the two-enterprise cooperative
+// deployment over a perfect network.
+func TestFigure8CooperativeRoundTrip(t *testing.T) {
+	pair, err := NewFigure8Pair(msg.Faults{}, msg.ReliableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	g := doc.NewGenerator(5)
+	po := g.POWithAmount(
+		doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"},
+		doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}, 1234.56)
+	poa, err := pair.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID || poa.Status != doc.AckAccepted {
+		t.Fatalf("poa %+v", poa)
+	}
+}
+
+// TestFigure8UnderLoss runs the cooperative exchange over a lossy network;
+// the reliable layer (the RNIF substitute) masks the loss.
+func TestFigure8UnderLoss(t *testing.T) {
+	pair, err := NewFigure8Pair(
+		msg.Faults{LossProb: 0.35, Seed: 9},
+		msg.ReliableConfig{RetryInterval: 10 * time.Millisecond, MaxAttempts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	g := doc.NewGenerator(6)
+	for i := 0; i < 5; i++ {
+		po := g.PO(
+			doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"},
+			doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"})
+		poa, err := pair.RoundTrip(ctx, po)
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if poa.POID != po.ID {
+			t.Fatalf("round trip %d: wrong correlation", i)
+		}
+	}
+	b, s := pair.MessagingStats()
+	if b.Retries+s.Retries == 0 {
+		t.Fatal("expected retries on a 35% lossy network")
+	}
+}
+
+func defs(ds ...*wf.TypeDef) []*wf.TypeDef { return ds }

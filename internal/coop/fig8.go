@@ -1,0 +1,207 @@
+package coop
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/msg"
+	"repro/internal/transform"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+// Figure8Pair is the runnable cooperative-workflow deployment of Figure 8:
+// a buyer enterprise and a seller enterprise, each with its own local
+// workflow engine and workflow types, linked only by business messages over
+// the (reliable) network. No workflow type or instance state crosses the
+// boundary — only documents do.
+type Figure8Pair struct {
+	Buyer  *wf.Engine
+	Seller *ReceiverScenario
+
+	buyerRel  *msg.Reliable
+	sellerRel *msg.Reliable
+	network   *msg.InProcNetwork
+	reg       *transform.Registry
+	codecs    *formats.Registry
+	protocol  formats.Format
+}
+
+// NewFigure8Pair wires the pair over an in-process network with the given
+// fault schedule, using EDI as the exchanged protocol and SAP as the
+// seller's back end (the Figure 1 configuration).
+func NewFigure8Pair(faults msg.Faults, rcfg msg.ReliableConfig) (*Figure8Pair, error) {
+	pop := Population{
+		Partners: []Partner{{
+			ID: "TP1", Name: "Trading Partner 1", Protocol: formats.EDI,
+			ApprovalThreshold: 550000, Backend: "SAP",
+		}},
+		Backends: []BackendDef{{Name: "SAP", Format: formats.SAPIDoc}},
+	}
+	seller, err := NewReceiverScenario(pop)
+	if err != nil {
+		return nil, err
+	}
+
+	network := msg.NewInProcNetwork(faults)
+	be, err := network.Endpoint("buyer")
+	if err != nil {
+		return nil, err
+	}
+	se, err := network.Endpoint("seller")
+	if err != nil {
+		return nil, err
+	}
+	pair := &Figure8Pair{
+		Seller:    seller,
+		buyerRel:  msg.NewReliable(be, rcfg),
+		sellerRel: msg.NewReliable(se, rcfg),
+		network:   network,
+		reg:       &transform.Registry{},
+		codecs:    NewCodecRegistry(),
+		protocol:  formats.EDI,
+	}
+	transform.RegisterAll(pair.reg)
+
+	// Buyer engine: handlers for its local workflow, ports that encode the
+	// native document and send it reliably to the seller.
+	h := wf.NewHandlers()
+	h.Register("buyer-extract", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		if _, ok := in.Data["document"].(*doc.PurchaseOrder); !ok {
+			return fmt.Errorf("coop: buyer-extract expects a normalized PO in instance data")
+		}
+		return nil
+	})
+	h.Register("buyer-xform-po:"+string(formats.EDI), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		native, err := pair.reg.FromNormalized(formats.EDI, doc.TypePO, in.Document())
+		if err != nil {
+			return err
+		}
+		in.SetDocument(native)
+		return nil
+	})
+	h.Register("buyer-xform-poa:"+string(formats.EDI), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		nd, err := pair.reg.ToNormalized(formats.EDI, doc.TypePOA, in.Document())
+		if err != nil {
+			return err
+		}
+		in.SetDocument(nd)
+		return nil
+	})
+	h.Register("buyer-store", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["storedPOA"] = in.Document()
+		return nil
+	})
+	buyerPorts := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		codec, err := pair.codecs.Lookup(formats.EDI, doc.TypePO)
+		if err != nil {
+			return err
+		}
+		wire, err := codec.Encode(payload)
+		if err != nil {
+			return err
+		}
+		return pair.buyerRel.Send(ctx, "seller", &msg.Message{
+			Protocol: string(formats.EDI), DocType: string(doc.TypePO), Body: wire,
+		})
+	}
+	pair.Buyer = wf.NewEngine("buyer", wfstore.NewMemStore(), h, buyerPorts)
+	buyerType, err := BuildBuyerType("coop-buyer", formats.EDI)
+	if err != nil {
+		return nil, err
+	}
+	if err := pair.Buyer.Deploy(buyerType); err != nil {
+		return nil, err
+	}
+	return pair, nil
+}
+
+// Close releases the network resources.
+func (p *Figure8Pair) Close() {
+	p.buyerRel.Close()
+	p.sellerRel.Close()
+	p.network.Close()
+}
+
+// RoundTrip drives one PO/POA exchange end to end across the two
+// enterprises and returns the POA the buyer stored.
+func (p *Figure8Pair) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.PurchaseOrderAck, error) {
+	// Buyer side: extract → transform → send, then park on Receive POA.
+	bi, err := p.Buyer.Start(ctx, "coop-buyer", map[string]any{"document": po})
+	if err != nil {
+		return nil, err
+	}
+	if bi.State != wf.InstRunning {
+		return nil, fmt.Errorf("coop: buyer instance should be waiting for the POA, is %s", bi.State)
+	}
+
+	// Seller side: receive the wire PO, decode, run the receiver workflow.
+	m, err := p.sellerRel.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("coop: seller receive: %w", err)
+	}
+	poCodec, err := p.codecs.Lookup(p.protocol, doc.TypePO)
+	if err != nil {
+		return nil, err
+	}
+	native, err := poCodec.Decode(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	si, err := p.Seller.Engine.Start(ctx, p.Seller.Type.Name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Seller.Engine.Deliver(ctx, si.ID, inPort(p.protocol), native); err != nil {
+		return nil, err
+	}
+	poaNative, ok := p.Seller.takeOutbox(outPort(p.protocol))
+	if !ok {
+		return nil, fmt.Errorf("coop: seller produced no POA")
+	}
+	poaCodec, err := p.codecs.Lookup(p.protocol, doc.TypePOA)
+	if err != nil {
+		return nil, err
+	}
+	poaWire, err := poaCodec.Encode(poaNative)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.sellerRel.Send(ctx, "buyer", &msg.Message{
+		Protocol: string(p.protocol), DocType: string(doc.TypePOA), Body: poaWire,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Buyer side: receive the POA wire and resume the parked instance.
+	rm, err := p.buyerRel.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("coop: buyer receive: %w", err)
+	}
+	nativePOA, err := poaCodec.Decode(rm.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Buyer.Deliver(ctx, bi.ID, inPort(p.protocol), nativePOA); err != nil {
+		return nil, err
+	}
+	done, err := p.Buyer.Instance(bi.ID)
+	if err != nil {
+		return nil, err
+	}
+	if done.State != wf.InstCompleted {
+		return nil, fmt.Errorf("coop: buyer instance ended %s: %s", done.State, done.Error)
+	}
+	poa, ok := done.Data["storedPOA"].(*doc.PurchaseOrderAck)
+	if !ok {
+		return nil, fmt.Errorf("coop: buyer stored %T, want *doc.PurchaseOrderAck", done.Data["storedPOA"])
+	}
+	return poa, nil
+}
+
+// MessagingStats exposes the reliable-layer counters of both sides.
+func (p *Figure8Pair) MessagingStats() (buyer, seller msg.ReliableStats) {
+	return p.buyerRel.Stats(), p.sellerRel.Stats()
+}

@@ -1,0 +1,177 @@
+// Package coop implements the paper's Section 3 baseline: cooperative
+// inter-organizational workflow management, the "naive" approach in which
+// each enterprise runs local workflows that encode message exchanges,
+// transformations and trading-partner business rules directly in the
+// workflow types.
+//
+// The package provides a model generator that builds the monolithic
+// workflow types of Figures 8–10 for any population of trading partners,
+// B2B protocols and back-end applications — both to execute them on the
+// workflow engine (they do work, as the paper concedes: "trying to model
+// the complete integration in a workflow is possible") and to measure how
+// their size and change cost explode as the population grows.
+package coop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/formats"
+)
+
+// Partner is a trading partner in the naive model: its B2B protocol, its
+// approval threshold (the partner-specific business rule that ends up
+// inside workflow conditions) and the back end its orders are stored in.
+type Partner struct {
+	// ID is the partner identifier ("TP1").
+	ID string
+	// Name is the display name.
+	Name string
+	// Protocol is the B2B protocol this partner exchanges documents in.
+	Protocol formats.Format
+	// ApprovalThreshold is the amount at or above which this partner's
+	// orders need approval.
+	ApprovalThreshold float64
+	// Backend names the back-end application this partner's orders target.
+	Backend string
+}
+
+// BackendDef is a back-end application in the naive model.
+type BackendDef struct {
+	// Name identifies the system ("SAP", "Oracle").
+	Name string
+	// Format is its native document format.
+	Format formats.Format
+}
+
+// Population is the integration population the model is generated for.
+type Population struct {
+	Partners []Partner
+	Backends []BackendDef
+}
+
+// Validate checks referential integrity of the population.
+func (p Population) Validate() error {
+	if len(p.Partners) == 0 {
+		return fmt.Errorf("coop: population has no partners")
+	}
+	if len(p.Backends) == 0 {
+		return fmt.Errorf("coop: population has no backends")
+	}
+	byName := map[string]bool{}
+	for _, b := range p.Backends {
+		if b.Name == "" || b.Format == "" {
+			return fmt.Errorf("coop: backend %+v incomplete", b)
+		}
+		if byName[b.Name] {
+			return fmt.Errorf("coop: duplicate backend %q", b.Name)
+		}
+		byName[b.Name] = true
+	}
+	seen := map[string]bool{}
+	for _, tp := range p.Partners {
+		if tp.ID == "" || tp.Protocol == "" {
+			return fmt.Errorf("coop: partner %+v incomplete", tp)
+		}
+		if seen[tp.ID] {
+			return fmt.Errorf("coop: duplicate partner %q", tp.ID)
+		}
+		seen[tp.ID] = true
+		if !byName[tp.Backend] {
+			return fmt.Errorf("coop: partner %q references unknown backend %q", tp.ID, tp.Backend)
+		}
+	}
+	return nil
+}
+
+// Protocols lists the distinct B2B protocols of the population, sorted.
+func (p Population) Protocols() []formats.Format {
+	seen := map[formats.Format]bool{}
+	var out []formats.Format
+	for _, tp := range p.Partners {
+		if !seen[tp.Protocol] {
+			seen[tp.Protocol] = true
+			out = append(out, tp.Protocol)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PartnerByID finds a partner.
+func (p Population) PartnerByID(id string) (Partner, bool) {
+	for _, tp := range p.Partners {
+		if tp.ID == id {
+			return tp, true
+		}
+	}
+	return Partner{}, false
+}
+
+// BackendByName finds a backend definition.
+func (p Population) BackendByName(name string) (BackendDef, bool) {
+	for _, b := range p.Backends {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BackendDef{}, false
+}
+
+// PaperFigure9 is the population of Figure 9: two protocols (EDI,
+// RosettaNet), two partners (TP1 at 55000, TP2 at 40000) and two back ends
+// (SAP, Oracle).
+func PaperFigure9() Population {
+	return Population{
+		Partners: []Partner{
+			{ID: "TP1", Name: "Trading Partner 1", Protocol: formats.EDI, ApprovalThreshold: 55000, Backend: "SAP"},
+			{ID: "TP2", Name: "Trading Partner 2", Protocol: formats.RosettaNet, ApprovalThreshold: 40000, Backend: "Oracle"},
+		},
+		Backends: []BackendDef{
+			{Name: "SAP", Format: formats.SAPIDoc},
+			{Name: "Oracle", Format: formats.OracleOIF},
+		},
+	}
+}
+
+// PaperFigure10 is Figure 10's population: Figure 9 plus trading partner
+// TP3 using OAGIS with a 10000 threshold.
+func PaperFigure10() Population {
+	p := PaperFigure9()
+	p.Partners = append(p.Partners, Partner{
+		ID: "TP3", Name: "Trading Partner 3", Protocol: formats.OAGIS,
+		ApprovalThreshold: 10000, Backend: "SAP",
+	})
+	return p
+}
+
+// Synthetic builds a population with nProtocols distinct protocols cycled
+// over nPartners partners and nBackends back ends, for the Section 4.6
+// scalability sweeps. Protocol and format identities beyond the five real
+// ones are synthesized; synthetic models are measured, not executed.
+func Synthetic(nProtocols, nPartners, nBackends int) Population {
+	protoPool := []formats.Format{formats.EDI, formats.RosettaNet, formats.OAGIS}
+	for len(protoPool) < nProtocols {
+		protoPool = append(protoPool, formats.Format(fmt.Sprintf("Proto-%d", len(protoPool)+1)))
+	}
+	bePool := []BackendDef{{Name: "SAP", Format: formats.SAPIDoc}, {Name: "Oracle", Format: formats.OracleOIF}}
+	for len(bePool) < nBackends {
+		n := len(bePool) + 1
+		bePool = append(bePool, BackendDef{
+			Name:   fmt.Sprintf("App-%d", n),
+			Format: formats.Format(fmt.Sprintf("AppFmt-%d", n)),
+		})
+	}
+	var pop Population
+	pop.Backends = bePool[:nBackends]
+	for i := 0; i < nPartners; i++ {
+		pop.Partners = append(pop.Partners, Partner{
+			ID:                fmt.Sprintf("TP%d", i+1),
+			Name:              fmt.Sprintf("Trading Partner %d", i+1),
+			Protocol:          protoPool[i%nProtocols],
+			ApprovalThreshold: float64(10000 * (i + 1)),
+			Backend:           pop.Backends[i%nBackends].Name,
+		})
+	}
+	return pop
+}

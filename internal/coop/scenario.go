@@ -1,0 +1,240 @@
+package coop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+	"repro/internal/formats/oagis"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/rosettanet"
+	"repro/internal/formats/sapidoc"
+	"repro/internal/transform"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+// NewCodecRegistry builds a codec registry covering every concrete format.
+func NewCodecRegistry() *formats.Registry {
+	r := &formats.Registry{}
+	r.Register(edi.POCodec{})
+	r.Register(edi.POACodec{})
+	r.Register(rosettanet.POCodec{})
+	r.Register(rosettanet.POACodec{})
+	r.Register(oagis.POCodec{})
+	r.Register(oagis.POACodec{})
+	r.Register(sapidoc.POCodec{})
+	r.Register(sapidoc.POACodec{})
+	r.Register(oracleoif.POCodec{})
+	r.Register(oracleoif.POACodec{})
+	return r
+}
+
+// ReceiverScenario is a runnable deployment of the naive receiver workflow
+// (Figure 9/10): the monolithic type, its parameterized handlers, the
+// simulated back ends and a capture of outbound sends.
+type ReceiverScenario struct {
+	Pop    Population
+	Engine *wf.Engine
+	Type   *wf.TypeDef
+	// Systems maps backend name to the simulated ERP.
+	Systems map[string]backend.System
+
+	reg    *transform.Registry
+	codecs *formats.Registry
+
+	mu     sync.Mutex
+	outbox map[string][]any // port → captured native payloads
+}
+
+// NewReceiverScenario builds, deploys and wires the naive model for the
+// population. Only real formats (EDI, RosettaNet, OAGIS / SAP, Oracle) are
+// executable; synthetic populations can be built but not run.
+func NewReceiverScenario(pop Population) (*ReceiverScenario, error) {
+	t, err := BuildReceiverType("naive-receiver", pop)
+	if err != nil {
+		return nil, err
+	}
+	s := &ReceiverScenario{
+		Pop:     pop,
+		Type:    t,
+		Systems: map[string]backend.System{},
+		reg:     &transform.Registry{},
+		codecs:  NewCodecRegistry(),
+		outbox:  map[string][]any{},
+	}
+	transform.RegisterAll(s.reg)
+	for _, b := range pop.Backends {
+		switch b.Format {
+		case formats.SAPIDoc:
+			s.Systems[b.Name] = backend.NewSAP(b.Name, nil)
+		case formats.OracleOIF:
+			s.Systems[b.Name] = backend.NewOracle(b.Name, nil)
+		default:
+			return nil, fmt.Errorf("coop: backend format %s is not executable", b.Format)
+		}
+	}
+	h := wf.NewHandlers()
+	s.registerHandlers(h)
+	ports := func(ctx context.Context, in *wf.Instance, step *wf.StepDef, payload any) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.outbox[step.Port] = append(s.outbox[step.Port], payload)
+		return nil
+	}
+	s.Engine = wf.NewEngine("seller", wfstore.NewMemStore(), h, ports)
+	if err := s.Engine.Deploy(t); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// registerHandlers registers the per-protocol and per-backend handlers the
+// naive type requires — the duplication is the point: every protocol and
+// backend combination needs its own registration.
+func (s *ReceiverScenario) registerHandlers(h *wf.Handlers) {
+	for _, p := range s.Pop.Protocols() {
+		p := p
+		h.Register("route:"+string(p), func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+			nd, err := s.reg.ToNormalized(p, doc.TypePO, in.Document())
+			if err != nil {
+				return err
+			}
+			po := nd.(*doc.PurchaseOrder)
+			tp, ok := s.Pop.PartnerByID(po.Buyer.ID)
+			if !ok {
+				return fmt.Errorf("coop: unknown trading partner %q", po.Buyer.ID)
+			}
+			in.Data["source"] = po.Buyer.ID
+			in.Data["amount"] = po.Amount()
+			in.Data["target"] = tp.Backend
+			in.Data["protocol"] = string(p)
+			return nil
+		})
+		for _, b := range s.Pop.Backends {
+			p, b := p, b
+			h.Register(fmt.Sprintf("xform-po:%s:%s", p, b.Format),
+				func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+					out, err := s.reg.Apply(p, b.Format, doc.TypePO, in.Document())
+					if err != nil {
+						return err
+					}
+					in.SetDocument(out)
+					return nil
+				})
+			h.Register(fmt.Sprintf("xform-poa:%s:%s", b.Format, p),
+				func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+					out, err := s.reg.Apply(b.Format, p, doc.TypePOA, in.Document())
+					if err != nil {
+						return err
+					}
+					in.SetDocument(out)
+					return nil
+				})
+		}
+	}
+	for _, b := range s.Pop.Backends {
+		b := b
+		h.Register("store:"+b.Name, func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+			codec, err := s.codecs.Lookup(b.Format, doc.TypePO)
+			if err != nil {
+				return err
+			}
+			wire, err := codec.Encode(in.Document())
+			if err != nil {
+				return err
+			}
+			return s.Systems[b.Name].Submit(wire)
+		})
+		h.Register("extract:"+b.Name, func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+			sys := s.Systems[b.Name]
+			if _, err := sys.Process(); err != nil {
+				return err
+			}
+			wire, ok, err := sys.Extract()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("coop: backend %s has no acknowledgment to extract", b.Name)
+			}
+			codec, err := s.codecs.Lookup(b.Format, doc.TypePOA)
+			if err != nil {
+				return err
+			}
+			native, err := codec.Decode(wire)
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+	}
+	h.Register("approve", func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+		in.Data["approved"] = true
+		return nil
+	})
+}
+
+// takeOutbox pops the oldest captured payload on a port.
+func (s *ReceiverScenario) takeOutbox(port string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.outbox[port]
+	if len(q) == 0 {
+		return nil, false
+	}
+	s.outbox[port] = q[1:]
+	return q[0], true
+}
+
+// RoundTripResult carries the observable outcome of one naive round trip.
+type RoundTripResult struct {
+	Ack *doc.PurchaseOrderAck
+	// Approved reports whether the approval step ran.
+	Approved bool
+	// Instance is the (still running — the unmatched protocol entries stay
+	// parked forever, one of the naive model's warts) workflow instance.
+	Instance *wf.Instance
+}
+
+// RoundTrip drives one purchase order through the naive receiver: inject
+// the partner's native PO on its protocol's receive port, let the monolith
+// transform/store/approve/extract, and collect the native POA captured at
+// the protocol's send step.
+func (s *ReceiverScenario) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*RoundTripResult, error) {
+	tp, ok := s.Pop.PartnerByID(po.Buyer.ID)
+	if !ok {
+		return nil, fmt.Errorf("coop: unknown trading partner %q", po.Buyer.ID)
+	}
+	native, err := s.reg.FromNormalized(tp.Protocol, doc.TypePO, po)
+	if err != nil {
+		return nil, err
+	}
+	in, err := s.Engine.Start(ctx, s.Type.Name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Engine.Deliver(ctx, in.ID, inPort(tp.Protocol), native); err != nil {
+		return nil, err
+	}
+	payload, ok := s.takeOutbox(outPort(tp.Protocol))
+	if !ok {
+		got, _ := s.Engine.Instance(in.ID)
+		return nil, fmt.Errorf("coop: no POA sent for %s (instance: %s)", po.ID, got.Summary())
+	}
+	nd, err := s.reg.ToNormalized(tp.Protocol, doc.TypePOA, payload)
+	if err != nil {
+		return nil, err
+	}
+	got, err := s.Engine.Instance(in.ID)
+	if err != nil {
+		return nil, err
+	}
+	approved := got.Data["approved"] == true
+	return &RoundTripResult{Ack: nd.(*doc.PurchaseOrderAck), Approved: approved, Instance: got}, nil
+}

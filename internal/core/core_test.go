@@ -1,0 +1,559 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/metrics"
+	"repro/internal/transform"
+	"repro/internal/wf"
+)
+
+var (
+	tp1    = doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	tp2    = doc.Party{ID: "TP2", Name: "Trading Partner 2", DUNS: "222222222"}
+	tp3    = doc.Party{ID: "TP3", Name: "Trading Partner 3", DUNS: "333333333"}
+	seller = doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+)
+
+func newFig14Hub(t *testing.T) *Hub {
+	t.Helper()
+	m, err := PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHub(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestFig11PublicProcesses checks the public process shape: protocol
+// receive/send plus connection steps, nothing else — no transformations,
+// no business rules.
+func TestFig11PublicProcesses(t *testing.T) {
+	for _, p := range []formats.Format{formats.EDI, formats.RosettaNet, formats.OAGIS} {
+		def, err := BuildPublicProcess(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def.CountSteps() != 4 {
+			t.Fatalf("%s public process has %d steps", p, def.CountSteps())
+		}
+		for _, s := range def.Steps {
+			if strings.Contains(s.Name, "Transform") {
+				t.Fatalf("public process contains a transformation step %q", s.Name)
+			}
+		}
+		for _, a := range def.Arcs {
+			if a.Condition != "" {
+				t.Fatalf("public process contains a business rule condition %q", a.Condition)
+			}
+		}
+	}
+}
+
+// TestFig12BindingsContainTheTransformations checks that transformations
+// live in bindings and only in bindings.
+func TestFig12BindingsContainTheTransformations(t *testing.T) {
+	m, err := PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, b := range m.Bindings {
+		n := 0
+		for _, s := range b.Steps {
+			if strings.Contains(s.Name, "Transform") {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("binding %s has %d transformation steps, want 2", p, n)
+		}
+	}
+	// The private process has none.
+	for _, s := range m.Private.Steps {
+		if strings.Contains(s.Name, "Transform") {
+			t.Fatalf("private process contains transformation step %q", s.Name)
+		}
+	}
+}
+
+// TestFig13PrivateProcessIsPartnerIndependent checks the paper's central
+// design invariant: the private process mentions no partner, protocol,
+// backend or threshold anywhere.
+func TestFig13PrivateProcessIsPartnerIndependent(t *testing.T) {
+	def, err := BuildPrivateProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forbidden := []string{"TP1", "TP2", "TP3", "EDI", "RosettaNet", "OAGIS", "SAP", "Oracle", "55000", "40000"}
+	check := func(s string) {
+		for _, f := range forbidden {
+			if strings.Contains(s, f) {
+				t.Errorf("private process leaks %q in %q", f, s)
+			}
+		}
+	}
+	for _, s := range def.Steps {
+		check(s.Name)
+		check(s.Handler)
+		check(s.Port)
+	}
+	for _, a := range def.Arcs {
+		check(a.Condition)
+	}
+}
+
+// TestFig14EndToEnd drives both partners through the full advanced stack.
+func TestFig14EndToEnd(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	g := doc.NewGenerator(1)
+
+	// TP1 via EDI to SAP, above threshold.
+	po := g.POWithAmount(tp1, seller, 60000)
+	poa, ex, err := h.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID || poa.Status != doc.AckAccepted {
+		t.Fatalf("poa %+v", poa)
+	}
+	priv, err := h.PrivateInstance(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Data["needsApproval"] != true || priv.Data["approved"] != true {
+		t.Fatalf("approval not run: %v", priv.Data)
+	}
+	if priv.Data["ruleApplied"] != "approval TP1→SAP" {
+		t.Fatalf("rule %v", priv.Data["ruleApplied"])
+	}
+	if h.Systems["SAP"].StoredOrders() != 1 || h.Systems["Oracle"].StoredOrders() != 0 {
+		t.Fatal("order stored in wrong backend")
+	}
+
+	// TP2 via RosettaNet to Oracle, below threshold.
+	po2 := g.POWithAmount(tp2, seller, 1000)
+	poa2, ex2, err := h.RoundTrip(ctx, po2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa2.POID != po2.ID {
+		t.Fatal("wrong correlation")
+	}
+	priv2, err := h.PrivateInstance(ex2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv2.Data["needsApproval"] != false {
+		t.Fatal("1000 < 40000 should not need approval")
+	}
+	if priv2.StepStateOf("Approve PO") != wf.StepSkipped {
+		t.Fatalf("approve state %s", priv2.StepStateOf("Approve PO"))
+	}
+	if h.Systems["Oracle"].StoredOrders() != 1 {
+		t.Fatal("TP2 order not stored in Oracle")
+	}
+	// The exchange trace covers the full chain.
+	want := []string{"public → binding", "binding → private", "private → application binding",
+		"application binding → private", "private → binding", "binding → public", "public → network"}
+	joined := strings.Join(ex2.Trace, ";")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Fatalf("trace missing %q: %v", w, ex2.Trace)
+		}
+	}
+}
+
+// TestFig14WireLevel drives the EDI partner through the codec layer: wire
+// in, wire out.
+func TestFig14WireLevel(t *testing.T) {
+	h := newFig14Hub(t)
+	g := doc.NewGenerator(2)
+	po := g.POWithAmount(tp1, seller, 100)
+	reg := &transform.Registry{}
+	transform.RegisterAll(reg)
+	native, err := reg.FromNormalized(formats.EDI, doc.TypePO, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := NewCodecRegistry()
+	poCodec, err := codecs.Lookup(formats.EDI, doc.TypePO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := poCodec.Encode(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := h.ProcessInboundPO(context.Background(), formats.EDI, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poaCodec, err := codecs.Lookup(formats.EDI, doc.TypePOA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := poaCodec.Decode(out)
+	if err != nil {
+		t.Fatalf("outbound POA not valid EDI: %v\n%s", err, out)
+	}
+	nd, err := reg.ToNormalized(formats.EDI, doc.TypePOA, nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.(*doc.PurchaseOrderAck).POID != po.ID {
+		t.Fatal("wire-level round trip lost correlation")
+	}
+}
+
+// TestFig15AddThirdPartner applies the Figure 15 change to a live hub:
+// adding TP3 with a new protocol (OAGIS) adds one public process, one
+// binding and one rule — and the private process is untouched.
+func TestFig15AddThirdPartner(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+
+	before := h.Model.AllTypes()
+	beforeClones := make([]*wf.TypeDef, len(before))
+	for i, d := range before {
+		beforeClones[i] = d.Clone()
+	}
+
+	rec, err := h.AddPartner(Figure15Partner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Local || rec.PrivateTouched {
+		t.Fatalf("record %+v", rec)
+	}
+	if len(rec.TypesAdded) != 2 || rec.RulesAdded != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+
+	impact := metrics.Diff(beforeClones, h.Model.AllTypes())
+	if len(impact.Modified) != 0 {
+		t.Fatalf("existing types modified: %v", impact.Modified)
+	}
+	if len(impact.Added) != 2 {
+		t.Fatalf("added %v", impact.Added)
+	}
+	if impact.Untouched != len(beforeClones) {
+		t.Fatalf("untouched %d of %d", impact.Untouched, len(beforeClones))
+	}
+
+	// TP3 works end to end right away.
+	g := doc.NewGenerator(3)
+	po := g.POWithAmount(tp3, seller, 15000)
+	poa, ex, err := h.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.Status != doc.AckAccepted {
+		t.Fatalf("status %s", poa.Status)
+	}
+	priv, _ := h.PrivateInstance(ex)
+	if priv.Data["needsApproval"] != true {
+		t.Fatal("15000 >= 10000 should need approval for TP3")
+	}
+	// And existing partners still work.
+	if _, _, err := h.RoundTrip(ctx, g.POWithAmount(tp1, seller, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPartnerExistingProtocol(t *testing.T) {
+	h := newFig14Hub(t)
+	rec, err := h.AddPartner(TradingPartner{
+		ID: "TP4", Name: "Trading Partner 4", Protocol: formats.EDI,
+		Backend: "SAP", ApprovalThreshold: 70000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.TypesAdded) != 0 || rec.RulesAdded != 1 {
+		t.Fatalf("existing protocol should add no types: %+v", rec)
+	}
+	g := doc.NewGenerator(4)
+	po := g.POWithAmount(doc.Party{ID: "TP4", Name: "TP4", DUNS: "4"}, seller, 75000)
+	_, ex, err := h.RoundTrip(context.Background(), po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := h.PrivateInstance(ex)
+	if priv.Data["needsApproval"] != true {
+		t.Fatal("TP4 threshold not effective")
+	}
+}
+
+func TestUnknownPartnerRejected(t *testing.T) {
+	h := newFig14Hub(t)
+	g := doc.NewGenerator(5)
+	po := g.POWithAmount(doc.Party{ID: "GHOST", Name: "?"}, seller, 1)
+	if _, _, err := h.RoundTrip(context.Background(), po); !errors.Is(err, ErrUnknownPartner) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestProtocolMismatchRejected(t *testing.T) {
+	h := newFig14Hub(t)
+	g := doc.NewGenerator(6)
+	po := g.POWithAmount(tp1, seller, 1) // TP1 is an EDI partner
+	reg := &transform.Registry{}
+	transform.RegisterAll(reg)
+	native, err := reg.FromNormalized(formats.RosettaNet, doc.TypePO, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.processNative(context.Background(), formats.RosettaNet, native); err == nil {
+		t.Fatal("protocol mismatch accepted")
+	}
+}
+
+func TestChangeLocalityAudit(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	g := doc.NewGenerator(7)
+
+	rec, err := h.AddPrivateAuditStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Local || !rec.PrivateTouched {
+		t.Fatalf("record %+v", rec)
+	}
+	if len(rec.TypesModified) != 1 || rec.TypesModified[0] != PrivateProcessName {
+		t.Fatalf("record %+v", rec)
+	}
+	// Next exchange runs the audited private process.
+	po := g.POWithAmount(tp1, seller, 100)
+	_, ex, err := h.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := h.PrivateInstance(ex)
+	if priv.Data["audited"] != true {
+		t.Fatal("audit step did not run")
+	}
+	if priv.Version != 2 {
+		t.Fatalf("private version %d", priv.Version)
+	}
+}
+
+func TestChangeLocalityTransportAcks(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	g := doc.NewGenerator(8)
+	p1, _ := h.Model.PartnerByID("TP1")
+	rec, err := h.EnableTransportAcks(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Local || rec.PrivateTouched {
+		t.Fatalf("record %+v", rec)
+	}
+	// Exchanges still complete; the ack steps are internal to the public
+	// process.
+	po := g.POWithAmount(tp1, seller, 100)
+	poa, ex, err := h.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID {
+		t.Fatal("wrong correlation")
+	}
+	pub, err := h.Engine.Instance(ex.PublicID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Version != 2 {
+		t.Fatalf("public process version %d", pub.Version)
+	}
+	if pub.StepStateOf("Send transport ack") != wf.StepCompleted {
+		t.Fatal("transport ack step did not run")
+	}
+}
+
+func TestChangeThresholdIsRulesOnly(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	g := doc.NewGenerator(9)
+
+	before := h.Model.AllTypes()
+	clones := make([]*wf.TypeDef, len(before))
+	for i, d := range before {
+		clones[i] = d.Clone()
+	}
+	rec, err := h.Model.ChangePartnerThreshold("TP1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RulesAdded != 1 || rec.RulesRemoved != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+	impact := metrics.Diff(clones, h.Model.AllTypes())
+	if impact.TouchedTypes() != 0 {
+		t.Fatalf("rule change touched types: %+v", impact)
+	}
+	// The new threshold is live immediately — no redeployment needed.
+	po := g.POWithAmount(tp1, seller, 200)
+	_, ex, err := h.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := h.PrivateInstance(ex)
+	if priv.Data["needsApproval"] != true {
+		t.Fatal("lowered threshold not effective")
+	}
+}
+
+func TestRemovePartner(t *testing.T) {
+	h := newFig14Hub(t)
+	rec, err := h.Model.RemovePartner("TP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RulesRemoved != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+	g := doc.NewGenerator(10)
+	if _, _, err := h.RoundTrip(context.Background(), g.POWithAmount(tp1, seller, 1)); !errors.Is(err, ErrUnknownPartner) {
+		t.Fatalf("err %v", err)
+	}
+	if _, err := h.Model.RemovePartner("GHOST"); err == nil {
+		t.Fatal("unknown partner removed")
+	}
+}
+
+func TestAddBackendLive(t *testing.T) {
+	m, err := BuildModel(
+		[]TradingPartner{{ID: "TP1", Name: "T", Protocol: formats.EDI, Backend: "SAP", ApprovalThreshold: 55000}},
+		[]Backend{{Name: "SAP", Format: formats.SAPIDoc}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHub(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := h.AddBackend(Backend{Name: "Oracle", Format: formats.OracleOIF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.TypesAdded) != 1 || rec.TypesAdded[0] != AppBindingName("Oracle") {
+		t.Fatalf("record %+v", rec)
+	}
+	// A partner targeting the new backend works.
+	if _, err := h.AddPartner(TradingPartner{
+		ID: "TP2", Name: "T2", Protocol: formats.EDI, Backend: "Oracle", ApprovalThreshold: 40000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := doc.NewGenerator(11)
+	po := g.POWithAmount(doc.Party{ID: "TP2", Name: "T2", DUNS: "2"}, seller, 10)
+	if _, _, err := h.RoundTrip(context.Background(), po); err != nil {
+		t.Fatal(err)
+	}
+	if h.Systems["Oracle"].StoredOrders() != 1 {
+		t.Fatal("order not stored in new backend")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := BuildModel(
+		[]TradingPartner{{ID: "TP1", Protocol: formats.EDI, Backend: "ghost"}},
+		[]Backend{{Name: "SAP", Format: formats.SAPIDoc}},
+	); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := BuildModel(
+		[]TradingPartner{
+			{ID: "TP1", Protocol: formats.EDI, Backend: "SAP"},
+			{ID: "TP1", Protocol: formats.EDI, Backend: "SAP"},
+		},
+		[]Backend{{Name: "SAP", Format: formats.SAPIDoc}},
+	); err == nil {
+		t.Fatal("duplicate partner accepted")
+	}
+	if _, err := BuildModel(nil, []Backend{{Name: "SAP"}}); err == nil {
+		t.Fatal("incomplete backend accepted")
+	}
+}
+
+// TestModelGrowthIsAdditive is the Section 4.6 shape at the model level.
+func TestModelGrowthIsAdditive(t *testing.T) {
+	m2, err := PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := metrics.StatsOf(m2.AllTypes())
+
+	m3, err := PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.AddPartner(Figure15Partner()); err != nil {
+		t.Fatal(err)
+	}
+	st3 := metrics.StatsOf(m3.AllTypes())
+
+	// One more protocol adds exactly one public process (4 steps) and one
+	// binding (6 steps).
+	if st3.Types != st2.Types+2 {
+		t.Fatalf("types %d → %d", st2.Types, st3.Types)
+	}
+	if st3.Steps != st2.Steps+10 {
+		t.Fatalf("steps %d → %d", st2.Steps, st3.Steps)
+	}
+	// Condition terms stay constant: thresholds live in rules, not types.
+	if st3.ConditionTerms != st2.ConditionTerms {
+		t.Fatalf("condition terms changed %d → %d", st2.ConditionTerms, st3.ConditionTerms)
+	}
+}
+
+func TestHubStats(t *testing.T) {
+	h := newFig14Hub(t)
+	if _, err := h.EnableInvoicing(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := doc.NewGenerator(20)
+	po := g.PO(tp1, seller)
+	if _, _, err := h.RoundTrip(ctx, po); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.RoundTrip(ctx, g.PO(tp2, seller)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.SendInvoice(ctx, "TP1", po.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.Exchanges != 2 || st.Invoices != 1 || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.PerPartner["TP1"] != 2 || st.PerPartner["TP2"] != 1 {
+		t.Fatalf("per-partner %+v", st.PerPartner)
+	}
+	// A failed invoice (unbilled order) counts as failed.
+	if _, _, err := h.SendInvoice(ctx, "TP1", "PO-NOPE"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if st := h.Stats(); st.Failed != 1 {
+		t.Fatalf("failed %d", st.Failed)
+	}
+	// Snapshot is a copy: mutating it does not affect the hub.
+	snap := h.Stats()
+	snap.PerPartner["TP1"] = 999
+	if h.Stats().PerPartner["TP1"] == 999 {
+		t.Fatal("Stats returned shared map")
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/wf"
+)
+
+// ErrUnknownPartner is returned for documents from unregistered partners.
+var ErrUnknownPartner = fmt.Errorf("core: unknown trading partner")
+
+// ProcessInboundPO drives one inbound purchase order (wire bytes in the
+// given B2B protocol) through the full chain and returns the outbound POA
+// wire bytes plus the completed exchange record.
+func (h *Hub) ProcessInboundPO(ctx context.Context, protocol formats.Format, wire []byte) ([]byte, *Exchange, error) {
+	poCodec, err := h.codecs.Lookup(protocol, doc.TypePO)
+	if err != nil {
+		return nil, nil, err
+	}
+	native, err := poCodec.Decode(wire)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: inbound %s PO: %w", protocol, err)
+	}
+	ex, err := h.processNative(ctx, protocol, native)
+	if err != nil {
+		return nil, ex, err
+	}
+	poaCodec, err := h.codecs.Lookup(protocol, doc.TypePOA)
+	if err != nil {
+		return nil, ex, err
+	}
+	out, err := poaCodec.Encode(ex.Outbound)
+	if err != nil {
+		return nil, ex, fmt.Errorf("core: outbound %s POA: %w", protocol, err)
+	}
+	return out, ex, nil
+}
+
+// RoundTrip is the normalized-document convenience: it encodes the PO in
+// the buyer's registered protocol, processes it, and decodes the returned
+// POA back to the normalized model.
+func (h *Hub) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.PurchaseOrderAck, *Exchange, error) {
+	partner, ok := h.Model.PartnerByID(po.Buyer.ID)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, po.Buyer.ID)
+	}
+	native, err := h.reg.FromNormalized(partner.Protocol, doc.TypePO, po)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex, err := h.processNative(ctx, partner.Protocol, native)
+	if err != nil {
+		return nil, ex, err
+	}
+	nd, err := h.reg.ToNormalized(partner.Protocol, doc.TypePOA, ex.Outbound)
+	if err != nil {
+		return nil, ex, err
+	}
+	return nd.(*doc.PurchaseOrderAck), ex, nil
+}
+
+// processNative runs the chain for a decoded native PO.
+func (h *Hub) processNative(ctx context.Context, protocol formats.Format, native any) (*Exchange, error) {
+	// Identify the sending partner from the document itself (buyer ID).
+	nd, err := h.reg.ToNormalized(protocol, doc.TypePO, native)
+	if err != nil {
+		return nil, err
+	}
+	po := nd.(*doc.PurchaseOrder)
+	partner, ok := h.Model.PartnerByID(po.Buyer.ID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPartner, po.Buyer.ID)
+	}
+	if partner.Protocol != protocol {
+		return nil, fmt.Errorf("core: partner %s is registered for %s, not %s", partner.ID, partner.Protocol, protocol)
+	}
+
+	h.mu.Lock()
+	h.exchSeq++
+	ex := &Exchange{
+		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
+		Partner:  partner,
+		Protocol: protocol,
+		Backend:  partner.Backend,
+	}
+	h.exchanges[ex.ID] = ex
+	h.mu.Unlock()
+
+	// Start the public process; it parks on its receive step.
+	pub, err := h.Engine.Start(ctx, PublicProcessName(protocol), h.exchangeData(ex))
+	if err != nil {
+		return ex, err
+	}
+	ex.PublicID = pub.ID
+	h.trace(ex, "public process "+pub.ID+" started")
+	if err := h.Engine.Deliver(ctx, pub.ID, PortPublicIn, native); err != nil {
+		h.count(partner.ID, false, true)
+		return ex, err
+	}
+	if err := h.pump(ctx, ex); err != nil {
+		h.count(partner.ID, false, true)
+		return ex, err
+	}
+	h.mu.Lock()
+	done := ex.Outbound != nil
+	h.mu.Unlock()
+	if !done {
+		got, _ := h.Engine.Instance(pub.ID)
+		h.count(partner.ID, false, true)
+		return ex, fmt.Errorf("core: exchange %s produced no outbound document (public instance: %s)", ex.ID, got.Summary())
+	}
+	h.count(partner.ID, false, false)
+	return ex, nil
+}
+
+// trace appends a routing hop under the hub lock (exchanges of concurrent
+// inbound messages share the hub's routing queue).
+func (h *Hub) trace(ex *Exchange, hop string) {
+	h.mu.Lock()
+	ex.Trace = append(ex.Trace, hop)
+	h.mu.Unlock()
+}
+
+// exchangeData is the instance data every process instance of an exchange
+// starts with: the exchange ID plus the rule parameters source and target.
+func (h *Hub) exchangeData(ex *Exchange) map[string]any {
+	return map[string]any{
+		"exchange": ex.ID,
+		"source":   ex.Partner.ID,
+		"target":   ex.Backend,
+		"protocol": string(ex.Protocol),
+	}
+}
+
+// pump drains the exchange's routing queue: each task either starts the
+// next process of the chain (lazily) and delivers the payload to it, or
+// delivers the payload back to an upstream process waiting on a reply
+// port. Only the goroutine driving the exchange pumps its queue.
+func (h *Hub) pump(ctx context.Context, ex *Exchange) error {
+	for {
+		t, ok := h.dequeue(ex)
+		if !ok {
+			return nil
+		}
+		if err := h.route(ctx, ex, t); err != nil {
+			return fmt.Errorf("core: exchange %s, port %s: %w", ex.ID, t.port, err)
+		}
+	}
+}
+
+func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
+	switch t.port {
+	case PortPublicToBinding:
+		id, err := h.ensureInstance(ctx, &ex.BindingID, BindingName(ex.Protocol), ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "public → binding")
+		return h.Engine.Deliver(ctx, id, PortBindingFromPublic, t.payload)
+
+	case PortBindingToPrivate:
+		id, err := h.ensureInstance(ctx, &ex.PrivateID, PrivateProcessName, ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "binding → private")
+		return h.Engine.Deliver(ctx, id, PortPrivateIn, t.payload)
+
+	case PortPrivateToApp:
+		id, err := h.ensureInstance(ctx, &ex.AppID, AppBindingName(ex.Backend), ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "private → application binding")
+		return h.Engine.Deliver(ctx, id, PortAppIn, t.payload)
+
+	case PortAppOut:
+		h.trace(ex, "application binding → private")
+		return h.Engine.Deliver(ctx, ex.PrivateID, PortPrivateFromApp, t.payload)
+
+	case PortPrivateOut:
+		h.trace(ex, "private → binding")
+		return h.Engine.Deliver(ctx, ex.BindingID, PortBindingFromPrivate, t.payload)
+
+	case PortBindingToPublic:
+		h.trace(ex, "binding → public")
+		return h.Engine.Deliver(ctx, ex.PublicID, PortPublicFromBinding, t.payload)
+
+	case PortPublicOut:
+		h.mu.Lock()
+		ex.Trace = append(ex.Trace, "public → network")
+		ex.Outbound = t.payload
+		h.mu.Unlock()
+		return nil
+
+	case PortInvAppOut:
+		id, err := h.ensureInstance(ctx, &ex.PrivateID, InvoicePrivateProcessName, ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "application binding → invoice private process")
+		return h.Engine.Deliver(ctx, id, PortInvPrivIn, t.payload)
+
+	case PortInvPrivOut:
+		id, err := h.ensureInstance(ctx, &ex.BindingID, InvoiceBindingName(ex.Protocol), ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "invoice private process → binding")
+		return h.Engine.Deliver(ctx, id, PortInvBindIn, t.payload)
+
+	case PortInvBindOut:
+		id, err := h.ensureInstance(ctx, &ex.PublicID, InvoicePublicProcessName(ex.Protocol), ex)
+		if err != nil {
+			return err
+		}
+		h.trace(ex, "invoice binding → public")
+		return h.Engine.Deliver(ctx, id, PortInvPubIn, t.payload)
+
+	case PortPublicSignal:
+		h.mu.Lock()
+		ex.Trace = append(ex.Trace, "public → network (protocol signal)")
+		ex.Signals = append(ex.Signals, t.payload)
+		h.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("core: unrouteable port %q", t.port)
+}
+
+// ensureInstance starts the named process for the exchange once and caches
+// its instance ID.
+func (h *Hub) ensureInstance(ctx context.Context, slot *string, typeName string, ex *Exchange) (string, error) {
+	if *slot != "" {
+		return *slot, nil
+	}
+	in, err := h.Engine.Start(ctx, typeName, h.exchangeData(ex))
+	if err != nil {
+		return "", err
+	}
+	*slot = in.ID
+	return in.ID, nil
+}
+
+// ExchangeByID returns a completed exchange record.
+func (h *Hub) ExchangeByID(id string) (*Exchange, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ex, ok := h.exchanges[id]
+	return ex, ok
+}
+
+// PrivateInstance loads the private process instance of an exchange (tests
+// inspect approval state through it).
+func (h *Hub) PrivateInstance(ex *Exchange) (*wf.Instance, error) {
+	if ex.PrivateID == "" {
+		return nil, fmt.Errorf("core: exchange %s has no private instance", ex.ID)
+	}
+	return h.Engine.Instance(ex.PrivateID)
+}

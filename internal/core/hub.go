@@ -1,0 +1,455 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+	"repro/internal/formats/oagis"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/rosettanet"
+	"repro/internal/formats/sapidoc"
+	"repro/internal/transform"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+// Exchange is the runtime state of one inbound message's journey through
+// the process chain: one instance each of the public process, the binding,
+// the private process and the application binding, plus the outbound
+// result.
+type Exchange struct {
+	ID       string
+	Partner  TradingPartner
+	Protocol formats.Format
+	Backend  string
+
+	PublicID  string
+	BindingID string
+	PrivateID string
+	AppID     string
+
+	// Outbound holds the native response document captured at the public
+	// process's send step.
+	Outbound any
+	// Signals holds protocol-level acknowledgment documents (e.g. EDI 997
+	// functional acks) the public process emitted before the response.
+	Signals []any
+	// Trace records the routing hops for inspection.
+	Trace []string
+
+	// queue holds this exchange's pending routing hops. Queues are
+	// per-exchange so that a hop is only executed by the goroutine driving
+	// this exchange, strictly after the engine call that enqueued it
+	// returned — hops of concurrent exchanges never interleave within one
+	// instance.
+	queue []routeTask
+}
+
+// routeTask is one queued hop between process instances.
+type routeTask struct {
+	exchangeID string
+	port       string
+	payload    any
+}
+
+// Hub is the integration engine runtime: it hosts the model's workflow
+// types on one engine, evaluates business rules through the external
+// registry, talks to the back-end systems, and routes documents through
+// public process → binding → private process → application binding and
+// back (Figure 14).
+type Hub struct {
+	Model  *Model
+	Engine *wf.Engine
+	// Systems maps backend name to the simulated ERP.
+	Systems map[string]backend.System
+
+	reg    *transform.Registry
+	codecs *formats.Registry
+
+	mu        sync.Mutex
+	exchanges map[string]*Exchange
+	exchSeq   int
+	stats     HubStats
+
+	// appHandlersFor registers the app-binding handlers for one backend;
+	// kept so the change manager can wire backends added after startup.
+	appHandlersFor func(backendName string)
+	handlerReg     *wf.Handlers
+}
+
+// HubStats counts the hub's activity since startup.
+type HubStats struct {
+	// Exchanges counts inbound PO exchanges; Invoices counts outbound
+	// one-way invoice exchanges.
+	Exchanges int
+	Invoices  int
+	// Failed counts exchanges of either kind that ended in error.
+	Failed int
+	// PerPartner counts exchanges by trading partner.
+	PerPartner map[string]int
+}
+
+// Stats returns a snapshot of the hub's activity counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := h.stats
+	cp.PerPartner = make(map[string]int, len(h.stats.PerPartner))
+	for k, v := range h.stats.PerPartner {
+		cp.PerPartner[k] = v
+	}
+	return cp
+}
+
+func (h *Hub) count(partnerID string, invoice bool, failed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stats.PerPartner == nil {
+		h.stats.PerPartner = map[string]int{}
+	}
+	if invoice {
+		h.stats.Invoices++
+	} else {
+		h.stats.Exchanges++
+	}
+	if failed {
+		h.stats.Failed++
+	}
+	h.stats.PerPartner[partnerID]++
+}
+
+// NewCodecRegistry builds a codec registry covering every concrete format.
+func NewCodecRegistry() *formats.Registry {
+	r := &formats.Registry{}
+	r.Register(edi.POCodec{})
+	r.Register(edi.POACodec{})
+	r.Register(edi.FACodec{})
+	r.Register(rosettanet.POCodec{})
+	r.Register(rosettanet.POACodec{})
+	r.Register(oagis.POCodec{})
+	r.Register(oagis.POACodec{})
+	r.Register(sapidoc.POCodec{})
+	r.Register(sapidoc.POACodec{})
+	r.Register(oracleoif.POCodec{})
+	r.Register(oracleoif.POACodec{})
+	r.Register(edi.INVCodec{})
+	r.Register(rosettanet.INVCodec{})
+	r.Register(oagis.INVCodec{})
+	r.Register(sapidoc.INVCodec{})
+	r.Register(oracleoif.INVCodec{})
+	return r
+}
+
+// NewHub deploys the model onto a fresh engine with simulated back ends.
+func NewHub(m *Model) (*Hub, error) {
+	h := &Hub{
+		Model:     m,
+		Systems:   map[string]backend.System{},
+		reg:       &transform.Registry{},
+		codecs:    NewCodecRegistry(),
+		exchanges: map[string]*Exchange{},
+	}
+	transform.RegisterAll(h.reg)
+	for _, b := range m.Backends {
+		sys, err := newSystem(b)
+		if err != nil {
+			return nil, err
+		}
+		h.Systems[b.Name] = sys
+	}
+	handlers := wf.NewHandlers()
+	h.registerHandlers(handlers)
+	h.Engine = wf.NewEngine("hub", wfstore.NewMemStore(), handlers, h.portFunc)
+	for _, t := range m.AllTypes() {
+		if err := h.Engine.Deploy(t); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func newSystem(b Backend) (backend.System, error) {
+	switch b.Format {
+	case formats.SAPIDoc:
+		return backend.NewSAP(b.Name, nil), nil
+	case formats.OracleOIF:
+		return backend.NewOracle(b.Name, nil), nil
+	}
+	return nil, fmt.Errorf("core: backend format %s is not executable", b.Format)
+}
+
+// DeployBackend adds a backend system created after hub construction (used
+// by the change manager when a backend is added at runtime).
+func (h *Hub) DeployBackend(b Backend) error {
+	sys, err := newSystem(b)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.Systems[b.Name] = sys
+	h.mu.Unlock()
+	ab, ok := h.Model.AppBindings[b.Name]
+	if !ok {
+		return fmt.Errorf("core: model has no app binding for %q", b.Name)
+	}
+	h.appHandlersFor(b.Name)
+	return h.Engine.Deploy(ab)
+}
+
+// registerHandlers registers the generic handler set. Note what is NOT
+// here: no per-partner logic. Transform handlers are parameterized per
+// protocol and per backend because transformations belong to bindings;
+// rule evaluation goes through the external registry.
+func (h *Hub) registerHandlers(reg *wf.Handlers) {
+	for _, p := range []formats.Format{formats.EDI, formats.RosettaNet, formats.OAGIS} {
+		p := p
+		reg.Register("bind-xform-in:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			nd, err := h.reg.ToNormalized(p, doc.TypePO, in.Document())
+			if err != nil {
+				return err
+			}
+			in.SetDocument(nd)
+			return nil
+		})
+		reg.Register("bind-xform-out:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			native, err := h.reg.FromNormalized(p, doc.TypePOA, in.Document())
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+		reg.Register("bind-inv-xform:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			native, err := h.reg.FromNormalized(p, doc.TypeINV, in.Document())
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+	}
+	reg.Register("rule:"+ApprovalRuleSet, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		source, _ := in.Data["source"].(string)
+		target, _ := in.Data["target"].(string)
+		decision, err := h.Model.Rules.Evaluate(ApprovalRuleSet, source, target, in.Document())
+		if err != nil {
+			return err
+		}
+		in.Data["needsApproval"] = decision.Result
+		in.Data["ruleApplied"] = decision.Rule
+		return nil
+	})
+	reg.Register("rule:"+InvoiceReviewRuleSet, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		source, _ := in.Data["source"].(string)
+		target, _ := in.Data["target"].(string)
+		decision, err := h.Model.Rules.Evaluate(InvoiceReviewRuleSet, source, target, in.Document())
+		if err != nil {
+			return err
+		}
+		in.Data["reviewNeeded"] = decision.Result
+		in.Data["ruleApplied"] = decision.Rule
+		return nil
+	})
+	reg.Register("review", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["reviewed"] = true
+		return nil
+	})
+	reg.Register("approve", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["approved"] = true
+		return nil
+	})
+	reg.Register("audit", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data["audited"] = true
+		return nil
+	})
+	reg.Register("transport-ack", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		return nil // acknowledged at the messaging layer; modeled as a step
+	})
+	reg.Register("produce-997", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		po, ok := in.Document().(*edi.PO850)
+		if !ok {
+			return fmt.Errorf("core: produce-997 expects an *edi.PO850, got %T", in.Document())
+		}
+		in.Data["signal"] = &edi.FA997{
+			SenderID:   po.ReceiverID,
+			ReceiverID: po.SenderID,
+			Control:    po.Control + 1,
+			AckNumber:  fmt.Sprintf("997-%09d", po.Control),
+			RefGroupID: "PO",
+			RefControl: po.Control,
+			Accepted:   true,
+			Date:       po.Date,
+		}
+		return nil
+	})
+	h.registerAppHandlers(reg)
+}
+
+// registerAppHandlers wires the application-binding handlers. They resolve
+// the backend system at execution time so backends added later work too.
+func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
+	register := func(name string, fn wf.Handler) { reg.Register(name, fn) }
+	appHandlersFor := func(bName string) {
+		register("app-xform-in:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			b, ok := h.Model.BackendByName(bName)
+			if !ok {
+				return fmt.Errorf("core: unknown backend %q", bName)
+			}
+			po, ok := in.Document().(*doc.PurchaseOrder)
+			if !ok {
+				return fmt.Errorf("core: app binding expects a normalized PO, got %T", in.Document())
+			}
+			in.Data["poid"] = po.ID
+			native, err := h.reg.FromNormalized(b.Format, doc.TypePO, po)
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+		register("app-store:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			b, _ := h.Model.BackendByName(bName)
+			codec, err := h.codecs.Lookup(b.Format, doc.TypePO)
+			if err != nil {
+				return err
+			}
+			wire, err := codec.Encode(in.Document())
+			if err != nil {
+				return err
+			}
+			sys, ok := h.system(bName)
+			if !ok {
+				return fmt.Errorf("core: no system deployed for backend %q", bName)
+			}
+			return sys.Submit(wire)
+		})
+		register("app-extract:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			sys, ok := h.system(bName)
+			if !ok {
+				return fmt.Errorf("core: no system deployed for backend %q", bName)
+			}
+			poID, _ := in.Data["poid"].(string)
+			if poID == "" {
+				return fmt.Errorf("core: app binding lost the order identifier")
+			}
+			if _, err := sys.Process(); err != nil {
+				return err
+			}
+			// Extract this exchange's acknowledgment specifically:
+			// concurrent exchanges share the back end.
+			wire, ok2, err := sys.ExtractByPO(poID)
+			if err != nil {
+				return err
+			}
+			if !ok2 {
+				return fmt.Errorf("core: backend %s produced no acknowledgment for %s", bName, poID)
+			}
+			b, _ := h.Model.BackendByName(bName)
+			codec, err := h.codecs.Lookup(b.Format, doc.TypePOA)
+			if err != nil {
+				return err
+			}
+			native, err := codec.Decode(wire)
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+		register("app-xform-out:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			b, _ := h.Model.BackendByName(bName)
+			nd, err := h.reg.ToNormalized(b.Format, doc.TypePOA, in.Document())
+			if err != nil {
+				return err
+			}
+			in.SetDocument(nd)
+			return nil
+		})
+		register("app-inv-extract:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			sys, ok := h.system(bName)
+			if !ok {
+				return fmt.Errorf("core: no system deployed for backend %q", bName)
+			}
+			poID, _ := in.Data["poid"].(string)
+			if poID == "" {
+				return fmt.Errorf("core: invoice extraction requires the order identifier")
+			}
+			wire, ok2, err := sys.ExtractInvoiceByPO(poID)
+			if err != nil {
+				return err
+			}
+			if !ok2 {
+				return fmt.Errorf("core: backend %s has no billing document for %s", bName, poID)
+			}
+			b, _ := h.Model.BackendByName(bName)
+			codec, err := h.codecs.Lookup(b.Format, doc.TypeINV)
+			if err != nil {
+				return err
+			}
+			native, err := codec.Decode(wire)
+			if err != nil {
+				return err
+			}
+			in.SetDocument(native)
+			return nil
+		})
+		register("app-inv-xform:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			b, _ := h.Model.BackendByName(bName)
+			nd, err := h.reg.ToNormalized(b.Format, doc.TypeINV, in.Document())
+			if err != nil {
+				return err
+			}
+			in.SetDocument(nd)
+			return nil
+		})
+	}
+	for _, b := range h.Model.Backends {
+		appHandlersFor(b.Name)
+	}
+	// Allow later-added backends: expose for the change manager.
+	h.appHandlersFor = appHandlersFor
+	h.handlerReg = reg
+}
+
+// portFunc enqueues routing work onto the owning exchange's queue; the
+// exchange's pump drains it between engine calls (never re-entering an
+// instance that is still advancing).
+func (h *Hub) portFunc(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+	exID, _ := in.Data["exchange"].(string)
+	if exID == "" {
+		return fmt.Errorf("core: instance %s has no exchange context", in.ID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ex, ok := h.exchanges[exID]
+	if !ok {
+		return fmt.Errorf("core: instance %s references unknown exchange %q", in.ID, exID)
+	}
+	ex.queue = append(ex.queue, routeTask{exchangeID: exID, port: s.Port, payload: payload})
+	return nil
+}
+
+// system looks a backend system up under the hub lock (backends can be
+// deployed while exchanges run).
+func (h *Hub) system(name string) (backend.System, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sys, ok := h.Systems[name]
+	return sys, ok
+}
+
+func (h *Hub) dequeue(ex *Exchange) (routeTask, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(ex.queue) == 0 {
+		return routeTask{}, false
+	}
+	t := ex.queue[0]
+	ex.queue = ex.queue[1:]
+	return t, true
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/rules"
+	"repro/internal/wf"
+)
+
+// The invoice flow is the paper's "one-way messages" pattern running in
+// the outbound direction: the back end bills a fulfilled order, the
+// invoice travels application binding → private process → binding →
+// public process → partner, and no response comes back. Enabling it is
+// Section 4.6's "adding a new private process" case: new artifacts are
+// added (one private process, one binding and one public process per
+// protocol, one application binding per back end, one business rule per
+// partner) and nothing existing is modified.
+
+// Invoice flow port names.
+const (
+	PortInvAppOut  = "inv.app.out"
+	PortInvPrivIn  = "inv.priv.in"
+	PortInvPrivOut = "inv.priv.out"
+	PortInvBindIn  = "inv.bind.in"
+	PortInvBindOut = "inv.bind.out"
+	PortInvPubIn   = "inv.pub.in"
+)
+
+// Invoice flow type names.
+func InvoicePublicProcessName(p formats.Format) string { return "public-inv:" + string(p) }
+func InvoiceBindingName(p formats.Format) string       { return "binding-inv:" + string(p) }
+func InvoiceAppBindingName(backend string) string      { return "appbinding-inv:" + backend }
+
+// InvoicePrivateProcessName is the invoice-dispatch private process: like
+// the PO private process it is free of partner/protocol/backend
+// identifiers.
+const InvoicePrivateProcessName = "private:invoice-dispatch"
+
+// InvoiceReviewRuleSet is the rule set the invoice private process binds to.
+const InvoiceReviewRuleSet = "check-invoice-review"
+
+// BuildInvoiceAppBinding generates the application binding that extracts a
+// billing document from the back end and normalizes it.
+func BuildInvoiceAppBinding(b Backend) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: InvoiceAppBindingName(b.Name), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: fmt.Sprintf("Extract %s Invoice", b.Name), Kind: wf.StepTask, Handler: "app-inv-extract:" + b.Name},
+			{Name: "Transform to normalized Invoice", Kind: wf.StepTask, Handler: "app-inv-xform:" + b.Name},
+			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortInvAppOut},
+		},
+		Arcs: []wf.Arc{
+			{From: fmt.Sprintf("Extract %s Invoice", b.Name), To: "Transform to normalized Invoice"},
+			{From: "Transform to normalized Invoice", To: "To private"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildInvoicePrivateProcess generates the invoice-dispatch private
+// process: receive the normalized invoice, consult the external review
+// rule, optionally review, pass on.
+func BuildInvoicePrivateProcess() (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: InvoicePrivateProcessName, Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From application", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortInvPrivIn, DataKey: "document"},
+			{Name: "Check invoice review", Kind: wf.StepTask, Handler: "rule:" + InvoiceReviewRuleSet},
+			{Name: "Review invoice", Kind: wf.StepTask, Handler: "review"},
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortInvPrivOut, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "From application", To: "Check invoice review"},
+			{From: "Check invoice review", To: "Review invoice", Condition: "reviewNeeded == true"},
+			{From: "Check invoice review", To: "To binding", Condition: "reviewNeeded == false"},
+			{From: "Review invoice", To: "To binding"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildInvoiceBinding generates the protocol binding of the invoice flow:
+// normalized → protocol-native transformation.
+func BuildInvoiceBinding(p formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: InvoiceBindingName(p), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortInvBindIn, DataKey: "document"},
+			{Name: fmt.Sprintf("Transform to %s Invoice", p), Kind: wf.StepTask, Handler: "bind-inv-xform:" + string(p)},
+			{Name: "To public", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortInvBindOut},
+		},
+		Arcs: []wf.Arc{
+			{From: "From private", To: fmt.Sprintf("Transform to %s Invoice", p)},
+			{From: fmt.Sprintf("Transform to %s Invoice", p), To: "To public"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildInvoicePublicProcess generates the one-way public process: send the
+// protocol-native invoice; no response step exists.
+func BuildInvoicePublicProcess(p formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: InvoicePublicProcessName(p), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortInvPubIn, DataKey: "document"},
+			{Name: fmt.Sprintf("Send %s Invoice", p), Kind: wf.StepSend, Port: PortPublicOut, Message: "Invoice"},
+		},
+		Arcs: []wf.Arc{
+			{From: "From binding", To: fmt.Sprintf("Send %s Invoice", p)},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EnableInvoicing adds the invoice flow to the model: the Section 4.6
+// "adding a new private process" change. Existing artifacts are untouched.
+func (m *Model) EnableInvoicing() (*ChangeRecord, error) {
+	if m.InvoicePrivate != nil {
+		return nil, fmt.Errorf("core: invoicing already enabled")
+	}
+	rec := &ChangeRecord{Description: "enable invoice dispatch (new private process)", Local: true}
+	priv, err := BuildInvoicePrivateProcess()
+	if err != nil {
+		return nil, err
+	}
+	m.InvoicePrivate = priv
+	rec.TypesAdded = append(rec.TypesAdded, InvoicePrivateProcessName)
+	m.InvoicePublic = map[formats.Format]*wf.TypeDef{}
+	m.InvoiceBindings = map[formats.Format]*wf.TypeDef{}
+	m.InvoiceAppBindings = map[string]*wf.TypeDef{}
+	for _, p := range m.Protocols() {
+		pub, err := BuildInvoicePublicProcess(p)
+		if err != nil {
+			return nil, err
+		}
+		bind, err := BuildInvoiceBinding(p)
+		if err != nil {
+			return nil, err
+		}
+		m.InvoicePublic[p] = pub
+		m.InvoiceBindings[p] = bind
+		rec.TypesAdded = append(rec.TypesAdded, pub.Name, bind.Name)
+	}
+	for _, b := range m.Backends {
+		ab, err := BuildInvoiceAppBinding(b)
+		if err != nil {
+			return nil, err
+		}
+		m.InvoiceAppBindings[b.Name] = ab
+		rec.TypesAdded = append(rec.TypesAdded, ab.Name)
+	}
+	// The new private process brings its business rules: one review rule
+	// per partner, reusing the partner's threshold.
+	set := m.Rules.Set(InvoiceReviewRuleSet)
+	for _, p := range m.Partners {
+		if err := set.Add(rules.Rule{
+			Name:      fmt.Sprintf("invoice review %s→%s", p.ID, p.Backend),
+			Source:    p.ID,
+			Target:    p.Backend,
+			DocType:   doc.TypeINV,
+			Condition: fmt.Sprintf("document.amount >= %v", p.ApprovalThreshold),
+		}); err != nil {
+			return nil, err
+		}
+		rec.RulesAdded++
+	}
+	return rec, nil
+}
+
+// EnableInvoicing applies the model change and deploys the new types.
+func (h *Hub) EnableInvoicing() (*ChangeRecord, error) {
+	rec, err := h.Model.EnableInvoicing()
+	if err != nil {
+		return nil, err
+	}
+	deploy := []*wf.TypeDef{h.Model.InvoicePrivate}
+	for _, t := range h.Model.InvoicePublic {
+		deploy = append(deploy, t)
+	}
+	for _, t := range h.Model.InvoiceBindings {
+		deploy = append(deploy, t)
+	}
+	for _, t := range h.Model.InvoiceAppBindings {
+		deploy = append(deploy, t)
+	}
+	for _, t := range deploy {
+		if err := h.Engine.Deploy(t); err != nil {
+			return rec, err
+		}
+	}
+	return rec, nil
+}
+
+// SendInvoice runs the outbound invoice flow for a fulfilled order: it
+// extracts the billing document from the partner's back end, drives it
+// through the invoice chain and returns the protocol-native wire bytes
+// ready to transmit, plus the exchange record.
+func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, *Exchange, error) {
+	if h.Model.InvoicePrivate == nil {
+		return nil, nil, fmt.Errorf("core: invoicing is not enabled")
+	}
+	partner, ok := h.Model.PartnerByID(partnerID)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, partnerID)
+	}
+	h.mu.Lock()
+	h.exchSeq++
+	ex := &Exchange{
+		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
+		Partner:  partner,
+		Protocol: partner.Protocol,
+		Backend:  partner.Backend,
+	}
+	h.exchanges[ex.ID] = ex
+	h.mu.Unlock()
+
+	data := h.exchangeData(ex)
+	data["poid"] = poID
+	app, err := h.Engine.Start(ctx, InvoiceAppBindingName(partner.Backend), data)
+	if err != nil {
+		h.count(partner.ID, true, true)
+		return nil, ex, err
+	}
+	ex.AppID = app.ID
+	h.trace(ex, "invoice flow started from application binding "+app.ID)
+	if err := h.pump(ctx, ex); err != nil {
+		h.count(partner.ID, true, true)
+		return nil, ex, err
+	}
+	h.mu.Lock()
+	outbound := ex.Outbound
+	h.mu.Unlock()
+	if outbound == nil {
+		h.count(partner.ID, true, true)
+		return nil, ex, fmt.Errorf("core: invoice exchange %s produced no outbound document", ex.ID)
+	}
+	h.count(partner.ID, true, false)
+	codec, err := h.codecs.Lookup(partner.Protocol, doc.TypeINV)
+	if err != nil {
+		return nil, ex, err
+	}
+	wire, err := codec.Encode(outbound)
+	if err != nil {
+		return nil, ex, err
+	}
+	return wire, ex, nil
+}

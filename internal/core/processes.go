@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/wf"
+)
+
+// Port names of the process chain. Within one exchange the hub routes each
+// outbound connection port to the next process's inbound port.
+const (
+	PortPublicIn          = "pub.in"           // network → public process
+	PortPublicToBinding   = "pub.to-binding"   // public → binding
+	PortPublicFromBinding = "pub.from-binding" // binding → public
+	PortPublicOut         = "pub.out"          // public process → network
+	PortPublicSignal      = "pub.signal"       // public process → network (protocol signal)
+
+	PortBindingFromPublic  = "bind.from-public"
+	PortBindingToPrivate   = "bind.to-private"
+	PortBindingFromPrivate = "bind.from-private"
+	PortBindingToPublic    = "bind.to-public"
+
+	PortPrivateIn      = "priv.in"
+	PortPrivateToApp   = "priv.to-app"
+	PortPrivateFromApp = "priv.from-app"
+	PortPrivateOut     = "priv.out"
+
+	PortAppIn  = "app.in"
+	PortAppOut = "app.out"
+)
+
+// Type-name helpers.
+func PublicProcessName(p formats.Format) string { return "public:" + string(p) }
+func BindingName(p formats.Format) string       { return "binding:" + string(p) }
+func AppBindingName(backend string) string      { return "appbinding:" + backend }
+
+// PrivateProcessName is the single private process type (Figure 13): it is
+// deliberately free of any partner, protocol or backend identifier.
+const PrivateProcessName = "private:po-handling"
+
+// BuildPublicProcess generates the Figure 11 public process for one B2B
+// protocol: receive the protocol's PO, pass document and control to the
+// binding, wait for the response document from the binding, send the
+// protocol's POA. The process operates purely on the protocol's native
+// document format.
+func BuildPublicProcess(p formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: PublicProcessName(p), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: fmt.Sprintf("Receive %s PO", p), Kind: wf.StepReceive, Port: PortPublicIn, DataKey: "document", Message: "PO"},
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPublicToBinding},
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPublicFromBinding, DataKey: "document"},
+			{Name: fmt.Sprintf("Send %s POA", p), Kind: wf.StepSend, Port: PortPublicOut, Message: "POA"},
+		},
+		Arcs: []wf.Arc{
+			{From: fmt.Sprintf("Receive %s PO", p), To: "To binding"},
+			{From: "To binding", To: "From binding"},
+			{From: "From binding", To: fmt.Sprintf("Send %s POA", p)},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildPublicProcessWithAcks generates the Section 4.5 local-change variant
+// of a public process: the protocol requires explicit transport
+// acknowledgments after the receive and before the send. The change is
+// local to the public process — the binding and private process are
+// untouched because acknowledgments are never passed on.
+func BuildPublicProcessWithAcks(p formats.Format) (*wf.TypeDef, error) {
+	recv := fmt.Sprintf("Receive %s PO", p)
+	send := fmt.Sprintf("Send %s POA", p)
+	t := &wf.TypeDef{
+		Name: PublicProcessName(p), Version: 2,
+		Steps: []wf.StepDef{
+			{Name: recv, Kind: wf.StepReceive, Port: PortPublicIn, DataKey: "document", Message: "PO"},
+			{Name: "Send transport ack", Kind: wf.StepTask, Handler: "transport-ack"},
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPublicToBinding},
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPublicFromBinding, DataKey: "document"},
+			{Name: send, Kind: wf.StepSend, Port: PortPublicOut, Message: "POA"},
+			{Name: "Await transport ack", Kind: wf.StepTask, Handler: "transport-ack"},
+		},
+		Arcs: []wf.Arc{
+			{From: recv, To: "Send transport ack"},
+			{From: "Send transport ack", To: "To binding"},
+			{From: "To binding", To: "From binding"},
+			{From: "From binding", To: send},
+			{From: send, To: "Await transport ack"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildPublicProcessWithFunctionalAck generates the EDI public-process
+// variant that returns an X12 997 functional acknowledgment immediately
+// after receiving the purchase order — a protocol-level signal produced by
+// the public process itself (the "produce-997" handler builds it from the
+// received interchange) and sent on the signal port. Like the Section 4.5
+// transport-ack example, this is a local public-process change: the 997 is
+// never passed to the binding or the private process.
+func BuildPublicProcessWithFunctionalAck(p formats.Format, version int) (*wf.TypeDef, error) {
+	recv := fmt.Sprintf("Receive %s PO", p)
+	send := fmt.Sprintf("Send %s POA", p)
+	t := &wf.TypeDef{
+		Name: PublicProcessName(p), Version: version,
+		Steps: []wf.StepDef{
+			{Name: recv, Kind: wf.StepReceive, Port: PortPublicIn, DataKey: "document", Message: "PO"},
+			{Name: "Produce 997", Kind: wf.StepTask, Handler: "produce-997"},
+			{Name: "Send 997", Kind: wf.StepSend, Port: PortPublicSignal, DataKey: "signal"},
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPublicToBinding},
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPublicFromBinding, DataKey: "document"},
+			{Name: send, Kind: wf.StepSend, Port: PortPublicOut, Message: "POA"},
+		},
+		Arcs: []wf.Arc{
+			{From: recv, To: "Produce 997"},
+			{From: "Produce 997", To: "Send 997"},
+			{From: "Send 997", To: "To binding"},
+			{From: "To binding", To: "From binding"},
+			{From: "From binding", To: send},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildPartnerPublicProcess generates the trading partner's side of the
+// exchange: the mirror of BuildPublicProcess (send the PO, receive the
+// POA). Two enterprises agree on the exchange by checking that their
+// public processes are complementary (package conformance) — which is all
+// they ever have to show each other.
+func BuildPartnerPublicProcess(p formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: "partner-" + PublicProcessName(p), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPublicToBinding},
+			{Name: fmt.Sprintf("Send %s PO", p), Kind: wf.StepSend, Port: PortPublicOut, Message: "PO"},
+			{Name: fmt.Sprintf("Receive %s POA", p), Kind: wf.StepReceive, Port: PortPublicIn, DataKey: "document", Message: "POA"},
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPublicFromBinding, DataKey: "document"},
+		},
+		Arcs: []wf.Arc{
+			{From: "To binding", To: fmt.Sprintf("Send %s PO", p)},
+			{From: fmt.Sprintf("Send %s PO", p), To: fmt.Sprintf("Receive %s POA", p)},
+			{From: fmt.Sprintf("Receive %s POA", p), To: "From binding"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildBinding generates the Figure 12 binding for one B2B protocol: it
+// receives the protocol-native PO from the public process, transforms it to
+// the normalized format, passes it to the private process, and transforms
+// the normalized POA coming back into the protocol's native format for the
+// public process. Transformations live here and only here.
+func BuildBinding(p formats.Format) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: BindingName(p), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From public", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortBindingFromPublic, DataKey: "document"},
+			{Name: "Transform to normalized PO", Kind: wf.StepTask, Handler: "bind-xform-in:" + string(p)},
+			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortBindingToPrivate},
+			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortBindingFromPrivate, DataKey: "document"},
+			{Name: fmt.Sprintf("Transform to %s POA", p), Kind: wf.StepTask, Handler: "bind-xform-out:" + string(p)},
+			{Name: "To public", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortBindingToPublic},
+		},
+		Arcs: []wf.Arc{
+			{From: "From public", To: "Transform to normalized PO"},
+			{From: "Transform to normalized PO", To: "To private"},
+			{From: "To private", To: "From private"},
+			{From: "From private", To: fmt.Sprintf("Transform to %s POA", p)},
+			{From: fmt.Sprintf("Transform to %s POA", p), To: "To public"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildPrivateProcess generates the Figure 13 private process. It operates
+// on the normalized format only and contains no trading partner, protocol
+// or backend reference: the approval decision is delegated to the external
+// rule set through the generic rule-binding step, and routing to the right
+// application binding is the hub's concern.
+func BuildPrivateProcess() (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: PrivateProcessName, Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From binding", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPrivateIn, DataKey: "document"},
+			{Name: "Check need for approval", Kind: wf.StepTask, Handler: "rule:" + ApprovalRuleSet},
+			{Name: "Approve PO", Kind: wf.StepTask, Handler: "approve"},
+			{Name: "To application", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPrivateToApp, Join: wf.JoinAny},
+			{Name: "From application", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortPrivateFromApp, DataKey: "document"},
+			{Name: "To binding", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortPrivateOut},
+		},
+		Arcs: []wf.Arc{
+			{From: "From binding", To: "Check need for approval"},
+			{From: "Check need for approval", To: "Approve PO", Condition: "needsApproval == true"},
+			{From: "Check need for approval", To: "To application", Condition: "needsApproval == false"},
+			{From: "Approve PO", To: "To application"},
+			{From: "To application", To: "From application"},
+			{From: "From application", To: "To binding"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildPrivateProcessWithAudit generates the Section 4.5 local-change
+// variant of the private process: an audit step added to the outgoing POA
+// path. The change is local — no binding or public process is affected.
+func BuildPrivateProcessWithAudit() (*wf.TypeDef, error) {
+	t, err := BuildPrivateProcess()
+	if err != nil {
+		return nil, err
+	}
+	t.Version = 2
+	t.Steps = append(t.Steps, wf.StepDef{Name: "Audit POA", Kind: wf.StepTask, Handler: "audit"})
+	// Rewire From application → Audit POA → To binding.
+	for i := range t.Arcs {
+		if t.Arcs[i].From == "From application" && t.Arcs[i].To == "To binding" {
+			t.Arcs[i].To = "Audit POA"
+		}
+	}
+	t.Arcs = append(t.Arcs, wf.Arc{From: "Audit POA", To: "To binding"})
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildAppBinding generates the Figure 14 application binding for one back
+// end: transform the normalized PO into the application's format, store it,
+// extract the acknowledgment, transform it back to normalized. Back-end
+// formats are confined here exactly as protocol formats are confined to
+// public bindings.
+func BuildAppBinding(b Backend) (*wf.TypeDef, error) {
+	t := &wf.TypeDef{
+		Name: AppBindingName(b.Name), Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortAppIn, DataKey: "document"},
+			{Name: fmt.Sprintf("Transform to %s PO", b.Name), Kind: wf.StepTask, Handler: "app-xform-in:" + b.Name},
+			{Name: fmt.Sprintf("Store %s PO", b.Name), Kind: wf.StepTask, Handler: "app-store:" + b.Name},
+			{Name: fmt.Sprintf("Extract %s POA", b.Name), Kind: wf.StepTask, Handler: "app-extract:" + b.Name},
+			{Name: "Transform to normalized POA", Kind: wf.StepTask, Handler: "app-xform-out:" + b.Name},
+			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortAppOut},
+		},
+		Arcs: []wf.Arc{
+			{From: "From private", To: fmt.Sprintf("Transform to %s PO", b.Name)},
+			{From: fmt.Sprintf("Transform to %s PO", b.Name), To: fmt.Sprintf("Store %s PO", b.Name)},
+			{From: fmt.Sprintf("Store %s PO", b.Name), To: fmt.Sprintf("Extract %s POA", b.Name)},
+			{From: fmt.Sprintf("Extract %s POA", b.Name), To: "Transform to normalized POA"},
+			{From: "Transform to normalized POA", To: "To private"},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/msg"
+)
+
+// deployment wires a hub server and one client per partner over the
+// in-process network with the given fault schedule.
+type deployment struct {
+	server  *Server
+	clients map[string]*Client
+	network *msg.InProcNetwork
+}
+
+func newDeployment(t *testing.T, faults msg.Faults, rcfg msg.ReliableConfig) *deployment {
+	t.Helper()
+	m, err := PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHub(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := msg.NewInProcNetwork(faults)
+	hubEP, err := n.Endpoint("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{
+		server:  NewServer(h, hubEP, rcfg),
+		clients: map[string]*Client{},
+		network: n,
+	}
+	for _, p := range m.Partners {
+		ep, err := n.Endpoint(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.clients[p.ID] = NewClient(p, ep, rcfg, "hub")
+	}
+	t.Cleanup(func() {
+		for _, c := range d.clients {
+			c.Close()
+		}
+		d.server.Close()
+		d.network.Close()
+	})
+	return d
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	d := newDeployment(t, msg.Faults{}, msg.ReliableConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	go d.server.Serve(ctx, nil)
+
+	g := doc.NewGenerator(1)
+	po := g.POWithAmount(tp1, seller, 60000)
+	poa, err := d.clients["TP1"].RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID || poa.Status != doc.AckAccepted {
+		t.Fatalf("poa %+v", poa)
+	}
+
+	po2 := g.POWithAmount(tp2, seller, 500)
+	poa2, err := d.clients["TP2"].RoundTrip(ctx, po2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa2.POID != po2.ID {
+		t.Fatal("wrong correlation")
+	}
+}
+
+func TestServerClientUnderFaults(t *testing.T) {
+	d := newDeployment(t,
+		msg.Faults{LossProb: 0.3, DupProb: 0.15, Seed: 21},
+		msg.ReliableConfig{RetryInterval: 10 * time.Millisecond, MaxAttempts: 80})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	go d.server.Serve(ctx, nil)
+
+	g := doc.NewGenerator(2)
+	for i := 0; i < 8; i++ {
+		po := g.PO(tp1, seller)
+		poa, err := d.clients["TP1"].RoundTrip(ctx, po)
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if poa.POID != po.ID {
+			t.Fatalf("round trip %d: wrong correlation", i)
+		}
+	}
+	if st := d.clients["TP1"].Stats(); st.Retries == 0 {
+		t.Fatal("expected retries on a lossy network")
+	}
+	// Duplicate inbound POs were suppressed by the reliable layer, so the
+	// backend saw each order exactly once.
+	if got := d.server.Hub.Systems["SAP"].StoredOrders(); got != 8 {
+		t.Fatalf("SAP stored %d orders, want 8 (duplicate suppression failed)", got)
+	}
+}
+
+func TestServeOneRejectsWrongDocType(t *testing.T) {
+	d := newDeployment(t, msg.Faults{}, msg.ReliableConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.server.ServeOne(ctx)
+		errCh <- err
+	}()
+	c := d.clients["TP1"]
+	if err := c.rel.Send(ctx, "hub", &msg.Message{
+		DocType: "SomethingElse", Protocol: "EDI-X12", Body: []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("wrong doc type accepted")
+	}
+}
+
+// TestServerSurvivesMalformedContent: the paper's "incorrect message
+// content" error case. A garbage purchase order is rejected, reported on
+// the error channel, and the server keeps serving valid exchanges.
+func TestServerSurvivesMalformedContent(t *testing.T) {
+	d := newDeployment(t, msg.Faults{}, msg.ReliableConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	errs := make(chan error, 4)
+	go d.server.Serve(ctx, errs)
+
+	c := d.clients["TP1"]
+	if err := c.rel.Send(ctx, "hub", &msg.Message{
+		CorrelationID: "bogus",
+		Protocol:      "EDI-X12",
+		DocType:       string(doc.TypePO),
+		Body:          []byte("ISA*this is not a valid interchange"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error reported")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("malformed message produced no error report")
+	}
+
+	// The hub still works.
+	g := doc.NewGenerator(41)
+	po := g.PO(tp1, seller)
+	poa, err := c.RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID {
+		t.Fatal("wrong correlation after recovery")
+	}
+}
+
+// TestAuthenticatedDeployment: server and clients share a channel secret;
+// exchanges work, and raw unsigned traffic is dropped at the messaging
+// layer before it can reach the hub.
+func TestAuthenticatedDeployment(t *testing.T) {
+	secret := []byte("cpa-shared-secret")
+	rcfg := msg.ReliableConfig{
+		RetryInterval: 10 * time.Millisecond, MaxAttempts: 5, Secret: secret,
+	}
+	d := newDeployment(t, msg.Faults{}, rcfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go d.server.Serve(ctx, nil)
+
+	g := doc.NewGenerator(43)
+	po := g.PO(tp1, seller)
+	poa, err := d.clients["TP1"].RoundTrip(ctx, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.POID != po.ID {
+		t.Fatal("wrong correlation")
+	}
+
+	// An attacker without the secret cannot get anything processed.
+	attackerEP, err := d.network.Endpoint("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := msg.NewReliable(attackerEP, msg.ReliableConfig{
+		RetryInterval: 5 * time.Millisecond, MaxAttempts: 3, // no secret
+	})
+	defer attacker.Close()
+	err = attacker.Send(ctx, "hub", &msg.Message{
+		Protocol: "EDI-X12", DocType: string(doc.TypePO), Body: []byte("forged"),
+	})
+	if err == nil {
+		t.Fatal("unsigned message was acknowledged by an authenticated hub")
+	}
+	if st := d.server.Stats(); st.Rejected == 0 {
+		t.Fatal("forgery not rejected at the messaging layer")
+	}
+}

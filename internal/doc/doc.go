@@ -1,0 +1,287 @@
+// Package doc defines the normalized document format of the integration
+// framework (Section 4.2 of the paper): the single canonical representation
+// of business documents that private processes operate on, regardless of
+// which B2B protocol or back-end application format a document arrived in.
+//
+// The two document types of the paper's running example are the purchase
+// order (PO) and the purchase order acknowledgment (POA). Both carry the
+// identifying and business-relevant fields that every concrete format
+// (EDI X12, RosettaNet PIP 3A4, OAGIS, SAP IDoc, Oracle open interface)
+// can represent, so transformation through the normalized format is
+// loss-free for those fields.
+package doc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// DocType enumerates the normalized document types.
+type DocType string
+
+// Normalized document types.
+const (
+	TypePO  DocType = "PurchaseOrder"
+	TypePOA DocType = "PurchaseOrderAck"
+	TypeRFQ DocType = "RequestForQuote"
+	TypeQT  DocType = "Quote"
+	// TypeFA is a protocol-level functional acknowledgment (EDI 997):
+	// a receipt signal produced and consumed by public processes, never
+	// passed to private processes.
+	TypeFA DocType = "FunctionalAck"
+)
+
+// Party identifies a business party (a trading partner or the owning
+// enterprise) in a normalized document.
+type Party struct {
+	// ID is the stable partner identifier used for routing and business
+	// rule selection, e.g. "TP1".
+	ID string `json:"id"`
+	// Name is the display name, e.g. "Acme Corp".
+	Name string `json:"name"`
+	// DUNS is the D-U-N-S number used by RosettaNet addressing.
+	DUNS string `json:"duns,omitempty"`
+}
+
+// Line is one purchase order line item.
+type Line struct {
+	// Number is the 1-based line number.
+	Number int `json:"number"`
+	// SKU is the buyer's part identifier.
+	SKU string `json:"sku"`
+	// Description is the free-text item description.
+	Description string `json:"description"`
+	// Quantity ordered; must be positive.
+	Quantity int `json:"quantity"`
+	// UnitPrice in Currency of the enclosing document; must be non-negative.
+	UnitPrice float64 `json:"unitPrice"`
+}
+
+// Extended returns the extended price of the line (quantity × unit price).
+func (l Line) Extended() float64 { return float64(l.Quantity) * l.UnitPrice }
+
+// PurchaseOrder is the normalized purchase order.
+type PurchaseOrder struct {
+	// ID is the buyer-assigned purchase order number.
+	ID string `json:"id"`
+	// Buyer and Seller identify the two parties of the exchange.
+	Buyer  Party `json:"buyer"`
+	Seller Party `json:"seller"`
+	// Currency is an ISO 4217 code such as "USD".
+	Currency string `json:"currency"`
+	// IssuedAt is the order issue timestamp.
+	IssuedAt time.Time `json:"issuedAt"`
+	// ShipTo is the delivery location (free-form single line).
+	ShipTo string `json:"shipTo"`
+	// Lines are the order line items; at least one is required.
+	Lines []Line `json:"lines"`
+	// Note carries free-form remarks.
+	Note string `json:"note,omitempty"`
+}
+
+// Amount returns the order total: the sum of extended line prices. This is
+// the "PO.amount"/"document.amount" that the paper's business rules test.
+func (po *PurchaseOrder) Amount() float64 {
+	var sum float64
+	for _, l := range po.Lines {
+		sum += l.Extended()
+	}
+	// Round to cents to keep totals stable across transformation chains.
+	return math.Round(sum*100) / 100
+}
+
+// Validate reports all structural problems with the purchase order.
+func (po *PurchaseOrder) Validate() error {
+	var problems []string
+	if po.ID == "" {
+		problems = append(problems, "missing id")
+	}
+	if po.Buyer.ID == "" {
+		problems = append(problems, "missing buyer id")
+	}
+	if po.Seller.ID == "" {
+		problems = append(problems, "missing seller id")
+	}
+	if po.Currency == "" {
+		problems = append(problems, "missing currency")
+	}
+	if len(po.Lines) == 0 {
+		problems = append(problems, "no line items")
+	}
+	seen := map[int]bool{}
+	for i, l := range po.Lines {
+		if l.Number <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line number %d", i, l.Number))
+		}
+		if seen[l.Number] {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate line number %d", i, l.Number))
+		}
+		seen[l.Number] = true
+		if l.SKU == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing sku", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive quantity %d", i, l.Quantity))
+		}
+		if l.UnitPrice < 0 {
+			problems = append(problems, fmt.Sprintf("line %d: negative unit price %v", i, l.UnitPrice))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("doc: invalid purchase order %q: %s", po.ID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the purchase order.
+func (po *PurchaseOrder) Clone() *PurchaseOrder {
+	cp := *po
+	cp.Lines = append([]Line(nil), po.Lines...)
+	return &cp
+}
+
+// LineStatus is the acknowledgment decision for one PO line.
+type LineStatus string
+
+// Line acknowledgment statuses (modeled after X12 855 / PIP 3A4 responses).
+const (
+	LineAccepted  LineStatus = "accepted"
+	LineRejected  LineStatus = "rejected"
+	LineBackorder LineStatus = "backorder"
+)
+
+// AckLine is the per-line response in a purchase order acknowledgment.
+type AckLine struct {
+	// Number references the PO line number being acknowledged.
+	Number int `json:"number"`
+	// Status is the seller's decision for the line.
+	Status LineStatus `json:"status"`
+	// Quantity confirmed (may be less than ordered for backorders).
+	Quantity int `json:"quantity"`
+	// ShipDate is the promised ship date for accepted/backordered lines.
+	ShipDate time.Time `json:"shipDate,omitempty"`
+}
+
+// AckStatus is the overall acknowledgment decision.
+type AckStatus string
+
+// Overall acknowledgment statuses.
+const (
+	AckAccepted AckStatus = "accepted"
+	AckRejected AckStatus = "rejected"
+	AckPartial  AckStatus = "partial"
+)
+
+// PurchaseOrderAck is the normalized purchase order acknowledgment.
+type PurchaseOrderAck struct {
+	// ID is the seller-assigned acknowledgment number.
+	ID string `json:"id"`
+	// POID references the acknowledged purchase order.
+	POID string `json:"poId"`
+	// Buyer and Seller mirror the parties of the acknowledged PO.
+	Buyer  Party `json:"buyer"`
+	Seller Party `json:"seller"`
+	// Status is the overall decision.
+	Status AckStatus `json:"status"`
+	// IssuedAt is the acknowledgment timestamp.
+	IssuedAt time.Time `json:"issuedAt"`
+	// Lines are the per-line decisions.
+	Lines []AckLine `json:"lines"`
+	// Note carries free-form remarks (e.g. rejection reason).
+	Note string `json:"note,omitempty"`
+}
+
+// Validate reports all structural problems with the acknowledgment.
+func (poa *PurchaseOrderAck) Validate() error {
+	var problems []string
+	if poa.ID == "" {
+		problems = append(problems, "missing id")
+	}
+	if poa.POID == "" {
+		problems = append(problems, "missing po reference")
+	}
+	switch poa.Status {
+	case AckAccepted, AckRejected, AckPartial:
+	default:
+		problems = append(problems, fmt.Sprintf("invalid status %q", poa.Status))
+	}
+	for i, l := range poa.Lines {
+		if l.Number <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line number", i))
+		}
+		switch l.Status {
+		case LineAccepted, LineRejected, LineBackorder:
+		default:
+			problems = append(problems, fmt.Sprintf("line %d: invalid status %q", i, l.Status))
+		}
+		if l.Quantity < 0 {
+			problems = append(problems, fmt.Sprintf("line %d: negative quantity", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("doc: invalid purchase order ack %q: %s", poa.ID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the acknowledgment.
+func (poa *PurchaseOrderAck) Clone() *PurchaseOrderAck {
+	cp := *poa
+	cp.Lines = append([]AckLine(nil), poa.Lines...)
+	return &cp
+}
+
+// ErrUnknownDocType is returned when a document of an unrecognized type is
+// presented to a component that dispatches on document type.
+var ErrUnknownDocType = errors.New("doc: unknown document type")
+
+// FunctionalAck is the normalized protocol-level receipt acknowledgment
+// (the X12 997 functional acknowledgment): it confirms that an interchange
+// was received and syntactically accepted. It is public-process traffic
+// only — the paper's Section 4.5: "the acknowledgments are not passed on
+// to the private process".
+type FunctionalAck struct {
+	// ID is the acknowledgment's own document number.
+	ID string `json:"id"`
+	// RefControl is the control number of the acknowledged interchange.
+	RefControl int `json:"refControl"`
+	// RefGroupID is the functional group being acknowledged ("PO").
+	RefGroupID string `json:"refGroupId"`
+	// Accepted reports syntactic acceptance.
+	Accepted bool `json:"accepted"`
+	// Note carries rejection detail.
+	Note string `json:"note,omitempty"`
+}
+
+// Validate reports structural problems with the acknowledgment.
+func (fa *FunctionalAck) Validate() error {
+	if fa.ID == "" {
+		return fmt.Errorf("doc: functional ack missing id")
+	}
+	if fa.RefControl <= 0 {
+		return fmt.Errorf("doc: functional ack %q missing referenced control number", fa.ID)
+	}
+	return nil
+}
+
+// TypeOf reports the normalized type of a document value.
+func TypeOf(v any) (DocType, error) {
+	switch v.(type) {
+	case *PurchaseOrder:
+		return TypePO, nil
+	case *PurchaseOrderAck:
+		return TypePOA, nil
+	case *RequestForQuote:
+		return TypeRFQ, nil
+	case *Quote:
+		return TypeQT, nil
+	case *FunctionalAck:
+		return TypeFA, nil
+	case *Invoice:
+		return TypeINV, nil
+	}
+	return "", fmt.Errorf("%w: %T", ErrUnknownDocType, v)
+}

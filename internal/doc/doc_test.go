@@ -1,0 +1,321 @@
+package doc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/expr"
+)
+
+func samplePO() *PurchaseOrder {
+	return &PurchaseOrder{
+		ID:       "PO-TP1-000001",
+		Buyer:    Party{ID: "TP1", Name: "Acme Corp", DUNS: "123456789"},
+		Seller:   Party{ID: "SELLER", Name: "Widget Inc", DUNS: "987654321"},
+		Currency: "USD",
+		IssuedAt: time.Date(2001, 9, 3, 9, 0, 0, 0, time.UTC),
+		ShipTo:   "Acme Receiving Dock 1",
+		Lines: []Line{
+			{Number: 1, SKU: "LAP-100", Description: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{Number: 2, SKU: "MON-27", Description: "Monitor", Quantity: 20, UnitPrice: 480},
+		},
+	}
+}
+
+func TestPOAmount(t *testing.T) {
+	po := samplePO()
+	want := 10*1450.0 + 20*480.0
+	if got := po.Amount(); got != want {
+		t.Fatalf("Amount = %v, want %v", got, want)
+	}
+}
+
+func TestPOAmountRounding(t *testing.T) {
+	po := samplePO()
+	po.Lines = []Line{{Number: 1, SKU: "X", Quantity: 3, UnitPrice: 0.1}}
+	if got := po.Amount(); got != 0.3 {
+		t.Fatalf("Amount = %v, want 0.3 (cent rounding)", got)
+	}
+}
+
+func TestPOValidate(t *testing.T) {
+	if err := samplePO().Validate(); err != nil {
+		t.Fatalf("valid PO rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*PurchaseOrder)
+		want   string
+	}{
+		{"missing id", func(p *PurchaseOrder) { p.ID = "" }, "missing id"},
+		{"missing buyer", func(p *PurchaseOrder) { p.Buyer.ID = "" }, "missing buyer"},
+		{"missing seller", func(p *PurchaseOrder) { p.Seller.ID = "" }, "missing seller"},
+		{"missing currency", func(p *PurchaseOrder) { p.Currency = "" }, "missing currency"},
+		{"no lines", func(p *PurchaseOrder) { p.Lines = nil }, "no line items"},
+		{"zero qty", func(p *PurchaseOrder) { p.Lines[0].Quantity = 0 }, "non-positive quantity"},
+		{"negative price", func(p *PurchaseOrder) { p.Lines[0].UnitPrice = -1 }, "negative unit price"},
+		{"dup line number", func(p *PurchaseOrder) { p.Lines[1].Number = 1 }, "duplicate line number"},
+		{"zero line number", func(p *PurchaseOrder) { p.Lines[0].Number = 0 }, "non-positive line number"},
+		{"missing sku", func(p *PurchaseOrder) { p.Lines[0].SKU = "" }, "missing sku"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			po := samplePO()
+			c.mutate(po)
+			err := po.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPOClone(t *testing.T) {
+	po := samplePO()
+	cp := po.Clone()
+	cp.Lines[0].Quantity = 999
+	cp.ID = "OTHER"
+	if po.Lines[0].Quantity == 999 || po.ID == "OTHER" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestPOAValidate(t *testing.T) {
+	poa := AckFor(samplePO(), "POA-1")
+	if err := poa.Validate(); err != nil {
+		t.Fatalf("valid POA rejected: %v", err)
+	}
+	poa.Status = "bogus"
+	if err := poa.Validate(); err == nil || !strings.Contains(err.Error(), "invalid status") {
+		t.Fatalf("expected invalid status error, got %v", err)
+	}
+	poa = AckFor(samplePO(), "POA-1")
+	poa.POID = ""
+	if err := poa.Validate(); err == nil || !strings.Contains(err.Error(), "missing po reference") {
+		t.Fatalf("expected missing po reference, got %v", err)
+	}
+	poa = AckFor(samplePO(), "POA-1")
+	poa.Lines[0].Status = "maybe"
+	if err := poa.Validate(); err == nil {
+		t.Fatal("expected line status error")
+	}
+}
+
+func TestPOAClone(t *testing.T) {
+	poa := AckFor(samplePO(), "POA-1")
+	cp := poa.Clone()
+	cp.Lines[0].Status = LineRejected
+	if poa.Lines[0].Status == LineRejected {
+		t.Fatal("Clone shares line state")
+	}
+}
+
+func TestAckForMirrorsPO(t *testing.T) {
+	po := samplePO()
+	poa := AckFor(po, "POA-9")
+	if poa.POID != po.ID {
+		t.Fatalf("POID = %q, want %q", poa.POID, po.ID)
+	}
+	if len(poa.Lines) != len(po.Lines) {
+		t.Fatalf("ack has %d lines, po has %d", len(poa.Lines), len(po.Lines))
+	}
+	for i := range poa.Lines {
+		if poa.Lines[i].Number != po.Lines[i].Number {
+			t.Fatalf("line %d number mismatch", i)
+		}
+		if poa.Lines[i].Quantity != po.Lines[i].Quantity {
+			t.Fatalf("line %d quantity mismatch", i)
+		}
+		if poa.Lines[i].Status != LineAccepted {
+			t.Fatalf("line %d not accepted", i)
+		}
+	}
+	if poa.Status != AckAccepted {
+		t.Fatalf("status = %q", poa.Status)
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	if ty, err := TypeOf(samplePO()); err != nil || ty != TypePO {
+		t.Fatalf("TypeOf(PO) = %v, %v", ty, err)
+	}
+	if ty, err := TypeOf(AckFor(samplePO(), "A")); err != nil || ty != TypePOA {
+		t.Fatalf("TypeOf(POA) = %v, %v", ty, err)
+	}
+	if ty, err := TypeOf(&RequestForQuote{}); err != nil || ty != TypeRFQ {
+		t.Fatalf("TypeOf(RFQ) = %v, %v", ty, err)
+	}
+	if ty, err := TypeOf(&Quote{}); err != nil || ty != TypeQT {
+		t.Fatalf("TypeOf(Quote) = %v, %v", ty, err)
+	}
+	if _, err := TypeOf(42); err == nil {
+		t.Fatal("TypeOf(42) should fail")
+	}
+}
+
+func TestEnvPO(t *testing.T) {
+	po := samplePO()
+	env, err := Env(po, "TP1", "SAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.EvalBool(expr.MustParse(`document.amount >= 10000 && source == "TP1" && target == "SAP"`), env)
+	if err != nil || !ok {
+		t.Fatalf("paper condition on env failed: %v %v", ok, err)
+	}
+	ok, err = expr.EvalBool(expr.MustParse(`PO.amount > 10000`), env)
+	if err != nil || !ok {
+		t.Fatalf("PO.amount alias failed: %v %v", ok, err)
+	}
+}
+
+func TestEnvPOA(t *testing.T) {
+	poa := AckFor(samplePO(), "POA-1")
+	env, err := Env(poa, "SELLER", "TP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.EvalBool(expr.MustParse(`POA.status == "accepted"`), env)
+	if err != nil || !ok {
+		t.Fatalf("POA.status failed: %v %v", ok, err)
+	}
+}
+
+func TestEnvRFQAndQuote(t *testing.T) {
+	rfq := &RequestForQuote{ID: "RFQ-1", Buyer: Party{ID: "B"}, SKU: "LAP-100", Quantity: 5}
+	env, err := Env(rfq, "B", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := expr.EvalBool(expr.MustParse("RFQ.quantity == 5"), env); !ok {
+		t.Fatal("RFQ env")
+	}
+	q := &Quote{ID: "Q-1", RFQID: "RFQ-1", Supplier: Party{ID: "S"}, UnitPrice: 99.5, LeadTimeDays: 4}
+	env, err = Env(q, "S", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := expr.EvalBool(expr.MustParse("Quote.unitPrice < 100 && Quote.leadTimeDays <= 4"), env); !ok {
+		t.Fatal("Quote env")
+	}
+}
+
+func TestEnvUnknown(t *testing.T) {
+	if _, err := Env("nope", "a", "b"); err == nil {
+		t.Fatal("expected error for unknown document type")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	b := Party{ID: "TP1", Name: "Acme"}
+	s := Party{ID: "S", Name: "Widget"}
+	g1, g2 := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 50; i++ {
+		p1, p2 := g1.PO(b, s), g2.PO(b, s)
+		if p1.ID != p2.ID || p1.Amount() != p2.Amount() || len(p1.Lines) != len(p2.Lines) {
+			t.Fatalf("generator not deterministic at %d: %v vs %v", i, p1, p2)
+		}
+	}
+}
+
+func TestGeneratorValidity(t *testing.T) {
+	g := NewGenerator(42)
+	b := Party{ID: "TP1", Name: "Acme"}
+	s := Party{ID: "S", Name: "Widget"}
+	for i := 0; i < 200; i++ {
+		po := g.PO(b, s)
+		if err := po.Validate(); err != nil {
+			t.Fatalf("generated PO invalid: %v", err)
+		}
+		if po.Amount() <= 0 {
+			t.Fatalf("generated PO has non-positive amount")
+		}
+	}
+}
+
+func TestPOWithAmount(t *testing.T) {
+	g := NewGenerator(1)
+	b := Party{ID: "TP2", Name: "Beta"}
+	s := Party{ID: "S", Name: "Widget"}
+	for _, amt := range []float64{0.01, 39999.99, 40000, 55000, 550000.5} {
+		po := g.POWithAmount(b, s, amt)
+		if err := po.Validate(); err != nil {
+			t.Fatalf("POWithAmount(%v) invalid: %v", amt, err)
+		}
+		if got := po.Amount(); got != amt {
+			t.Fatalf("POWithAmount(%v).Amount() = %v", amt, got)
+		}
+	}
+}
+
+// TestQuickLineExtended property: Extended is always Quantity*UnitPrice and
+// Amount is the rounded sum of Extended over lines.
+func TestQuickLineExtended(t *testing.T) {
+	f := func(qty uint8, priceCents uint32) bool {
+		q := int(qty%50) + 1
+		p := float64(priceCents%1000000) / 100
+		l := Line{Number: 1, SKU: "X", Quantity: q, UnitPrice: p}
+		return l.Extended() == float64(q)*p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeneratedPOEnvTotal property: for any generated PO, the env's
+// document.amount equals the PO's Amount.
+func TestQuickGeneratedPOEnvTotal(t *testing.T) {
+	g := NewGenerator(99)
+	b := Party{ID: "TP1", Name: "Acme"}
+	s := Party{ID: "S", Name: "Widget"}
+	for i := 0; i < 300; i++ {
+		po := g.PO(b, s)
+		env, err := Env(po, "TP1", "SAP")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := env.Lookup("document.amount")
+		if v != po.Amount() {
+			t.Fatalf("env amount %v != %v", v, po.Amount())
+		}
+	}
+}
+
+func TestRFQValidate(t *testing.T) {
+	rfq := &RequestForQuote{
+		ID: "RFQ-1", Buyer: Party{ID: "B"},
+		Suppliers: []Party{{ID: "S1"}, {ID: "S2"}},
+		SKU:       "LAP-100", Quantity: 10, Currency: "USD",
+	}
+	if err := rfq.Validate(); err != nil {
+		t.Fatalf("valid RFQ rejected: %v", err)
+	}
+	rfq.Quantity = 0
+	if err := rfq.Validate(); err == nil {
+		t.Fatal("expected quantity error")
+	}
+	rfq2 := &RequestForQuote{ID: "", Buyer: Party{}, SKU: "", Quantity: 1}
+	if err := rfq2.Validate(); err == nil {
+		t.Fatal("expected multiple errors")
+	}
+}
+
+func TestQuoteValidate(t *testing.T) {
+	q := &Quote{ID: "Q1", RFQID: "RFQ-1", Supplier: Party{ID: "S1"}, UnitPrice: 10, LeadTimeDays: 3}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	q.UnitPrice = -1
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected negative price error")
+	}
+	q2 := &Quote{}
+	if err := q2.Validate(); err == nil {
+		t.Fatal("expected errors for empty quote")
+	}
+}

@@ -1,0 +1,75 @@
+package doc
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Env builds the expression-language environment for a normalized document,
+// exposing its fields under the "document." prefix plus the aliases used in
+// the paper's figures ("PO.amount", "POA.status"). The source and target
+// parameters are the trading partner / application identifiers that the
+// generic rule-binding workflow step passes alongside the document
+// (Section 4.3: "The data given to business rules usually includes source,
+// target as well as the message itself").
+func Env(document any, source, target string) (expr.MapEnv, error) {
+	env := expr.MapEnv{
+		"source": source,
+		"target": target,
+	}
+	switch d := document.(type) {
+	case *PurchaseOrder:
+		env["document.type"] = string(TypePO)
+		env["document.id"] = d.ID
+		env["document.amount"] = d.Amount()
+		env["document.currency"] = d.Currency
+		env["document.buyer"] = d.Buyer.ID
+		env["document.seller"] = d.Seller.ID
+		env["document.lines"] = float64(len(d.Lines))
+		env["document.shipTo"] = d.ShipTo
+		// Paper-style aliases as written in Figures 1-3 and 9-10.
+		env["PO.amount"] = d.Amount()
+		env["PO.id"] = d.ID
+	case *PurchaseOrderAck:
+		env["document.type"] = string(TypePOA)
+		env["document.id"] = d.ID
+		env["document.poId"] = d.POID
+		env["document.status"] = string(d.Status)
+		env["document.buyer"] = d.Buyer.ID
+		env["document.seller"] = d.Seller.ID
+		env["document.lines"] = float64(len(d.Lines))
+		env["POA.status"] = string(d.Status)
+		env["POA.id"] = d.ID
+	case *RequestForQuote:
+		env["document.type"] = string(TypeRFQ)
+		env["document.id"] = d.ID
+		env["document.sku"] = d.SKU
+		env["document.quantity"] = float64(d.Quantity)
+		env["document.buyer"] = d.Buyer.ID
+		env["RFQ.quantity"] = float64(d.Quantity)
+	case *Invoice:
+		env["document.type"] = string(TypeINV)
+		env["document.id"] = d.ID
+		env["document.poId"] = d.POID
+		env["document.amount"] = d.Amount()
+		env["document.currency"] = d.Currency
+		env["document.buyer"] = d.Buyer.ID
+		env["document.seller"] = d.Seller.ID
+		env["document.lines"] = float64(len(d.Lines))
+		env["Invoice.amount"] = d.Amount()
+		env["Invoice.id"] = d.ID
+	case *Quote:
+		env["document.type"] = string(TypeQT)
+		env["document.id"] = d.ID
+		env["document.rfqId"] = d.RFQID
+		env["document.unitPrice"] = d.UnitPrice
+		env["document.leadTimeDays"] = float64(d.LeadTimeDays)
+		env["document.supplier"] = d.Supplier.ID
+		env["Quote.unitPrice"] = d.UnitPrice
+		env["Quote.leadTimeDays"] = float64(d.LeadTimeDays)
+	default:
+		return nil, fmt.Errorf("doc: cannot build rule environment: %w: %T", ErrUnknownDocType, document)
+	}
+	return env, nil
+}

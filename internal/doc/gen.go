@@ -1,0 +1,110 @@
+package doc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Generator produces deterministic synthetic purchase orders for workloads
+// and property tests. The same seed always yields the same sequence, which
+// keeps benchmarks reproducible.
+type Generator struct {
+	rng *rand.Rand
+	seq int
+}
+
+// NewGenerator returns a generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var skuCatalog = []struct {
+	sku, desc string
+	price     float64
+}{
+	{"LAP-100", "Laptop 14in 16GB", 1450.00},
+	{"LAP-200", "Laptop 16in 32GB", 2450.00},
+	{"MON-27", "Monitor 27in 4K", 480.00},
+	{"DOC-01", "Docking station", 210.00},
+	{"KBD-US", "Keyboard US layout", 45.50},
+	{"MSE-BT", "Mouse bluetooth", 29.99},
+	{"HDS-NC", "Headset noise cancelling", 199.00},
+	{"CAB-UC", "Cable USB-C 2m", 12.75},
+	{"SSD-1T", "SSD 1TB NVMe", 119.00},
+	{"RAM-32", "RAM 32GB DDR5", 145.00},
+}
+
+// baseTime anchors all generated timestamps so runs are reproducible.
+var baseTime = time.Date(2001, time.September, 3, 9, 0, 0, 0, time.UTC)
+
+// PO generates the next purchase order between buyer and seller with 1-6
+// random catalog lines.
+func (g *Generator) PO(buyer, seller Party) *PurchaseOrder {
+	g.seq++
+	nLines := 1 + g.rng.Intn(6)
+	lines := make([]Line, nLines)
+	for i := range lines {
+		item := skuCatalog[g.rng.Intn(len(skuCatalog))]
+		lines[i] = Line{
+			Number:      i + 1,
+			SKU:         item.sku,
+			Description: item.desc,
+			Quantity:    1 + g.rng.Intn(40),
+			UnitPrice:   item.price,
+		}
+	}
+	return &PurchaseOrder{
+		ID:       fmt.Sprintf("PO-%s-%06d", buyer.ID, g.seq),
+		Buyer:    buyer,
+		Seller:   seller,
+		Currency: "USD",
+		IssuedAt: baseTime.Add(time.Duration(g.seq) * time.Minute),
+		ShipTo:   fmt.Sprintf("%s Receiving Dock %d", buyer.Name, 1+g.rng.Intn(9)),
+		Lines:    lines,
+	}
+}
+
+// POWithAmount generates a single-line purchase order whose total is exactly
+// amount, used to hit business-rule thresholds precisely.
+func (g *Generator) POWithAmount(buyer, seller Party, amount float64) *PurchaseOrder {
+	g.seq++
+	return &PurchaseOrder{
+		ID:       fmt.Sprintf("PO-%s-%06d", buyer.ID, g.seq),
+		Buyer:    buyer,
+		Seller:   seller,
+		Currency: "USD",
+		IssuedAt: baseTime.Add(time.Duration(g.seq) * time.Minute),
+		ShipTo:   buyer.Name + " Receiving Dock 1",
+		Lines: []Line{{
+			Number:      1,
+			SKU:         "LOT-001",
+			Description: "Fixed amount lot",
+			Quantity:    1,
+			UnitPrice:   amount,
+		}},
+	}
+}
+
+// AckFor builds a fully-accepting acknowledgment for po, as the simulated
+// back ends produce after storing a PO.
+func AckFor(po *PurchaseOrder, ackID string) *PurchaseOrderAck {
+	lines := make([]AckLine, len(po.Lines))
+	for i, l := range po.Lines {
+		lines[i] = AckLine{
+			Number:   l.Number,
+			Status:   LineAccepted,
+			Quantity: l.Quantity,
+			ShipDate: po.IssuedAt.Add(7 * 24 * time.Hour),
+		}
+	}
+	return &PurchaseOrderAck{
+		ID:       ackID,
+		POID:     po.ID,
+		Buyer:    po.Buyer,
+		Seller:   po.Seller,
+		Status:   AckAccepted,
+		IssuedAt: po.IssuedAt.Add(2 * time.Hour),
+		Lines:    lines,
+	}
+}

@@ -1,0 +1,160 @@
+package doc
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// TypeINV is the normalized invoice document type. Invoices travel as
+// one-way messages (the paper's "one-way messages" pattern): the seller
+// sends them after fulfilling an order; no business response is expected.
+const TypeINV DocType = "Invoice"
+
+// InvoiceLine is one billed line of an invoice.
+type InvoiceLine struct {
+	// Number is the 1-based line number (mirrors the PO line billed).
+	Number int `json:"number"`
+	// SKU is the billed part identifier.
+	SKU string `json:"sku"`
+	// Description is free text.
+	Description string `json:"description,omitempty"`
+	// Quantity billed.
+	Quantity int `json:"quantity"`
+	// UnitPrice in the invoice currency.
+	UnitPrice float64 `json:"unitPrice"`
+}
+
+// Extended returns the line's extended amount.
+func (l InvoiceLine) Extended() float64 { return float64(l.Quantity) * l.UnitPrice }
+
+// Invoice is the normalized invoice.
+type Invoice struct {
+	// ID is the seller-assigned invoice number.
+	ID string `json:"id"`
+	// POID references the invoiced purchase order.
+	POID string `json:"poId"`
+	// Buyer and Seller mirror the order's parties.
+	Buyer  Party `json:"buyer"`
+	Seller Party `json:"seller"`
+	// Currency is the ISO 4217 code.
+	Currency string `json:"currency"`
+	// IssuedAt and DueAt bound the payment terms.
+	IssuedAt time.Time `json:"issuedAt"`
+	DueAt    time.Time `json:"dueAt"`
+	// Lines are the billed lines; at least one is required.
+	Lines []InvoiceLine `json:"lines"`
+	// Note carries free-form remarks.
+	Note string `json:"note,omitempty"`
+}
+
+// Amount returns the invoice total, rounded to cents.
+func (inv *Invoice) Amount() float64 {
+	var sum float64
+	for _, l := range inv.Lines {
+		sum += l.Extended()
+	}
+	return math.Round(sum*100) / 100
+}
+
+// Validate reports all structural problems with the invoice.
+func (inv *Invoice) Validate() error {
+	var problems []string
+	if inv.ID == "" {
+		problems = append(problems, "missing id")
+	}
+	if inv.POID == "" {
+		problems = append(problems, "missing po reference")
+	}
+	if inv.Buyer.ID == "" {
+		problems = append(problems, "missing buyer id")
+	}
+	if inv.Seller.ID == "" {
+		problems = append(problems, "missing seller id")
+	}
+	if inv.Currency == "" {
+		problems = append(problems, "missing currency")
+	}
+	if len(inv.Lines) == 0 {
+		problems = append(problems, "no line items")
+	}
+	seen := map[int]bool{}
+	for i, l := range inv.Lines {
+		if l.Number <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line number", i))
+		}
+		if seen[l.Number] {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate line number %d", i, l.Number))
+		}
+		seen[l.Number] = true
+		if l.SKU == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing sku", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive quantity", i))
+		}
+		if l.UnitPrice < 0 {
+			problems = append(problems, fmt.Sprintf("line %d: negative unit price", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("doc: invalid invoice %q: %s", inv.ID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the invoice.
+func (inv *Invoice) Clone() *Invoice {
+	cp := *inv
+	cp.Lines = append([]InvoiceLine(nil), inv.Lines...)
+	return &cp
+}
+
+// InvoiceFor builds an invoice billing the accepted quantities of an
+// acknowledged order: what the simulated back ends emit after fulfilling.
+func InvoiceFor(po *PurchaseOrder, ack *PurchaseOrderAck, invID string) (*Invoice, error) {
+	if ack != nil && ack.POID != po.ID {
+		return nil, fmt.Errorf("doc: ack %s references %s, not %s", ack.ID, ack.POID, po.ID)
+	}
+	inv := &Invoice{
+		ID:       invID,
+		POID:     po.ID,
+		Buyer:    po.Buyer,
+		Seller:   po.Seller,
+		Currency: po.Currency,
+		IssuedAt: po.IssuedAt.Add(9 * 24 * time.Hour),
+		DueAt:    po.IssuedAt.Add(39 * 24 * time.Hour),
+	}
+	billed := map[int]int{}
+	if ack != nil {
+		for _, al := range ack.Lines {
+			if al.Status != LineRejected {
+				billed[al.Number] = al.Quantity
+			}
+		}
+	}
+	for _, l := range po.Lines {
+		qty := l.Quantity
+		if ack != nil {
+			qty = billed[l.Number]
+		}
+		if qty <= 0 {
+			continue
+		}
+		inv.Lines = append(inv.Lines, InvoiceLine{
+			Number:      l.Number,
+			SKU:         l.SKU,
+			Description: l.Description,
+			Quantity:    qty,
+			UnitPrice:   l.UnitPrice,
+		})
+	}
+	if len(inv.Lines) == 0 {
+		return nil, fmt.Errorf("doc: order %s has no billable lines", po.ID)
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}

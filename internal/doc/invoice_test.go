@@ -1,0 +1,134 @@
+package doc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+func sampleInvoice() *Invoice {
+	return &Invoice{
+		ID:       "INV-1",
+		POID:     "PO-TP1-000001",
+		Buyer:    Party{ID: "TP1", Name: "Acme"},
+		Seller:   Party{ID: "HUB", Name: "Widget"},
+		Currency: "USD",
+		IssuedAt: time.Date(2001, 9, 12, 0, 0, 0, 0, time.UTC),
+		DueAt:    time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC),
+		Lines: []InvoiceLine{
+			{Number: 1, SKU: "LAP-100", Quantity: 10, UnitPrice: 1450},
+			{Number: 2, SKU: "MON-27", Quantity: 3, UnitPrice: 0.1},
+		},
+	}
+}
+
+func TestInvoiceAmount(t *testing.T) {
+	inv := sampleInvoice()
+	if got := inv.Amount(); got != 14500.3 {
+		t.Fatalf("amount %v", got)
+	}
+}
+
+func TestInvoiceValidate(t *testing.T) {
+	if err := sampleInvoice().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Invoice)
+		want   string
+	}{
+		{"no id", func(i *Invoice) { i.ID = "" }, "missing id"},
+		{"no po", func(i *Invoice) { i.POID = "" }, "missing po reference"},
+		{"no buyer", func(i *Invoice) { i.Buyer.ID = "" }, "missing buyer"},
+		{"no seller", func(i *Invoice) { i.Seller.ID = "" }, "missing seller"},
+		{"no currency", func(i *Invoice) { i.Currency = "" }, "missing currency"},
+		{"no lines", func(i *Invoice) { i.Lines = nil }, "no line items"},
+		{"dup line", func(i *Invoice) { i.Lines[1].Number = 1 }, "duplicate line"},
+		{"zero qty", func(i *Invoice) { i.Lines[0].Quantity = 0 }, "non-positive quantity"},
+		{"neg price", func(i *Invoice) { i.Lines[0].UnitPrice = -1 }, "negative unit price"},
+		{"no sku", func(i *Invoice) { i.Lines[0].SKU = "" }, "missing sku"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inv := sampleInvoice()
+			c.mutate(inv)
+			err := inv.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestInvoiceClone(t *testing.T) {
+	inv := sampleInvoice()
+	cp := inv.Clone()
+	cp.Lines[0].Quantity = 99
+	if inv.Lines[0].Quantity == 99 {
+		t.Fatal("Clone shares lines")
+	}
+}
+
+func TestInvoiceForBillsConfirmedQuantities(t *testing.T) {
+	po := samplePO()
+	ack := AckFor(po, "ACK-1")
+	ack.Lines[1].Status = LineBackorder
+	ack.Lines[1].Quantity = 5 // of 20 ordered
+	inv, err := InvoiceFor(po, ack, "INV-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.POID != po.ID || len(inv.Lines) != 2 {
+		t.Fatalf("%+v", inv)
+	}
+	if inv.Lines[0].Quantity != po.Lines[0].Quantity {
+		t.Fatalf("line 1 qty %d", inv.Lines[0].Quantity)
+	}
+	if inv.Lines[1].Quantity != 5 {
+		t.Fatalf("line 2 qty %d, want confirmed 5", inv.Lines[1].Quantity)
+	}
+	// Rejected lines are not billed.
+	ack2 := AckFor(po, "ACK-2")
+	for i := range ack2.Lines {
+		ack2.Lines[i].Status = LineRejected
+		ack2.Lines[i].Quantity = 0
+	}
+	if _, err := InvoiceFor(po, ack2, "INV-10"); err == nil {
+		t.Fatal("fully rejected order billed")
+	}
+	// Mismatched ack rejected.
+	other := AckFor(po, "ACK-3")
+	other.POID = "OTHER"
+	if _, err := InvoiceFor(po, other, "INV-11"); err == nil {
+		t.Fatal("mismatched ack accepted")
+	}
+}
+
+func TestInvoiceForWithoutAck(t *testing.T) {
+	po := samplePO()
+	inv, err := InvoiceFor(po, nil, "INV-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Amount() != po.Amount() {
+		t.Fatalf("amount %v != %v", inv.Amount(), po.Amount())
+	}
+}
+
+func TestInvoiceEnv(t *testing.T) {
+	inv := sampleInvoice()
+	env, err := Env(inv, "TP1", "SAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.EvalBool(expr.MustParse("Invoice.amount >= 10000 && document.poId == \"PO-TP1-000001\""), env)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	if ty, err := TypeOf(inv); err != nil || ty != TypeINV {
+		t.Fatalf("TypeOf %v %v", ty, err)
+	}
+}

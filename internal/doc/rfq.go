@@ -1,0 +1,90 @@
+package doc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RequestForQuote is the normalized RFQ document for the Section 2.3
+// scenario: a buyer requests quotes from several suppliers; the rules by
+// which the buyer selects among the returned quotes are competitive
+// knowledge and must remain invisible to the suppliers.
+type RequestForQuote struct {
+	// ID is the buyer-assigned RFQ number.
+	ID string `json:"id"`
+	// Buyer issues the request; Suppliers are the invited parties.
+	Buyer     Party   `json:"buyer"`
+	Suppliers []Party `json:"suppliers"`
+	// SKU and Quantity describe the requested item.
+	SKU      string `json:"sku"`
+	Quantity int    `json:"quantity"`
+	// NeededBy is the requested delivery deadline.
+	NeededBy time.Time `json:"neededBy"`
+	// Currency for quoted prices.
+	Currency string `json:"currency"`
+}
+
+// Validate reports structural problems with the RFQ.
+func (r *RequestForQuote) Validate() error {
+	var problems []string
+	if r.ID == "" {
+		problems = append(problems, "missing id")
+	}
+	if r.Buyer.ID == "" {
+		problems = append(problems, "missing buyer")
+	}
+	if len(r.Suppliers) == 0 {
+		problems = append(problems, "no suppliers")
+	}
+	if r.SKU == "" {
+		problems = append(problems, "missing sku")
+	}
+	if r.Quantity <= 0 {
+		problems = append(problems, "non-positive quantity")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("doc: invalid rfq %q: %s", r.ID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Quote is a supplier's response to an RFQ.
+type Quote struct {
+	// ID is the supplier-assigned quote number.
+	ID string `json:"id"`
+	// RFQID references the request being answered.
+	RFQID string `json:"rfqId"`
+	// Supplier is the quoting party.
+	Supplier Party `json:"supplier"`
+	// UnitPrice quoted, in the RFQ currency.
+	UnitPrice float64 `json:"unitPrice"`
+	// LeadTimeDays is the promised delivery lead time.
+	LeadTimeDays int `json:"leadTimeDays"`
+	// ValidUntil bounds the offer.
+	ValidUntil time.Time `json:"validUntil"`
+}
+
+// Validate reports structural problems with the quote.
+func (q *Quote) Validate() error {
+	var problems []string
+	if q.ID == "" {
+		problems = append(problems, "missing id")
+	}
+	if q.RFQID == "" {
+		problems = append(problems, "missing rfq reference")
+	}
+	if q.Supplier.ID == "" {
+		problems = append(problems, "missing supplier")
+	}
+	if q.UnitPrice < 0 {
+		problems = append(problems, "negative unit price")
+	}
+	if q.LeadTimeDays < 0 {
+		problems = append(problems, "negative lead time")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("doc: invalid quote %q: %s", q.ID, strings.Join(problems, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is an AST node of a parsed expression. Nodes are immutable after
+// parsing and safe for concurrent evaluation.
+type Node interface {
+	// String renders the node back to parseable source.
+	String() string
+	eval(env Env) (Value, error)
+}
+
+// Literal is a constant value (number, string or boolean).
+type Literal struct {
+	Val Value
+}
+
+func (n *Literal) String() string {
+	switch v := n.Val.(type) {
+	case string:
+		return strconv.Quote(v)
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(v)
+	}
+	return fmt.Sprintf("%v", n.Val)
+}
+
+// Ref is a dotted reference into the evaluation environment, such as
+// "document.amount" or "source".
+type Ref struct {
+	Path string
+}
+
+func (n *Ref) String() string { return n.Path }
+
+// Unary is a prefix operation: NOT or arithmetic negation (SUB).
+type Unary struct {
+	Op Kind
+	X  Node
+}
+
+func (n *Unary) String() string {
+	op := "!"
+	if n.Op == SUB {
+		op = "-"
+	}
+	return op + parenthesize(n.X)
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Op   Kind
+	L, R Node
+}
+
+func (n *Binary) String() string {
+	return fmt.Sprintf("%s %s %s", parenthesize(n.L), n.Op, parenthesize(n.R))
+}
+
+// Call is a built-in function invocation, e.g. len(document.lines).
+type Call struct {
+	Name string
+	Args []Node
+}
+
+func (n *Call) String() string {
+	parts := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", n.Name, strings.Join(parts, ", "))
+}
+
+func parenthesize(n Node) string {
+	switch n.(type) {
+	case *Binary:
+		return "(" + n.String() + ")"
+	default:
+		return n.String()
+	}
+}
+
+// Refs returns the set of environment paths referenced by the expression, in
+// first-appearance order. It is used by the rule registry to report which
+// document fields a business rule depends on.
+func Refs(n Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Ref:
+			if !seen[x.Path] {
+				seen[x.Path] = true
+				out = append(out, x.Path)
+			}
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	return out
+}

@@ -1,0 +1,356 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Value is a runtime value of the expression language: float64, string, bool,
+// or []Value (lists surface only through environment lookups and len()).
+type Value any
+
+// Env supplies values for references during evaluation.
+type Env interface {
+	// Lookup resolves a dotted path such as "document.amount". The second
+	// result reports whether the path is defined.
+	Lookup(path string) (Value, bool)
+}
+
+// MapEnv is an Env backed by a flat map from dotted path to value.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(path string) (Value, bool) {
+	v, ok := m[path]
+	return v, ok
+}
+
+// EvalError describes a runtime evaluation failure (unknown reference, type
+// mismatch, division by zero, unknown function).
+type EvalError struct {
+	Msg string
+}
+
+func (e *EvalError) Error() string { return "expr: eval: " + e.Msg }
+
+func evalErrf(format string, args ...any) error {
+	return &EvalError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates the expression against env.
+func Eval(n Node, env Env) (Value, error) {
+	return n.eval(env)
+}
+
+// EvalBool evaluates the expression and requires a boolean result, as needed
+// by transition conditions and business rules.
+func EvalBool(n Node, env Env) (bool, error) {
+	v, err := n.eval(env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, evalErrf("condition %q evaluated to %T, want bool", n, v)
+	}
+	return b, nil
+}
+
+func (n *Literal) eval(Env) (Value, error) { return n.Val, nil }
+
+func (n *Ref) eval(env Env) (Value, error) {
+	v, ok := env.Lookup(n.Path)
+	if !ok {
+		return nil, evalErrf("undefined reference %q", n.Path)
+	}
+	return normalize(v), nil
+}
+
+// normalize widens integer-typed environment values to float64 so that
+// documents populated from decoded JSON/XML and from Go code compare equal.
+func normalize(v Value) Value {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	}
+	return v
+}
+
+func (n *Unary) eval(env Env) (Value, error) {
+	v, err := n.X.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case NOT:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, evalErrf("operand of ! is %T, want bool", v)
+		}
+		return !b, nil
+	case SUB:
+		f, ok := v.(float64)
+		if !ok {
+			return nil, evalErrf("operand of unary - is %T, want number", v)
+		}
+		return -f, nil
+	}
+	return nil, evalErrf("unknown unary operator %s", n.Op)
+}
+
+func (n *Binary) eval(env Env) (Value, error) {
+	// Short-circuit boolean connectives.
+	if n.Op == AND || n.Op == OR {
+		l, err := n.L.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, evalErrf("left operand of %s is %T, want bool", n.Op, l)
+		}
+		if n.Op == AND && !lb {
+			return false, nil
+		}
+		if n.Op == OR && lb {
+			return true, nil
+		}
+		r, err := n.R.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, evalErrf("right operand of %s is %T, want bool", n.Op, r)
+		}
+		return rb, nil
+	}
+
+	l, err := n.L.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.R.eval(env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n.Op {
+	case EQ:
+		return valuesEqual(l, r), nil
+	case NEQ:
+		return !valuesEqual(l, r), nil
+	}
+
+	if lf, rf, ok := numericPair(l, r); ok {
+		switch n.Op {
+		case LT:
+			return lf < rf, nil
+		case LEQ:
+			return lf <= rf, nil
+		case GT:
+			return lf > rf, nil
+		case GEQ:
+			return lf >= rf, nil
+		case ADD:
+			return lf + rf, nil
+		case SUB:
+			return lf - rf, nil
+		case MUL:
+			return lf * rf, nil
+		case QUO:
+			if rf == 0 {
+				return nil, evalErrf("division by zero")
+			}
+			return lf / rf, nil
+		case REM:
+			if rf == 0 {
+				return nil, evalErrf("modulo by zero")
+			}
+			return math.Mod(lf, rf), nil
+		}
+	}
+	if ls, rs, ok := stringPair(l, r); ok {
+		switch n.Op {
+		case LT:
+			return ls < rs, nil
+		case LEQ:
+			return ls <= rs, nil
+		case GT:
+			return ls > rs, nil
+		case GEQ:
+			return ls >= rs, nil
+		case ADD:
+			return ls + rs, nil
+		}
+	}
+	return nil, evalErrf("operator %s not defined on %T and %T", n.Op, l, r)
+}
+
+func valuesEqual(l, r Value) bool {
+	if lf, rf, ok := numericPair(l, r); ok {
+		return lf == rf
+	}
+	return l == r
+}
+
+func numericPair(l, r Value) (float64, float64, bool) {
+	lf, lok := l.(float64)
+	rf, rok := r.(float64)
+	return lf, rf, lok && rok
+}
+
+func stringPair(l, r Value) (string, string, bool) {
+	ls, lok := l.(string)
+	rs, rok := r.(string)
+	return ls, rs, lok && rok
+}
+
+// builtins maps function names to implementations. All are pure.
+var builtins = map[string]func(args []Value) (Value, error){
+	"len": func(args []Value) (Value, error) {
+		if err := arity("len", args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case string:
+			return float64(len(x)), nil
+		case []Value:
+			return float64(len(x)), nil
+		}
+		return nil, evalErrf("len: unsupported type %T", args[0])
+	},
+	"abs": func(args []Value) (Value, error) {
+		if err := arity("abs", args, 1); err != nil {
+			return nil, err
+		}
+		f, ok := args[0].(float64)
+		if !ok {
+			return nil, evalErrf("abs: want number, got %T", args[0])
+		}
+		return math.Abs(f), nil
+	},
+	"min": func(args []Value) (Value, error) {
+		return fold("min", args, math.Min)
+	},
+	"max": func(args []Value) (Value, error) {
+		return fold("max", args, math.Max)
+	},
+	"contains": func(args []Value) (Value, error) {
+		if err := arity("contains", args, 2); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, evalErrf("contains: want (string, string), got (%T, %T)", args[0], args[1])
+		}
+		return strings.Contains(s, sub), nil
+	},
+	"round": func(args []Value) (Value, error) {
+		if err := arity("round", args, 1); err != nil {
+			return nil, err
+		}
+		f, ok := args[0].(float64)
+		if !ok {
+			return nil, evalErrf("round: want number, got %T", args[0])
+		}
+		return math.Round(f), nil
+	},
+	"lower": func(args []Value) (Value, error) {
+		if err := arity("lower", args, 1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, evalErrf("lower: want string, got %T", args[0])
+		}
+		return strings.ToLower(s), nil
+	},
+	"upper": func(args []Value) (Value, error) {
+		if err := arity("upper", args, 1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, evalErrf("upper: want string, got %T", args[0])
+		}
+		return strings.ToUpper(s), nil
+	},
+	"if": func(args []Value) (Value, error) {
+		if err := arity("if", args, 3); err != nil {
+			return nil, err
+		}
+		c, ok := args[0].(bool)
+		if !ok {
+			return nil, evalErrf("if: condition is %T, want bool", args[0])
+		}
+		if c {
+			return args[1], nil
+		}
+		return args[2], nil
+	},
+	"startswith": func(args []Value) (Value, error) {
+		if err := arity("startswith", args, 2); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(string)
+		p, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, evalErrf("startswith: want (string, string), got (%T, %T)", args[0], args[1])
+		}
+		return strings.HasPrefix(s, p), nil
+	},
+}
+
+func arity(name string, args []Value, n int) error {
+	if len(args) != n {
+		return evalErrf("%s: want %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func fold(name string, args []Value, f func(a, b float64) float64) (Value, error) {
+	if len(args) == 0 {
+		return nil, evalErrf("%s: want at least 1 argument", name)
+	}
+	acc, ok := args[0].(float64)
+	if !ok {
+		return nil, evalErrf("%s: want numbers, got %T", name, args[0])
+	}
+	for _, a := range args[1:] {
+		v, ok := a.(float64)
+		if !ok {
+			return nil, evalErrf("%s: want numbers, got %T", name, a)
+		}
+		acc = f(acc, v)
+	}
+	return acc, nil
+}
+
+func (n *Call) eval(env Env) (Value, error) {
+	fn, ok := builtins[strings.ToLower(n.Name)]
+	if !ok {
+		return nil, evalErrf("unknown function %q", n.Name)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := a.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn(args)
+}

@@ -1,0 +1,377 @@
+package expr
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustEval(t *testing.T, src string, env Env) Value {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := Eval(n, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2", 3},
+		{"2 * 3 + 4", 10},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 / 4", 2.5},
+		{"10 % 4", 2},
+		{"-5 + 3", -2},
+		{"--5", 5},
+		{"2 * -3", -6},
+		{"1.5 + 2.25", 3.75},
+		{"abs(-3)", 3},
+		{"min(3, 1, 2)", 1},
+		{"max(3, 1, 2)", 3},
+		{"len(\"abc\")", 3},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, MapEnv{}); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	env := MapEnv{
+		"document.amount": 55000.0,
+		"source":          "TP1",
+		"target":          "SAP",
+		"PO.amount":       10001.0,
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"document.amount >= 55000", true},
+		{"document.amount > 55000", false},
+		{"document.amount >= 55000 && source == \"TP1\"", true},
+		{"document.amount >= 55000 and source == 'TP2'", false},
+		{"target == \"SAP\" and source == \"TP1\"", true},
+		{"target == \"Oracle\" or target == \"SAP\"", true},
+		{"not (target == \"Oracle\")", true},
+		{"!(source == \"TP1\")", false},
+		{"PO.amount > 10000", true},
+		{"PO.amount > 550000", false},
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"\"abc\" < \"abd\"", true},
+		{"\"a\" + \"b\" == \"ab\"", true},
+		{"contains(\"hello world\", \"world\")", true},
+		{"startswith(\"TP1\", \"TP\")", true},
+		{"true && false || true", true},
+		{"1 == 1 && 2 != 3", true},
+		{"source = 'TP1'", true}, // single '=' tolerance
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand references an undefined path; short-circuiting must
+	// prevent evaluation from reaching it.
+	env := MapEnv{"a": true, "b": false}
+	if got := mustEval(t, "a || missing.path > 1", env); got != true {
+		t.Fatalf("or short-circuit: got %v", got)
+	}
+	if got := mustEval(t, "b && missing.path > 1", env); got != false {
+		t.Fatalf("and short-circuit: got %v", got)
+	}
+}
+
+func TestIntWidening(t *testing.T) {
+	env := MapEnv{"n": 42, "m": int64(7), "f": float32(1.5)}
+	if got := mustEval(t, "n == 42", env); got != true {
+		t.Errorf("int widening failed")
+	}
+	if got := mustEval(t, "m * 2 == 14", env); got != true {
+		t.Errorf("int64 widening failed")
+	}
+	if got := mustEval(t, "f == 1.5", env); got != true {
+		t.Errorf("float32 widening failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "1)", "\"unterminated", "a ..b", "a. > 1",
+		"1 2", "&& 1", "f(1,", "f(1,)", "#", "'\\q'",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q): error %v is not *SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := MapEnv{"s": "str", "n": 1.0}
+	bad := []string{
+		"missing",
+		"s + 1",
+		"n && true",
+		"!n",
+		"-s",
+		"1 / 0",
+		"1 % 0",
+		"unknownfn(1)",
+		"len(1)",
+		"abs(\"x\")",
+		"min()",
+		"contains(1, 2)",
+	}
+	for _, src := range bad {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Eval(n, env); err == nil {
+			t.Errorf("Eval(%q): expected error", src)
+		}
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	n := MustParse("1 + 1")
+	if _, err := EvalBool(n, MapEnv{}); err == nil {
+		t.Errorf("EvalBool on numeric expression: expected error")
+	}
+	b, err := EvalBool(MustParse("2 > 1"), MapEnv{})
+	if err != nil || !b {
+		t.Errorf("EvalBool(2>1) = %v, %v", b, err)
+	}
+}
+
+func TestRefs(t *testing.T) {
+	n := MustParse("document.amount >= 55000 && source == \"TP1\" || max(document.amount, other.x) > 1")
+	got := Refs(n)
+	want := []string{"document.amount", "source", "other.x"}
+	if len(got) != len(want) {
+		t.Fatalf("Refs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Refs = %v, want %v", got, want)
+		}
+	}
+}
+
+// genExpr builds a random well-formed boolean expression tree for the
+// round-trip property test.
+func genExpr(r *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &Literal{Val: float64(r.Intn(1000))}
+		case 1:
+			return &Literal{Val: r.Intn(2) == 0}
+		case 2:
+			return &Literal{Val: "s" + string(rune('a'+r.Intn(26)))}
+		default:
+			paths := []string{"document.amount", "source", "target", "x", "a.b.c"}
+			return &Ref{Path: paths[r.Intn(len(paths))]}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &Unary{Op: NOT, X: &Literal{Val: r.Intn(2) == 0}}
+	case 1:
+		ops := []Kind{ADD, SUB, MUL}
+		return &Binary{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 2:
+		ops := []Kind{EQ, NEQ, LT, LEQ, GT, GEQ}
+		return &Binary{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 3:
+		ops := []Kind{AND, OR}
+		return &Binary{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 4:
+		return &Call{Name: "max", Args: []Node{genExpr(r, depth-1), genExpr(r, depth-1)}}
+	default:
+		return genExpr(r, depth-1)
+	}
+}
+
+// TestPropertyParsePrintIdentity checks that printing an AST and re-parsing
+// it yields an AST that prints identically (a fixed point after one round).
+func TestPropertyParsePrintIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := genExpr(r, 4)
+		src := n.String()
+		n2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("re-parse of printed AST %q failed: %v", src, err)
+		}
+		if n2.String() != src {
+			t.Fatalf("print/parse/print not stable:\n first: %s\nsecond: %s", src, n2.String())
+		}
+	}
+}
+
+// TestPropertyEvalDeterministic checks evaluation is deterministic: the same
+// expression and environment always produce the same value or the same error.
+func TestPropertyEvalDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	env := MapEnv{
+		"document.amount": 123.0, "source": "TP1", "target": "SAP",
+		"x": 5.0, "a.b.c": "v",
+	}
+	for i := 0; i < 500; i++ {
+		n := genExpr(r, 4)
+		v1, err1 := Eval(n, env)
+		v2, err2 := Eval(n, env)
+		if (err1 == nil) != (err2 == nil) || v1 != v2 {
+			t.Fatalf("nondeterministic eval of %s: (%v,%v) vs (%v,%v)", n, v1, err1, v2, err2)
+		}
+	}
+}
+
+// TestQuickNumericLiterals uses testing/quick to verify that any float64
+// round-trips through print and parse to an equal evaluated value.
+func TestQuickNumericLiterals(t *testing.T) {
+	f := func(x float64) bool {
+		if x != x || x > 1e300 || x < -1e300 { // skip NaN/extremes that print oddly
+			return true
+		}
+		lit := &Literal{Val: abs(x)}
+		n, err := Parse(lit.String())
+		if err != nil {
+			return false
+		}
+		v, err := Eval(n, MapEnv{})
+		if err != nil {
+			return false
+		}
+		return v == abs(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestQuickStringLiterals verifies strings with escapes survive quoting.
+func TestQuickStringLiterals(t *testing.T) {
+	f := func(s string) bool {
+		if !validUTF8(s) {
+			return true
+		}
+		lit := &Literal{Val: s}
+		n, err := Parse(lit.String())
+		if err != nil {
+			return false
+		}
+		v, err := Eval(n, MapEnv{})
+		if err != nil {
+			return false
+		}
+		return v == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validUTF8(s string) bool {
+	// Only exercise printable ASCII without control characters: the quoted
+	// form of other runes uses \uXXXX escapes the lexer doesn't implement
+	// (documents in this system are ASCII business identifiers).
+	for _, r := range s {
+		if r < 32 || r > 126 {
+			return false
+		}
+	}
+	return !strings.ContainsAny(s, "\x00")
+}
+
+func TestPaperBusinessRuleConditions(t *testing.T) {
+	// The exact conditions from Section 4.3.2 of the paper.
+	cases := []struct {
+		source, target string
+		amount         float64
+		want           bool
+	}{
+		{"TP1", "SAP", 55000, true},
+		{"TP1", "SAP", 54999, false},
+		{"TP2", "SAP", 40000, true},
+		{"TP2", "SAP", 39999, false},
+		{"TP1", "Oracle", 55000, true},
+		{"TP2", "Oracle", 40000, true},
+	}
+	cond := MustParse(`(target == "SAP" && source == "TP1" && document.amount >= 55000) ||
+		(target == "SAP" && source == "TP2" && document.amount >= 40000) ||
+		(target == "Oracle" && source == "TP1" && document.amount >= 55000) ||
+		(target == "Oracle" && source == "TP2" && document.amount >= 40000)`)
+	for _, c := range cases {
+		env := MapEnv{"source": c.source, "target": c.target, "document.amount": c.amount}
+		got, err := EvalBool(cond, env)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		if got != c.want {
+			t.Errorf("source=%s target=%s amount=%v: got %v, want %v", c.source, c.target, c.amount, got, c.want)
+		}
+	}
+}
+
+func TestExtraBuiltins(t *testing.T) {
+	env := MapEnv{"source": "tp1", "amount": 1234.56}
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"round(1234.56)", 1235.0},
+		{"round(1234.4)", 1234.0},
+		{"upper(source)", "TP1"},
+		{"lower(\"SAP\")", "sap"},
+		{"if(amount > 1000, \"big\", \"small\")", "big"},
+		{"if(amount > 10000, \"big\", \"small\")", "small"},
+		{"if(true, 1, 2)", 1.0},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"round(\"x\")", "upper(1)", "lower(1)", "if(1, 2, 3)", "if(true, 1)",
+	} {
+		n, err := Parse(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Eval(n, env); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles source into an AST. Grammar (lowest to highest precedence):
+//
+//	or     := and   ( ("||"|"or")  and   )*
+//	and    := cmp   ( ("&&"|"and") cmp   )*
+//	cmp    := sum   ( ("=="|"!="|"<"|"<="|">"|">=") sum )?
+//	sum    := term  ( ("+"|"-") term )*
+//	term   := unary ( ("*"|"/"|"%") unary )*
+//	unary  := ("!"|"not"|"-") unary | primary
+//	primary:= NUMBER | STRING | BOOL | IDENT ["(" args ")"] | "(" or ")"
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != EOF {
+		return nil, p.errf(t.Pos, "unexpected %s after expression", t)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; intended for statically known
+// expressions in tests and model builders.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src  string
+	toks []Token
+	i    int
+}
+
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Src: p.src, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) (Token, bool) {
+	if p.peek().Kind == k {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return Token{}, p.errf(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(OR); !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OR, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(AND); !ok {
+			return l, nil
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: AND, L: l, R: r}
+	}
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().Kind; k {
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		p.advance()
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: k, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (Node, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		if k != ADD && k != SUB {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		if k != MUL && k != QUO && k != REM {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	switch p.peek().Kind {
+	case NOT:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: NOT, X: x}, nil
+	case SUB:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: SUB, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch t.Kind {
+	case NUMBER:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad number %q: %v", t.Text, err)
+		}
+		return &Literal{Val: f}, nil
+	case STRING:
+		p.advance()
+		return &Literal{Val: t.Text}, nil
+	case BOOL:
+		p.advance()
+		return &Literal{Val: t.Text == "true"}, nil
+	case IDENT:
+		p.advance()
+		if _, ok := p.accept(LPAREN); ok {
+			var args []Node
+			if p.peek().Kind != RPAREN {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if _, ok := p.accept(COMMA); !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args}, nil
+		}
+		return &Ref{Path: t.Text}, nil
+	case LPAREN:
+		p.advance()
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, p.errf(t.Pos, "expected expression, found %s", t)
+}

@@ -1,0 +1,101 @@
+// Package expr implements the small expression language used for workflow
+// transition conditions and business rules in the B2B integration framework.
+//
+// The language is deliberately tiny but complete enough to express every
+// condition that appears in the paper, e.g.
+//
+//	document.amount >= 55000 && source == "TP1"
+//	PO.amount > 10000
+//	target == "SAP" and source == "TP2"
+//
+// It supports numbers (float64), strings, booleans, dotted references into a
+// document environment, arithmetic, comparisons, boolean connectives (both
+// C-style && || ! and keyword-style and/or/not), parentheses, and a small set
+// of built-in functions (len, abs, min, max, contains, startswith).
+//
+// Expressions are parsed once into an AST and may be evaluated many times
+// against different environments; Parse and Eval are safe for concurrent use
+// on distinct environments.
+package expr
+
+import "fmt"
+
+// Kind identifies the lexical class of a Token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+	BOOL
+
+	LPAREN // (
+	RPAREN // )
+	COMMA  // ,
+
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	AND // && or "and"
+	OR  // || or "or"
+	NOT // ! or "not"
+)
+
+var kindNames = map[Kind]string{
+	EOF:    "EOF",
+	IDENT:  "IDENT",
+	NUMBER: "NUMBER",
+	STRING: "STRING",
+	BOOL:   "BOOL",
+	LPAREN: "(",
+	RPAREN: ")",
+	COMMA:  ",",
+	ADD:    "+",
+	SUB:    "-",
+	MUL:    "*",
+	QUO:    "/",
+	REM:    "%",
+	EQ:     "==",
+	NEQ:    "!=",
+	LT:     "<",
+	LEQ:    "<=",
+	GT:     ">",
+	GEQ:    ">=",
+	AND:    "&&",
+	OR:     "||",
+	NOT:    "!",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position (byte offset).
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,92 @@
+package edi
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// POCodec is the formats.Codec for X12 850 purchase orders.
+type POCodec struct{}
+
+// Format implements formats.Codec.
+func (POCodec) Format() formats.Format { return formats.EDI }
+
+// DocType implements formats.Codec.
+func (POCodec) DocType() doc.DocType { return doc.TypePO }
+
+// Encode implements formats.Codec; native must be *PO850.
+func (POCodec) Encode(native any) ([]byte, error) {
+	p, ok := native.(*PO850)
+	if !ok {
+		return nil, fmt.Errorf("edi: PO codec: want *edi.PO850, got %T", native)
+	}
+	return p.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POCodec) Decode(data []byte) (any, error) { return DecodePO850(data) }
+
+// POACodec is the formats.Codec for X12 855 acknowledgments.
+type POACodec struct{}
+
+// Format implements formats.Codec.
+func (POACodec) Format() formats.Format { return formats.EDI }
+
+// DocType implements formats.Codec.
+func (POACodec) DocType() doc.DocType { return doc.TypePOA }
+
+// Encode implements formats.Codec; native must be *POA855.
+func (POACodec) Encode(native any) ([]byte, error) {
+	p, ok := native.(*POA855)
+	if !ok {
+		return nil, fmt.Errorf("edi: POA codec: want *edi.POA855, got %T", native)
+	}
+	return p.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POACodec) Decode(data []byte) (any, error) { return DecodePOA855(data) }
+
+// FACodec is the formats.Codec for X12 997 functional acknowledgments.
+type FACodec struct{}
+
+// Format implements formats.Codec.
+func (FACodec) Format() formats.Format { return formats.EDI }
+
+// DocType implements formats.Codec.
+func (FACodec) DocType() doc.DocType { return doc.TypeFA }
+
+// Encode implements formats.Codec; native must be *FA997.
+func (FACodec) Encode(native any) ([]byte, error) {
+	f, ok := native.(*FA997)
+	if !ok {
+		return nil, fmt.Errorf("edi: FA codec: want *edi.FA997, got %T", native)
+	}
+	return f.Encode()
+}
+
+// Decode implements formats.Codec.
+func (FACodec) Decode(data []byte) (any, error) { return DecodeFA997(data) }
+
+// INVCodec is the formats.Codec for X12 810 invoices.
+type INVCodec struct{}
+
+// Format implements formats.Codec.
+func (INVCodec) Format() formats.Format { return formats.EDI }
+
+// DocType implements formats.Codec.
+func (INVCodec) DocType() doc.DocType { return doc.TypeINV }
+
+// Encode implements formats.Codec; native must be *Invoice810.
+func (INVCodec) Encode(native any) ([]byte, error) {
+	p, ok := native.(*Invoice810)
+	if !ok {
+		return nil, fmt.Errorf("edi: INV codec: want *edi.Invoice810, got %T", native)
+	}
+	return p.Encode()
+}
+
+// Decode implements formats.Codec.
+func (INVCodec) Decode(data []byte) (any, error) { return DecodeInvoice810(data) }

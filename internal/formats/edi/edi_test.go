@@ -1,0 +1,249 @@
+package edi
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func samplePO850() *PO850 {
+	return &PO850{
+		SenderID:   "TP1",
+		ReceiverID: "HUB",
+		Control:    42,
+		PONumber:   "PO-TP1-000001",
+		Date:       time.Date(2001, 9, 3, 0, 0, 0, 0, time.UTC),
+		Currency:   "USD",
+		BuyerName:  "Acme Corp", BuyerDUNS: "123456789",
+		SellerName: "Widget Inc", SellerDUNS: "987654321",
+		ShipTo: "Acme Receiving Dock 1",
+		Note:   "rush order",
+		Items: []Item850{
+			{Line: 1, Quantity: 10, UnitPrice: 1450, SKU: "LAP-100", Description: "Laptop 14in"},
+			{Line: 2, Quantity: 20, UnitPrice: 480, SKU: "MON-27", Description: "Monitor 27in"},
+		},
+	}
+}
+
+func samplePOA855() *POA855 {
+	return &POA855{
+		SenderID:   "HUB",
+		ReceiverID: "TP1",
+		Control:    43,
+		AckNumber:  "POA-000042",
+		PONumber:   "PO-TP1-000001",
+		Code:       BAKAcceptedWithDetail,
+		Date:       time.Date(2001, 9, 3, 0, 0, 0, 0, time.UTC),
+		BuyerName:  "Acme Corp", BuyerDUNS: "123456789",
+		SellerName: "Widget Inc", SellerDUNS: "987654321",
+		Items: []AckItem855{
+			{Line: 1, Code: AckItemAccepted, Quantity: 10, ShipDate: time.Date(2001, 9, 10, 0, 0, 0, 0, time.UTC)},
+			{Line: 2, Code: AckItemBackorder, Quantity: 15},
+		},
+	}
+}
+
+func TestPO850RoundTrip(t *testing.T) {
+	in := samplePO850()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePO850(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nwire:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\nwire:\n%s", in, out, data)
+	}
+}
+
+func TestPOA855RoundTrip(t *testing.T) {
+	in := samplePOA855()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePOA855(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nwire:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\nwire:\n%s", in, out, data)
+	}
+}
+
+func TestWireShape(t *testing.T) {
+	data, err := samplePO850().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"ISA*00*", "GS*PO*TP1*HUB*20010903", "ST*850*0001",
+		"BEG*00*SA*PO-TP1-000001**20010903", "CUR*BY*USD",
+		"N1*BY*Acme Corp*1*123456789", "PO1*1*10*EA*1450*PE*VP*LAP-100",
+		"PID*F****Laptop 14in", "CTT*2", "SE*", "GE*1*42", "IEA*1*000000042",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSE01CountsSegments(t *testing.T) {
+	po := samplePO850()
+	ic := po.Interchange()
+	data, err := ic.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Body has BEG,CUR,N1,N1,N1(ST),MSG + 2*(PO1,PID) + CTT = 11; SE01 = 13.
+	if !strings.Contains(string(data), "SE*13*0001") {
+		t.Fatalf("SE01 wrong:\n%s", data)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good, err := samplePO850().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(string) string
+	}{
+		{"truncated envelope", func(s string) string { return s[:len(s)/2] }},
+		{"missing IEA", func(s string) string { return strings.Replace(s, "IEA*1", "XEA*1", 1) }},
+		{"control mismatch", func(s string) string { return strings.Replace(s, "IEA*1*000000042", "IEA*1*000000099", 1) }},
+		{"SE count off", func(s string) string { return strings.Replace(s, "SE*13", "SE*12", 1) }},
+		{"bad PO1 qty", func(s string) string { return strings.Replace(s, "PO1*1*10*EA", "PO1*1*XX*EA", 1) }},
+		{"bad price", func(s string) string { return strings.Replace(s, "*1450*PE", "*abc*PE", 1) }},
+		{"CTT mismatch", func(s string) string { return strings.Replace(s, "CTT*2", "CTT*3", 1) }},
+		{"alien segment", func(s string) string { return strings.Replace(s, "CTT*2~", "CTT*2~\nZZZ*1~", 1) }},
+		{"missing BEG", func(s string) string {
+			return strings.Replace(strings.Replace(s, "BEG*", "REM*", 1), "SE*13", "SE*13", 1)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodePO850([]byte(c.corrupt(string(good))))
+			if err == nil {
+				t.Fatalf("corrupted interchange accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeRejects855As850(t *testing.T) {
+	data, err := samplePOA855().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePO850(data); err == nil {
+		t.Fatal("DecodePO850 accepted an 855")
+	}
+	data, err = samplePO850().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePOA855(data); err == nil {
+		t.Fatal("DecodePOA855 accepted an 850")
+	}
+}
+
+func TestEncodeRejectsSeparatorInjection(t *testing.T) {
+	po := samplePO850()
+	po.Items[0].SKU = "BAD*SKU"
+	if _, err := po.Encode(); err == nil {
+		t.Fatal("element containing * accepted")
+	}
+	po = samplePO850()
+	po.Note = "note~with~terminator"
+	if _, err := po.Encode(); err == nil {
+		t.Fatal("element containing ~ accepted")
+	}
+	po = samplePO850()
+	po.SenderID = "T*P"
+	if _, err := po.Encode(); err == nil {
+		t.Fatal("party ID containing * accepted")
+	}
+}
+
+func TestEncodeRejectsEmptyPO(t *testing.T) {
+	po := samplePO850()
+	po.Items = nil
+	if _, err := po.Encode(); err == nil {
+		t.Fatal("850 without PO1 loops accepted")
+	}
+}
+
+func TestEncodeRejectsMissingAckNumber(t *testing.T) {
+	poa := samplePOA855()
+	poa.AckNumber = ""
+	if _, err := poa.Encode(); err == nil {
+		t.Fatal("855 without BAK08 accepted")
+	}
+}
+
+func TestSegmentElem(t *testing.T) {
+	s := seg("PO1", "1", "10", "EA")
+	if s.Elem(0) != "" || s.Elem(4) != "" {
+		t.Fatal("out-of-range Elem should return empty")
+	}
+	if s.Elem(1) != "1" || s.Elem(3) != "EA" {
+		t.Fatal("Elem indexing wrong")
+	}
+	if seg("CTT").String() != "CTT" {
+		t.Fatal("empty segment renders with separators")
+	}
+	// Trailing empties trimmed.
+	if got := seg("BEG", "00", "", "").String(); got != "BEG*00" {
+		t.Fatalf("trailing empties not trimmed: %q", got)
+	}
+}
+
+// TestPropertyRandomPO850RoundTrip fuzzes typed 850s and checks the wire
+// round trip is the identity.
+func TestPropertyRandomPO850RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 250; i++ {
+		n := 1 + r.Intn(8)
+		items := make([]Item850, n)
+		for j := range items {
+			items[j] = Item850{
+				Line:        j + 1,
+				Quantity:    1 + r.Intn(500),
+				UnitPrice:   float64(r.Intn(1000000)) / 100,
+				SKU:         "SKU-" + string(rune('A'+r.Intn(26))),
+				Description: "item desc",
+			}
+		}
+		in := &PO850{
+			SenderID: "TP1", ReceiverID: "HUB", Control: r.Intn(1 << 30),
+			PONumber: "PO-X", Date: time.Date(2001, 9, 3, 0, 0, 0, 0, time.UTC),
+			Currency: "USD", BuyerName: "B", SellerName: "S", Items: items,
+		}
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodePO850(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d: round trip mismatch\n in: %+v\nout: %+v", i, in, out)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, s := range []string{"", "hello", "ISA*00~", "~~~~", "ISA~GS~ST~SE~GE~IEA~"} {
+		if _, err := Decode([]byte(s)); err == nil {
+			t.Errorf("Decode(%q): expected error", s)
+		}
+	}
+}

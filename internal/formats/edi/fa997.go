@@ -1,0 +1,125 @@
+package edi
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// FA997 is the native X12 997 functional acknowledgment: the syntactic
+// receipt signal for a received functional group. It carries AK1 (the
+// acknowledged group's functional identifier and control number) and AK9
+// (the acceptance code and transaction-set counts).
+type FA997 struct {
+	SenderID   string
+	ReceiverID string
+	// Control is this 997's own interchange control number.
+	Control int
+	// AckNumber identifies this acknowledgment document (carried as the
+	// transaction set's reference in an REF segment).
+	AckNumber string
+	// RefGroupID is AK101, the functional identifier code of the
+	// acknowledged group ("PO" for 850s).
+	RefGroupID string
+	// RefControl is AK102, the control number of the acknowledged group.
+	RefControl int
+	// Accepted maps to AK901 "A" (accepted) or "R" (rejected).
+	Accepted bool
+	// Note is free-text rejection detail (MSG segment).
+	Note string
+	// Date is the interchange date.
+	Date time.Time
+}
+
+// Interchange lowers the 997 to its envelope and segments.
+func (f *FA997) Interchange() *Interchange {
+	code := "A"
+	if !f.Accepted {
+		code = "R"
+	}
+	body := []Segment{
+		seg("AK1", f.RefGroupID, strconv.Itoa(f.RefControl)),
+		seg("AK9", code, "1", "1", map[bool]string{true: "1", false: "0"}[f.Accepted]),
+		seg("REF", "ACK", f.AckNumber),
+	}
+	if f.Note != "" {
+		body = append(body, seg("MSG", f.Note))
+	}
+	return &Interchange{
+		SenderID:   f.SenderID,
+		ReceiverID: f.ReceiverID,
+		Control:    f.Control,
+		GroupID:    "FA",
+		TxSetID:    "997",
+		Date:       f.Date,
+		Body:       body,
+	}
+}
+
+// Encode renders the 997 to wire bytes.
+func (f *FA997) Encode() ([]byte, error) {
+	if f.AckNumber == "" {
+		return nil, fmt.Errorf("edi: 997 requires an acknowledgment number")
+	}
+	if f.RefControl <= 0 {
+		return nil, fmt.Errorf("edi: 997 requires the acknowledged control number (AK102)")
+	}
+	return f.Interchange().Encode()
+}
+
+// ParseFA997 lifts a decoded interchange into the typed 997.
+func ParseFA997(ic *Interchange) (*FA997, error) {
+	if ic.TxSetID != "997" {
+		return nil, decodeErrf("transaction set is %s, want 997", ic.TxSetID)
+	}
+	f := &FA997{
+		SenderID:   ic.SenderID,
+		ReceiverID: ic.ReceiverID,
+		Control:    ic.Control,
+		Date:       ic.Date,
+	}
+	sawAK1, sawAK9 := false, false
+	for _, s := range ic.Body {
+		switch s.ID {
+		case "AK1":
+			sawAK1 = true
+			f.RefGroupID = s.Elem(1)
+			n, err := strconv.Atoi(s.Elem(2))
+			if err != nil {
+				return nil, decodeErrf("AK102 %q is not a control number", s.Elem(2))
+			}
+			f.RefControl = n
+		case "AK9":
+			sawAK9 = true
+			switch s.Elem(1) {
+			case "A":
+				f.Accepted = true
+			case "R":
+				f.Accepted = false
+			default:
+				return nil, decodeErrf("AK901 %q is not A or R", s.Elem(1))
+			}
+		case "REF":
+			if s.Elem(1) == "ACK" {
+				f.AckNumber = s.Elem(2)
+			}
+		case "MSG":
+			f.Note = s.Elem(1)
+		default:
+			return nil, decodeErrf("unexpected segment %s in 997", s.ID)
+		}
+	}
+	if !sawAK1 || !sawAK9 {
+		return nil, decodeErrf("997 is missing AK1/AK9 segments")
+	}
+	return f, nil
+}
+
+// DecodeFA997 parses wire bytes into a typed 997.
+func DecodeFA997(data []byte) (*FA997, error) {
+	ic, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFA997(ic)
+}

@@ -1,0 +1,126 @@
+package edi
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleFA997() *FA997 {
+	return &FA997{
+		SenderID:   "HUB",
+		ReceiverID: "TP1",
+		Control:    101,
+		AckNumber:  "997-000000100",
+		RefGroupID: "PO",
+		RefControl: 100,
+		Accepted:   true,
+		Date:       time.Date(2001, 9, 3, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestFA997RoundTrip(t *testing.T) {
+	in := sampleFA997()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFA997(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nwire:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestFA997RejectedRoundTrip(t *testing.T) {
+	in := sampleFA997()
+	in.Accepted = false
+	in.Note = "syntax error in PO1 loop"
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFA997(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted || out.Note != in.Note {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestFA997WireShape(t *testing.T) {
+	data, err := sampleFA997().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"ST*997*0001", "AK1*PO*100", "AK9*A*1*1*1", "GS*FA*"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFA997Validation(t *testing.T) {
+	f := sampleFA997()
+	f.AckNumber = ""
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("997 without ack number accepted")
+	}
+	f = sampleFA997()
+	f.RefControl = 0
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("997 without referenced control number accepted")
+	}
+}
+
+func TestFA997RejectsOtherTxSets(t *testing.T) {
+	po, err := samplePO850().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFA997(po); err == nil {
+		t.Fatal("DecodeFA997 accepted an 850")
+	}
+}
+
+func TestFA997DecodeCorruption(t *testing.T) {
+	good, err := sampleFA997().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ name, from, to string }{
+		{"bad AK102", "AK1*PO*100", "AK1*PO*xyz"},
+		{"bad AK901", "AK9*A", "AK9*Z"},
+		{"alien segment", "REF*ACK", "ZZZ*ACK"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			bad := strings.Replace(string(good), c.from, c.to, 1)
+			if _, err := DecodeFA997([]byte(bad)); err == nil {
+				t.Fatal("corrupted 997 accepted")
+			}
+		})
+	}
+}
+
+func TestFACodec(t *testing.T) {
+	c := FACodec{}
+	wire, err := c.Encode(sampleFA997())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*FA997); !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if _, err := c.Encode("nope"); err == nil {
+		t.Fatal("FA codec accepted a string")
+	}
+}

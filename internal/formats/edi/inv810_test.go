@@ -1,0 +1,157 @@
+package edi
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleInvoice810() *Invoice810 {
+	return &Invoice810{
+		SenderID:      "HUB",
+		ReceiverID:    "TP1",
+		Control:       77,
+		InvoiceNumber: "INV-000042",
+		PONumber:      "PO-TP1-000001",
+		Date:          time.Date(2001, 9, 12, 0, 0, 0, 0, time.UTC),
+		DueDate:       time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC),
+		Currency:      "USD",
+		BuyerName:     "Acme Corp", BuyerDUNS: "111111111",
+		SellerName: "Widget Inc", SellerDUNS: "999999999",
+		Note: "net 30",
+		Items: []Item810{
+			{Line: 1, Quantity: 10, UnitPrice: 1450, SKU: "LAP-100", Description: "Laptop"},
+			{Line: 2, Quantity: 15, UnitPrice: 480.25, SKU: "MON-27"},
+		},
+	}
+}
+
+func TestInvoice810RoundTrip(t *testing.T) {
+	in := sampleInvoice810()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvoice810(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nwire:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestInvoice810WireShape(t *testing.T) {
+	data, err := sampleInvoice810().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"ST*810*0001", "BIG*20010912*INV-000042**PO-TP1-000001",
+		"DTM*047*20011012", "IT1*1*10*EA*1450*PE*VP*LAP-100",
+		"TDS*", "CTT*2", "GS*IN*",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInvoice810TDSMismatchRejected(t *testing.T) {
+	data, err := sampleInvoice810().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), "TDS*", "TDS*9", 1)
+	if _, err := DecodeInvoice810([]byte(bad)); err == nil || !strings.Contains(err.Error(), "TDS") {
+		t.Fatalf("total tampering accepted: %v", err)
+	}
+}
+
+func TestInvoice810Validation(t *testing.T) {
+	inv := sampleInvoice810()
+	inv.InvoiceNumber = ""
+	if _, err := inv.Encode(); err == nil {
+		t.Fatal("missing invoice number accepted")
+	}
+	inv = sampleInvoice810()
+	inv.Items = nil
+	if _, err := inv.Encode(); err == nil {
+		t.Fatal("no items accepted")
+	}
+}
+
+func TestInvoice810RejectsOtherTxSets(t *testing.T) {
+	po, err := samplePO850().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeInvoice810(po); err == nil {
+		t.Fatal("DecodeInvoice810 accepted an 850")
+	}
+}
+
+func TestInvoice810Corruption(t *testing.T) {
+	good, err := sampleInvoice810().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ name, from, to string }{
+		{"bad qty", "IT1*1*10*EA", "IT1*1*xx*EA"},
+		{"bad price", "*1450*PE", "*abc*PE"},
+		{"bad count", "CTT*2", "CTT*5"},
+		{"alien segment", "CTT*2~", "CTT*2~\nZZZ*9~"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			bad := strings.Replace(string(good), c.from, c.to, 1)
+			if _, err := DecodeInvoice810([]byte(bad)); err == nil {
+				t.Fatal("corrupted 810 accepted")
+			}
+		})
+	}
+}
+
+func TestPropertyRandomInvoice810RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 150; i++ {
+		in := sampleInvoice810()
+		in.Control = r.Intn(1 << 20)
+		n := 1 + r.Intn(6)
+		in.Items = make([]Item810, n)
+		for j := range in.Items {
+			in.Items[j] = Item810{
+				Line: j + 1, Quantity: 1 + r.Intn(400),
+				UnitPrice: float64(r.Intn(500000)) / 100,
+				SKU:       "S" + string(rune('A'+r.Intn(26))),
+			}
+		}
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeInvoice810(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d mismatch", i)
+		}
+	}
+}
+
+func TestINVCodecTypeCheck(t *testing.T) {
+	c := INVCodec{}
+	if _, err := c.Encode(42); err == nil {
+		t.Fatal("INV codec accepted an int")
+	}
+	wire, err := c.Encode(sampleInvoice810())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package formats defines the document format identifiers and the codec
+// registry shared by the concrete wire- and back-end formats of the
+// integration framework.
+//
+// The paper's scenario involves three B2B protocol formats (EDI X12,
+// RosettaNet PIP 3A4, OAGIS BODs) and two back-end application formats
+// (SAP IDoc-like, Oracle open-interface-table-like), plus the normalized
+// format that private processes operate on. Each concrete format lives in
+// its own subpackage with native Go types, an encoder and a decoder; the
+// transformation engine (package transform) maps native types to and from
+// the normalized document model (package doc).
+package formats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/doc"
+)
+
+// Format identifies a concrete document format.
+type Format string
+
+// The formats of the paper's running example.
+const (
+	EDI        Format = "EDI-X12"    // EDI X12 850/855 flat interchanges
+	RosettaNet Format = "RosettaNet" // PIP 3A4 XML service content
+	OAGIS      Format = "OAGIS"      // OAGIS business object documents (XML)
+	SAPIDoc    Format = "SAP-IDoc"   // SAP ORDERS/ORDRSP IDoc flat files
+	OracleOIF  Format = "Oracle-OIF" // Oracle open interface table rows (JSON)
+	Normalized Format = "Normalized" // the canonical in-memory model (package doc)
+)
+
+// Codec encodes and decodes one document type in one concrete format. The
+// native values handled by a codec are the format package's own types (e.g.
+// *edi.PurchaseOrder850), not normalized documents.
+type Codec interface {
+	// Format reports the concrete format this codec handles.
+	Format() Format
+	// DocType reports the normalized document type this codec corresponds to.
+	DocType() doc.DocType
+	// Encode serializes a native value to wire bytes.
+	Encode(native any) ([]byte, error)
+	// Decode parses wire bytes into a native value.
+	Decode(data []byte) (any, error)
+}
+
+// Registry maps (format, document type) to a codec. The zero value is ready
+// to use. Registry is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	codecs map[key]Codec
+}
+
+type key struct {
+	f Format
+	t doc.DocType
+}
+
+// Register adds a codec, replacing any previous codec for the same
+// (format, doc type) pair.
+func (r *Registry) Register(c Codec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.codecs == nil {
+		r.codecs = make(map[key]Codec)
+	}
+	r.codecs[key{c.Format(), c.DocType()}] = c
+}
+
+// Lookup returns the codec for the pair, or an error naming the gap.
+func (r *Registry) Lookup(f Format, t doc.DocType) (Codec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.codecs[key{f, t}]
+	if !ok {
+		return nil, fmt.Errorf("formats: no codec registered for %s %s", f, t)
+	}
+	return c, nil
+}
+
+// Formats lists the distinct formats with at least one registered codec,
+// sorted for deterministic output.
+func (r *Registry) Formats() []Format {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[Format]bool{}
+	var out []Format
+	for k := range r.codecs {
+		if !seen[k.f] {
+			seen[k.f] = true
+			out = append(out, k.f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,74 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+)
+
+type fakeCodec struct {
+	f Format
+	t doc.DocType
+}
+
+func (c fakeCodec) Format() Format             { return c.f }
+func (c fakeCodec) DocType() doc.DocType       { return c.t }
+func (c fakeCodec) Encode(any) ([]byte, error) { return []byte(string(c.f)), nil }
+func (c fakeCodec) Decode([]byte) (any, error) { return string(c.t), nil }
+
+func TestRegistryLookup(t *testing.T) {
+	var r Registry
+	r.Register(fakeCodec{EDI, doc.TypePO})
+	r.Register(fakeCodec{EDI, doc.TypePOA})
+	r.Register(fakeCodec{OAGIS, doc.TypePO})
+
+	c, err := r.Lookup(EDI, doc.TypePO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Format() != EDI || c.DocType() != doc.TypePO {
+		t.Fatalf("wrong codec %v/%v", c.Format(), c.DocType())
+	}
+	if _, err := r.Lookup(RosettaNet, doc.TypePO); err == nil {
+		t.Fatal("missing codec found")
+	} else if !strings.Contains(err.Error(), "RosettaNet") {
+		t.Fatalf("error should name the gap: %v", err)
+	}
+}
+
+func TestRegistryReplace(t *testing.T) {
+	var r Registry
+	r.Register(fakeCodec{EDI, doc.TypePO})
+	r.Register(fakeCodec{EDI, doc.TypePO}) // replace
+	got := r.Formats()
+	if len(got) != 1 || got[0] != EDI {
+		t.Fatalf("formats %v", got)
+	}
+}
+
+func TestRegistryFormatsSorted(t *testing.T) {
+	var r Registry
+	r.Register(fakeCodec{SAPIDoc, doc.TypePO})
+	r.Register(fakeCodec{EDI, doc.TypePO})
+	r.Register(fakeCodec{OAGIS, doc.TypePO})
+	got := r.Formats()
+	if len(got) != 3 {
+		t.Fatalf("formats %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestZeroRegistryLookup(t *testing.T) {
+	var r Registry
+	if _, err := r.Lookup(EDI, doc.TypePO); err == nil {
+		t.Fatal("zero registry should have no codecs")
+	}
+	if got := r.Formats(); len(got) != 0 {
+		t.Fatalf("formats %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package oagis implements a structurally faithful subset of the OAGIS
+// business object documents (BODs) for the paper's running example: the
+// ProcessPurchaseOrder BOD carrying a purchase order and the
+// AcknowledgePurchaseOrder BOD carrying the acknowledgment.
+//
+// This is the "OAGIS" B2B protocol of the paper (reference [36],
+// www.openapplications.org) — the third protocol added in Figure 10/15 to
+// demonstrate change impact. The BOD shape (ApplicationArea with Sender and
+// CreationDateTime, DataArea with verb and noun) follows the OAGIS
+// convention; the noun content is reduced to the fields the round trip
+// needs.
+package oagis
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ApplicationArea carries BOD routing and audit metadata.
+type ApplicationArea struct {
+	// SenderID is the logical identifier of the sending system — the
+	// trading partner ID in this framework.
+	SenderID string `xml:"Sender>LogicalID"`
+	// ReceiverID is the intended receiver's logical identifier.
+	ReceiverID string `xml:"Receiver>LogicalID"`
+	// CreationDateTime is an ISO 8601 timestamp.
+	CreationDateTime string `xml:"CreationDateTime"`
+	// BODID uniquely identifies this BOD instance.
+	BODID string `xml:"BODID"`
+}
+
+// oagisTimeLayout is ISO 8601 with seconds, UTC.
+const oagisTimeLayout = "2006-01-02T15:04:05Z"
+
+// FormatTime renders t as an OAGIS CreationDateTime.
+func FormatTime(t time.Time) string { return t.UTC().Format(oagisTimeLayout) }
+
+// ParseTime parses an OAGIS CreationDateTime.
+func ParseTime(s string) (time.Time, error) { return time.Parse(oagisTimeLayout, s) }
+
+// PartyOAGIS identifies a business party in the BOD noun.
+type PartyOAGIS struct {
+	PartyID string `xml:"PartyID"`
+	Name    string `xml:"Name"`
+	DUNS    string `xml:"DUNSNumber,omitempty"`
+}
+
+// POLine is one purchase order line in the BOD noun.
+type POLine struct {
+	LineNumber  int     `xml:"LineNumber"`
+	ItemID      string  `xml:"ItemID"`
+	Description string  `xml:"Description,omitempty"`
+	Quantity    int     `xml:"Quantity"`
+	UnitPrice   float64 `xml:"UnitPrice>Amount"`
+	Currency    string  `xml:"UnitPrice>Currency"`
+}
+
+// PurchaseOrderNoun is the PurchaseOrder noun of ProcessPurchaseOrder.
+type PurchaseOrderNoun struct {
+	DocumentID    string     `xml:"Header>DocumentID"`
+	DocumentDate  string     `xml:"Header>DocumentDateTime"`
+	Currency      string     `xml:"Header>Currency"`
+	CustomerParty PartyOAGIS `xml:"Header>CustomerParty"`
+	SupplierParty PartyOAGIS `xml:"Header>SupplierParty"`
+	ShipToAddress string     `xml:"Header>ShipTo>Address,omitempty"`
+	Note          string     `xml:"Header>Note,omitempty"`
+	Lines         []POLine   `xml:"Line"`
+}
+
+// ProcessPurchaseOrder is the request BOD (verb Process, noun PurchaseOrder).
+type ProcessPurchaseOrder struct {
+	XMLName         xml.Name          `xml:"ProcessPurchaseOrder"`
+	ApplicationArea ApplicationArea   `xml:"ApplicationArea"`
+	PurchaseOrder   PurchaseOrderNoun `xml:"DataArea>PurchaseOrder"`
+}
+
+// Validate reports structural problems with the BOD.
+func (b *ProcessPurchaseOrder) Validate() error {
+	var problems []string
+	if b.ApplicationArea.BODID == "" {
+		problems = append(problems, "missing BODID")
+	}
+	if b.ApplicationArea.SenderID == "" {
+		problems = append(problems, "missing Sender LogicalID")
+	}
+	if b.PurchaseOrder.DocumentID == "" {
+		problems = append(problems, "missing DocumentID")
+	}
+	if len(b.PurchaseOrder.Lines) == 0 {
+		problems = append(problems, "no Line elements")
+	}
+	for i, l := range b.PurchaseOrder.Lines {
+		if l.LineNumber <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive LineNumber", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive Quantity", i))
+		}
+		if l.ItemID == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing ItemID", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oagis: invalid ProcessPurchaseOrder %q: %s", b.PurchaseOrder.DocumentID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the BOD as an XML document.
+func (b *ProcessPurchaseOrder) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return marshalXML(b)
+}
+
+// DecodeProcessPO parses a ProcessPurchaseOrder BOD.
+func DecodeProcessPO(data []byte) (*ProcessPurchaseOrder, error) {
+	var b ProcessPurchaseOrder
+	if err := unmarshalStrict(data, &b, "ProcessPurchaseOrder"); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// AckLine is a per-line acknowledgment in the response BOD.
+type AckLine struct {
+	LineNumber int `xml:"LineNumber"`
+	// StatusCode is "Accepted", "Rejected" or "Backordered".
+	StatusCode string `xml:"StatusCode"`
+	Quantity   int    `xml:"Quantity"`
+	// ShipDate is an ISO 8601 timestamp, empty if not scheduled.
+	ShipDate string `xml:"ShipDate,omitempty"`
+}
+
+// AcknowledgePurchaseOrderNoun is the acknowledgment noun.
+type AcknowledgePurchaseOrderNoun struct {
+	DocumentID    string     `xml:"Header>DocumentID"`
+	OriginalPOID  string     `xml:"Header>OriginalDocumentID"`
+	DocumentDate  string     `xml:"Header>DocumentDateTime"`
+	StatusCode    string     `xml:"Header>StatusCode"`
+	CustomerParty PartyOAGIS `xml:"Header>CustomerParty"`
+	SupplierParty PartyOAGIS `xml:"Header>SupplierParty"`
+	Note          string     `xml:"Header>Note,omitempty"`
+	Lines         []AckLine  `xml:"Line"`
+}
+
+// AcknowledgePurchaseOrder is the response BOD (verb Acknowledge).
+type AcknowledgePurchaseOrder struct {
+	XMLName         xml.Name                     `xml:"AcknowledgePurchaseOrder"`
+	ApplicationArea ApplicationArea              `xml:"ApplicationArea"`
+	PurchaseOrder   AcknowledgePurchaseOrderNoun `xml:"DataArea>PurchaseOrder"`
+}
+
+// Validate reports structural problems with the BOD.
+func (b *AcknowledgePurchaseOrder) Validate() error {
+	var problems []string
+	if b.ApplicationArea.BODID == "" {
+		problems = append(problems, "missing BODID")
+	}
+	if b.PurchaseOrder.DocumentID == "" {
+		problems = append(problems, "missing DocumentID")
+	}
+	if b.PurchaseOrder.OriginalPOID == "" {
+		problems = append(problems, "missing OriginalDocumentID")
+	}
+	switch b.PurchaseOrder.StatusCode {
+	case "Accepted", "Rejected", "Partial":
+	default:
+		problems = append(problems, fmt.Sprintf("invalid StatusCode %q", b.PurchaseOrder.StatusCode))
+	}
+	for i, l := range b.PurchaseOrder.Lines {
+		switch l.StatusCode {
+		case "Accepted", "Rejected", "Backordered":
+		default:
+			problems = append(problems, fmt.Sprintf("line %d: invalid StatusCode %q", i, l.StatusCode))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oagis: invalid AcknowledgePurchaseOrder %q: %s", b.PurchaseOrder.DocumentID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the BOD as an XML document.
+func (b *AcknowledgePurchaseOrder) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return marshalXML(b)
+}
+
+// DecodeAcknowledgePO parses an AcknowledgePurchaseOrder BOD.
+func DecodeAcknowledgePO(data []byte) (*AcknowledgePurchaseOrder, error) {
+	var b AcknowledgePurchaseOrder
+	if err := unmarshalStrict(data, &b, "AcknowledgePurchaseOrder"); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+func marshalXML(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("oagis: encode: %w", err)
+	}
+	buf.WriteString("\n")
+	return buf.Bytes(), nil
+}
+
+func unmarshalStrict(data []byte, v any, wantRoot string) error {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("oagis: decode: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if se.Name.Local != wantRoot {
+				return fmt.Errorf("oagis: decode: root element %q, want %q", se.Name.Local, wantRoot)
+			}
+			if err := dec.DecodeElement(v, &se); err != nil {
+				return fmt.Errorf("oagis: decode: %w", err)
+			}
+			return nil
+		}
+	}
+}

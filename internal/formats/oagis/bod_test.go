@@ -1,0 +1,206 @@
+package oagis
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func samplePO() *ProcessPurchaseOrder {
+	return &ProcessPurchaseOrder{
+		ApplicationArea: ApplicationArea{
+			SenderID:         "TP3",
+			ReceiverID:       "HUB",
+			CreationDateTime: FormatTime(time.Date(2001, 9, 3, 9, 0, 0, 0, time.UTC)),
+			BODID:            "BOD-0001",
+		},
+		PurchaseOrder: PurchaseOrderNoun{
+			DocumentID:    "PO-TP3-000003",
+			DocumentDate:  FormatTime(time.Date(2001, 9, 3, 9, 0, 0, 0, time.UTC)),
+			Currency:      "USD",
+			CustomerParty: PartyOAGIS{PartyID: "TP3", Name: "Gamma LLC", DUNS: "111222333"},
+			SupplierParty: PartyOAGIS{PartyID: "HUB", Name: "Widget Inc", DUNS: "987654321"},
+			ShipToAddress: "Gamma Dock 4",
+			Note:          "standing order",
+			Lines: []POLine{
+				{LineNumber: 1, ItemID: "SSD-1T", Description: "SSD", Quantity: 100, UnitPrice: 119, Currency: "USD"},
+				{LineNumber: 2, ItemID: "RAM-32", Quantity: 50, UnitPrice: 145, Currency: "USD"},
+			},
+		},
+	}
+}
+
+func samplePOA() *AcknowledgePurchaseOrder {
+	return &AcknowledgePurchaseOrder{
+		ApplicationArea: ApplicationArea{
+			SenderID:         "HUB",
+			ReceiverID:       "TP3",
+			CreationDateTime: FormatTime(time.Date(2001, 9, 3, 12, 0, 0, 0, time.UTC)),
+			BODID:            "BOD-0002",
+		},
+		PurchaseOrder: AcknowledgePurchaseOrderNoun{
+			DocumentID:    "POA-000044",
+			OriginalPOID:  "PO-TP3-000003",
+			DocumentDate:  FormatTime(time.Date(2001, 9, 3, 12, 0, 0, 0, time.UTC)),
+			StatusCode:    "Accepted",
+			CustomerParty: PartyOAGIS{PartyID: "TP3", Name: "Gamma LLC"},
+			SupplierParty: PartyOAGIS{PartyID: "HUB", Name: "Widget Inc"},
+			Lines: []AckLine{
+				{LineNumber: 1, StatusCode: "Accepted", Quantity: 100, ShipDate: FormatTime(time.Date(2001, 9, 10, 0, 0, 0, 0, time.UTC))},
+				{LineNumber: 2, StatusCode: "Backordered", Quantity: 25},
+			},
+		},
+	}
+}
+
+func TestProcessPORoundTrip(t *testing.T) {
+	in := samplePO()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeProcessPO(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestAcknowledgePORoundTrip(t *testing.T) {
+	in := samplePOA()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAcknowledgePO(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestWireVocabulary(t *testing.T) {
+	data, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"<ProcessPurchaseOrder>", "<ApplicationArea>", "<BODID>BOD-0001</BODID>",
+		"<LogicalID>TP3</LogicalID>", "<DataArea>", "<DocumentID>PO-TP3-000003</DocumentID>",
+		"<ItemID>SSD-1T</ItemID>", "<Quantity>100</Quantity>",
+		"<CreationDateTime>2001-09-03T09:00:00Z</CreationDateTime>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("xml missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongRoot(t *testing.T) {
+	po, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAcknowledgePO(po); err == nil {
+		t.Fatal("DecodeAcknowledgePO accepted a ProcessPurchaseOrder")
+	}
+	poa, err := samplePOA().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeProcessPO(poa); err == nil {
+		t.Fatal("DecodeProcessPO accepted an AcknowledgePurchaseOrder")
+	}
+}
+
+func TestValidatePO(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ProcessPurchaseOrder)
+	}{
+		{"missing BODID", func(b *ProcessPurchaseOrder) { b.ApplicationArea.BODID = "" }},
+		{"missing sender", func(b *ProcessPurchaseOrder) { b.ApplicationArea.SenderID = "" }},
+		{"missing doc id", func(b *ProcessPurchaseOrder) { b.PurchaseOrder.DocumentID = "" }},
+		{"no lines", func(b *ProcessPurchaseOrder) { b.PurchaseOrder.Lines = nil }},
+		{"zero qty", func(b *ProcessPurchaseOrder) { b.PurchaseOrder.Lines[0].Quantity = 0 }},
+		{"missing item", func(b *ProcessPurchaseOrder) { b.PurchaseOrder.Lines[0].ItemID = "" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := samplePO()
+			c.mutate(b)
+			if _, err := b.Encode(); err == nil {
+				t.Fatal("invalid BOD encoded without error")
+			}
+		})
+	}
+}
+
+func TestValidatePOA(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*AcknowledgePurchaseOrder)
+	}{
+		{"missing BODID", func(b *AcknowledgePurchaseOrder) { b.ApplicationArea.BODID = "" }},
+		{"missing original", func(b *AcknowledgePurchaseOrder) { b.PurchaseOrder.OriginalPOID = "" }},
+		{"bad status", func(b *AcknowledgePurchaseOrder) { b.PurchaseOrder.StatusCode = "Meh" }},
+		{"bad line status", func(b *AcknowledgePurchaseOrder) { b.PurchaseOrder.Lines[0].StatusCode = "Nah" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := samplePOA()
+			c.mutate(b)
+			if _, err := b.Encode(); err == nil {
+				t.Fatal("invalid BOD encoded without error")
+			}
+		})
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, s := range []string{"", "not xml", "<Wrong/>"} {
+		if _, err := DecodeProcessPO([]byte(s)); err == nil {
+			t.Errorf("DecodeProcessPO(%q): expected error", s)
+		}
+	}
+}
+
+func TestPropertyRandomBODRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(5)
+		lines := make([]POLine, n)
+		for j := range lines {
+			lines[j] = POLine{
+				LineNumber: j + 1,
+				ItemID:     "I" + string(rune('A'+r.Intn(26))),
+				Quantity:   1 + r.Intn(400),
+				UnitPrice:  float64(r.Intn(200000)) / 100,
+				Currency:   "USD",
+			}
+		}
+		in := samplePO()
+		in.PurchaseOrder.Lines = lines
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeProcessPO(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.XMLName = out.XMLName
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d mismatch", i)
+		}
+	}
+}

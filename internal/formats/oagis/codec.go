@@ -1,0 +1,71 @@
+package oagis
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// POCodec is the formats.Codec for ProcessPurchaseOrder BODs.
+type POCodec struct{}
+
+// Format implements formats.Codec.
+func (POCodec) Format() formats.Format { return formats.OAGIS }
+
+// DocType implements formats.Codec.
+func (POCodec) DocType() doc.DocType { return doc.TypePO }
+
+// Encode implements formats.Codec; native must be *ProcessPurchaseOrder.
+func (POCodec) Encode(native any) ([]byte, error) {
+	b, ok := native.(*ProcessPurchaseOrder)
+	if !ok {
+		return nil, fmt.Errorf("oagis: PO codec: want *oagis.ProcessPurchaseOrder, got %T", native)
+	}
+	return b.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POCodec) Decode(data []byte) (any, error) { return DecodeProcessPO(data) }
+
+// POACodec is the formats.Codec for AcknowledgePurchaseOrder BODs.
+type POACodec struct{}
+
+// Format implements formats.Codec.
+func (POACodec) Format() formats.Format { return formats.OAGIS }
+
+// DocType implements formats.Codec.
+func (POACodec) DocType() doc.DocType { return doc.TypePOA }
+
+// Encode implements formats.Codec; native must be *AcknowledgePurchaseOrder.
+func (POACodec) Encode(native any) ([]byte, error) {
+	b, ok := native.(*AcknowledgePurchaseOrder)
+	if !ok {
+		return nil, fmt.Errorf("oagis: POA codec: want *oagis.AcknowledgePurchaseOrder, got %T", native)
+	}
+	return b.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POACodec) Decode(data []byte) (any, error) { return DecodeAcknowledgePO(data) }
+
+// INVCodec is the formats.Codec for ProcessInvoice BODs.
+type INVCodec struct{}
+
+// Format implements formats.Codec.
+func (INVCodec) Format() formats.Format { return formats.OAGIS }
+
+// DocType implements formats.Codec.
+func (INVCodec) DocType() doc.DocType { return doc.TypeINV }
+
+// Encode implements formats.Codec; native must be *ProcessInvoice.
+func (INVCodec) Encode(native any) ([]byte, error) {
+	b, ok := native.(*ProcessInvoice)
+	if !ok {
+		return nil, fmt.Errorf("oagis: INV codec: want *oagis.ProcessInvoice, got %T", native)
+	}
+	return b.Encode()
+}
+
+// Decode implements formats.Codec.
+func (INVCodec) Decode(data []byte) (any, error) { return DecodeProcessInvoice(data) }

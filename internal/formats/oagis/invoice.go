@@ -1,0 +1,89 @@
+package oagis
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// InvoiceLine is one billed line in the invoice BOD noun.
+type InvoiceLine struct {
+	LineNumber  int     `xml:"LineNumber"`
+	ItemID      string  `xml:"ItemID"`
+	Description string  `xml:"Description,omitempty"`
+	Quantity    int     `xml:"Quantity"`
+	UnitPrice   float64 `xml:"UnitPrice>Amount"`
+	Currency    string  `xml:"UnitPrice>Currency"`
+}
+
+// InvoiceNoun is the Invoice noun of ProcessInvoice.
+type InvoiceNoun struct {
+	DocumentID    string        `xml:"Header>DocumentID"`
+	OriginalPOID  string        `xml:"Header>PurchaseOrderReference>DocumentID"`
+	DocumentDate  string        `xml:"Header>DocumentDateTime"`
+	PaymentDue    string        `xml:"Header>PaymentDueDateTime,omitempty"`
+	Currency      string        `xml:"Header>Currency"`
+	CustomerParty PartyOAGIS    `xml:"Header>CustomerParty"`
+	SupplierParty PartyOAGIS    `xml:"Header>SupplierParty"`
+	Note          string        `xml:"Header>Note,omitempty"`
+	Lines         []InvoiceLine `xml:"Line"`
+}
+
+// ProcessInvoice is the one-way invoice BOD (verb Process, noun Invoice).
+type ProcessInvoice struct {
+	XMLName         xml.Name        `xml:"ProcessInvoice"`
+	ApplicationArea ApplicationArea `xml:"ApplicationArea"`
+	Invoice         InvoiceNoun     `xml:"DataArea>Invoice"`
+}
+
+// Validate reports structural problems with the BOD.
+func (b *ProcessInvoice) Validate() error {
+	var problems []string
+	if b.ApplicationArea.BODID == "" {
+		problems = append(problems, "missing BODID")
+	}
+	if b.Invoice.DocumentID == "" {
+		problems = append(problems, "missing DocumentID")
+	}
+	if b.Invoice.OriginalPOID == "" {
+		problems = append(problems, "missing PurchaseOrderReference")
+	}
+	if len(b.Invoice.Lines) == 0 {
+		problems = append(problems, "no Line elements")
+	}
+	for i, l := range b.Invoice.Lines {
+		if l.LineNumber <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive LineNumber", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive Quantity", i))
+		}
+		if l.ItemID == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing ItemID", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oagis: invalid ProcessInvoice %q: %s", b.Invoice.DocumentID, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the BOD as an XML document.
+func (b *ProcessInvoice) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return marshalXML(b)
+}
+
+// DecodeProcessInvoice parses a ProcessInvoice BOD.
+func DecodeProcessInvoice(data []byte) (*ProcessInvoice, error) {
+	var b ProcessInvoice
+	if err := unmarshalStrict(data, &b, "ProcessInvoice"); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

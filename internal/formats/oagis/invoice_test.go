@@ -1,0 +1,106 @@
+package oagis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleInvoiceBOD() *ProcessInvoice {
+	return &ProcessInvoice{
+		ApplicationArea: ApplicationArea{
+			SenderID: "HUB", ReceiverID: "TP3",
+			CreationDateTime: FormatTime(time.Date(2001, 9, 12, 10, 0, 0, 0, time.UTC)),
+			BODID:            "BOD-INV-1",
+		},
+		Invoice: InvoiceNoun{
+			DocumentID:    "INV-000042",
+			OriginalPOID:  "PO-TP3-000003",
+			DocumentDate:  FormatTime(time.Date(2001, 9, 12, 10, 0, 0, 0, time.UTC)),
+			PaymentDue:    FormatTime(time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC)),
+			Currency:      "USD",
+			CustomerParty: PartyOAGIS{PartyID: "TP3", Name: "Gamma LLC"},
+			SupplierParty: PartyOAGIS{PartyID: "HUB", Name: "Widget Inc"},
+			Lines: []InvoiceLine{
+				{LineNumber: 1, ItemID: "SSD-1T", Quantity: 100, UnitPrice: 119, Currency: "USD"},
+			},
+		},
+	}
+}
+
+func TestProcessInvoiceRoundTrip(t *testing.T) {
+	in := sampleInvoiceBOD()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeProcessInvoice(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestProcessInvoiceVocabulary(t *testing.T) {
+	data, err := sampleInvoiceBOD().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<ProcessInvoice>", "<PurchaseOrderReference>", "<PaymentDueDateTime>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("xml missing %q", want)
+		}
+	}
+}
+
+func TestProcessInvoiceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ProcessInvoice)
+	}{
+		{"no BODID", func(b *ProcessInvoice) { b.ApplicationArea.BODID = "" }},
+		{"no doc id", func(b *ProcessInvoice) { b.Invoice.DocumentID = "" }},
+		{"no po ref", func(b *ProcessInvoice) { b.Invoice.OriginalPOID = "" }},
+		{"no lines", func(b *ProcessInvoice) { b.Invoice.Lines = nil }},
+		{"zero qty", func(b *ProcessInvoice) { b.Invoice.Lines[0].Quantity = 0 }},
+		{"no item", func(b *ProcessInvoice) { b.Invoice.Lines[0].ItemID = "" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := sampleInvoiceBOD()
+			c.mutate(b)
+			if _, err := b.Encode(); err == nil {
+				t.Fatal("invalid BOD encoded")
+			}
+		})
+	}
+}
+
+func TestProcessInvoiceWrongRoot(t *testing.T) {
+	po, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeProcessInvoice(po); err == nil {
+		t.Fatal("DecodeProcessInvoice accepted a ProcessPurchaseOrder")
+	}
+}
+
+func TestINVCodecTypeCheck(t *testing.T) {
+	c := INVCodec{}
+	if _, err := c.Encode(struct{}{}); err == nil {
+		t.Fatal("INV codec accepted a struct{}")
+	}
+	wire, err := c.Encode(sampleInvoiceBOD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package oracleoif
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ARHeaderRow is one RA_INTERFACE header row (receivables autoinvoice).
+type ARHeaderRow struct {
+	InterfaceHeaderID int `json:"interface_header_id"`
+	// InvoiceNumber is TRX_NUMBER.
+	InvoiceNumber string `json:"trx_number"`
+	// PONumber is PURCHASE_ORDER.
+	PONumber string `json:"purchase_order"`
+	// CurrencyCode is the ISO currency.
+	CurrencyCode string `json:"currency_code"`
+	// TradingPartner is the billed party's partner ID.
+	TradingPartner string `json:"trading_partner"`
+	// VendorID is the billing party.
+	VendorID string `json:"vendor_id"`
+	// TrxDate and DueDate bound the terms.
+	TrxDate string `json:"trx_date"`
+	DueDate string `json:"due_date,omitempty"`
+	// Comments carries remarks.
+	Comments string `json:"comments,omitempty"`
+}
+
+// ARLineRow is one RA_INTERFACE_LINES row.
+type ARLineRow struct {
+	InterfaceHeaderID int     `json:"interface_header_id"`
+	LineNum           int     `json:"line_num"`
+	Item              string  `json:"item"`
+	ItemDescription   string  `json:"item_description,omitempty"`
+	Quantity          int     `json:"quantity"`
+	UnitPrice         float64 `json:"unit_selling_price"`
+}
+
+// InvoiceDocument is an invoice as a receivables interface batch.
+type InvoiceDocument struct {
+	Headers []ARHeaderRow `json:"ra_interface_headers"`
+	Lines   []ARLineRow   `json:"ra_interface_lines"`
+}
+
+// Validate reports structural problems with the batch.
+func (d *InvoiceDocument) Validate() error {
+	var problems []string
+	if len(d.Headers) != 1 {
+		problems = append(problems, fmt.Sprintf("want exactly 1 header row, got %d", len(d.Headers)))
+	} else {
+		h := d.Headers[0]
+		if h.InvoiceNumber == "" {
+			problems = append(problems, "header: missing trx_number")
+		}
+		if h.PONumber == "" {
+			problems = append(problems, "header: missing purchase_order")
+		}
+		if h.TradingPartner == "" {
+			problems = append(problems, "header: missing trading_partner")
+		}
+		for i, l := range d.Lines {
+			if l.InterfaceHeaderID != h.InterfaceHeaderID {
+				problems = append(problems, fmt.Sprintf("line %d: dangling interface_header_id %d", i, l.InterfaceHeaderID))
+			}
+		}
+	}
+	if len(d.Lines) == 0 {
+		problems = append(problems, "no line rows")
+	}
+	for i, l := range d.Lines {
+		if l.LineNum <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line_num", i))
+		}
+		if l.Item == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing item", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive quantity", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oracleoif: invalid invoice batch: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the batch as JSON.
+func (d *InvoiceDocument) Encode() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return marshal(d)
+}
+
+// DecodeInvoice parses an invoice batch.
+func DecodeInvoice(data []byte) (*InvoiceDocument, error) {
+	var d InvoiceDocument
+	if err := unmarshalStrict(data, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

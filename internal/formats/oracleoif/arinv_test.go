@@ -1,0 +1,107 @@
+package oracleoif
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleARInvoice() *InvoiceDocument {
+	return &InvoiceDocument{
+		Headers: []ARHeaderRow{{
+			InterfaceHeaderID: 3001,
+			InvoiceNumber:     "INV-000042",
+			PONumber:          "PO-TP2-000007",
+			CurrencyCode:      "USD",
+			TradingPartner:    "TP2",
+			VendorID:          "HUB",
+			TrxDate:           "2001-09-12",
+			DueDate:           "2001-10-12",
+			Comments:          "net 30",
+		}},
+		Lines: []ARLineRow{
+			{InterfaceHeaderID: 3001, LineNum: 1, Item: "LAP-100", Quantity: 10, UnitPrice: 1450},
+			{InterfaceHeaderID: 3001, LineNum: 2, Item: "MON-27", Quantity: 15, UnitPrice: 480.25},
+		},
+	}
+}
+
+func TestARInvoiceRoundTrip(t *testing.T) {
+	in := sampleARInvoice()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvoice(data)
+	if err != nil {
+		t.Fatalf("decode: %v\njson:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestARInvoiceColumnNames(t *testing.T) {
+	data, err := sampleARInvoice().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"ra_interface_headers"`, `"ra_interface_lines"`,
+		`"trx_number": "INV-000042"`, `"purchase_order": "PO-TP2-000007"`,
+		`"unit_selling_price": 1450`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+}
+
+func TestARInvoiceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*InvoiceDocument)
+	}{
+		{"no header", func(d *InvoiceDocument) { d.Headers = nil }},
+		{"no trx number", func(d *InvoiceDocument) { d.Headers[0].InvoiceNumber = "" }},
+		{"no po", func(d *InvoiceDocument) { d.Headers[0].PONumber = "" }},
+		{"no partner", func(d *InvoiceDocument) { d.Headers[0].TradingPartner = "" }},
+		{"no lines", func(d *InvoiceDocument) { d.Lines = nil }},
+		{"dangling line", func(d *InvoiceDocument) { d.Lines[0].InterfaceHeaderID = 1 }},
+		{"zero qty", func(d *InvoiceDocument) { d.Lines[0].Quantity = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := sampleARInvoice()
+			c.mutate(d)
+			if _, err := d.Encode(); err == nil {
+				t.Fatal("invalid batch encoded")
+			}
+		})
+	}
+}
+
+func TestARInvoiceCrossTypeRejection(t *testing.T) {
+	po, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeInvoice(po); err == nil {
+		t.Fatal("DecodeInvoice accepted a PO batch")
+	}
+}
+
+func TestINVCodecTypeCheck(t *testing.T) {
+	c := INVCodec{}
+	if _, err := c.Encode([]int{1}); err == nil {
+		t.Fatal("INV codec accepted a slice")
+	}
+	wire, err := c.Encode(sampleARInvoice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+}

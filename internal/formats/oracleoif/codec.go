@@ -1,0 +1,71 @@
+package oracleoif
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// POCodec is the formats.Codec for purchase order interface batches.
+type POCodec struct{}
+
+// Format implements formats.Codec.
+func (POCodec) Format() formats.Format { return formats.OracleOIF }
+
+// DocType implements formats.Codec.
+func (POCodec) DocType() doc.DocType { return doc.TypePO }
+
+// Encode implements formats.Codec; native must be *PODocument.
+func (POCodec) Encode(native any) ([]byte, error) {
+	d, ok := native.(*PODocument)
+	if !ok {
+		return nil, fmt.Errorf("oracleoif: PO codec: want *oracleoif.PODocument, got %T", native)
+	}
+	return d.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POCodec) Decode(data []byte) (any, error) { return DecodePO(data) }
+
+// POACodec is the formats.Codec for acknowledgment interface batches.
+type POACodec struct{}
+
+// Format implements formats.Codec.
+func (POACodec) Format() formats.Format { return formats.OracleOIF }
+
+// DocType implements formats.Codec.
+func (POACodec) DocType() doc.DocType { return doc.TypePOA }
+
+// Encode implements formats.Codec; native must be *POADocument.
+func (POACodec) Encode(native any) ([]byte, error) {
+	d, ok := native.(*POADocument)
+	if !ok {
+		return nil, fmt.Errorf("oracleoif: POA codec: want *oracleoif.POADocument, got %T", native)
+	}
+	return d.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POACodec) Decode(data []byte) (any, error) { return DecodePOA(data) }
+
+// INVCodec is the formats.Codec for receivables invoice batches.
+type INVCodec struct{}
+
+// Format implements formats.Codec.
+func (INVCodec) Format() formats.Format { return formats.OracleOIF }
+
+// DocType implements formats.Codec.
+func (INVCodec) DocType() doc.DocType { return doc.TypeINV }
+
+// Encode implements formats.Codec; native must be *InvoiceDocument.
+func (INVCodec) Encode(native any) ([]byte, error) {
+	d, ok := native.(*InvoiceDocument)
+	if !ok {
+		return nil, fmt.Errorf("oracleoif: INV codec: want *oracleoif.InvoiceDocument, got %T", native)
+	}
+	return d.Encode()
+}
+
+// Decode implements formats.Codec.
+func (INVCodec) Decode(data []byte) (any, error) { return DecodeInvoice(data) }

@@ -1,0 +1,250 @@
+// Package oracleoif implements a structurally faithful subset of the Oracle
+// Applications open interface tables for the paper's running example:
+// purchase orders as PO_HEADERS_INTERFACE / PO_LINES_INTERFACE row sets and
+// acknowledgments as a PO_ACKNOWLEDGMENTS row set, serialized as JSON.
+//
+// This is the "Oracle" back-end application format of the paper (Figure 9:
+// "Transform EDI to Oracle PO", "Store Oracle PO", "Extract Oracle POA").
+// Open interface tables are how data enters and leaves Oracle Applications
+// in batch; the row/column structure (snake_case columns, parallel header
+// and line tables joined by interface ids) is what makes this format
+// semantically different from both the hierarchical XML protocols and the
+// flat segment formats.
+package oracleoif
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// oraDate is the date layout used in interface columns.
+const oraDate = "2006-01-02"
+
+// FormatDate renders t as an interface table date.
+func FormatDate(t time.Time) string { return t.UTC().Format(oraDate) }
+
+// ParseDate parses an interface table date.
+func ParseDate(s string) (time.Time, error) { return time.Parse(oraDate, s) }
+
+// HeaderRow is one PO_HEADERS_INTERFACE row.
+type HeaderRow struct {
+	// InterfaceHeaderID joins lines to this header.
+	InterfaceHeaderID int `json:"interface_header_id"`
+	// PONumber is SEGMENT1, the document number.
+	PONumber string `json:"segment1"`
+	// CurrencyCode is the ISO currency.
+	CurrencyCode string `json:"currency_code"`
+	// VendorName/VendorID identify the selling party.
+	VendorName string `json:"vendor_name"`
+	VendorID   string `json:"vendor_id"`
+	// TradingPartner is the buying party's partner ID (the routing key).
+	TradingPartner string `json:"trading_partner"`
+	// TradingPartnerName is the buying party's display name.
+	TradingPartnerName string `json:"trading_partner_name"`
+	// ShipToLocation is the delivery location.
+	ShipToLocation string `json:"ship_to_location,omitempty"`
+	// CreationDate is the document date.
+	CreationDate string `json:"creation_date"`
+	// Comments carries free-form remarks.
+	Comments string `json:"comments,omitempty"`
+}
+
+// LineRow is one PO_LINES_INTERFACE row.
+type LineRow struct {
+	// InterfaceHeaderID references the parent header row.
+	InterfaceHeaderID int `json:"interface_header_id"`
+	// LineNum is the 1-based order line number.
+	LineNum int `json:"line_num"`
+	// Item is the part identifier.
+	Item string `json:"item"`
+	// ItemDescription is free text.
+	ItemDescription string `json:"item_description,omitempty"`
+	// Quantity ordered.
+	Quantity int `json:"quantity"`
+	// UnitPrice in the header currency.
+	UnitPrice float64 `json:"unit_price"`
+}
+
+// PODocument is a purchase order as an open interface batch: one header row
+// and its line rows.
+type PODocument struct {
+	Headers []HeaderRow `json:"po_headers_interface"`
+	Lines   []LineRow   `json:"po_lines_interface"`
+}
+
+// Validate reports structural problems with the batch: exactly one header,
+// at least one line, and referential integrity on interface_header_id.
+func (d *PODocument) Validate() error {
+	var problems []string
+	if len(d.Headers) != 1 {
+		problems = append(problems, fmt.Sprintf("want exactly 1 header row, got %d", len(d.Headers)))
+	} else {
+		h := d.Headers[0]
+		if h.PONumber == "" {
+			problems = append(problems, "header: missing segment1 (po number)")
+		}
+		if h.TradingPartner == "" {
+			problems = append(problems, "header: missing trading_partner")
+		}
+		for i, l := range d.Lines {
+			if l.InterfaceHeaderID != h.InterfaceHeaderID {
+				problems = append(problems, fmt.Sprintf("line %d: interface_header_id %d does not reference header %d", i, l.InterfaceHeaderID, h.InterfaceHeaderID))
+			}
+		}
+	}
+	if len(d.Lines) == 0 {
+		problems = append(problems, "no line rows")
+	}
+	for i, l := range d.Lines {
+		if l.LineNum <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line_num", i))
+		}
+		if l.Item == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing item", i))
+		}
+		if l.Quantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive quantity", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oracleoif: invalid PO batch: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the batch as JSON.
+func (d *PODocument) Encode() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return marshal(d)
+}
+
+// DecodePO parses a PO batch.
+func DecodePO(data []byte) (*PODocument, error) {
+	var d PODocument
+	if err := unmarshalStrict(data, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// AckHeaderRow is the header row of an acknowledgment batch.
+type AckHeaderRow struct {
+	InterfaceHeaderID int `json:"interface_header_id"`
+	// AckNumber is the acknowledgment document number.
+	AckNumber string `json:"ack_number"`
+	// PONumber references the acknowledged order's segment1.
+	PONumber string `json:"po_number"`
+	// AcceptanceType is "accepted", "rejected" or "partial".
+	AcceptanceType string `json:"acceptance_type"`
+	// TradingPartner is the buying party's partner ID.
+	TradingPartner string `json:"trading_partner"`
+	// VendorID is the selling party.
+	VendorID string `json:"vendor_id"`
+	// CreationDate is the acknowledgment date.
+	CreationDate string `json:"creation_date"`
+	Comments     string `json:"comments,omitempty"`
+}
+
+// AckLineRow is one line acknowledgment row.
+type AckLineRow struct {
+	InterfaceHeaderID int `json:"interface_header_id"`
+	LineNum           int `json:"line_num"`
+	// LineStatus is "accepted", "rejected" or "backorder".
+	LineStatus string `json:"line_status"`
+	Quantity   int    `json:"quantity"`
+	// PromisedDate is the promised ship date, empty if none.
+	PromisedDate string `json:"promised_date,omitempty"`
+}
+
+// POADocument is an acknowledgment as an open interface batch.
+type POADocument struct {
+	Headers []AckHeaderRow `json:"po_acknowledgments"`
+	Lines   []AckLineRow   `json:"po_acknowledgment_lines"`
+}
+
+// Validate reports structural problems with the acknowledgment batch.
+func (d *POADocument) Validate() error {
+	var problems []string
+	if len(d.Headers) != 1 {
+		problems = append(problems, fmt.Sprintf("want exactly 1 header row, got %d", len(d.Headers)))
+	} else {
+		h := d.Headers[0]
+		if h.AckNumber == "" {
+			problems = append(problems, "header: missing ack_number")
+		}
+		if h.PONumber == "" {
+			problems = append(problems, "header: missing po_number")
+		}
+		switch h.AcceptanceType {
+		case "accepted", "rejected", "partial":
+		default:
+			problems = append(problems, fmt.Sprintf("header: invalid acceptance_type %q", h.AcceptanceType))
+		}
+		for i, l := range d.Lines {
+			if l.InterfaceHeaderID != h.InterfaceHeaderID {
+				problems = append(problems, fmt.Sprintf("line %d: dangling interface_header_id %d", i, l.InterfaceHeaderID))
+			}
+		}
+	}
+	for i, l := range d.Lines {
+		switch l.LineStatus {
+		case "accepted", "rejected", "backorder":
+		default:
+			problems = append(problems, fmt.Sprintf("line %d: invalid line_status %q", i, l.LineStatus))
+		}
+		if l.LineNum <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive line_num", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("oracleoif: invalid POA batch: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the acknowledgment batch as JSON.
+func (d *POADocument) Encode() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return marshal(d)
+}
+
+// DecodePOA parses an acknowledgment batch.
+func DecodePOA(data []byte) (*POADocument, error) {
+	var d POADocument
+	if err := unmarshalStrict(data, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("oracleoif: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// unmarshalStrict decodes JSON rejecting unknown columns, so a PO batch is
+// not silently accepted as a POA batch.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("oracleoif: decode: %w", err)
+	}
+	return nil
+}

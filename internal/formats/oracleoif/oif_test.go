@@ -1,0 +1,212 @@
+package oracleoif
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePO() *PODocument {
+	return &PODocument{
+		Headers: []HeaderRow{{
+			InterfaceHeaderID:  1001,
+			PONumber:           "PO-TP2-000007",
+			CurrencyCode:       "USD",
+			VendorName:         "Widget Inc",
+			VendorID:           "SELLER",
+			TradingPartner:     "TP2",
+			TradingPartnerName: "Beta GmbH",
+			ShipToLocation:     "Beta Dock 2",
+			CreationDate:       "2001-09-03",
+			Comments:           "expedite",
+		}},
+		Lines: []LineRow{
+			{InterfaceHeaderID: 1001, LineNum: 1, Item: "LAP-100", ItemDescription: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{InterfaceHeaderID: 1001, LineNum: 2, Item: "MON-27", Quantity: 20, UnitPrice: 480},
+		},
+	}
+}
+
+func samplePOA() *POADocument {
+	return &POADocument{
+		Headers: []AckHeaderRow{{
+			InterfaceHeaderID: 2001,
+			AckNumber:         "ACK-000033",
+			PONumber:          "PO-TP2-000007",
+			AcceptanceType:    "accepted",
+			TradingPartner:    "TP2",
+			VendorID:          "SELLER",
+			CreationDate:      "2001-09-03",
+		}},
+		Lines: []AckLineRow{
+			{InterfaceHeaderID: 2001, LineNum: 1, LineStatus: "accepted", Quantity: 10, PromisedDate: "2001-09-10"},
+			{InterfaceHeaderID: 2001, LineNum: 2, LineStatus: "backorder", Quantity: 15},
+		},
+	}
+}
+
+func TestPORoundTrip(t *testing.T) {
+	in := samplePO()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePO(data)
+	if err != nil {
+		t.Fatalf("decode: %v\njson:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestPOARoundTrip(t *testing.T) {
+	in := samplePOA()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePOA(data)
+	if err != nil {
+		t.Fatalf("decode: %v\njson:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	data, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"po_headers_interface"`, `"po_lines_interface"`,
+		`"interface_header_id": 1001`, `"segment1": "PO-TP2-000007"`,
+		`"trading_partner": "TP2"`, `"line_num": 1`, `"unit_price": 1450`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCrossTypeRejection(t *testing.T) {
+	po, err := samplePO().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePOA(po); err == nil {
+		t.Fatal("DecodePOA accepted a PO batch")
+	}
+	poa, err := samplePOA().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePO(poa); err == nil {
+		t.Fatal("DecodePO accepted a POA batch")
+	}
+}
+
+func TestPOValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PODocument)
+	}{
+		{"no header", func(d *PODocument) { d.Headers = nil }},
+		{"two headers", func(d *PODocument) { d.Headers = append(d.Headers, d.Headers[0]) }},
+		{"missing segment1", func(d *PODocument) { d.Headers[0].PONumber = "" }},
+		{"missing trading partner", func(d *PODocument) { d.Headers[0].TradingPartner = "" }},
+		{"no lines", func(d *PODocument) { d.Lines = nil }},
+		{"dangling line", func(d *PODocument) { d.Lines[0].InterfaceHeaderID = 9999 }},
+		{"zero quantity", func(d *PODocument) { d.Lines[0].Quantity = 0 }},
+		{"missing item", func(d *PODocument) { d.Lines[0].Item = "" }},
+		{"zero line_num", func(d *PODocument) { d.Lines[0].LineNum = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := samplePO()
+			c.mutate(d)
+			if _, err := d.Encode(); err == nil {
+				t.Fatal("invalid batch encoded without error")
+			}
+		})
+	}
+}
+
+func TestPOAValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*POADocument)
+	}{
+		{"no header", func(d *POADocument) { d.Headers = nil }},
+		{"missing ack number", func(d *POADocument) { d.Headers[0].AckNumber = "" }},
+		{"missing po number", func(d *POADocument) { d.Headers[0].PONumber = "" }},
+		{"bad acceptance type", func(d *POADocument) { d.Headers[0].AcceptanceType = "whatever" }},
+		{"bad line status", func(d *POADocument) { d.Lines[0].LineStatus = "unsure" }},
+		{"dangling line", func(d *POADocument) { d.Lines[0].InterfaceHeaderID = 1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := samplePOA()
+			c.mutate(d)
+			if _, err := d.Encode(); err == nil {
+				t.Fatal("invalid batch encoded without error")
+			}
+		})
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, s := range []string{"", "not json", `{"po_headers_interface": "x"}`, `{"unknown_table": []}`} {
+		if _, err := DecodePO([]byte(s)); err == nil {
+			t.Errorf("DecodePO(%q): expected error", s)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	d, err := ParseDate("2001-09-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(d) != "2001-09-03" {
+		t.Fatalf("date round trip: %q", FormatDate(d))
+	}
+	if _, err := ParseDate("03.09.2001"); err == nil {
+		t.Fatal("ParseDate accepted wrong layout")
+	}
+}
+
+func TestPropertyRandomPORoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		in := samplePO()
+		hid := 1 + r.Intn(100000)
+		in.Headers[0].InterfaceHeaderID = hid
+		n := 1 + r.Intn(6)
+		in.Lines = make([]LineRow, n)
+		for j := range in.Lines {
+			in.Lines[j] = LineRow{
+				InterfaceHeaderID: hid,
+				LineNum:           j + 1,
+				Item:              "I" + string(rune('A'+r.Intn(26))),
+				Quantity:          1 + r.Intn(300),
+				UnitPrice:         float64(r.Intn(500000)) / 100,
+			}
+		}
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodePO(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package rosettanet
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// POCodec is the formats.Codec for PIP 3A4 purchase order requests.
+type POCodec struct{}
+
+// Format implements formats.Codec.
+func (POCodec) Format() formats.Format { return formats.RosettaNet }
+
+// DocType implements formats.Codec.
+func (POCodec) DocType() doc.DocType { return doc.TypePO }
+
+// Encode implements formats.Codec; native must be *PurchaseOrderRequest.
+func (POCodec) Encode(native any) ([]byte, error) {
+	r, ok := native.(*PurchaseOrderRequest)
+	if !ok {
+		return nil, fmt.Errorf("rosettanet: PO codec: want *rosettanet.PurchaseOrderRequest, got %T", native)
+	}
+	return r.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POCodec) Decode(data []byte) (any, error) { return DecodeRequest(data) }
+
+// POACodec is the formats.Codec for PIP 3A4 purchase order confirmations.
+type POACodec struct{}
+
+// Format implements formats.Codec.
+func (POACodec) Format() formats.Format { return formats.RosettaNet }
+
+// DocType implements formats.Codec.
+func (POACodec) DocType() doc.DocType { return doc.TypePOA }
+
+// Encode implements formats.Codec; native must be *PurchaseOrderConfirmation.
+func (POACodec) Encode(native any) ([]byte, error) {
+	c, ok := native.(*PurchaseOrderConfirmation)
+	if !ok {
+		return nil, fmt.Errorf("rosettanet: POA codec: want *rosettanet.PurchaseOrderConfirmation, got %T", native)
+	}
+	return c.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POACodec) Decode(data []byte) (any, error) { return DecodeConfirmation(data) }
+
+// INVCodec is the formats.Codec for PIP 3C3 invoice notifications.
+type INVCodec struct{}
+
+// Format implements formats.Codec.
+func (INVCodec) Format() formats.Format { return formats.RosettaNet }
+
+// DocType implements formats.Codec.
+func (INVCodec) DocType() doc.DocType { return doc.TypeINV }
+
+// Encode implements formats.Codec; native must be *InvoiceNotification.
+func (INVCodec) Encode(native any) ([]byte, error) {
+	n, ok := native.(*InvoiceNotification)
+	if !ok {
+		return nil, fmt.Errorf("rosettanet: INV codec: want *rosettanet.InvoiceNotification, got %T", native)
+	}
+	return n.Encode()
+}
+
+// Decode implements formats.Codec.
+func (INVCodec) Decode(data []byte) (any, error) { return DecodeInvoiceNotification(data) }

@@ -1,0 +1,240 @@
+package rosettanet
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buyerRole() PartnerRole {
+	return PartnerRole{
+		RoleClassification:    "Buyer",
+		BusinessIdentifier:    "123456789",
+		ProprietaryIdentifier: "TP2",
+		BusinessName:          "Acme Corp",
+	}
+}
+
+func sellerRole() PartnerRole {
+	return PartnerRole{
+		RoleClassification:    "Seller",
+		BusinessIdentifier:    "987654321",
+		ProprietaryIdentifier: "HUB",
+		BusinessName:          "Widget Inc",
+	}
+}
+
+func sampleRequest() *PurchaseOrderRequest {
+	return &PurchaseOrderRequest{
+		FromRole:           buyerRole(),
+		ToRole:             sellerRole(),
+		DocumentIdentifier: "PO-TP2-000007",
+		GenerationDateTime: FormatTime(time.Date(2001, 9, 3, 9, 0, 0, 0, time.UTC)),
+		OrderType:          "Standalone",
+		Currency:           "USD",
+		DeliverTo:          "Acme Receiving Dock 1",
+		Comment:            "please expedite",
+		LineItems: []ProductLineItem{
+			{
+				LineNumber: 1, ProductIdentifier: "LAP-100", ProductDescription: "Laptop",
+				RequestedQuantity:  10,
+				RequestedUnitPrice: FinancialAmount{Currency: "USD", Amount: 1450},
+			},
+			{
+				LineNumber: 2, ProductIdentifier: "MON-27",
+				RequestedQuantity:  20,
+				RequestedUnitPrice: FinancialAmount{Currency: "USD", Amount: 480},
+			},
+		},
+	}
+}
+
+func sampleConfirmation() *PurchaseOrderConfirmation {
+	return &PurchaseOrderConfirmation{
+		FromRole:           sellerRole(),
+		ToRole:             buyerRole(),
+		DocumentIdentifier: "POA-000099",
+		RequestIdentifier:  "PO-TP2-000007",
+		GenerationDateTime: FormatTime(time.Date(2001, 9, 3, 11, 0, 0, 0, time.UTC)),
+		StatusCode:         "Accept",
+		LineItems: []LineStatus{
+			{LineNumber: 1, StatusCode: "Accept", ConfirmedQuantity: 10, ScheduledShipDate: FormatTime(time.Date(2001, 9, 10, 0, 0, 0, 0, time.UTC))},
+			{LineNumber: 2, StatusCode: "Backordered", ConfirmedQuantity: 15},
+		},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := sampleRequest()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName // set by the decoder only
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestConfirmationRoundTrip(t *testing.T) {
+	in := sampleConfirmation()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeConfirmation(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestWireVocabulary(t *testing.T) {
+	data, err := sampleRequest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"<Pip3A4PurchaseOrderRequest>",
+		"<GlobalPartnerRoleClassificationCode>Buyer</GlobalPartnerRoleClassificationCode>",
+		"<GlobalBusinessIdentifier>123456789</GlobalBusinessIdentifier>",
+		"<proprietaryBusinessIdentifier>TP2</proprietaryBusinessIdentifier>",
+		"<GlobalProductIdentifier>LAP-100</GlobalProductIdentifier>",
+		"<requestedQuantity>10</requestedQuantity>",
+		"<MonetaryAmount>1450</MonetaryAmount>",
+		"<DateTimeStamp>20010903T090000Z</DateTimeStamp>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("xml missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongRoot(t *testing.T) {
+	req, err := sampleRequest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeConfirmation(req); err == nil {
+		t.Fatal("DecodeConfirmation accepted a request document")
+	}
+	conf, err := sampleConfirmation().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(conf); err == nil {
+		t.Fatal("DecodeRequest accepted a confirmation document")
+	}
+}
+
+func TestValidateRequest(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PurchaseOrderRequest)
+	}{
+		{"missing doc id", func(r *PurchaseOrderRequest) { r.DocumentIdentifier = "" }},
+		{"wrong from role", func(r *PurchaseOrderRequest) { r.FromRole.RoleClassification = "Seller" }},
+		{"wrong to role", func(r *PurchaseOrderRequest) { r.ToRole.RoleClassification = "Buyer" }},
+		{"no lines", func(r *PurchaseOrderRequest) { r.LineItems = nil }},
+		{"zero quantity", func(r *PurchaseOrderRequest) { r.LineItems[0].RequestedQuantity = 0 }},
+		{"zero line number", func(r *PurchaseOrderRequest) { r.LineItems[0].LineNumber = 0 }},
+		{"missing product id", func(r *PurchaseOrderRequest) { r.LineItems[0].ProductIdentifier = "" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := sampleRequest()
+			c.mutate(r)
+			if _, err := r.Encode(); err == nil {
+				t.Fatal("invalid request encoded without error")
+			}
+		})
+	}
+}
+
+func TestValidateConfirmation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PurchaseOrderConfirmation)
+	}{
+		{"missing doc id", func(c *PurchaseOrderConfirmation) { c.DocumentIdentifier = "" }},
+		{"missing request ref", func(c *PurchaseOrderConfirmation) { c.RequestIdentifier = "" }},
+		{"bad status", func(c *PurchaseOrderConfirmation) { c.StatusCode = "Maybe" }},
+		{"bad line status", func(c *PurchaseOrderConfirmation) { c.LineItems[0].StatusCode = "Perhaps" }},
+		{"bad line number", func(c *PurchaseOrderConfirmation) { c.LineItems[0].LineNumber = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			conf := sampleConfirmation()
+			c.mutate(conf)
+			if _, err := conf.Encode(); err == nil {
+				t.Fatal("invalid confirmation encoded without error")
+			}
+		})
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, s := range []string{"", "not xml", "<unclosed>", "<Other/>"} {
+		if _, err := DecodeRequest([]byte(s)); err == nil {
+			t.Errorf("DecodeRequest(%q): expected error", s)
+		}
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	in := time.Date(2001, 9, 3, 14, 30, 45, 0, time.UTC)
+	out, err := ParseTime(FormatTime(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in) {
+		t.Fatalf("time round trip: %v != %v", out, in)
+	}
+	if _, err := ParseTime("garbage"); err == nil {
+		t.Fatal("ParseTime accepted garbage")
+	}
+}
+
+// TestPropertyRandomRequestRoundTrip fuzzes requests through the XML codec.
+func TestPropertyRandomRequestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(6)
+		lines := make([]ProductLineItem, n)
+		for j := range lines {
+			lines[j] = ProductLineItem{
+				LineNumber:         j + 1,
+				ProductIdentifier:  "P-" + string(rune('A'+r.Intn(26))),
+				RequestedQuantity:  1 + r.Intn(999),
+				RequestedUnitPrice: FinancialAmount{Currency: "USD", Amount: float64(r.Intn(100000)) / 100},
+			}
+		}
+		in := &PurchaseOrderRequest{
+			FromRole: buyerRole(), ToRole: sellerRole(),
+			DocumentIdentifier: "PO-R", GenerationDateTime: FormatTime(time.Unix(int64(r.Intn(1e9)), 0)),
+			OrderType: "Standalone", Currency: "USD", LineItems: lines,
+		}
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeRequest(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.XMLName = out.XMLName
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d: mismatch\n in: %+v\nout: %+v", i, in, out)
+		}
+	}
+}

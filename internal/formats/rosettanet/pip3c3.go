@@ -1,0 +1,89 @@
+package rosettanet
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// InvoiceLineItem is one billed line of a PIP 3C3 invoice notification.
+type InvoiceLineItem struct {
+	LineNumber         int             `xml:"LineNumber"`
+	ProductIdentifier  string          `xml:"GlobalProductIdentifier"`
+	ProductDescription string          `xml:"ProductDescription,omitempty"`
+	InvoiceQuantity    int             `xml:"InvoiceQuantity"`
+	UnitPrice          FinancialAmount `xml:"unitPrice>FinancialAmount"`
+}
+
+// InvoiceNotification is the PIP 3C3 invoice notification action: a
+// one-way message from the Seller role (the paper's "one-way messages"
+// pattern — no response action is defined for 3C3).
+type InvoiceNotification struct {
+	XMLName            xml.Name    `xml:"Pip3C3InvoiceNotification"`
+	FromRole           PartnerRole `xml:"fromRole"`
+	ToRole             PartnerRole `xml:"toRole"`
+	DocumentIdentifier string      `xml:"thisDocumentIdentifier>ProprietaryDocumentIdentifier"`
+	// PurchaseOrderReference is the invoiced order.
+	PurchaseOrderReference string `xml:"Invoice>purchaseOrderReference>ProprietaryDocumentIdentifier"`
+	GenerationDateTime     string `xml:"thisDocumentGenerationDateTime>DateTimeStamp"`
+	// PaymentDueDate is a DateTimeStamp.
+	PaymentDueDate string            `xml:"Invoice>paymentDueDate>DateTimeStamp,omitempty"`
+	Currency       string            `xml:"Invoice>GlobalCurrencyCode"`
+	Comment        string            `xml:"Invoice>comment,omitempty"`
+	LineItems      []InvoiceLineItem `xml:"Invoice>InvoiceLineItem"`
+}
+
+// Validate reports structural problems with the notification.
+func (n *InvoiceNotification) Validate() error {
+	var problems []string
+	if n.DocumentIdentifier == "" {
+		problems = append(problems, "missing thisDocumentIdentifier")
+	}
+	if n.PurchaseOrderReference == "" {
+		problems = append(problems, "missing purchaseOrderReference")
+	}
+	if n.FromRole.RoleClassification != "Seller" {
+		problems = append(problems, fmt.Sprintf("fromRole classification %q, want Seller", n.FromRole.RoleClassification))
+	}
+	if n.ToRole.RoleClassification != "Buyer" {
+		problems = append(problems, fmt.Sprintf("toRole classification %q, want Buyer", n.ToRole.RoleClassification))
+	}
+	if len(n.LineItems) == 0 {
+		problems = append(problems, "no InvoiceLineItem")
+	}
+	for i, li := range n.LineItems {
+		if li.LineNumber <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive LineNumber", i))
+		}
+		if li.InvoiceQuantity <= 0 {
+			problems = append(problems, fmt.Sprintf("line %d: non-positive InvoiceQuantity", i))
+		}
+		if li.ProductIdentifier == "" {
+			problems = append(problems, fmt.Sprintf("line %d: missing GlobalProductIdentifier", i))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("rosettanet: invalid 3C3 notification %q: %s", n.DocumentIdentifier, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Encode renders the notification as an XML document.
+func (n *InvoiceNotification) Encode() ([]byte, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return marshalXML(n)
+}
+
+// DecodeInvoiceNotification parses an XML 3C3 invoice notification.
+func DecodeInvoiceNotification(data []byte) (*InvoiceNotification, error) {
+	var n InvoiceNotification
+	if err := unmarshalStrict(data, &n, "Pip3C3InvoiceNotification"); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}

@@ -1,0 +1,115 @@
+package rosettanet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleNotification() *InvoiceNotification {
+	return &InvoiceNotification{
+		FromRole:               sellerRole(),
+		ToRole:                 buyerRoleAsBuyer(),
+		DocumentIdentifier:     "INV-000042",
+		PurchaseOrderReference: "PO-TP2-000007",
+		GenerationDateTime:     FormatTime(time.Date(2001, 9, 12, 10, 0, 0, 0, time.UTC)),
+		PaymentDueDate:         FormatTime(time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC)),
+		Currency:               "USD",
+		Comment:                "net 30",
+		LineItems: []InvoiceLineItem{
+			{LineNumber: 1, ProductIdentifier: "LAP-100", InvoiceQuantity: 10,
+				UnitPrice: FinancialAmount{Currency: "USD", Amount: 1450}},
+			{LineNumber: 2, ProductIdentifier: "MON-27", InvoiceQuantity: 15,
+				UnitPrice: FinancialAmount{Currency: "USD", Amount: 480.25}},
+		},
+	}
+}
+
+// buyerRoleAsBuyer returns the buyer PartnerRole with the Buyer
+// classification (the toRole of a 3C3 is the Buyer).
+func buyerRoleAsBuyer() PartnerRole {
+	r := buyerRole()
+	r.RoleClassification = "Buyer"
+	return r
+}
+
+func TestInvoiceNotificationRoundTrip(t *testing.T) {
+	in := sampleNotification()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvoiceNotification(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nxml:\n%s", err, data)
+	}
+	in.XMLName = out.XMLName
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestInvoiceNotificationVocabulary(t *testing.T) {
+	data, err := sampleNotification().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"<Pip3C3InvoiceNotification>",
+		"<InvoiceQuantity>10</InvoiceQuantity>",
+		"<purchaseOrderReference>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("xml missing %q", want)
+		}
+	}
+}
+
+func TestInvoiceNotificationValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*InvoiceNotification)
+	}{
+		{"no doc id", func(n *InvoiceNotification) { n.DocumentIdentifier = "" }},
+		{"no po ref", func(n *InvoiceNotification) { n.PurchaseOrderReference = "" }},
+		{"wrong from role", func(n *InvoiceNotification) { n.FromRole.RoleClassification = "Buyer" }},
+		{"wrong to role", func(n *InvoiceNotification) { n.ToRole.RoleClassification = "Seller" }},
+		{"no lines", func(n *InvoiceNotification) { n.LineItems = nil }},
+		{"zero qty", func(n *InvoiceNotification) { n.LineItems[0].InvoiceQuantity = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := sampleNotification()
+			c.mutate(n)
+			if _, err := n.Encode(); err == nil {
+				t.Fatal("invalid notification encoded")
+			}
+		})
+	}
+}
+
+func TestInvoiceNotificationWrongRoot(t *testing.T) {
+	req, err := sampleRequest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeInvoiceNotification(req); err == nil {
+		t.Fatal("DecodeInvoiceNotification accepted a 3A4 request")
+	}
+}
+
+func TestINVCodecTypeCheck(t *testing.T) {
+	c := INVCodec{}
+	if _, err := c.Encode(3.14); err == nil {
+		t.Fatal("INV codec accepted a float")
+	}
+	wire, err := c.Encode(sampleNotification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+}

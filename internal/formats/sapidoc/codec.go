@@ -1,0 +1,71 @@
+package sapidoc
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// POCodec is the formats.Codec for ORDERS IDocs.
+type POCodec struct{}
+
+// Format implements formats.Codec.
+func (POCodec) Format() formats.Format { return formats.SAPIDoc }
+
+// DocType implements formats.Codec.
+func (POCodec) DocType() doc.DocType { return doc.TypePO }
+
+// Encode implements formats.Codec; native must be *Orders.
+func (POCodec) Encode(native any) ([]byte, error) {
+	o, ok := native.(*Orders)
+	if !ok {
+		return nil, fmt.Errorf("sapidoc: PO codec: want *sapidoc.Orders, got %T", native)
+	}
+	return o.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POCodec) Decode(data []byte) (any, error) { return DecodeOrders(data) }
+
+// POACodec is the formats.Codec for ORDRSP IDocs.
+type POACodec struct{}
+
+// Format implements formats.Codec.
+func (POACodec) Format() formats.Format { return formats.SAPIDoc }
+
+// DocType implements formats.Codec.
+func (POACodec) DocType() doc.DocType { return doc.TypePOA }
+
+// Encode implements formats.Codec; native must be *Ordrsp.
+func (POACodec) Encode(native any) ([]byte, error) {
+	o, ok := native.(*Ordrsp)
+	if !ok {
+		return nil, fmt.Errorf("sapidoc: POA codec: want *sapidoc.Ordrsp, got %T", native)
+	}
+	return o.Encode()
+}
+
+// Decode implements formats.Codec.
+func (POACodec) Decode(data []byte) (any, error) { return DecodeOrdrsp(data) }
+
+// INVCodec is the formats.Codec for INVOIC IDocs.
+type INVCodec struct{}
+
+// Format implements formats.Codec.
+func (INVCodec) Format() formats.Format { return formats.SAPIDoc }
+
+// DocType implements formats.Codec.
+func (INVCodec) DocType() doc.DocType { return doc.TypeINV }
+
+// Encode implements formats.Codec; native must be *Invoic.
+func (INVCodec) Encode(native any) ([]byte, error) {
+	o, ok := native.(*Invoic)
+	if !ok {
+		return nil, fmt.Errorf("sapidoc: INV codec: want *sapidoc.Invoic, got %T", native)
+	}
+	return o.Encode()
+}
+
+// Decode implements formats.Codec.
+func (INVCodec) Decode(data []byte) (any, error) { return DecodeInvoic(data) }

@@ -1,0 +1,223 @@
+// Package sapidoc implements a structurally faithful subset of SAP IDoc
+// flat files for the paper's running example: the ORDERS message type
+// (inbound purchase order, basic type ORDERS05) and the ORDRSP message type
+// (order response / purchase order acknowledgment).
+//
+// This is the "SAP" back-end application format of the paper (Figure 9:
+// "Transform EDI to SAP PO", "Store SAP PO", "Extract SAP POA"). The
+// segment vocabulary follows the ORDERS05 IDoc (EDI_DC40 control record,
+// E1EDK01 header, E1EDKA1 partner segments with PARVW qualifiers, E1EDP01
+// item segments with POSEX/MENGE/VPREI, E1EDP19 item identification); the
+// fixed-width layout of real IDocs is replaced by tab-separated KEY=VALUE
+// fields, which preserves the segment/qualifier structure that makes the
+// transformation semantic.
+package sapidoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Partner is an IDoc partner function (E1EDKA1 segment).
+type Partner struct {
+	// PartnerID is PARTN, the partner number — the trading partner ID.
+	PartnerID string
+	// Name is NAME1.
+	Name string
+	// DUNS carries the D-U-N-S number in an extension field.
+	DUNS string
+}
+
+// Item is one E1EDP01/E1EDP19 item group of an ORDERS IDoc.
+type Item struct {
+	// Posex is POSEX, the item number (conventionally line*10).
+	Posex int
+	// SKU is IDTNR of the E1EDP19 qualifier 001 segment.
+	SKU string
+	// Description is KTEXT of E1EDP19.
+	Description string
+	// Quantity is MENGE.
+	Quantity int
+	// UnitPrice is VPREI.
+	UnitPrice float64
+}
+
+// Orders is the native ORDERS (purchase order) IDoc.
+type Orders struct {
+	// DocNum is DOCNUM of the control record.
+	DocNum int
+	// SenderPartner/ReceiverPartner are SNDPRN/RCVPRN of the control record.
+	SenderPartner   string
+	ReceiverPartner string
+	// CreatedAt is CREDAT+CRETIM.
+	CreatedAt time.Time
+	// PONumber is BELNR of E1EDK01.
+	PONumber string
+	// Currency is CURCY of E1EDK01.
+	Currency string
+	// Buyer is the E1EDKA1 PARVW=AG (sold-to) partner; Seller is PARVW=LF
+	// (vendor).
+	Buyer  Partner
+	Seller Partner
+	// ShipTo is the E1EDKA1 PARVW=WE (ship-to) name.
+	ShipTo string
+	// Note is the E1EDKT1 header text.
+	Note string
+	// Items are the item groups.
+	Items []Item
+}
+
+// AckStatusCode is the ORDRSP item/header status (ACTION-like code).
+type AckStatusCode string
+
+// ORDRSP status codes used by the framework.
+const (
+	StatusAccepted  AckStatusCode = "ACC"
+	StatusRejected  AckStatusCode = "REJ"
+	StatusBackorder AckStatusCode = "BCK"
+	StatusPartial   AckStatusCode = "PRT"
+)
+
+// AckItem is one item group of an ORDRSP IDoc.
+type AckItem struct {
+	Posex    int
+	Status   AckStatusCode
+	Quantity int
+	// ShipDate is EDATU of the E1EDP20 schedule segment, zero if absent.
+	ShipDate time.Time
+}
+
+// Ordrsp is the native ORDRSP (order response / POA) IDoc.
+type Ordrsp struct {
+	DocNum          int
+	SenderPartner   string
+	ReceiverPartner string
+	CreatedAt       time.Time
+	// AckNumber is BELNR of E1EDK01 (the response document number).
+	AckNumber string
+	// PONumber is the referenced order, E1EDK02 qualifier 001 BELNR.
+	PONumber string
+	// Status is the header-level status code.
+	Status AckStatusCode
+	Buyer  Partner
+	Seller Partner
+	Note   string
+	Items  []AckItem
+}
+
+const (
+	fieldSep = "\t"
+	credat   = "20060102"
+	cretim   = "150405"
+)
+
+type segment struct {
+	name   string
+	fields map[string]string
+	order  []string
+}
+
+func newSeg(name string) *segment {
+	return &segment{name: name, fields: map[string]string{}}
+}
+
+func (s *segment) set(k, v string) *segment {
+	if v == "" {
+		return s
+	}
+	if _, dup := s.fields[k]; !dup {
+		s.order = append(s.order, k)
+	}
+	s.fields[k] = v
+	return s
+}
+
+func (s *segment) get(k string) string { return s.fields[k] }
+
+func (s *segment) render(sb *strings.Builder) error {
+	sb.WriteString(s.name)
+	for _, k := range s.order {
+		v := s.fields[k]
+		if strings.ContainsAny(v, "\t\n") || strings.Contains(v, "=") {
+			return fmt.Errorf("sapidoc: field %s of %s contains reserved character: %q", k, s.name, v)
+		}
+		sb.WriteString(fieldSep)
+		sb.WriteString(k)
+		sb.WriteString("=")
+		sb.WriteString(v)
+	}
+	sb.WriteString("\n")
+	return nil
+}
+
+func parseSegment(line string) (*segment, error) {
+	parts := strings.Split(line, fieldSep)
+	s := newSeg(parts[0])
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("sapidoc: malformed field %q in segment %s", p, s.name)
+		}
+		s.set(k, v)
+	}
+	return s, nil
+}
+
+func parseLines(data []byte) ([]*segment, error) {
+	var segs []*segment
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		s, err := parseSegment(line)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, s)
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("sapidoc: empty document")
+	}
+	if segs[0].name != "EDI_DC40" {
+		return nil, fmt.Errorf("sapidoc: document must start with EDI_DC40 control record, got %s", segs[0].name)
+	}
+	return segs, nil
+}
+
+func controlRecord(mestyp, idoctyp string, docnum int, snd, rcv string, at time.Time) *segment {
+	return newSeg("EDI_DC40").
+		set("TABNAM", "EDI_DC40").
+		set("MESTYP", mestyp).
+		set("IDOCTYP", idoctyp).
+		set("DOCNUM", fmt.Sprintf("%016d", docnum)).
+		set("SNDPRN", snd).
+		set("RCVPRN", rcv).
+		set("CREDAT", at.Format(credat)).
+		set("CRETIM", at.Format(cretim))
+}
+
+func parseControl(s *segment, wantMestyp string) (docnum int, snd, rcv string, at time.Time, err error) {
+	if got := s.get("MESTYP"); got != wantMestyp {
+		return 0, "", "", time.Time{}, fmt.Errorf("sapidoc: message type %q, want %q", got, wantMestyp)
+	}
+	dn := strings.TrimLeft(s.get("DOCNUM"), "0")
+	if dn == "" {
+		dn = "0"
+	}
+	docnum, err = strconv.Atoi(dn)
+	if err != nil {
+		return 0, "", "", time.Time{}, fmt.Errorf("sapidoc: bad DOCNUM %q", s.get("DOCNUM"))
+	}
+	at, _ = time.Parse(credat+cretim, s.get("CREDAT")+s.get("CRETIM"))
+	return docnum, s.get("SNDPRN"), s.get("RCVPRN"), at, nil
+}
+
+func partnerSeg(parvw string, p Partner) *segment {
+	return newSeg("E1EDKA1").set("PARVW", parvw).set("PARTN", p.PartnerID).set("NAME1", p.Name).set("DUNS", p.DUNS)
+}
+
+func parsePartner(s *segment) Partner {
+	return Partner{PartnerID: s.get("PARTN"), Name: s.get("NAME1"), DUNS: s.get("DUNS")}
+}

@@ -1,0 +1,209 @@
+package sapidoc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleOrders() *Orders {
+	return &Orders{
+		DocNum:          7,
+		SenderPartner:   "HUB",
+		ReceiverPartner: "SAP",
+		CreatedAt:       time.Date(2001, 9, 3, 9, 30, 0, 0, time.UTC),
+		PONumber:        "PO-TP1-000001",
+		Currency:        "USD",
+		Buyer:           Partner{PartnerID: "TP1", Name: "Acme Corp", DUNS: "123456789"},
+		Seller:          Partner{PartnerID: "SELLER", Name: "Widget Inc", DUNS: "987654321"},
+		ShipTo:          "Acme Receiving Dock 1",
+		Note:            "rush order",
+		Items: []Item{
+			{Posex: 10, SKU: "LAP-100", Description: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{Posex: 20, SKU: "MON-27", Description: "Monitor", Quantity: 20, UnitPrice: 480},
+		},
+	}
+}
+
+func sampleOrdrsp() *Ordrsp {
+	return &Ordrsp{
+		DocNum:          8,
+		SenderPartner:   "SAP",
+		ReceiverPartner: "HUB",
+		CreatedAt:       time.Date(2001, 9, 3, 11, 30, 0, 0, time.UTC),
+		AckNumber:       "5100000042",
+		PONumber:        "PO-TP1-000001",
+		Status:          StatusAccepted,
+		Buyer:           Partner{PartnerID: "TP1", Name: "Acme Corp"},
+		Seller:          Partner{PartnerID: "SELLER", Name: "Widget Inc"},
+		Items: []AckItem{
+			{Posex: 10, Status: StatusAccepted, Quantity: 10, ShipDate: time.Date(2001, 9, 10, 0, 0, 0, 0, time.UTC)},
+			{Posex: 20, Status: StatusBackorder, Quantity: 15},
+		},
+	}
+}
+
+func TestOrdersRoundTrip(t *testing.T) {
+	in := sampleOrders()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeOrders(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nflat:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\nflat:\n%s", in, out, data)
+	}
+}
+
+func TestOrdrspRoundTrip(t *testing.T) {
+	in := sampleOrdrsp()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeOrdrsp(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nflat:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\nflat:\n%s", in, out, data)
+	}
+}
+
+func TestWireShape(t *testing.T) {
+	data, err := sampleOrders().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"EDI_DC40", "MESTYP=ORDERS", "IDOCTYP=ORDERS05", "DOCNUM=0000000000000007",
+		"SNDPRN=HUB", "RCVPRN=SAP", "CREDAT=20010903",
+		"E1EDK01\tBELNR=PO-TP1-000001\tCURCY=USD",
+		"E1EDKA1\tPARVW=AG\tPARTN=TP1",
+		"E1EDP01\tPOSEX=000010\tMENGE=10\tVPREI=1450",
+		"E1EDP19\tQUALF=001\tIDTNR=LAP-100",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("flat file missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMessageTypeMismatch(t *testing.T) {
+	orders, err := sampleOrders().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOrdrsp(orders); err == nil {
+		t.Fatal("DecodeOrdrsp accepted an ORDERS IDoc")
+	}
+	ordrsp, err := sampleOrdrsp().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOrders(ordrsp); err == nil {
+		t.Fatal("DecodeOrders accepted an ORDRSP IDoc")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	o := sampleOrders()
+	o.PONumber = ""
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("ORDERS without BELNR accepted")
+	}
+	o = sampleOrders()
+	o.Items = nil
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("ORDERS without items accepted")
+	}
+	r := sampleOrdrsp()
+	r.Status = "XXX"
+	if _, err := r.Encode(); err == nil {
+		t.Fatal("ORDRSP with invalid status accepted")
+	}
+	r = sampleOrdrsp()
+	r.PONumber = ""
+	if _, err := r.Encode(); err == nil {
+		t.Fatal("ORDRSP without PO reference accepted")
+	}
+}
+
+func TestReservedCharacterRejected(t *testing.T) {
+	o := sampleOrders()
+	o.Note = "has\ttab"
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("field with tab accepted")
+	}
+	o = sampleOrders()
+	o.Buyer.Name = "a=b"
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("field with '=' accepted")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	good, err := sampleOrders().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(string) string
+	}{
+		{"no control record", func(s string) string {
+			return strings.Replace(s, "EDI_DC40", "E1XXX", 1)
+		}},
+		{"bad MENGE", func(s string) string { return strings.Replace(s, "MENGE=10", "MENGE=ten", 1) }},
+		{"bad VPREI", func(s string) string { return strings.Replace(s, "VPREI=1450", "VPREI=abc", 1) }},
+		{"alien segment", func(s string) string { return s + "E9ZZZ\tX=1\n" }},
+		{"malformed field", func(s string) string { return strings.Replace(s, "CURCY=USD", "CURCYUSD", 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeOrders([]byte(c.corrupt(string(good)))); err == nil {
+				t.Fatal("corrupted IDoc accepted")
+			}
+		})
+	}
+	if _, err := DecodeOrders(nil); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+func TestPropertyRandomOrdersRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(7)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item{
+				Posex:       (j + 1) * 10,
+				SKU:         "SKU-" + string(rune('A'+r.Intn(26))),
+				Description: "desc",
+				Quantity:    1 + r.Intn(500),
+				UnitPrice:   float64(r.Intn(1000000)) / 100,
+			}
+		}
+		in := sampleOrders()
+		in.DocNum = r.Intn(1 << 20)
+		in.Items = items
+		data, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeOrders(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d mismatch:\n in: %+v\nout: %+v", i, in, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sapidoc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleInvoic() *Invoic {
+	return &Invoic{
+		DocNum:          12,
+		SenderPartner:   "SAP",
+		ReceiverPartner: "HUB",
+		CreatedAt:       time.Date(2001, 9, 12, 8, 0, 0, 0, time.UTC),
+		InvoiceNumber:   "9000000042",
+		PONumber:        "PO-TP1-000001",
+		Currency:        "USD",
+		DueDate:         time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC),
+		Buyer:           Partner{PartnerID: "TP1", Name: "Acme Corp"},
+		Seller:          Partner{PartnerID: "HUB", Name: "Widget Inc"},
+		Note:            "net 30",
+		Items: []InvoiceItem{
+			{Posex: 10, SKU: "LAP-100", Description: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{Posex: 20, SKU: "MON-27", Quantity: 15, UnitPrice: 480.25},
+		},
+	}
+}
+
+func TestInvoicRoundTrip(t *testing.T) {
+	in := sampleInvoic()
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvoic(data)
+	if err != nil {
+		t.Fatalf("decode: %v\nflat:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestInvoicWireShape(t *testing.T) {
+	data, err := sampleInvoic().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"MESTYP=INVOIC", "IDOCTYP=INVOIC02",
+		"E1EDK01\tBELNR=9000000042\tCURCY=USD",
+		"E1EDK02\tQUALF=001\tBELNR=PO-TP1-000001",
+		"E1EDK03\tIDDAT=012\tDATUM=20011012",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("flat file missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInvoicValidation(t *testing.T) {
+	o := sampleInvoic()
+	o.InvoiceNumber = ""
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("missing BELNR accepted")
+	}
+	o = sampleInvoic()
+	o.PONumber = ""
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("missing PO reference accepted")
+	}
+	o = sampleInvoic()
+	o.Items = nil
+	if _, err := o.Encode(); err == nil {
+		t.Fatal("no items accepted")
+	}
+}
+
+func TestInvoicMessageTypeMismatch(t *testing.T) {
+	orders, err := sampleOrders().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeInvoic(orders); err == nil {
+		t.Fatal("DecodeInvoic accepted an ORDERS IDoc")
+	}
+	inv, err := sampleInvoic().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOrders(inv); err == nil {
+		t.Fatal("DecodeOrders accepted an INVOIC IDoc")
+	}
+}
+
+func TestInvoicCorruption(t *testing.T) {
+	good, err := sampleInvoic().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ name, from, to string }{
+		{"bad MENGE", "MENGE=10", "MENGE=ten"},
+		{"alien segment", "E1EDKT1", "E9WTF1"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			bad := strings.Replace(string(good), c.from, c.to, 1)
+			if _, err := DecodeInvoic([]byte(bad)); err == nil {
+				t.Fatal("corrupted INVOIC accepted")
+			}
+		})
+	}
+}
+
+func TestINVCodecTypeCheck(t *testing.T) {
+	c := INVCodec{}
+	if _, err := c.Encode("nope"); err == nil {
+		t.Fatal("INV codec accepted a string")
+	}
+	wire, err := c.Encode(sampleInvoic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+}

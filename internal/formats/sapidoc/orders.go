@@ -1,0 +1,211 @@
+package sapidoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func fmtQty(q int) string       { return strconv.Itoa(q) }
+func fmtPrice(p float64) string { return strconv.FormatFloat(p, 'f', -1, 64) }
+
+// Encode renders the ORDERS IDoc as a flat file.
+func (o *Orders) Encode() ([]byte, error) {
+	if o.PONumber == "" {
+		return nil, fmt.Errorf("sapidoc: ORDERS requires BELNR (PO number)")
+	}
+	if len(o.Items) == 0 {
+		return nil, fmt.Errorf("sapidoc: ORDERS %q has no items", o.PONumber)
+	}
+	var sb strings.Builder
+	segs := []*segment{
+		controlRecord("ORDERS", "ORDERS05", o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt),
+		newSeg("E1EDK01").set("BELNR", o.PONumber).set("CURCY", o.Currency),
+		partnerSeg("AG", o.Buyer),
+		partnerSeg("LF", o.Seller),
+	}
+	if o.ShipTo != "" {
+		segs = append(segs, newSeg("E1EDKA1").set("PARVW", "WE").set("NAME1", o.ShipTo))
+	}
+	if o.Note != "" {
+		segs = append(segs, newSeg("E1EDKT1").set("TDID", "Z001").set("TDLINE", o.Note))
+	}
+	for _, it := range o.Items {
+		segs = append(segs,
+			newSeg("E1EDP01").
+				set("POSEX", fmt.Sprintf("%06d", it.Posex)).
+				set("MENGE", fmtQty(it.Quantity)).
+				set("VPREI", fmtPrice(it.UnitPrice)),
+			newSeg("E1EDP19").set("QUALF", "001").set("IDTNR", it.SKU).set("KTEXT", it.Description),
+		)
+	}
+	for _, s := range segs {
+		if err := s.render(&sb); err != nil {
+			return nil, err
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+// DecodeOrders parses an ORDERS IDoc flat file.
+func DecodeOrders(data []byte) (*Orders, error) {
+	segs, err := parseLines(data)
+	if err != nil {
+		return nil, err
+	}
+	o := &Orders{}
+	o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt, err = parseControl(segs[0], "ORDERS")
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(segs); i++ {
+		s := segs[i]
+		switch s.name {
+		case "E1EDK01":
+			o.PONumber = s.get("BELNR")
+			o.Currency = s.get("CURCY")
+		case "E1EDKA1":
+			switch s.get("PARVW") {
+			case "AG":
+				o.Buyer = parsePartner(s)
+			case "LF":
+				o.Seller = parsePartner(s)
+			case "WE":
+				o.ShipTo = s.get("NAME1")
+			}
+		case "E1EDKT1":
+			o.Note = s.get("TDLINE")
+		case "E1EDP01":
+			posex, err := strconv.Atoi(strings.TrimLeft(s.get("POSEX"), "0"))
+			if err != nil {
+				return nil, fmt.Errorf("sapidoc: bad POSEX %q", s.get("POSEX"))
+			}
+			qty, err := strconv.Atoi(s.get("MENGE"))
+			if err != nil {
+				return nil, fmt.Errorf("sapidoc: bad MENGE %q", s.get("MENGE"))
+			}
+			price, err := strconv.ParseFloat(s.get("VPREI"), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sapidoc: bad VPREI %q", s.get("VPREI"))
+			}
+			it := Item{Posex: posex, Quantity: qty, UnitPrice: price}
+			if i+1 < len(segs) && segs[i+1].name == "E1EDP19" {
+				it.SKU = segs[i+1].get("IDTNR")
+				it.Description = segs[i+1].get("KTEXT")
+				i++
+			}
+			o.Items = append(o.Items, it)
+		default:
+			return nil, fmt.Errorf("sapidoc: unexpected segment %s in ORDERS", s.name)
+		}
+	}
+	if o.PONumber == "" {
+		return nil, fmt.Errorf("sapidoc: ORDERS is missing E1EDK01")
+	}
+	if len(o.Items) == 0 {
+		return nil, fmt.Errorf("sapidoc: ORDERS %q has no E1EDP01 items", o.PONumber)
+	}
+	return o, nil
+}
+
+const edatu = "20060102"
+
+// Encode renders the ORDRSP IDoc as a flat file.
+func (o *Ordrsp) Encode() ([]byte, error) {
+	if o.AckNumber == "" {
+		return nil, fmt.Errorf("sapidoc: ORDRSP requires BELNR (ack number)")
+	}
+	if o.PONumber == "" {
+		return nil, fmt.Errorf("sapidoc: ORDRSP requires the referenced PO number")
+	}
+	switch o.Status {
+	case StatusAccepted, StatusRejected, StatusBackorder, StatusPartial:
+	default:
+		return nil, fmt.Errorf("sapidoc: ORDRSP has invalid status %q", o.Status)
+	}
+	var sb strings.Builder
+	segs := []*segment{
+		controlRecord("ORDRSP", "ORDERS05", o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt),
+		newSeg("E1EDK01").set("BELNR", o.AckNumber).set("ACTION", string(o.Status)),
+		newSeg("E1EDK02").set("QUALF", "001").set("BELNR", o.PONumber),
+		partnerSeg("AG", o.Buyer),
+		partnerSeg("LF", o.Seller),
+	}
+	if o.Note != "" {
+		segs = append(segs, newSeg("E1EDKT1").set("TDID", "Z001").set("TDLINE", o.Note))
+	}
+	for _, it := range o.Items {
+		p01 := newSeg("E1EDP01").
+			set("POSEX", fmt.Sprintf("%06d", it.Posex)).
+			set("MENGE", fmtQty(it.Quantity)).
+			set("ACTION", string(it.Status))
+		segs = append(segs, p01)
+		if !it.ShipDate.IsZero() {
+			segs = append(segs, newSeg("E1EDP20").set("EDATU", it.ShipDate.Format(edatu)))
+		}
+	}
+	for _, s := range segs {
+		if err := s.render(&sb); err != nil {
+			return nil, err
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+// DecodeOrdrsp parses an ORDRSP IDoc flat file.
+func DecodeOrdrsp(data []byte) (*Ordrsp, error) {
+	segs, err := parseLines(data)
+	if err != nil {
+		return nil, err
+	}
+	o := &Ordrsp{}
+	o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt, err = parseControl(segs[0], "ORDRSP")
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(segs); i++ {
+		s := segs[i]
+		switch s.name {
+		case "E1EDK01":
+			o.AckNumber = s.get("BELNR")
+			o.Status = AckStatusCode(s.get("ACTION"))
+		case "E1EDK02":
+			if s.get("QUALF") == "001" {
+				o.PONumber = s.get("BELNR")
+			}
+		case "E1EDKA1":
+			switch s.get("PARVW") {
+			case "AG":
+				o.Buyer = parsePartner(s)
+			case "LF":
+				o.Seller = parsePartner(s)
+			}
+		case "E1EDKT1":
+			o.Note = s.get("TDLINE")
+		case "E1EDP01":
+			posex, err := strconv.Atoi(strings.TrimLeft(s.get("POSEX"), "0"))
+			if err != nil {
+				return nil, fmt.Errorf("sapidoc: bad POSEX %q", s.get("POSEX"))
+			}
+			qty, err := strconv.Atoi(s.get("MENGE"))
+			if err != nil {
+				return nil, fmt.Errorf("sapidoc: bad MENGE %q", s.get("MENGE"))
+			}
+			it := AckItem{Posex: posex, Quantity: qty, Status: AckStatusCode(s.get("ACTION"))}
+			if i+1 < len(segs) && segs[i+1].name == "E1EDP20" {
+				if d, err := time.Parse(edatu, segs[i+1].get("EDATU")); err == nil {
+					it.ShipDate = d
+				}
+				i++
+			}
+			o.Items = append(o.Items, it)
+		default:
+			return nil, fmt.Errorf("sapidoc: unexpected segment %s in ORDRSP", s.name)
+		}
+	}
+	if o.AckNumber == "" || o.PONumber == "" {
+		return nil, fmt.Errorf("sapidoc: ORDRSP is missing header segments")
+	}
+	return o, nil
+}

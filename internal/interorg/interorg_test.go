@@ -1,0 +1,350 @@
+package interorg
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+// approvalType is org A's workflow with its proprietary approval threshold
+// embedded as a condition — the competitive knowledge of Section 2.3.
+func approvalType() *wf.TypeDef {
+	return &wf.TypeDef{
+		Name: "po-approval", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "store PO", Kind: wf.StepNoop},
+			{Name: "wait funds", Kind: wf.StepReceive, Port: "funds", DataKey: "funds"},
+			{Name: "approve PO", Kind: wf.StepNoop},
+			{Name: "done", Kind: wf.StepNoop, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "store PO", To: "wait funds"},
+			{From: "wait funds", To: "approve PO", Condition: "PO.amount > 550000"},
+			{From: "wait funds", To: "done", Condition: "PO.amount <= 550000"},
+			{From: "approve PO", To: "done"},
+		},
+	}
+}
+
+func twoEngines(t *testing.T) (*wf.Engine, *wf.Engine) {
+	t.Helper()
+	a := wf.NewEngine("orgA", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+	b := wf.NewEngine("orgB", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+	return a, b
+}
+
+func TestMigrationRequiresType(t *testing.T) {
+	a, b := twoEngines(t)
+	if err := a.Deploy(approvalType()); err != nil {
+		t.Fatal(err)
+	}
+	g := doc.NewGenerator(1)
+	po := g.POWithAmount(doc.Party{ID: "TP1", Name: "X"}, doc.Party{ID: "S", Name: "Y"}, 600000)
+	in, err := a.Start(context.Background(), "po-approval", map[string]any{"document": po})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.State != wf.InstRunning {
+		t.Fatalf("state %s", in.State)
+	}
+	_, err = Migrator{AutoTypeMigration: false}.MigrateInstance(a, b, in.ID)
+	if !errors.Is(err, ErrTypeMissing) {
+		t.Fatalf("err %v, want ErrTypeMissing", err)
+	}
+}
+
+// TestFigure6AutomaticTypeMigration: with automatic type migration the
+// instance moves, completes on the target engine — and the target
+// organization can now read the source's approval threshold.
+func TestFigure6AutomaticTypeMigration(t *testing.T) {
+	a, b := twoEngines(t)
+	if err := a.Deploy(approvalType()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := doc.NewGenerator(1)
+	po := g.POWithAmount(doc.Party{ID: "TP1", Name: "X"}, doc.Party{ID: "S", Name: "Y"}, 600000)
+	in, err := a.Start(ctx, "po-approval", map[string]any{"document": po})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	typeMigrated, err := Migrator{AutoTypeMigration: true}.MigrateInstance(a, b, in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !typeMigrated {
+		t.Fatal("type should have been migrated")
+	}
+
+	// The instance continues on engine B.
+	if err := b.Deliver(ctx, in.ID, "funds", "allocated"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Instance(in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != wf.InstCompleted {
+		t.Fatalf("state on B: %s", got.State)
+	}
+	if got.StepStateOf("approve PO") != wf.StepCompleted {
+		t.Fatal("large order should have been approved on B")
+	}
+
+	// The source keeps a tombstone.
+	tomb, err := a.Instance(in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tomb.State != wf.InstMigrated {
+		t.Fatalf("tombstone state %s", tomb.State)
+	}
+
+	// Second migration of the same type does not re-copy it.
+	in2, err := a.Start(ctx, "po-approval", map[string]any{"document": po.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeMigrated, err = Migrator{AutoTypeMigration: true}.MigrateInstance(a, b, in2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typeMigrated {
+		t.Fatal("type should already exist on B")
+	}
+}
+
+// TestKnowledgeLeakThroughMigration is the Section 2.3 problem made
+// checkable: before migration org B cannot read org A's approval
+// threshold; after automatic type migration it can.
+func TestKnowledgeLeakThroughMigration(t *testing.T) {
+	a, b := twoEngines(t)
+	if err := a.Deploy(approvalType()); err != nil {
+		t.Fatal(err)
+	}
+	const secret = "PO.amount > 550000"
+
+	can, err := CanReadCondition(b, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can {
+		t.Fatal("B should not see A's threshold before migration")
+	}
+
+	ctx := context.Background()
+	g := doc.NewGenerator(2)
+	po := g.POWithAmount(doc.Party{ID: "TP1", Name: "X"}, doc.Party{ID: "S", Name: "Y"}, 1000)
+	in, err := a.Start(ctx, "po-approval", map[string]any{"document": po})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Migrator{AutoTypeMigration: true}).MigrateInstance(a, b, in.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	can, err = CanReadCondition(b, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !can {
+		t.Fatal("B should see A's threshold after type migration — the paper's leak")
+	}
+	// B also sees the instance execution state.
+	ex, err := ExposureOf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Instances) == 0 || !strings.Contains(ex.Instances[0], in.ID) {
+		t.Fatalf("instance state not visible on B: %v", ex.Instances)
+	}
+}
+
+func TestMigrationStateChecks(t *testing.T) {
+	a, b := twoEngines(t)
+	if err := a.Deploy(&wf.TypeDef{
+		Name: "quick", Version: 1,
+		Steps: []wf.StepDef{{Name: "a", Kind: wf.StepNoop}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := a.Start(context.Background(), "quick", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completed instances don't migrate.
+	if _, err := (Migrator{}).MigrateInstance(a, b, in.ID); !errors.Is(err, ErrNotMigratable) {
+		t.Fatalf("err %v", err)
+	}
+	// Unknown instances don't migrate.
+	if _, err := (Migrator{}).MigrateInstance(a, b, "ghost"); !errors.Is(err, wf.ErrNotFound) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+// TestFigure5bDistribution: a master workflow on org A runs a subworkflow
+// that lives only on org B's engine. The master holds just the interface
+// (ports); org B holds the full child definition and executes under the
+// master's control.
+func TestFigure5bDistribution(t *testing.T) {
+	b := wf.NewEngine("orgB", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+	childDef := &wf.TypeDef{
+		Name: "credit-check", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "check", Kind: wf.StepNoop},
+			{Name: "decide", Kind: wf.StepNoop},
+		},
+		Arcs: []wf.Arc{{From: "check", To: "decide"}},
+	}
+	if err := b.Deploy(childDef); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := NewCoordinator(map[string]*wf.Engine{"orgB": b})
+	a := wf.NewEngine("orgA", wfstore.NewMemStore(), wf.NewHandlers(), coord.PortFunc())
+	masterDef := &wf.TypeDef{
+		Name: "procurement", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "prepare", Kind: wf.StepNoop},
+			{Name: "start remote", Kind: wf.StepConnection, Dir: wf.DirOut, Port: "dist:orgB:credit-check"},
+			{Name: "await remote", Kind: wf.StepConnection, Dir: wf.DirIn, Port: "dist-reply:orgB:credit-check", DataKey: "remoteResult"},
+			{Name: "finish", Kind: wf.StepNoop},
+		},
+		Arcs: []wf.Arc{
+			{From: "prepare", To: "start remote"},
+			{From: "start remote", To: "await remote"},
+			{From: "await remote", To: "finish"},
+		},
+	}
+	if err := a.Deploy(masterDef); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	in, err := a.Start(ctx, "procurement", map[string]any{"document": "PO data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.State != wf.InstRunning {
+		t.Fatalf("master should wait for the remote subworkflow, state %s", in.State)
+	}
+	n, err := coord.Pump(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("pumped %d", n)
+	}
+	got, err := a.Instance(in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != wf.InstCompleted {
+		t.Fatalf("master state %s", got.State)
+	}
+	if got.Data["remoteResult"] != "PO data" {
+		t.Fatalf("remote result %v", got.Data["remoteResult"])
+	}
+
+	// The master never held the child's definition...
+	if a.Store().HasType("credit-check", 1) {
+		t.Fatal("master should hold only the subworkflow interface")
+	}
+	// ...but the slave executed (and persisted) a child instance the
+	// master controlled.
+	ids, _ := b.Store().ListInstances()
+	if len(ids) != 1 {
+		t.Fatalf("remote instances %v", ids)
+	}
+}
+
+func TestCoordinatorErrors(t *testing.T) {
+	b := wf.NewEngine("orgB", wfstore.NewMemStore(), wf.NewHandlers(), nil)
+	coord := NewCoordinator(map[string]*wf.Engine{"orgB": b})
+	a := wf.NewEngine("orgA", wfstore.NewMemStore(), wf.NewHandlers(), coord.PortFunc())
+
+	// Unknown remote engine fails at the connection step.
+	def := &wf.TypeDef{
+		Name: "m1", Version: 1,
+		Steps: []wf.StepDef{{Name: "s", Kind: wf.StepConnection, Dir: wf.DirOut, Port: "dist:ghost:x"}},
+	}
+	if err := a.Deploy(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Start(context.Background(), "m1", nil); err == nil {
+		t.Fatal("unknown remote engine accepted")
+	}
+
+	// Non-distribution port fails.
+	def2 := &wf.TypeDef{
+		Name: "m2", Version: 1,
+		Steps: []wf.StepDef{{Name: "s", Kind: wf.StepSend, Port: "plain"}},
+	}
+	if err := a.Deploy(def2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Start(context.Background(), "m2", map[string]any{"document": "d"}); err == nil {
+		t.Fatal("plain port accepted by distribution port function")
+	}
+
+	// Remote child type missing: Pump fails.
+	def3 := &wf.TypeDef{
+		Name: "m3", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "s", Kind: wf.StepConnection, Dir: wf.DirOut, Port: "dist:orgB:nope"},
+			{Name: "r", Kind: wf.StepConnection, Dir: wf.DirIn, Port: "dist-reply:orgB:nope"},
+		},
+		Arcs: []wf.Arc{{From: "s", To: "r"}},
+	}
+	if err := a.Deploy(def3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Start(context.Background(), "m3", map[string]any{"document": "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Pump(context.Background(), a); err == nil {
+		t.Fatal("missing remote type should fail the pump")
+	}
+}
+
+func TestParseDistPort(t *testing.T) {
+	cases := []struct {
+		port       string
+		engine, ct string
+		ok         bool
+	}{
+		{"dist:orgB:credit-check", "orgB", "credit-check", true},
+		{"dist:orgB", "", "", false},
+		{"dist::x", "", "", false},
+		{"other:orgB:x", "", "", false},
+	}
+	for _, c := range cases {
+		e, ct, ok := parseDistPort(c.port, DistPortPrefix)
+		if e != c.engine || ct != c.ct || ok != c.ok {
+			t.Errorf("parseDistPort(%q) = (%q, %q, %v)", c.port, e, ct, ok)
+		}
+	}
+}
+
+func TestExposureListsTypesAndConditions(t *testing.T) {
+	a, _ := twoEngines(t)
+	if err := a.Deploy(approvalType()); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExposureOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Types) != 1 || ex.Types[0] != "po-approval@1" {
+		t.Fatalf("types %v", ex.Types)
+	}
+	if len(ex.Conditions) != 2 {
+		t.Fatalf("conditions %v", ex.Conditions)
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wf"
+)
+
+func simpleType(name, cond string) *wf.TypeDef {
+	return &wf.TypeDef{
+		Name: name, Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "Receive PO", Kind: wf.StepReceive, Port: "in"},
+			{Name: "Transform PO", Kind: wf.StepTask, Handler: "x"},
+			{Name: "Approve", Kind: wf.StepTask, Handler: "a"},
+			{Name: "Send POA", Kind: wf.StepSend, Port: "out"},
+		},
+		Arcs: []wf.Arc{
+			{From: "Receive PO", To: "Transform PO"},
+			{From: "Transform PO", To: "Approve", Condition: cond},
+			{From: "Approve", To: "Send POA"},
+		},
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	d := simpleType("t", `source == "TP1" && document.amount >= 55000`)
+	s := StatsOf([]*wf.TypeDef{d})
+	if s.Types != 1 || s.Steps != 4 || s.Arcs != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if s.TransformSteps != 1 {
+		t.Fatalf("transform steps %d", s.TransformSteps)
+	}
+	if s.MessageSteps != 2 {
+		t.Fatalf("message steps %d", s.MessageSteps)
+	}
+	if s.ConditionTerms != 2 {
+		t.Fatalf("condition terms %d", s.ConditionTerms)
+	}
+}
+
+func TestCountTerms(t *testing.T) {
+	cases := []struct {
+		cond string
+		want int
+	}{
+		{"", 0},
+		{"a == 1", 1},
+		{"a >= 1 && b <= 2", 2},
+		{"a > 1 || b < 2", 2},
+		{"a != 1", 1},
+		{`(source == "TP1" && amount >= 55000) || (source == "TP2" && amount >= 40000)`, 4},
+	}
+	for _, c := range cases {
+		if got := countTerms(c.cond); got != c.want {
+			t.Errorf("countTerms(%q) = %d, want %d", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := simpleType("a", "x > 1")
+	b := simpleType("b", "x > 2")
+	c := simpleType("c", "x > 3")
+
+	// No change.
+	impact := Diff([]*wf.TypeDef{a, b}, []*wf.TypeDef{a.Clone(), b.Clone()})
+	if impact.TouchedTypes() != 0 || impact.Untouched != 2 {
+		t.Fatalf("%+v", impact)
+	}
+
+	// Version-only bumps are not semantic changes.
+	a2 := a.Clone()
+	a2.Version = 9
+	impact = Diff([]*wf.TypeDef{a}, []*wf.TypeDef{a2})
+	if impact.TouchedTypes() != 0 {
+		t.Fatalf("version bump counted as change: %+v", impact)
+	}
+
+	// Add, modify, remove.
+	bMod := simpleType("b", "x > 99")
+	impact = Diff([]*wf.TypeDef{a, b}, []*wf.TypeDef{a, bMod, c})
+	if !reflect.DeepEqual(impact.Added, []string{"c"}) {
+		t.Fatalf("added %v", impact.Added)
+	}
+	if !reflect.DeepEqual(impact.Modified, []string{"b"}) {
+		t.Fatalf("modified %v", impact.Modified)
+	}
+	if len(impact.Removed) != 0 || impact.Untouched != 1 {
+		t.Fatalf("%+v", impact)
+	}
+	impact = Diff([]*wf.TypeDef{a, b}, []*wf.TypeDef{a})
+	if !reflect.DeepEqual(impact.Removed, []string{"b"}) {
+		t.Fatalf("removed %v", impact.Removed)
+	}
+	if impact.TouchedTypes() != 1 {
+		t.Fatalf("touched %d", impact.TouchedTypes())
+	}
+}

@@ -1,0 +1,213 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("msg: endpoint closed")
+
+// ErrUnknownAddress is returned when sending to an unregistered address.
+var ErrUnknownAddress = errors.New("msg: unknown address")
+
+// Endpoint is one party's attachment to a network: it can send messages to
+// other addresses and receive messages sent to its own.
+type Endpoint interface {
+	// Addr is this endpoint's address on the network.
+	Addr() string
+	// Send transmits m to the given address. Delivery is not guaranteed:
+	// depending on the network it may be delayed, lost or duplicated. Send
+	// itself only fails for closed endpoints or unknown addresses.
+	Send(to string, m *Message) error
+	// Recv blocks until a message arrives, the context is done, or the
+	// endpoint is closed.
+	Recv(ctx context.Context) (*Message, error)
+	// Close detaches the endpoint. Pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// Faults configures the fault injection of the in-process network. The zero
+// value is a perfect network with no latency.
+type Faults struct {
+	// Latency is the fixed one-way delivery delay.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb is the probability in [0,1] that a message is dropped.
+	LossProb float64
+	// DupProb is the probability in [0,1] that a message is delivered twice.
+	DupProb float64
+	// Seed makes the fault schedule reproducible. Zero means seed 1.
+	Seed int64
+}
+
+// InProcNetwork is an in-process message network with configurable fault
+// injection; it is the simulated "Network" cloud of the paper's figures.
+// It is safe for concurrent use.
+type InProcNetwork struct {
+	faults Faults
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	boxes  map[string]chan *Message
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewInProcNetwork creates a network with the given fault configuration.
+func NewInProcNetwork(f Faults) *InProcNetwork {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &InProcNetwork{
+		faults: f,
+		rng:    rand.New(rand.NewSource(seed)),
+		boxes:  make(map[string]chan *Message),
+	}
+}
+
+// Endpoint registers addr on the network and returns its endpoint. The
+// mailbox is buffered; a full mailbox drops messages like a congested link.
+func (n *InProcNetwork) Endpoint(addr string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.boxes[addr]; dup {
+		return nil, fmt.Errorf("msg: address %q already registered", addr)
+	}
+	box := make(chan *Message, 1024)
+	n.boxes[addr] = box
+	return &inprocEndpoint{net: n, addr: addr, box: box}, nil
+}
+
+// Close shuts the network down; all endpoints become unusable.
+func (n *InProcNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	boxes := n.boxes
+	n.boxes = map[string]chan *Message{}
+	n.mu.Unlock()
+	n.wg.Wait()
+	for _, b := range boxes {
+		close(b)
+	}
+	return nil
+}
+
+// deliver applies the fault model and schedules the copies for delivery.
+func (n *InProcNetwork) deliver(to string, m *Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	box, ok := n.boxes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+	}
+	copies := 1
+	if n.faults.LossProb > 0 && n.rng.Float64() < n.faults.LossProb {
+		copies = 0
+	} else if n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
+		copies = 2
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		d := n.faults.Latency
+		if n.faults.Jitter > 0 {
+			d += time.Duration(n.rng.Int63n(int64(n.faults.Jitter)))
+		}
+		delays[i] = d
+	}
+	n.mu.Unlock()
+
+	for _, d := range delays {
+		cp := m.Clone()
+		if d == 0 {
+			trySend(box, cp)
+			continue
+		}
+		n.wg.Add(1)
+		time.AfterFunc(d, func() {
+			defer n.wg.Done()
+			trySend(box, cp)
+		})
+	}
+	return nil
+}
+
+// trySend delivers into a mailbox, dropping on congestion and tolerating a
+// mailbox that was closed by endpoint shutdown (the message is then lost,
+// which the reliable layer handles like any other loss).
+func trySend(box chan *Message, m *Message) {
+	defer func() { recover() }()
+	select {
+	case box <- m:
+	default: // congested mailbox: drop
+	}
+}
+
+type inprocEndpoint struct {
+	net  *InProcNetwork
+	addr string
+	box  chan *Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (e *inprocEndpoint) Addr() string { return e.addr }
+
+func (e *inprocEndpoint) Send(to string, m *Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	cp := m.Clone()
+	cp.From = e.addr
+	cp.To = to
+	return e.net.deliver(to, cp)
+}
+
+func (e *inprocEndpoint) Recv(ctx context.Context) (*Message, error) {
+	select {
+	case m, ok := <-e.box:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.net.mu.Lock()
+	if e.net.boxes[e.addr] == e.box {
+		delete(e.net.boxes, e.addr)
+	}
+	e.net.mu.Unlock()
+	close(e.box)
+	return nil
+}

@@ -1,0 +1,263 @@
+package msg
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ReliableConfig tunes the reliable-messaging layer.
+type ReliableConfig struct {
+	// RetryInterval is the acknowledgment timeout before a resend.
+	RetryInterval time.Duration
+	// MaxAttempts bounds total sends of one message (first try included).
+	MaxAttempts int
+	// DedupWindow bounds the number of remembered message IDs for duplicate
+	// elimination.
+	DedupWindow int
+	// Secret, when non-empty, enables message authentication (the RNIF
+	// authentication feature): outbound data messages carry an HMAC-SHA256
+	// of the body; inbound data messages with a missing or wrong signature
+	// are dropped without acknowledgment. Both sides must share the secret.
+	Secret []byte
+}
+
+// DefaultReliableConfig mirrors RNIF-style defaults scaled for tests.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		RetryInterval: 50 * time.Millisecond,
+		MaxAttempts:   8,
+		DedupWindow:   4096,
+	}
+}
+
+// ErrDeliveryFailed is wrapped in errors returned when every send attempt
+// of a message went unacknowledged.
+var ErrDeliveryFailed = fmt.Errorf("msg: delivery failed after retries")
+
+// Reliable wraps an Endpoint with message-level acknowledgments, timeouts,
+// sending retries and duplicate elimination — the RNIF substitute. Business
+// messages submitted with Send are delivered to the peer's Reliable exactly
+// once (for any fault schedule under which some copy eventually arrives),
+// and arrive on Recv in the order they were accepted locally.
+type Reliable struct {
+	ep  Endpoint
+	cfg ReliableConfig
+
+	mu      sync.Mutex
+	pending map[string]chan struct{} // data message ID → ack signal
+	seen    map[string]bool          // delivered data message IDs
+	order   []string                 // FIFO of seen for window eviction
+	stats   ReliableStats
+
+	out    chan *Message
+	done   chan struct{}
+	closed sync.Once
+}
+
+// ReliableStats counts the traffic of one reliable endpoint.
+type ReliableStats struct {
+	// Sent counts data message send attempts (including retries).
+	Sent int
+	// Retries counts resends beyond first attempts.
+	Retries int
+	// AcksSent and AcksReceived count acknowledgment traffic.
+	AcksSent     int
+	AcksReceived int
+	// Duplicates counts suppressed duplicate deliveries.
+	Duplicates int
+	// Delivered counts business messages handed to the application.
+	Delivered int
+	// Rejected counts inbound data messages dropped for missing or invalid
+	// signatures.
+	Rejected int
+}
+
+// NewReliable wraps ep. The returned Reliable owns ep's receive loop; do
+// not call ep.Recv elsewhere. Close the Reliable (not ep) when done.
+func NewReliable(ep Endpoint, cfg ReliableConfig) *Reliable {
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = DefaultReliableConfig().RetryInterval
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultReliableConfig().MaxAttempts
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = DefaultReliableConfig().DedupWindow
+	}
+	r := &Reliable{
+		ep:      ep,
+		cfg:     cfg,
+		pending: make(map[string]chan struct{}),
+		seen:    make(map[string]bool),
+		out:     make(chan *Message, 1024),
+		done:    make(chan struct{}),
+	}
+	go r.recvLoop()
+	return r
+}
+
+// Addr is the wrapped endpoint's address.
+func (r *Reliable) Addr() string { return r.ep.Addr() }
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Reliable) Stats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Reliable) recvLoop() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.done
+		cancel()
+	}()
+	for {
+		m, err := r.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindAck:
+			r.mu.Lock()
+			r.stats.AcksReceived++
+			if ch, ok := r.pending[m.RefID]; ok {
+				delete(r.pending, m.RefID)
+				close(ch)
+			}
+			r.mu.Unlock()
+		case KindData:
+			if len(r.cfg.Secret) > 0 && !r.verify(m) {
+				// Unauthenticated traffic: drop without acknowledging, so
+				// a legitimate sender retries and a forger gets nothing.
+				r.mu.Lock()
+				r.stats.Rejected++
+				r.mu.Unlock()
+				continue
+			}
+			ack := &Message{ID: NewID("ack"), Kind: KindAck, RefID: m.ID}
+			_ = r.ep.Send(m.From, ack)
+			r.mu.Lock()
+			r.stats.AcksSent++
+			if r.seen[m.ID] {
+				r.stats.Duplicates++
+				r.mu.Unlock()
+				continue
+			}
+			r.seen[m.ID] = true
+			r.order = append(r.order, m.ID)
+			if len(r.order) > r.cfg.DedupWindow {
+				evict := r.order[0]
+				r.order = r.order[1:]
+				delete(r.seen, evict)
+			}
+			r.stats.Delivered++
+			r.mu.Unlock()
+			select {
+			case r.out <- m:
+			case <-r.done:
+				return
+			}
+		}
+	}
+}
+
+// Send transmits a business message reliably: it assigns an ID if absent,
+// then sends and resends until the peer acknowledges or MaxAttempts is
+// exhausted.
+func (r *Reliable) Send(ctx context.Context, to string, m *Message) error {
+	m = m.Clone()
+	m.Kind = KindData
+	if m.ID == "" {
+		m.ID = NewID("msg")
+	}
+	if len(r.cfg.Secret) > 0 {
+		m.Signature = r.sign(m)
+	}
+	ackCh := make(chan struct{})
+	r.mu.Lock()
+	r.pending[m.ID] = ackCh
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, m.ID)
+		r.mu.Unlock()
+	}()
+
+	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
+		m.Attempt = attempt
+		if err := r.ep.Send(to, m); err != nil {
+			return fmt.Errorf("msg: send %q to %q: %w", m.ID, to, err)
+		}
+		r.mu.Lock()
+		r.stats.Sent++
+		if attempt > 1 {
+			r.stats.Retries++
+		}
+		r.mu.Unlock()
+
+		timer := time.NewTimer(r.cfg.RetryInterval)
+		select {
+		case <-ackCh:
+			timer.Stop()
+			return nil
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-r.done:
+			timer.Stop()
+			return ErrClosed
+		case <-timer.C:
+			// retry
+		}
+	}
+	return fmt.Errorf("%w: message %q to %q after %d attempts", ErrDeliveryFailed, m.ID, to, r.cfg.MaxAttempts)
+}
+
+// Recv blocks until a business message is delivered, the context is done,
+// or the endpoint is closed.
+func (r *Reliable) Recv(ctx context.Context) (*Message, error) {
+	select {
+	case m := <-r.out:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.done:
+		// Drain anything already delivered before reporting closure.
+		select {
+		case m := <-r.out:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close shuts the reliable layer and the wrapped endpoint down.
+func (r *Reliable) Close() error {
+	r.closed.Do(func() { close(r.done) })
+	return r.ep.Close()
+}
+
+// sign computes the message authentication code over the fields a forger
+// would want to manipulate: ID (dedup identity), correlation and body.
+func (r *Reliable) sign(m *Message) []byte {
+	mac := hmac.New(sha256.New, r.cfg.Secret)
+	mac.Write([]byte(m.ID))
+	mac.Write([]byte{0})
+	mac.Write([]byte(m.CorrelationID))
+	mac.Write([]byte{0})
+	mac.Write([]byte(m.DocType))
+	mac.Write([]byte{0})
+	mac.Write(m.Body)
+	return mac.Sum(nil)
+}
+
+func (r *Reliable) verify(m *Message) bool {
+	return hmac.Equal(m.Signature, r.sign(m))
+}

@@ -1,0 +1,166 @@
+package msg
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork is a real-socket transport over the loopback interface: each
+// endpoint owns a TCP listener, and Send dials the target's listener and
+// writes one newline-delimited JSON frame per message. It exercises the
+// same Endpoint contract as the in-process simulator against an actual
+// network stack (the "Internet" of the paper's deployment, scaled to one
+// machine).
+type TCPNetwork struct {
+	mu     sync.Mutex
+	addrs  map[string]string // logical address → host:port
+	closed bool
+}
+
+// NewTCPNetwork creates an empty TCP address registry.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{addrs: make(map[string]string)}
+}
+
+// Endpoint starts a listener on an ephemeral loopback port and registers it
+// under addr.
+func (n *TCPNetwork) Endpoint(addr string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.addrs[addr]; dup {
+		return nil, fmt.Errorf("msg: address %q already registered", addr)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("msg: listen: %w", err)
+	}
+	n.addrs[addr] = l.Addr().String()
+	ep := &tcpEndpoint{
+		net:  n,
+		addr: addr,
+		l:    l,
+		box:  make(chan *Message, 1024),
+		done: make(chan struct{}),
+	}
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close closes the registry; existing endpoints keep working until closed
+// individually.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	return nil
+}
+
+func (n *TCPNetwork) resolve(addr string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hostport, ok := n.addrs[addr]
+	return hostport, ok
+}
+
+func (n *TCPNetwork) unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.addrs, addr)
+}
+
+type tcpEndpoint struct {
+	net  *TCPNetwork
+	addr string
+	l    net.Listener
+	box  chan *Message
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+func (e *tcpEndpoint) Addr() string { return e.addr }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.l.Accept()
+		if err != nil {
+			return
+		}
+		go e.serve(conn)
+	}
+}
+
+func (e *tcpEndpoint) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var m Message
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return // malformed frame: drop connection
+		}
+		select {
+		case e.box <- &m:
+		case <-e.done:
+			return
+		default: // congested mailbox: drop
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(to string, m *Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	hostport, ok := e.net.resolve(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+	}
+	cp := m.Clone()
+	cp.From = e.addr
+	cp.To = to
+	frame, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("msg: marshal: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", hostport, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("msg: dial %q: %w", to, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(append(frame, '\n')); err != nil {
+		return fmt.Errorf("msg: write to %q: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(ctx context.Context) (*Message, error) {
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, ErrClosed
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		close(e.done)
+		err = e.l.Close()
+		e.net.unregister(e.addr)
+	})
+	return err
+}

@@ -1,0 +1,45 @@
+package rules_test
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/doc"
+	"repro/internal/rules"
+)
+
+// ExampleSet_Evaluate reproduces the paper's Section 4.3.2
+// check-need-for-approval function: rules selected by (source, target),
+// evaluated against the document, with the error case when none applies.
+func ExampleSet_Evaluate() {
+	set := rules.NewSet("check-need-for-approval")
+	_ = set.Add(rules.Rule{
+		Name: "business rule 1", Source: "TP1", Target: "SAP",
+		Condition: "document.amount >= 55000",
+	})
+	_ = set.Add(rules.Rule{
+		Name: "business rule 2", Source: "TP2", Target: "SAP",
+		Condition: "document.amount >= 40000",
+	})
+
+	po := &doc.PurchaseOrder{
+		ID:       "PO-1",
+		Buyer:    doc.Party{ID: "TP1", Name: "Acme"},
+		Seller:   doc.Party{ID: "HUB", Name: "Widget"},
+		Currency: "USD",
+		Lines:    []doc.Line{{Number: 1, SKU: "X", Quantity: 1, UnitPrice: 60000}},
+	}
+	d, err := set.Evaluate("TP1", "SAP", po)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s → %v\n", d.Rule, d.Result)
+
+	// No rule applies for TP3: the paper's error case.
+	_, err = set.Evaluate("TP3", "SAP", po)
+	fmt.Println("TP3:", errors.Is(err, rules.ErrNoRuleApplies))
+	// Output:
+	// business rule 1 → true
+	// TP3: true
+}

@@ -1,0 +1,267 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+)
+
+var (
+	gen    = doc.NewGenerator(1)
+	buyer1 = doc.Party{ID: "TP1", Name: "Acme"}
+	buyer2 = doc.Party{ID: "TP2", Name: "Beta"}
+	buyer3 = doc.Party{ID: "TP3", Name: "Gamma"}
+	seller = doc.Party{ID: "HUB", Name: "Widget"}
+)
+
+// paperSet builds the exact check-need-for-approval function of Section
+// 4.3.2: four rules over {TP1, TP2} × {SAP, Oracle}.
+func paperSet(t *testing.T) *Set {
+	t.Helper()
+	s := NewSet("check-need-for-approval")
+	add := func(name, source, target, cond string) {
+		t.Helper()
+		if err := s.Add(Rule{Name: name, Source: source, Target: target, Condition: cond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("business rule 1", "TP1", "SAP", "document.amount >= 55000")
+	add("business rule 2", "TP2", "SAP", "document.amount >= 40000")
+	add("business rule 3", "TP1", "Oracle", "document.amount >= 55000")
+	add("business rule 4", "TP2", "Oracle", "document.amount >= 40000")
+	return s
+}
+
+func TestPaperBusinessRules(t *testing.T) {
+	s := paperSet(t)
+	cases := []struct {
+		source, target string
+		amount         float64
+		want           bool
+		rule           string
+	}{
+		{"TP1", "SAP", 55000, true, "business rule 1"},
+		{"TP1", "SAP", 54999.99, false, "business rule 1"},
+		{"TP2", "SAP", 40000, true, "business rule 2"},
+		{"TP2", "SAP", 39999.99, false, "business rule 2"},
+		{"TP1", "Oracle", 55000, true, "business rule 3"},
+		{"TP1", "Oracle", 100, false, "business rule 3"},
+		{"TP2", "Oracle", 40000, true, "business rule 4"},
+		{"TP2", "Oracle", 100, false, "business rule 4"},
+	}
+	for _, c := range cases {
+		var buyer doc.Party
+		if c.source == "TP1" {
+			buyer = buyer1
+		} else {
+			buyer = buyer2
+		}
+		po := gen.POWithAmount(buyer, seller, c.amount)
+		d, err := s.Evaluate(c.source, c.target, po)
+		if err != nil {
+			t.Fatalf("%s→%s %v: %v", c.source, c.target, c.amount, err)
+		}
+		if d.Result != c.want || d.Rule != c.rule {
+			t.Errorf("%s→%s %v: got (%v, %s), want (%v, %s)",
+				c.source, c.target, c.amount, d.Result, d.Rule, c.want, c.rule)
+		}
+	}
+}
+
+func TestErrorCaseWhenNoRuleApplies(t *testing.T) {
+	s := paperSet(t)
+	po := gen.POWithAmount(buyer3, seller, 10000)
+	_, err := s.Evaluate("TP3", "SAP", po)
+	if !errors.Is(err, ErrNoRuleApplies) {
+		t.Fatalf("err = %v, want ErrNoRuleApplies", err)
+	}
+	if !strings.Contains(err.Error(), "TP3") {
+		t.Fatalf("error should name the source: %v", err)
+	}
+}
+
+// TestAddPartnerIsLocalChange is the Section 4.6 scalability claim at rule
+// level: adding trading partner TP3 adds rules but touches nothing else —
+// existing evaluations are unchanged.
+func TestAddPartnerIsLocalChange(t *testing.T) {
+	s := paperSet(t)
+	before := s.Len()
+	po1 := gen.POWithAmount(buyer1, seller, 60000)
+	d1, err := s.Evaluate("TP1", "SAP", po1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Figure 10 change: TP3 approves at >= 10000.
+	for _, target := range []string{"SAP", "Oracle"} {
+		if err := s.Add(Rule{
+			Name: "business rule TP3 " + target, Source: "TP3", Target: target,
+			Condition: "document.amount >= 10000",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != before+2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// TP3 now evaluates.
+	po3 := gen.POWithAmount(buyer3, seller, 10000)
+	d3, err := s.Evaluate("TP3", "SAP", po3)
+	if err != nil || !d3.Result {
+		t.Fatalf("TP3: %v %v", d3, err)
+	}
+	// TP1 behavior unchanged.
+	d1b, err := s.Evaluate("TP1", "SAP", po1)
+	if err != nil || d1b != d1 {
+		t.Fatalf("TP1 behavior changed: %v vs %v (%v)", d1b, d1, err)
+	}
+}
+
+func TestRemovePartnerRules(t *testing.T) {
+	s := paperSet(t)
+	if n := s.Remove("business rule 1"); n != 1 {
+		t.Fatalf("removed %d", n)
+	}
+	po := gen.POWithAmount(buyer1, seller, 60000)
+	if _, err := s.Evaluate("TP1", "SAP", po); !errors.Is(err, ErrNoRuleApplies) {
+		t.Fatalf("err %v", err)
+	}
+	if n := s.Remove("ghost"); n != 0 {
+		t.Fatalf("removed %d for unknown name", n)
+	}
+}
+
+func TestWildcardRules(t *testing.T) {
+	s := NewSet("any")
+	if err := s.Add(Rule{Name: "catch-all", Source: "*", Target: "*", Condition: "document.amount > 0"}); err != nil {
+		t.Fatal(err)
+	}
+	po := gen.POWithAmount(buyer1, seller, 1)
+	d, err := s.Evaluate("WHOEVER", "WHEREVER", po)
+	if err != nil || !d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	s := NewSet("order")
+	_ = s.Add(Rule{Name: "specific", Source: "TP1", Condition: "true"})
+	_ = s.Add(Rule{Name: "general", Condition: "false"})
+	po := gen.POWithAmount(buyer1, seller, 1)
+	d, err := s.Evaluate("TP1", "SAP", po)
+	if err != nil || d.Rule != "specific" || !d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+	d, err = s.Evaluate("TP2", "SAP", po)
+	if err != nil || d.Rule != "general" || d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+}
+
+func TestDocTypeSelector(t *testing.T) {
+	s := NewSet("dt")
+	_ = s.Add(Rule{Name: "po-only", DocType: doc.TypePO, Condition: "true"})
+	po := gen.POWithAmount(buyer1, seller, 1)
+	if _, err := s.Evaluate("TP1", "SAP", po); err != nil {
+		t.Fatal(err)
+	}
+	poa := doc.AckFor(po, "A-1")
+	if _, err := s.Evaluate("TP1", "SAP", poa); !errors.Is(err, ErrNoRuleApplies) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewSet("v")
+	if err := s.Add(Rule{Condition: "true"}); err == nil {
+		t.Fatal("nameless rule accepted")
+	}
+	if err := s.Add(Rule{Name: "r"}); err == nil {
+		t.Fatal("conditionless rule accepted")
+	}
+	if err := s.Add(Rule{Name: "r", Condition: "1 +"}); err == nil {
+		t.Fatal("unparseable condition accepted")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	s := NewSet("e")
+	_ = s.Add(Rule{Name: "bad-ref", Condition: "nonexistent.path > 1"})
+	po := gen.POWithAmount(buyer1, seller, 1)
+	if _, err := s.Evaluate("TP1", "SAP", po); err == nil {
+		t.Fatal("bad reference should error")
+	}
+	if _, err := s.Evaluate("TP1", "SAP", "not a document"); err == nil {
+		t.Fatal("unknown document type should error")
+	}
+	_ = NewSet("nonbool").Add(Rule{Name: "n", Condition: "1 + 1"})
+	nb := NewSet("nonbool2")
+	_ = nb.Add(Rule{Name: "n", Condition: "1 + 1"})
+	if _, err := nb.Evaluate("TP1", "SAP", po); err == nil {
+		t.Fatal("non-boolean condition result should error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	g := NewRegistry()
+	s := g.Set("check-need-for-approval")
+	_ = s.Add(Rule{Name: "r1", Source: "TP1", Target: "SAP", Condition: "document.amount >= 55000"})
+	// Set returns the same set.
+	if g.Set("check-need-for-approval") != s {
+		t.Fatal("Set not idempotent")
+	}
+	po := gen.POWithAmount(buyer1, seller, 60000)
+	d, err := g.Evaluate("check-need-for-approval", "TP1", "SAP", po)
+	if err != nil || !d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+	if _, err := g.Evaluate("unknown-set", "TP1", "SAP", po); !errors.Is(err, ErrNoRuleApplies) {
+		t.Fatalf("err %v", err)
+	}
+	if g.TotalRules() != 1 {
+		t.Fatalf("TotalRules %d", g.TotalRules())
+	}
+	names := g.SetNames()
+	if len(names) != 1 || names[0] != "check-need-for-approval" {
+		t.Fatalf("names %v", names)
+	}
+	if _, ok := g.Lookup("check-need-for-approval"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := g.Lookup("nope"); ok {
+		t.Fatal("Lookup invented a set")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	s := NewSet("n")
+	_ = s.Add(Rule{Name: "b", Condition: "true"})
+	_ = s.Add(Rule{Name: "a", Condition: "true"})
+	names := s.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names %v (must preserve registration order)", names)
+	}
+}
+
+// TestRFQSelectionRulesStayPrivate exercises the Section 2.3 RFQ scenario:
+// quote selection rules evaluate quotes without the rules being visible
+// anywhere near the message exchange.
+func TestRFQSelectionRulesStayPrivate(t *testing.T) {
+	s := NewSet("select-quote")
+	_ = s.Add(Rule{
+		Name: "prefer cheap and fast", DocType: doc.TypeQT,
+		Condition: "Quote.unitPrice <= 120 && Quote.leadTimeDays <= 7",
+	})
+	good := &doc.Quote{ID: "Q1", RFQID: "R1", Supplier: doc.Party{ID: "S1"}, UnitPrice: 100, LeadTimeDays: 3}
+	slow := &doc.Quote{ID: "Q2", RFQID: "R1", Supplier: doc.Party{ID: "S2"}, UnitPrice: 90, LeadTimeDays: 21}
+	d, err := s.Evaluate("S1", "BUYER", good)
+	if err != nil || !d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+	d, err = s.Evaluate("S2", "BUYER", slow)
+	if err != nil || d.Result {
+		t.Fatalf("%v %v", d, err)
+	}
+}

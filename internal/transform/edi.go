@@ -1,0 +1,263 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+)
+
+// EDIPOToNormalized maps an X12 850 to the normalized purchase order.
+func EDIPOToNormalized(p *edi.PO850) (*doc.PurchaseOrder, error) {
+	po := &doc.PurchaseOrder{
+		ID:       p.PONumber,
+		Buyer:    doc.Party{ID: p.SenderID, Name: p.BuyerName, DUNS: p.BuyerDUNS},
+		Seller:   doc.Party{ID: p.ReceiverID, Name: p.SellerName, DUNS: p.SellerDUNS},
+		Currency: p.Currency,
+		IssuedAt: p.Date,
+		ShipTo:   p.ShipTo,
+		Note:     p.Note,
+	}
+	for _, it := range p.Items {
+		po.Lines = append(po.Lines, doc.Line{
+			Number:      it.Line,
+			SKU:         it.SKU,
+			Description: it.Description,
+			Quantity:    it.Quantity,
+			UnitPrice:   it.UnitPrice,
+		})
+	}
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// NormalizedPOToEDI maps a normalized purchase order to an X12 850.
+func NormalizedPOToEDI(po *doc.PurchaseOrder) (*edi.PO850, error) {
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	p := &edi.PO850{
+		SenderID:   po.Buyer.ID,
+		ReceiverID: po.Seller.ID,
+		Control:    controlNumber(po.ID),
+		PONumber:   po.ID,
+		Date:       po.IssuedAt,
+		Currency:   po.Currency,
+		BuyerName:  po.Buyer.Name,
+		BuyerDUNS:  po.Buyer.DUNS,
+		SellerName: po.Seller.Name,
+		SellerDUNS: po.Seller.DUNS,
+		ShipTo:     po.ShipTo,
+		Note:       po.Note,
+	}
+	for _, l := range po.Lines {
+		p.Items = append(p.Items, edi.Item850{
+			Line:        l.Number,
+			Quantity:    l.Quantity,
+			UnitPrice:   l.UnitPrice,
+			SKU:         l.SKU,
+			Description: l.Description,
+		})
+	}
+	return p, nil
+}
+
+func bakToAckStatus(c edi.BAKCode) (doc.AckStatus, error) {
+	switch c {
+	case edi.BAKAcceptedWithDetail:
+		return doc.AckAccepted, nil
+	case edi.BAKRejectedWithDetail:
+		return doc.AckRejected, nil
+	case edi.BAKAcceptedWithChange:
+		return doc.AckPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown BAK02 code %q", c)
+}
+
+func ackStatusToBAK(s doc.AckStatus) (edi.BAKCode, error) {
+	switch s {
+	case doc.AckAccepted:
+		return edi.BAKAcceptedWithDetail, nil
+	case doc.AckRejected:
+		return edi.BAKRejectedWithDetail, nil
+	case doc.AckPartial:
+		return edi.BAKAcceptedWithChange, nil
+	}
+	return "", fmt.Errorf("transform: unknown ack status %q", s)
+}
+
+func ackCodeToLineStatus(c edi.AckCode) (doc.LineStatus, error) {
+	switch c {
+	case edi.AckItemAccepted:
+		return doc.LineAccepted, nil
+	case edi.AckItemRejected:
+		return doc.LineRejected, nil
+	case edi.AckItemBackorder:
+		return doc.LineBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown ACK01 code %q", c)
+}
+
+func lineStatusToAckCode(s doc.LineStatus) (edi.AckCode, error) {
+	switch s {
+	case doc.LineAccepted:
+		return edi.AckItemAccepted, nil
+	case doc.LineRejected:
+		return edi.AckItemRejected, nil
+	case doc.LineBackorder:
+		return edi.AckItemBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown line status %q", s)
+}
+
+// EDIPOAToNormalized maps an X12 855 to the normalized acknowledgment.
+func EDIPOAToNormalized(p *edi.POA855) (*doc.PurchaseOrderAck, error) {
+	status, err := bakToAckStatus(p.Code)
+	if err != nil {
+		return nil, err
+	}
+	poa := &doc.PurchaseOrderAck{
+		ID:       p.AckNumber,
+		POID:     p.PONumber,
+		Buyer:    doc.Party{ID: p.ReceiverID, Name: p.BuyerName, DUNS: p.BuyerDUNS},
+		Seller:   doc.Party{ID: p.SenderID, Name: p.SellerName, DUNS: p.SellerDUNS},
+		Status:   status,
+		IssuedAt: p.Date,
+		Note:     p.Note,
+	}
+	for _, it := range p.Items {
+		ls, err := ackCodeToLineStatus(it.Code)
+		if err != nil {
+			return nil, err
+		}
+		poa.Lines = append(poa.Lines, doc.AckLine{
+			Number:   it.Line,
+			Status:   ls,
+			Quantity: it.Quantity,
+			ShipDate: it.ShipDate,
+		})
+	}
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	return poa, nil
+}
+
+// NormalizedPOAToEDI maps a normalized acknowledgment to an X12 855. The
+// 855 travels seller→buyer, so the interchange sender is the seller.
+func NormalizedPOAToEDI(poa *doc.PurchaseOrderAck) (*edi.POA855, error) {
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := ackStatusToBAK(poa.Status)
+	if err != nil {
+		return nil, err
+	}
+	p := &edi.POA855{
+		SenderID:   poa.Seller.ID,
+		ReceiverID: poa.Buyer.ID,
+		Control:    controlNumber(poa.ID),
+		AckNumber:  poa.ID,
+		PONumber:   poa.POID,
+		Code:       code,
+		Date:       poa.IssuedAt,
+		BuyerName:  poa.Buyer.Name,
+		BuyerDUNS:  poa.Buyer.DUNS,
+		SellerName: poa.Seller.Name,
+		SellerDUNS: poa.Seller.DUNS,
+		Note:       poa.Note,
+	}
+	for _, l := range poa.Lines {
+		code, err := lineStatusToAckCode(l.Status)
+		if err != nil {
+			return nil, err
+		}
+		p.Items = append(p.Items, edi.AckItem855{
+			Line:     l.Number,
+			Code:     code,
+			Quantity: l.Quantity,
+			ShipDate: l.ShipDate,
+		})
+	}
+	return p, nil
+}
+
+// EDIFAToNormalized maps an X12 997 to the normalized functional ack.
+func EDIFAToNormalized(f *edi.FA997) (*doc.FunctionalAck, error) {
+	fa := &doc.FunctionalAck{
+		ID:         f.AckNumber,
+		RefControl: f.RefControl,
+		RefGroupID: f.RefGroupID,
+		Accepted:   f.Accepted,
+		Note:       f.Note,
+	}
+	if err := fa.Validate(); err != nil {
+		return nil, err
+	}
+	return fa, nil
+}
+
+// NormalizedFAToEDI maps a normalized functional ack to an X12 997. The
+// party identifiers are transport metadata the caller fills in afterwards.
+func NormalizedFAToEDI(fa *doc.FunctionalAck) (*edi.FA997, error) {
+	if err := fa.Validate(); err != nil {
+		return nil, err
+	}
+	return &edi.FA997{
+		Control:    controlNumber(fa.ID),
+		AckNumber:  fa.ID,
+		RefGroupID: fa.RefGroupID,
+		RefControl: fa.RefControl,
+		Accepted:   fa.Accepted,
+		Note:       fa.Note,
+	}, nil
+}
+
+// RegisterEDI registers the four EDI↔normalized transformers.
+func RegisterEDI(r *Registry) {
+	r.Register(Func{formats.EDI, formats.Normalized, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*edi.PO850)
+		if !ok {
+			return nil, fmt.Errorf("want *edi.PO850, got %T", n)
+		}
+		return EDIPOToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.EDI, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrder, got %T", n)
+		}
+		return NormalizedPOToEDI(p)
+	}})
+	r.Register(Func{formats.EDI, formats.Normalized, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*edi.POA855)
+		if !ok {
+			return nil, fmt.Errorf("want *edi.POA855, got %T", n)
+		}
+		return EDIPOAToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.EDI, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrderAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrderAck, got %T", n)
+		}
+		return NormalizedPOAToEDI(p)
+	}})
+	r.Register(Func{formats.EDI, formats.Normalized, doc.TypeFA, func(n any) (any, error) {
+		f, ok := n.(*edi.FA997)
+		if !ok {
+			return nil, fmt.Errorf("want *edi.FA997, got %T", n)
+		}
+		return EDIFAToNormalized(f)
+	}})
+	r.Register(Func{formats.Normalized, formats.EDI, doc.TypeFA, func(n any) (any, error) {
+		f, ok := n.(*doc.FunctionalAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.FunctionalAck, got %T", n)
+		}
+		return NormalizedFAToEDI(f)
+	}})
+}

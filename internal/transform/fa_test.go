@@ -1,0 +1,75 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+)
+
+func TestFARoundTrip(t *testing.T) {
+	r := newFullRegistry()
+	fa := &doc.FunctionalAck{
+		ID: "997-000000042", RefControl: 42, RefGroupID: "PO", Accepted: true,
+	}
+	native, err := r.FromNormalized(formats.EDI, doc.TypeFA, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f997, ok := native.(*edi.FA997)
+	if !ok {
+		t.Fatalf("native %T", native)
+	}
+	if f997.RefControl != 42 || !f997.Accepted {
+		t.Fatalf("%+v", f997)
+	}
+	back, err := r.ToNormalized(formats.EDI, doc.TypeFA, native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.(*doc.FunctionalAck)
+	if got.ID != fa.ID || got.RefControl != fa.RefControl || got.Accepted != fa.Accepted || got.RefGroupID != fa.RefGroupID {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, fa)
+	}
+}
+
+func TestFARejectedVariant(t *testing.T) {
+	fa := &doc.FunctionalAck{
+		ID: "997-1", RefControl: 7, RefGroupID: "PO", Accepted: false, Note: "bad segment",
+	}
+	native, err := NormalizedFAToEDI(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Party identifiers are transport metadata filled in by the sender.
+	native.SenderID, native.ReceiverID = "HUB", "TP1"
+	wire, err := native.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := edi.DecodeFA997(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := EDIFAToNormalized(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Accepted || back.Note != "bad segment" {
+		t.Fatalf("%+v", back)
+	}
+}
+
+func TestFAValidationErrors(t *testing.T) {
+	if _, err := NormalizedFAToEDI(&doc.FunctionalAck{ID: "x"}); err == nil {
+		t.Fatal("FA without ref control accepted")
+	}
+	if _, err := EDIFAToNormalized(&edi.FA997{AckNumber: "x"}); err == nil {
+		t.Fatal("997 without ref control accepted")
+	}
+	r := newFullRegistry()
+	if _, err := r.FromNormalized(formats.RosettaNet, doc.TypeFA, &doc.FunctionalAck{}); err == nil {
+		t.Fatal("functional acks are EDI-only; RosettaNet leg should not exist")
+	}
+}

@@ -1,0 +1,13 @@
+package transform
+
+import "hash/fnv"
+
+// controlNumber derives a deterministic positive control / interface number
+// from a document identifier, so that normalized→native transformations are
+// pure functions (the paper's transformations are definitions, not stateful
+// services).
+func controlNumber(docID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(docID))
+	return int(h.Sum32() & 0x7fffffff)
+}

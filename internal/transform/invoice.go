@@ -1,0 +1,423 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+	"repro/internal/formats/oagis"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/rosettanet"
+	"repro/internal/formats/sapidoc"
+)
+
+// EDIINVToNormalized maps an X12 810 to the normalized invoice.
+func EDIINVToNormalized(p *edi.Invoice810) (*doc.Invoice, error) {
+	inv := &doc.Invoice{
+		ID:       p.InvoiceNumber,
+		POID:     p.PONumber,
+		Buyer:    doc.Party{ID: p.ReceiverID, Name: p.BuyerName, DUNS: p.BuyerDUNS},
+		Seller:   doc.Party{ID: p.SenderID, Name: p.SellerName, DUNS: p.SellerDUNS},
+		Currency: p.Currency,
+		IssuedAt: p.Date,
+		DueAt:    p.DueDate,
+		Note:     p.Note,
+	}
+	for _, it := range p.Items {
+		inv.Lines = append(inv.Lines, doc.InvoiceLine{
+			Number: it.Line, SKU: it.SKU, Description: it.Description,
+			Quantity: it.Quantity, UnitPrice: it.UnitPrice,
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// NormalizedINVToEDI maps a normalized invoice to an X12 810. Invoices
+// travel seller→buyer.
+func NormalizedINVToEDI(inv *doc.Invoice) (*edi.Invoice810, error) {
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	p := &edi.Invoice810{
+		SenderID: inv.Seller.ID, ReceiverID: inv.Buyer.ID,
+		Control:       controlNumber(inv.ID),
+		InvoiceNumber: inv.ID, PONumber: inv.POID,
+		Date: inv.IssuedAt, DueDate: inv.DueAt,
+		Currency:  inv.Currency,
+		BuyerName: inv.Buyer.Name, BuyerDUNS: inv.Buyer.DUNS,
+		SellerName: inv.Seller.Name, SellerDUNS: inv.Seller.DUNS,
+		Note: inv.Note,
+	}
+	for _, l := range inv.Lines {
+		p.Items = append(p.Items, edi.Item810{
+			Line: l.Number, Quantity: l.Quantity, UnitPrice: l.UnitPrice,
+			SKU: l.SKU, Description: l.Description,
+		})
+	}
+	return p, nil
+}
+
+// RNINVToNormalized maps a PIP 3C3 notification to the normalized invoice.
+func RNINVToNormalized(n *rosettanet.InvoiceNotification) (*doc.Invoice, error) {
+	issued, err := rosettanet.ParseTime(n.GenerationDateTime)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad 3C3 generation time %q: %w", n.GenerationDateTime, err)
+	}
+	inv := &doc.Invoice{
+		ID:   n.DocumentIdentifier,
+		POID: n.PurchaseOrderReference,
+		Buyer: doc.Party{ID: n.ToRole.ProprietaryIdentifier, Name: n.ToRole.BusinessName,
+			DUNS: n.ToRole.BusinessIdentifier},
+		Seller: doc.Party{ID: n.FromRole.ProprietaryIdentifier, Name: n.FromRole.BusinessName,
+			DUNS: n.FromRole.BusinessIdentifier},
+		Currency: n.Currency,
+		IssuedAt: issued,
+		Note:     n.Comment,
+	}
+	if n.PaymentDueDate != "" {
+		due, err := rosettanet.ParseTime(n.PaymentDueDate)
+		if err != nil {
+			return nil, fmt.Errorf("transform: bad 3C3 due date %q: %w", n.PaymentDueDate, err)
+		}
+		inv.DueAt = due
+	}
+	for _, li := range n.LineItems {
+		inv.Lines = append(inv.Lines, doc.InvoiceLine{
+			Number: li.LineNumber, SKU: li.ProductIdentifier, Description: li.ProductDescription,
+			Quantity: li.InvoiceQuantity, UnitPrice: li.UnitPrice.Amount,
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// NormalizedINVToRN maps a normalized invoice to a PIP 3C3 notification.
+func NormalizedINVToRN(inv *doc.Invoice) (*rosettanet.InvoiceNotification, error) {
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	n := &rosettanet.InvoiceNotification{
+		FromRole: rosettanet.PartnerRole{RoleClassification: "Seller",
+			BusinessIdentifier: inv.Seller.DUNS, ProprietaryIdentifier: inv.Seller.ID, BusinessName: inv.Seller.Name},
+		ToRole: rosettanet.PartnerRole{RoleClassification: "Buyer",
+			BusinessIdentifier: inv.Buyer.DUNS, ProprietaryIdentifier: inv.Buyer.ID, BusinessName: inv.Buyer.Name},
+		DocumentIdentifier:     inv.ID,
+		PurchaseOrderReference: inv.POID,
+		GenerationDateTime:     rosettanet.FormatTime(inv.IssuedAt),
+		Currency:               inv.Currency,
+		Comment:                inv.Note,
+	}
+	if !inv.DueAt.IsZero() {
+		n.PaymentDueDate = rosettanet.FormatTime(inv.DueAt)
+	}
+	for _, l := range inv.Lines {
+		n.LineItems = append(n.LineItems, rosettanet.InvoiceLineItem{
+			LineNumber: l.Number, ProductIdentifier: l.SKU, ProductDescription: l.Description,
+			InvoiceQuantity: l.Quantity,
+			UnitPrice:       rosettanet.FinancialAmount{Currency: inv.Currency, Amount: l.UnitPrice},
+		})
+	}
+	return n, nil
+}
+
+// OAGISINVToNormalized maps a ProcessInvoice BOD to the normalized invoice.
+func OAGISINVToNormalized(b *oagis.ProcessInvoice) (*doc.Invoice, error) {
+	issued, err := oagis.ParseTime(b.Invoice.DocumentDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad invoice BOD date %q: %w", b.Invoice.DocumentDate, err)
+	}
+	inv := &doc.Invoice{
+		ID:   b.Invoice.DocumentID,
+		POID: b.Invoice.OriginalPOID,
+		Buyer: doc.Party{ID: b.Invoice.CustomerParty.PartyID, Name: b.Invoice.CustomerParty.Name,
+			DUNS: b.Invoice.CustomerParty.DUNS},
+		Seller: doc.Party{ID: b.Invoice.SupplierParty.PartyID, Name: b.Invoice.SupplierParty.Name,
+			DUNS: b.Invoice.SupplierParty.DUNS},
+		Currency: b.Invoice.Currency,
+		IssuedAt: issued,
+		Note:     b.Invoice.Note,
+	}
+	if b.Invoice.PaymentDue != "" {
+		due, err := oagis.ParseTime(b.Invoice.PaymentDue)
+		if err != nil {
+			return nil, fmt.Errorf("transform: bad invoice BOD due date %q: %w", b.Invoice.PaymentDue, err)
+		}
+		inv.DueAt = due
+	}
+	for _, l := range b.Invoice.Lines {
+		inv.Lines = append(inv.Lines, doc.InvoiceLine{
+			Number: l.LineNumber, SKU: l.ItemID, Description: l.Description,
+			Quantity: l.Quantity, UnitPrice: l.UnitPrice,
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// NormalizedINVToOAGIS maps a normalized invoice to a ProcessInvoice BOD.
+func NormalizedINVToOAGIS(inv *doc.Invoice) (*oagis.ProcessInvoice, error) {
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	b := &oagis.ProcessInvoice{
+		ApplicationArea: oagis.ApplicationArea{
+			SenderID: inv.Seller.ID, ReceiverID: inv.Buyer.ID,
+			CreationDateTime: oagis.FormatTime(inv.IssuedAt),
+			BODID:            "BOD-" + inv.ID,
+		},
+		Invoice: oagis.InvoiceNoun{
+			DocumentID: inv.ID, OriginalPOID: inv.POID,
+			DocumentDate:  oagis.FormatTime(inv.IssuedAt),
+			Currency:      inv.Currency,
+			CustomerParty: oagis.PartyOAGIS{PartyID: inv.Buyer.ID, Name: inv.Buyer.Name, DUNS: inv.Buyer.DUNS},
+			SupplierParty: oagis.PartyOAGIS{PartyID: inv.Seller.ID, Name: inv.Seller.Name, DUNS: inv.Seller.DUNS},
+			Note:          inv.Note,
+		},
+	}
+	if !inv.DueAt.IsZero() {
+		b.Invoice.PaymentDue = oagis.FormatTime(inv.DueAt)
+	}
+	for _, l := range inv.Lines {
+		b.Invoice.Lines = append(b.Invoice.Lines, oagis.InvoiceLine{
+			LineNumber: l.Number, ItemID: l.SKU, Description: l.Description,
+			Quantity: l.Quantity, UnitPrice: l.UnitPrice, Currency: inv.Currency,
+		})
+	}
+	return b, nil
+}
+
+// SAPINVToNormalized maps an INVOIC IDoc to the normalized invoice.
+func SAPINVToNormalized(o *sapidoc.Invoic) (*doc.Invoice, error) {
+	inv := &doc.Invoice{
+		ID:       o.InvoiceNumber,
+		POID:     o.PONumber,
+		Buyer:    doc.Party{ID: o.Buyer.PartnerID, Name: o.Buyer.Name, DUNS: o.Buyer.DUNS},
+		Seller:   doc.Party{ID: o.Seller.PartnerID, Name: o.Seller.Name, DUNS: o.Seller.DUNS},
+		Currency: o.Currency,
+		IssuedAt: o.CreatedAt,
+		DueAt:    o.DueDate,
+		Note:     o.Note,
+	}
+	for _, it := range o.Items {
+		inv.Lines = append(inv.Lines, doc.InvoiceLine{
+			Number: lineForPosex(it.Posex), SKU: it.SKU, Description: it.Description,
+			Quantity: it.Quantity, UnitPrice: it.UnitPrice,
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// NormalizedINVToSAP maps a normalized invoice to an INVOIC IDoc.
+func NormalizedINVToSAP(inv *doc.Invoice) (*sapidoc.Invoic, error) {
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	o := &sapidoc.Invoic{
+		DocNum:        controlNumber(inv.ID),
+		SenderPartner: inv.Seller.ID, ReceiverPartner: inv.Buyer.ID,
+		CreatedAt:     inv.IssuedAt,
+		InvoiceNumber: inv.ID, PONumber: inv.POID,
+		Currency: inv.Currency, DueDate: inv.DueAt,
+		Buyer:  sapidoc.Partner{PartnerID: inv.Buyer.ID, Name: inv.Buyer.Name, DUNS: inv.Buyer.DUNS},
+		Seller: sapidoc.Partner{PartnerID: inv.Seller.ID, Name: inv.Seller.Name, DUNS: inv.Seller.DUNS},
+		Note:   inv.Note,
+	}
+	for _, l := range inv.Lines {
+		o.Items = append(o.Items, sapidoc.InvoiceItem{
+			Posex: posexFor(l.Number), SKU: l.SKU, Description: l.Description,
+			Quantity: l.Quantity, UnitPrice: l.UnitPrice,
+		})
+	}
+	return o, nil
+}
+
+// OracleINVToNormalized maps a receivables batch to the normalized invoice.
+func OracleINVToNormalized(d *oracleoif.InvoiceDocument) (*doc.Invoice, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	h := d.Headers[0]
+	issued, err := oracleoif.ParseDate(h.TrxDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad trx_date %q: %w", h.TrxDate, err)
+	}
+	inv := &doc.Invoice{
+		ID:       h.InvoiceNumber,
+		POID:     h.PONumber,
+		Buyer:    doc.Party{ID: h.TradingPartner},
+		Seller:   doc.Party{ID: h.VendorID},
+		Currency: h.CurrencyCode,
+		IssuedAt: issued,
+		Note:     h.Comments,
+	}
+	if h.DueDate != "" {
+		due, err := oracleoif.ParseDate(h.DueDate)
+		if err != nil {
+			return nil, fmt.Errorf("transform: bad due_date %q: %w", h.DueDate, err)
+		}
+		inv.DueAt = due
+	}
+	for _, l := range d.Lines {
+		inv.Lines = append(inv.Lines, doc.InvoiceLine{
+			Number: l.LineNum, SKU: l.Item, Description: l.ItemDescription,
+			Quantity: l.Quantity, UnitPrice: l.UnitPrice,
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// NormalizedINVToOracle maps a normalized invoice to a receivables batch.
+func NormalizedINVToOracle(inv *doc.Invoice) (*oracleoif.InvoiceDocument, error) {
+	if err := inv.Validate(); err != nil {
+		return nil, err
+	}
+	hid := controlNumber(inv.ID)
+	d := &oracleoif.InvoiceDocument{
+		Headers: []oracleoif.ARHeaderRow{{
+			InterfaceHeaderID: hid,
+			InvoiceNumber:     inv.ID,
+			PONumber:          inv.POID,
+			CurrencyCode:      inv.Currency,
+			TradingPartner:    inv.Buyer.ID,
+			VendorID:          inv.Seller.ID,
+			TrxDate:           oracleoif.FormatDate(inv.IssuedAt),
+			Comments:          inv.Note,
+		}},
+	}
+	if !inv.DueAt.IsZero() {
+		d.Headers[0].DueDate = oracleoif.FormatDate(inv.DueAt)
+	}
+	for _, l := range inv.Lines {
+		d.Lines = append(d.Lines, oracleoif.ARLineRow{
+			InterfaceHeaderID: hid, LineNum: l.Number, Item: l.SKU,
+			ItemDescription: l.Description, Quantity: l.Quantity, UnitPrice: l.UnitPrice,
+		})
+	}
+	return d, nil
+}
+
+// RegisterInvoices registers the ten invoice↔normalized transformers.
+func RegisterInvoices(r *Registry) {
+	leg := func(from, to formats.Format, fn func(any) (any, error)) {
+		r.Register(Func{FromFormat: from, ToFormat: to, Type: doc.TypeINV, Fn: fn})
+	}
+	leg(formats.EDI, formats.Normalized, func(n any) (any, error) {
+		v, ok := n.(*edi.Invoice810)
+		if !ok {
+			return nil, fmt.Errorf("want *edi.Invoice810, got %T", n)
+		}
+		return EDIINVToNormalized(v)
+	})
+	leg(formats.Normalized, formats.EDI, func(n any) (any, error) {
+		v, ok := n.(*doc.Invoice)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.Invoice, got %T", n)
+		}
+		return NormalizedINVToEDI(v)
+	})
+	leg(formats.RosettaNet, formats.Normalized, func(n any) (any, error) {
+		v, ok := n.(*rosettanet.InvoiceNotification)
+		if !ok {
+			return nil, fmt.Errorf("want *rosettanet.InvoiceNotification, got %T", n)
+		}
+		return RNINVToNormalized(v)
+	})
+	leg(formats.Normalized, formats.RosettaNet, func(n any) (any, error) {
+		v, ok := n.(*doc.Invoice)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.Invoice, got %T", n)
+		}
+		return NormalizedINVToRN(v)
+	})
+	leg(formats.OAGIS, formats.Normalized, func(n any) (any, error) {
+		v, ok := n.(*oagis.ProcessInvoice)
+		if !ok {
+			return nil, fmt.Errorf("want *oagis.ProcessInvoice, got %T", n)
+		}
+		return OAGISINVToNormalized(v)
+	})
+	leg(formats.Normalized, formats.OAGIS, func(n any) (any, error) {
+		v, ok := n.(*doc.Invoice)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.Invoice, got %T", n)
+		}
+		return NormalizedINVToOAGIS(v)
+	})
+	leg(formats.SAPIDoc, formats.Normalized, func(n any) (any, error) {
+		v, ok := n.(*sapidoc.Invoic)
+		if !ok {
+			return nil, fmt.Errorf("want *sapidoc.Invoic, got %T", n)
+		}
+		return SAPINVToNormalized(v)
+	})
+	leg(formats.Normalized, formats.SAPIDoc, func(n any) (any, error) {
+		v, ok := n.(*doc.Invoice)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.Invoice, got %T", n)
+		}
+		return NormalizedINVToSAP(v)
+	})
+	leg(formats.OracleOIF, formats.Normalized, func(n any) (any, error) {
+		v, ok := n.(*oracleoif.InvoiceDocument)
+		if !ok {
+			return nil, fmt.Errorf("want *oracleoif.InvoiceDocument, got %T", n)
+		}
+		return OracleINVToNormalized(v)
+	})
+	leg(formats.Normalized, formats.OracleOIF, func(n any) (any, error) {
+		v, ok := n.(*doc.Invoice)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.Invoice, got %T", n)
+		}
+		return NormalizedINVToOracle(v)
+	})
+}
+
+// SemanticEqualINV reports whether two invoices agree on every field all
+// concrete formats can represent (dates at day granularity; DUNS and party
+// names excluded because the Oracle receivables batch carries IDs only).
+func SemanticEqualINV(a, b *doc.Invoice) error {
+	switch {
+	case a.ID != b.ID:
+		return fmt.Errorf("id: %q != %q", a.ID, b.ID)
+	case a.POID != b.POID:
+		return fmt.Errorf("po reference: %q != %q", a.POID, b.POID)
+	case a.Buyer.ID != b.Buyer.ID:
+		return fmt.Errorf("buyer id: %q != %q", a.Buyer.ID, b.Buyer.ID)
+	case a.Seller.ID != b.Seller.ID:
+		return fmt.Errorf("seller id: %q != %q", a.Seller.ID, b.Seller.ID)
+	case a.Currency != b.Currency:
+		return fmt.Errorf("currency: %q != %q", a.Currency, b.Currency)
+	case !sameDay(a.IssuedAt, b.IssuedAt):
+		return fmt.Errorf("issued day: %v != %v", a.IssuedAt, b.IssuedAt)
+	case a.DueAt.IsZero() != b.DueAt.IsZero():
+		return fmt.Errorf("due date presence: %v != %v", a.DueAt, b.DueAt)
+	case !a.DueAt.IsZero() && !sameDay(a.DueAt, b.DueAt):
+		return fmt.Errorf("due day: %v != %v", a.DueAt, b.DueAt)
+	case a.Note != b.Note:
+		return fmt.Errorf("note: %q != %q", a.Note, b.Note)
+	case len(a.Lines) != len(b.Lines):
+		return fmt.Errorf("line count: %d != %d", len(a.Lines), len(b.Lines))
+	}
+	for i := range a.Lines {
+		la, lb := a.Lines[i], b.Lines[i]
+		if la != lb {
+			return fmt.Errorf("line %d: %+v != %+v", i, la, lb)
+		}
+	}
+	return nil
+}

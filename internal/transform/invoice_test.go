@@ -1,0 +1,171 @@
+package transform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+	"repro/internal/formats/oagis"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/rosettanet"
+	"repro/internal/formats/sapidoc"
+)
+
+func sampleInvoice() *doc.Invoice {
+	return &doc.Invoice{
+		ID:       "INV-000042",
+		POID:     "PO-TP1-000001",
+		Buyer:    buyer,
+		Seller:   seller,
+		Currency: "USD",
+		IssuedAt: time.Date(2001, 9, 12, 10, 0, 0, 0, time.UTC),
+		DueAt:    time.Date(2001, 10, 12, 0, 0, 0, 0, time.UTC),
+		Note:     "net 30",
+		Lines: []doc.InvoiceLine{
+			{Number: 1, SKU: "LAP-100", Description: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{Number: 2, SKU: "MON-27", Description: "Monitor", Quantity: 15, UnitPrice: 480.25},
+		},
+	}
+}
+
+// TestInvoiceRoundTripThroughEveryFormat: normalized → native → normalized
+// preserves the semantic fields for every format.
+func TestInvoiceRoundTripThroughEveryFormat(t *testing.T) {
+	r := newFullRegistry()
+	for _, f := range allFormats {
+		t.Run(string(f), func(t *testing.T) {
+			inv := sampleInvoice()
+			native, err := r.FromNormalized(f, doc.TypeINV, inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := r.ToNormalized(f, doc.TypeINV, native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualINV(inv, back.(*doc.Invoice)); err != nil {
+				t.Fatalf("semantic fields lost through %s: %v", f, err)
+			}
+		})
+	}
+}
+
+// TestInvoiceWireRoundTrip adds the codec layer for every format.
+func TestInvoiceWireRoundTrip(t *testing.T) {
+	r := newFullRegistry()
+	codecs := map[formats.Format]formats.Codec{
+		formats.EDI:        edi.INVCodec{},
+		formats.RosettaNet: rosettanet.INVCodec{},
+		formats.OAGIS:      oagis.INVCodec{},
+		formats.SAPIDoc:    sapidoc.INVCodec{},
+		formats.OracleOIF:  oracleoif.INVCodec{},
+	}
+	for f, codec := range codecs {
+		t.Run(string(f), func(t *testing.T) {
+			inv := sampleInvoice()
+			native, err := r.FromNormalized(f, doc.TypeINV, inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := codec.Encode(native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native2, err := codec.Decode(wire)
+			if err != nil {
+				t.Fatalf("decode: %v\nwire:\n%s", err, wire)
+			}
+			back, err := r.ToNormalized(f, doc.TypeINV, native2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualINV(inv, back.(*doc.Invoice)); err != nil {
+				t.Fatalf("wire round trip through %s lost fields: %v", f, err)
+			}
+		})
+	}
+}
+
+// TestInvoiceCrossFormatChain: every format pair via the hub.
+func TestInvoiceCrossFormatChain(t *testing.T) {
+	r := newFullRegistry()
+	for _, from := range allFormats {
+		for _, to := range allFormats {
+			if from == to {
+				continue
+			}
+			inv := sampleInvoice()
+			native, err := r.FromNormalized(from, doc.TypeINV, inv)
+			if err != nil {
+				t.Fatalf("%s: %v", from, err)
+			}
+			other, err := r.Apply(from, to, doc.TypeINV, native)
+			if err != nil {
+				t.Fatalf("%s→%s: %v", from, to, err)
+			}
+			back, err := r.ToNormalized(to, doc.TypeINV, other)
+			if err != nil {
+				t.Fatalf("%s→%s: %v", from, to, err)
+			}
+			if err := SemanticEqualINV(inv, back.(*doc.Invoice)); err != nil {
+				t.Fatalf("%s→%s chain lost fields: %v", from, to, err)
+			}
+		}
+	}
+}
+
+func TestInvoiceAmountMatchesEDITotal(t *testing.T) {
+	// The 810's TDS total (cents) must agree with the normalized amount.
+	inv := sampleInvoice()
+	native, err := NormalizedINVToEDI(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := native.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := edi.DecodeInvoice810(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := EDIINVToNormalized(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Amount() != inv.Amount() {
+		t.Fatalf("amount %v != %v", back.Amount(), inv.Amount())
+	}
+}
+
+func TestInvoiceValidationRejected(t *testing.T) {
+	r := newFullRegistry()
+	inv := sampleInvoice()
+	inv.POID = ""
+	for _, f := range allFormats {
+		if _, err := r.FromNormalized(f, doc.TypeINV, inv); err == nil {
+			t.Errorf("format %s accepted an invoice without PO reference", f)
+		}
+	}
+}
+
+func TestInvoiceNoDueDate(t *testing.T) {
+	r := newFullRegistry()
+	inv := sampleInvoice()
+	inv.DueAt = time.Time{}
+	for _, f := range allFormats {
+		native, err := r.FromNormalized(f, doc.TypeINV, inv)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		back, err := r.ToNormalized(f, doc.TypeINV, native)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := SemanticEqualINV(inv, back.(*doc.Invoice)); err != nil {
+			t.Fatalf("%s without due date: %v", f, err)
+		}
+	}
+}

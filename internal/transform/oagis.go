@@ -1,0 +1,254 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/oagis"
+)
+
+// OAGISPOToNormalized maps a ProcessPurchaseOrder BOD to the normalized
+// purchase order.
+func OAGISPOToNormalized(b *oagis.ProcessPurchaseOrder) (*doc.PurchaseOrder, error) {
+	issued, err := oagis.ParseTime(b.PurchaseOrder.DocumentDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad BOD document date %q: %w", b.PurchaseOrder.DocumentDate, err)
+	}
+	po := &doc.PurchaseOrder{
+		ID: b.PurchaseOrder.DocumentID,
+		Buyer: doc.Party{
+			ID:   b.PurchaseOrder.CustomerParty.PartyID,
+			Name: b.PurchaseOrder.CustomerParty.Name,
+			DUNS: b.PurchaseOrder.CustomerParty.DUNS,
+		},
+		Seller: doc.Party{
+			ID:   b.PurchaseOrder.SupplierParty.PartyID,
+			Name: b.PurchaseOrder.SupplierParty.Name,
+			DUNS: b.PurchaseOrder.SupplierParty.DUNS,
+		},
+		Currency: b.PurchaseOrder.Currency,
+		IssuedAt: issued,
+		ShipTo:   b.PurchaseOrder.ShipToAddress,
+		Note:     b.PurchaseOrder.Note,
+	}
+	for _, l := range b.PurchaseOrder.Lines {
+		po.Lines = append(po.Lines, doc.Line{
+			Number:      l.LineNumber,
+			SKU:         l.ItemID,
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			UnitPrice:   l.UnitPrice,
+		})
+	}
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// NormalizedPOToOAGIS maps a normalized purchase order to a
+// ProcessPurchaseOrder BOD.
+func NormalizedPOToOAGIS(po *doc.PurchaseOrder) (*oagis.ProcessPurchaseOrder, error) {
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	b := &oagis.ProcessPurchaseOrder{
+		ApplicationArea: oagis.ApplicationArea{
+			SenderID:         po.Buyer.ID,
+			ReceiverID:       po.Seller.ID,
+			CreationDateTime: oagis.FormatTime(po.IssuedAt),
+			BODID:            fmt.Sprintf("BOD-%s", po.ID),
+		},
+		PurchaseOrder: oagis.PurchaseOrderNoun{
+			DocumentID:    po.ID,
+			DocumentDate:  oagis.FormatTime(po.IssuedAt),
+			Currency:      po.Currency,
+			CustomerParty: oagis.PartyOAGIS{PartyID: po.Buyer.ID, Name: po.Buyer.Name, DUNS: po.Buyer.DUNS},
+			SupplierParty: oagis.PartyOAGIS{PartyID: po.Seller.ID, Name: po.Seller.Name, DUNS: po.Seller.DUNS},
+			ShipToAddress: po.ShipTo,
+			Note:          po.Note,
+		},
+	}
+	for _, l := range po.Lines {
+		b.PurchaseOrder.Lines = append(b.PurchaseOrder.Lines, oagis.POLine{
+			LineNumber:  l.Number,
+			ItemID:      l.SKU,
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			UnitPrice:   l.UnitPrice,
+			Currency:    po.Currency,
+		})
+	}
+	return b, nil
+}
+
+func oagisStatusToAck(s string) (doc.AckStatus, error) {
+	switch s {
+	case "Accepted":
+		return doc.AckAccepted, nil
+	case "Rejected":
+		return doc.AckRejected, nil
+	case "Partial":
+		return doc.AckPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown BOD status code %q", s)
+}
+
+func ackToOAGISStatus(s doc.AckStatus) (string, error) {
+	switch s {
+	case doc.AckAccepted:
+		return "Accepted", nil
+	case doc.AckRejected:
+		return "Rejected", nil
+	case doc.AckPartial:
+		return "Partial", nil
+	}
+	return "", fmt.Errorf("transform: unknown ack status %q", s)
+}
+
+func oagisLineStatus(s string) (doc.LineStatus, error) {
+	switch s {
+	case "Accepted":
+		return doc.LineAccepted, nil
+	case "Rejected":
+		return doc.LineRejected, nil
+	case "Backordered":
+		return doc.LineBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown BOD line status %q", s)
+}
+
+func lineStatusToOAGIS(s doc.LineStatus) (string, error) {
+	switch s {
+	case doc.LineAccepted:
+		return "Accepted", nil
+	case doc.LineRejected:
+		return "Rejected", nil
+	case doc.LineBackorder:
+		return "Backordered", nil
+	}
+	return "", fmt.Errorf("transform: unknown line status %q", s)
+}
+
+// OAGISPOAToNormalized maps an AcknowledgePurchaseOrder BOD to the
+// normalized acknowledgment.
+func OAGISPOAToNormalized(b *oagis.AcknowledgePurchaseOrder) (*doc.PurchaseOrderAck, error) {
+	status, err := oagisStatusToAck(b.PurchaseOrder.StatusCode)
+	if err != nil {
+		return nil, err
+	}
+	issued, err := oagis.ParseTime(b.PurchaseOrder.DocumentDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad BOD document date %q: %w", b.PurchaseOrder.DocumentDate, err)
+	}
+	poa := &doc.PurchaseOrderAck{
+		ID:   b.PurchaseOrder.DocumentID,
+		POID: b.PurchaseOrder.OriginalPOID,
+		Buyer: doc.Party{
+			ID:   b.PurchaseOrder.CustomerParty.PartyID,
+			Name: b.PurchaseOrder.CustomerParty.Name,
+			DUNS: b.PurchaseOrder.CustomerParty.DUNS,
+		},
+		Seller: doc.Party{
+			ID:   b.PurchaseOrder.SupplierParty.PartyID,
+			Name: b.PurchaseOrder.SupplierParty.Name,
+			DUNS: b.PurchaseOrder.SupplierParty.DUNS,
+		},
+		Status:   status,
+		IssuedAt: issued,
+		Note:     b.PurchaseOrder.Note,
+	}
+	for _, l := range b.PurchaseOrder.Lines {
+		ls, err := oagisLineStatus(l.StatusCode)
+		if err != nil {
+			return nil, err
+		}
+		al := doc.AckLine{Number: l.LineNumber, Status: ls, Quantity: l.Quantity}
+		if l.ShipDate != "" {
+			d, err := oagis.ParseTime(l.ShipDate)
+			if err != nil {
+				return nil, fmt.Errorf("transform: bad BOD ship date %q: %w", l.ShipDate, err)
+			}
+			al.ShipDate = d
+		}
+		poa.Lines = append(poa.Lines, al)
+	}
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	return poa, nil
+}
+
+// NormalizedPOAToOAGIS maps a normalized acknowledgment to an
+// AcknowledgePurchaseOrder BOD. The acknowledgment travels seller→buyer.
+func NormalizedPOAToOAGIS(poa *doc.PurchaseOrderAck) (*oagis.AcknowledgePurchaseOrder, error) {
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	status, err := ackToOAGISStatus(poa.Status)
+	if err != nil {
+		return nil, err
+	}
+	b := &oagis.AcknowledgePurchaseOrder{
+		ApplicationArea: oagis.ApplicationArea{
+			SenderID:         poa.Seller.ID,
+			ReceiverID:       poa.Buyer.ID,
+			CreationDateTime: oagis.FormatTime(poa.IssuedAt),
+			BODID:            fmt.Sprintf("BOD-%s", poa.ID),
+		},
+		PurchaseOrder: oagis.AcknowledgePurchaseOrderNoun{
+			DocumentID:    poa.ID,
+			OriginalPOID:  poa.POID,
+			DocumentDate:  oagis.FormatTime(poa.IssuedAt),
+			StatusCode:    status,
+			CustomerParty: oagis.PartyOAGIS{PartyID: poa.Buyer.ID, Name: poa.Buyer.Name, DUNS: poa.Buyer.DUNS},
+			SupplierParty: oagis.PartyOAGIS{PartyID: poa.Seller.ID, Name: poa.Seller.Name, DUNS: poa.Seller.DUNS},
+			Note:          poa.Note,
+		},
+	}
+	for _, l := range poa.Lines {
+		ls, err := lineStatusToOAGIS(l.Status)
+		if err != nil {
+			return nil, err
+		}
+		line := oagis.AckLine{LineNumber: l.Number, StatusCode: ls, Quantity: l.Quantity}
+		if !l.ShipDate.IsZero() {
+			line.ShipDate = oagis.FormatTime(l.ShipDate)
+		}
+		b.PurchaseOrder.Lines = append(b.PurchaseOrder.Lines, line)
+	}
+	return b, nil
+}
+
+// RegisterOAGIS registers the four OAGIS↔normalized transformers.
+func RegisterOAGIS(r *Registry) {
+	r.Register(Func{formats.OAGIS, formats.Normalized, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*oagis.ProcessPurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *oagis.ProcessPurchaseOrder, got %T", n)
+		}
+		return OAGISPOToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.OAGIS, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrder, got %T", n)
+		}
+		return NormalizedPOToOAGIS(p)
+	}})
+	r.Register(Func{formats.OAGIS, formats.Normalized, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*oagis.AcknowledgePurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *oagis.AcknowledgePurchaseOrder, got %T", n)
+		}
+		return OAGISPOAToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.OAGIS, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrderAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrderAck, got %T", n)
+		}
+		return NormalizedPOAToOAGIS(p)
+	}})
+}

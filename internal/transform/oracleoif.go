@@ -1,0 +1,256 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/oracleoif"
+)
+
+// OraclePOToNormalized maps a PO interface batch to the normalized purchase
+// order. The open interface tables carry no DUNS numbers and date-only
+// timestamps; those fields are narrowed accordingly.
+func OraclePOToNormalized(d *oracleoif.PODocument) (*doc.PurchaseOrder, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	h := d.Headers[0]
+	issued, err := oracleoif.ParseDate(h.CreationDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad creation_date %q: %w", h.CreationDate, err)
+	}
+	po := &doc.PurchaseOrder{
+		ID:       h.PONumber,
+		Buyer:    doc.Party{ID: h.TradingPartner, Name: h.TradingPartnerName},
+		Seller:   doc.Party{ID: h.VendorID, Name: h.VendorName},
+		Currency: h.CurrencyCode,
+		IssuedAt: issued,
+		ShipTo:   h.ShipToLocation,
+		Note:     h.Comments,
+	}
+	for _, l := range d.Lines {
+		po.Lines = append(po.Lines, doc.Line{
+			Number:      l.LineNum,
+			SKU:         l.Item,
+			Description: l.ItemDescription,
+			Quantity:    l.Quantity,
+			UnitPrice:   l.UnitPrice,
+		})
+	}
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// NormalizedPOToOracle maps a normalized purchase order to a PO interface
+// batch.
+func NormalizedPOToOracle(po *doc.PurchaseOrder) (*oracleoif.PODocument, error) {
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	hid := controlNumber(po.ID)
+	d := &oracleoif.PODocument{
+		Headers: []oracleoif.HeaderRow{{
+			InterfaceHeaderID:  hid,
+			PONumber:           po.ID,
+			CurrencyCode:       po.Currency,
+			VendorName:         po.Seller.Name,
+			VendorID:           po.Seller.ID,
+			TradingPartner:     po.Buyer.ID,
+			TradingPartnerName: po.Buyer.Name,
+			ShipToLocation:     po.ShipTo,
+			CreationDate:       oracleoif.FormatDate(po.IssuedAt),
+			Comments:           po.Note,
+		}},
+	}
+	for _, l := range po.Lines {
+		d.Lines = append(d.Lines, oracleoif.LineRow{
+			InterfaceHeaderID: hid,
+			LineNum:           l.Number,
+			Item:              l.SKU,
+			ItemDescription:   l.Description,
+			Quantity:          l.Quantity,
+			UnitPrice:         l.UnitPrice,
+		})
+	}
+	return d, nil
+}
+
+func oraAcceptance(s string) (doc.AckStatus, error) {
+	switch s {
+	case "accepted":
+		return doc.AckAccepted, nil
+	case "rejected":
+		return doc.AckRejected, nil
+	case "partial":
+		return doc.AckPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown acceptance_type %q", s)
+}
+
+func ackToOraAcceptance(s doc.AckStatus) (string, error) {
+	switch s {
+	case doc.AckAccepted:
+		return "accepted", nil
+	case doc.AckRejected:
+		return "rejected", nil
+	case doc.AckPartial:
+		return "partial", nil
+	}
+	return "", fmt.Errorf("transform: unknown ack status %q", s)
+}
+
+func oraLineStatus(s string) (doc.LineStatus, error) {
+	switch s {
+	case "accepted":
+		return doc.LineAccepted, nil
+	case "rejected":
+		return doc.LineRejected, nil
+	case "backorder":
+		return doc.LineBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown line_status %q", s)
+}
+
+func lineStatusToOra(s doc.LineStatus) (string, error) {
+	switch s {
+	case doc.LineAccepted:
+		return "accepted", nil
+	case doc.LineRejected:
+		return "rejected", nil
+	case doc.LineBackorder:
+		return "backorder", nil
+	}
+	return "", fmt.Errorf("transform: unknown line status %q", s)
+}
+
+// OraclePOAToNormalized maps an acknowledgment batch to the normalized
+// acknowledgment. The batch has no party names; only the IDs survive.
+func OraclePOAToNormalized(d *oracleoif.POADocument) (*doc.PurchaseOrderAck, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	h := d.Headers[0]
+	status, err := oraAcceptance(h.AcceptanceType)
+	if err != nil {
+		return nil, err
+	}
+	issued, err := oracleoif.ParseDate(h.CreationDate)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad creation_date %q: %w", h.CreationDate, err)
+	}
+	poa := &doc.PurchaseOrderAck{
+		ID:       h.AckNumber,
+		POID:     h.PONumber,
+		Buyer:    doc.Party{ID: h.TradingPartner},
+		Seller:   doc.Party{ID: h.VendorID},
+		Status:   status,
+		IssuedAt: issued,
+		Note:     h.Comments,
+	}
+	for _, l := range d.Lines {
+		ls, err := oraLineStatus(l.LineStatus)
+		if err != nil {
+			return nil, err
+		}
+		al := doc.AckLine{Number: l.LineNum, Status: ls, Quantity: l.Quantity}
+		if l.PromisedDate != "" {
+			pd, err := oracleoif.ParseDate(l.PromisedDate)
+			if err != nil {
+				return nil, fmt.Errorf("transform: bad promised_date %q: %w", l.PromisedDate, err)
+			}
+			al.ShipDate = pd
+		}
+		poa.Lines = append(poa.Lines, al)
+	}
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	return poa, nil
+}
+
+// NormalizedPOAToOracle maps a normalized acknowledgment to an
+// acknowledgment batch.
+func NormalizedPOAToOracle(poa *doc.PurchaseOrderAck) (*oracleoif.POADocument, error) {
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	at, err := ackToOraAcceptance(poa.Status)
+	if err != nil {
+		return nil, err
+	}
+	hid := controlNumber(poa.ID)
+	d := &oracleoif.POADocument{
+		Headers: []oracleoif.AckHeaderRow{{
+			InterfaceHeaderID: hid,
+			AckNumber:         poa.ID,
+			PONumber:          poa.POID,
+			AcceptanceType:    at,
+			TradingPartner:    poa.Buyer.ID,
+			VendorID:          poa.Seller.ID,
+			CreationDate:      oracleoif.FormatDate(poa.IssuedAt),
+			Comments:          poa.Note,
+		}},
+	}
+	for _, l := range poa.Lines {
+		ls, err := lineStatusToOra(l.Status)
+		if err != nil {
+			return nil, err
+		}
+		row := oracleoif.AckLineRow{
+			InterfaceHeaderID: hid,
+			LineNum:           l.Number,
+			LineStatus:        ls,
+			Quantity:          l.Quantity,
+		}
+		if !l.ShipDate.IsZero() {
+			row.PromisedDate = oracleoif.FormatDate(l.ShipDate)
+		}
+		d.Lines = append(d.Lines, row)
+	}
+	return d, nil
+}
+
+// RegisterOracle registers the four Oracle-OIF↔normalized transformers.
+func RegisterOracle(r *Registry) {
+	r.Register(Func{formats.OracleOIF, formats.Normalized, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*oracleoif.PODocument)
+		if !ok {
+			return nil, fmt.Errorf("want *oracleoif.PODocument, got %T", n)
+		}
+		return OraclePOToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.OracleOIF, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrder, got %T", n)
+		}
+		return NormalizedPOToOracle(p)
+	}})
+	r.Register(Func{formats.OracleOIF, formats.Normalized, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*oracleoif.POADocument)
+		if !ok {
+			return nil, fmt.Errorf("want *oracleoif.POADocument, got %T", n)
+		}
+		return OraclePOAToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.OracleOIF, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrderAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrderAck, got %T", n)
+		}
+		return NormalizedPOAToOracle(p)
+	}})
+}
+
+// RegisterAll registers every format↔normalized transformer pair.
+func RegisterAll(r *Registry) {
+	RegisterEDI(r)
+	RegisterRosettaNet(r)
+	RegisterOAGIS(r)
+	RegisterSAP(r)
+	RegisterOracle(r)
+	RegisterInvoices(r)
+}

@@ -1,0 +1,259 @@
+package transform
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/rosettanet"
+)
+
+// RNPOToNormalized maps a PIP 3A4 purchase order request to the normalized
+// purchase order.
+func RNPOToNormalized(r *rosettanet.PurchaseOrderRequest) (*doc.PurchaseOrder, error) {
+	issued, err := rosettanet.ParseTime(r.GenerationDateTime)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad 3A4 generation time %q: %w", r.GenerationDateTime, err)
+	}
+	po := &doc.PurchaseOrder{
+		ID: r.DocumentIdentifier,
+		Buyer: doc.Party{
+			ID:   r.FromRole.ProprietaryIdentifier,
+			Name: r.FromRole.BusinessName,
+			DUNS: r.FromRole.BusinessIdentifier,
+		},
+		Seller: doc.Party{
+			ID:   r.ToRole.ProprietaryIdentifier,
+			Name: r.ToRole.BusinessName,
+			DUNS: r.ToRole.BusinessIdentifier,
+		},
+		Currency: r.Currency,
+		IssuedAt: issued,
+		ShipTo:   r.DeliverTo,
+		Note:     r.Comment,
+	}
+	for _, li := range r.LineItems {
+		po.Lines = append(po.Lines, doc.Line{
+			Number:      li.LineNumber,
+			SKU:         li.ProductIdentifier,
+			Description: li.ProductDescription,
+			Quantity:    li.RequestedQuantity,
+			UnitPrice:   li.RequestedUnitPrice.Amount,
+		})
+	}
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// NormalizedPOToRN maps a normalized purchase order to a PIP 3A4 request.
+func NormalizedPOToRN(po *doc.PurchaseOrder) (*rosettanet.PurchaseOrderRequest, error) {
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	r := &rosettanet.PurchaseOrderRequest{
+		FromRole: rosettanet.PartnerRole{
+			RoleClassification:    "Buyer",
+			BusinessIdentifier:    po.Buyer.DUNS,
+			ProprietaryIdentifier: po.Buyer.ID,
+			BusinessName:          po.Buyer.Name,
+		},
+		ToRole: rosettanet.PartnerRole{
+			RoleClassification:    "Seller",
+			BusinessIdentifier:    po.Seller.DUNS,
+			ProprietaryIdentifier: po.Seller.ID,
+			BusinessName:          po.Seller.Name,
+		},
+		DocumentIdentifier: po.ID,
+		GenerationDateTime: rosettanet.FormatTime(po.IssuedAt),
+		OrderType:          "Standalone",
+		Currency:           po.Currency,
+		DeliverTo:          po.ShipTo,
+		Comment:            po.Note,
+	}
+	for _, l := range po.Lines {
+		r.LineItems = append(r.LineItems, rosettanet.ProductLineItem{
+			LineNumber:         l.Number,
+			ProductIdentifier:  l.SKU,
+			ProductDescription: l.Description,
+			RequestedQuantity:  l.Quantity,
+			RequestedUnitPrice: rosettanet.FinancialAmount{Currency: po.Currency, Amount: l.UnitPrice},
+		})
+	}
+	return r, nil
+}
+
+func rnStatusToAck(s string) (doc.AckStatus, error) {
+	switch s {
+	case "Accept":
+		return doc.AckAccepted, nil
+	case "Reject":
+		return doc.AckRejected, nil
+	case "Pending":
+		return doc.AckPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown 3A4 status code %q", s)
+}
+
+func ackToRNStatus(s doc.AckStatus) (string, error) {
+	switch s {
+	case doc.AckAccepted:
+		return "Accept", nil
+	case doc.AckRejected:
+		return "Reject", nil
+	case doc.AckPartial:
+		return "Pending", nil
+	}
+	return "", fmt.Errorf("transform: unknown ack status %q", s)
+}
+
+func rnLineStatus(s string) (doc.LineStatus, error) {
+	switch s {
+	case "Accept":
+		return doc.LineAccepted, nil
+	case "Reject":
+		return doc.LineRejected, nil
+	case "Backordered":
+		return doc.LineBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown 3A4 line status %q", s)
+}
+
+func lineStatusToRN(s doc.LineStatus) (string, error) {
+	switch s {
+	case doc.LineAccepted:
+		return "Accept", nil
+	case doc.LineRejected:
+		return "Reject", nil
+	case doc.LineBackorder:
+		return "Backordered", nil
+	}
+	return "", fmt.Errorf("transform: unknown line status %q", s)
+}
+
+// RNPOAToNormalized maps a PIP 3A4 confirmation to the normalized
+// acknowledgment.
+func RNPOAToNormalized(c *rosettanet.PurchaseOrderConfirmation) (*doc.PurchaseOrderAck, error) {
+	status, err := rnStatusToAck(c.StatusCode)
+	if err != nil {
+		return nil, err
+	}
+	issued, err := rosettanet.ParseTime(c.GenerationDateTime)
+	if err != nil {
+		return nil, fmt.Errorf("transform: bad 3A4 generation time %q: %w", c.GenerationDateTime, err)
+	}
+	poa := &doc.PurchaseOrderAck{
+		ID:   c.DocumentIdentifier,
+		POID: c.RequestIdentifier,
+		// In the confirmation the Seller is the fromRole.
+		Buyer: doc.Party{
+			ID:   c.ToRole.ProprietaryIdentifier,
+			Name: c.ToRole.BusinessName,
+			DUNS: c.ToRole.BusinessIdentifier,
+		},
+		Seller: doc.Party{
+			ID:   c.FromRole.ProprietaryIdentifier,
+			Name: c.FromRole.BusinessName,
+			DUNS: c.FromRole.BusinessIdentifier,
+		},
+		Status:   status,
+		IssuedAt: issued,
+		Note:     c.Comment,
+	}
+	for _, li := range c.LineItems {
+		ls, err := rnLineStatus(li.StatusCode)
+		if err != nil {
+			return nil, err
+		}
+		al := doc.AckLine{Number: li.LineNumber, Status: ls, Quantity: li.ConfirmedQuantity}
+		if li.ScheduledShipDate != "" {
+			d, err := rosettanet.ParseTime(li.ScheduledShipDate)
+			if err != nil {
+				return nil, fmt.Errorf("transform: bad 3A4 ship date %q: %w", li.ScheduledShipDate, err)
+			}
+			al.ShipDate = d
+		}
+		poa.Lines = append(poa.Lines, al)
+	}
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	return poa, nil
+}
+
+// NormalizedPOAToRN maps a normalized acknowledgment to a PIP 3A4
+// confirmation.
+func NormalizedPOAToRN(poa *doc.PurchaseOrderAck) (*rosettanet.PurchaseOrderConfirmation, error) {
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	status, err := ackToRNStatus(poa.Status)
+	if err != nil {
+		return nil, err
+	}
+	c := &rosettanet.PurchaseOrderConfirmation{
+		FromRole: rosettanet.PartnerRole{
+			RoleClassification:    "Seller",
+			BusinessIdentifier:    poa.Seller.DUNS,
+			ProprietaryIdentifier: poa.Seller.ID,
+			BusinessName:          poa.Seller.Name,
+		},
+		ToRole: rosettanet.PartnerRole{
+			RoleClassification:    "Buyer",
+			BusinessIdentifier:    poa.Buyer.DUNS,
+			ProprietaryIdentifier: poa.Buyer.ID,
+			BusinessName:          poa.Buyer.Name,
+		},
+		DocumentIdentifier: poa.ID,
+		RequestIdentifier:  poa.POID,
+		GenerationDateTime: rosettanet.FormatTime(poa.IssuedAt),
+		StatusCode:         status,
+		Comment:            poa.Note,
+	}
+	for _, l := range poa.Lines {
+		ls, err := lineStatusToRN(l.Status)
+		if err != nil {
+			return nil, err
+		}
+		item := rosettanet.LineStatus{LineNumber: l.Number, StatusCode: ls, ConfirmedQuantity: l.Quantity}
+		if !l.ShipDate.IsZero() {
+			item.ScheduledShipDate = rosettanet.FormatTime(l.ShipDate.Truncate(time.Second))
+		}
+		c.LineItems = append(c.LineItems, item)
+	}
+	return c, nil
+}
+
+// RegisterRosettaNet registers the four RosettaNet↔normalized transformers.
+func RegisterRosettaNet(r *Registry) {
+	r.Register(Func{formats.RosettaNet, formats.Normalized, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*rosettanet.PurchaseOrderRequest)
+		if !ok {
+			return nil, fmt.Errorf("want *rosettanet.PurchaseOrderRequest, got %T", n)
+		}
+		return RNPOToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.RosettaNet, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrder, got %T", n)
+		}
+		return NormalizedPOToRN(p)
+	}})
+	r.Register(Func{formats.RosettaNet, formats.Normalized, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*rosettanet.PurchaseOrderConfirmation)
+		if !ok {
+			return nil, fmt.Errorf("want *rosettanet.PurchaseOrderConfirmation, got %T", n)
+		}
+		return RNPOAToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.RosettaNet, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrderAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrderAck, got %T", n)
+		}
+		return NormalizedPOAToRN(p)
+	}})
+}

@@ -1,0 +1,229 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/sapidoc"
+)
+
+// posexFor maps a normalized line number to an IDoc POSEX (conventionally
+// line*10).
+func posexFor(line int) int { return line * 10 }
+
+// lineForPosex maps POSEX back to a normalized line number.
+func lineForPosex(posex int) int {
+	if posex > 0 && posex%10 == 0 {
+		return posex / 10
+	}
+	return posex
+}
+
+// SAPPOToNormalized maps an ORDERS IDoc to the normalized purchase order.
+func SAPPOToNormalized(o *sapidoc.Orders) (*doc.PurchaseOrder, error) {
+	po := &doc.PurchaseOrder{
+		ID:       o.PONumber,
+		Buyer:    doc.Party{ID: o.Buyer.PartnerID, Name: o.Buyer.Name, DUNS: o.Buyer.DUNS},
+		Seller:   doc.Party{ID: o.Seller.PartnerID, Name: o.Seller.Name, DUNS: o.Seller.DUNS},
+		Currency: o.Currency,
+		IssuedAt: o.CreatedAt,
+		ShipTo:   o.ShipTo,
+		Note:     o.Note,
+	}
+	for _, it := range o.Items {
+		po.Lines = append(po.Lines, doc.Line{
+			Number:      lineForPosex(it.Posex),
+			SKU:         it.SKU,
+			Description: it.Description,
+			Quantity:    it.Quantity,
+			UnitPrice:   it.UnitPrice,
+		})
+	}
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// NormalizedPOToSAP maps a normalized purchase order to an ORDERS IDoc. The
+// IDoc is inbound to SAP, so the sender is the integration hub (the seller
+// side) and the receiver is the SAP system.
+func NormalizedPOToSAP(po *doc.PurchaseOrder) (*sapidoc.Orders, error) {
+	if err := po.Validate(); err != nil {
+		return nil, err
+	}
+	o := &sapidoc.Orders{
+		DocNum:          controlNumber(po.ID),
+		SenderPartner:   po.Buyer.ID,
+		ReceiverPartner: po.Seller.ID,
+		CreatedAt:       po.IssuedAt,
+		PONumber:        po.ID,
+		Currency:        po.Currency,
+		Buyer:           sapidoc.Partner{PartnerID: po.Buyer.ID, Name: po.Buyer.Name, DUNS: po.Buyer.DUNS},
+		Seller:          sapidoc.Partner{PartnerID: po.Seller.ID, Name: po.Seller.Name, DUNS: po.Seller.DUNS},
+		ShipTo:          po.ShipTo,
+		Note:            po.Note,
+	}
+	for _, l := range po.Lines {
+		o.Items = append(o.Items, sapidoc.Item{
+			Posex:       posexFor(l.Number),
+			SKU:         l.SKU,
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			UnitPrice:   l.UnitPrice,
+		})
+	}
+	return o, nil
+}
+
+func sapStatusToAck(s sapidoc.AckStatusCode) (doc.AckStatus, error) {
+	switch s {
+	case sapidoc.StatusAccepted:
+		return doc.AckAccepted, nil
+	case sapidoc.StatusRejected:
+		return doc.AckRejected, nil
+	case sapidoc.StatusPartial:
+		return doc.AckPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown ORDRSP status %q", s)
+}
+
+func ackToSAPStatus(s doc.AckStatus) (sapidoc.AckStatusCode, error) {
+	switch s {
+	case doc.AckAccepted:
+		return sapidoc.StatusAccepted, nil
+	case doc.AckRejected:
+		return sapidoc.StatusRejected, nil
+	case doc.AckPartial:
+		return sapidoc.StatusPartial, nil
+	}
+	return "", fmt.Errorf("transform: unknown ack status %q", s)
+}
+
+func sapLineStatus(s sapidoc.AckStatusCode) (doc.LineStatus, error) {
+	switch s {
+	case sapidoc.StatusAccepted:
+		return doc.LineAccepted, nil
+	case sapidoc.StatusRejected:
+		return doc.LineRejected, nil
+	case sapidoc.StatusBackorder:
+		return doc.LineBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown ORDRSP item status %q", s)
+}
+
+func lineStatusToSAP(s doc.LineStatus) (sapidoc.AckStatusCode, error) {
+	switch s {
+	case doc.LineAccepted:
+		return sapidoc.StatusAccepted, nil
+	case doc.LineRejected:
+		return sapidoc.StatusRejected, nil
+	case doc.LineBackorder:
+		return sapidoc.StatusBackorder, nil
+	}
+	return "", fmt.Errorf("transform: unknown line status %q", s)
+}
+
+// SAPPOAToNormalized maps an ORDRSP IDoc to the normalized acknowledgment.
+// ORDRSP carries no partner names for the buyer beyond the partner segments,
+// so the mapping keeps whatever the IDoc has.
+func SAPPOAToNormalized(o *sapidoc.Ordrsp) (*doc.PurchaseOrderAck, error) {
+	status, err := sapStatusToAck(o.Status)
+	if err != nil {
+		return nil, err
+	}
+	poa := &doc.PurchaseOrderAck{
+		ID:       o.AckNumber,
+		POID:     o.PONumber,
+		Buyer:    doc.Party{ID: o.Buyer.PartnerID, Name: o.Buyer.Name, DUNS: o.Buyer.DUNS},
+		Seller:   doc.Party{ID: o.Seller.PartnerID, Name: o.Seller.Name, DUNS: o.Seller.DUNS},
+		Status:   status,
+		IssuedAt: o.CreatedAt,
+		Note:     o.Note,
+	}
+	for _, it := range o.Items {
+		ls, err := sapLineStatus(it.Status)
+		if err != nil {
+			return nil, err
+		}
+		poa.Lines = append(poa.Lines, doc.AckLine{
+			Number:   lineForPosex(it.Posex),
+			Status:   ls,
+			Quantity: it.Quantity,
+			ShipDate: it.ShipDate,
+		})
+	}
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	return poa, nil
+}
+
+// NormalizedPOAToSAP maps a normalized acknowledgment to an ORDRSP IDoc.
+func NormalizedPOAToSAP(poa *doc.PurchaseOrderAck) (*sapidoc.Ordrsp, error) {
+	if err := poa.Validate(); err != nil {
+		return nil, err
+	}
+	status, err := ackToSAPStatus(poa.Status)
+	if err != nil {
+		return nil, err
+	}
+	o := &sapidoc.Ordrsp{
+		DocNum:          controlNumber(poa.ID),
+		SenderPartner:   poa.Seller.ID,
+		ReceiverPartner: poa.Buyer.ID,
+		CreatedAt:       poa.IssuedAt,
+		AckNumber:       poa.ID,
+		PONumber:        poa.POID,
+		Status:          status,
+		Buyer:           sapidoc.Partner{PartnerID: poa.Buyer.ID, Name: poa.Buyer.Name, DUNS: poa.Buyer.DUNS},
+		Seller:          sapidoc.Partner{PartnerID: poa.Seller.ID, Name: poa.Seller.Name, DUNS: poa.Seller.DUNS},
+		Note:            poa.Note,
+	}
+	for _, l := range poa.Lines {
+		ls, err := lineStatusToSAP(l.Status)
+		if err != nil {
+			return nil, err
+		}
+		o.Items = append(o.Items, sapidoc.AckItem{
+			Posex:    posexFor(l.Number),
+			Status:   ls,
+			Quantity: l.Quantity,
+			ShipDate: l.ShipDate,
+		})
+	}
+	return o, nil
+}
+
+// RegisterSAP registers the four SAP-IDoc↔normalized transformers.
+func RegisterSAP(r *Registry) {
+	r.Register(Func{formats.SAPIDoc, formats.Normalized, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*sapidoc.Orders)
+		if !ok {
+			return nil, fmt.Errorf("want *sapidoc.Orders, got %T", n)
+		}
+		return SAPPOToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.SAPIDoc, doc.TypePO, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrder)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrder, got %T", n)
+		}
+		return NormalizedPOToSAP(p)
+	}})
+	r.Register(Func{formats.SAPIDoc, formats.Normalized, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*sapidoc.Ordrsp)
+		if !ok {
+			return nil, fmt.Errorf("want *sapidoc.Ordrsp, got %T", n)
+		}
+		return SAPPOAToNormalized(p)
+	}})
+	r.Register(Func{formats.Normalized, formats.SAPIDoc, doc.TypePOA, func(n any) (any, error) {
+		p, ok := n.(*doc.PurchaseOrderAck)
+		if !ok {
+			return nil, fmt.Errorf("want *doc.PurchaseOrderAck, got %T", n)
+		}
+		return NormalizedPOAToSAP(p)
+	}})
+}

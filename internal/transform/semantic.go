@@ -1,0 +1,109 @@
+package transform
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/doc"
+)
+
+// The semantic-equality helpers define which fields of the normalized model
+// every concrete format preserves, so the DESIGN.md invariant
+// "transformation round trips preserve the semantic fields" is checkable.
+//
+// Field narrowing across the format population:
+//   - timestamps: EDI and Oracle OIF carry calendar dates only, so
+//     timestamps compare at day granularity;
+//   - DUNS numbers: the Oracle open interface tables do not carry DUNS, so
+//     DUNS is excluded;
+//   - party names: the Oracle acknowledgment batch carries party IDs only,
+//     so POA comparison excludes names.
+
+func sameDay(a, b time.Time) bool {
+	ay, am, ad := a.UTC().Date()
+	by, bm, bd := b.UTC().Date()
+	return ay == by && am == bm && ad == bd
+}
+
+// SemanticEqualPO reports whether two purchase orders agree on every field
+// that all concrete formats can represent; a non-nil error names the first
+// disagreement.
+func SemanticEqualPO(a, b *doc.PurchaseOrder) error {
+	switch {
+	case a.ID != b.ID:
+		return fmt.Errorf("id: %q != %q", a.ID, b.ID)
+	case a.Buyer.ID != b.Buyer.ID:
+		return fmt.Errorf("buyer id: %q != %q", a.Buyer.ID, b.Buyer.ID)
+	case a.Buyer.Name != b.Buyer.Name:
+		return fmt.Errorf("buyer name: %q != %q", a.Buyer.Name, b.Buyer.Name)
+	case a.Seller.ID != b.Seller.ID:
+		return fmt.Errorf("seller id: %q != %q", a.Seller.ID, b.Seller.ID)
+	case a.Seller.Name != b.Seller.Name:
+		return fmt.Errorf("seller name: %q != %q", a.Seller.Name, b.Seller.Name)
+	case a.Currency != b.Currency:
+		return fmt.Errorf("currency: %q != %q", a.Currency, b.Currency)
+	case !sameDay(a.IssuedAt, b.IssuedAt):
+		return fmt.Errorf("issued day: %v != %v", a.IssuedAt, b.IssuedAt)
+	case a.ShipTo != b.ShipTo:
+		return fmt.Errorf("ship to: %q != %q", a.ShipTo, b.ShipTo)
+	case a.Note != b.Note:
+		return fmt.Errorf("note: %q != %q", a.Note, b.Note)
+	case len(a.Lines) != len(b.Lines):
+		return fmt.Errorf("line count: %d != %d", len(a.Lines), len(b.Lines))
+	}
+	for i := range a.Lines {
+		la, lb := a.Lines[i], b.Lines[i]
+		switch {
+		case la.Number != lb.Number:
+			return fmt.Errorf("line %d: number %d != %d", i, la.Number, lb.Number)
+		case la.SKU != lb.SKU:
+			return fmt.Errorf("line %d: sku %q != %q", i, la.SKU, lb.SKU)
+		case la.Description != lb.Description:
+			return fmt.Errorf("line %d: description %q != %q", i, la.Description, lb.Description)
+		case la.Quantity != lb.Quantity:
+			return fmt.Errorf("line %d: quantity %d != %d", i, la.Quantity, lb.Quantity)
+		case la.UnitPrice != lb.UnitPrice:
+			return fmt.Errorf("line %d: unit price %v != %v", i, la.UnitPrice, lb.UnitPrice)
+		}
+	}
+	return nil
+}
+
+// SemanticEqualPOA reports whether two acknowledgments agree on every field
+// that all concrete formats can represent.
+func SemanticEqualPOA(a, b *doc.PurchaseOrderAck) error {
+	switch {
+	case a.ID != b.ID:
+		return fmt.Errorf("id: %q != %q", a.ID, b.ID)
+	case a.POID != b.POID:
+		return fmt.Errorf("po reference: %q != %q", a.POID, b.POID)
+	case a.Buyer.ID != b.Buyer.ID:
+		return fmt.Errorf("buyer id: %q != %q", a.Buyer.ID, b.Buyer.ID)
+	case a.Seller.ID != b.Seller.ID:
+		return fmt.Errorf("seller id: %q != %q", a.Seller.ID, b.Seller.ID)
+	case a.Status != b.Status:
+		return fmt.Errorf("status: %q != %q", a.Status, b.Status)
+	case !sameDay(a.IssuedAt, b.IssuedAt):
+		return fmt.Errorf("issued day: %v != %v", a.IssuedAt, b.IssuedAt)
+	case a.Note != b.Note:
+		return fmt.Errorf("note: %q != %q", a.Note, b.Note)
+	case len(a.Lines) != len(b.Lines):
+		return fmt.Errorf("line count: %d != %d", len(a.Lines), len(b.Lines))
+	}
+	for i := range a.Lines {
+		la, lb := a.Lines[i], b.Lines[i]
+		switch {
+		case la.Number != lb.Number:
+			return fmt.Errorf("line %d: number %d != %d", i, la.Number, lb.Number)
+		case la.Status != lb.Status:
+			return fmt.Errorf("line %d: status %q != %q", i, la.Status, lb.Status)
+		case la.Quantity != lb.Quantity:
+			return fmt.Errorf("line %d: quantity %d != %d", i, la.Quantity, lb.Quantity)
+		case la.ShipDate.IsZero() != lb.ShipDate.IsZero():
+			return fmt.Errorf("line %d: ship date presence %v != %v", i, la.ShipDate, lb.ShipDate)
+		case !la.ShipDate.IsZero() && !sameDay(la.ShipDate, lb.ShipDate):
+			return fmt.Errorf("line %d: ship day %v != %v", i, la.ShipDate, lb.ShipDate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/formats/edi"
+	"repro/internal/formats/oagis"
+	"repro/internal/formats/oracleoif"
+	"repro/internal/formats/rosettanet"
+	"repro/internal/formats/sapidoc"
+)
+
+func newFullRegistry() *Registry {
+	r := &Registry{}
+	RegisterAll(r)
+	return r
+}
+
+var (
+	buyer  = doc.Party{ID: "TP1", Name: "Acme Corp", DUNS: "123456789"}
+	seller = doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "987654321"}
+)
+
+func samplePO() *doc.PurchaseOrder {
+	return &doc.PurchaseOrder{
+		ID:       "PO-TP1-000001",
+		Buyer:    buyer,
+		Seller:   seller,
+		Currency: "USD",
+		IssuedAt: time.Date(2001, 9, 3, 9, 0, 0, 0, time.UTC),
+		ShipTo:   "Acme Receiving Dock 1",
+		Note:     "rush order",
+		Lines: []doc.Line{
+			{Number: 1, SKU: "LAP-100", Description: "Laptop", Quantity: 10, UnitPrice: 1450},
+			{Number: 2, SKU: "MON-27", Description: "Monitor", Quantity: 20, UnitPrice: 480.25},
+		},
+	}
+}
+
+func samplePOA() *doc.PurchaseOrderAck {
+	poa := doc.AckFor(samplePO(), "POA-000042")
+	poa.Status = doc.AckPartial
+	poa.Lines[1].Status = doc.LineBackorder
+	poa.Lines[1].Quantity = 15
+	poa.Note = "line 2 partially backordered"
+	return poa
+}
+
+// allFormats lists every concrete format for sweep tests.
+var allFormats = []formats.Format{
+	formats.EDI, formats.RosettaNet, formats.OAGIS, formats.SAPIDoc, formats.OracleOIF,
+}
+
+// TestPORoundTripThroughEveryFormat: normalized → native → normalized
+// preserves the semantic fields for every format.
+func TestPORoundTripThroughEveryFormat(t *testing.T) {
+	r := newFullRegistry()
+	for _, f := range allFormats {
+		t.Run(string(f), func(t *testing.T) {
+			po := samplePO()
+			native, err := r.FromNormalized(f, doc.TypePO, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := r.ToNormalized(f, doc.TypePO, native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualPO(po, back.(*doc.PurchaseOrder)); err != nil {
+				t.Fatalf("semantic fields lost through %s: %v", f, err)
+			}
+		})
+	}
+}
+
+// TestPOARoundTripThroughEveryFormat does the same for acknowledgments.
+func TestPOARoundTripThroughEveryFormat(t *testing.T) {
+	r := newFullRegistry()
+	for _, f := range allFormats {
+		t.Run(string(f), func(t *testing.T) {
+			poa := samplePOA()
+			native, err := r.FromNormalized(f, doc.TypePOA, poa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := r.ToNormalized(f, doc.TypePOA, native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualPOA(poa, back.(*doc.PurchaseOrderAck)); err != nil {
+				t.Fatalf("semantic fields lost through %s: %v", f, err)
+			}
+		})
+	}
+}
+
+// TestPORoundTripThroughWire adds the codec layer: normalized → native →
+// wire bytes → native → normalized for every format.
+func TestPORoundTripThroughWire(t *testing.T) {
+	r := newFullRegistry()
+	codecs := map[formats.Format][2]formats.Codec{
+		formats.EDI:        {edi.POCodec{}, edi.POACodec{}},
+		formats.RosettaNet: {rosettanet.POCodec{}, rosettanet.POACodec{}},
+		formats.OAGIS:      {oagis.POCodec{}, oagis.POACodec{}},
+		formats.SAPIDoc:    {sapidoc.POCodec{}, sapidoc.POACodec{}},
+		formats.OracleOIF:  {oracleoif.POCodec{}, oracleoif.POACodec{}},
+	}
+	for f, pair := range codecs {
+		t.Run(string(f), func(t *testing.T) {
+			po := samplePO()
+			native, err := r.FromNormalized(f, doc.TypePO, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := pair[0].Encode(native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native2, err := pair[0].Decode(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := r.ToNormalized(f, doc.TypePO, native2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualPO(po, back.(*doc.PurchaseOrder)); err != nil {
+				t.Fatalf("wire round trip through %s lost fields: %v", f, err)
+			}
+
+			poa := samplePOA()
+			nativeA, err := r.FromNormalized(f, doc.TypePOA, poa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wireA, err := pair[1].Encode(nativeA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nativeA2, err := pair[1].Decode(wireA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backA, err := r.ToNormalized(f, doc.TypePOA, nativeA2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SemanticEqualPOA(poa, backA.(*doc.PurchaseOrderAck)); err != nil {
+				t.Fatalf("wire round trip through %s lost fields: %v", f, err)
+			}
+		})
+	}
+}
+
+// TestCrossFormatChain reproduces the Figure 9 transformation steps
+// ("Transform EDI to SAP PO" etc.): every concrete format to every other
+// concrete format via the normalized hub.
+func TestCrossFormatChain(t *testing.T) {
+	r := newFullRegistry()
+	for _, from := range allFormats {
+		for _, to := range allFormats {
+			if from == to {
+				continue
+			}
+			t.Run(string(from)+"→"+string(to), func(t *testing.T) {
+				po := samplePO()
+				native, err := r.FromNormalized(from, doc.TypePO, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				other, err := r.Apply(from, to, doc.TypePO, native)
+				if err != nil {
+					t.Fatal(err)
+				}
+				back, err := r.ToNormalized(to, doc.TypePO, other)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := SemanticEqualPO(po, back.(*doc.PurchaseOrder)); err != nil {
+					t.Fatalf("%s→%s chain lost fields: %v", from, to, err)
+				}
+			})
+		}
+	}
+}
+
+// TestPropertyGeneratedPOsRoundTrip sweeps generated orders through every
+// format.
+func TestPropertyGeneratedPOsRoundTrip(t *testing.T) {
+	r := newFullRegistry()
+	g := doc.NewGenerator(31)
+	for i := 0; i < 60; i++ {
+		po := g.PO(buyer, seller)
+		for _, f := range allFormats {
+			native, err := r.FromNormalized(f, doc.TypePO, po)
+			if err != nil {
+				t.Fatalf("po %d format %s: %v", i, f, err)
+			}
+			back, err := r.ToNormalized(f, doc.TypePO, native)
+			if err != nil {
+				t.Fatalf("po %d format %s: %v", i, f, err)
+			}
+			if err := SemanticEqualPO(po, back.(*doc.PurchaseOrder)); err != nil {
+				t.Fatalf("po %d format %s: %v", i, f, err)
+			}
+		}
+	}
+}
+
+func TestAmountPreservedThroughChains(t *testing.T) {
+	// The business rules run on document.amount after transformation; a
+	// chain must never change the amount (Figure 9's premise that the same
+	// rule threshold applies whatever the source format was).
+	r := newFullRegistry()
+	g := doc.NewGenerator(77)
+	for i := 0; i < 40; i++ {
+		po := g.PO(buyer, seller)
+		want := po.Amount()
+		native, err := r.FromNormalized(formats.EDI, doc.TypePO, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sap, err := r.Apply(formats.EDI, formats.SAPIDoc, doc.TypePO, native)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := r.ToNormalized(formats.SAPIDoc, doc.TypePO, sap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := back.(*doc.PurchaseOrder).Amount(); got != want {
+			t.Fatalf("amount changed through EDI→SAP chain: %v != %v", got, want)
+		}
+	}
+}
+
+func TestIdentityTransform(t *testing.T) {
+	r := newFullRegistry()
+	po := samplePO()
+	out, err := r.Apply(formats.EDI, formats.EDI, doc.TypePO, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != any(po) {
+		t.Fatal("same-format Apply should return the input unchanged")
+	}
+}
+
+func TestMissingMapping(t *testing.T) {
+	r := &Registry{}
+	RegisterEDI(r)
+	if _, err := r.Apply(formats.OAGIS, formats.Normalized, doc.TypePO, nil); err == nil {
+		t.Fatal("expected missing-mapping error")
+	}
+	if _, err := r.Apply(formats.EDI, formats.OAGIS, doc.TypePO, &edi.PO850{}); err == nil || !strings.Contains(err.Error(), "hub leg") {
+		t.Fatalf("expected missing hub-leg error, got %v", err)
+	}
+}
+
+func TestWrongNativeType(t *testing.T) {
+	r := newFullRegistry()
+	if _, err := r.ToNormalized(formats.EDI, doc.TypePO, "not a po"); err == nil {
+		t.Fatal("expected type error")
+	}
+	if _, err := r.FromNormalized(formats.EDI, doc.TypePO, 42); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestInvalidDocumentRejected(t *testing.T) {
+	r := newFullRegistry()
+	po := samplePO()
+	po.Lines = nil
+	for _, f := range allFormats {
+		if _, err := r.FromNormalized(f, doc.TypePO, po); err == nil {
+			t.Errorf("format %s accepted an invalid PO", f)
+		}
+	}
+}
+
+func TestUnknownStatusCodes(t *testing.T) {
+	if _, err := bakToAckStatus("XX"); err == nil {
+		t.Error("bakToAckStatus accepted unknown code")
+	}
+	if _, err := ackStatusToBAK("weird"); err == nil {
+		t.Error("ackStatusToBAK accepted unknown status")
+	}
+	if _, err := rnStatusToAck("Perhaps"); err == nil {
+		t.Error("rnStatusToAck accepted unknown code")
+	}
+	if _, err := oagisLineStatus("Shrug"); err == nil {
+		t.Error("oagisLineStatus accepted unknown code")
+	}
+	if _, err := sapLineStatus("ZZZ"); err == nil {
+		t.Error("sapLineStatus accepted unknown code")
+	}
+	if _, err := oraLineStatus("nope"); err == nil {
+		t.Error("oraLineStatus accepted unknown code")
+	}
+}
+
+func TestRegistryCountAndKeys(t *testing.T) {
+	r := newFullRegistry()
+	// 5 formats × 2 directions × 3 doc types (PO, POA, Invoice), plus the
+	// EDI-only functional-ack pair.
+	if got := r.Count(); got != 32 {
+		t.Fatalf("Count = %d, want 32", got)
+	}
+	keys := r.Keys()
+	if len(keys) != 32 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys not sorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestPosexMapping(t *testing.T) {
+	for _, c := range []struct{ line, posex int }{{1, 10}, {2, 20}, {15, 150}} {
+		if posexFor(c.line) != c.posex {
+			t.Errorf("posexFor(%d) = %d", c.line, posexFor(c.line))
+		}
+		if lineForPosex(c.posex) != c.line {
+			t.Errorf("lineForPosex(%d) = %d", c.posex, lineForPosex(c.posex))
+		}
+	}
+	// Non-conventional POSEX values pass through unchanged.
+	if lineForPosex(7) != 7 {
+		t.Error("non-multiple POSEX should pass through")
+	}
+}
+
+func TestControlNumberDeterministicPositive(t *testing.T) {
+	a, b := controlNumber("PO-1"), controlNumber("PO-1")
+	if a != b {
+		t.Fatal("controlNumber not deterministic")
+	}
+	if a < 0 {
+		t.Fatal("controlNumber negative")
+	}
+	if controlNumber("PO-1") == controlNumber("PO-2") {
+		t.Fatal("controlNumber collision on trivially different ids (unlucky hash?)")
+	}
+}

@@ -1,0 +1,70 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// TestEveryLegRejectsWrongNativeType feeds an obviously wrong value to
+// every registered transformer and requires a typed error naming what was
+// expected — no leg may panic or silently coerce.
+func TestEveryLegRejectsWrongNativeType(t *testing.T) {
+	r := newFullRegistry()
+	type leg struct {
+		from, to formats.Format
+		dt       doc.DocType
+	}
+	var legs []leg
+	for _, f := range allFormats {
+		for _, dt := range []doc.DocType{doc.TypePO, doc.TypePOA, doc.TypeINV} {
+			legs = append(legs,
+				leg{f, formats.Normalized, dt},
+				leg{formats.Normalized, f, dt},
+			)
+		}
+	}
+	legs = append(legs,
+		leg{formats.EDI, formats.Normalized, doc.TypeFA},
+		leg{formats.Normalized, formats.EDI, doc.TypeFA},
+	)
+	for _, l := range legs {
+		tr, ok := r.Lookup(l.from, l.to, l.dt)
+		if !ok {
+			t.Fatalf("missing leg %s→%s %s", l.from, l.to, l.dt)
+		}
+		if _, err := tr.Apply(struct{ X int }{42}); err == nil {
+			t.Errorf("leg %s→%s %s accepted a wrong type", l.from, l.to, l.dt)
+		} else if !strings.Contains(err.Error(), "want") {
+			t.Errorf("leg %s→%s %s error does not name the expected type: %v", l.from, l.to, l.dt, err)
+		}
+	}
+}
+
+// TestChainErrorsPropagate: a chain whose first leg fails surfaces the
+// failing leg in the error.
+func TestChainErrorsPropagate(t *testing.T) {
+	r := newFullRegistry()
+	_, err := r.Apply(formats.EDI, formats.SAPIDoc, doc.TypePO, "not an interchange")
+	if err == nil {
+		t.Fatal("bad chain input accepted")
+	}
+	if !strings.Contains(err.Error(), "EDI-X12") {
+		t.Fatalf("error should name the failing leg: %v", err)
+	}
+}
+
+// TestFuncAccessors covers the Func adapter's interface surface.
+func TestFuncAccessors(t *testing.T) {
+	f := Func{FromFormat: formats.EDI, ToFormat: formats.Normalized, Type: doc.TypePO,
+		Fn: func(n any) (any, error) { return n, nil }}
+	if f.From() != formats.EDI || f.To() != formats.Normalized || f.DocType() != doc.TypePO {
+		t.Fatal("accessors wrong")
+	}
+	out, err := f.Apply("x")
+	if err != nil || out != "x" {
+		t.Fatalf("%v %v", out, err)
+	}
+}

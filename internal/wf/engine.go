@@ -1,0 +1,590 @@
+package wf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// Handler is the implementation of a task step. Handlers may read and write
+// instance data; they must not block on external events (use receive steps
+// for that).
+type Handler func(ctx context.Context, in *Instance, step *StepDef) error
+
+// Handlers is a registry of task-step implementations.
+type Handlers struct {
+	mu sync.RWMutex
+	m  map[string]Handler
+}
+
+// NewHandlers returns an empty registry.
+func NewHandlers() *Handlers { return &Handlers{m: map[string]Handler{}} }
+
+// Register adds (or replaces) a handler under name.
+func (h *Handlers) Register(name string, fn Handler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.m[name] = fn
+}
+
+// Lookup resolves a handler.
+func (h *Handlers) Lookup(name string) (Handler, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	fn, ok := h.m[name]
+	return fn, ok
+}
+
+// PortFunc is the engine's outbound interface: it is invoked for send steps
+// and outbound connection steps with the step's port name and the payload
+// (the instance's current document).
+type PortFunc func(ctx context.Context, in *Instance, step *StepDef, payload any) error
+
+// Store is the workflow database of Figure 4: it persists workflow types
+// and workflow instances. Implementations live in package wfstore.
+type Store interface {
+	// PutType stores a workflow type version.
+	PutType(t *TypeDef) error
+	// GetType loads a type version; version 0 means latest.
+	GetType(name string, version int) (*TypeDef, error)
+	// HasType reports whether the exact version exists.
+	HasType(name string, version int) bool
+	// ListTypes lists stored type keys (name@version), sorted.
+	ListTypes() ([]string, error)
+	// PutInstance stores an instance snapshot.
+	PutInstance(in *Instance) error
+	// GetInstance loads an instance snapshot.
+	GetInstance(id string) (*Instance, error)
+	// ListInstances lists stored instance IDs, sorted.
+	ListInstances() ([]string, error)
+	// DeleteInstance removes an instance (used after migration).
+	DeleteInstance(id string) error
+}
+
+// ErrNotFound is returned by stores for missing types or instances.
+var ErrNotFound = errors.New("wf: not found")
+
+// Engine is the workflow engine: an interpreter that advances workflow
+// instances and persists their state to the workflow database between
+// transitions. An engine is identified by name; instance IDs embed it so
+// migrated instances remain traceable.
+type Engine struct {
+	name     string
+	store    Store
+	handlers *Handlers
+	ports    PortFunc
+
+	mu      sync.Mutex
+	counter int
+}
+
+// NewEngine creates an engine bound to a store and handler registry. ports
+// may be nil if no type uses send/connection steps.
+func NewEngine(name string, store Store, handlers *Handlers, ports PortFunc) *Engine {
+	if handlers == nil {
+		handlers = NewHandlers()
+	}
+	return &Engine{name: name, store: store, handlers: handlers, ports: ports}
+}
+
+// Name returns the engine identifier.
+func (e *Engine) Name() string { return e.name }
+
+// Store exposes the engine's workflow database (the distribution experiments
+// inspect it).
+func (e *Engine) Store() Store { return e.store }
+
+// Deploy validates and stores a workflow type.
+func (e *Engine) Deploy(t *TypeDef) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	return e.store.PutType(t)
+}
+
+func (e *Engine) nextID() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.counter++
+	return fmt.Sprintf("%s-%06d", e.name, e.counter)
+}
+
+// Start creates an instance of the named type (latest version) with the
+// given initial data and advances it until it completes or parks on a
+// receive step. The returned instance is the engine's live state; treat it
+// as read-only.
+func (e *Engine) Start(ctx context.Context, typeName string, data map[string]any) (*Instance, error) {
+	return e.startChild(ctx, typeName, data, "", "")
+}
+
+func (e *Engine) startChild(ctx context.Context, typeName string, data map[string]any, parent, parentStep string) (*Instance, error) {
+	t, err := e.store.GetType(typeName, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wf: start %q: %w", typeName, err)
+	}
+	in := &Instance{
+		ID:         e.nextID(),
+		Type:       t.Name,
+		Version:    t.Version,
+		State:      InstRunning,
+		Data:       map[string]any{},
+		Steps:      map[string]*StepRun{},
+		Arcs:       map[string]int{},
+		Parent:     parent,
+		ParentStep: parentStep,
+	}
+	for k, v := range data {
+		in.Data[k] = v
+	}
+	for i := range t.Steps {
+		in.Steps[t.Steps[i].Name] = &StepRun{State: StepPending}
+	}
+	in.log("", "created")
+	if err := e.advance(ctx, t, in); err != nil {
+		return in, err
+	}
+	return in, e.persist(in)
+}
+
+// Deliver completes a waiting receive or inbound-connection step of the
+// instance that listens on port, storing payload under the step's data key,
+// then advances the instance. It returns ErrNotWaiting if no step of the
+// instance is parked on that port.
+func (e *Engine) Deliver(ctx context.Context, instanceID, port string, payload any) error {
+	in, err := e.store.GetInstance(instanceID)
+	if err != nil {
+		return err
+	}
+	t, err := e.store.GetType(in.Type, in.Version)
+	if err != nil {
+		return err
+	}
+	var target *StepDef
+	for i := range t.Steps {
+		s := &t.Steps[i]
+		if s.Port != port {
+			continue
+		}
+		if run := in.Steps[s.Name]; run != nil && run.State == StepWaiting {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("%w: instance %s has no step waiting on port %q", ErrNotWaiting, instanceID, port)
+	}
+	key := target.DataKey
+	if key == "" {
+		key = "document"
+	}
+	in.Data[key] = payload
+	e.completeStep(ctx, t, in, target)
+	if err := e.advance(ctx, t, in); err != nil {
+		return err
+	}
+	if err := e.persist(in); err != nil {
+		return err
+	}
+	return e.resumeParentIfDone(ctx, in)
+}
+
+// ErrNotWaiting is returned by Deliver when the instance has no step parked
+// on the given port.
+var ErrNotWaiting = errors.New("wf: no step waiting on port")
+
+// Expire times out a parked receive or inbound-connection step: the step is
+// skipped (its normal continuation dead-path-eliminated) and its OnTimeout
+// step is activated instead — the paper's public-process time-out behavior.
+func (e *Engine) Expire(ctx context.Context, instanceID, stepName string) error {
+	in, err := e.store.GetInstance(instanceID)
+	if err != nil {
+		return err
+	}
+	t, err := e.store.GetType(in.Type, in.Version)
+	if err != nil {
+		return err
+	}
+	s, ok := t.Step(stepName)
+	if !ok {
+		return fmt.Errorf("wf: instance %s has no step %q", instanceID, stepName)
+	}
+	if s.OnTimeout == "" {
+		return fmt.Errorf("wf: step %q declares no timeout branch", stepName)
+	}
+	run := in.Steps[s.Name]
+	if run == nil || run.State != StepWaiting {
+		return fmt.Errorf("%w: step %q is not waiting", ErrNotWaiting, stepName)
+	}
+	run.State = StepSkipped
+	in.log(s.Name, "timed out")
+	e.signalOutgoing(ctx, t, in, s, false, nil)
+	if err := e.advanceWith(ctx, t, in, map[string]bool{s.OnTimeout: true}); err != nil {
+		return err
+	}
+	if err := e.persist(in); err != nil {
+		return err
+	}
+	return e.resumeParentIfDone(ctx, in)
+}
+
+// Instance loads an instance snapshot from the workflow database.
+func (e *Engine) Instance(id string) (*Instance, error) {
+	return e.store.GetInstance(id)
+}
+
+// persist stores a deep snapshot (Figure 4's "store the advanced state of
+// the workflow instance back into the database").
+func (e *Engine) persist(in *Instance) error {
+	return e.store.PutInstance(in.snapshotClone())
+}
+
+// advance runs the instance until quiescence: no step is ready.
+func (e *Engine) advance(ctx context.Context, t *TypeDef, in *Instance) error {
+	return e.advanceWith(ctx, t, in, map[string]bool{})
+}
+
+// advanceWith runs the instance with an initial set of force-activated
+// steps (loop re-entries and timeout branches).
+func (e *Engine) advanceWith(ctx context.Context, t *TypeDef, in *Instance, forced map[string]bool) error {
+	for in.State == InstRunning {
+		progressed := false
+		for i := range t.Steps {
+			s := &t.Steps[i]
+			run := in.Steps[s.Name]
+			if run.State != StepPending {
+				continue
+			}
+			ready, dead := e.evalJoin(t, in, s, forced)
+			if dead {
+				run.State = StepSkipped
+				in.log(s.Name, "skipped (dead path)")
+				e.signalOutgoing(ctx, t, in, s, false, forced)
+				progressed = true
+				continue
+			}
+			if !ready {
+				continue
+			}
+			delete(forced, s.Name)
+			if err := e.execute(ctx, t, in, s); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	e.maybeFinish(in)
+	return nil
+}
+
+// evalJoin decides whether a pending step is ready or dead.
+func (e *Engine) evalJoin(t *TypeDef, in *Instance, s *StepDef, forced map[string]bool) (ready, dead bool) {
+	if forced[s.Name] {
+		return true, false
+	}
+	// Timeout branches run only when forced by an expiry; until their
+	// guard resolves they stay pending.
+	if _, isTimeout := t.timeoutTarget[s.Name]; isTimeout {
+		return false, false
+	}
+	var normal []*Arc
+	for _, a := range t.incoming[s.Name] {
+		if !a.Loop {
+			normal = append(normal, a)
+		}
+	}
+	if len(normal) == 0 {
+		// Entry step: ready exactly once, at instance start (its state is
+		// still pending and no arc can re-activate it).
+		return true, false
+	}
+	var nTrue, nFalse int
+	for _, a := range normal {
+		switch signal(in.Arcs[arcKey(a)]) {
+		case sigTrue:
+			nTrue++
+		case sigFalse:
+			nFalse++
+		}
+	}
+	evaluated := nTrue + nFalse
+	switch s.join() {
+	case JoinAny:
+		if nTrue > 0 {
+			return true, false
+		}
+		if evaluated == len(normal) {
+			return false, true
+		}
+	default: // JoinAll
+		if nFalse > 0 && evaluated == len(normal) {
+			return false, true
+		}
+		if nTrue == len(normal) {
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// execute runs one ready step.
+func (e *Engine) execute(ctx context.Context, t *TypeDef, in *Instance, s *StepDef) error {
+	run := in.Steps[s.Name]
+	switch s.Kind {
+	case StepNoop:
+		e.completeStep(ctx, t, in, s)
+
+	case StepTask:
+		fn, ok := e.handlers.Lookup(s.Handler)
+		if !ok {
+			return e.failStep(in, s, fmt.Errorf("wf: no handler %q registered", s.Handler))
+		}
+		var err error
+		for attempt := 0; attempt <= s.Retries; attempt++ {
+			if err = fn(ctx, in, s); err == nil {
+				break
+			}
+			run.Attempts = attempt + 1
+			if attempt < s.Retries {
+				in.log(s.Name, fmt.Sprintf("attempt %d failed, retrying: %v", attempt+1, err))
+			}
+		}
+		if err != nil {
+			return e.failStep(in, s, err)
+		}
+		e.completeStep(ctx, t, in, s)
+
+	case StepSend:
+		if e.ports == nil {
+			return e.failStep(in, s, fmt.Errorf("wf: engine has no port function for send step %q", s.Name))
+		}
+		if err := e.ports(ctx, in, s, outboundPayload(in, s)); err != nil {
+			return e.failStep(in, s, err)
+		}
+		in.log(s.Name, "sent on port "+s.Port)
+		e.completeStep(ctx, t, in, s)
+
+	case StepConnection:
+		if s.Dir == DirOut {
+			if e.ports == nil {
+				return e.failStep(in, s, fmt.Errorf("wf: engine has no port function for connection step %q", s.Name))
+			}
+			if err := e.ports(ctx, in, s, outboundPayload(in, s)); err != nil {
+				return e.failStep(in, s, err)
+			}
+			in.log(s.Name, "passed control to binding via port "+s.Port)
+			e.completeStep(ctx, t, in, s)
+		} else {
+			run.State = StepWaiting
+			in.log(s.Name, "waiting for binding on port "+s.Port)
+		}
+
+	case StepReceive:
+		run.State = StepWaiting
+		in.log(s.Name, "waiting on port "+s.Port)
+
+	case StepSubworkflow:
+		child, err := e.startChild(ctx, s.Subworkflow, in.Data, in.ID, s.Name)
+		if err != nil {
+			return e.failStep(in, s, err)
+		}
+		run.Child = child.ID
+		switch child.State {
+		case InstCompleted:
+			e.absorbChild(in, child)
+			e.completeStep(ctx, t, in, s)
+		case InstFailed:
+			return e.failStep(in, s, fmt.Errorf("wf: subworkflow %s failed: %s", child.ID, child.Error))
+		default:
+			run.State = StepChildRun
+			in.log(s.Name, "subworkflow "+child.ID+" running")
+		}
+	default:
+		return e.failStep(in, s, fmt.Errorf("wf: unknown step kind %q", s.Kind))
+	}
+	return nil
+}
+
+// outboundPayload selects what a send or outbound-connection step emits:
+// the data slot named by DataKey, or the current document. (DataKey thus
+// names the payload slot symmetrically for inbound and outbound steps.)
+func outboundPayload(in *Instance, s *StepDef) any {
+	key := s.DataKey
+	if key == "" {
+		key = "document"
+	}
+	return in.Data[key]
+}
+
+// absorbChild copies the child's document and result back into the parent
+// (the subworkflow interface of Section 2.1: "the data it requires and
+// returns").
+func (e *Engine) absorbChild(parent, child *Instance) {
+	if d, ok := child.Data["document"]; ok {
+		parent.Data["document"] = d
+	}
+	if r, ok := child.Data["result"]; ok {
+		parent.Data["result"] = r
+	}
+}
+
+func (e *Engine) completeStep(ctx context.Context, t *TypeDef, in *Instance, s *StepDef) {
+	in.Steps[s.Name].State = StepCompleted
+	in.log(s.Name, "completed")
+	e.signalOutgoing(ctx, t, in, s, true, nil)
+	// A guard completing normally retires its timeout branch.
+	if s.OnTimeout != "" {
+		if run := in.Steps[s.OnTimeout]; run != nil && run.State == StepPending {
+			run.State = StepSkipped
+			in.log(s.OnTimeout, "skipped (guard completed in time)")
+			if ts, ok := t.Step(s.OnTimeout); ok {
+				e.signalOutgoing(ctx, t, in, ts, false, nil)
+			}
+		}
+	}
+}
+
+func (e *Engine) failStep(in *Instance, s *StepDef, err error) error {
+	in.Steps[s.Name].State = StepFailed
+	in.Steps[s.Name].Error = err.Error()
+	in.State = InstFailed
+	in.Error = fmt.Sprintf("step %q: %v", s.Name, err)
+	in.log(s.Name, "failed: "+err.Error())
+	if perr := e.persist(in); perr != nil {
+		return errors.Join(err, perr)
+	}
+	return err
+}
+
+// signalOutgoing evaluates the outgoing arcs of a finished step. completed
+// is false for skipped steps (dead-path elimination: every outgoing arc
+// signals false). forced collects loop re-entry targets; it may be nil when
+// the caller is outside an advance loop (Deliver), in which case loop arcs
+// are handled by the subsequent advance's forced map being empty — loop
+// arcs only fire from within advance, which is where completions that can
+// close a loop happen.
+func (e *Engine) signalOutgoing(ctx context.Context, t *TypeDef, in *Instance, s *StepDef, completed bool, forced map[string]bool) {
+	env := in.Env()
+	for _, a := range t.outgoing[s.Name] {
+		val := false
+		if completed {
+			if a.cond == nil {
+				val = true
+			} else if ok, err := evalCond(a, env); err == nil {
+				val = ok
+			} else {
+				in.log(s.Name, fmt.Sprintf("condition %q error: %v (treated as false)", a.Condition, err))
+			}
+		}
+		if a.Loop {
+			if val {
+				e.fireLoop(t, in, a, forced)
+			}
+			continue
+		}
+		if val {
+			in.Arcs[arcKey(a)] = int(sigTrue)
+		} else {
+			in.Arcs[arcKey(a)] = int(sigFalse)
+		}
+	}
+}
+
+func evalCond(a *Arc, env expr.MapEnv) (bool, error) {
+	return expr.EvalBool(a.cond, env)
+}
+
+// fireLoop resets the loop body (the target step and everything reachable
+// from it via non-loop arcs) for a new iteration and forces the target
+// ready.
+func (e *Engine) fireLoop(t *TypeDef, in *Instance, loop *Arc, forced map[string]bool) {
+	region := map[string]bool{}
+	var mark func(string)
+	mark = func(n string) {
+		if region[n] {
+			return
+		}
+		region[n] = true
+		for _, a := range t.outgoing[n] {
+			if !a.Loop {
+				mark(a.To)
+			}
+		}
+	}
+	mark(loop.To)
+	for name := range region {
+		in.Steps[name] = &StepRun{State: StepPending}
+		for _, a := range t.outgoing[name] {
+			delete(in.Arcs, arcKey(a))
+		}
+		for _, a := range t.incoming[name] {
+			if region[a.From] {
+				delete(in.Arcs, arcKey(a))
+			}
+		}
+	}
+	in.log(loop.To, "loop iteration")
+	if forced != nil {
+		forced[loop.To] = true
+	}
+}
+
+// maybeFinish marks the instance completed when every step is terminal and
+// none is parked.
+func (e *Engine) maybeFinish(in *Instance) {
+	if in.State != InstRunning {
+		return
+	}
+	for _, r := range in.Steps {
+		switch r.State {
+		case StepCompleted, StepSkipped:
+		default:
+			return
+		}
+	}
+	in.State = InstCompleted
+	in.log("", "instance completed")
+}
+
+// resumeParentIfDone propagates a child instance's terminal state to its
+// waiting parent step and advances the parent (recursively up the chain).
+func (e *Engine) resumeParentIfDone(ctx context.Context, child *Instance) error {
+	if child.Parent == "" || child.State == InstRunning {
+		return nil
+	}
+	parent, err := e.store.GetInstance(child.Parent)
+	if err != nil {
+		return err
+	}
+	t, err := e.store.GetType(parent.Type, parent.Version)
+	if err != nil {
+		return err
+	}
+	s, ok := t.Step(child.ParentStep)
+	if !ok {
+		return fmt.Errorf("wf: parent %s has no step %q", parent.ID, child.ParentStep)
+	}
+	run := parent.Steps[s.Name]
+	if run.State != StepChildRun {
+		return nil
+	}
+	if child.State == InstFailed {
+		err := e.failStep(parent, s, fmt.Errorf("wf: subworkflow %s failed: %s", child.ID, child.Error))
+		_ = err
+		return e.resumeParentIfDone(ctx, parent)
+	}
+	e.absorbChild(parent, child)
+	e.completeStep(ctx, t, parent, s)
+	if err := e.advance(ctx, t, parent); err != nil {
+		return err
+	}
+	if err := e.persist(parent); err != nil {
+		return err
+	}
+	return e.resumeParentIfDone(ctx, parent)
+}

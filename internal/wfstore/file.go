@@ -1,0 +1,282 @@
+package wfstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/wf"
+)
+
+// FileStore is a durable workflow database: every mutation appends one JSON
+// record to a log file and is flushed before the call returns; opening the
+// store replays the log, so an engine restarted after a crash resumes from
+// its last persisted transition (Figure 4's database made durable).
+//
+// Instance data values are serialized through the codec in codec.go, which
+// supports primitives and the normalized document types. Native
+// format values (e.g. a decoded IDoc) are transient hub state and must not
+// be placed in instance data that reaches a FileStore.
+type FileStore struct {
+	mu   sync.Mutex
+	mem  *MemStore
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+type logRecord struct {
+	Op       string          `json:"op"` // "type", "inst", "del"
+	Type     *wf.TypeDef     `json:"type,omitempty"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+	ID       string          `json:"id,omitempty"`
+}
+
+// OpenFileStore opens (creating if needed) the log at path and replays it.
+func OpenFileStore(path string) (*FileStore, error) {
+	s := &FileStore{mem: NewMemStore(), path: path}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := s.replay(data); err != nil {
+			return nil, fmt.Errorf("wfstore: replay %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wfstore: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wfstore: open %s: %w", path, err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+func (s *FileStore) replay(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn final record after a crash is expected; anything
+			// mid-log is corruption.
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		switch rec.Op {
+		case "type":
+			if err := rec.Type.Validate(); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := s.mem.PutType(rec.Type); err != nil {
+				return err
+			}
+		case "inst":
+			in, err := decodeInstance(rec.Instance)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := s.mem.PutInstance(in); err != nil {
+				return err
+			}
+		case "del":
+			if err := s.mem.DeleteInstance(rec.ID); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("line %d: unknown op %q", line, rec.Op)
+		}
+	}
+	return sc.Err()
+}
+
+func (s *FileStore) append(rec logRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wfstore: marshal: %w", err)
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("wfstore: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("wfstore: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Close()
+}
+
+// Compact rewrites the log to hold exactly one record per live type and
+// instance, atomically replacing the old log. Long-running engines call it
+// periodically: every instance transition appends a full snapshot, so logs
+// grow with activity, not with live state.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wfstore: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeRec := func(rec logRecord) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}
+	typeKeys, err := s.mem.ListTypes()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, key := range typeKeys {
+		name, version := splitKey(key)
+		def, err := s.mem.GetType(name, version)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := writeRec(logRecord{Op: "type", Type: def.Clone()}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	ids, err := s.mem.ListInstances()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, id := range ids {
+		in, err := s.mem.GetInstance(id)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		raw, err := encodeInstance(in)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := writeRec(logRecord{Op: "inst", Instance: raw}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("wfstore: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wfstore: compact reopen: %w", err)
+	}
+	s.f = nf
+	s.w = bufio.NewWriter(nf)
+	return nil
+}
+
+// Size reports the current log size in bytes.
+func (s *FileStore) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func splitKey(key string) (string, int) {
+	name, ver, _ := strings.Cut(key, "@")
+	v := 0
+	fmt.Sscanf(ver, "%d", &v)
+	return name, v
+}
+
+// PutType implements wf.Store.
+func (s *FileStore) PutType(t *wf.TypeDef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(logRecord{Op: "type", Type: t.Clone()}); err != nil {
+		return err
+	}
+	return s.mem.PutType(t)
+}
+
+// GetType implements wf.Store.
+func (s *FileStore) GetType(name string, version int) (*wf.TypeDef, error) {
+	return s.mem.GetType(name, version)
+}
+
+// HasType implements wf.Store.
+func (s *FileStore) HasType(name string, version int) bool {
+	return s.mem.HasType(name, version)
+}
+
+// ListTypes implements wf.Store.
+func (s *FileStore) ListTypes() ([]string, error) { return s.mem.ListTypes() }
+
+// PutInstance implements wf.Store.
+func (s *FileStore) PutInstance(in *wf.Instance) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := encodeInstance(in)
+	if err != nil {
+		return err
+	}
+	if err := s.append(logRecord{Op: "inst", Instance: raw}); err != nil {
+		return err
+	}
+	return s.mem.PutInstance(in)
+}
+
+// GetInstance implements wf.Store.
+func (s *FileStore) GetInstance(id string) (*wf.Instance, error) {
+	return s.mem.GetInstance(id)
+}
+
+// ListInstances implements wf.Store.
+func (s *FileStore) ListInstances() ([]string, error) { return s.mem.ListInstances() }
+
+// DeleteInstance implements wf.Store.
+func (s *FileStore) DeleteInstance(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(logRecord{Op: "del", ID: id}); err != nil {
+		return err
+	}
+	return s.mem.DeleteInstance(id)
+}

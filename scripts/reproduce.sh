@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerate every experiment of EXPERIMENTS.md: the full test suite (the
+# figure tests), the complexity tables (the Section 3 vs Section 4
+# comparison) and the benchmark harness. Takes a few minutes.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== figure tests =="
+go test ./...
+
+echo "== complexity tables (Figures 9/10 vs 14/15, Section 4.6 sweep) =="
+go run ./cmd/complexity
+
+echo "== benchmarks (one per figure + ablations) =="
+go test -bench=. -benchmem .
+
+echo "== end-to-end over the simulated network =="
+go run ./cmd/b2bhub -n 50 -loss 0.1 -tp3 -fa997
+
+echo "== end-to-end over TCP loopback =="
+go run ./cmd/b2bhub -n 50 -tcp

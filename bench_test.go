@@ -10,7 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
+	"sync"
 	"testing"
 	"time"
 
@@ -660,30 +660,84 @@ func BenchmarkNaiveVsAdvancedRoundTrip(b *testing.B) {
 	})
 }
 
-// BenchmarkHubParallel: concurrent exchanges through one hub (per-exchange
-// routing queues; the back ends and rule registry are shared).
+// BenchmarkHubParallel: concurrent exchange throughput over the in-proc
+// transport with simulated wire latency (2ms each way). The hub serves with
+// ServeConcurrent and a worker pool of the given size; one client per
+// worker drives round trips on its own endpoint. With one worker the run
+// is wire-latency-bound; with more workers in-flight exchanges overlap the
+// latency, so throughput scales until the CPU saturates — the property the
+// concurrent submission API exists for. The exchanges/s metric is the one
+// scripts/bench.sh records into BENCH_hub.json.
 func BenchmarkHubParallel(b *testing.B) {
-	m, err := core.PaperFigure14Model()
-	if err != nil {
-		b.Fatal(err)
-	}
-	h, err := core.NewHub(m)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ctx := context.Background()
-	var seq int64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		g := doc.NewGenerator(int64(42))
-		for pb.Next() {
-			po := g.PO(benchBuyer, benchSeller)
-			po.ID = fmt.Sprintf("%s-p%d", po.ID, atomicAdd(&seq))
-			if _, _, err := h.RoundTrip(ctx, po); err != nil {
+	const wireLatency = 2 * time.Millisecond
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
+			h, err := core.NewHub(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			network := msg.NewInProcNetwork(msg.Faults{Latency: wireLatency})
+			defer network.Close()
+			// The retry interval sits far above the loaded round trip so
+			// the reliable layer never re-sends during the measurement.
+			rcfg := msg.ReliableConfig{RetryInterval: 250 * time.Millisecond, MaxAttempts: 20}
+			hubEP, err := network.Endpoint("hub")
+			if err != nil {
+				b.Fatal(err)
+			}
+			server := core.NewServer(h, hubEP, rcfg)
+			defer server.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go server.ServeConcurrent(ctx, workers, nil)
+			defer h.StopWorkers()
+
+			clients := make([]*core.Client, workers)
+			partner, _ := h.Model.PartnerByID(benchBuyer.ID)
+			for w := range clients {
+				ep, err := network.Endpoint(fmt.Sprintf("tp1-w%d", w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[w] = core.NewClient(partner, ep, rcfg, "hub")
+				defer clients[w].Close()
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				n := b.N / workers
+				if w < b.N%workers {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(w, n int, c *core.Client) {
+					defer wg.Done()
+					g := doc.NewGenerator(int64(1000 + w))
+					for i := 0; i < n; i++ {
+						po := g.PO(benchBuyer, benchSeller)
+						po.ID = fmt.Sprintf("%s-w%d-%d", po.ID, w, i)
+						if _, err := c.RoundTrip(ctx, po); err != nil {
+							b.Errorf("worker %d order %d: %v", w, i, err)
+							return
+						}
+					}
+				}(w, n, clients[w])
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
+		})
+	}
 }
 
 // BenchmarkTCPRoundTrip: the full exchange over real loopback sockets.
@@ -778,8 +832,6 @@ func BenchmarkFunctionalAck997(b *testing.B) {
 		}
 	}
 }
-
-func atomicAdd(p *int64) int64 { return atomic.AddInt64(p, 1) }
 
 // BenchmarkInvoiceFlow: the outbound one-way invoice exchange (app binding
 // → private → binding → public), after a PO round trip provides the billing

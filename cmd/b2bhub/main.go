@@ -4,9 +4,15 @@
 // orders through the full stack and reports throughput, latency and
 // reliable-messaging statistics.
 //
+// With -workers N > 1 the hub serves exchanges concurrently through its
+// bounded worker pool, and the partners drive their order streams in
+// parallel. With -trace the first exchange's structured event stream is
+// printed: routing hops and step executions, in order, with per-step
+// timings, followed by the per-stage latency summary.
+//
 // Usage:
 //
-//	b2bhub [-n 100] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
+//	b2bhub [-n 100] [-workers 4] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
 package main
 
 import (
@@ -14,20 +20,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
 	"repro/internal/msg"
+	"repro/internal/obs"
 )
 
 var (
 	n       = flag.Int("n", 100, "purchase orders per partner")
+	workers = flag.Int("workers", 1, "hub worker pool size; >1 serves exchanges concurrently")
 	loss    = flag.Float64("loss", 0, "message loss probability (in-process network only)")
 	dup     = flag.Float64("dup", 0, "message duplication probability (in-process network only)")
 	tp3     = flag.Bool("tp3", false, "add the Figure 15 partner (OAGIS)")
-	trace   = flag.Bool("trace", false, "print the exchange trace of the first order")
+	trace   = flag.Bool("trace", false, "print the event stream of the first exchange")
 	tcp     = flag.Bool("tcp", false, "use real TCP loopback sockets instead of the in-process network")
 	fa997   = flag.Bool("fa997", false, "enable EDI 997 functional acknowledgments")
 	invoice = flag.Bool("invoice", false, "push a one-way invoice after each round trip")
@@ -87,56 +96,83 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	go server.Serve(ctx, nil)
+	if *workers > 1 {
+		go server.ServeConcurrent(ctx, *workers, nil)
+	} else {
+		go server.Serve(ctx, nil)
+	}
 
 	sellerParty := doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"}
 	start := time.Now()
-	total := 0
-	for _, p := range hub.Model.Partners {
+	var (
+		mu        sync.Mutex
+		total     int
+		traced    bool
+		summaries = make([]string, len(hub.Model.Partners))
+	)
+	var wg sync.WaitGroup
+	for pi, p := range hub.Model.Partners {
 		ep, err := network.Endpoint(p.ID)
 		if err != nil {
 			log.Fatal(err)
 		}
 		client := core.NewClient(p, ep, rcfg, "hub")
-		g := doc.NewGenerator(int64(len(p.ID)))
-		buyerParty := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
-		var firstLatency time.Duration
-		for i := 0; i < *n; i++ {
-			po := g.PO(buyerParty, sellerParty)
-			t0 := time.Now()
-			poa, err := client.RoundTrip(ctx, po)
-			if err != nil {
-				log.Fatalf("%s order %d: %v", p.ID, i, err)
-			}
-			if i == 0 {
-				firstLatency = time.Since(t0)
-				if *trace {
-					if ex, ok := hub.ExchangeByID("ex-000001"); ok {
-						fmt.Println("first exchange trace:")
-						for _, hop := range ex.Trace {
-							fmt.Println("   ", hop)
+		drive := func(pi int, p core.TradingPartner, client *core.Client) {
+			defer client.Close()
+			g := doc.NewGenerator(int64(len(p.ID)))
+			buyerParty := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+			var firstLatency time.Duration
+			for i := 0; i < *n; i++ {
+				po := g.PO(buyerParty, sellerParty)
+				t0 := time.Now()
+				poa, err := client.RoundTrip(ctx, po)
+				if err != nil {
+					log.Fatalf("%s order %d: %v", p.ID, i, err)
+				}
+				if i == 0 {
+					firstLatency = time.Since(t0)
+					if *trace {
+						mu.Lock()
+						if !traced {
+							traced = true
+							printTrace(hub, "ex-000001")
 						}
+						mu.Unlock()
 					}
 				}
-			}
-			if poa.POID != po.ID {
-				log.Fatalf("%s order %d: wrong correlation", p.ID, i)
-			}
-			if *invoice {
-				if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
-					log.Fatalf("%s invoice for %s: %v", p.ID, po.ID, err)
+				if poa.POID != po.ID {
+					log.Fatalf("%s order %d: wrong correlation", p.ID, i)
 				}
+				if *invoice {
+					if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
+						log.Fatalf("%s invoice for %s: %v", p.ID, po.ID, err)
+					}
+				}
+				mu.Lock()
+				total++
+				mu.Unlock()
 			}
-			total++
+			st := client.Stats()
+			summaries[pi] = fmt.Sprintf("%-4s %-12s: %4d round trips (first latency %v, retries %d)",
+				p.ID, p.Protocol, *n, firstLatency.Round(time.Microsecond), st.Retries)
 		}
-		st := client.Stats()
-		fmt.Printf("%-4s %-12s: %4d round trips (first latency %v, retries %d)\n",
-			p.ID, p.Protocol, *n, firstLatency.Round(time.Microsecond), st.Retries)
-		client.Close()
+		if *workers > 1 {
+			wg.Add(1)
+			go func(pi int, p core.TradingPartner, client *core.Client) {
+				defer wg.Done()
+				drive(pi, p, client)
+			}(pi, p, client)
+		} else {
+			drive(pi, p, client)
+		}
+	}
+	wg.Wait()
+	for _, line := range summaries {
+		fmt.Println(line)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("\n%d round trips in %v (%.0f/s) over loss=%.0f%% dup=%.0f%%\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *loss*100, *dup*100)
+	fmt.Printf("\n%d round trips in %v (%.0f/s) with %d worker(s) over loss=%.0f%% dup=%.0f%%\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *workers, *loss*100, *dup*100)
 	ss := server.Stats()
 	fmt.Printf("hub reliable layer: delivered=%d duplicates-suppressed=%d acks-sent=%d\n",
 		ss.Delivered, ss.Duplicates, ss.AcksSent)
@@ -145,4 +181,45 @@ func main() {
 	}
 	hs := hub.Stats()
 	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n", hs.Exchanges, hs.Invoices, hs.Failed)
+	printStageMetrics(hub)
+	hub.StopWorkers()
+}
+
+// printTrace renders one exchange's structured event stream: every routing
+// hop and step execution in emission order, with per-step timings.
+func printTrace(hub *core.Hub, exchangeID string) {
+	events := hub.Events(exchangeID)
+	if len(events) == 0 {
+		return
+	}
+	fmt.Printf("exchange %s event stream:\n", exchangeID)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindRoute:
+			fmt.Printf("   route  %s\n", e.Step)
+		case obs.KindStep:
+			status := ""
+			if e.Err != nil {
+				status = "  ERR: " + e.Err.Error()
+			}
+			fmt.Printf("   step   %-8s %-28s %8v%s\n", e.Stage, e.Step, e.Elapsed.Round(time.Microsecond), status)
+		case obs.KindExchange:
+			fmt.Printf("   %-6s %s (%v)\n", e.Step, e.ExchangeID, e.Elapsed.Round(time.Microsecond))
+		}
+	}
+}
+
+// printStageMetrics renders the per-stage latency summary derived from the
+// event stream.
+func printStageMetrics(hub *core.Hub) {
+	snaps := hub.Metrics().Snapshot()
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Println("per-stage latency (count, errors, mean, p50, p95, p99, max):")
+	for _, s := range snaps {
+		fmt.Printf("   %-9s %6d %3d  %8v %8v %8v %8v %8v\n",
+			s.Stage, s.Count, s.Errors,
+			s.Mean.Round(time.Microsecond), s.P50, s.P95, s.P99, s.Max.Round(time.Microsecond))
+	}
 }

@@ -65,7 +65,7 @@ func main() {
 	fmt.Printf("business rule applied: %v (needs approval: %v, approved: %v)\n",
 		priv.Data["ruleApplied"], priv.Data["needsApproval"], priv.Data["approved"])
 	fmt.Println("exchange trace:")
-	for _, hop := range ex.Trace {
+	for _, hop := range hub.Trace(ex.ID) {
 		fmt.Println("  ", hop)
 	}
 	fmt.Printf("SAP back end now holds %d order(s)\n", hub.Systems["SAP"].StoredOrders())

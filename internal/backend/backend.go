@@ -13,6 +13,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,30 +22,33 @@ import (
 	"repro/internal/formats"
 )
 
-// System is a simulated back-end application.
+// System is a simulated back-end application. Every mutating or extracting
+// operation takes the exchange's context: a canceled exchange must not
+// touch the back end, exactly as a canceled database transaction must not
+// commit.
 type System interface {
 	// Name identifies the system instance ("SAP", "Oracle").
 	Name() string
 	// Format is the native document format the system accepts and emits.
 	Format() formats.Format
 	// Submit stores an inbound purchase order given in the native format.
-	Submit(wire []byte) error
+	Submit(ctx context.Context, wire []byte) error
 	// Extract returns the next pending acknowledgment in the native
 	// format; ok is false when none is pending.
-	Extract() (wire []byte, ok bool, err error)
+	Extract(ctx context.Context) (wire []byte, ok bool, err error)
 	// ExtractByPO returns the pending acknowledgment for the given order,
 	// in the native format; ok is false when it is not pending. Concurrent
 	// integration flows use this so one exchange never consumes another's
 	// acknowledgment.
-	ExtractByPO(poID string) (wire []byte, ok bool, err error)
+	ExtractByPO(ctx context.Context, poID string) (wire []byte, ok bool, err error)
 	// ExtractInvoiceByPO returns the billing document the system produced
 	// for the given order, in the native format (SAP INVOIC IDoc, Oracle
 	// receivables batch); ok is false when the order was not billed (not
 	// processed yet, or fully rejected).
-	ExtractInvoiceByPO(poID string) (wire []byte, ok bool, err error)
+	ExtractInvoiceByPO(ctx context.Context, poID string) (wire []byte, ok bool, err error)
 	// Process processes all stored, unprocessed orders, queueing their
 	// acknowledgments for extraction, and reports how many it processed.
-	Process() (int, error)
+	Process(ctx context.Context) (int, error)
 	// StoredOrders reports how many orders have been stored in total.
 	StoredOrders() int
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestSAPRoundTripUnlimitedStock(t *testing.T) {
 	sys := NewSAP("SAP", nil)
 	g := doc.NewGenerator(1)
 	po := g.PO(buyer, seller)
-	ackWire, err := SubmitAndProcess(sys, sapWire(t, po))
+	ackWire, err := SubmitAndProcess(context.Background(), sys, sapWire(t, po))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestOracleRoundTrip(t *testing.T) {
 	sys := NewOracle("Oracle", nil)
 	g := doc.NewGenerator(2)
 	po := g.PO(buyer, seller)
-	ackWire, err := SubmitAndProcess(sys, oracleWire(t, po))
+	ackWire, err := SubmitAndProcess(context.Background(), sys, oracleWire(t, po))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestInventoryBackorderAndReject(t *testing.T) {
 		{Number: 3, SKU: "NONE", Quantity: 3, UnitPrice: 1},
 	}
 	sys := NewSAP("SAP", map[string]int{"FULL": 10, "PART": 4, "NONE": 0})
-	ackWire, err := SubmitAndProcess(sys, sapWire(t, po))
+	ackWire, err := SubmitAndProcess(context.Background(), sys, sapWire(t, po))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestInventoryDepletion(t *testing.T) {
 	po2 := g.POWithAmount(buyer, seller, 10)
 	po2.Lines = []doc.Line{{Number: 1, SKU: "X", Quantity: 5, UnitPrice: 2}}
 
-	ack1, err := SubmitAndProcess(sys, oracleWire(t, po1))
+	ack1, err := SubmitAndProcess(context.Background(), sys, oracleWire(t, po1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestInventoryDepletion(t *testing.T) {
 	if b1.Headers[0].AcceptanceType != "accepted" {
 		t.Fatalf("first order: %s", b1.Headers[0].AcceptanceType)
 	}
-	ack2, err := SubmitAndProcess(sys, oracleWire(t, po2))
+	ack2, err := SubmitAndProcess(context.Background(), sys, oracleWire(t, po2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,25 +172,25 @@ func TestDuplicateOrderRejected(t *testing.T) {
 	g := doc.NewGenerator(5)
 	po := g.PO(buyer, seller)
 	wire := sapWire(t, po)
-	if err := sys.Submit(wire); err != nil {
+	if err := sys.Submit(context.Background(), wire); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Submit(wire); !errors.Is(err, ErrDuplicateOrder) {
+	if err := sys.Submit(context.Background(), wire); !errors.Is(err, ErrDuplicateOrder) {
 		t.Fatalf("err %v", err)
 	}
 }
 
 func TestGarbageWireRejected(t *testing.T) {
-	if err := NewSAP("SAP", nil).Submit([]byte("garbage")); err == nil {
+	if err := NewSAP("SAP", nil).Submit(context.Background(), []byte("garbage")); err == nil {
 		t.Fatal("SAP accepted garbage")
 	}
-	if err := NewOracle("Oracle", nil).Submit([]byte("garbage")); err == nil {
+	if err := NewOracle("Oracle", nil).Submit(context.Background(), []byte("garbage")); err == nil {
 		t.Fatal("Oracle accepted garbage")
 	}
 	// Oracle wire into SAP is a format error.
 	g := doc.NewGenerator(6)
 	po := g.PO(buyer, seller)
-	if err := NewSAP("SAP", nil).Submit(oracleWire(t, po)); err == nil {
+	if err := NewSAP("SAP", nil).Submit(context.Background(), oracleWire(t, po)); err == nil {
 		t.Fatal("SAP accepted an Oracle batch")
 	}
 }
@@ -197,20 +198,20 @@ func TestGarbageWireRejected(t *testing.T) {
 func TestExtractWithoutProcess(t *testing.T) {
 	sys := NewSAP("SAP", nil)
 	g := doc.NewGenerator(7)
-	if err := sys.Submit(sapWire(t, g.PO(buyer, seller))); err != nil {
+	if err := sys.Submit(context.Background(), sapWire(t, g.PO(buyer, seller))); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := sys.Extract(); ok || err != nil {
+	if _, ok, err := sys.Extract(context.Background()); ok || err != nil {
 		t.Fatalf("unprocessed order should not be extractable: %v %v", ok, err)
 	}
-	n, err := sys.Process()
+	n, err := sys.Process(context.Background())
 	if err != nil || n != 1 {
 		t.Fatalf("process %d %v", n, err)
 	}
-	if _, ok, err := sys.Extract(); !ok || err != nil {
+	if _, ok, err := sys.Extract(context.Background()); !ok || err != nil {
 		t.Fatalf("extract after process: %v %v", ok, err)
 	}
-	if _, ok, _ := sys.Extract(); ok {
+	if _, ok, _ := sys.Extract(context.Background()); ok {
 		t.Fatal("double extract")
 	}
 }
@@ -220,17 +221,17 @@ func TestBatchProcessing(t *testing.T) {
 	g := doc.NewGenerator(8)
 	const n = 10
 	for i := 0; i < n; i++ {
-		if err := sys.Submit(sapWire(t, g.PO(buyer, seller))); err != nil {
+		if err := sys.Submit(context.Background(), sapWire(t, g.PO(buyer, seller))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := sys.Process()
+	got, err := sys.Process(context.Background())
 	if err != nil || got != n {
 		t.Fatalf("processed %d %v", got, err)
 	}
 	count := 0
 	for {
-		_, ok, err := sys.Extract()
+		_, ok, err := sys.Extract(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,10 +249,10 @@ func TestInvoiceEmission(t *testing.T) {
 	sys := NewSAP("SAP", nil)
 	g := doc.NewGenerator(9)
 	po := g.PO(buyer, seller)
-	if _, err := SubmitAndProcess(sys, sapWire(t, po)); err != nil {
+	if _, err := SubmitAndProcess(context.Background(), sys, sapWire(t, po)); err != nil {
 		t.Fatal(err)
 	}
-	wire, ok, err := sys.ExtractInvoiceByPO(po.ID)
+	wire, ok, err := sys.ExtractInvoiceByPO(context.Background(), po.ID)
 	if err != nil || !ok {
 		t.Fatalf("invoice extraction: %v %v", ok, err)
 	}
@@ -270,11 +271,11 @@ func TestInvoiceEmission(t *testing.T) {
 		t.Fatalf("invoice amount %v != order amount %v (fully accepted order)", inv.Amount(), po.Amount())
 	}
 	// Only one invoice per order.
-	if _, ok, _ := sys.ExtractInvoiceByPO(po.ID); ok {
+	if _, ok, _ := sys.ExtractInvoiceByPO(context.Background(), po.ID); ok {
 		t.Fatal("double billing")
 	}
 	// Unknown order has no invoice.
-	if _, ok, _ := sys.ExtractInvoiceByPO("PO-GHOST"); ok {
+	if _, ok, _ := sys.ExtractInvoiceByPO(context.Background(), "PO-GHOST"); ok {
 		t.Fatal("invoice for unknown order")
 	}
 }
@@ -287,10 +288,10 @@ func TestInvoiceBillsOnlyConfirmedQuantities(t *testing.T) {
 		{Number: 2, SKU: "PART", Quantity: 10, UnitPrice: 10},
 	}
 	sys := NewOracle("Oracle", map[string]int{"FULL": 5, "PART": 4})
-	if _, err := SubmitAndProcess(sys, oracleWire(t, po)); err != nil {
+	if _, err := SubmitAndProcess(context.Background(), sys, oracleWire(t, po)); err != nil {
 		t.Fatal(err)
 	}
-	wire, ok, err := sys.ExtractInvoiceByPO(po.ID)
+	wire, ok, err := sys.ExtractInvoiceByPO(context.Background(), po.ID)
 	if err != nil || !ok {
 		t.Fatalf("%v %v", ok, err)
 	}
@@ -313,10 +314,46 @@ func TestNoInvoiceForRejectedOrder(t *testing.T) {
 	po := g.POWithAmount(buyer, seller, 100)
 	po.Lines = []doc.Line{{Number: 1, SKU: "NONE", Quantity: 5, UnitPrice: 20}}
 	sys := NewSAP("SAP", map[string]int{"NONE": 0})
-	if _, err := SubmitAndProcess(sys, sapWire(t, po)); err != nil {
+	if _, err := SubmitAndProcess(context.Background(), sys, sapWire(t, po)); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := sys.ExtractInvoiceByPO(po.ID); ok {
+	if _, ok, _ := sys.ExtractInvoiceByPO(context.Background(), po.ID); ok {
 		t.Fatal("rejected order billed")
+	}
+}
+
+// TestCanceledContextRefused: every System operation refuses a canceled
+// context without touching state — the "no backend mutation after
+// cancellation" contract of the integration layer.
+func TestCanceledContextRefused(t *testing.T) {
+	g := doc.NewGenerator(12)
+	po := g.PO(buyer, seller)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sys := range []System{NewSAP("SAP", nil), NewOracle("Oracle", nil)} {
+		var wire []byte
+		if sys.Format() == formats.SAPIDoc {
+			wire = sapWire(t, po)
+		} else {
+			wire = oracleWire(t, po)
+		}
+		if err := sys.Submit(ctx, wire); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s Submit err %v", sys.Name(), err)
+		}
+		if sys.StoredOrders() != 0 {
+			t.Fatalf("%s stored an order under a canceled context", sys.Name())
+		}
+		if _, err := sys.Process(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s Process err %v", sys.Name(), err)
+		}
+		if _, _, err := sys.Extract(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s Extract err %v", sys.Name(), err)
+		}
+		if _, _, err := sys.ExtractByPO(ctx, po.ID); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s ExtractByPO err %v", sys.Name(), err)
+		}
+		if _, _, err := sys.ExtractInvoiceByPO(ctx, po.ID); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s ExtractInvoiceByPO err %v", sys.Name(), err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/doc"
@@ -29,7 +30,10 @@ func (s *SAPSystem) Name() string { return s.c.name }
 func (s *SAPSystem) Format() formats.Format { return formats.SAPIDoc }
 
 // Submit implements System: wire must be an ORDERS IDoc flat file.
-func (s *SAPSystem) Submit(wire []byte) error {
+func (s *SAPSystem) Submit(ctx context.Context, wire []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	orders, err := sapidoc.DecodeOrders(wire)
 	if err != nil {
 		return fmt.Errorf("backend %s: %w", s.c.name, err)
@@ -42,10 +46,18 @@ func (s *SAPSystem) Submit(wire []byte) error {
 }
 
 // Process implements System.
-func (s *SAPSystem) Process() (int, error) { return s.c.processAll(), nil }
+func (s *SAPSystem) Process(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return s.c.processAll(), nil
+}
 
 // Extract implements System: the wire result is an ORDRSP IDoc flat file.
-func (s *SAPSystem) Extract() ([]byte, bool, error) {
+func (s *SAPSystem) Extract(ctx context.Context) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	ack, ok := s.c.nextAck()
 	if !ok {
 		return nil, false, nil
@@ -54,7 +66,10 @@ func (s *SAPSystem) Extract() ([]byte, bool, error) {
 }
 
 // ExtractByPO implements System.
-func (s *SAPSystem) ExtractByPO(poID string) ([]byte, bool, error) {
+func (s *SAPSystem) ExtractByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	ack, ok := s.c.ackFor(poID)
 	if !ok {
 		return nil, false, nil
@@ -95,7 +110,10 @@ func (s *OracleSystem) Name() string { return s.c.name }
 func (s *OracleSystem) Format() formats.Format { return formats.OracleOIF }
 
 // Submit implements System: wire must be a PO interface batch.
-func (s *OracleSystem) Submit(wire []byte) error {
+func (s *OracleSystem) Submit(ctx context.Context, wire []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	batch, err := oracleoif.DecodePO(wire)
 	if err != nil {
 		return fmt.Errorf("backend %s: %w", s.c.name, err)
@@ -108,10 +126,18 @@ func (s *OracleSystem) Submit(wire []byte) error {
 }
 
 // Process implements System.
-func (s *OracleSystem) Process() (int, error) { return s.c.processAll(), nil }
+func (s *OracleSystem) Process(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
+	return s.c.processAll(), nil
+}
 
 // Extract implements System: the wire result is an acknowledgment batch.
-func (s *OracleSystem) Extract() ([]byte, bool, error) {
+func (s *OracleSystem) Extract(ctx context.Context) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	ack, ok := s.c.nextAck()
 	if !ok {
 		return nil, false, nil
@@ -120,7 +146,10 @@ func (s *OracleSystem) Extract() ([]byte, bool, error) {
 }
 
 // ExtractByPO implements System.
-func (s *OracleSystem) ExtractByPO(poID string) ([]byte, bool, error) {
+func (s *OracleSystem) ExtractByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	ack, ok := s.c.ackFor(poID)
 	if !ok {
 		return nil, false, nil
@@ -145,14 +174,14 @@ func (s *OracleSystem) StoredOrders() int { return s.c.storedOrders() }
 
 // SubmitAndProcess is a convenience for synchronous round trips: store the
 // order, process, and extract its acknowledgment.
-func SubmitAndProcess(s System, wire []byte) ([]byte, error) {
-	if err := s.Submit(wire); err != nil {
+func SubmitAndProcess(ctx context.Context, s System, wire []byte) ([]byte, error) {
+	if err := s.Submit(ctx, wire); err != nil {
 		return nil, err
 	}
-	if _, err := s.Process(); err != nil {
+	if _, err := s.Process(ctx); err != nil {
 		return nil, err
 	}
-	ack, ok, err := s.Extract()
+	ack, ok, err := s.Extract(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +192,10 @@ func SubmitAndProcess(s System, wire []byte) ([]byte, error) {
 }
 
 // ExtractInvoiceByPO implements System: the wire result is an INVOIC IDoc.
-func (s *SAPSystem) ExtractInvoiceByPO(poID string) ([]byte, bool, error) {
+func (s *SAPSystem) ExtractInvoiceByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	inv, ok := s.c.invoiceFor(poID)
 	if !ok {
 		return nil, false, nil
@@ -181,7 +213,10 @@ func (s *SAPSystem) ExtractInvoiceByPO(poID string) ([]byte, bool, error) {
 
 // ExtractInvoiceByPO implements System: the wire result is a receivables
 // interface batch.
-func (s *OracleSystem) ExtractInvoiceByPO(poID string) ([]byte, bool, error) {
+func (s *OracleSystem) ExtractInvoiceByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("backend %s: %w", s.c.name, err)
+	}
 	inv, ok := s.c.invoiceFor(poID)
 	if !ok {
 		return nil, false, nil

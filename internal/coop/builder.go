@@ -71,14 +71,14 @@ func BuildReceiverType(name string, pop Population) (*wf.TypeDef, error) {
 			extract := fmt.Sprintf("Extract %s POA (%s)", b.Name, p)
 			xformBack := fmt.Sprintf("Transform %s to %s POA", b.Name, p)
 			add(wf.StepDef{
-				Name: xform, Kind: wf.StepTask,
+				Name: xform, Kind: wf.StepTask, Role: wf.RoleTransform,
 				Handler: fmt.Sprintf("xform-po:%s:%s", p, b.Format),
 			})
 			add(wf.StepDef{Name: store, Kind: wf.StepTask, Handler: "store:" + b.Name})
 			add(wf.StepDef{Name: approve, Kind: wf.StepTask, Handler: "approve"})
 			add(wf.StepDef{Name: extract, Kind: wf.StepTask, Handler: "extract:" + b.Name, Join: wf.JoinAny})
 			add(wf.StepDef{
-				Name: xformBack, Kind: wf.StepTask,
+				Name: xformBack, Kind: wf.StepTask, Role: wf.RoleTransform,
 				Handler: fmt.Sprintf("xform-poa:%s:%s", b.Format, p),
 			})
 			arc(wf.Arc{From: route, To: xform, Condition: fmt.Sprintf("target == %q", b.Name)})
@@ -108,10 +108,10 @@ func BuildBuyerType(name string, protocol formats.Format) (*wf.TypeDef, error) {
 		Name: name, Version: 1,
 		Steps: []wf.StepDef{
 			{Name: "Extract PO", Kind: wf.StepTask, Handler: "buyer-extract"},
-			{Name: fmt.Sprintf("Transform PO to %s", protocol), Kind: wf.StepTask, Handler: "buyer-xform-po:" + string(protocol)},
+			{Name: fmt.Sprintf("Transform PO to %s", protocol), Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "buyer-xform-po:" + string(protocol)},
 			{Name: "Send PO", Kind: wf.StepSend, Port: outPort(protocol)},
 			{Name: "Receive POA", Kind: wf.StepReceive, Port: inPort(protocol), DataKey: "document"},
-			{Name: fmt.Sprintf("Transform POA from %s", protocol), Kind: wf.StepTask, Handler: "buyer-xform-poa:" + string(protocol)},
+			{Name: fmt.Sprintf("Transform POA from %s", protocol), Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "buyer-xform-poa:" + string(protocol)},
 			{Name: "Store POA", Kind: wf.StepTask, Handler: "buyer-store"},
 		},
 		Arcs: []wf.Arc{

@@ -148,14 +148,14 @@ func (s *ReceiverScenario) registerHandlers(h *wf.Handlers) {
 			if err != nil {
 				return err
 			}
-			return s.Systems[b.Name].Submit(wire)
+			return s.Systems[b.Name].Submit(ctx, wire)
 		})
 		h.Register("extract:"+b.Name, func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
 			sys := s.Systems[b.Name]
-			if _, err := sys.Process(); err != nil {
+			if _, err := sys.Process(ctx); err != nil {
 				return err
 			}
-			wire, ok, err := sys.Extract()
+			wire, ok, err := sys.Extract(ctx)
 			if err != nil {
 				return err
 			}

@@ -164,10 +164,10 @@ func TestFig14EndToEnd(t *testing.T) {
 	// The exchange trace covers the full chain.
 	want := []string{"public → binding", "binding → private", "private → application binding",
 		"application binding → private", "private → binding", "binding → public", "public → network"}
-	joined := strings.Join(ex2.Trace, ";")
+	joined := strings.Join(h.Trace(ex2.ID), ";")
 	for _, w := range want {
 		if !strings.Contains(joined, w) {
-			t.Fatalf("trace missing %q: %v", w, ex2.Trace)
+			t.Fatalf("trace missing %q: %v", w, h.Trace(ex2.ID))
 		}
 	}
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/doc"
 	"repro/internal/formats"
+	"repro/internal/obs"
 	"repro/internal/wf"
 )
 
@@ -78,50 +80,87 @@ func (h *Hub) processNative(ctx context.Context, protocol formats.Format, native
 		return nil, fmt.Errorf("core: partner %s is registered for %s, not %s", partner.ID, partner.Protocol, protocol)
 	}
 
-	h.mu.Lock()
-	h.exchSeq++
-	ex := &Exchange{
-		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
-		Partner:  partner,
-		Protocol: protocol,
-		Backend:  partner.Backend,
-	}
-	h.exchanges[ex.ID] = ex
-	h.mu.Unlock()
+	ex := h.newExchange(partner, obs.FlowPO)
+	start := time.Now()
+	h.emitLifecycle(ex, "started", 0, nil)
+	err = h.runPO(ctx, ex, protocol, native)
+	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
+	return ex, err
+}
 
+// runPO drives the inbound PO chain of an already-created exchange.
+func (h *Hub) runPO(ctx context.Context, ex *Exchange, protocol formats.Format, native any) error {
 	// Start the public process; it parks on its receive step.
 	pub, err := h.Engine.Start(ctx, PublicProcessName(protocol), h.exchangeData(ex))
 	if err != nil {
-		return ex, err
+		return err
 	}
 	ex.PublicID = pub.ID
-	h.trace(ex, "public process "+pub.ID+" started")
+	h.emitRoute(ex, "public process "+pub.ID+" started")
 	if err := h.Engine.Deliver(ctx, pub.ID, PortPublicIn, native); err != nil {
-		h.count(partner.ID, false, true)
-		return ex, err
+		return err
 	}
 	if err := h.pump(ctx, ex); err != nil {
-		h.count(partner.ID, false, true)
-		return ex, err
+		return err
 	}
 	h.mu.Lock()
 	done := ex.Outbound != nil
 	h.mu.Unlock()
 	if !done {
 		got, _ := h.Engine.Instance(pub.ID)
-		h.count(partner.ID, false, true)
-		return ex, fmt.Errorf("core: exchange %s produced no outbound document (public instance: %s)", ex.ID, got.Summary())
+		return fmt.Errorf("core: exchange %s produced no outbound document (public instance: %s)", ex.ID, got.Summary())
 	}
-	h.count(partner.ID, false, false)
-	return ex, nil
+	return nil
 }
 
-// trace appends a routing hop under the hub lock (exchanges of concurrent
-// inbound messages share the hub's routing queue).
-func (h *Hub) trace(ex *Exchange, hop string) {
+// newExchange allocates and registers an exchange record.
+func (h *Hub) newExchange(partner TradingPartner, flow obs.Flow) *Exchange {
 	h.mu.Lock()
-	ex.Trace = append(ex.Trace, hop)
-	h.mu.Unlock()
+	defer h.mu.Unlock()
+	h.exchSeq++
+	ex := &Exchange{
+		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
+		Partner:  partner,
+		Protocol: partner.Protocol,
+		Backend:  partner.Backend,
+		Flow:     flow,
+	}
+	h.exchanges[ex.ID] = ex
+	return ex
+}
+
+// emitRoute records one routing hop of an exchange on the event bus.
+func (h *Hub) emitRoute(ex *Exchange, hop string) {
+	h.bus.Emit(obs.Event{
+		ExchangeID: ex.ID,
+		Partner:    ex.Partner.ID,
+		Flow:       ex.Flow,
+		Kind:       obs.KindRoute,
+		Stage:      obs.StageRoute,
+		Step:       hop,
+	})
+}
+
+// emitLifecycle records an exchange lifecycle transition ("started",
+// "finished", "failed") on the event bus.
+func (h *Hub) emitLifecycle(ex *Exchange, step string, elapsed time.Duration, err error) {
+	h.bus.Emit(obs.Event{
+		ExchangeID: ex.ID,
+		Partner:    ex.Partner.ID,
+		Flow:       ex.Flow,
+		Kind:       obs.KindExchange,
+		Stage:      obs.StageExchange,
+		Step:       step,
+		Elapsed:    elapsed,
+		Err:        err,
+	})
+}
+
+func terminalStep(err error) string {
+	if err != nil {
+		return "failed"
+	}
+	return "finished"
 }
 
 // exchangeData is the instance data every process instance of an exchange
@@ -141,6 +180,9 @@ func (h *Hub) exchangeData(ex *Exchange) map[string]any {
 // port. Only the goroutine driving the exchange pumps its queue.
 func (h *Hub) pump(ctx context.Context, ex *Exchange) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: exchange %s: %w", ex.ID, err)
+		}
 		t, ok := h.dequeue(ex)
 		if !ok {
 			return nil
@@ -158,7 +200,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "public → binding")
+		h.emitRoute(ex, "public → binding")
 		return h.Engine.Deliver(ctx, id, PortBindingFromPublic, t.payload)
 
 	case PortBindingToPrivate:
@@ -166,7 +208,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "binding → private")
+		h.emitRoute(ex, "binding → private")
 		return h.Engine.Deliver(ctx, id, PortPrivateIn, t.payload)
 
 	case PortPrivateToApp:
@@ -174,26 +216,26 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "private → application binding")
+		h.emitRoute(ex, "private → application binding")
 		return h.Engine.Deliver(ctx, id, PortAppIn, t.payload)
 
 	case PortAppOut:
-		h.trace(ex, "application binding → private")
+		h.emitRoute(ex, "application binding → private")
 		return h.Engine.Deliver(ctx, ex.PrivateID, PortPrivateFromApp, t.payload)
 
 	case PortPrivateOut:
-		h.trace(ex, "private → binding")
+		h.emitRoute(ex, "private → binding")
 		return h.Engine.Deliver(ctx, ex.BindingID, PortBindingFromPrivate, t.payload)
 
 	case PortBindingToPublic:
-		h.trace(ex, "binding → public")
+		h.emitRoute(ex, "binding → public")
 		return h.Engine.Deliver(ctx, ex.PublicID, PortPublicFromBinding, t.payload)
 
 	case PortPublicOut:
 		h.mu.Lock()
-		ex.Trace = append(ex.Trace, "public → network")
 		ex.Outbound = t.payload
 		h.mu.Unlock()
+		h.emitRoute(ex, "public → network")
 		return nil
 
 	case PortInvAppOut:
@@ -201,7 +243,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "application binding → invoice private process")
+		h.emitRoute(ex, "application binding → invoice private process")
 		return h.Engine.Deliver(ctx, id, PortInvPrivIn, t.payload)
 
 	case PortInvPrivOut:
@@ -209,7 +251,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "invoice private process → binding")
+		h.emitRoute(ex, "invoice private process → binding")
 		return h.Engine.Deliver(ctx, id, PortInvBindIn, t.payload)
 
 	case PortInvBindOut:
@@ -217,14 +259,14 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		if err != nil {
 			return err
 		}
-		h.trace(ex, "invoice binding → public")
+		h.emitRoute(ex, "invoice binding → public")
 		return h.Engine.Deliver(ctx, id, PortInvPubIn, t.payload)
 
 	case PortPublicSignal:
 		h.mu.Lock()
-		ex.Trace = append(ex.Trace, "public → network (protocol signal)")
 		ex.Signals = append(ex.Signals, t.payload)
 		h.mu.Unlock()
+		h.emitRoute(ex, "public → network (protocol signal)")
 		return nil
 	}
 	return fmt.Errorf("core: unrouteable port %q", t.port)

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/doc"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/formats/oracleoif"
 	"repro/internal/formats/rosettanet"
 	"repro/internal/formats/sapidoc"
+	"repro/internal/obs"
 	"repro/internal/transform"
 	"repro/internal/wf"
 	"repro/internal/wfstore"
@@ -27,6 +30,9 @@ type Exchange struct {
 	Partner  TradingPartner
 	Protocol formats.Format
 	Backend  string
+	// Flow is the business flow the exchange belongs to (PO round trip or
+	// outbound invoice).
+	Flow obs.Flow
 
 	PublicID  string
 	BindingID string
@@ -39,8 +45,6 @@ type Exchange struct {
 	// Signals holds protocol-level acknowledgment documents (e.g. EDI 997
 	// functional acks) the public process emitted before the response.
 	Signals []any
-	// Trace records the routing hops for inspection.
-	Trace []string
 
 	// queue holds this exchange's pending routing hops. Queues are
 	// per-exchange so that a hop is only executed by the goroutine driving
@@ -74,7 +78,22 @@ type Hub struct {
 	mu        sync.Mutex
 	exchanges map[string]*Exchange
 	exchSeq   int
-	stats     HubStats
+
+	// Observability: every step execution, routing hop and exchange
+	// lifecycle transition is emitted on the bus; metrics, collector and
+	// counters are the hub's always-attached derived views.
+	bus       *obs.Bus
+	metrics   *obs.Metrics
+	collector *obs.Collector
+	counters  *obs.ExchangeCounters
+
+	// Worker pool for asynchronous submission (see submit.go).
+	poolMu     sync.Mutex
+	jobs       chan job
+	quit       chan struct{}
+	poolClosed bool
+	workerWG   sync.WaitGroup
+	senderWG   sync.WaitGroup
 
 	// appHandlersFor registers the app-binding handlers for one backend;
 	// kept so the change manager can wire backends added after startup.
@@ -82,7 +101,8 @@ type Hub struct {
 	handlerReg     *wf.Handlers
 }
 
-// HubStats counts the hub's activity since startup.
+// HubStats counts the hub's activity since startup. It is a compatibility
+// view derived from the exchange counters on the event bus.
 type HubStats struct {
 	// Exchanges counts inbound PO exchanges; Invoices counts outbound
 	// one-way invoice exchanges.
@@ -94,33 +114,57 @@ type HubStats struct {
 	PerPartner map[string]int
 }
 
-// Stats returns a snapshot of the hub's activity counters.
+// Stats returns a snapshot of the hub's activity counters, derived from the
+// exchange lifecycle events.
 func (h *Hub) Stats() HubStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	cp := h.stats
-	cp.PerPartner = make(map[string]int, len(h.stats.PerPartner))
-	for k, v := range h.stats.PerPartner {
-		cp.PerPartner[k] = v
+	s := h.counters.Snapshot()
+	st := HubStats{
+		Exchanges:  int(s.ByFlow[obs.FlowPO]),
+		Invoices:   int(s.ByFlow[obs.FlowInvoice]),
+		Failed:     int(s.Failed),
+		PerPartner: make(map[string]int, len(s.ByPartner)),
 	}
-	return cp
+	for k, v := range s.ByPartner {
+		st.PerPartner[k] = int(v)
+	}
+	return st
 }
 
-func (h *Hub) count(partnerID string, invoice bool, failed bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.stats.PerPartner == nil {
-		h.stats.PerPartner = map[string]int{}
+// Bus exposes the hub's event bus; attach sinks to observe the pipeline.
+func (h *Hub) Bus() *obs.Bus { return h.bus }
+
+// Metrics exposes the per-stage latency histograms and counters.
+func (h *Hub) Metrics() *obs.Metrics { return h.metrics }
+
+// Counters exposes the exchange lifecycle counters.
+func (h *Hub) Counters() obs.CountersSnapshot { return h.counters.Snapshot() }
+
+// Events returns the retained event history of one exchange in emission
+// order.
+func (h *Hub) Events(exchangeID string) []obs.Event { return h.collector.Events(exchangeID) }
+
+// Trace renders an exchange's routing journey as human-readable hop
+// strings — the structured replacement for the old Exchange.Trace journal.
+func (h *Hub) Trace(exchangeID string) []string { return h.collector.Trace(exchangeID) }
+
+// stageOf maps a workflow type name ("public:EDI", "binding-inv:RosettaNet",
+// "private:order-mgmt", "appbinding:SAP") to its pipeline stage.
+func stageOf(typeName string) obs.Stage {
+	prefix := typeName
+	if i := strings.Index(typeName, ":"); i >= 0 {
+		prefix = typeName[:i]
 	}
-	if invoice {
-		h.stats.Invoices++
-	} else {
-		h.stats.Exchanges++
+	switch prefix {
+	case "public", "public-inv":
+		return obs.StagePublic
+	case "binding", "binding-inv":
+		return obs.StageBinding
+	case "private":
+		return obs.StagePrivate
+	case "appbinding", "appbinding-inv":
+		return obs.StageApp
 	}
-	if failed {
-		h.stats.Failed++
-	}
-	h.stats.PerPartner[partnerID]++
+	return obs.Stage(prefix)
 }
 
 // NewCodecRegistry builds a codec registry covering every concrete format.
@@ -153,7 +197,14 @@ func NewHub(m *Model) (*Hub, error) {
 		reg:       &transform.Registry{},
 		codecs:    NewCodecRegistry(),
 		exchanges: map[string]*Exchange{},
+		bus:       obs.NewBus(),
+		metrics:   obs.NewMetrics(),
+		collector: obs.NewCollector(0),
+		counters:  obs.NewExchangeCounters(),
 	}
+	h.bus.Attach(h.metrics)
+	h.bus.Attach(h.collector)
+	h.bus.Attach(h.counters)
 	transform.RegisterAll(h.reg)
 	for _, b := range m.Backends {
 		sys, err := newSystem(b)
@@ -165,6 +216,21 @@ func NewHub(m *Model) (*Hub, error) {
 	handlers := wf.NewHandlers()
 	h.registerHandlers(handlers)
 	h.Engine = wf.NewEngine("hub", wfstore.NewMemStore(), handlers, h.portFunc)
+	// Every step execution anywhere in the chain surfaces as a step event
+	// attributed to its exchange and pipeline stage.
+	h.Engine.SetStepObserver(func(in *wf.Instance, s *wf.StepDef, elapsed time.Duration, err error) {
+		exID, _ := in.Data["exchange"].(string)
+		partner, _ := in.Data["source"].(string)
+		h.bus.Emit(obs.Event{
+			ExchangeID: exID,
+			Partner:    partner,
+			Kind:       obs.KindStep,
+			Stage:      stageOf(in.Type),
+			Step:       s.Name,
+			Elapsed:    elapsed,
+			Err:        err,
+		})
+	})
 	for _, t := range m.AllTypes() {
 		if err := h.Engine.Deploy(t); err != nil {
 			return nil, err
@@ -326,7 +392,7 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 			if !ok {
 				return fmt.Errorf("core: no system deployed for backend %q", bName)
 			}
-			return sys.Submit(wire)
+			return sys.Submit(ctx, wire)
 		})
 		register("app-extract:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 			sys, ok := h.system(bName)
@@ -337,12 +403,12 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 			if poID == "" {
 				return fmt.Errorf("core: app binding lost the order identifier")
 			}
-			if _, err := sys.Process(); err != nil {
+			if _, err := sys.Process(ctx); err != nil {
 				return err
 			}
 			// Extract this exchange's acknowledgment specifically:
 			// concurrent exchanges share the back end.
-			wire, ok2, err := sys.ExtractByPO(poID)
+			wire, ok2, err := sys.ExtractByPO(ctx, poID)
 			if err != nil {
 				return err
 			}
@@ -379,7 +445,7 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 			if poID == "" {
 				return fmt.Errorf("core: invoice extraction requires the order identifier")
 			}
-			wire, ok2, err := sys.ExtractInvoiceByPO(poID)
+			wire, ok2, err := sys.ExtractInvoiceByPO(ctx, poID)
 			if err != nil {
 				return err
 			}

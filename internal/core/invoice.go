@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/doc"
 	"repro/internal/formats"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/wf"
 )
@@ -49,7 +51,7 @@ func BuildInvoiceAppBinding(b Backend) (*wf.TypeDef, error) {
 		Name: InvoiceAppBindingName(b.Name), Version: 1,
 		Steps: []wf.StepDef{
 			{Name: fmt.Sprintf("Extract %s Invoice", b.Name), Kind: wf.StepTask, Handler: "app-inv-extract:" + b.Name},
-			{Name: "Transform to normalized Invoice", Kind: wf.StepTask, Handler: "app-inv-xform:" + b.Name},
+			{Name: "Transform to normalized Invoice", Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "app-inv-xform:" + b.Name},
 			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortInvAppOut},
 		},
 		Arcs: []wf.Arc{
@@ -95,7 +97,7 @@ func BuildInvoiceBinding(p formats.Format) (*wf.TypeDef, error) {
 		Name: InvoiceBindingName(p), Version: 1,
 		Steps: []wf.StepDef{
 			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortInvBindIn, DataKey: "document"},
-			{Name: fmt.Sprintf("Transform to %s Invoice", p), Kind: wf.StepTask, Handler: "bind-inv-xform:" + string(p)},
+			{Name: fmt.Sprintf("Transform to %s Invoice", p), Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "bind-inv-xform:" + string(p)},
 			{Name: "To public", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortInvBindOut},
 		},
 		Arcs: []wf.Arc{
@@ -219,38 +221,14 @@ func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, 
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, partnerID)
 	}
-	h.mu.Lock()
-	h.exchSeq++
-	ex := &Exchange{
-		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
-		Partner:  partner,
-		Protocol: partner.Protocol,
-		Backend:  partner.Backend,
-	}
-	h.exchanges[ex.ID] = ex
-	h.mu.Unlock()
-
-	data := h.exchangeData(ex)
-	data["poid"] = poID
-	app, err := h.Engine.Start(ctx, InvoiceAppBindingName(partner.Backend), data)
+	ex := h.newExchange(partner, obs.FlowInvoice)
+	start := time.Now()
+	h.emitLifecycle(ex, "started", 0, nil)
+	outbound, err := h.runInvoice(ctx, ex, poID)
+	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
 	if err != nil {
-		h.count(partner.ID, true, true)
 		return nil, ex, err
 	}
-	ex.AppID = app.ID
-	h.trace(ex, "invoice flow started from application binding "+app.ID)
-	if err := h.pump(ctx, ex); err != nil {
-		h.count(partner.ID, true, true)
-		return nil, ex, err
-	}
-	h.mu.Lock()
-	outbound := ex.Outbound
-	h.mu.Unlock()
-	if outbound == nil {
-		h.count(partner.ID, true, true)
-		return nil, ex, fmt.Errorf("core: invoice exchange %s produced no outbound document", ex.ID)
-	}
-	h.count(partner.ID, true, false)
 	codec, err := h.codecs.Lookup(partner.Protocol, doc.TypeINV)
 	if err != nil {
 		return nil, ex, err
@@ -260,4 +238,27 @@ func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, 
 		return nil, ex, err
 	}
 	return wire, ex, nil
+}
+
+// runInvoice drives the outbound invoice chain of an already-created
+// exchange and returns the protocol-native outbound document.
+func (h *Hub) runInvoice(ctx context.Context, ex *Exchange, poID string) (any, error) {
+	data := h.exchangeData(ex)
+	data["poid"] = poID
+	app, err := h.Engine.Start(ctx, InvoiceAppBindingName(ex.Backend), data)
+	if err != nil {
+		return nil, err
+	}
+	ex.AppID = app.ID
+	h.emitRoute(ex, "invoice flow started from application binding "+app.ID)
+	if err := h.pump(ctx, ex); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	outbound := ex.Outbound
+	h.mu.Unlock()
+	if outbound == nil {
+		return nil, fmt.Errorf("core: invoice exchange %s produced no outbound document", ex.ID)
+	}
+	return outbound, nil
 }

@@ -98,7 +98,7 @@ func TestInvoiceFlowEndToEnd(t *testing.T) {
 	if priv.Data["reviewNeeded"] != true || priv.Data["reviewed"] != true {
 		t.Fatalf("review not run: %v", priv.Data)
 	}
-	joined := strings.Join(ex.Trace, ";")
+	joined := strings.Join(h.Trace(ex.ID), ";")
 	for _, want := range []string{
 		"application binding → invoice private process",
 		"invoice private process → binding",
@@ -106,7 +106,7 @@ func TestInvoiceFlowEndToEnd(t *testing.T) {
 		"public → network",
 	} {
 		if !strings.Contains(joined, want) {
-			t.Fatalf("trace missing %q: %v", want, ex.Trace)
+			t.Fatalf("trace missing %q: %v", want, h.Trace(ex.ID))
 		}
 	}
 	// A second invoice for the same order is not available.

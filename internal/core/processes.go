@@ -167,10 +167,10 @@ func BuildBinding(p formats.Format) (*wf.TypeDef, error) {
 		Name: BindingName(p), Version: 1,
 		Steps: []wf.StepDef{
 			{Name: "From public", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortBindingFromPublic, DataKey: "document"},
-			{Name: "Transform to normalized PO", Kind: wf.StepTask, Handler: "bind-xform-in:" + string(p)},
+			{Name: "Transform to normalized PO", Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "bind-xform-in:" + string(p)},
 			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortBindingToPrivate},
 			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortBindingFromPrivate, DataKey: "document"},
-			{Name: fmt.Sprintf("Transform to %s POA", p), Kind: wf.StepTask, Handler: "bind-xform-out:" + string(p)},
+			{Name: fmt.Sprintf("Transform to %s POA", p), Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "bind-xform-out:" + string(p)},
 			{Name: "To public", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortBindingToPublic},
 		},
 		Arcs: []wf.Arc{
@@ -251,10 +251,10 @@ func BuildAppBinding(b Backend) (*wf.TypeDef, error) {
 		Name: AppBindingName(b.Name), Version: 1,
 		Steps: []wf.StepDef{
 			{Name: "From private", Kind: wf.StepConnection, Dir: wf.DirIn, Port: PortAppIn, DataKey: "document"},
-			{Name: fmt.Sprintf("Transform to %s PO", b.Name), Kind: wf.StepTask, Handler: "app-xform-in:" + b.Name},
+			{Name: fmt.Sprintf("Transform to %s PO", b.Name), Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "app-xform-in:" + b.Name},
 			{Name: fmt.Sprintf("Store %s PO", b.Name), Kind: wf.StepTask, Handler: "app-store:" + b.Name},
 			{Name: fmt.Sprintf("Extract %s POA", b.Name), Kind: wf.StepTask, Handler: "app-extract:" + b.Name},
-			{Name: "Transform to normalized POA", Kind: wf.StepTask, Handler: "app-xform-out:" + b.Name},
+			{Name: "Transform to normalized POA", Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "app-xform-out:" + b.Name},
 			{Name: "To private", Kind: wf.StepConnection, Dir: wf.DirOut, Port: PortAppOut},
 		},
 		Arcs: []wf.Arc{

@@ -47,20 +47,25 @@ func (s *Server) ServeOne(ctx context.Context) (*Exchange, error) {
 	if err != nil {
 		return ex, err
 	}
-	// Protocol-level signals (e.g. 997 functional acknowledgments) go out
-	// first, as they did in the exchange.
+	return ex, s.respond(ctx, m, ex, out)
+}
+
+// respond sends an exchange's outcome back to the requester: first any
+// protocol-level signals (e.g. 997 functional acknowledgments), in the
+// order the exchange emitted them, then the POA reply itself.
+func (s *Server) respond(ctx context.Context, m *msg.Message, ex *Exchange, out []byte) error {
 	for _, sig := range ex.Signals {
 		dt, ok := nativeDocType(sig)
 		if !ok {
-			return ex, fmt.Errorf("core: cannot determine document type of signal %T", sig)
+			return fmt.Errorf("core: cannot determine document type of signal %T", sig)
 		}
 		codec, err := s.Hub.codecs.Lookup(formats.Format(m.Protocol), dt)
 		if err != nil {
-			return ex, err
+			return err
 		}
 		wire, err := codec.Encode(sig)
 		if err != nil {
-			return ex, err
+			return err
 		}
 		if err := s.rel.Send(ctx, m.From, &msg.Message{
 			CorrelationID: m.CorrelationID,
@@ -68,19 +73,15 @@ func (s *Server) ServeOne(ctx context.Context) (*Exchange, error) {
 			DocType:       string(dt),
 			Body:          wire,
 		}); err != nil {
-			return ex, err
+			return err
 		}
 	}
-	reply := &msg.Message{
+	return s.rel.Send(ctx, m.From, &msg.Message{
 		CorrelationID: m.CorrelationID,
 		Protocol:      m.Protocol,
 		DocType:       string(doc.TypePOA),
 		Body:          out,
-	}
-	if err := s.rel.Send(ctx, m.From, reply); err != nil {
-		return ex, err
-	}
-	return ex, nil
+	})
 }
 
 // PushInvoice runs the outbound invoice flow for a fulfilled order and
@@ -126,6 +127,64 @@ func (s *Server) Serve(ctx context.Context, errs chan<- error) {
 			default:
 			}
 		}
+	}
+}
+
+// ServeConcurrent processes inbound purchase orders with up to `workers`
+// exchanges in flight at once: the receive loop submits each inbound order
+// to the hub's worker pool and a reply goroutine per exchange sends the
+// response as soon as its future resolves — replies are not serialized
+// behind slower exchanges. It returns when the context is done or the
+// endpoint closes, after in-flight replies finish. Per-exchange errors are
+// sent to errs if non-nil and do not stop the loop.
+func (s *Server) ServeConcurrent(ctx context.Context, workers int, errs chan<- error) {
+	if workers < 1 {
+		workers = 1
+	}
+	s.Hub.StartWorkers(workers)
+	report := func(err error) {
+		if errs != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		m, err := s.rel.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, msg.ErrClosed) {
+				return
+			}
+			report(err)
+			continue
+		}
+		if m.DocType != string(doc.TypePO) {
+			report(fmt.Errorf("core: server expected a purchase order, got %q", m.DocType))
+			continue
+		}
+		fut, err := s.Hub.SubmitWire(ctx, formats.Format(m.Protocol), m.Body)
+		if err != nil {
+			report(err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(m *msg.Message, fut *Future) {
+			defer wg.Done()
+			res := fut.Result(ctx)
+			if res.Err != nil {
+				report(res.Err)
+				return
+			}
+			if err := s.respond(ctx, m, res.Exchange, res.Wire); err != nil {
+				report(err)
+			}
+		}(m, fut)
 	}
 }
 

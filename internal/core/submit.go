@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// The concurrent submission API: exchanges are enqueued onto a bounded
+// worker pool and resolve through futures. The pool gives the hub a fixed
+// degree of pipeline parallelism (exchanges overlap while each one's own
+// chain stays strictly sequential) and the bounded queue gives natural
+// backpressure: submitters block once workers fall behind.
+
+// ErrHubStopped is returned for submissions against a stopped worker pool,
+// and resolves futures whose jobs were still queued when the pool stopped.
+var ErrHubStopped = errors.New("core: hub worker pool stopped")
+
+// DefaultWorkers is the pool size when Submit is called without an explicit
+// StartWorkers.
+const DefaultWorkers = 4
+
+// Result is the outcome of an asynchronously submitted exchange.
+type Result struct {
+	// POA is the normalized acknowledgment (Submit).
+	POA *doc.PurchaseOrderAck
+	// Wire is the outbound wire document (SubmitWire, SubmitInvoice).
+	Wire []byte
+	// Exchange is the exchange record; it may be non-nil even on error.
+	Exchange *Exchange
+	// Err is the pipeline error, if any.
+	Err error
+}
+
+// Future resolves to the Result of a submitted exchange.
+type Future struct {
+	done chan struct{}
+	res  Result
+}
+
+// Done returns a channel that is closed when the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the exchange completes or ctx is done. A context
+// error only abandons the wait; the exchange itself keeps running under the
+// context it was submitted with.
+func (f *Future) Result(ctx context.Context) Result {
+	select {
+	case <-f.done:
+		return f.res
+	case <-ctx.Done():
+		return Result{Err: ctx.Err()}
+	}
+}
+
+// job is one queued submission.
+type job struct {
+	ctx context.Context
+	run func(ctx context.Context) Result
+	fut *Future
+}
+
+// StartWorkers starts the submission pool with n workers (minimum 1). It is
+// a no-op when the pool is already running; to resize, StopWorkers first.
+func (h *Hub) StartWorkers(n int) {
+	h.poolMu.Lock()
+	defer h.poolMu.Unlock()
+	h.startWorkersLocked(n)
+}
+
+func (h *Hub) startWorkersLocked(n int) {
+	if h.jobs != nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	h.poolClosed = false
+	// The queue bounds admission at a few jobs per worker: enough to keep
+	// workers busy, small enough that submitters feel backpressure.
+	h.jobs = make(chan job, 4*n)
+	h.quit = make(chan struct{})
+	for i := 0; i < n; i++ {
+		h.workerWG.Add(1)
+		go h.worker(h.jobs, h.quit)
+	}
+}
+
+func (h *Hub) worker(jobs chan job, quit chan struct{}) {
+	defer h.workerWG.Done()
+	for {
+		select {
+		case j := <-jobs:
+			h.runJob(j)
+		case <-quit:
+			// Drain jobs that were admitted before the stop.
+			for {
+				select {
+				case j := <-jobs:
+					h.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (h *Hub) runJob(j job) {
+	j.fut.res = j.run(j.ctx)
+	close(j.fut.done)
+}
+
+// StopWorkers stops the pool and waits for in-flight exchanges to finish.
+// Jobs still queued when the pool stops resolve with ErrHubStopped. The
+// pool can be restarted with StartWorkers.
+func (h *Hub) StopWorkers() {
+	h.poolMu.Lock()
+	if h.jobs == nil || h.poolClosed {
+		h.poolMu.Unlock()
+		return
+	}
+	h.poolClosed = true
+	jobs := h.jobs
+	quit := h.quit
+	h.poolMu.Unlock()
+
+	close(quit)
+	// After senderWG drains no submission can still be placing a job (new
+	// ones are rejected via poolClosed), so the final drain below sees
+	// everything.
+	h.senderWG.Wait()
+	h.workerWG.Wait()
+	for {
+		select {
+		case j := <-jobs:
+			j.fut.res = Result{Err: ErrHubStopped}
+			close(j.fut.done)
+		default:
+			h.poolMu.Lock()
+			h.jobs, h.quit = nil, nil
+			h.poolMu.Unlock()
+			return
+		}
+	}
+}
+
+// submit admits one job to the pool, lazily starting DefaultWorkers when
+// no pool is running. It blocks when the queue is full (backpressure) and
+// aborts on ctx cancellation or pool shutdown.
+func (h *Hub) submit(ctx context.Context, run func(context.Context) Result) (*Future, error) {
+	h.poolMu.Lock()
+	if h.poolClosed {
+		h.poolMu.Unlock()
+		return nil, ErrHubStopped
+	}
+	if h.jobs == nil {
+		h.startWorkersLocked(DefaultWorkers)
+	}
+	jobs := h.jobs
+	quit := h.quit
+	h.senderWG.Add(1)
+	h.poolMu.Unlock()
+	defer h.senderWG.Done()
+
+	fut := &Future{done: make(chan struct{})}
+	select {
+	case jobs <- job{ctx: ctx, run: run, fut: fut}:
+		return fut, nil
+	case <-quit:
+		return nil, ErrHubStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Submit enqueues a normalized purchase order for a full round trip through
+// the exchange pipeline and returns a future for its acknowledgment.
+// Cancelling ctx aborts the exchange between steps; the backend is never
+// touched after cancellation.
+func (h *Hub) Submit(ctx context.Context, po *doc.PurchaseOrder) (*Future, error) {
+	return h.submit(ctx, func(ctx context.Context) Result {
+		poa, ex, err := h.RoundTrip(ctx, po)
+		return Result{POA: poa, Exchange: ex, Err: err}
+	})
+}
+
+// SubmitWire enqueues an inbound protocol-native purchase order and returns
+// a future for the outbound POA wire bytes.
+func (h *Hub) SubmitWire(ctx context.Context, protocol formats.Format, wire []byte) (*Future, error) {
+	return h.submit(ctx, func(ctx context.Context) Result {
+		out, ex, err := h.ProcessInboundPO(ctx, protocol, wire)
+		return Result{Wire: out, Exchange: ex, Err: err}
+	})
+}
+
+// SubmitInvoice enqueues the outbound invoice flow for a fulfilled order
+// and returns a future for the protocol-native invoice wire bytes.
+func (h *Hub) SubmitInvoice(ctx context.Context, partnerID, poID string) (*Future, error) {
+	return h.submit(ctx, func(ctx context.Context) Result {
+		wire, ex, err := h.SendInvoice(ctx, partnerID, poID)
+		return Result{Wire: wire, Exchange: ex, Err: err}
+	})
+}

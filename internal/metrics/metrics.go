@@ -22,8 +22,9 @@ type ModelStats struct {
 	// Steps and Arcs count across all types.
 	Steps int
 	Arcs  int
-	// TransformSteps counts steps whose name marks them as transformations
-	// (the paper's per-combination "Transform X to Y" steps).
+	// TransformSteps counts steps declared with wf.RoleTransform — the
+	// paper's per-combination "Transform X to Y" steps, identified by their
+	// semantic role annotation rather than by name matching.
 	TransformSteps int
 	// MessageSteps counts send/receive/connection steps.
 	MessageSteps int
@@ -41,7 +42,7 @@ func StatsOf(defs []*wf.TypeDef) ModelStats {
 		s.Steps += len(d.Steps)
 		s.Arcs += len(d.Arcs)
 		for _, st := range d.Steps {
-			if strings.HasPrefix(st.Name, "Transform") || strings.Contains(st.Name, "transform") {
+			if st.Role == wf.RoleTransform {
 				s.TransformSteps++
 			}
 			switch st.Kind {

@@ -12,7 +12,7 @@ func simpleType(name, cond string) *wf.TypeDef {
 		Name: name, Version: 1,
 		Steps: []wf.StepDef{
 			{Name: "Receive PO", Kind: wf.StepReceive, Port: "in"},
-			{Name: "Transform PO", Kind: wf.StepTask, Handler: "x"},
+			{Name: "Transform PO", Kind: wf.StepTask, Role: wf.RoleTransform, Handler: "x"},
 			{Name: "Approve", Kind: wf.StepTask, Handler: "a"},
 			{Name: "Send POA", Kind: wf.StepSend, Port: "out"},
 		},

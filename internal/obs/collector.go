@@ -1,0 +1,140 @@
+package obs
+
+import "sync"
+
+// Collector is a Sink that retains the full event history of the most
+// recent exchanges, bounded by exchange count with FIFO eviction — the
+// structured replacement for the old per-exchange Trace journal. It is
+// safe for concurrent use.
+type Collector struct {
+	mu   sync.Mutex
+	max  int
+	byEx map[string][]Event
+	// order is the FIFO of exchange IDs for eviction.
+	order []string
+}
+
+// DefaultCollectorSize bounds the collector a hub attaches by default.
+const DefaultCollectorSize = 1024
+
+// NewCollector returns a collector retaining at most maxExchanges
+// exchanges (DefaultCollectorSize if maxExchanges <= 0).
+func NewCollector(maxExchanges int) *Collector {
+	if maxExchanges <= 0 {
+		maxExchanges = DefaultCollectorSize
+	}
+	return &Collector{max: maxExchanges, byEx: map[string][]Event{}}
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) {
+	if e.ExchangeID == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, known := c.byEx[e.ExchangeID]; !known {
+		if len(c.order) >= c.max {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.byEx, evict)
+		}
+		c.order = append(c.order, e.ExchangeID)
+	}
+	c.byEx[e.ExchangeID] = append(c.byEx[e.ExchangeID], e)
+}
+
+// Events returns a copy of the retained events of one exchange, in
+// emission order (nil when the exchange is unknown or evicted).
+func (c *Collector) Events(exchangeID string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evs := c.byEx[exchangeID]
+	if evs == nil {
+		return nil
+	}
+	return append([]Event(nil), evs...)
+}
+
+// Trace renders an exchange's routing journey as hop strings — the
+// compatibility view over the event stream that replaces Exchange.Trace.
+func (c *Collector) Trace(exchangeID string) []string {
+	var hops []string
+	for _, e := range c.Events(exchangeID) {
+		if e.Kind == KindRoute {
+			hops = append(hops, e.Step)
+		}
+	}
+	return hops
+}
+
+// Exchanges reports how many exchanges are currently retained.
+func (c *Collector) Exchanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// ExchangeCounters is a Sink that derives activity counters from the
+// exchange lifecycle events — the replacement for hand-rolled hub
+// counters. It is safe for concurrent use.
+type ExchangeCounters struct {
+	mu        sync.Mutex
+	started   int64
+	failed    int64
+	byFlow    map[Flow]int64
+	byPartner map[string]int64
+}
+
+// NewExchangeCounters returns an empty counters sink.
+func NewExchangeCounters() *ExchangeCounters {
+	return &ExchangeCounters{byFlow: map[Flow]int64{}, byPartner: map[string]int64{}}
+}
+
+// Emit implements Sink: only KindExchange events are counted. Terminal
+// events (finished or failed) count toward the flow and partner totals;
+// failures additionally increment the failure counter.
+func (c *ExchangeCounters) Emit(e Event) {
+	if e.Kind != KindExchange {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Step == "started" {
+		c.started++
+		return
+	}
+	c.byFlow[e.Flow]++
+	c.byPartner[e.Partner]++
+	if e.Err != nil {
+		c.failed++
+	}
+}
+
+// CountersSnapshot is the exported view of the exchange counters.
+type CountersSnapshot struct {
+	Started int64
+	Failed  int64
+	ByFlow  map[Flow]int64
+	// ByPartner counts terminal exchanges per trading partner.
+	ByPartner map[string]int64
+}
+
+// Snapshot returns a deep copy of the counters.
+func (c *ExchangeCounters) Snapshot() CountersSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CountersSnapshot{
+		Started:   c.started,
+		Failed:    c.failed,
+		ByFlow:    make(map[Flow]int64, len(c.byFlow)),
+		ByPartner: make(map[string]int64, len(c.byPartner)),
+	}
+	for k, v := range c.byFlow {
+		s.ByFlow[k] = v
+	}
+	for k, v := range c.byPartner {
+		s.ByPartner[k] = v
+	}
+	return s
+}

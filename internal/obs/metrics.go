@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// bucketCount and bucketFloor define the exponential latency histogram:
+// bucket i covers [bucketFloor·2^i, bucketFloor·2^(i+1)), starting at 1µs.
+// 28 doubling buckets reach ~2.2 minutes, far beyond any exchange latency.
+const (
+	bucketCount = 28
+	bucketFloor = time.Microsecond
+)
+
+// bucketIndex maps a duration to its histogram bucket.
+func bucketIndex(d time.Duration) int {
+	i := 0
+	for b := bucketFloor; d >= b*2 && i < bucketCount-1; b *= 2 {
+		i++
+	}
+	return i
+}
+
+// bucketUpper is the exclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return bucketFloor << uint(i+1)
+}
+
+// stageMetrics accumulates one stage's counters and latency histogram.
+type stageMetrics struct {
+	count   int64
+	errs    int64
+	total   time.Duration
+	max     time.Duration
+	buckets [bucketCount]int64
+}
+
+// Metrics is a Sink that maintains per-stage event counters and latency
+// histograms. It is safe for concurrent use.
+type Metrics struct {
+	mu     sync.Mutex
+	stages map[Stage]*stageMetrics
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{stages: map[Stage]*stageMetrics{}}
+}
+
+// Emit implements Sink: KindStep and terminal KindExchange events feed the
+// histogram of their stage; routing hops are counted without latency.
+func (m *Metrics) Emit(e Event) {
+	if e.Kind == KindExchange && e.Step == "started" {
+		return // only terminal exchange events carry a latency
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stages[e.Stage]
+	if s == nil {
+		s = &stageMetrics{}
+		m.stages[e.Stage] = s
+	}
+	s.count++
+	if e.Err != nil {
+		s.errs++
+	}
+	s.total += e.Elapsed
+	if e.Elapsed > s.max {
+		s.max = e.Elapsed
+	}
+	s.buckets[bucketIndex(e.Elapsed)]++
+}
+
+// StageSnapshot is the exported view of one stage's metrics.
+type StageSnapshot struct {
+	Stage  Stage
+	Count  int64
+	Errors int64
+	Total  time.Duration
+	Mean   time.Duration
+	Max    time.Duration
+	// P50/P95/P99 are histogram-resolution latency quantiles (upper bound
+	// of the bucket the quantile falls into).
+	P50, P95, P99 time.Duration
+}
+
+// Snapshot returns the per-stage metrics, sorted by stage name.
+func (m *Metrics) Snapshot() []StageSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StageSnapshot, 0, len(m.stages))
+	for stage, s := range m.stages {
+		snap := StageSnapshot{
+			Stage:  stage,
+			Count:  s.count,
+			Errors: s.errs,
+			Total:  s.total,
+			Max:    s.max,
+		}
+		if s.count > 0 {
+			snap.Mean = s.total / time.Duration(s.count)
+		}
+		snap.P50 = quantile(&s.buckets, s.count, 0.50)
+		snap.P95 = quantile(&s.buckets, s.count, 0.95)
+		snap.P99 = quantile(&s.buckets, s.count, 0.99)
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// StageOf returns the snapshot of one stage (zero value if unseen).
+func (m *Metrics) StageOf(stage Stage) StageSnapshot {
+	for _, s := range m.Snapshot() {
+		if s.Stage == stage {
+			return s
+		}
+	}
+	return StageSnapshot{Stage: stage}
+}
+
+// quantile finds the bucket upper bound under which the q-fraction of
+// observations falls.
+func quantile(buckets *[bucketCount]int64, count int64, q float64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	target := int64(float64(count)*q) + 1
+	if target > count {
+		target = count
+	}
+	var cum int64
+	for i := 0; i < bucketCount; i++ {
+		cum += buckets[i]
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(bucketCount - 1)
+}

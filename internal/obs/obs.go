@@ -1,0 +1,132 @@
+// Package obs is the runtime observability substrate of the hub: every hop
+// of an exchange — step executions inside the workflow engine, routing
+// between the chain's process instances, exchange start and completion —
+// is emitted as a typed Event on a Bus that fans out to pluggable Sinks.
+//
+// The package replaces two ad-hoc mechanisms that grew with the seed:
+// the per-exchange Trace []string journal and the hand-rolled mutex
+// counters of HubStats. Both are now derived views over the event stream
+// (see Collector and ExchangeCounters); latency histograms per pipeline
+// stage come for free (see Metrics).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies where in the integration pipeline an event originated.
+// The stages mirror the paper's chain: public process → binding → private
+// process → application binding, plus the hub's routing fabric and the
+// exchange envelope itself.
+type Stage string
+
+// Pipeline stages.
+const (
+	StageExchange Stage = "exchange" // whole-exchange envelope events
+	StagePublic   Stage = "public"   // public process steps
+	StageBinding  Stage = "binding"  // protocol binding steps
+	StagePrivate  Stage = "private"  // private process steps
+	StageApp      Stage = "app"      // application binding steps
+	StageRoute    Stage = "route"    // hub routing hops between instances
+)
+
+// Kind classifies events.
+type Kind string
+
+// Event kinds.
+const (
+	// KindStep is one workflow step execution (task run, send, document
+	// delivery wait parked, …). Step carries the step name.
+	KindStep Kind = "step"
+	// KindRoute is one routing hop between process instances. Step carries
+	// the human-readable hop description ("public → binding").
+	KindRoute Kind = "route"
+	// KindExchange marks exchange lifecycle: Step is "started", "finished"
+	// or "failed"; Elapsed on the terminal events is the end-to-end latency.
+	KindExchange Kind = "exchange"
+)
+
+// Flow distinguishes the business flow an exchange belongs to.
+type Flow string
+
+// Exchange flows.
+const (
+	FlowPO      Flow = "po"      // inbound purchase-order round trip
+	FlowInvoice Flow = "invoice" // outbound one-way invoice
+)
+
+// Event is one structured observation from the exchange pipeline.
+type Event struct {
+	// Seq is a bus-global monotonically increasing sequence number; events
+	// of one exchange are emitted by the goroutine driving it, so sorting
+	// by Seq reconstructs its journey.
+	Seq uint64
+	// Time is the emission time.
+	Time time.Time
+	// ExchangeID names the exchange the event belongs to.
+	ExchangeID string
+	// Partner is the trading partner of the exchange.
+	Partner string
+	// Flow is the business flow (PO round trip or invoice), set on
+	// KindExchange events.
+	Flow Flow
+	// Kind classifies the event; Stage locates it in the pipeline.
+	Kind  Kind
+	Stage Stage
+	// Step is the step name (KindStep), hop description (KindRoute) or
+	// lifecycle marker (KindExchange).
+	Step string
+	// Elapsed is the duration of the observed unit of work.
+	Elapsed time.Duration
+	// Err is non-nil when the unit of work failed.
+	Err error
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use;
+// Emit is called synchronously on the exchange's goroutine and must not
+// block.
+type Sink interface {
+	Emit(Event)
+}
+
+// Bus stamps events with sequence numbers and fans them out to the
+// attached sinks. The zero value is not usable; use NewBus.
+type Bus struct {
+	seq atomic.Uint64
+
+	mu    sync.RWMutex
+	sinks []Sink
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds a sink. Sinks attached while events are flowing only see
+// events emitted after attachment.
+func (b *Bus) Attach(s Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, s)
+}
+
+// Emit stamps the event (Seq, Time) and delivers it to every sink.
+func (b *Bus) Emit(e Event) {
+	e.Seq = b.seq.Add(1)
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.RLock()
+	sinks := b.sinks
+	b.mu.RUnlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// Emit implements Sink.
+func (f FuncSink) Emit(e Event) { f(e) }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusStampsAndFansOut(t *testing.T) {
+	b := NewBus()
+	var got []Event
+	b.Attach(FuncSink(func(e Event) { got = append(got, e) }))
+	var got2 int
+	b.Attach(FuncSink(func(Event) { got2++ }))
+
+	b.Emit(Event{ExchangeID: "ex-1", Kind: KindRoute, Stage: StageRoute, Step: "public → binding"})
+	b.Emit(Event{ExchangeID: "ex-1", Kind: KindStep, Stage: StagePublic, Step: "Send POA"})
+
+	if len(got) != 2 || got2 != 2 {
+		t.Fatalf("fan-out %d/%d", len(got), got2)
+	}
+	if got[0].Seq == 0 || got[1].Seq <= got[0].Seq {
+		t.Fatalf("sequence not monotonic: %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Time.IsZero() {
+		t.Fatal("time not stamped")
+	}
+}
+
+func TestBusConcurrentEmit(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	b.Attach(FuncSink(func(e Event) {
+		mu.Lock()
+		seen[e.Seq] = true
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	const n, per = 8, 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				b.Emit(Event{ExchangeID: "x", Kind: KindStep})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n*per {
+		t.Fatalf("lost sequence numbers: %d of %d", len(seen), n*per)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 99; i++ {
+		m.Emit(Event{Kind: KindStep, Stage: StagePrivate, Elapsed: 10 * time.Microsecond})
+	}
+	m.Emit(Event{Kind: KindStep, Stage: StagePrivate, Elapsed: 5 * time.Millisecond, Err: errors.New("boom")})
+
+	s := m.StageOf(StagePrivate)
+	if s.Count != 100 || s.Errors != 1 {
+		t.Fatalf("count %d errors %d", s.Count, s.Errors)
+	}
+	if s.Max != 5*time.Millisecond {
+		t.Fatalf("max %v", s.Max)
+	}
+	if s.P50 > 100*time.Microsecond {
+		t.Fatalf("p50 %v should sit in the 10µs region", s.P50)
+	}
+	if s.P99 < 4*time.Millisecond {
+		t.Fatalf("p99 %v should cover the 5ms outlier", s.P99)
+	}
+	if s.Mean <= 0 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestMetricsIgnoresExchangeStart(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Kind: KindExchange, Stage: StageExchange, Step: "started"})
+	m.Emit(Event{Kind: KindExchange, Stage: StageExchange, Step: "finished", Elapsed: time.Millisecond})
+	if s := m.StageOf(StageExchange); s.Count != 1 {
+		t.Fatalf("count %d, want only the terminal event", s.Count)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	last := -1
+	for _, d := range []time.Duration{0, time.Microsecond, 5 * time.Microsecond,
+		time.Millisecond, 100 * time.Millisecond, time.Minute, time.Hour} {
+		i := bucketIndex(d)
+		if i < last || i >= bucketCount {
+			t.Fatalf("bucketIndex(%v) = %d after %d", d, i, last)
+		}
+		last = i
+	}
+}
+
+func TestCollectorTraceAndEviction(t *testing.T) {
+	c := NewCollector(2)
+	emit := func(ex, hop string) {
+		c.Emit(Event{ExchangeID: ex, Kind: KindRoute, Stage: StageRoute, Step: hop})
+	}
+	emit("ex-1", "public → binding")
+	emit("ex-1", "binding → private")
+	c.Emit(Event{ExchangeID: "ex-1", Kind: KindStep, Stage: StagePublic, Step: "Send"})
+	emit("ex-2", "public → binding")
+
+	trace := c.Trace("ex-1")
+	if len(trace) != 2 || trace[0] != "public → binding" || trace[1] != "binding → private" {
+		t.Fatalf("trace %v", trace)
+	}
+	if len(c.Events("ex-1")) != 3 {
+		t.Fatalf("events %v", c.Events("ex-1"))
+	}
+	// Third exchange evicts the first.
+	emit("ex-3", "hop")
+	if c.Events("ex-1") != nil {
+		t.Fatal("ex-1 not evicted")
+	}
+	if c.Exchanges() != 2 {
+		t.Fatalf("retained %d", c.Exchanges())
+	}
+	if len(c.Events("ex-2")) != 1 || len(c.Events("ex-3")) != 1 {
+		t.Fatal("survivors lost events")
+	}
+	// Events returns a copy.
+	evs := c.Events("ex-2")
+	evs[0].Step = "mutated"
+	if c.Events("ex-2")[0].Step == "mutated" {
+		t.Fatal("Events returned shared storage")
+	}
+}
+
+func TestExchangeCounters(t *testing.T) {
+	c := NewExchangeCounters()
+	c.Emit(Event{Kind: KindExchange, Step: "started", Partner: "TP1", Flow: FlowPO})
+	c.Emit(Event{Kind: KindExchange, Step: "finished", Partner: "TP1", Flow: FlowPO})
+	c.Emit(Event{Kind: KindExchange, Step: "started", Partner: "TP1", Flow: FlowInvoice})
+	c.Emit(Event{Kind: KindExchange, Step: "failed", Partner: "TP1", Flow: FlowInvoice, Err: errors.New("x")})
+	// Non-exchange events are ignored.
+	c.Emit(Event{Kind: KindStep, Partner: "TP1"})
+
+	s := c.Snapshot()
+	if s.Started != 2 || s.Failed != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.ByFlow[FlowPO] != 1 || s.ByFlow[FlowInvoice] != 1 {
+		t.Fatalf("%+v", s.ByFlow)
+	}
+	if s.ByPartner["TP1"] != 2 {
+		t.Fatalf("%+v", s.ByPartner)
+	}
+	// Snapshot is a copy.
+	s.ByPartner["TP1"] = 99
+	if c.Snapshot().ByPartner["TP1"] == 99 {
+		t.Fatal("snapshot shares maps")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewExchangeCounters()
+	b := NewBus()
+	b.Attach(c)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := fmt.Sprintf("TP%d", i)
+			for j := 0; j < 50; j++ {
+				b.Emit(Event{Kind: KindExchange, Step: "started", Partner: p, Flow: FlowPO})
+				b.Emit(Event{Kind: KindExchange, Step: "finished", Partner: p, Flow: FlowPO})
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Started != 200 || s.ByFlow[FlowPO] != 200 || s.Failed != 0 {
+		t.Fatalf("%+v", s)
+	}
+}

@@ -73,12 +73,25 @@ const (
 	DirIn  Direction = "in"  // binding → instance
 )
 
+// Step roles: semantic step classifications orthogonal to Kind. A role is
+// declared by the model builder; analysis tools (package metrics) rely on
+// it instead of guessing from step names.
+const (
+	// RoleTransform marks a step whose handler performs a document format
+	// transformation — the paper's per-combination "Transform X to Y" work
+	// the advanced architecture confines to bindings.
+	RoleTransform = "transform"
+)
+
 // StepDef defines one step of a workflow type.
 type StepDef struct {
 	// Name is unique within the type.
 	Name string
 	// Kind selects the behavior.
 	Kind StepKind
+	// Role optionally classifies the step semantically (e.g. RoleTransform);
+	// the engine ignores it, analysis tooling keys off it.
+	Role string
 	// Handler names the registered handler for task steps.
 	Handler string
 	// Subworkflow names the child workflow type for subworkflow steps.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/expr"
 )
@@ -76,10 +77,22 @@ type Engine struct {
 	store    Store
 	handlers *Handlers
 	ports    PortFunc
+	observer StepObserver
 
 	mu      sync.Mutex
 	counter int
 }
+
+// StepObserver is called after every step execution attempt with the
+// instance, the step, the wall time the execution took, and the error (nil
+// on success; receive steps report when they park). Observers run
+// synchronously on the goroutine advancing the instance and must be fast.
+type StepObserver func(in *Instance, step *StepDef, elapsed time.Duration, err error)
+
+// SetStepObserver installs the engine's step observer. It must be called
+// before the engine starts executing instances; installation is not
+// synchronized with running instances.
+func (e *Engine) SetStepObserver(fn StepObserver) { e.observer = fn }
 
 // NewEngine creates an engine bound to a store and handler registry. ports
 // may be nil if no type uses send/connection steps.
@@ -332,8 +345,26 @@ func (e *Engine) evalJoin(t *TypeDef, in *Instance, s *StepDef, forced map[strin
 	return false, false
 }
 
-// execute runs one ready step.
+// execute runs one ready step: it aborts if the exchange's context is
+// already done (cancellation propagates between steps, so a canceled
+// pipeline stops before its next side effect), times the execution, and
+// reports to the engine's observer.
 func (e *Engine) execute(ctx context.Context, t *TypeDef, in *Instance, s *StepDef) error {
+	start := time.Now()
+	var err error
+	if cerr := ctx.Err(); cerr != nil {
+		err = e.failStep(in, s, cerr)
+	} else {
+		err = e.executeStep(ctx, t, in, s)
+	}
+	if e.observer != nil {
+		e.observer(in, s, time.Since(start), err)
+	}
+	return err
+}
+
+// executeStep dispatches on the step kind.
+func (e *Engine) executeStep(ctx context.Context, t *TypeDef, in *Instance, s *StepDef) error {
 	run := in.Steps[s.Name]
 	switch s.Kind {
 	case StepNoop:

@@ -1,0 +1,136 @@
+package wf_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wf"
+)
+
+// TestStepObserverSeesEveryExecution: the observer fires once per executed
+// step, with the error of failing executions.
+func TestStepObserverSeesEveryExecution(t *testing.T) {
+	e, h := newEngine(t, nil)
+	h.Register("ok", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return nil })
+	boom := errors.New("boom")
+	h.Register("fail", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return boom })
+
+	type obs struct {
+		step string
+		err  error
+	}
+	var seen []obs
+	e.SetStepObserver(func(in *wf.Instance, s *wf.StepDef, elapsed time.Duration, err error) {
+		if elapsed < 0 {
+			t.Errorf("negative elapsed for %s", s.Name)
+		}
+		seen = append(seen, obs{s.Name, err})
+	})
+	deploy(t, e, &wf.TypeDef{
+		Name: "observed",
+		Steps: []wf.StepDef{
+			{Name: "a", Kind: wf.StepTask, Handler: "ok"},
+			{Name: "b", Kind: wf.StepTask, Handler: "fail"},
+		},
+		Arcs: []wf.Arc{{From: "a", To: "b"}},
+	})
+	if _, err := e.Start(context.Background(), "observed", nil); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("observed %v", seen)
+	}
+	if seen[0].step != "a" || seen[0].err != nil {
+		t.Fatalf("first %v", seen[0])
+	}
+	if seen[1].step != "b" || !errors.Is(seen[1].err, boom) {
+		t.Fatalf("second %v", seen[1])
+	}
+}
+
+// TestCancellationStopsBetweenSteps: once the context is canceled, the next
+// ready step fails with the context error instead of executing, and the
+// instance is marked failed.
+func TestCancellationStopsBetweenSteps(t *testing.T) {
+	e, h := newEngine(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := map[string]bool{}
+	h.Register("first", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		ran["first"] = true
+		cancel() // cancel mid-pipeline, after this step's own work
+		return nil
+	})
+	h.Register("second", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		ran["second"] = true
+		return nil
+	})
+	deploy(t, e, &wf.TypeDef{
+		Name: "cancelable",
+		Steps: []wf.StepDef{
+			{Name: "a", Kind: wf.StepTask, Handler: "first"},
+			{Name: "b", Kind: wf.StepTask, Handler: "second"},
+		},
+		Arcs: []wf.Arc{{From: "a", To: "b"}},
+	})
+	in, err := e.Start(ctx, "cancelable", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v", err)
+	}
+	if !ran["first"] || ran["second"] {
+		t.Fatalf("ran %v", ran)
+	}
+	if in.State != wf.InstFailed {
+		t.Fatalf("state %s", in.State)
+	}
+	if in.StepStateOf("b") != wf.StepFailed {
+		t.Fatalf("step b state %s", in.StepStateOf("b"))
+	}
+}
+
+// TestCancellationStopsDeliver: a canceled context aborts the advance that
+// a delivery would have triggered.
+func TestCancellationStopsDeliver(t *testing.T) {
+	e, h := newEngine(t, nil)
+	ran := false
+	h.Register("after", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		ran = true
+		return nil
+	})
+	deploy(t, e, &wf.TypeDef{
+		Name: "parked",
+		Steps: []wf.StepDef{
+			{Name: "recv", Kind: wf.StepReceive, Port: "in"},
+			{Name: "work", Kind: wf.StepTask, Handler: "after"},
+		},
+		Arcs: []wf.Arc{{From: "recv", To: "work"}},
+	})
+	in, err := e.Start(context.Background(), "parked", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Deliver(ctx, in.ID, "in", "payload"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v", err)
+	}
+	if ran {
+		t.Fatal("step ran after cancellation")
+	}
+}
+
+// TestRoleSurvivesClone: the semantic role annotation is part of the type
+// definition and survives cloning.
+func TestRoleSurvivesClone(t *testing.T) {
+	d := &wf.TypeDef{
+		Name: "roles", Version: 1,
+		Steps: []wf.StepDef{
+			{Name: "x", Kind: wf.StepTask, Handler: "h", Role: wf.RoleTransform},
+		},
+	}
+	cp := d.Clone()
+	if cp.Steps[0].Role != wf.RoleTransform {
+		t.Fatalf("role lost in clone: %+v", cp.Steps[0])
+	}
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Run the concurrent-hub throughput benchmark and record the result as
+# BENCH_hub.json: exchanges/sec for 1, 4 and 8 hub workers over the
+# in-process transport with simulated wire latency, plus the 8-vs-1
+# speedup. The acceptance bar is speedup >= 2.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_hub.json}"
+COUNT="${BENCH_COUNT:-50x}"
+
+echo "== BenchmarkHubParallel (benchtime $COUNT) =="
+go test -run '^$' -bench '^BenchmarkHubParallel$' -benchtime "$COUNT" . | tee /tmp/bench_hub.txt
+
+python3 - "$OUT" <<'EOF'
+import json, re, sys
+
+results = {}
+for line in open("/tmp/bench_hub.txt"):
+    m = re.search(r"BenchmarkHubParallel/workers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s", line)
+    if m:
+        results[int(m.group(1))] = {
+            "ns_per_op": float(m.group(2)),
+            "exchanges_per_sec": float(m.group(3)),
+        }
+
+if 1 not in results or 8 not in results:
+    sys.exit("bench.sh: missing workers=1 or workers=8 result")
+
+speedup = results[8]["exchanges_per_sec"] / results[1]["exchanges_per_sec"]
+record = {
+    "benchmark": "BenchmarkHubParallel",
+    "transport": "in-proc, 2ms simulated wire latency",
+    "workers": {str(w): results[w] for w in sorted(results)},
+    "speedup_8_vs_1": round(speedup, 2),
+    "passes_2x": speedup >= 2.0,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
+      f"({'PASS' if speedup >= 2.0 else 'FAIL'} >= 2x)")
+if speedup < 2.0:
+    sys.exit(1)
+EOF

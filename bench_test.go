@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/bpss"
 	"repro/internal/conformance"
 	"repro/internal/coop"
@@ -738,6 +739,58 @@ func BenchmarkHubParallel(b *testing.B) {
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
 		})
 	}
+}
+
+// BenchmarkHubParallelFaulty: the worker-pool throughput with a 10%
+// injected backend error rate and the default retry policy absorbing it —
+// the cost of fault masking under load, comparable to the clean
+// workers=8 row of BenchmarkHubParallel. Exchanges are driven through the
+// in-process Submit API so the measured overhead is retry scheduling, not
+// wire latency.
+func BenchmarkHubParallelFaulty(b *testing.B) {
+	const workers = 8
+	m, err := core.PaperFigure14Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := core.NewHub(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.WrapBackends(func(sys backend.System) backend.System {
+		return backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: 0.10, Seed: 17})
+	})
+	h.SetDefaultRetryPolicy(core.RetryPolicy{
+		MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+	})
+	h.StartWorkers(workers)
+	defer h.StopWorkers()
+	ctx := context.Background()
+	g := doc.NewGenerator(1)
+	pos := make([]*doc.PurchaseOrder, b.N)
+	for i := range pos {
+		pos[i] = g.PO(benchBuyer, benchSeller)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	futs := make([]*core.Future, b.N)
+	for i, po := range pos {
+		fut, err := h.Submit(ctx, po)
+		if err != nil {
+			b.Fatal(err)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		if res := fut.Result(ctx); res.Err != nil {
+			b.Fatalf("exchange %d: %v", i, res.Err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
+	c := h.Counters()
+	b.ReportMetric(float64(c.Retries)/float64(b.N), "retries/op")
 }
 
 // BenchmarkTCPRoundTrip: the full exchange over real loopback sockets.

@@ -1,0 +1,336 @@
+package repro
+
+// Deterministic chaos harness for the hub's reliability layer: seeded
+// backend fault schedules (errors, latency, hangs) across all three
+// protocols under the concurrent worker pool. The invariants checked per
+// schedule are the exactly-once accounting contract of the dead-letter
+// design:
+//
+//   1. every submitted exchange resolves, and is terminally accounted as
+//      completed or dead-lettered — never both, never neither;
+//   2. backends are never double-mutated: each order is stored at most
+//      once, and an exchange that dead-lettered before its store step
+//      contributed no mutation;
+//   3. the obs counters reconcile exactly with the per-exchange event
+//      streams (started / terminal / dead-letter events);
+//   4. after healing the faults, resubmitting every dead letter completes
+//      it, ending with each order stored exactly once system-wide.
+//
+// Schedules are seeded, so failures reproduce; scripts/chaos.sh sweeps
+// seed offsets via the CHAOS_SEED environment variable.
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/obs"
+)
+
+// chaosSchedule is one sweep point: a fault schedule plus the retry policy
+// that must absorb (or exhaust against) it.
+type chaosSchedule struct {
+	name   string
+	faults backend.FaultSchedule
+	policy core.RetryPolicy
+	// wantDeadLetters marks schedules whose fault rate is designed to
+	// exceed the retry budget for some exchanges.
+	wantDeadLetters bool
+}
+
+// chaosSeedOffset lets scripts/chaos.sh sweep the same invariants across
+// many fault streams (CHAOS_SEED=n shifts every schedule's seed by n).
+func chaosSeedOffset() int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+func chaosSchedules() []chaosSchedule {
+	off := chaosSeedOffset()
+	return []chaosSchedule{
+		{
+			name:   "transient-errors",
+			faults: backend.FaultSchedule{ErrProb: 0.25, Seed: 42 + off},
+			policy: core.RetryPolicy{MaxAttempts: 25, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+		},
+		{
+			name:   "errors-with-latency",
+			faults: backend.FaultSchedule{ErrProb: 0.15, Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond, Seed: 7 + off},
+			policy: core.RetryPolicy{MaxAttempts: 25, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+		},
+		{
+			name:   "hangs",
+			faults: backend.FaultSchedule{HangProb: 0.2, Seed: 99 + off},
+			policy: core.RetryPolicy{MaxAttempts: 25, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, PerAttemptTimeout: 25 * time.Millisecond},
+		},
+		{
+			name:            "overload",
+			faults:          backend.FaultSchedule{ErrProb: 0.6, HangProb: 0.1, Seed: 1234 + off},
+			policy:          core.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, PerAttemptTimeout: 20 * time.Millisecond},
+			wantDeadLetters: true,
+		},
+	}
+}
+
+// chaosHub assembles the three-protocol hub (Figure 14 + the Figure 15
+// OAGIS partner) with every backend wrapped in the schedule's Faulty
+// decorator.
+func chaosHub(t *testing.T, sc chaosSchedule) (*core.Hub, map[string]*backend.Faulty) {
+	t.Helper()
+	model, err := core.PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := core.NewHub(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.AddPartner(core.Figure15Partner()); err != nil {
+		t.Fatal(err)
+	}
+	faulties := map[string]*backend.Faulty{}
+	hub.WrapBackends(func(sys backend.System) backend.System {
+		f := backend.NewFaulty(sys, sc.faults)
+		faulties[f.Name()] = f
+		return f
+	})
+	hub.SetDefaultRetryPolicy(sc.policy)
+	return hub, faulties
+}
+
+func TestChaosExactlyOnceAccounting(t *testing.T) {
+	const (
+		workers          = 8
+		ordersPerPartner = 40
+	)
+	for _, sc := range chaosSchedules() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			hub, faulties := chaosHub(t, sc)
+			hub.StartWorkers(workers)
+			defer hub.StopWorkers()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			// Submit every partner's order stream through the pool.
+			type sub struct {
+				po  *doc.PurchaseOrder
+				fut *core.Future
+			}
+			var subs []sub
+			for pi, p := range hub.Model.Partners {
+				buyer := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+				g := doc.NewGenerator(int64(1000*pi) + sc.faults.Seed)
+				for i := 0; i < ordersPerPartner; i++ {
+					po := g.PO(buyer, doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"})
+					fut, err := hub.Submit(ctx, po)
+					if err != nil {
+						t.Fatalf("submit %s/%d: %v", p.ID, i, err)
+					}
+					subs = append(subs, sub{po: po, fut: fut})
+				}
+			}
+			submitted := len(subs)
+
+			// Resolve every future: each exchange is exactly one of
+			// completed (correct correlation) or failed.
+			completed, failed := 0, 0
+			failedIDs := map[string]bool{}
+			exchangeIDs := make([]string, 0, submitted)
+			for i, s := range subs {
+				res := s.fut.Result(ctx)
+				if res.Exchange == nil {
+					t.Fatalf("submission %d resolved without an exchange record (err %v)", i, res.Err)
+				}
+				exchangeIDs = append(exchangeIDs, res.Exchange.ID)
+				if res.Err != nil {
+					failed++
+					failedIDs[res.Exchange.ID] = true
+					continue
+				}
+				completed++
+				if res.POA == nil || res.POA.POID != s.po.ID {
+					t.Fatalf("submission %d: wrong correlation %+v", i, res.POA)
+				}
+			}
+			if completed+failed != submitted {
+				t.Fatalf("accounting: %d completed + %d failed != %d submitted", completed, failed, submitted)
+			}
+
+			// Counters reconcile with the resolved futures and the DLQ.
+			c := hub.Counters()
+			dls := hub.DeadLetters()
+			if c.Started != int64(submitted) {
+				t.Fatalf("counters.Started %d != %d submitted", c.Started, submitted)
+			}
+			if c.ByFlow[obs.FlowPO] != int64(submitted) {
+				t.Fatalf("terminal events %d != %d submitted", c.ByFlow[obs.FlowPO], submitted)
+			}
+			if c.Failed != int64(failed) {
+				t.Fatalf("counters.Failed %d != %d failed futures", c.Failed, failed)
+			}
+			if c.DeadLettered != int64(failed) || len(dls) != failed {
+				t.Fatalf("dead letters %d/%d != %d failed", c.DeadLettered, len(dls), failed)
+			}
+			if sc.wantDeadLetters && failed == 0 {
+				t.Fatalf("schedule %s was designed to overflow the retry budget but nothing dead-lettered", sc.name)
+			}
+			if !sc.wantDeadLetters && failed != 0 {
+				t.Fatalf("schedule %s dead-lettered %d exchanges despite a sufficient retry budget", sc.name, failed)
+			}
+
+			// Per-exchange event streams reconcile with the counters:
+			// exactly one started and one terminal event each, a
+			// dead-letter event iff the exchange failed, and retry attempt
+			// events summing to the retry counter.
+			var attemptEvents int64
+			for _, id := range exchangeIDs {
+				started, finished, failedEv, deadEv := 0, 0, 0, 0
+				for _, e := range hub.Events(id) {
+					switch {
+					case e.Kind == obs.KindRetry && e.Step == obs.StepAttempt:
+						attemptEvents++
+					case e.Kind != obs.KindExchange:
+					case e.Step == obs.StepStarted:
+						started++
+					case e.Step == obs.StepFinished:
+						finished++
+					case e.Step == obs.StepFailed:
+						failedEv++
+					case e.Step == obs.StepDeadLetter:
+						deadEv++
+					}
+				}
+				if started != 1 || finished+failedEv != 1 {
+					t.Fatalf("exchange %s: %d started, %d finished, %d failed events", id, started, finished, failedEv)
+				}
+				wantDead := 0
+				if failedIDs[id] {
+					wantDead = 1
+				}
+				if failedEv != wantDead || deadEv != wantDead {
+					t.Fatalf("exchange %s: failed=%v but %d failed / %d dead-letter events", id, failedIDs[id], failedEv, deadEv)
+				}
+			}
+			if c.Retries != attemptEvents {
+				t.Fatalf("counters.Retries %d != %d attempt events", c.Retries, attemptEvents)
+			}
+
+			// Exactly-once mutation: the number of orders the backends hold
+			// equals the number of exchanges whose store step succeeded —
+			// a dead-lettered exchange that never stored contributed none,
+			// and no order was stored twice.
+			storesSeen := 0
+			for _, id := range exchangeIDs {
+				for _, e := range hub.Events(id) {
+					if e.Kind == obs.KindStep && strings.HasPrefix(e.Step, "Store ") && e.Err == nil {
+						storesSeen++
+					}
+				}
+			}
+			storedTotal := 0
+			for _, f := range faulties {
+				storedTotal += f.Inner().StoredOrders()
+			}
+			if storedTotal != storesSeen {
+				t.Fatalf("backends hold %d orders but %d store steps succeeded", storedTotal, storesSeen)
+			}
+
+			// Heal the backends and resubmit every dead letter: the queue
+			// drains, every replay completes, and each submitted order ends
+			// up stored exactly once system-wide.
+			for _, f := range faulties {
+				f.SetSchedule(backend.FaultSchedule{})
+			}
+			for _, dl := range hub.DrainDeadLetters() {
+				ex, err := hub.Resubmit(ctx, dl)
+				if err != nil {
+					t.Fatalf("resubmit %s: %v", dl.ExchangeID, err)
+				}
+				if ex.Outbound == nil {
+					t.Fatalf("resubmitted exchange %s produced no outbound document", ex.ID)
+				}
+			}
+			if n := len(hub.DeadLetters()); n != 0 {
+				t.Fatalf("dead-letter queue holds %d entries after the drain", n)
+			}
+			storedTotal = 0
+			for _, f := range faulties {
+				storedTotal += f.Inner().StoredOrders()
+			}
+			if storedTotal != submitted {
+				t.Fatalf("backends hold %d orders after healing, want %d (each order exactly once)", storedTotal, submitted)
+			}
+			t.Logf("%s: %d submitted = %d completed + %d dead-lettered; %d retries; %d injected faults",
+				sc.name, submitted, completed, failed, c.Retries,
+				func() (n int64) {
+					for _, f := range faulties {
+						n += f.InjectedErrors() + f.Hangs()
+					}
+					return
+				}())
+		})
+	}
+}
+
+// TestChaosCancellationAccounting: cancelling mid-flight still accounts
+// every exchange exactly once — whatever was started terminates as
+// finished or failed-and-dead-lettered, and nothing leaks in between.
+func TestChaosCancellationAccounting(t *testing.T) {
+	sc := chaosSchedule{
+		name:   "cancel",
+		faults: backend.FaultSchedule{ErrProb: 0.2, Latency: time.Millisecond, Seed: 5 + chaosSeedOffset()},
+		policy: core.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	}
+	hub, _ := chaosHub(t, sc)
+	hub.StartWorkers(4)
+	defer hub.StopWorkers()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var futs []*core.Future
+	g := doc.NewGenerator(3)
+	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	for i := 0; i < 60; i++ {
+		fut, err := hub.Submit(ctx, g.PO(buyer, hubParty))
+		if err != nil {
+			break // pool rejected after cancel: fine
+		}
+		futs = append(futs, fut)
+		if i == 20 {
+			cancel()
+		}
+	}
+	defer cancel()
+	wait, waitCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer waitCancel()
+	resolved := 0
+	for _, f := range futs {
+		res := f.Result(wait)
+		if res.Err == nil && res.POA == nil {
+			t.Fatal("future resolved without result or error")
+		}
+		resolved++
+	}
+	if resolved != len(futs) {
+		t.Fatalf("resolved %d of %d futures", resolved, len(futs))
+	}
+	c := hub.Counters()
+	if got := c.ByFlow[obs.FlowPO]; got != c.Started {
+		t.Fatalf("started %d but %d terminal events", c.Started, got)
+	}
+	if c.Failed != c.DeadLettered {
+		t.Fatalf("failed %d != dead-lettered %d", c.Failed, c.DeadLettered)
+	}
+}

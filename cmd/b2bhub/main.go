@@ -10,9 +10,16 @@
 // printed: routing hops and step executions, in order, with per-step
 // timings, followed by the per-stage latency summary.
 //
+// With -berr or -bhang the tool switches to chaos mode: backends are
+// wrapped in seeded fault injectors and the orders are driven through the
+// hub's submission pool, exercising the retry/backoff/dead-letter
+// reliability layer; -trace then prints the event streams of the first
+// retried and first dead-lettered exchanges.
+//
 // Usage:
 //
 //	b2bhub [-n 100] [-workers 4] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
+//	b2bhub [-berr 0.3] [-bhang 0.1] [-battempts 8] [-bseed 7] [-trace]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
@@ -40,6 +48,14 @@ var (
 	tcp     = flag.Bool("tcp", false, "use real TCP loopback sockets instead of the in-process network")
 	fa997   = flag.Bool("fa997", false, "enable EDI 997 functional acknowledgments")
 	invoice = flag.Bool("invoice", false, "push a one-way invoice after each round trip")
+
+	// Backend fault injection (chaos mode): orders are driven through the
+	// hub's submission pool directly, exercising the retry/dead-letter
+	// reliability layer instead of the network clients.
+	berr      = flag.Float64("berr", 0, "backend error probability (enables chaos mode)")
+	bhang     = flag.Float64("bhang", 0, "backend hang probability (enables chaos mode)")
+	battempts = flag.Int("battempts", 8, "retry attempts per binding step in chaos mode")
+	bseed     = flag.Int64("bseed", 1, "backend fault stream seed")
 )
 
 // network abstracts the two transports the tool can run over.
@@ -74,6 +90,11 @@ func main() {
 		if _, err := hub.EnableInvoicing(); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *berr > 0 || *bhang > 0 {
+		runChaos(hub)
+		return
 	}
 
 	var network network
@@ -185,6 +206,107 @@ func main() {
 	hub.StopWorkers()
 }
 
+// runChaos drives the order streams through the hub's submission pool
+// against fault-injected backends: transient failures are retried under
+// the per-binding policy, exhausted exchanges dead-letter, and the faults
+// are healed at the end to resubmit the queue. With -trace the event
+// streams of the first retried and the first dead-lettered exchange are
+// printed, retry/backoff/dead-letter events included.
+func runChaos(hub *core.Hub) {
+	faulties := map[string]*backend.Faulty{}
+	hub.WrapBackends(func(sys backend.System) backend.System {
+		f := backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: *berr, HangProb: *bhang, Seed: *bseed})
+		faulties[f.Name()] = f
+		return f
+	})
+	hub.SetDefaultRetryPolicy(core.RetryPolicy{
+		MaxAttempts: *battempts,
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+		PerAttemptTimeout: 50 * time.Millisecond,
+	})
+	hub.StartWorkers(*workers)
+	defer hub.StopWorkers()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	sellerParty := doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"}
+	start := time.Now()
+	var futs []*core.Future
+	for _, p := range hub.Model.Partners {
+		g := doc.NewGenerator(int64(len(p.ID)))
+		buyerParty := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+		for i := 0; i < *n; i++ {
+			fut, err := hub.Submit(ctx, g.PO(buyerParty, sellerParty))
+			if err != nil {
+				log.Fatalf("%s order %d: %v", p.ID, i, err)
+			}
+			futs = append(futs, fut)
+		}
+	}
+	completed, failed := 0, 0
+	for _, fut := range futs {
+		if res := fut.Result(ctx); res.Err != nil {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	elapsed := time.Since(start)
+
+	c := hub.Counters()
+	fmt.Printf("%d submitted in %v (%.0f/s) with %d worker(s) over backend err=%.0f%% hang=%.0f%%\n",
+		len(futs), elapsed.Round(time.Millisecond), float64(len(futs))/elapsed.Seconds(), *workers, *berr*100, *bhang*100)
+	fmt.Printf("accounting: %d completed + %d dead-lettered = %d; %d retried attempts\n",
+		completed, failed, completed+failed, c.Retries)
+	for name, f := range faulties {
+		fmt.Printf("backend %-7s injected %d errors, %d hangs; stored %d orders\n",
+			name, f.InjectedErrors(), f.Hangs(), f.Inner().StoredOrders())
+	}
+	if *trace {
+		if id := findExchange(hub, futs, obs.KindRetry, ""); id != "" {
+			fmt.Println("\nfirst retried exchange:")
+			printTrace(hub, id)
+		}
+		if id := findExchange(hub, futs, obs.KindExchange, obs.StepDeadLetter); id != "" {
+			fmt.Println("\nfirst dead-lettered exchange:")
+			printTrace(hub, id)
+		}
+	}
+
+	// Heal the backends and resubmit the dead-letter queue.
+	if dls := hub.DrainDeadLetters(); len(dls) > 0 {
+		for _, f := range faulties {
+			f.SetSchedule(backend.FaultSchedule{})
+		}
+		recovered := 0
+		for _, dl := range dls {
+			if _, err := hub.Resubmit(ctx, dl); err == nil {
+				recovered++
+			}
+		}
+		fmt.Printf("healed backends: %d/%d dead letters resubmitted successfully\n", recovered, len(dls))
+	}
+	printStageMetrics(hub)
+}
+
+// findExchange returns the ID of the first submitted exchange whose event
+// stream contains an event of the given kind (and step, unless empty).
+func findExchange(hub *core.Hub, futs []*core.Future, kind obs.Kind, step string) string {
+	done := context.Background()
+	for _, fut := range futs {
+		res := fut.Result(done)
+		if res.Exchange == nil {
+			continue
+		}
+		for _, e := range hub.Events(res.Exchange.ID) {
+			if e.Kind == kind && (step == "" || e.Step == step) {
+				return res.Exchange.ID
+			}
+		}
+	}
+	return ""
+}
+
 // printTrace renders one exchange's structured event stream: every routing
 // hop and step execution in emission order, with per-step timings.
 func printTrace(hub *core.Hub, exchangeID string) {
@@ -203,8 +325,19 @@ func printTrace(hub *core.Hub, exchangeID string) {
 				status = "  ERR: " + e.Err.Error()
 			}
 			fmt.Printf("   step   %-8s %-28s %8v%s\n", e.Stage, e.Step, e.Elapsed.Round(time.Microsecond), status)
+		case obs.KindRetry:
+			switch e.Step {
+			case obs.StepAttempt:
+				fmt.Printf("   retry  %-8s attempt failed: %v\n", e.Stage, e.Err)
+			case obs.StepBackoff:
+				fmt.Printf("   retry  %-8s backing off %v\n", e.Stage, e.Elapsed)
+			}
 		case obs.KindExchange:
-			fmt.Printf("   %-6s %s (%v)\n", e.Step, e.ExchangeID, e.Elapsed.Round(time.Microsecond))
+			status := ""
+			if (e.Step == obs.StepFailed || e.Step == obs.StepDeadLetter) && e.Err != nil {
+				status = "  ERR: " + e.Err.Error()
+			}
+			fmt.Printf("   %-6s %s (%v)%s\n", e.Step, e.ExchangeID, e.Elapsed.Round(time.Microsecond), status)
 		}
 	}
 }

@@ -1,0 +1,184 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/formats"
+)
+
+// ErrInjected is the sentinel wrapped by every error the Faulty decorator
+// injects. Retry policies treat it as transient (see IsTransient).
+var ErrInjected = errors.New("backend: injected fault")
+
+// FaultSchedule parameterizes deterministic back-end fault injection,
+// mirroring msg.Faults for the wire: every operation independently draws
+// from a seeded stream to decide whether it errors, hangs until the
+// caller's context expires, or is delayed.
+type FaultSchedule struct {
+	// ErrProb is the probability an operation fails with ErrInjected
+	// before touching the inner system.
+	ErrProb float64
+	// HangProb is the probability an operation blocks until the caller's
+	// context is done and then returns its error — the "slow endpoint"
+	// failure mode that only a per-attempt timeout can unstick.
+	HangProb float64
+	// Latency and Jitter delay each operation by Latency ± uniform
+	// [0, Jitter) before it proceeds.
+	Latency time.Duration
+	Jitter  time.Duration
+	// Seed makes the fault stream reproducible (0 behaves as 1, matching
+	// msg.Faults).
+	Seed int64
+}
+
+// Faulty decorates a System with a deterministic fault schedule. Faults
+// fire before the inner system is touched, so a failed or hung attempt
+// never mutates back-end state and is always safe to retry. It is safe
+// for concurrent use.
+type Faulty struct {
+	inner System
+
+	mu       sync.Mutex
+	schedule FaultSchedule
+	rng      *rand.Rand
+	injected int64
+	hangs    int64
+}
+
+// NewFaulty wraps inner with the given fault schedule.
+func NewFaulty(inner System, s FaultSchedule) *Faulty {
+	f := &Faulty{inner: inner}
+	f.SetSchedule(s)
+	return f
+}
+
+// SetSchedule replaces the fault schedule (and reseeds the fault stream) —
+// chaos tests use it to heal a system before resubmitting dead letters.
+func (f *Faulty) SetSchedule(s FaultSchedule) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.schedule = s
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// Inner returns the decorated system.
+func (f *Faulty) Inner() System { return f.inner }
+
+// InjectedErrors reports how many operations failed with an injected error.
+func (f *Faulty) InjectedErrors() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Hangs reports how many operations were hung until context expiry.
+func (f *Faulty) Hangs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hangs
+}
+
+// decide draws once from the fault stream for the named operation: it
+// returns a non-nil error (injected or context) when the attempt must not
+// reach the inner system, after applying any hang or latency.
+func (f *Faulty) decide(ctx context.Context, op string) error {
+	f.mu.Lock()
+	s := f.schedule
+	errDraw := f.rng.Float64()
+	hangDraw := f.rng.Float64()
+	var jitter time.Duration
+	if s.Jitter > 0 {
+		jitter = time.Duration(f.rng.Int63n(int64(s.Jitter)))
+	}
+	inject := s.ErrProb > 0 && errDraw < s.ErrProb
+	hang := !inject && s.HangProb > 0 && hangDraw < s.HangProb
+	if inject {
+		f.injected++
+	}
+	if hang {
+		f.hangs++
+	}
+	f.mu.Unlock()
+
+	if hang {
+		<-ctx.Done()
+		return fmt.Errorf("backend %s: %s hung: %w", f.inner.Name(), op, ctx.Err())
+	}
+	if delay := s.Latency + jitter; delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("backend %s: %s: %w", f.inner.Name(), op, ctx.Err())
+		}
+	}
+	if inject {
+		return fmt.Errorf("%w: %s %s", ErrInjected, f.inner.Name(), op)
+	}
+	return ctx.Err()
+}
+
+// Name implements System.
+func (f *Faulty) Name() string { return f.inner.Name() }
+
+// Format implements System.
+func (f *Faulty) Format() formats.Format { return f.inner.Format() }
+
+// Submit implements System.
+func (f *Faulty) Submit(ctx context.Context, wire []byte) error {
+	if err := f.decide(ctx, "submit"); err != nil {
+		return err
+	}
+	return f.inner.Submit(ctx, wire)
+}
+
+// Extract implements System.
+func (f *Faulty) Extract(ctx context.Context) ([]byte, bool, error) {
+	if err := f.decide(ctx, "extract"); err != nil {
+		return nil, false, err
+	}
+	return f.inner.Extract(ctx)
+}
+
+// ExtractByPO implements System.
+func (f *Faulty) ExtractByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := f.decide(ctx, "extract-by-po"); err != nil {
+		return nil, false, err
+	}
+	return f.inner.ExtractByPO(ctx, poID)
+}
+
+// ExtractInvoiceByPO implements System.
+func (f *Faulty) ExtractInvoiceByPO(ctx context.Context, poID string) ([]byte, bool, error) {
+	if err := f.decide(ctx, "extract-invoice"); err != nil {
+		return nil, false, err
+	}
+	return f.inner.ExtractInvoiceByPO(ctx, poID)
+}
+
+// Process implements System.
+func (f *Faulty) Process(ctx context.Context) (int, error) {
+	if err := f.decide(ctx, "process"); err != nil {
+		return 0, err
+	}
+	return f.inner.Process(ctx)
+}
+
+// StoredOrders implements System. It is a pure observation and is never
+// faulted.
+func (f *Faulty) StoredOrders() int { return f.inner.StoredOrders() }
+
+// IsTransient reports whether err is worth retrying against the same
+// system: injected faults and per-attempt timeouts are transient; semantic
+// rejections (validation, duplicates) are not.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, context.DeadlineExceeded)
+}

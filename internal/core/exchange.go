@@ -66,6 +66,14 @@ func (h *Hub) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.Purcha
 
 // processNative runs the chain for a decoded native PO.
 func (h *Hub) processNative(ctx context.Context, protocol formats.Format, native any) (*Exchange, error) {
+	return h.processNativeOpt(ctx, protocol, native, false)
+}
+
+// processNativeOpt is processNative plus the resubmission flag dead-letter
+// replays set: a failed exchange is parked on the dead-letter queue with
+// its native payload, and a resubmitted one tolerates the backend's
+// duplicate-order rejection.
+func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, native any, resubmit bool) (*Exchange, error) {
 	// Identify the sending partner from the document itself (buyer ID).
 	nd, err := h.reg.ToNormalized(protocol, doc.TypePO, native)
 	if err != nil {
@@ -81,10 +89,14 @@ func (h *Hub) processNative(ctx context.Context, protocol formats.Format, native
 	}
 
 	ex := h.newExchange(partner, obs.FlowPO)
+	ex.resubmit = resubmit
 	start := time.Now()
-	h.emitLifecycle(ex, "started", 0, nil)
+	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
 	err = h.runPO(ctx, ex, protocol, native)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
+	if err != nil {
+		h.deadLetter(ex, err, native, "")
+	}
 	return ex, err
 }
 
@@ -166,12 +178,16 @@ func terminalStep(err error) string {
 // exchangeData is the instance data every process instance of an exchange
 // starts with: the exchange ID plus the rule parameters source and target.
 func (h *Hub) exchangeData(ex *Exchange) map[string]any {
-	return map[string]any{
+	data := map[string]any{
 		"exchange": ex.ID,
 		"source":   ex.Partner.ID,
 		"target":   ex.Backend,
 		"protocol": string(ex.Protocol),
 	}
+	if ex.resubmit {
+		data["resubmit"] = true
+	}
+	return data
 }
 
 // pump drains the exchange's routing queue: each task either starts the

@@ -52,6 +52,10 @@ type Exchange struct {
 	// returned — hops of concurrent exchanges never interleave within one
 	// instance.
 	queue []routeTask
+
+	// resubmit marks a dead-letter replay: its app binding tolerates the
+	// backend's duplicate-order rejection.
+	resubmit bool
 }
 
 // routeTask is one queued hop between process instances.
@@ -99,6 +103,14 @@ type Hub struct {
 	// kept so the change manager can wire backends added after startup.
 	appHandlersFor func(backendName string)
 	handlerReg     *wf.Handlers
+
+	// Reliability layer (see retry.go): per-binding retry policies and the
+	// dead-letter queue of exchanges that exhausted theirs.
+	retryMu       sync.RWMutex
+	retryPolicies map[string]RetryPolicy
+	defaultRetry  RetryPolicy
+	dlqMu         sync.Mutex
+	dlq           []DeadLetter
 }
 
 // HubStats counts the hub's activity since startup. It is a compatibility
@@ -231,6 +243,10 @@ func NewHub(m *Model) (*Hub, error) {
 			Err:        err,
 		})
 	})
+	// Transient step failures are retried under the binding's RetryPolicy
+	// (see retry.go); without configured policies the decider retries
+	// nothing beyond each step's own Retries budget.
+	h.Engine.SetRetryDecider(h.retryDecider)
 	for _, t := range m.AllTypes() {
 		if err := h.Engine.Deploy(t); err != nil {
 			return nil, err
@@ -359,8 +375,10 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 // registerAppHandlers wires the application-binding handlers. They resolve
 // the backend system at execution time so backends added later work too.
 func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
-	register := func(name string, fn wf.Handler) { reg.Register(name, fn) }
 	appHandlersFor := func(bName string) {
+		// Every handler of the binding runs each attempt under the
+		// backend's PerAttemptTimeout (when a policy configures one).
+		register := func(name string, fn wf.Handler) { reg.Register(name, h.withAttemptTimeout(bName, fn)) }
 		register("app-xform-in:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 			b, ok := h.Model.BackendByName(bName)
 			if !ok {
@@ -392,7 +410,10 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 			if !ok {
 				return fmt.Errorf("core: no system deployed for backend %q", bName)
 			}
-			return sys.Submit(ctx, wire)
+			// A resubmitted dead letter may have stored the order before
+			// failing downstream; the backend's duplicate elimination then
+			// satisfies this step without a second mutation.
+			return tolerateDuplicate(in, sys.Submit(ctx, wire))
 		})
 		register("app-extract:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 			sys, ok := h.system(bName)

@@ -214,6 +214,13 @@ func (h *Hub) EnableInvoicing() (*ChangeRecord, error) {
 // through the invoice chain and returns the protocol-native wire bytes
 // ready to transmit, plus the exchange record.
 func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, *Exchange, error) {
+	return h.sendInvoice(ctx, partnerID, poID, false)
+}
+
+// sendInvoice is SendInvoice plus the resubmission flag dead-letter
+// replays set; a failed invoice exchange is parked on the dead-letter
+// queue keyed by its order identifier.
+func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, resubmit bool) ([]byte, *Exchange, error) {
 	if h.Model.InvoicePrivate == nil {
 		return nil, nil, fmt.Errorf("core: invoicing is not enabled")
 	}
@@ -222,11 +229,13 @@ func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, 
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, partnerID)
 	}
 	ex := h.newExchange(partner, obs.FlowInvoice)
+	ex.resubmit = resubmit
 	start := time.Now()
-	h.emitLifecycle(ex, "started", 0, nil)
+	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
 	outbound, err := h.runInvoice(ctx, ex, poID)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
 	if err != nil {
+		h.deadLetter(ex, err, nil, poID)
 		return nil, ex, err
 	}
 	codec, err := h.codecs.Lookup(partner.Protocol, doc.TypeINV)

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/formats"
+	"repro/internal/obs"
+	"repro/internal/wf"
+)
+
+// The reliability layer: endpoint failure is a binding-local concern
+// (Section 4) — a flaky back end or partner endpoint is absorbed by retry
+// policies attached to bindings, and exchanges that exhaust their policy
+// are parked on the hub's dead-letter queue instead of being lost. The
+// public and private process definitions are untouched, exactly as the
+// paper's architecture demands.
+
+// RetryPolicy bounds how a binding retries a failing step: up to
+// MaxAttempts total attempts, sleeping BaseBackoff·2^(attempt-1) (capped at
+// MaxBackoff) between them, with each attempt's backend work bounded by
+// PerAttemptTimeout carved out of the exchange's own context.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (minimum 1; 0 behaves as 1).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff; 0 retries immediately.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means uncapped.
+	MaxBackoff time.Duration
+	// PerAttemptTimeout bounds each application-binding attempt; 0 leaves
+	// attempts bounded only by the exchange's context.
+	PerAttemptTimeout time.Duration
+}
+
+// BackoffFor returns the pause after the attempt-th failed attempt
+// (1-based): BaseBackoff doubled per failure, capped at MaxBackoff.
+func (p RetryPolicy) BackoffFor(attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	b := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if p.MaxBackoff > 0 && b >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && b > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return b
+}
+
+// attempts returns the effective attempt budget, folding in the step's own
+// Retries declaration (the engine-level budget that predates policies).
+func (p RetryPolicy) attempts(s *wf.StepDef) int {
+	n := p.MaxAttempts
+	if n < 1 {
+		n = 1
+	}
+	if s != nil && s.Retries+1 > n {
+		n = s.Retries + 1
+	}
+	return n
+}
+
+// SetRetryPolicy attaches a retry policy to a binding scope: a backend name
+// ("SAP") covers that application binding's steps, a protocol name
+// (string(formats.EDI)) covers that protocol binding's and public
+// process's steps.
+func (h *Hub) SetRetryPolicy(scope string, p RetryPolicy) {
+	h.retryMu.Lock()
+	defer h.retryMu.Unlock()
+	if h.retryPolicies == nil {
+		h.retryPolicies = map[string]RetryPolicy{}
+	}
+	h.retryPolicies[scope] = p
+}
+
+// SetDefaultRetryPolicy sets the policy used by scopes without their own.
+func (h *Hub) SetDefaultRetryPolicy(p RetryPolicy) {
+	h.retryMu.Lock()
+	defer h.retryMu.Unlock()
+	h.defaultRetry = p
+}
+
+// policyForScopes resolves the first configured scope, else the default.
+func (h *Hub) policyForScopes(scopes ...string) RetryPolicy {
+	h.retryMu.RLock()
+	defer h.retryMu.RUnlock()
+	for _, sc := range scopes {
+		if sc == "" {
+			continue
+		}
+		if p, ok := h.retryPolicies[sc]; ok {
+			return p
+		}
+	}
+	return h.defaultRetry
+}
+
+// policyFor resolves the retry policy governing one step of an exchange:
+// application-binding steps resolve by backend name first, everything else
+// by protocol first.
+func (h *Hub) policyFor(in *wf.Instance) RetryPolicy {
+	target, _ := in.Data["target"].(string)
+	protocol, _ := in.Data["protocol"].(string)
+	if stageOf(in.Type) == obs.StageApp {
+		return h.policyForScopes(target, protocol)
+	}
+	return h.policyForScopes(protocol, target)
+}
+
+// retryDecider is the hub's wf.RetryDecider: transient failures are retried
+// within the binding's policy, with exponential backoff, and every retried
+// attempt and backoff pause is emitted as a typed event so retries show up
+// in the per-stage histograms and exchange traces.
+func (h *Hub) retryDecider(ctx context.Context, in *wf.Instance, s *wf.StepDef, attempt int, err error) (bool, time.Duration) {
+	pol := h.policyFor(in)
+	if attempt >= pol.attempts(s) || !retryable(err) || ctx.Err() != nil {
+		return false, 0
+	}
+	backoff := pol.BackoffFor(attempt)
+	exID, _ := in.Data["exchange"].(string)
+	partner, _ := in.Data["source"].(string)
+	stage := stageOf(in.Type)
+	h.bus.Emit(obs.Event{
+		ExchangeID: exID, Partner: partner,
+		Kind: obs.KindRetry, Stage: stage, Step: obs.StepAttempt,
+		Err: fmt.Errorf("%s attempt %d: %w", s.Name, attempt, err),
+	})
+	if backoff > 0 {
+		h.bus.Emit(obs.Event{
+			ExchangeID: exID, Partner: partner,
+			Kind: obs.KindRetry, Stage: stage, Step: obs.StepBackoff,
+			Elapsed: backoff,
+		})
+	}
+	return true, backoff
+}
+
+// retryable reports whether a step failure is worth repeating against the
+// same endpoint: injected/transient backend faults and per-attempt
+// timeouts are; semantic failures (validation, duplicates, rule errors)
+// are not.
+func retryable(err error) bool {
+	return backend.IsTransient(err)
+}
+
+// withAttemptTimeout wraps an application-binding handler so each attempt
+// runs under the backend's PerAttemptTimeout (when configured) carved out
+// of the exchange's context — a hung backend call unsticks at the attempt
+// boundary instead of stalling the exchange until its overall deadline.
+func (h *Hub) withAttemptTimeout(bName string, fn wf.Handler) wf.Handler {
+	return func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		pol := h.policyForScopes(bName)
+		if pol.PerAttemptTimeout <= 0 {
+			return fn(ctx, in, s)
+		}
+		actx, cancel := context.WithTimeout(ctx, pol.PerAttemptTimeout)
+		defer cancel()
+		return fn(actx, in, s)
+	}
+}
+
+// WrapBackends replaces every deployed backend system with wrap(system) —
+// the seam fault-injection harnesses use to decorate backends without the
+// hub knowing (chaos tests wrap with backend.NewFaulty).
+func (h *Hub) WrapBackends(wrap func(backend.System) backend.System) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for name, sys := range h.Systems {
+		h.Systems[name] = wrap(sys)
+	}
+}
+
+// DeadLetter is one exchange parked on the hub's dead-letter queue after
+// exhausting its retry policy. The original inbound payload is retained so
+// the exchange can be resubmitted once the endpoint heals.
+type DeadLetter struct {
+	ExchangeID string
+	Partner    string
+	Flow       obs.Flow
+	Protocol   formats.Format
+	// Reason is the terminal pipeline error.
+	Reason error
+	// At is when the exchange was dead-lettered.
+	At time.Time
+
+	// native is the decoded native inbound PO (FlowPO); poID identifies the
+	// billed order (FlowInvoice).
+	native any
+	poID   string
+}
+
+// deadLetter parks a failed exchange on the queue and emits the
+// dead-letter lifecycle event.
+func (h *Hub) deadLetter(ex *Exchange, reason error, native any, poID string) {
+	dl := DeadLetter{
+		ExchangeID: ex.ID,
+		Partner:    ex.Partner.ID,
+		Flow:       ex.Flow,
+		Protocol:   ex.Protocol,
+		Reason:     reason,
+		At:         time.Now(),
+		native:     native,
+		poID:       poID,
+	}
+	h.dlqMu.Lock()
+	h.dlq = append(h.dlq, dl)
+	h.dlqMu.Unlock()
+	h.emitLifecycle(ex, obs.StepDeadLetter, 0, reason)
+}
+
+// DeadLetters returns a snapshot of the dead-letter queue.
+func (h *Hub) DeadLetters() []DeadLetter {
+	h.dlqMu.Lock()
+	defer h.dlqMu.Unlock()
+	return append([]DeadLetter(nil), h.dlq...)
+}
+
+// DrainDeadLetters empties the queue and returns what was on it.
+func (h *Hub) DrainDeadLetters() []DeadLetter {
+	h.dlqMu.Lock()
+	defer h.dlqMu.Unlock()
+	out := h.dlq
+	h.dlq = nil
+	return out
+}
+
+// Resubmit reruns a dead-lettered exchange from its retained inbound
+// payload as a fresh exchange. Resubmissions tolerate the duplicate-order
+// rejection of the back end (the paper's Section 1 duplicate elimination):
+// when the dead-lettered run already stored the order, the store step is
+// satisfied by the existing copy instead of double-mutating the backend.
+func (h *Hub) Resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
+	switch dl.Flow {
+	case obs.FlowInvoice:
+		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, true)
+		return ex, err
+	default:
+		if dl.native == nil {
+			return nil, fmt.Errorf("core: dead letter %s retains no payload", dl.ExchangeID)
+		}
+		return h.processNativeOpt(ctx, dl.Protocol, dl.native, true)
+	}
+}
+
+// tolerateDuplicate converts the backend's duplicate-order rejection into
+// success for resubmitted exchanges.
+func tolerateDuplicate(in *wf.Instance, err error) error {
+	if resub, _ := in.Data["resubmit"].(bool); resub && errors.Is(err, backend.ErrDuplicateOrder) {
+		return nil
+	}
+	return err
+}

@@ -86,6 +86,44 @@ func (g *Generator) POWithAmount(buyer, seller Party, amount float64) *PurchaseO
 	}
 }
 
+// Invoice generates the next invoice from seller to buyer with 1-6 random
+// catalog lines. Prices stay at two decimals so cent-based wire formats
+// (the EDI 810 TDS total) represent them exactly. Roughly a third of the
+// invoices omit the due date and another third carry a payment note,
+// exercising the optional-field paths of every format mapping.
+func (g *Generator) Invoice(buyer, seller Party) *Invoice {
+	g.seq++
+	nLines := 1 + g.rng.Intn(6)
+	lines := make([]InvoiceLine, nLines)
+	for i := range lines {
+		item := skuCatalog[g.rng.Intn(len(skuCatalog))]
+		lines[i] = InvoiceLine{
+			Number:      i + 1,
+			SKU:         item.sku,
+			Description: item.desc,
+			Quantity:    1 + g.rng.Intn(40),
+			UnitPrice:   item.price,
+		}
+	}
+	inv := &Invoice{
+		ID:       fmt.Sprintf("INV-%s-%06d", seller.ID, g.seq),
+		POID:     fmt.Sprintf("PO-%s-%06d", buyer.ID, g.seq),
+		Buyer:    buyer,
+		Seller:   seller,
+		Currency: "USD",
+		IssuedAt: baseTime.Add(time.Duration(g.seq) * time.Minute),
+		Lines:    lines,
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		inv.DueAt = inv.IssuedAt.Add(30 * 24 * time.Hour)
+	case 1:
+		inv.DueAt = inv.IssuedAt.Add(30 * 24 * time.Hour)
+		inv.Note = "net 30"
+	}
+	return inv
+}
+
 // AckFor builds a fully-accepting acknowledgment for po, as the simulated
 // back ends produce after storing a PO.
 func AckFor(po *PurchaseOrder, ackID string) *PurchaseOrderAck {

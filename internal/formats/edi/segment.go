@@ -177,6 +177,12 @@ func Decode(data []byte) (*Interchange, error) {
 		TxSetID:    st.Elem(1),
 		Body:       segs[3 : len(segs)-3],
 	}
+	if ic.SenderID == "" || ic.ReceiverID == "" {
+		return nil, decodeErrf("blank ISA06/ISA08 interchange IDs")
+	}
+	if ic.GroupID == "" || ic.TxSetID == "" {
+		return nil, decodeErrf("blank GS01/ST01 codes")
+	}
 	ctl, err := strconv.Atoi(strings.TrimLeft(isa.Elem(13), "0"))
 	if err != nil && isa.Elem(13) != "000000000" {
 		return nil, decodeErrf("bad ISA13 control number %q", isa.Elem(13))

@@ -337,19 +337,23 @@ func TestPropertyReliableExactlyOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault sweep")
 	}
-	schedules := []Faults{
-		{Seed: 1},
-		{LossProb: 0.2, Seed: 2},
-		{LossProb: 0.5, Seed: 3},
-		{DupProb: 0.5, Seed: 4},
-		{LossProb: 0.25, DupProb: 0.25, Jitter: 2 * time.Millisecond, Seed: 5},
+	schedules := []struct {
+		name   string
+		faults Faults
+	}{
+		{"clean", Faults{Seed: 1}},
+		{"light-loss", Faults{LossProb: 0.2, Seed: 2}},
+		{"heavy-loss", Faults{LossProb: 0.5, Seed: 3}},
+		{"duplication", Faults{DupProb: 0.5, Seed: 4}},
+		{"jittered-duplication", Faults{DupProb: 0.4, Jitter: 2 * time.Millisecond, Seed: 6}},
+		{"loss-dup-jitter", Faults{LossProb: 0.25, DupProb: 0.25, Jitter: 2 * time.Millisecond, Seed: 5}},
 	}
-	for si, f := range schedules {
-		f := f
-		t.Run(fmt.Sprintf("schedule%d", si), func(t *testing.T) {
+	for _, tc := range schedules {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
 			cfg := ReliableConfig{RetryInterval: 8 * time.Millisecond, MaxAttempts: 100}
-			ra, rb := reliablePair(t, f, cfg)
+			ra, rb := reliablePair(t, tc.faults, cfg)
 			ctx := testCtx(t)
 			const total = 30
 			done := make(chan map[string]int, 1)
@@ -372,7 +376,7 @@ func TestPropertyReliableExactlyOnce(t *testing.T) {
 			got := <-done
 			for i := 0; i < total; i++ {
 				if n := got[fmt.Sprintf("c%d", i)]; n != 1 {
-					t.Fatalf("schedule %d: c%d delivered %d times", si, i, n)
+					t.Fatalf("%s: c%d delivered %d times", tc.name, i, n)
 				}
 			}
 		})

@@ -51,6 +51,7 @@ type Faults struct {
 // It is safe for concurrent use.
 type InProcNetwork struct {
 	faults Faults
+	done   chan struct{}
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -67,6 +68,7 @@ func NewInProcNetwork(f Faults) *InProcNetwork {
 	}
 	return &InProcNetwork{
 		faults: f,
+		done:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 		boxes:  make(map[string]chan *Message),
 	}
@@ -85,10 +87,13 @@ func (n *InProcNetwork) Endpoint(addr string) (Endpoint, error) {
 	}
 	box := make(chan *Message, 1024)
 	n.boxes[addr] = box
-	return &inprocEndpoint{net: n, addr: addr, box: box}, nil
+	return &inprocEndpoint{net: n, addr: addr, box: box, done: make(chan struct{})}, nil
 }
 
-// Close shuts the network down; all endpoints become unusable.
+// Close shuts the network down; all endpoints become unusable. Mailboxes
+// are never closed as channels — delayed deliveries still in flight land
+// in the orphaned buffers and are garbage collected — so a jittered
+// delivery can never race an endpoint shutdown.
 func (n *InProcNetwork) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -96,13 +101,10 @@ func (n *InProcNetwork) Close() error {
 		return nil
 	}
 	n.closed = true
-	boxes := n.boxes
 	n.boxes = map[string]chan *Message{}
 	n.mu.Unlock()
+	close(n.done)
 	n.wg.Wait()
-	for _, b := range boxes {
-		close(b)
-	}
 	return nil
 }
 
@@ -149,11 +151,11 @@ func (n *InProcNetwork) deliver(to string, m *Message) error {
 	return nil
 }
 
-// trySend delivers into a mailbox, dropping on congestion and tolerating a
-// mailbox that was closed by endpoint shutdown (the message is then lost,
-// which the reliable layer handles like any other loss).
+// trySend delivers into a mailbox, dropping on congestion. A mailbox
+// whose endpoint has shut down just accumulates the message in its
+// orphaned buffer (the message is lost, which the reliable layer handles
+// like any other loss).
 func trySend(box chan *Message, m *Message) {
-	defer func() { recover() }()
 	select {
 	case box <- m:
 	default: // congested mailbox: drop
@@ -164,6 +166,7 @@ type inprocEndpoint struct {
 	net  *InProcNetwork
 	addr string
 	box  chan *Message
+	done chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -186,11 +189,12 @@ func (e *inprocEndpoint) Send(to string, m *Message) error {
 
 func (e *inprocEndpoint) Recv(ctx context.Context) (*Message, error) {
 	select {
-	case m, ok := <-e.box:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case m := <-e.box:
 		return m, nil
+	case <-e.done:
+		return nil, ErrClosed
+	case <-e.net.done:
+		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -208,6 +212,6 @@ func (e *inprocEndpoint) Close() error {
 		delete(e.net.boxes, e.addr)
 	}
 	e.net.mu.Unlock()
-	close(e.box)
+	close(e.done)
 	return nil
 }

@@ -79,11 +79,13 @@ func (c *Collector) Exchanges() int {
 // exchange lifecycle events — the replacement for hand-rolled hub
 // counters. It is safe for concurrent use.
 type ExchangeCounters struct {
-	mu        sync.Mutex
-	started   int64
-	failed    int64
-	byFlow    map[Flow]int64
-	byPartner map[string]int64
+	mu         sync.Mutex
+	started    int64
+	failed     int64
+	retries    int64
+	deadLetter int64
+	byFlow     map[Flow]int64
+	byPartner  map[string]int64
 }
 
 // NewExchangeCounters returns an empty counters sink.
@@ -91,23 +93,36 @@ func NewExchangeCounters() *ExchangeCounters {
 	return &ExchangeCounters{byFlow: map[Flow]int64{}, byPartner: map[string]int64{}}
 }
 
-// Emit implements Sink: only KindExchange events are counted. Terminal
-// events (finished or failed) count toward the flow and partner totals;
-// failures additionally increment the failure counter.
+// Emit implements Sink: KindExchange lifecycle events and KindRetry
+// attempts are counted. Terminal events (finished or failed) count toward
+// the flow and partner totals; failures additionally increment the failure
+// counter. Dead-letter events count only the dead-letter total — the
+// exchange's terminal "failed" event already covered the flow and partner.
 func (c *ExchangeCounters) Emit(e Event) {
+	if e.Kind == KindRetry {
+		if e.Step == StepAttempt {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+		}
+		return
+	}
 	if e.Kind != KindExchange {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e.Step == "started" {
+	switch e.Step {
+	case StepStarted:
 		c.started++
-		return
-	}
-	c.byFlow[e.Flow]++
-	c.byPartner[e.Partner]++
-	if e.Err != nil {
-		c.failed++
+	case StepDeadLetter:
+		c.deadLetter++
+	default:
+		c.byFlow[e.Flow]++
+		c.byPartner[e.Partner]++
+		if e.Err != nil {
+			c.failed++
+		}
 	}
 }
 
@@ -115,7 +130,11 @@ func (c *ExchangeCounters) Emit(e Event) {
 type CountersSnapshot struct {
 	Started int64
 	Failed  int64
-	ByFlow  map[Flow]int64
+	// Retries counts failed delivery attempts that were retried.
+	Retries int64
+	// DeadLettered counts exchanges parked on the dead-letter queue.
+	DeadLettered int64
+	ByFlow       map[Flow]int64
 	// ByPartner counts terminal exchanges per trading partner.
 	ByPartner map[string]int64
 }
@@ -125,10 +144,12 @@ func (c *ExchangeCounters) Snapshot() CountersSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CountersSnapshot{
-		Started:   c.started,
-		Failed:    c.failed,
-		ByFlow:    make(map[Flow]int64, len(c.byFlow)),
-		ByPartner: make(map[string]int64, len(c.byPartner)),
+		Started:      c.started,
+		Failed:       c.failed,
+		Retries:      c.retries,
+		DeadLettered: c.deadLetter,
+		ByFlow:       make(map[Flow]int64, len(c.byFlow)),
+		ByPartner:    make(map[string]int64, len(c.byPartner)),
 	}
 	for k, v := range c.byFlow {
 		s.ByFlow[k] = v

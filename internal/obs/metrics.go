@@ -49,10 +49,11 @@ func NewMetrics() *Metrics {
 	return &Metrics{stages: map[Stage]*stageMetrics{}}
 }
 
-// Emit implements Sink: KindStep and terminal KindExchange events feed the
-// histogram of their stage; routing hops are counted without latency.
+// Emit implements Sink: KindStep, KindRetry and terminal KindExchange
+// events feed the histogram of their stage; routing hops are counted
+// without latency.
 func (m *Metrics) Emit(e Event) {
-	if e.Kind == KindExchange && e.Step == "started" {
+	if e.Kind == KindExchange && e.Step != StepFinished && e.Step != StepFailed {
 		return // only terminal exchange events carry a latency
 	}
 	m.mu.Lock()

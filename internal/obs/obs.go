@@ -45,7 +45,23 @@ const (
 	KindRoute Kind = "route"
 	// KindExchange marks exchange lifecycle: Step is "started", "finished"
 	// or "failed"; Elapsed on the terminal events is the end-to-end latency.
+	// A "dead-letter" event follows "failed" when the hub parks the exchange
+	// on its dead-letter queue.
 	KindExchange Kind = "exchange"
+	// KindRetry marks reliability-layer activity: Step is StepAttempt for a
+	// failed delivery attempt (Err set, Elapsed is the attempt duration) or
+	// StepBackoff for the pause before the next one (Elapsed is the backoff).
+	KindRetry Kind = "retry"
+)
+
+// Well-known Step values for lifecycle and retry events.
+const (
+	StepStarted    = "started"
+	StepFinished   = "finished"
+	StepFailed     = "failed"
+	StepDeadLetter = "dead-letter"
+	StepAttempt    = "attempt"
+	StepBackoff    = "backoff"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.

@@ -116,6 +116,69 @@ func TestInvoiceCrossFormatChain(t *testing.T) {
 	}
 }
 
+// TestPropertyGeneratedInvoiceEveryFormatPair: a stream of generated
+// invoices survives the full hub path — encode at the source format's
+// codec, transform to the target format, encode/decode again, normalize —
+// for every ordered format pair, with semantic equality to the original.
+// The generator varies line counts, optional due dates and notes, so the
+// pairs are exercised across the document shapes partners actually send.
+func TestPropertyGeneratedInvoiceEveryFormatPair(t *testing.T) {
+	r := newFullRegistry()
+	codecs := map[formats.Format]formats.Codec{
+		formats.EDI:        edi.INVCodec{},
+		formats.RosettaNet: rosettanet.INVCodec{},
+		formats.OAGIS:      oagis.INVCodec{},
+		formats.SAPIDoc:    sapidoc.INVCodec{},
+		formats.OracleOIF:  oracleoif.INVCodec{},
+	}
+	for _, from := range allFormats {
+		for _, to := range allFormats {
+			from, to := from, to
+			t.Run(string(from)+"→"+string(to), func(t *testing.T) {
+				t.Parallel()
+				g := doc.NewGenerator(int64(len(from) + 31*len(to)))
+				for i := 0; i < 25; i++ {
+					inv := g.Invoice(buyer, seller)
+					native, err := r.FromNormalized(from, doc.TypeINV, inv)
+					if err != nil {
+						t.Fatalf("invoice %d: %v", i, err)
+					}
+					wire, err := codecs[from].Encode(native)
+					if err != nil {
+						t.Fatalf("invoice %d: encode %s: %v", i, from, err)
+					}
+					native, err = codecs[from].Decode(wire)
+					if err != nil {
+						t.Fatalf("invoice %d: decode %s: %v", i, from, err)
+					}
+					if from != to {
+						native, err = r.Apply(from, to, doc.TypeINV, native)
+						if err != nil {
+							t.Fatalf("invoice %d: apply: %v", i, err)
+						}
+					}
+					wire, err = codecs[to].Encode(native)
+					if err != nil {
+						t.Fatalf("invoice %d: encode %s: %v", i, to, err)
+					}
+					native, err = codecs[to].Decode(wire)
+					if err != nil {
+						t.Fatalf("invoice %d: decode %s: %v", i, to, err)
+					}
+					back, err := r.ToNormalized(to, doc.TypeINV, native)
+					if err != nil {
+						t.Fatalf("invoice %d: normalize: %v", i, err)
+					}
+					if err := SemanticEqualINV(inv, back.(*doc.Invoice)); err != nil {
+						t.Fatalf("invoice %d (%d lines, due=%v, note=%q): %v",
+							i, len(inv.Lines), !inv.DueAt.IsZero(), inv.Note, err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestInvoiceAmountMatchesEDITotal(t *testing.T) {
 	// The 810's TDS total (cents) must agree with the normalized amount.
 	inv := sampleInvoice()

@@ -78,6 +78,7 @@ type Engine struct {
 	handlers *Handlers
 	ports    PortFunc
 	observer StepObserver
+	decider  RetryDecider
 
 	mu      sync.Mutex
 	counter int
@@ -93,6 +94,18 @@ type StepObserver func(in *Instance, step *StepDef, elapsed time.Duration, err e
 // before the engine starts executing instances; installation is not
 // synchronized with running instances.
 func (e *Engine) SetStepObserver(fn StepObserver) { e.observer = fn }
+
+// RetryDecider decides, after a failed attempt of a task, send or outbound
+// connection step, whether the engine should retry it and how long to back
+// off first. attempt is 1-based (the attempt that just failed). When no
+// decider is installed, the engine falls back to StepDef.Retries immediate
+// retries. Deciders run synchronously on the goroutine advancing the
+// instance; they are where the hub's per-binding RetryPolicy plugs in.
+type RetryDecider func(ctx context.Context, in *Instance, s *StepDef, attempt int, err error) (retry bool, backoff time.Duration)
+
+// SetRetryDecider installs the engine's retry decider. Like the step
+// observer it must be installed before instances start executing.
+func (e *Engine) SetRetryDecider(fn RetryDecider) { e.decider = fn }
 
 // NewEngine creates an engine bound to a store and handler registry. ports
 // may be nil if no type uses send/connection steps.
@@ -375,17 +388,7 @@ func (e *Engine) executeStep(ctx context.Context, t *TypeDef, in *Instance, s *S
 		if !ok {
 			return e.failStep(in, s, fmt.Errorf("wf: no handler %q registered", s.Handler))
 		}
-		var err error
-		for attempt := 0; attempt <= s.Retries; attempt++ {
-			if err = fn(ctx, in, s); err == nil {
-				break
-			}
-			run.Attempts = attempt + 1
-			if attempt < s.Retries {
-				in.log(s.Name, fmt.Sprintf("attempt %d failed, retrying: %v", attempt+1, err))
-			}
-		}
-		if err != nil {
+		if err := e.attemptLoop(ctx, in, s, func() error { return fn(ctx, in, s) }); err != nil {
 			return e.failStep(in, s, err)
 		}
 		e.completeStep(ctx, t, in, s)
@@ -394,7 +397,7 @@ func (e *Engine) executeStep(ctx context.Context, t *TypeDef, in *Instance, s *S
 		if e.ports == nil {
 			return e.failStep(in, s, fmt.Errorf("wf: engine has no port function for send step %q", s.Name))
 		}
-		if err := e.ports(ctx, in, s, outboundPayload(in, s)); err != nil {
+		if err := e.attemptLoop(ctx, in, s, func() error { return e.ports(ctx, in, s, outboundPayload(in, s)) }); err != nil {
 			return e.failStep(in, s, err)
 		}
 		in.log(s.Name, "sent on port "+s.Port)
@@ -405,7 +408,7 @@ func (e *Engine) executeStep(ctx context.Context, t *TypeDef, in *Instance, s *S
 			if e.ports == nil {
 				return e.failStep(in, s, fmt.Errorf("wf: engine has no port function for connection step %q", s.Name))
 			}
-			if err := e.ports(ctx, in, s, outboundPayload(in, s)); err != nil {
+			if err := e.attemptLoop(ctx, in, s, func() error { return e.ports(ctx, in, s, outboundPayload(in, s)) }); err != nil {
 				return e.failStep(in, s, err)
 			}
 			in.log(s.Name, "passed control to binding via port "+s.Port)
@@ -439,6 +442,40 @@ func (e *Engine) executeStep(ctx context.Context, t *TypeDef, in *Instance, s *S
 		return e.failStep(in, s, fmt.Errorf("wf: unknown step kind %q", s.Kind))
 	}
 	return nil
+}
+
+// attemptLoop runs one step's side-effecting operation under the engine's
+// retry regime: attempts are numbered from 1, recorded on the step run, and
+// repeated while the decider (or, absent one, the step's Retries budget)
+// allows. Backoff pauses are interruptible by the exchange's context; a
+// done context always stops the loop with the last attempt's error.
+func (e *Engine) attemptLoop(ctx context.Context, in *Instance, s *StepDef, op func() error) error {
+	run := in.Steps[s.Name]
+	for attempt := 1; ; attempt++ {
+		err := op()
+		run.Attempts = attempt
+		if err == nil {
+			return nil
+		}
+		var retry bool
+		var backoff time.Duration
+		if e.decider != nil {
+			retry, backoff = e.decider(ctx, in, s, attempt, err)
+		} else {
+			retry = attempt <= s.Retries
+		}
+		if !retry || ctx.Err() != nil {
+			return err
+		}
+		in.log(s.Name, fmt.Sprintf("attempt %d failed, retrying: %v", attempt, err))
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return err
+			}
+		}
+	}
 }
 
 // outboundPayload selects what a send or outbound-connection step emits:

@@ -50,7 +50,8 @@ type StepRun struct {
 	Child string
 	// Error records a failure.
 	Error string
-	// Attempts counts failed handler attempts of a retried task step.
+	// Attempts counts executed attempts of a retryable step (1 on a
+	// first-try success).
 	Attempts int
 }
 

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Run the concurrent-hub throughput benchmark and record the result as
+# Run the concurrent-hub throughput benchmarks and record the result as
 # BENCH_hub.json: exchanges/sec for 1, 4 and 8 hub workers over the
 # in-process transport with simulated wire latency, plus the 8-vs-1
-# speedup. The acceptance bar is speedup >= 2.
+# speedup, plus the faulty-backend variant (8 workers, 10% injected
+# backend errors absorbed by the retry layer). The acceptance bar is
+# speedup >= 2 on the clean benchmark.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,6 +13,9 @@ COUNT="${BENCH_COUNT:-50x}"
 
 echo "== BenchmarkHubParallel (benchtime $COUNT) =="
 go test -run '^$' -bench '^BenchmarkHubParallel$' -benchtime "$COUNT" . | tee /tmp/bench_hub.txt
+
+echo "== BenchmarkHubParallelFaulty (benchtime ${BENCH_FAULTY_COUNT:-200x}) =="
+go test -run '^$' -bench '^BenchmarkHubParallelFaulty$' -benchtime "${BENCH_FAULTY_COUNT:-200x}" . | tee /tmp/bench_hub_faulty.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -27,6 +32,20 @@ for line in open("/tmp/bench_hub.txt"):
 if 1 not in results or 8 not in results:
     sys.exit("bench.sh: missing workers=1 or workers=8 result")
 
+faulty = None
+for line in open("/tmp/bench_hub_faulty.txt"):
+    m = re.search(r"BenchmarkHubParallelFaulty\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s\s+([\d.]+) retries/op", line)
+    if m:
+        faulty = {
+            "ns_per_op": float(m.group(1)),
+            "exchanges_per_sec": float(m.group(2)),
+            "retries_per_exchange": float(m.group(3)),
+            "workers": 8,
+            "backend_error_rate": 0.10,
+        }
+if faulty is None:
+    sys.exit("bench.sh: missing BenchmarkHubParallelFaulty result")
+
 speedup = results[8]["exchanges_per_sec"] / results[1]["exchanges_per_sec"]
 record = {
     "benchmark": "BenchmarkHubParallel",
@@ -34,12 +53,15 @@ record = {
     "workers": {str(w): results[w] for w in sorted(results)},
     "speedup_8_vs_1": round(speedup, 2),
     "passes_2x": speedup >= 2.0,
+    "faulty": faulty,
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
     f.write("\n")
 print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
-      f"({'PASS' if speedup >= 2.0 else 'FAIL'} >= 2x)")
+      f"({'PASS' if speedup >= 2.0 else 'FAIL'} >= 2x); "
+      f"faulty 8w @10% err = {faulty['exchanges_per_sec']:.0f} exchanges/s, "
+      f"{faulty['retries_per_exchange']:.2f} retries/exchange")
 if speedup < 2.0:
     sys.exit(1)
 EOF

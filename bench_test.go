@@ -53,7 +53,7 @@ func BenchmarkFig01RoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		po := g.PO(benchBuyer, benchSeller)
-		if _, _, err := h.RoundTrip(ctx, po); err != nil {
+		if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: po}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -301,7 +301,7 @@ func BenchmarkFig14EndToEnd(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				po := g.PO(c.buyer, benchSeller)
-				if _, _, err := h.RoundTrip(ctx, po); err != nil {
+				if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: po}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -340,7 +340,7 @@ func BenchmarkFig14WireLevel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := h.ProcessInboundPO(ctx, formats.EDI, wire); err != nil {
+		if _, err := h.Do(ctx, core.Request{Kind: core.DocWirePO, Protocol: formats.EDI, Wire: wire}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -433,7 +433,7 @@ func BenchmarkRoundTripLoss(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			server := core.NewServer(h, hubEP, rcfg)
+			server := core.NewServer(h, hubEP, core.WithReliableConfig(rcfg))
 			defer server.Close()
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
@@ -494,7 +494,7 @@ func BenchmarkRoundTripPartners(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := partners[i%len(partners)]
 				po := g.PO(doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}, benchSeller)
-				if _, _, err := h.RoundTrip(ctx, po); err != nil {
+				if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: po}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -654,7 +654,7 @@ func BenchmarkNaiveVsAdvancedRoundTrip(b *testing.B) {
 		g := doc.NewGenerator(1)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := h.RoundTrip(ctx, g.PO(benchBuyer, benchSeller)); err != nil {
+			if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: g.PO(benchBuyer, benchSeller)}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -690,7 +690,7 @@ func BenchmarkHubParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			server := core.NewServer(h, hubEP, rcfg)
+			server := core.NewServer(h, hubEP, core.WithReliableConfig(rcfg))
 			defer server.Close()
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
@@ -745,7 +745,7 @@ func BenchmarkHubParallel(b *testing.B) {
 // injected backend error rate and the default retry policy absorbing it —
 // the cost of fault masking under load, comparable to the clean
 // workers=8 row of BenchmarkHubParallel. Exchanges are driven through the
-// in-process Submit API so the measured overhead is retry scheduling, not
+// in-process DoAsync API so the measured overhead is retry scheduling, not
 // wire latency.
 func BenchmarkHubParallelFaulty(b *testing.B) {
 	const workers = 8
@@ -753,7 +753,7 @@ func BenchmarkHubParallelFaulty(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h, err := core.NewHub(m)
+	h, err := core.NewHub(m, core.WithWorkersPerShard(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -763,7 +763,7 @@ func BenchmarkHubParallelFaulty(b *testing.B) {
 	h.SetDefaultRetryPolicy(core.RetryPolicy{
 		MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
 	})
-	h.StartWorkers(workers)
+	h.StartScheduler()
 	defer h.StopWorkers()
 	ctx := context.Background()
 	g := doc.NewGenerator(1)
@@ -775,7 +775,7 @@ func BenchmarkHubParallelFaulty(b *testing.B) {
 	start := time.Now()
 	futs := make([]*core.Future, b.N)
 	for i, po := range pos {
-		fut, err := h.Submit(ctx, po)
+		fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -791,6 +791,97 @@ func BenchmarkHubParallelFaulty(b *testing.B) {
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
 	c := h.Counters()
 	b.ReportMetric(float64(c.Retries)/float64(b.N), "retries/op")
+}
+
+// BenchmarkHubSharded: throughput of the sharded per-partner exchange
+// scheduler, driven through the in-process DoAsync API (like
+// BenchmarkHubParallelFaulty) so the measured path is scheduling, binding
+// resolution, transformation and backend work — not wire latency. The hub
+// is configured with WithShards/WithWorkersPerShard and fed the
+// three-protocol partner population (Figure 14 + the Figure 15 OAGIS
+// partner) round-robin, so orders hash across shards. The shards=1 rows
+// degenerate to the old single-pool shape; the shards>=4 rows are the
+// tentpole configuration scripts/bench.sh records into BENCH_hub.json
+// (acceptance: clean shards=8 >= 1.5x the BenchmarkHubParallel workers=8
+// row of the seed, 1107 exchanges/s). The faulty row layers a 10% injected
+// backend error rate absorbed by the retry layer on top.
+func BenchmarkHubSharded(b *testing.B) {
+	type cfg struct {
+		mode            string
+		shards, workers int
+	}
+	var cfgs []cfg
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{2, 4} {
+			cfgs = append(cfgs, cfg{"clean", shards, workers})
+		}
+	}
+	cfgs = append(cfgs, cfg{"faulty", 8, 4})
+	for _, c := range cfgs {
+		b.Run(fmt.Sprintf("%s/shards=%d/workers=%d", c.mode, c.shards, c.workers), func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.NewHub(m,
+				core.WithShards(c.shards),
+				core.WithWorkersPerShard(c.workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			if c.mode == "faulty" {
+				h.WrapBackends(func(sys backend.System) backend.System {
+					return backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: 0.10, Seed: 17})
+				})
+				h.SetDefaultRetryPolicy(core.RetryPolicy{
+					MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+				})
+			}
+			defer h.StopWorkers()
+			ctx := context.Background()
+
+			var buyers []doc.Party
+			for _, p := range h.Model.Partners {
+				buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(2000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-c%d-%d", pos[i].ID, w, i)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			futs := make([]*core.Future, b.N)
+			for i, po := range pos {
+				fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs[i] = fut
+			}
+			for i, fut := range futs {
+				if res := fut.Result(ctx); res.Err != nil {
+					b.Fatalf("exchange %d: %v", i, res.Err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
+			if c.mode == "faulty" {
+				cs := h.Counters()
+				b.ReportMetric(float64(cs.Retries)/float64(b.N), "retries/op")
+			}
+		})
+	}
 }
 
 // BenchmarkTCPRoundTrip: the full exchange over real loopback sockets.
@@ -810,7 +901,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	server := core.NewServer(h, hubEP, rcfg)
+	server := core.NewServer(h, hubEP, core.WithReliableConfig(rcfg))
 	defer server.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -880,7 +971,7 @@ func BenchmarkFunctionalAck997(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		po := g.PO(benchBuyer, benchSeller)
-		if _, _, err := h.RoundTrip(ctx, po); err != nil {
+		if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: po}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -907,11 +998,11 @@ func BenchmarkInvoiceFlow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		po := g.PO(benchBuyer, benchSeller)
-		if _, _, err := h.RoundTrip(ctx, po); err != nil {
+		if _, err := h.Do(ctx, core.Request{Kind: core.DocPO, PO: po}); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, _, err := h.SendInvoice(ctx, "TP1", po.ID); err != nil {
+		if _, err := h.Do(ctx, core.Request{Kind: core.DocInvoice, PartnerID: "TP1", POID: po.ID}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -85,13 +85,13 @@ func chaosSchedules() []chaosSchedule {
 // chaosHub assembles the three-protocol hub (Figure 14 + the Figure 15
 // OAGIS partner) with every backend wrapped in the schedule's Faulty
 // decorator.
-func chaosHub(t *testing.T, sc chaosSchedule) (*core.Hub, map[string]*backend.Faulty) {
+func chaosHub(t *testing.T, sc chaosSchedule, opts ...core.HubOption) (*core.Hub, map[string]*backend.Faulty) {
 	t.Helper()
 	model, err := core.PaperFigure14Model()
 	if err != nil {
 		t.Fatal(err)
 	}
-	hub, err := core.NewHub(model)
+	hub, err := core.NewHub(model, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,8 +116,7 @@ func TestChaosExactlyOnceAccounting(t *testing.T) {
 	for _, sc := range chaosSchedules() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			hub, faulties := chaosHub(t, sc)
-			hub.StartWorkers(workers)
+			hub, faulties := chaosHub(t, sc, core.WithShards(4), core.WithWorkersPerShard(workers/4))
 			defer hub.StopWorkers()
 
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -134,7 +133,7 @@ func TestChaosExactlyOnceAccounting(t *testing.T) {
 				g := doc.NewGenerator(int64(1000*pi) + sc.faults.Seed)
 				for i := 0; i < ordersPerPartner; i++ {
 					po := g.PO(buyer, doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"})
-					fut, err := hub.Submit(ctx, po)
+					fut, err := hub.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
 					if err != nil {
 						t.Fatalf("submit %s/%d: %v", p.ID, i, err)
 					}
@@ -293,8 +292,7 @@ func TestChaosCancellationAccounting(t *testing.T) {
 		faults: backend.FaultSchedule{ErrProb: 0.2, Latency: time.Millisecond, Seed: 5 + chaosSeedOffset()},
 		policy: core.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
 	}
-	hub, _ := chaosHub(t, sc)
-	hub.StartWorkers(4)
+	hub, _ := chaosHub(t, sc, core.WithShards(2), core.WithWorkersPerShard(2))
 	defer hub.StopWorkers()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -303,7 +301,7 @@ func TestChaosCancellationAccounting(t *testing.T) {
 	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
 	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
 	for i := 0; i < 60; i++ {
-		fut, err := hub.Submit(ctx, g.PO(buyer, hubParty))
+		fut, err := hub.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: g.PO(buyer, hubParty)})
 		if err != nil {
 			break // pool rejected after cancel: fine
 		}

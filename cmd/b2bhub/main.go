@@ -40,7 +40,8 @@ import (
 
 var (
 	n       = flag.Int("n", 100, "purchase orders per partner")
-	workers = flag.Int("workers", 1, "hub worker pool size; >1 serves exchanges concurrently")
+	workers = flag.Int("workers", 1, "hub workers (per shard when -shards > 1); >1 serves exchanges concurrently")
+	shards  = flag.Int("shards", 0, "scheduler shards; >0 runs the sharded per-partner scheduler")
 	loss    = flag.Float64("loss", 0, "message loss probability (in-process network only)")
 	dup     = flag.Float64("dup", 0, "message duplication probability (in-process network only)")
 	tp3     = flag.Bool("tp3", false, "add the Figure 15 partner (OAGIS)")
@@ -71,7 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hub, err := core.NewHub(model)
+	hubOpts := []core.HubOption{core.WithWorkersPerShard(*workers)}
+	if *shards > 0 {
+		hubOpts = append(hubOpts, core.WithShards(*shards))
+	}
+	hub, err := core.NewHub(model, hubOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,12 +117,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := core.NewServer(hub, hubEP, rcfg)
+	server := core.NewServer(hub, hubEP, core.WithReliableConfig(rcfg))
 	defer server.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	if *workers > 1 {
+	if *workers > 1 || *shards > 0 {
 		go server.ServeConcurrent(ctx, *workers, nil)
 	} else {
 		go server.Serve(ctx, nil)
@@ -165,7 +170,7 @@ func main() {
 					log.Fatalf("%s order %d: wrong correlation", p.ID, i)
 				}
 				if *invoice {
-					if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
+					if _, err := hub.Do(ctx, core.Request{Kind: core.DocInvoice, PartnerID: p.ID, POID: po.ID}); err != nil {
 						log.Fatalf("%s invoice for %s: %v", p.ID, po.ID, err)
 					}
 				}
@@ -203,6 +208,9 @@ func main() {
 	hs := hub.Stats()
 	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n", hs.Exchanges, hs.Invoices, hs.Failed)
 	printStageMetrics(hub)
+	if *trace {
+		printShardMetrics(hub)
+	}
 	hub.StopWorkers()
 }
 
@@ -224,7 +232,7 @@ func runChaos(hub *core.Hub) {
 		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
 		PerAttemptTimeout: 50 * time.Millisecond,
 	})
-	hub.StartWorkers(*workers)
+	hub.StartScheduler()
 	defer hub.StopWorkers()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -236,7 +244,7 @@ func runChaos(hub *core.Hub) {
 		g := doc.NewGenerator(int64(len(p.ID)))
 		buyerParty := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
 		for i := 0; i < *n; i++ {
-			fut, err := hub.Submit(ctx, g.PO(buyerParty, sellerParty))
+			fut, err := hub.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: g.PO(buyerParty, sellerParty)})
 			if err != nil {
 				log.Fatalf("%s order %d: %v", p.ID, i, err)
 			}
@@ -287,6 +295,9 @@ func runChaos(hub *core.Hub) {
 		fmt.Printf("healed backends: %d/%d dead letters resubmitted successfully\n", recovered, len(dls))
 	}
 	printStageMetrics(hub)
+	if *trace {
+		printShardMetrics(hub)
+	}
 }
 
 // findExchange returns the ID of the first submitted exchange whose event
@@ -339,6 +350,19 @@ func printTrace(hub *core.Hub, exchangeID string) {
 			}
 			fmt.Printf("   %-6s %s (%v)%s\n", e.Step, e.ExchangeID, e.Elapsed.Round(time.Microsecond), status)
 		}
+	}
+}
+
+// printShardMetrics renders the scheduler's per-shard gauges (queue depth,
+// busy workers, completed throughput, bypass admissions).
+func printShardMetrics(hub *core.Hub) {
+	snaps := hub.SchedMetrics().Snapshot()
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Println("scheduler shards (queued, busy, completed, bypassed-in):")
+	for _, s := range snaps {
+		fmt.Printf("   shard %2d  %4d %4d %6d %6d\n", s.Shard, s.Queued, s.Busy, s.Completed, s.Bypassed)
 	}
 }
 

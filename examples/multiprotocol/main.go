@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := core.NewServer(hub, hubEP, rcfg)
+	server := core.NewServer(hub, hubEP, core.WithReliableConfig(rcfg))
 	defer server.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)

@@ -51,10 +51,11 @@ func main() {
 	}
 	fmt.Printf("inbound PO %s from %s, amount %.2f %s\n", po.ID, po.Buyer.Name, po.Amount(), po.Currency)
 
-	poa, ex, err := hub.RoundTrip(context.Background(), po)
+	res, err := hub.Do(context.Background(), core.Request{Kind: core.DocPO, PO: po})
 	if err != nil {
 		log.Fatal(err)
 	}
+	poa, ex := res.POA, res.Exchange
 
 	// 4. Inspect the result.
 	fmt.Printf("outbound POA %s: status=%s, %d lines\n", poa.ID, poa.Status, len(poa.Lines))

@@ -60,7 +60,7 @@ func TestFullStackOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := core.NewServer(hub, hubEP, rcfg)
+	server := core.NewServer(hub, hubEP, core.WithReliableConfig(rcfg))
 	defer server.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()

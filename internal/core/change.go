@@ -173,6 +173,7 @@ func (h *Hub) AddPartner(p TradingPartner) (*ChangeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.invalidateRoutes()
 	if _, ok := h.Model.PublicProcesses[p.Protocol]; ok {
 		if err := h.Engine.Deploy(h.Model.PublicProcesses[p.Protocol]); err != nil {
 			return rec, err
@@ -211,6 +212,7 @@ func (h *Hub) EnableTransportAcks(p TradingPartner) (*ChangeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.invalidateRoutes()
 	return rec, h.Engine.Deploy(h.Model.PublicProcesses[p.Protocol])
 }
 
@@ -241,5 +243,6 @@ func (h *Hub) EnableFunctionalAcks(p formats.Format) (*ChangeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.invalidateRoutes()
 	return rec, h.Engine.Deploy(h.Model.PublicProcesses[p])
 }

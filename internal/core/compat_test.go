@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/transform"
+)
+
+// The compat suite pins the deprecated entry points to the unified Do API:
+// two identically seeded hubs run the same document matrix, one through the
+// old wrappers and one through Do/DoAsync, and every payload that comes out
+// must be identical — byte-identical for wire documents.
+
+// compatMatrix is one partner/protocol row of the format matrix.
+type compatMatrix struct {
+	party    doc.Party
+	protocol formats.Format
+}
+
+func compatRows() []compatMatrix {
+	return []compatMatrix{
+		{tp1, formats.EDI},
+		{tp2, formats.RosettaNet},
+		{tp3, formats.OAGIS},
+	}
+}
+
+// compatHubs builds two hubs with identical deterministic state: the
+// Figure 14 model plus the Figure 15 OAGIS partner, invoicing enabled.
+func compatHubs(t *testing.T) (*Hub, *Hub) {
+	t.Helper()
+	mk := func() *Hub {
+		h := newFig14Hub(t)
+		if _, err := h.AddPartner(Figure15Partner()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.EnableInvoicing(); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	return mk(), mk()
+}
+
+// TestCompatRoundTripMatchesDo: the deprecated RoundTrip and a DocPO Do
+// return the same acknowledgment for every protocol in the matrix.
+func TestCompatRoundTripMatchesDo(t *testing.T) {
+	oldHub, newHub := compatHubs(t)
+	ctx := context.Background()
+	for _, row := range compatRows() {
+		gOld, gNew := doc.NewGenerator(11), doc.NewGenerator(11)
+		poOld, poNew := gOld.PO(row.party, seller), gNew.PO(row.party, seller)
+
+		poaOld, exOld, err := oldHub.RoundTrip(ctx, poOld)
+		if err != nil {
+			t.Fatalf("%s RoundTrip: %v", row.party.ID, err)
+		}
+		res, err := newHub.Do(ctx, Request{Kind: DocPO, PO: poNew})
+		if err != nil {
+			t.Fatalf("%s Do: %v", row.party.ID, err)
+		}
+		if !reflect.DeepEqual(poaOld, res.POA) {
+			t.Fatalf("%s: POA diverged\nold %+v\nnew %+v", row.party.ID, poaOld, res.POA)
+		}
+		if exOld.ID != res.Exchange.ID || exOld.Protocol != res.Exchange.Protocol {
+			t.Fatalf("%s: exchange records diverged: %s/%s vs %s/%s",
+				row.party.ID, exOld.ID, exOld.Protocol, res.Exchange.ID, res.Exchange.Protocol)
+		}
+	}
+}
+
+// TestCompatWireMatchesDo: the deprecated ProcessInboundPO and a DocWirePO
+// Do emit byte-identical outbound wire documents for every protocol.
+func TestCompatWireMatchesDo(t *testing.T) {
+	oldHub, newHub := compatHubs(t)
+	ctx := context.Background()
+	reg := &transform.Registry{}
+	transform.RegisterAll(reg)
+	codecs := NewCodecRegistry()
+	for _, row := range compatRows() {
+		g := doc.NewGenerator(13)
+		po := g.POWithAmount(row.party, seller, 100)
+		native, err := reg.FromNormalized(row.protocol, doc.TypePO, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec, err := codecs.Lookup(row.protocol, doc.TypePO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := codec.Encode(native)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		outOld, _, err := oldHub.ProcessInboundPO(ctx, row.protocol, wire)
+		if err != nil {
+			t.Fatalf("%s ProcessInboundPO: %v", row.party.ID, err)
+		}
+		res, err := newHub.Do(ctx, Request{Kind: DocWirePO, Protocol: row.protocol, Wire: wire})
+		if err != nil {
+			t.Fatalf("%s Do: %v", row.party.ID, err)
+		}
+		if !bytes.Equal(outOld, res.Wire) {
+			t.Fatalf("%s: outbound wire diverged\nold %q\nnew %q", row.party.ID, outOld, res.Wire)
+		}
+	}
+}
+
+// TestCompatInvoiceMatchesDo: the deprecated SendInvoice and a DocInvoice
+// Do emit byte-identical invoice wire documents.
+func TestCompatInvoiceMatchesDo(t *testing.T) {
+	oldHub, newHub := compatHubs(t)
+	ctx := context.Background()
+	for _, row := range compatRows() {
+		gOld, gNew := doc.NewGenerator(17), doc.NewGenerator(17)
+		poOld, poNew := gOld.PO(row.party, seller), gNew.PO(row.party, seller)
+		if _, _, err := oldHub.RoundTrip(ctx, poOld); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := newHub.Do(ctx, Request{Kind: DocPO, PO: poNew}); err != nil {
+			t.Fatal(err)
+		}
+
+		wireOld, _, err := oldHub.SendInvoice(ctx, row.party.ID, poOld.ID)
+		if err != nil {
+			t.Fatalf("%s SendInvoice: %v", row.party.ID, err)
+		}
+		res, err := newHub.Do(ctx, Request{Kind: DocInvoice, PartnerID: row.party.ID, POID: poNew.ID})
+		if err != nil {
+			t.Fatalf("%s Do: %v", row.party.ID, err)
+		}
+		if !bytes.Equal(wireOld, res.Wire) {
+			t.Fatalf("%s: invoice wire diverged\nold %q\nnew %q", row.party.ID, wireOld, res.Wire)
+		}
+	}
+}
+
+// TestCompatAsyncWrappersMatchDoAsync: the deprecated Submit/SubmitWire/
+// SubmitInvoice futures resolve to the same payloads as DoAsync requests on
+// an identically seeded hub.
+func TestCompatAsyncWrappersMatchDoAsync(t *testing.T) {
+	oldHub, newHub := compatHubs(t)
+	defer oldHub.StopWorkers()
+	defer newHub.StopWorkers()
+	ctx := context.Background()
+
+	gOld, gNew := doc.NewGenerator(19), doc.NewGenerator(19)
+	poOld, poNew := gOld.PO(tp1, seller), gNew.PO(tp1, seller)
+
+	futOld, err := oldHub.Submit(ctx, poOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	futNew, err := newHub.DoAsync(ctx, Request{Kind: DocPO, PO: poNew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOld, resNew := futOld.Result(ctx), futNew.Result(ctx)
+	if resOld.Err != nil || resNew.Err != nil {
+		t.Fatalf("errs: %v vs %v", resOld.Err, resNew.Err)
+	}
+	if !reflect.DeepEqual(resOld.POA, resNew.POA) {
+		t.Fatalf("POA diverged\nold %+v\nnew %+v", resOld.POA, resNew.POA)
+	}
+
+	ifutOld, err := oldHub.SubmitInvoice(ctx, tp1.ID, poOld.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifutNew, err := newHub.DoAsync(ctx, Request{Kind: DocInvoice, PartnerID: tp1.ID, POID: poNew.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iresOld, iresNew := ifutOld.Result(ctx), ifutNew.Result(ctx)
+	if iresOld.Err != nil || iresNew.Err != nil {
+		t.Fatalf("invoice errs: %v vs %v", iresOld.Err, iresNew.Err)
+	}
+	if !bytes.Equal(iresOld.Wire, iresNew.Wire) {
+		t.Fatalf("invoice wire diverged\nold %q\nnew %q", iresOld.Wire, iresNew.Wire)
+	}
+}
+
+// TestRequestValidation pins the Request normalization rules.
+func TestRequestValidation(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	for _, req := range []Request{
+		{},                               // nothing to infer
+		{Kind: DocPO},                    // missing PO
+		{Kind: DocWirePO},                // missing protocol+wire
+		{Kind: DocInvoice},               // missing partner+poid
+		{Kind: DocKind("bogus")},         // unknown kind
+		{Kind: DocInvoice, POID: "PO-1"}, // missing partner
+	} {
+		if _, err := h.Do(ctx, req); !errors.Is(err, ErrInvalidRequest) {
+			t.Fatalf("req %+v: err %v, want ErrInvalidRequest", req, err)
+		}
+	}
+	// Kind inference from the populated field.
+	g := doc.NewGenerator(3)
+	res, err := h.Do(ctx, Request{PO: g.PO(tp1, seller)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.POA == nil {
+		t.Fatal("inferred DocPO returned no POA")
+	}
+}

@@ -44,7 +44,7 @@ func TestConcurrentExchanges(t *testing.T) {
 				// Two workers share a buyer; uniquify the order numbers
 				// they generate independently.
 				po.ID = fmt.Sprintf("%s-w%d", po.ID, wi)
-				poa, _, err := h.RoundTrip(ctx, po)
+				poa, _, err := roundTrip(h, ctx, po)
 				if err != nil {
 					errCh <- fmt.Errorf("worker %d order %d: %w", wi, i, err)
 					return
@@ -91,7 +91,7 @@ func TestConcurrentClientsOverNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := NewServer(h, hubEP, rcfg)
+	server := NewServer(h, hubEP, WithReliableConfig(rcfg))
 	defer server.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()

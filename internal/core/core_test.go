@@ -20,17 +20,34 @@ var (
 	seller = doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
 )
 
-func newFig14Hub(t *testing.T) *Hub {
+func newFig14Hub(t *testing.T, opts ...HubOption) *Hub {
 	t.Helper()
 	m, err := PaperFigure14Model()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := NewHub(m)
+	h, err := NewHub(m, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return h
+}
+
+// roundTrip, inboundPO and invoiceFor drive the unified Do API, returning
+// the old entry points' triples so assertions read unchanged.
+func roundTrip(h *Hub, ctx context.Context, po *doc.PurchaseOrder) (*doc.PurchaseOrderAck, *Exchange, error) {
+	res, err := h.Do(ctx, Request{Kind: DocPO, PO: po})
+	return res.POA, res.Exchange, err
+}
+
+func inboundPO(h *Hub, ctx context.Context, p formats.Format, wire []byte) ([]byte, *Exchange, error) {
+	res, err := h.Do(ctx, Request{Kind: DocWirePO, Protocol: p, Wire: wire})
+	return res.Wire, res.Exchange, err
+}
+
+func invoiceFor(h *Hub, ctx context.Context, partnerID, poID string) ([]byte, *Exchange, error) {
+	res, err := h.Do(ctx, Request{Kind: DocInvoice, PartnerID: partnerID, POID: poID})
+	return res.Wire, res.Exchange, err
 }
 
 // TestFig11PublicProcesses checks the public process shape: protocol
@@ -118,7 +135,7 @@ func TestFig14EndToEnd(t *testing.T) {
 
 	// TP1 via EDI to SAP, above threshold.
 	po := g.POWithAmount(tp1, seller, 60000)
-	poa, ex, err := h.RoundTrip(ctx, po)
+	poa, ex, err := roundTrip(h, ctx, po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +158,7 @@ func TestFig14EndToEnd(t *testing.T) {
 
 	// TP2 via RosettaNet to Oracle, below threshold.
 	po2 := g.POWithAmount(tp2, seller, 1000)
-	poa2, ex2, err := h.RoundTrip(ctx, po2)
+	poa2, ex2, err := roundTrip(h, ctx, po2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +210,7 @@ func TestFig14WireLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := h.ProcessInboundPO(context.Background(), formats.EDI, wire)
+	out, _, err := inboundPO(h, context.Background(), formats.EDI, wire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +269,7 @@ func TestFig15AddThirdPartner(t *testing.T) {
 	// TP3 works end to end right away.
 	g := doc.NewGenerator(3)
 	po := g.POWithAmount(tp3, seller, 15000)
-	poa, ex, err := h.RoundTrip(ctx, po)
+	poa, ex, err := roundTrip(h, ctx, po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +281,7 @@ func TestFig15AddThirdPartner(t *testing.T) {
 		t.Fatal("15000 >= 10000 should need approval for TP3")
 	}
 	// And existing partners still work.
-	if _, _, err := h.RoundTrip(ctx, g.POWithAmount(tp1, seller, 100)); err != nil {
+	if _, _, err := roundTrip(h, ctx, g.POWithAmount(tp1, seller, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -283,7 +300,7 @@ func TestAddPartnerExistingProtocol(t *testing.T) {
 	}
 	g := doc.NewGenerator(4)
 	po := g.POWithAmount(doc.Party{ID: "TP4", Name: "TP4", DUNS: "4"}, seller, 75000)
-	_, ex, err := h.RoundTrip(context.Background(), po)
+	_, ex, err := roundTrip(h, context.Background(), po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +314,7 @@ func TestUnknownPartnerRejected(t *testing.T) {
 	h := newFig14Hub(t)
 	g := doc.NewGenerator(5)
 	po := g.POWithAmount(doc.Party{ID: "GHOST", Name: "?"}, seller, 1)
-	if _, _, err := h.RoundTrip(context.Background(), po); !errors.Is(err, ErrUnknownPartner) {
+	if _, _, err := roundTrip(h, context.Background(), po); !errors.Is(err, ErrUnknownPartner) {
 		t.Fatalf("err %v", err)
 	}
 }
@@ -334,7 +351,7 @@ func TestChangeLocalityAudit(t *testing.T) {
 	}
 	// Next exchange runs the audited private process.
 	po := g.POWithAmount(tp1, seller, 100)
-	_, ex, err := h.RoundTrip(ctx, po)
+	_, ex, err := roundTrip(h, ctx, po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +379,7 @@ func TestChangeLocalityTransportAcks(t *testing.T) {
 	// Exchanges still complete; the ack steps are internal to the public
 	// process.
 	po := g.POWithAmount(tp1, seller, 100)
-	poa, ex, err := h.RoundTrip(ctx, po)
+	poa, ex, err := roundTrip(h, ctx, po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +421,7 @@ func TestChangeThresholdIsRulesOnly(t *testing.T) {
 	}
 	// The new threshold is live immediately — no redeployment needed.
 	po := g.POWithAmount(tp1, seller, 200)
-	_, ex, err := h.RoundTrip(ctx, po)
+	_, ex, err := roundTrip(h, ctx, po)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +441,7 @@ func TestRemovePartner(t *testing.T) {
 		t.Fatalf("record %+v", rec)
 	}
 	g := doc.NewGenerator(10)
-	if _, _, err := h.RoundTrip(context.Background(), g.POWithAmount(tp1, seller, 1)); !errors.Is(err, ErrUnknownPartner) {
+	if _, _, err := roundTrip(h, context.Background(), g.POWithAmount(tp1, seller, 1)); !errors.Is(err, ErrUnknownPartner) {
 		t.Fatalf("err %v", err)
 	}
 	if _, err := h.Model.RemovePartner("GHOST"); err == nil {
@@ -459,7 +476,7 @@ func TestAddBackendLive(t *testing.T) {
 	}
 	g := doc.NewGenerator(11)
 	po := g.POWithAmount(doc.Party{ID: "TP2", Name: "T2", DUNS: "2"}, seller, 10)
-	if _, _, err := h.RoundTrip(context.Background(), po); err != nil {
+	if _, _, err := roundTrip(h, context.Background(), po); err != nil {
 		t.Fatal(err)
 	}
 	if h.Systems["Oracle"].StoredOrders() != 1 {
@@ -527,13 +544,13 @@ func TestHubStats(t *testing.T) {
 	ctx := context.Background()
 	g := doc.NewGenerator(20)
 	po := g.PO(tp1, seller)
-	if _, _, err := h.RoundTrip(ctx, po); err != nil {
+	if _, _, err := roundTrip(h, ctx, po); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.RoundTrip(ctx, g.PO(tp2, seller)); err != nil {
+	if _, _, err := roundTrip(h, ctx, g.PO(tp2, seller)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.SendInvoice(ctx, "TP1", po.ID); err != nil {
+	if _, _, err := invoiceFor(h, ctx, "TP1", po.ID); err != nil {
 		t.Fatal(err)
 	}
 	st := h.Stats()
@@ -544,7 +561,7 @@ func TestHubStats(t *testing.T) {
 		t.Fatalf("per-partner %+v", st.PerPartner)
 	}
 	// A failed invoice (unbilled order) counts as failed.
-	if _, _, err := h.SendInvoice(ctx, "TP1", "PO-NOPE"); err == nil {
+	if _, _, err := invoiceFor(h, ctx, "TP1", "PO-NOPE"); err == nil {
 		t.Fatal("expected failure")
 	}
 	if st := h.Stats(); st.Failed != 1 {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/doc"
+	"repro/internal/obs"
+)
+
+// TestExchangeErrorTyped: a failing exchange surfaces a typed *ExchangeError
+// carrying the exchange ID, partner and failing stage, with the root cause
+// reachable through errors.Is.
+func TestExchangeErrorTyped(t *testing.T) {
+	h := newFig14Hub(t)
+	h.WrapBackends(func(sys backend.System) backend.System {
+		return backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: 1, Seed: 7})
+	})
+	h.SetDefaultRetryPolicy(RetryPolicy{MaxAttempts: 1})
+
+	g := doc.NewGenerator(53)
+	po := g.PO(tp1, seller)
+	_, ex, err := roundTrip(h, context.Background(), po)
+	if err == nil {
+		t.Fatal("exchange against an always-failing backend succeeded")
+	}
+	var xerr *ExchangeError
+	if !errors.As(err, &xerr) {
+		t.Fatalf("err %T %v is not an *ExchangeError", err, err)
+	}
+	if xerr.ExchangeID != ex.ID || xerr.Partner != tp1.ID {
+		t.Fatalf("attribution %s/%s, want %s/%s", xerr.ExchangeID, xerr.Partner, ex.ID, tp1.ID)
+	}
+	if xerr.Stage != obs.StageApp {
+		t.Fatalf("stage %s, want %s (the backend step failed)", xerr.Stage, obs.StageApp)
+	}
+	if !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("root cause %v not reachable through errors.Is", err)
+	}
+}
+
+// TestErrorSentinels: the exported sentinels are reachable with errors.Is
+// from the public entry points.
+func TestErrorSentinels(t *testing.T) {
+	h := newFig14Hub(t)
+	ctx := context.Background()
+	g := doc.NewGenerator(59)
+
+	ghost := doc.Party{ID: "GHOST", Name: "Nobody", DUNS: "000000000"}
+	if _, err := h.Do(ctx, Request{Kind: DocPO, PO: g.PO(ghost, seller)}); !errors.Is(err, ErrUnknownPartner) {
+		t.Fatalf("unknown partner: err %v, want ErrUnknownPartner", err)
+	}
+	if _, err := h.Do(ctx, Request{Kind: DocInvoice, PartnerID: "GHOST", POID: "PO-1"}); err == nil {
+		t.Fatal("invoice for unknown partner succeeded")
+	}
+	if _, err := h.Do(ctx, Request{}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("empty request: err %v, want ErrInvalidRequest", err)
+	}
+}
+
+// retryEventsFor counts the retry attempts recorded for one exchange.
+func retryEventsFor(h *Hub, exID string) int {
+	n := 0
+	for _, e := range h.Events(exID) {
+		if e.Kind == obs.KindRetry && e.Step == obs.StepAttempt {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRequestRetryOverride: Request.Retry overrides the hub's retry policies
+// for that exchange only — a single-attempt override stops immediately where
+// the hub default keeps retrying.
+func TestRequestRetryOverride(t *testing.T) {
+	h := newFig14Hub(t)
+	h.WrapBackends(func(sys backend.System) backend.System {
+		return backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: 1, Seed: 11})
+	})
+	h.SetDefaultRetryPolicy(RetryPolicy{MaxAttempts: 4})
+
+	ctx := context.Background()
+	g := doc.NewGenerator(61)
+
+	// Default policy: 4 attempts → 3 recorded retries.
+	res, err := h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)})
+	if err == nil {
+		t.Fatal("exchange against an always-failing backend succeeded")
+	}
+	defRetries := retryEventsFor(h, res.Exchange.ID)
+	if defRetries != 3 {
+		t.Fatalf("default policy recorded %d retries, want 3", defRetries)
+	}
+
+	// Per-call override: 1 attempt → no retries, everything else unchanged.
+	res, err = h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller), Retry: &RetryPolicy{MaxAttempts: 1}})
+	if err == nil {
+		t.Fatal("exchange against an always-failing backend succeeded")
+	}
+	if got := retryEventsFor(h, res.Exchange.ID); got != 0 {
+		t.Fatalf("override recorded %d retries, want 0", got)
+	}
+
+	// The override did not leak into the hub's configured policies.
+	res, err = h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)})
+	if err == nil {
+		t.Fatal("exchange against an always-failing backend succeeded")
+	}
+	if got := retryEventsFor(h, res.Exchange.ID); got != 3 {
+		t.Fatalf("post-override default recorded %d retries, want 3", got)
+	}
+}

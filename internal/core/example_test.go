@@ -10,11 +10,11 @@ import (
 	"repro/internal/formats"
 )
 
-// ExampleHub_RoundTrip builds the minimal advanced model — one EDI
-// partner, one SAP back end — and runs one PO/POA exchange through the
-// full public-process → binding → private-process → application-binding
-// chain.
-func ExampleHub_RoundTrip() {
+// ExampleHub_Do builds the minimal advanced model — one EDI partner, one
+// SAP back end — and runs one PO/POA exchange through the full
+// public-process → binding → private-process → application-binding chain
+// with the unified submission API.
+func ExampleHub_Do() {
 	model, err := core.BuildModel(
 		[]core.TradingPartner{{
 			ID: "TP1", Name: "Acme Corp", Protocol: formats.EDI,
@@ -36,12 +36,12 @@ func ExampleHub_RoundTrip() {
 		Currency: "USD",
 		Lines:    []doc.Line{{Number: 1, SKU: "LAP-100", Quantity: 40, UnitPrice: 1450}},
 	}
-	poa, ex, err := hub.RoundTrip(context.Background(), po)
+	res, err := hub.Do(context.Background(), core.Request{Kind: core.DocPO, PO: po})
 	if err != nil {
 		log.Fatal(err)
 	}
-	priv, _ := hub.PrivateInstance(ex)
-	fmt.Println("status:", poa.Status)
+	priv, _ := hub.PrivateInstance(res.Exchange)
+	fmt.Println("status:", res.POA.Status)
 	fmt.Println("needs approval:", priv.Data["needsApproval"])
 	// Output:
 	// status: accepted

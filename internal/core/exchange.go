@@ -11,13 +11,88 @@ import (
 	"repro/internal/wf"
 )
 
-// ErrUnknownPartner is returned for documents from unregistered partners.
-var ErrUnknownPartner = fmt.Errorf("core: unknown trading partner")
+// resolvedRoute is the binding-resolution cache entry for one trading
+// partner: the partner record plus every workflow type name its exchanges
+// route through, resolved once per deploy instead of per exchange.
+type resolvedRoute struct {
+	partner TradingPartner
+
+	publicName  string
+	bindingName string
+	appBinding  string
+
+	invPublicName  string
+	invBindingName string
+	invAppBinding  string
+}
+
+// resolveRoute returns the partner's route, read-through: a miss resolves
+// against the model under the write lock. Deploy-time changes (AddPartner,
+// AddBackend, EnableInvoicing, …) invalidate the cache wholesale.
+func (h *Hub) resolveRoute(partnerID string) (resolvedRoute, bool) {
+	h.routeMu.RLock()
+	r, ok := h.routes[partnerID]
+	h.routeMu.RUnlock()
+	if ok {
+		return r, true
+	}
+	partner, ok := h.Model.PartnerByID(partnerID)
+	if !ok {
+		return resolvedRoute{}, false
+	}
+	r = resolvedRoute{
+		partner:        partner,
+		publicName:     PublicProcessName(partner.Protocol),
+		bindingName:    BindingName(partner.Protocol),
+		appBinding:     AppBindingName(partner.Backend),
+		invPublicName:  InvoicePublicProcessName(partner.Protocol),
+		invBindingName: InvoiceBindingName(partner.Protocol),
+		invAppBinding:  InvoiceAppBindingName(partner.Backend),
+	}
+	h.routeMu.Lock()
+	if h.routes == nil {
+		h.routes = map[string]resolvedRoute{}
+	}
+	h.routes[partnerID] = r
+	h.routeMu.Unlock()
+	return r, true
+}
+
+// invalidateRoutes drops the binding-resolution cache; the next exchange
+// re-resolves against the current model. Every deploy-time change calls it.
+func (h *Hub) invalidateRoutes() {
+	h.routeMu.Lock()
+	h.routes = nil
+	h.routeMu.Unlock()
+}
+
+// CachedRoutes reports the number of cached partner routes (cache
+// observability for tests).
+func (h *Hub) CachedRoutes() int {
+	h.routeMu.RLock()
+	defer h.routeMu.RUnlock()
+	return len(h.routes)
+}
+
+// exchangeOpts carries per-exchange execution options through the pipeline.
+type exchangeOpts struct {
+	// resubmit marks a dead-letter replay: its app binding tolerates the
+	// backend's duplicate-order rejection.
+	resubmit bool
+	// retry overrides the hub's retry policies for this exchange only.
+	retry *RetryPolicy
+}
 
 // ProcessInboundPO drives one inbound purchase order (wire bytes in the
 // given B2B protocol) through the full chain and returns the outbound POA
 // wire bytes plus the completed exchange record.
+//
+// Deprecated: use Do with a DocWirePO Request.
 func (h *Hub) ProcessInboundPO(ctx context.Context, protocol formats.Format, wire []byte) ([]byte, *Exchange, error) {
+	return h.processInboundPO(ctx, protocol, wire, nil)
+}
+
+func (h *Hub) processInboundPO(ctx context.Context, protocol formats.Format, wire []byte, retry *RetryPolicy) ([]byte, *Exchange, error) {
 	poCodec, err := h.codecs.Lookup(protocol, doc.TypePO)
 	if err != nil {
 		return nil, nil, err
@@ -26,7 +101,7 @@ func (h *Hub) ProcessInboundPO(ctx context.Context, protocol formats.Format, wir
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: inbound %s PO: %w", protocol, err)
 	}
-	ex, err := h.processNative(ctx, protocol, native)
+	ex, err := h.processNativeOpt(ctx, protocol, native, exchangeOpts{retry: retry})
 	if err != nil {
 		return nil, ex, err
 	}
@@ -44,20 +119,26 @@ func (h *Hub) ProcessInboundPO(ctx context.Context, protocol formats.Format, wir
 // RoundTrip is the normalized-document convenience: it encodes the PO in
 // the buyer's registered protocol, processes it, and decodes the returned
 // POA back to the normalized model.
+//
+// Deprecated: use Do with a DocPO Request.
 func (h *Hub) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.PurchaseOrderAck, *Exchange, error) {
-	partner, ok := h.Model.PartnerByID(po.Buyer.ID)
+	return h.roundTrip(ctx, po, nil)
+}
+
+func (h *Hub) roundTrip(ctx context.Context, po *doc.PurchaseOrder, retry *RetryPolicy) (*doc.PurchaseOrderAck, *Exchange, error) {
+	route, ok := h.resolveRoute(po.Buyer.ID)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, po.Buyer.ID)
 	}
-	native, err := h.reg.FromNormalized(partner.Protocol, doc.TypePO, po)
+	native, err := h.reg.FromNormalized(route.partner.Protocol, doc.TypePO, po)
 	if err != nil {
 		return nil, nil, err
 	}
-	ex, err := h.processNative(ctx, partner.Protocol, native)
+	ex, err := h.processNativeOpt(ctx, route.partner.Protocol, native, exchangeOpts{retry: retry})
 	if err != nil {
 		return nil, ex, err
 	}
-	nd, err := h.reg.ToNormalized(partner.Protocol, doc.TypePOA, ex.Outbound)
+	nd, err := h.reg.ToNormalized(route.partner.Protocol, doc.TypePOA, ex.Outbound)
 	if err != nil {
 		return nil, ex, err
 	}
@@ -66,33 +147,32 @@ func (h *Hub) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.Purcha
 
 // processNative runs the chain for a decoded native PO.
 func (h *Hub) processNative(ctx context.Context, protocol formats.Format, native any) (*Exchange, error) {
-	return h.processNativeOpt(ctx, protocol, native, false)
+	return h.processNativeOpt(ctx, protocol, native, exchangeOpts{})
 }
 
-// processNativeOpt is processNative plus the resubmission flag dead-letter
-// replays set: a failed exchange is parked on the dead-letter queue with
-// its native payload, and a resubmitted one tolerates the backend's
-// duplicate-order rejection.
-func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, native any, resubmit bool) (*Exchange, error) {
+// processNativeOpt is processNative plus the per-exchange options: the
+// dead-letter resubmission flag and the per-call retry override.
+func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, native any, opts exchangeOpts) (*Exchange, error) {
 	// Identify the sending partner from the document itself (buyer ID).
 	nd, err := h.reg.ToNormalized(protocol, doc.TypePO, native)
 	if err != nil {
 		return nil, err
 	}
 	po := nd.(*doc.PurchaseOrder)
-	partner, ok := h.Model.PartnerByID(po.Buyer.ID)
+	route, ok := h.resolveRoute(po.Buyer.ID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPartner, po.Buyer.ID)
 	}
-	if partner.Protocol != protocol {
-		return nil, fmt.Errorf("core: partner %s is registered for %s, not %s", partner.ID, partner.Protocol, protocol)
+	if route.partner.Protocol != protocol {
+		return nil, fmt.Errorf("%w: partner %s is registered for %s, not %s",
+			ErrProtocolMismatch, route.partner.ID, route.partner.Protocol, protocol)
 	}
 
-	ex := h.newExchange(partner, obs.FlowPO)
-	ex.resubmit = resubmit
+	ex := h.newExchange(route, obs.FlowPO, opts)
 	start := time.Now()
 	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
-	err = h.runPO(ctx, ex, protocol, native)
+	err = h.runPO(ctx, ex, native)
+	err = wrapExchangeErr(ex, obs.StageExchange, "", err)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
 	if err != nil {
 		h.deadLetter(ex, err, native, "")
@@ -101,9 +181,9 @@ func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, nat
 }
 
 // runPO drives the inbound PO chain of an already-created exchange.
-func (h *Hub) runPO(ctx context.Context, ex *Exchange, protocol formats.Format, native any) error {
+func (h *Hub) runPO(ctx context.Context, ex *Exchange, native any) error {
 	// Start the public process; it parks on its receive step.
-	pub, err := h.Engine.Start(ctx, PublicProcessName(protocol), h.exchangeData(ex))
+	pub, err := h.Engine.Start(ctx, ex.route.publicName, h.exchangeData(ex))
 	if err != nil {
 		return err
 	}
@@ -120,22 +200,25 @@ func (h *Hub) runPO(ctx context.Context, ex *Exchange, protocol formats.Format, 
 	h.mu.Unlock()
 	if !done {
 		got, _ := h.Engine.Instance(pub.ID)
-		return fmt.Errorf("core: exchange %s produced no outbound document (public instance: %s)", ex.ID, got.Summary())
+		return fmt.Errorf("%w (exchange %s, public instance: %s)", ErrNoOutbound, ex.ID, got.Summary())
 	}
 	return nil
 }
 
 // newExchange allocates and registers an exchange record.
-func (h *Hub) newExchange(partner TradingPartner, flow obs.Flow) *Exchange {
+func (h *Hub) newExchange(route resolvedRoute, flow obs.Flow, opts exchangeOpts) *Exchange {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.exchSeq++
 	ex := &Exchange{
 		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
-		Partner:  partner,
-		Protocol: partner.Protocol,
-		Backend:  partner.Backend,
+		Partner:  route.partner,
+		Protocol: route.partner.Protocol,
+		Backend:  route.partner.Backend,
 		Flow:     flow,
+		route:    route,
+		resubmit: opts.resubmit,
+		retry:    opts.retry,
 	}
 	h.exchanges[ex.ID] = ex
 	return ex
@@ -197,14 +280,14 @@ func (h *Hub) exchangeData(ex *Exchange) map[string]any {
 func (h *Hub) pump(ctx context.Context, ex *Exchange) error {
 	for {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: exchange %s: %w", ex.ID, err)
+			return wrapExchangeErr(ex, obs.StageExchange, "", err)
 		}
 		t, ok := h.dequeue(ex)
 		if !ok {
 			return nil
 		}
 		if err := h.route(ctx, ex, t); err != nil {
-			return fmt.Errorf("core: exchange %s, port %s: %w", ex.ID, t.port, err)
+			return wrapExchangeErr(ex, stageForPort(t.port), t.port, err)
 		}
 	}
 }
@@ -212,7 +295,7 @@ func (h *Hub) pump(ctx context.Context, ex *Exchange) error {
 func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 	switch t.port {
 	case PortPublicToBinding:
-		id, err := h.ensureInstance(ctx, &ex.BindingID, BindingName(ex.Protocol), ex)
+		id, err := h.ensureInstance(ctx, &ex.BindingID, ex.route.bindingName, ex)
 		if err != nil {
 			return err
 		}
@@ -228,7 +311,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		return h.Engine.Deliver(ctx, id, PortPrivateIn, t.payload)
 
 	case PortPrivateToApp:
-		id, err := h.ensureInstance(ctx, &ex.AppID, AppBindingName(ex.Backend), ex)
+		id, err := h.ensureInstance(ctx, &ex.AppID, ex.route.appBinding, ex)
 		if err != nil {
 			return err
 		}
@@ -263,7 +346,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		return h.Engine.Deliver(ctx, id, PortInvPrivIn, t.payload)
 
 	case PortInvPrivOut:
-		id, err := h.ensureInstance(ctx, &ex.BindingID, InvoiceBindingName(ex.Protocol), ex)
+		id, err := h.ensureInstance(ctx, &ex.BindingID, ex.route.invBindingName, ex)
 		if err != nil {
 			return err
 		}
@@ -271,7 +354,7 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 		return h.Engine.Deliver(ctx, id, PortInvBindIn, t.payload)
 
 	case PortInvBindOut:
-		id, err := h.ensureInstance(ctx, &ex.PublicID, InvoicePublicProcessName(ex.Protocol), ex)
+		id, err := h.ensureInstance(ctx, &ex.PublicID, ex.route.invPublicName, ex)
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func TestFunctionalAck997EndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := NewServer(h, hubEP, msg.ReliableConfig{})
+	server := NewServer(h, hubEP)
 	defer server.Close()
 	p1, _ := m.PartnerByID("TP1")
 	cliEP, err := n.Endpoint("TP1")
@@ -95,7 +95,7 @@ func TestFunctionalAck997EndToEnd(t *testing.T) {
 		t.Fatalf("Send 997 state %s", pub.StepStateOf("Send 997"))
 	}
 	// The RosettaNet partner is unaffected by the EDI-local change.
-	if _, _, err := h.RoundTrip(ctx, g.POWithAmount(tp2, seller, 100)); err != nil {
+	if _, _, err := roundTrip(h, ctx, g.POWithAmount(tp2, seller, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +115,7 @@ func TestFunctionalAckInProcess(t *testing.T) {
 	}
 	g := doc.NewGenerator(2)
 	po := g.POWithAmount(tp1, seller, 100)
-	_, ex, err := h.RoundTrip(context.Background(), po)
+	_, ex, err := roundTrip(h, context.Background(), po)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,9 +53,17 @@ type Exchange struct {
 	// instance.
 	queue []routeTask
 
+	// route is the partner's cached binding resolution, captured at
+	// admission so the exchange never re-derives type names per hop.
+	route resolvedRoute
+
 	// resubmit marks a dead-letter replay: its app binding tolerates the
 	// backend's duplicate-order rejection.
 	resubmit bool
+
+	// retry is the per-call retry policy override (Request.Retry), nil to
+	// use the hub's configured policies.
+	retry *RetryPolicy
 }
 
 // routeTask is one queued hop between process instances.
@@ -84,20 +92,27 @@ type Hub struct {
 	exchSeq   int
 
 	// Observability: every step execution, routing hop and exchange
-	// lifecycle transition is emitted on the bus; metrics, collector and
-	// counters are the hub's always-attached derived views.
-	bus       *obs.Bus
-	metrics   *obs.Metrics
-	collector *obs.Collector
-	counters  *obs.ExchangeCounters
+	// lifecycle transition is emitted on the bus; metrics, collector,
+	// counters and the scheduler gauges are the hub's always-attached
+	// derived views.
+	bus          *obs.Bus
+	metrics      *obs.Metrics
+	collector    *obs.Collector
+	counters     *obs.ExchangeCounters
+	schedMetrics *obs.SchedMetrics
 
-	// Worker pool for asynchronous submission (see submit.go).
-	poolMu     sync.Mutex
-	jobs       chan job
-	quit       chan struct{}
-	poolClosed bool
-	workerWG   sync.WaitGroup
-	senderWG   sync.WaitGroup
+	// Sharded scheduler for asynchronous submission (see sched.go and
+	// submit.go). schedCfg holds the NewHub option values the scheduler is
+	// lazily started with.
+	schedMu     sync.Mutex
+	sched       *scheduler
+	schedClosed bool
+	schedCfg    hubConfig
+
+	// Binding-resolution cache (see exchange.go): partner ID → resolved
+	// route, invalidated wholesale on deploy-time changes.
+	routeMu sync.RWMutex
+	routes  map[string]resolvedRoute
 
 	// appHandlersFor registers the app-binding handlers for one backend;
 	// kept so the change manager can wire backends added after startup.
@@ -202,21 +217,41 @@ func NewCodecRegistry() *formats.Registry {
 }
 
 // NewHub deploys the model onto a fresh engine with simulated back ends.
-func NewHub(m *Model) (*Hub, error) {
+// Options configure the sharded scheduler (WithShards, WithWorkersPerShard,
+// WithQueueDepth), the default retry policy (WithRetryPolicy) and the event
+// bus (WithBus); a hub built without options behaves like the former
+// single-pool hub.
+func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
+	cfg := hubConfig{
+		shards:          DefaultShards,
+		workersPerShard: DefaultWorkers,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	h := &Hub{
-		Model:     m,
-		Systems:   map[string]backend.System{},
-		reg:       &transform.Registry{},
-		codecs:    NewCodecRegistry(),
-		exchanges: map[string]*Exchange{},
-		bus:       obs.NewBus(),
-		metrics:   obs.NewMetrics(),
-		collector: obs.NewCollector(0),
-		counters:  obs.NewExchangeCounters(),
+		Model:        m,
+		Systems:      map[string]backend.System{},
+		reg:          &transform.Registry{},
+		codecs:       NewCodecRegistry(),
+		exchanges:    map[string]*Exchange{},
+		bus:          cfg.bus,
+		metrics:      obs.NewMetrics(),
+		collector:    obs.NewCollector(0),
+		counters:     obs.NewExchangeCounters(),
+		schedMetrics: obs.NewSchedMetrics(),
+		schedCfg:     cfg,
+	}
+	if h.bus == nil {
+		h.bus = obs.NewBus()
+	}
+	if cfg.defaultRetry != nil {
+		h.defaultRetry = *cfg.defaultRetry
 	}
 	h.bus.Attach(h.metrics)
 	h.bus.Attach(h.collector)
 	h.bus.Attach(h.counters)
+	h.bus.Attach(h.schedMetrics)
 	transform.RegisterAll(h.reg)
 	for _, b := range m.Backends {
 		sys, err := newSystem(b)
@@ -280,6 +315,7 @@ func (h *Hub) DeployBackend(b Backend) error {
 		return fmt.Errorf("core: model has no app binding for %q", b.Name)
 	}
 	h.appHandlersFor(b.Name)
+	h.invalidateRoutes()
 	return h.Engine.Deploy(ab)
 }
 

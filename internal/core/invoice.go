@@ -191,6 +191,7 @@ func (h *Hub) EnableInvoicing() (*ChangeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.invalidateRoutes()
 	deploy := []*wf.TypeDef{h.Model.InvoicePrivate}
 	for _, t := range h.Model.InvoicePublic {
 		deploy = append(deploy, t)
@@ -213,32 +214,34 @@ func (h *Hub) EnableInvoicing() (*ChangeRecord, error) {
 // extracts the billing document from the partner's back end, drives it
 // through the invoice chain and returns the protocol-native wire bytes
 // ready to transmit, plus the exchange record.
+//
+// Deprecated: use Do with a DocInvoice Request.
 func (h *Hub) SendInvoice(ctx context.Context, partnerID, poID string) ([]byte, *Exchange, error) {
-	return h.sendInvoice(ctx, partnerID, poID, false)
+	return h.sendInvoice(ctx, partnerID, poID, exchangeOpts{})
 }
 
-// sendInvoice is SendInvoice plus the resubmission flag dead-letter
-// replays set; a failed invoice exchange is parked on the dead-letter
-// queue keyed by its order identifier.
-func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, resubmit bool) ([]byte, *Exchange, error) {
+// sendInvoice is SendInvoice plus the per-exchange options dead-letter
+// replays and per-call overrides set; a failed invoice exchange is parked
+// on the dead-letter queue keyed by its order identifier.
+func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, opts exchangeOpts) ([]byte, *Exchange, error) {
 	if h.Model.InvoicePrivate == nil {
 		return nil, nil, fmt.Errorf("core: invoicing is not enabled")
 	}
-	partner, ok := h.Model.PartnerByID(partnerID)
+	route, ok := h.resolveRoute(partnerID)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, partnerID)
 	}
-	ex := h.newExchange(partner, obs.FlowInvoice)
-	ex.resubmit = resubmit
+	ex := h.newExchange(route, obs.FlowInvoice, opts)
 	start := time.Now()
 	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
 	outbound, err := h.runInvoice(ctx, ex, poID)
+	err = wrapExchangeErr(ex, obs.StageExchange, "", err)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
 	if err != nil {
 		h.deadLetter(ex, err, nil, poID)
 		return nil, ex, err
 	}
-	codec, err := h.codecs.Lookup(partner.Protocol, doc.TypeINV)
+	codec, err := h.codecs.Lookup(route.partner.Protocol, doc.TypeINV)
 	if err != nil {
 		return nil, ex, err
 	}
@@ -254,7 +257,7 @@ func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, resubmit 
 func (h *Hub) runInvoice(ctx context.Context, ex *Exchange, poID string) (any, error) {
 	data := h.exchangeData(ex)
 	data["poid"] = poID
-	app, err := h.Engine.Start(ctx, InvoiceAppBindingName(ex.Backend), data)
+	app, err := h.Engine.Start(ctx, ex.route.invAppBinding, data)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +270,7 @@ func (h *Hub) runInvoice(ctx context.Context, ex *Exchange, poID string) (any, e
 	outbound := ex.Outbound
 	h.mu.Unlock()
 	if outbound == nil {
-		return nil, fmt.Errorf("core: invoice exchange %s produced no outbound document", ex.ID)
+		return nil, fmt.Errorf("%w (invoice exchange %s)", ErrNoOutbound, ex.ID)
 	}
 	return outbound, nil
 }

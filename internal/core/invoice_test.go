@@ -58,11 +58,11 @@ func TestInvoiceFlowEndToEnd(t *testing.T) {
 	g := doc.NewGenerator(1)
 
 	po := g.POWithAmount(tp1, seller, 60000)
-	if _, _, err := h.RoundTrip(ctx, po); err != nil {
+	if _, _, err := roundTrip(h, ctx, po); err != nil {
 		t.Fatal(err)
 	}
 
-	wire, ex, err := h.SendInvoice(ctx, "TP1", po.ID)
+	wire, ex, err := invoiceFor(h, ctx, "TP1", po.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestInvoiceFlowEndToEnd(t *testing.T) {
 		}
 	}
 	// A second invoice for the same order is not available.
-	if _, _, err := h.SendInvoice(ctx, "TP1", po.ID); err == nil {
+	if _, _, err := invoiceFor(h, ctx, "TP1", po.ID); err == nil {
 		t.Fatal("double billing accepted")
 	}
 }
@@ -123,10 +123,10 @@ func TestInvoiceSmallOrderNoReview(t *testing.T) {
 	ctx := context.Background()
 	g := doc.NewGenerator(2)
 	po := g.POWithAmount(tp2, seller, 900) // RosettaNet partner, below threshold
-	if _, _, err := h.RoundTrip(ctx, po); err != nil {
+	if _, _, err := roundTrip(h, ctx, po); err != nil {
 		t.Fatal(err)
 	}
-	_, ex, err := h.SendInvoice(ctx, "TP2", po.ID)
+	_, ex, err := invoiceFor(h, ctx, "TP2", po.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,18 +146,18 @@ func TestInvoiceErrors(t *testing.T) {
 	h := newFig14Hub(t)
 	ctx := context.Background()
 	// Not enabled.
-	if _, _, err := h.SendInvoice(ctx, "TP1", "PO-X"); err == nil {
+	if _, _, err := invoiceFor(h, ctx, "TP1", "PO-X"); err == nil {
 		t.Fatal("invoicing disabled but SendInvoice succeeded")
 	}
 	if _, err := h.EnableInvoicing(); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown partner.
-	if _, _, err := h.SendInvoice(ctx, "GHOST", "PO-X"); err == nil {
+	if _, _, err := invoiceFor(h, ctx, "GHOST", "PO-X"); err == nil {
 		t.Fatal("unknown partner accepted")
 	}
 	// Unbilled order.
-	if _, _, err := h.SendInvoice(ctx, "TP1", "PO-NEVER-PLACED"); err == nil {
+	if _, _, err := invoiceFor(h, ctx, "TP1", "PO-NEVER-PLACED"); err == nil {
 		t.Fatal("unbilled order accepted")
 	}
 }
@@ -183,7 +183,7 @@ func TestInvoicePushOverNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := NewServer(h, hubEP, rcfg)
+	server := NewServer(h, hubEP, WithReliableConfig(rcfg))
 	defer server.Close()
 	p1, _ := m.PartnerByID("TP1")
 	cliEP, err := n.Endpoint("TP1")

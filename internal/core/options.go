@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/msg"
+	"repro/internal/obs"
+)
+
+// Scheduler defaults. A hub constructed without options behaves like the
+// former single worker pool: one shard whose worker count is chosen at
+// StartWorkers/first-submission time.
+const (
+	// DefaultShards is the shard count when WithShards is not given.
+	DefaultShards = 1
+	// DefaultWorkers is the per-shard worker count when WithWorkersPerShard
+	// is not given (and the historical default pool size).
+	DefaultWorkers = 4
+	// DefaultQueueDepthPerWorker sizes each shard's queue at a few jobs per
+	// worker: enough to keep workers busy, small enough that submitters
+	// feel backpressure.
+	DefaultQueueDepthPerWorker = 4
+)
+
+// hubConfig collects the scheduler and observability knobs of NewHub.
+type hubConfig struct {
+	shards          int
+	workersPerShard int
+	queueDepth      int
+	defaultRetry    *RetryPolicy
+	bus             *obs.Bus
+	// schedConfigured records that a scheduler topology option was given
+	// explicitly, so compat entry points (ServeConcurrent's workers
+	// argument) defer to it instead of imposing the single-pool shape.
+	schedConfigured bool
+}
+
+// HubOption configures NewHub without growing its signature.
+type HubOption func(*hubConfig)
+
+// WithShards sets the scheduler's shard count (minimum 1). Exchanges hash
+// by trading partner onto shards, so partners on different shards cannot
+// stall each other.
+func WithShards(n int) HubOption {
+	return func(c *hubConfig) {
+		if n >= 1 {
+			c.shards = n
+		}
+		c.schedConfigured = true
+	}
+}
+
+// WithWorkersPerShard sets how many workers drain each shard's queue
+// (minimum 1).
+func WithWorkersPerShard(n int) HubOption {
+	return func(c *hubConfig) {
+		if n >= 1 {
+			c.workersPerShard = n
+		}
+		c.schedConfigured = true
+	}
+}
+
+// WithQueueDepth bounds each shard's queue (minimum 1). Submitters block
+// once a shard's queue is full — admission backpressure.
+func WithQueueDepth(n int) HubOption {
+	return func(c *hubConfig) {
+		if n >= 1 {
+			c.queueDepth = n
+		}
+		c.schedConfigured = true
+	}
+}
+
+// WithRetryPolicy sets the hub's default retry policy (the policy scopes
+// without their own resolve to), equivalent to SetDefaultRetryPolicy at
+// construction time.
+func WithRetryPolicy(p RetryPolicy) HubOption {
+	return func(c *hubConfig) { c.defaultRetry = &p }
+}
+
+// WithBus makes the hub emit on an externally owned event bus instead of
+// creating its own, so several hubs (or a test harness) can share one
+// observer fabric.
+func WithBus(b *obs.Bus) HubOption {
+	return func(c *hubConfig) {
+		if b != nil {
+			c.bus = b
+		}
+	}
+}
+
+// queueDepthOrDefault resolves the effective per-shard queue bound.
+func (c hubConfig) queueDepthOrDefault() int {
+	if c.queueDepth > 0 {
+		return c.queueDepth
+	}
+	return DefaultQueueDepthPerWorker * c.workersPerShard
+}
+
+// serverConfig collects NewServer's knobs.
+type serverConfig struct {
+	reliable msg.ReliableConfig
+}
+
+// ServerOption configures NewServer without growing its signature.
+type ServerOption func(*serverConfig)
+
+// WithReliableConfig sets the reliable-messaging parameters (retransmit
+// timeout, attempt budget) of the server's endpoint.
+func WithReliableConfig(cfg msg.ReliableConfig) ServerOption {
+	return func(c *serverConfig) { c.reliable = cfg }
+}

@@ -102,10 +102,29 @@ func (h *Hub) policyForScopes(scopes ...string) RetryPolicy {
 	return h.defaultRetry
 }
 
+// overrideFor returns the exchange's per-call retry override (Request.Retry)
+// for the instance, if one was submitted with it.
+func (h *Hub) overrideFor(in *wf.Instance) *RetryPolicy {
+	exID, _ := in.Data["exchange"].(string)
+	if exID == "" {
+		return nil
+	}
+	h.mu.Lock()
+	ex := h.exchanges[exID]
+	h.mu.Unlock()
+	if ex == nil {
+		return nil
+	}
+	return ex.retry
+}
+
 // policyFor resolves the retry policy governing one step of an exchange:
-// application-binding steps resolve by backend name first, everything else
-// by protocol first.
+// the per-call override wins, then application-binding steps resolve by
+// backend name first and everything else by protocol first.
 func (h *Hub) policyFor(in *wf.Instance) RetryPolicy {
+	if p := h.overrideFor(in); p != nil {
+		return *p
+	}
 	target, _ := in.Data["target"].(string)
 	protocol, _ := in.Data["protocol"].(string)
 	if stageOf(in.Type) == obs.StageApp {
@@ -157,6 +176,9 @@ func retryable(err error) bool {
 func (h *Hub) withAttemptTimeout(bName string, fn wf.Handler) wf.Handler {
 	return func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 		pol := h.policyForScopes(bName)
+		if p := h.overrideFor(in); p != nil {
+			pol = *p
+		}
 		if pol.PerAttemptTimeout <= 0 {
 			return fn(ctx, in, s)
 		}
@@ -239,13 +261,13 @@ func (h *Hub) DrainDeadLetters() []DeadLetter {
 func (h *Hub) Resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
 	switch dl.Flow {
 	case obs.FlowInvoice:
-		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, true)
+		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, exchangeOpts{resubmit: true})
 		return ex, err
 	default:
 		if dl.native == nil {
 			return nil, fmt.Errorf("core: dead letter %s retains no payload", dl.ExchangeID)
 		}
-		return h.processNativeOpt(ctx, dl.Protocol, dl.native, true)
+		return h.processNativeOpt(ctx, dl.Protocol, dl.native, exchangeOpts{resubmit: true})
 	}
 }
 

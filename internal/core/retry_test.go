@@ -45,7 +45,7 @@ func TestRetryRecoversTransientFaults(t *testing.T) {
 	g := doc.NewGenerator(1)
 	for i := 0; i < 20; i++ {
 		po := g.PO(tp1, seller)
-		poa, _, err := h.RoundTrip(ctx, po)
+		poa, _, err := roundTrip(h, ctx, po)
 		if err != nil {
 			t.Fatalf("order %d: %v", i, err)
 		}
@@ -73,7 +73,7 @@ func TestDeadLetterAndResubmit(t *testing.T) {
 	defer cancel()
 	g := doc.NewGenerator(2)
 	po := g.PO(tp1, seller)
-	_, ex, err := h.RoundTrip(ctx, po)
+	_, ex, err := roundTrip(h, ctx, po)
 	if err == nil {
 		t.Fatal("round trip succeeded against an always-failing backend")
 	}
@@ -166,7 +166,7 @@ func TestResubmitToleratesStoredOrder(t *testing.T) {
 
 	// A fresh run of the same order dies at the store step on the
 	// duplicate rejection (not transient, so no retry) and dead-letters.
-	_, _, err = h.RoundTrip(ctx, po)
+	_, _, err = roundTrip(h, ctx, po)
 	if !errors.Is(err, backend.ErrDuplicateOrder) {
 		t.Fatalf("round trip error %v, want duplicate-order rejection", err)
 	}
@@ -204,7 +204,7 @@ func TestPerAttemptTimeoutUnsticksHangs(t *testing.T) {
 	g := doc.NewGenerator(6)
 	for i := 0; i < 5; i++ {
 		po := g.PO(tp1, seller)
-		if _, _, err := h.RoundTrip(ctx, po); err != nil {
+		if _, _, err := roundTrip(h, ctx, po); err != nil {
 			t.Fatalf("order %d: %v", i, err)
 		}
 	}
@@ -225,7 +225,7 @@ func TestRetryEventsInTrace(t *testing.T) {
 	var attempts, backoffs int
 	for i := 0; i < 10; i++ {
 		po := g.PO(tp1, seller)
-		_, ex, err := h.RoundTrip(ctx, po)
+		_, ex, err := roundTrip(h, ctx, po)
 		if err != nil {
 			t.Fatalf("round trip %d: %v", i, err)
 		}

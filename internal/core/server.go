@@ -22,9 +22,15 @@ type Server struct {
 	rel *msg.Reliable
 }
 
-// NewServer attaches the hub to a network endpoint.
-func NewServer(h *Hub, ep msg.Endpoint, cfg msg.ReliableConfig) *Server {
-	return &Server{Hub: h, rel: msg.NewReliable(ep, cfg)}
+// NewServer attaches the hub to a network endpoint. Options configure the
+// reliable-messaging layer (WithReliableConfig); the zero configuration is
+// used without options.
+func NewServer(h *Hub, ep msg.Endpoint, opts ...ServerOption) *Server {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Server{Hub: h, rel: msg.NewReliable(ep, cfg.reliable)}
 }
 
 // Close shuts the server's endpoint down.
@@ -43,11 +49,11 @@ func (s *Server) ServeOne(ctx context.Context) (*Exchange, error) {
 	if m.DocType != string(doc.TypePO) {
 		return nil, fmt.Errorf("core: server expected a purchase order, got %q", m.DocType)
 	}
-	out, ex, err := s.Hub.ProcessInboundPO(ctx, formats.Format(m.Protocol), m.Body)
+	res, err := s.Hub.Do(ctx, Request{Kind: DocWirePO, Protocol: formats.Format(m.Protocol), Wire: m.Body, PartnerID: m.From})
 	if err != nil {
-		return ex, err
+		return res.Exchange, err
 	}
-	return ex, s.respond(ctx, m, ex, out)
+	return res.Exchange, s.respond(ctx, m, res.Exchange, res.Wire)
 }
 
 // respond sends an exchange's outcome back to the requester: first any
@@ -88,15 +94,15 @@ func (s *Server) respond(ctx context.Context, m *msg.Message, ex *Exchange, out 
 // sends the resulting protocol-native invoice to the partner — the server
 // side of the one-way message pattern.
 func (s *Server) PushInvoice(ctx context.Context, partnerID, poID string) (*Exchange, error) {
-	wire, ex, err := s.Hub.SendInvoice(ctx, partnerID, poID)
+	res, err := s.Hub.Do(ctx, Request{Kind: DocInvoice, PartnerID: partnerID, POID: poID})
 	if err != nil {
-		return ex, err
+		return res.Exchange, err
 	}
-	return ex, s.rel.Send(ctx, partnerID, &msg.Message{
+	return res.Exchange, s.rel.Send(ctx, partnerID, &msg.Message{
 		CorrelationID: poID,
-		Protocol:      string(ex.Protocol),
+		Protocol:      string(res.Exchange.Protocol),
 		DocType:       string(doc.TypeINV),
-		Body:          wire,
+		Body:          res.Wire,
 	})
 }
 
@@ -132,16 +138,23 @@ func (s *Server) Serve(ctx context.Context, errs chan<- error) {
 
 // ServeConcurrent processes inbound purchase orders with up to `workers`
 // exchanges in flight at once: the receive loop submits each inbound order
-// to the hub's worker pool and a reply goroutine per exchange sends the
-// response as soon as its future resolves — replies are not serialized
-// behind slower exchanges. It returns when the context is done or the
-// endpoint closes, after in-flight replies finish. Per-exchange errors are
-// sent to errs if non-nil and do not stop the loop.
+// to the hub's sharded scheduler (the sender's partner ID is the shard
+// key) and a reply goroutine per exchange sends the response as soon as
+// its future resolves — replies are not serialized behind slower
+// exchanges. A hub configured with WithShards/WithWorkersPerShard runs its
+// configured topology; otherwise a single shard with `workers` workers
+// preserves the old pool semantics. It returns when the context is done or
+// the endpoint closes, after in-flight replies finish. Per-exchange errors
+// are sent to errs if non-nil and do not stop the loop.
 func (s *Server) ServeConcurrent(ctx context.Context, workers int, errs chan<- error) {
 	if workers < 1 {
 		workers = 1
 	}
-	s.Hub.StartWorkers(workers)
+	if s.Hub.schedCfg.schedConfigured {
+		s.Hub.StartScheduler()
+	} else {
+		s.Hub.startSingleShard(workers)
+	}
 	report := func(err error) {
 		if errs != nil {
 			select {
@@ -165,7 +178,7 @@ func (s *Server) ServeConcurrent(ctx context.Context, workers int, errs chan<- e
 			report(fmt.Errorf("core: server expected a purchase order, got %q", m.DocType))
 			continue
 		}
-		fut, err := s.Hub.SubmitWire(ctx, formats.Format(m.Protocol), m.Body)
+		fut, err := s.Hub.DoAsync(ctx, Request{Kind: DocWirePO, Protocol: formats.Format(m.Protocol), Wire: m.Body, PartnerID: m.From})
 		if err != nil {
 			report(err)
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -33,7 +33,7 @@ func newDeployment(t *testing.T, faults msg.Faults, rcfg msg.ReliableConfig) *de
 		t.Fatal(err)
 	}
 	d := &deployment{
-		server:  NewServer(h, hubEP, rcfg),
+		server:  NewServer(h, hubEP, WithReliableConfig(rcfg)),
 		clients: map[string]*Client{},
 		network: n,
 	}

@@ -2,31 +2,123 @@ package core
 
 import (
 	"context"
-	"errors"
+	"fmt"
 
 	"repro/internal/doc"
 	"repro/internal/formats"
 )
 
-// The concurrent submission API: exchanges are enqueued onto a bounded
-// worker pool and resolve through futures. The pool gives the hub a fixed
-// degree of pipeline parallelism (exchanges overlap while each one's own
-// chain stays strictly sequential) and the bounded queue gives natural
-// backpressure: submitters block once workers fall behind.
+// The unified submission API: every way into the hub — normalized PO round
+// trips, protocol-native wire documents, outbound invoices — is one Request
+// run by Do (synchronous, on the caller's goroutine) or DoAsync (queued
+// onto the sharded scheduler, resolved through a Future). The legacy
+// Submit/SubmitWire/SubmitInvoice and RoundTrip/ProcessInboundPO/SendInvoice
+// entry points survive as thin deprecated wrappers.
 
-// ErrHubStopped is returned for submissions against a stopped worker pool,
-// and resolves futures whose jobs were still queued when the pool stopped.
-var ErrHubStopped = errors.New("core: hub worker pool stopped")
+// DocKind selects the business flow of a Request.
+type DocKind string
 
-// DefaultWorkers is the pool size when Submit is called without an explicit
-// StartWorkers.
-const DefaultWorkers = 4
+// Request kinds.
+const (
+	// DocPO runs the normalized purchase order round trip (the RoundTrip
+	// flow): Request.PO is required.
+	DocPO DocKind = "po"
+	// DocWirePO runs an inbound protocol-native purchase order (the
+	// ProcessInboundPO flow): Request.Protocol and Request.Wire are
+	// required; Request.PartnerID is an optional scheduler shard-key hint
+	// for async submissions (the partner is not known until decode).
+	DocWirePO DocKind = "wire-po"
+	// DocInvoice runs the outbound invoice flow (the SendInvoice flow):
+	// Request.PartnerID and Request.POID are required.
+	DocInvoice DocKind = "invoice"
+)
 
-// Result is the outcome of an asynchronously submitted exchange.
+// Priority selects a Request's scheduler queue lane.
+type Priority int
+
+// Priorities. The high lane of each shard is drained before the normal one.
+const (
+	PriorityNormal Priority = iota
+	PriorityHigh
+)
+
+// Request describes one submission to the hub.
+type Request struct {
+	// Kind selects the flow; the zero value with PO set behaves as DocPO.
+	Kind DocKind
+
+	// PO is the normalized purchase order (DocPO).
+	PO *doc.PurchaseOrder
+	// Protocol and Wire are the inbound protocol document (DocWirePO).
+	Protocol formats.Format
+	Wire     []byte
+	// PartnerID identifies the billed partner (DocInvoice) and, for
+	// DocWirePO, optionally hints the scheduler shard key.
+	PartnerID string
+	// POID identifies the fulfilled order to bill (DocInvoice).
+	POID string
+
+	// Priority selects the scheduler lane (DoAsync only).
+	Priority Priority
+	// Retry overrides the hub's retry policies for this exchange only.
+	Retry *RetryPolicy
+}
+
+// normalize fills derivable fields and validates the request.
+func (r *Request) normalize() error {
+	if r.Kind == "" {
+		switch {
+		case r.PO != nil:
+			r.Kind = DocPO
+		case len(r.Wire) > 0:
+			r.Kind = DocWirePO
+		case r.POID != "":
+			r.Kind = DocInvoice
+		}
+	}
+	switch r.Kind {
+	case DocPO:
+		if r.PO == nil {
+			return fmt.Errorf("%w: DocPO requires PO", ErrInvalidRequest)
+		}
+	case DocWirePO:
+		if r.Protocol == "" || len(r.Wire) == 0 {
+			return fmt.Errorf("%w: DocWirePO requires Protocol and Wire", ErrInvalidRequest)
+		}
+	case DocInvoice:
+		if r.PartnerID == "" || r.POID == "" {
+			return fmt.Errorf("%w: DocInvoice requires PartnerID and POID", ErrInvalidRequest)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, r.Kind)
+	}
+	return nil
+}
+
+// shardKey is the scheduler key the request hashes to its shard by: the
+// trading partner wherever it is known before decode.
+func (r *Request) shardKey() string {
+	switch r.Kind {
+	case DocPO:
+		if r.PO != nil {
+			return r.PO.Buyer.ID
+		}
+	case DocInvoice:
+		return r.PartnerID
+	case DocWirePO:
+		if r.PartnerID != "" {
+			return r.PartnerID
+		}
+		return string(r.Protocol)
+	}
+	return string(r.Kind)
+}
+
+// Result is the outcome of a submitted exchange.
 type Result struct {
-	// POA is the normalized acknowledgment (Submit).
+	// POA is the normalized acknowledgment (DocPO).
 	POA *doc.PurchaseOrderAck
-	// Wire is the outbound wire document (SubmitWire, SubmitInvoice).
+	// Wire is the outbound wire document (DocWirePO, DocInvoice).
 	Wire []byte
 	// Exchange is the exchange record; it may be non-nil even on error.
 	Exchange *Exchange
@@ -55,152 +147,144 @@ func (f *Future) Result(ctx context.Context) Result {
 	}
 }
 
-// job is one queued submission.
-type job struct {
-	ctx context.Context
-	run func(ctx context.Context) Result
-	fut *Future
-}
-
-// StartWorkers starts the submission pool with n workers (minimum 1). It is
-// a no-op when the pool is already running; to resize, StopWorkers first.
-func (h *Hub) StartWorkers(n int) {
-	h.poolMu.Lock()
-	defer h.poolMu.Unlock()
-	h.startWorkersLocked(n)
-}
-
-func (h *Hub) startWorkersLocked(n int) {
-	if h.jobs != nil {
-		return
+// Do runs one request synchronously on the caller's goroutine and returns
+// its result. The returned error equals Result.Err; the Result additionally
+// carries the exchange record and payloads even on failure.
+func (h *Hub) Do(ctx context.Context, req Request) (*Result, error) {
+	if err := req.normalize(); err != nil {
+		return &Result{Err: err}, err
 	}
+	res := h.run(ctx, req)
+	return &res, res.Err
+}
+
+// DoAsync queues one request onto the sharded scheduler and returns a
+// future for its result. The scheduler is started lazily with the hub's
+// configured shard/worker options on first use. Cancelling ctx abandons a
+// queued request and aborts a running exchange between steps.
+func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
+	s, err := h.ensureScheduler()
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, req.shardKey(), req.Priority, func(ctx context.Context) Result {
+		return h.run(ctx, req)
+	})
+}
+
+// run executes a normalized request.
+func (h *Hub) run(ctx context.Context, req Request) Result {
+	switch req.Kind {
+	case DocPO:
+		poa, ex, err := h.roundTrip(ctx, req.PO, req.Retry)
+		return Result{POA: poa, Exchange: ex, Err: err}
+	case DocWirePO:
+		out, ex, err := h.processInboundPO(ctx, req.Protocol, req.Wire, req.Retry)
+		return Result{Wire: out, Exchange: ex, Err: err}
+	case DocInvoice:
+		wire, ex, err := h.sendInvoice(ctx, req.PartnerID, req.POID, exchangeOpts{retry: req.Retry})
+		return Result{Wire: wire, Exchange: ex, Err: err}
+	}
+	err := fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, req.Kind)
+	return Result{Err: err}
+}
+
+// ensureScheduler starts the scheduler with the hub's configured options if
+// it is not already running.
+func (h *Hub) ensureScheduler() (*scheduler, error) {
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	if h.schedClosed {
+		return nil, ErrHubStopped
+	}
+	if h.sched == nil {
+		cfg := h.schedCfg
+		h.sched = newScheduler(h, cfg.shards, cfg.workersPerShard, cfg.queueDepthOrDefault())
+	}
+	return h.sched, nil
+}
+
+// StartWorkers starts the scheduler as a single shard with n workers — the
+// semantics of the former global worker pool. It is a no-op when the
+// scheduler is already running; to resize, StopWorkers first.
+//
+// Deprecated: configure the scheduler with NewHub(m, WithShards(…),
+// WithWorkersPerShard(…)) and let DoAsync start it, or call StartScheduler.
+func (h *Hub) StartWorkers(n int) {
+	h.startSingleShard(n)
+}
+
+// startSingleShard starts the scheduler as one shard with n workers — the
+// compat topology behind StartWorkers and ServeConcurrent's workers
+// argument.
+func (h *Hub) startSingleShard(n int) {
 	if n < 1 {
 		n = 1
 	}
-	h.poolClosed = false
-	// The queue bounds admission at a few jobs per worker: enough to keep
-	// workers busy, small enough that submitters feel backpressure.
-	h.jobs = make(chan job, 4*n)
-	h.quit = make(chan struct{})
-	for i := 0; i < n; i++ {
-		h.workerWG.Add(1)
-		go h.worker(h.jobs, h.quit)
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	if h.sched == nil {
+		h.schedClosed = false
+		h.sched = newScheduler(h, 1, n, DefaultQueueDepthPerWorker*n)
 	}
 }
 
-func (h *Hub) worker(jobs chan job, quit chan struct{}) {
-	defer h.workerWG.Done()
-	for {
-		select {
-		case j := <-jobs:
-			h.runJob(j)
-		case <-quit:
-			// Drain jobs that were admitted before the stop.
-			for {
-				select {
-				case j := <-jobs:
-					h.runJob(j)
-				default:
-					return
-				}
-			}
-		}
+// StartScheduler starts the sharded scheduler with the hub's configured
+// options (WithShards, WithWorkersPerShard, WithQueueDepth). It is a no-op
+// when the scheduler is already running.
+func (h *Hub) StartScheduler() {
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	if h.sched == nil {
+		h.schedClosed = false
+		cfg := h.schedCfg
+		h.sched = newScheduler(h, cfg.shards, cfg.workersPerShard, cfg.queueDepthOrDefault())
 	}
 }
 
-func (h *Hub) runJob(j job) {
-	j.fut.res = j.run(j.ctx)
-	close(j.fut.done)
-}
-
-// StopWorkers stops the pool and waits for in-flight exchanges to finish.
-// Jobs still queued when the pool stops resolve with ErrHubStopped. The
-// pool can be restarted with StartWorkers.
+// StopWorkers stops the scheduler and waits for in-flight exchanges to
+// finish. Jobs still queued when it stops resolve with ErrHubStopped. The
+// scheduler can be restarted with StartWorkers/StartScheduler.
 func (h *Hub) StopWorkers() {
-	h.poolMu.Lock()
-	if h.jobs == nil || h.poolClosed {
-		h.poolMu.Unlock()
+	h.schedMu.Lock()
+	s := h.sched
+	if s == nil {
+		h.schedMu.Unlock()
 		return
 	}
-	h.poolClosed = true
-	jobs := h.jobs
-	quit := h.quit
-	h.poolMu.Unlock()
+	h.schedClosed = true
+	h.schedMu.Unlock()
 
-	close(quit)
-	// After senderWG drains no submission can still be placing a job (new
-	// ones are rejected via poolClosed), so the final drain below sees
-	// everything.
-	h.senderWG.Wait()
-	h.workerWG.Wait()
-	for {
-		select {
-		case j := <-jobs:
-			j.fut.res = Result{Err: ErrHubStopped}
-			close(j.fut.done)
-		default:
-			h.poolMu.Lock()
-			h.jobs, h.quit = nil, nil
-			h.poolMu.Unlock()
-			return
-		}
-	}
-}
+	s.stop()
 
-// submit admits one job to the pool, lazily starting DefaultWorkers when
-// no pool is running. It blocks when the queue is full (backpressure) and
-// aborts on ctx cancellation or pool shutdown.
-func (h *Hub) submit(ctx context.Context, run func(context.Context) Result) (*Future, error) {
-	h.poolMu.Lock()
-	if h.poolClosed {
-		h.poolMu.Unlock()
-		return nil, ErrHubStopped
-	}
-	if h.jobs == nil {
-		h.startWorkersLocked(DefaultWorkers)
-	}
-	jobs := h.jobs
-	quit := h.quit
-	h.senderWG.Add(1)
-	h.poolMu.Unlock()
-	defer h.senderWG.Done()
-
-	fut := &Future{done: make(chan struct{})}
-	select {
-	case jobs <- job{ctx: ctx, run: run, fut: fut}:
-		return fut, nil
-	case <-quit:
-		return nil, ErrHubStopped
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	h.schedMu.Lock()
+	h.sched = nil
+	h.schedMu.Unlock()
 }
 
 // Submit enqueues a normalized purchase order for a full round trip through
 // the exchange pipeline and returns a future for its acknowledgment.
-// Cancelling ctx aborts the exchange between steps; the backend is never
-// touched after cancellation.
+//
+// Deprecated: use DoAsync with a DocPO Request.
 func (h *Hub) Submit(ctx context.Context, po *doc.PurchaseOrder) (*Future, error) {
-	return h.submit(ctx, func(ctx context.Context) Result {
-		poa, ex, err := h.RoundTrip(ctx, po)
-		return Result{POA: poa, Exchange: ex, Err: err}
-	})
+	return h.DoAsync(ctx, Request{Kind: DocPO, PO: po})
 }
 
 // SubmitWire enqueues an inbound protocol-native purchase order and returns
 // a future for the outbound POA wire bytes.
+//
+// Deprecated: use DoAsync with a DocWirePO Request.
 func (h *Hub) SubmitWire(ctx context.Context, protocol formats.Format, wire []byte) (*Future, error) {
-	return h.submit(ctx, func(ctx context.Context) Result {
-		out, ex, err := h.ProcessInboundPO(ctx, protocol, wire)
-		return Result{Wire: out, Exchange: ex, Err: err}
-	})
+	return h.DoAsync(ctx, Request{Kind: DocWirePO, Protocol: protocol, Wire: wire})
 }
 
 // SubmitInvoice enqueues the outbound invoice flow for a fulfilled order
 // and returns a future for the protocol-native invoice wire bytes.
+//
+// Deprecated: use DoAsync with a DocInvoice Request.
 func (h *Hub) SubmitInvoice(ctx context.Context, partnerID, poID string) (*Future, error) {
-	return h.submit(ctx, func(ctx context.Context) Result {
-		wire, ex, err := h.SendInvoice(ctx, partnerID, poID)
-		return Result{Wire: wire, Exchange: ex, Err: err}
-	})
+	return h.DoAsync(ctx, Request{Kind: DocInvoice, PartnerID: partnerID, POID: poID})
 }

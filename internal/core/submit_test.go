@@ -21,18 +21,18 @@ const (
 	invRouteHops = 5
 )
 
-// TestSubmitStress drives N parallel Hub.Submit round trips across all
+// TestSubmitStress drives N parallel Hub.DoAsync round trips across all
 // three protocols with a mixed invoice load and reconciles the per-partner
-// stats and per-exchange event counts exactly. Run with -race.
+// stats and per-exchange event counts exactly. The hub runs the sharded
+// scheduler (4 shards x 2 workers). Run with -race.
 func TestSubmitStress(t *testing.T) {
-	h := newFig14Hub(t)
+	h := newFig14Hub(t, WithShards(4), WithWorkersPerShard(2))
 	if _, err := h.AddPartner(Figure15Partner()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.EnableInvoicing(); err != nil {
 		t.Fatal(err)
 	}
-	h.StartWorkers(8)
 	defer h.StopWorkers()
 
 	const (
@@ -52,7 +52,7 @@ func TestSubmitStress(t *testing.T) {
 				for i := 0; i < ordersPerWorker; i++ {
 					po := g.PO(party, seller)
 					po.ID = fmt.Sprintf("%s-p%d-w%d-%d", po.ID, pi, w, i)
-					fut, err := h.Submit(ctx, po)
+					fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: po})
 					if err != nil {
 						errCh <- err
 						return
@@ -68,7 +68,7 @@ func TestSubmitStress(t *testing.T) {
 					}
 					// Every completed order is billed: push the invoice
 					// through the pool as well.
-					ifut, err := h.SubmitInvoice(ctx, party.ID, po.ID)
+					ifut, err := h.DoAsync(ctx, Request{Kind: DocInvoice, PartnerID: party.ID, POID: po.ID})
 					if err != nil {
 						errCh <- err
 						return
@@ -170,7 +170,7 @@ func TestSubmitCancellationAbortsPipeline(t *testing.T) {
 
 	g := doc.NewGenerator(7)
 	po := g.POWithAmount(tp1, seller, 100000) // above TP1's 55000 threshold
-	fut, err := h.Submit(ctx, po)
+	fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: po})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,15 +202,14 @@ func TestSubmitCancellationAbortsPipeline(t *testing.T) {
 	}
 }
 
-// TestStopWorkersRejectsAndRestarts: submissions against a stopped pool are
-// rejected with ErrHubStopped, and the pool can be restarted.
+// TestStopWorkersRejectsAndRestarts: submissions against a stopped scheduler
+// are rejected with ErrHubStopped, and the scheduler can be restarted.
 func TestStopWorkersRejectsAndRestarts(t *testing.T) {
-	h := newFig14Hub(t)
+	h := newFig14Hub(t, WithShards(2), WithWorkersPerShard(1))
 	ctx := context.Background()
 	g := doc.NewGenerator(9)
 
-	h.StartWorkers(2)
-	fut, err := h.Submit(ctx, g.PO(tp1, seller))
+	fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,12 +217,12 @@ func TestStopWorkersRejectsAndRestarts(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	h.StopWorkers()
-	if _, err := h.Submit(ctx, g.PO(tp1, seller)); !errors.Is(err, ErrHubStopped) {
+	if _, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrHubStopped) {
 		t.Fatalf("err %v, want ErrHubStopped", err)
 	}
-	h.StartWorkers(1)
+	h.StartScheduler()
 	defer h.StopWorkers()
-	fut, err = h.Submit(ctx, g.PO(tp1, seller))
+	fut, err = h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)})
 	if err != nil {
 		t.Fatal(err)
 	}

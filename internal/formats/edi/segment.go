@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/formats"
 )
 
 // Element and segment separators of the interchange. We fix the common
@@ -111,7 +113,8 @@ func (ic *Interchange) Encode() ([]byte, error) {
 	time4 := ic.Date.Format("1504")
 	ctl9 := fmt.Sprintf("%09d", ic.Control)
 
-	var sb strings.Builder
+	sb := formats.GetBuffer()
+	defer formats.PutBuffer(sb)
 	write := func(s Segment) {
 		sb.WriteString(s.String())
 		sb.WriteString(segTerm)
@@ -130,7 +133,7 @@ func (ic *Interchange) Encode() ([]byte, error) {
 	write(seg("SE", strconv.Itoa(len(ic.Body)+2), "0001"))
 	write(seg("GE", "1", strconv.Itoa(ic.Control)))
 	write(seg("IEA", "1", ctl9))
-	return []byte(sb.String()), nil
+	return formats.CopyBytes(sb), nil
 }
 
 // DecodeError reports a malformed interchange.

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/formats"
 )
 
 // ApplicationArea carries BOD routing and audit metadata.
@@ -209,15 +211,16 @@ func DecodeAcknowledgePO(data []byte) (*AcknowledgePurchaseOrder, error) {
 }
 
 func marshalXML(v any) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := formats.GetBuffer()
+	defer formats.PutBuffer(buf)
 	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	enc := xml.NewEncoder(buf)
 	enc.Indent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		return nil, fmt.Errorf("oagis: encode: %w", err)
 	}
 	buf.WriteString("\n")
-	return buf.Bytes(), nil
+	return formats.CopyBytes(buf), nil
 }
 
 func unmarshalStrict(data []byte, v any, wantRoot string) error {

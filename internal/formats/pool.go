@@ -1,0 +1,41 @@
+package formats
+
+import (
+	"bytes"
+	"sync"
+)
+
+// maxPooledBuffer caps the capacity of buffers returned to the pool; an
+// occasional huge document must not pin its allocation forever.
+const maxPooledBuffer = 1 << 20 // 1 MiB
+
+// bufPool recycles encode scratch buffers across exchanges. Encoders grab a
+// buffer, render into it, copy the bytes out and return it, so the steady
+// state allocates one output slice per document instead of regrowing a
+// fresh builder through every segment append.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// GetBuffer returns an empty scratch buffer from the codec buffer pool.
+func GetBuffer() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+// PutBuffer resets the buffer and returns it to the pool. Oversized buffers
+// are dropped so a pathological document cannot pin memory.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// CopyBytes returns a copy of the buffer's contents, safe to hold after the
+// buffer goes back to the pool.
+func CopyBytes(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out
+}

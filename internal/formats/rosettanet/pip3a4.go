@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/formats"
 )
 
 // PartnerRole identifies one of the two PIP roles and its business identity.
@@ -204,15 +206,16 @@ func DecodeConfirmation(data []byte) (*PurchaseOrderConfirmation, error) {
 }
 
 func marshalXML(v any) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := formats.GetBuffer()
+	defer formats.PutBuffer(buf)
 	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	enc := xml.NewEncoder(buf)
 	enc.Indent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		return nil, fmt.Errorf("rosettanet: encode: %w", err)
 	}
 	buf.WriteString("\n")
-	return buf.Bytes(), nil
+	return formats.CopyBytes(buf), nil
 }
 
 // unmarshalStrict decodes XML and verifies the expected root element, since

@@ -14,6 +14,7 @@
 package sapidoc
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -136,7 +137,7 @@ func (s *segment) set(k, v string) *segment {
 
 func (s *segment) get(k string) string { return s.fields[k] }
 
-func (s *segment) render(sb *strings.Builder) error {
+func (s *segment) render(sb *bytes.Buffer) error {
 	sb.WriteString(s.name)
 	for _, k := range s.order {
 		v := s.fields[k]

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/formats"
 )
 
 // InvoiceItem is one E1EDP01/E1EDP19 item group of an INVOIC IDoc.
@@ -48,7 +50,8 @@ func (o *Invoic) Encode() ([]byte, error) {
 	if len(o.Items) == 0 {
 		return nil, fmt.Errorf("sapidoc: INVOIC %q has no items", o.InvoiceNumber)
 	}
-	var sb strings.Builder
+	sb := formats.GetBuffer()
+	defer formats.PutBuffer(sb)
 	segs := []*segment{
 		controlRecord("INVOIC", "INVOIC02", o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt),
 		newSeg("E1EDK01").set("BELNR", o.InvoiceNumber).set("CURCY", o.Currency),
@@ -72,11 +75,11 @@ func (o *Invoic) Encode() ([]byte, error) {
 		)
 	}
 	for _, s := range segs {
-		if err := s.render(&sb); err != nil {
+		if err := s.render(sb); err != nil {
 			return nil, err
 		}
 	}
-	return []byte(sb.String()), nil
+	return formats.CopyBytes(sb), nil
 }
 
 // DecodeInvoic parses an INVOIC IDoc flat file.

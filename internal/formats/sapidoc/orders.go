@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/formats"
 )
 
 func fmtQty(q int) string       { return strconv.Itoa(q) }
@@ -18,7 +20,8 @@ func (o *Orders) Encode() ([]byte, error) {
 	if len(o.Items) == 0 {
 		return nil, fmt.Errorf("sapidoc: ORDERS %q has no items", o.PONumber)
 	}
-	var sb strings.Builder
+	sb := formats.GetBuffer()
+	defer formats.PutBuffer(sb)
 	segs := []*segment{
 		controlRecord("ORDERS", "ORDERS05", o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt),
 		newSeg("E1EDK01").set("BELNR", o.PONumber).set("CURCY", o.Currency),
@@ -41,11 +44,11 @@ func (o *Orders) Encode() ([]byte, error) {
 		)
 	}
 	for _, s := range segs {
-		if err := s.render(&sb); err != nil {
+		if err := s.render(sb); err != nil {
 			return nil, err
 		}
 	}
-	return []byte(sb.String()), nil
+	return formats.CopyBytes(sb), nil
 }
 
 // DecodeOrders parses an ORDERS IDoc flat file.
@@ -124,7 +127,8 @@ func (o *Ordrsp) Encode() ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("sapidoc: ORDRSP has invalid status %q", o.Status)
 	}
-	var sb strings.Builder
+	sb := formats.GetBuffer()
+	defer formats.PutBuffer(sb)
 	segs := []*segment{
 		controlRecord("ORDRSP", "ORDERS05", o.DocNum, o.SenderPartner, o.ReceiverPartner, o.CreatedAt),
 		newSeg("E1EDK01").set("BELNR", o.AckNumber).set("ACTION", string(o.Status)),
@@ -146,11 +150,11 @@ func (o *Ordrsp) Encode() ([]byte, error) {
 		}
 	}
 	for _, s := range segs {
-		if err := s.render(&sb); err != nil {
+		if err := s.render(sb); err != nil {
 			return nil, err
 		}
 	}
-	return []byte(sb.String()), nil
+	return formats.CopyBytes(sb), nil
 }
 
 // DecodeOrdrsp parses an ORDRSP IDoc flat file.

@@ -56,6 +56,9 @@ func (m *Metrics) Emit(e Event) {
 	if e.Kind == KindExchange && e.Step != StepFinished && e.Step != StepFailed {
 		return // only terminal exchange events carry a latency
 	}
+	if e.Kind == KindSched && e.Step != StepCompleted {
+		return // only completed scheduler jobs carry a latency
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.stages[e.Stage]

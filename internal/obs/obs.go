@@ -30,6 +30,7 @@ const (
 	StagePrivate  Stage = "private"  // private process steps
 	StageApp      Stage = "app"      // application binding steps
 	StageRoute    Stage = "route"    // hub routing hops between instances
+	StageSched    Stage = "sched"    // scheduler admission and dispatch
 )
 
 // Kind classifies events.
@@ -52,9 +53,14 @@ const (
 	// failed delivery attempt (Err set, Elapsed is the attempt duration) or
 	// StepBackoff for the pause before the next one (Elapsed is the backoff).
 	KindRetry Kind = "retry"
+	// KindSched marks scheduler activity: Step is StepEnqueued or
+	// StepBypassed when a submission is admitted to a shard queue,
+	// StepDispatched when a worker picks it up, and StepCompleted (Elapsed
+	// is the job's run time) when it finishes. Shard locates the queue.
+	KindSched Kind = "sched"
 )
 
-// Well-known Step values for lifecycle and retry events.
+// Well-known Step values for lifecycle, retry and scheduler events.
 const (
 	StepStarted    = "started"
 	StepFinished   = "finished"
@@ -62,6 +68,12 @@ const (
 	StepDeadLetter = "dead-letter"
 	StepAttempt    = "attempt"
 	StepBackoff    = "backoff"
+	// Scheduler steps (KindSched). StepBypassed is an enqueue that was
+	// diverted away from its slow home shard by the admission layer.
+	StepEnqueued   = "enqueued"
+	StepBypassed   = "bypassed"
+	StepDispatched = "dispatched"
+	StepCompleted  = "completed"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.
@@ -94,6 +106,8 @@ type Event struct {
 	// Step is the step name (KindStep), hop description (KindRoute) or
 	// lifecycle marker (KindExchange).
 	Step string
+	// Shard is the scheduler shard the event refers to (KindSched only).
+	Shard int
 	// Elapsed is the duration of the observed unit of work.
 	Elapsed time.Duration
 	// Err is non-nil when the unit of work failed.

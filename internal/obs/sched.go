@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SchedMetrics is a Sink that derives per-shard scheduler gauges from the
+// KindSched event stream: queue depth (enqueued but not yet dispatched),
+// busy workers (dispatched but not yet completed), completed-job throughput
+// and bypass admissions. It is safe for concurrent use.
+type SchedMetrics struct {
+	mu     sync.Mutex
+	shards map[int]*shardGauge
+}
+
+type shardGauge struct {
+	queued    int64
+	busy      int64
+	completed int64
+	bypassed  int64
+}
+
+// NewSchedMetrics returns an empty scheduler-metrics sink.
+func NewSchedMetrics() *SchedMetrics {
+	return &SchedMetrics{shards: map[int]*shardGauge{}}
+}
+
+// Emit implements Sink.
+func (s *SchedMetrics) Emit(e Event) {
+	if e.Kind != KindSched {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.shards[e.Shard]
+	if g == nil {
+		g = &shardGauge{}
+		s.shards[e.Shard] = g
+	}
+	switch e.Step {
+	case StepEnqueued:
+		g.queued++
+	case StepBypassed:
+		g.queued++
+		g.bypassed++
+	case StepDispatched:
+		g.queued--
+		g.busy++
+	case StepCompleted:
+		g.busy--
+		g.completed++
+	}
+}
+
+// ShardSnapshot is the exported view of one shard's gauges.
+type ShardSnapshot struct {
+	// Shard is the shard index.
+	Shard int
+	// Queued is the current queue depth (admitted, not yet dispatched).
+	Queued int64
+	// Busy is the number of workers currently running a job.
+	Busy int64
+	// Completed counts finished jobs — the shard's lifetime throughput.
+	Completed int64
+	// Bypassed counts jobs diverted INTO this shard by the slow-shard
+	// bypass (their home shard was backed up).
+	Bypassed int64
+}
+
+// Snapshot returns the per-shard gauges sorted by shard index.
+func (s *SchedMetrics) Snapshot() []ShardSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardSnapshot, 0, len(s.shards))
+	for id, g := range s.shards {
+		out = append(out, ShardSnapshot{
+			Shard:     id,
+			Queued:    g.queued,
+			Busy:      g.busy,
+			Completed: g.completed,
+			Bypassed:  g.bypassed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}

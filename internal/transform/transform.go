@@ -59,11 +59,16 @@ func (f Func) Apply(native any) (any, error) { return f.Fn(native) }
 
 // Registry holds transformers keyed by (from, to, doc type) and resolves
 // transformation requests, chaining through the normalized format when no
-// direct mapping exists. The zero value is ready to use; Registry is safe
-// for concurrent use.
+// direct mapping exists. Resolved chains are cached as compiled Programs so
+// the per-request cost is one read-locked map hit instead of re-deriving
+// the chain. The zero value is ready to use; Registry is safe for
+// concurrent use.
 type Registry struct {
 	mu sync.RWMutex
 	m  map[regKey]Transformer
+	// progs caches compiled resolution chains; it is invalidated wholesale
+	// whenever Register changes the transformer set.
+	progs map[regKey]Program
 }
 
 type regKey struct {
@@ -71,7 +76,26 @@ type regKey struct {
 	t        doc.DocType
 }
 
+// Program is a compiled transformation chain: the transformer legs resolved
+// once for a (from, to, doc type) request. An empty Program is the identity.
+type Program []Transformer
+
+// Run applies the program's legs in order.
+func (p Program) Run(native any) (any, error) {
+	v := native
+	for _, leg := range p {
+		out, err := leg.Apply(v)
+		if err != nil {
+			return nil, fmt.Errorf("transform: %s→%s %s: %w", leg.From(), leg.To(), leg.DocType(), err)
+		}
+		v = out
+	}
+	return v, nil
+}
+
 // Register adds a transformer, replacing any previous one for the same key.
+// Registering invalidates every compiled program: the next Apply or Compile
+// re-resolves against the new transformer set.
 func (r *Registry) Register(t Transformer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -79,6 +103,7 @@ func (r *Registry) Register(t Transformer) {
 		r.m = make(map[regKey]Transformer)
 	}
 	r.m[regKey{t.From(), t.To(), t.DocType()}] = t
+	r.progs = nil
 }
 
 // Lookup returns the direct transformer for the key, if registered.
@@ -89,18 +114,38 @@ func (r *Registry) Lookup(from, to formats.Format, t doc.DocType) (Transformer, 
 	return tr, ok
 }
 
-// Apply maps native from one format to another, using a direct transformer
-// if registered or otherwise chaining through the normalized format.
-func (r *Registry) Apply(from, to formats.Format, t doc.DocType, native any) (any, error) {
+// Compile resolves the transformation chain for (from, to, doc type) once
+// and caches it: identity, a direct transformer, or the two-leg chain
+// through the normalized format. Subsequent Compile and Apply calls for the
+// same key return the cached program until Register invalidates it.
+func (r *Registry) Compile(from, to formats.Format, t doc.DocType) (Program, error) {
+	key := regKey{from, to, t}
+	r.mu.RLock()
+	p, hit := r.progs[key]
+	r.mu.RUnlock()
+	if hit {
+		return p, nil
+	}
+	p, err := r.resolve(from, to, t)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.progs == nil {
+		r.progs = make(map[regKey]Program)
+	}
+	r.progs[key] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// resolve derives the program for a key from the registered transformers.
+func (r *Registry) resolve(from, to formats.Format, t doc.DocType) (Program, error) {
 	if from == to {
-		return native, nil
+		return Program{}, nil
 	}
 	if tr, ok := r.Lookup(from, to, t); ok {
-		out, err := tr.Apply(native)
-		if err != nil {
-			return nil, fmt.Errorf("transform: %s→%s %s: %w", from, to, t, err)
-		}
-		return out, nil
+		return Program{tr}, nil
 	}
 	if from != formats.Normalized && to != formats.Normalized {
 		in, ok := r.Lookup(from, formats.Normalized, t)
@@ -111,17 +156,28 @@ func (r *Registry) Apply(from, to formats.Format, t doc.DocType, native any) (an
 		if !ok {
 			return nil, fmt.Errorf("transform: no mapping %s→%s for %s (and no %s→%s hub leg)", from, to, t, formats.Normalized, to)
 		}
-		mid, err := in.Apply(native)
-		if err != nil {
-			return nil, fmt.Errorf("transform: %s→%s %s: %w", from, formats.Normalized, t, err)
-		}
-		res, err := out.Apply(mid)
-		if err != nil {
-			return nil, fmt.Errorf("transform: %s→%s %s: %w", formats.Normalized, to, t, err)
-		}
-		return res, nil
+		return Program{in, out}, nil
 	}
 	return nil, fmt.Errorf("transform: no mapping %s→%s for %s", from, to, t)
+}
+
+// Apply maps native from one format to another through the compiled program
+// for the key: a direct transformer if registered, or the chain through the
+// normalized format.
+func (r *Registry) Apply(from, to formats.Format, t doc.DocType, native any) (any, error) {
+	p, err := r.Compile(from, to, t)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(native)
+}
+
+// CompiledPrograms reports the number of cached compiled programs (cache
+// observability for tests and experiments).
+func (r *Registry) CompiledPrograms() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.progs)
 }
 
 // ToNormalized maps a native value into the normalized document model.

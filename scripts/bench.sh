@@ -3,19 +3,26 @@
 # BENCH_hub.json: exchanges/sec for 1, 4 and 8 hub workers over the
 # in-process transport with simulated wire latency, plus the 8-vs-1
 # speedup, plus the faulty-backend variant (8 workers, 10% injected
-# backend errors absorbed by the retry layer). The acceptance bar is
-# speedup >= 2 on the clean benchmark.
+# backend errors absorbed by the retry layer), plus the sharded-scheduler
+# sweep (BenchmarkHubSharded: shards x workers-per-shard over the
+# in-process DoAsync API, clean and faulty). Acceptance bars: speedup >= 2
+# on the clean worker-pool benchmark, and the clean shards=8 row >= 1.5x
+# the workers=8 row.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_hub.json}"
 COUNT="${BENCH_COUNT:-50x}"
+SHARD_COUNT="${BENCH_SHARD_COUNT:-400x}"
 
 echo "== BenchmarkHubParallel (benchtime $COUNT) =="
 go test -run '^$' -bench '^BenchmarkHubParallel$' -benchtime "$COUNT" . | tee /tmp/bench_hub.txt
 
 echo "== BenchmarkHubParallelFaulty (benchtime ${BENCH_FAULTY_COUNT:-200x}) =="
 go test -run '^$' -bench '^BenchmarkHubParallelFaulty$' -benchtime "${BENCH_FAULTY_COUNT:-200x}" . | tee /tmp/bench_hub_faulty.txt
+
+echo "== BenchmarkHubSharded (benchtime $SHARD_COUNT) =="
+go test -run '^$' -bench '^BenchmarkHubSharded$' -benchtime "$SHARD_COUNT" . | tee /tmp/bench_hub_sharded.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -46,7 +53,29 @@ for line in open("/tmp/bench_hub_faulty.txt"):
 if faulty is None:
     sys.exit("bench.sh: missing BenchmarkHubParallelFaulty result")
 
+sharded = {}
+for line in open("/tmp/bench_hub_sharded.txt"):
+    m = re.search(
+        r"BenchmarkHubSharded/(clean|faulty)/shards=(\d+)/workers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s(?:\s+([\d.]+) retries/op)?",
+        line)
+    if m:
+        row = {
+            "ns_per_op": float(m.group(4)),
+            "exchanges_per_sec": float(m.group(5)),
+        }
+        if m.group(6):
+            row["retries_per_exchange"] = float(m.group(6))
+        sharded[f"{m.group(1)}/shards={m.group(2)}/workers={m.group(3)}"] = row
+
+best_clean8 = max(
+    (row["exchanges_per_sec"] for key, row in sharded.items()
+     if key.startswith("clean/shards=8/")),
+    default=None)
+if best_clean8 is None:
+    sys.exit("bench.sh: missing BenchmarkHubSharded clean shards=8 result")
+
 speedup = results[8]["exchanges_per_sec"] / results[1]["exchanges_per_sec"]
+sharded_speedup = best_clean8 / results[8]["exchanges_per_sec"]
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -54,6 +83,13 @@ record = {
     "speedup_8_vs_1": round(speedup, 2),
     "passes_2x": speedup >= 2.0,
     "faulty": faulty,
+    "sharded": {
+        "benchmark": "BenchmarkHubSharded",
+        "transport": "in-process DoAsync (no wire), partner-sharded scheduler",
+        "rows": sharded,
+        "clean_shards8_vs_workers8": round(sharded_speedup, 2),
+        "passes_1_5x": sharded_speedup >= 1.5,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -61,7 +97,10 @@ with open(sys.argv[1], "w") as f:
 print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"({'PASS' if speedup >= 2.0 else 'FAIL'} >= 2x); "
       f"faulty 8w @10% err = {faulty['exchanges_per_sec']:.0f} exchanges/s, "
-      f"{faulty['retries_per_exchange']:.2f} retries/exchange")
-if speedup < 2.0:
+      f"{faulty['retries_per_exchange']:.2f} retries/exchange; "
+      f"sharded clean 8-shard = {best_clean8:.0f} exchanges/s "
+      f"({sharded_speedup:.2f}x workers=8, "
+      f"{'PASS' if sharded_speedup >= 1.5 else 'FAIL'} >= 1.5x)")
+if speedup < 2.0 or sharded_speedup < 1.5:
     sys.exit(1)
 EOF

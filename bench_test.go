@@ -22,6 +22,7 @@ import (
 	"repro/internal/doc"
 	"repro/internal/expr"
 	"repro/internal/formats"
+	"repro/internal/health"
 	"repro/internal/interorg"
 	"repro/internal/metrics"
 	"repro/internal/msg"
@@ -880,6 +881,106 @@ func BenchmarkHubSharded(b *testing.B) {
 				cs := h.Counters()
 				b.ReportMetric(float64(cs.Retries)/float64(b.N), "retries/op")
 			}
+		})
+	}
+}
+
+// BenchmarkHubBreaker: healthy-partner throughput while one partner's
+// backend is hard down, with the circuit breaker off vs on. The feeder
+// interleaves one doomed TP2 order per two healthy (TP1/TP3) orders; with
+// the breaker off every doomed order burns its full retry budget on shard
+// workers and backpressures the feeder, starving the healthy lanes. With
+// the breaker on the outage is recognized within MinSamples failures and
+// subsequent TP2 orders fast-fail to the DLQ at admission, so healthy
+// throughput is restored. The healthy-exchanges/s metric is what
+// scripts/bench.sh records as the breaker section of BENCH_hub.json
+// (acceptance: on >= 2x off).
+func BenchmarkHubBreaker(b *testing.B) {
+	benchBuyer3 := doc.Party{ID: "TP3", Name: "Trading Partner 3", DUNS: "333333333"}
+	for _, mode := range []string{"off", "on"} {
+		b.Run("breaker="+mode, func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []core.HubOption{core.WithShards(8), core.WithWorkersPerShard(2)}
+			if mode == "on" {
+				opts = append(opts, core.WithHealth(health.Config{
+					Window:        time.Second,
+					Threshold:     0.5,
+					MinSamples:    4,
+					ProbeInterval: 50 * time.Millisecond,
+				}))
+			}
+			h, err := core.NewHub(m, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			h.WrapBackends(func(sys backend.System) backend.System {
+				if sys.Name() == "Oracle" {
+					return backend.NewFaulty(sys, backend.FaultSchedule{ErrProb: 1, Seed: 11})
+				}
+				return sys
+			})
+			h.SetDefaultRetryPolicy(core.RetryPolicy{
+				MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+			})
+			defer h.StopWorkers()
+			ctx := context.Background()
+
+			healthyGen := doc.NewGenerator(31)
+			doomedGen := doc.NewGenerator(32)
+			healthyPOs := make([]*doc.PurchaseOrder, b.N)
+			for i := range healthyPOs {
+				buyer := benchBuyer
+				if i%2 == 1 {
+					buyer = benchBuyer3
+				}
+				po := healthyGen.PO(buyer, benchSeller)
+				po.ID = fmt.Sprintf("%s-h%d", po.ID, i)
+				healthyPOs[i] = po
+			}
+			doomedPOs := make([]*doc.PurchaseOrder, (b.N+1)/2)
+			for i := range doomedPOs {
+				po := doomedGen.PO(benchBuyer2, benchSeller)
+				po.ID = fmt.Sprintf("%s-d%d", po.ID, i)
+				doomedPOs[i] = po
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			healthyFuts := make([]*core.Future, len(healthyPOs))
+			doomedFuts := make([]*core.Future, 0, len(doomedPOs))
+			for i, po := range healthyPOs {
+				fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+				if err != nil {
+					b.Fatal(err)
+				}
+				healthyFuts[i] = fut
+				if i%2 == 1 {
+					dfut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: doomedPOs[i/2]})
+					if err != nil {
+						b.Fatal(err)
+					}
+					doomedFuts = append(doomedFuts, dfut)
+				}
+			}
+			for i, fut := range healthyFuts {
+				if res := fut.Result(ctx); res.Err != nil {
+					b.Fatalf("healthy exchange %d: %v", i, res.Err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			// Doomed futures resolve to errors (retry-exhausted or
+			// fast-failed); drain them outside the timed window.
+			for _, fut := range doomedFuts {
+				fut.Result(ctx)
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "healthy-exchanges/s")
 		})
 	}
 }

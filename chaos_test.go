@@ -21,6 +21,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +31,8 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/doc"
+	"repro/internal/health"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 )
 
@@ -116,6 +119,7 @@ func TestChaosExactlyOnceAccounting(t *testing.T) {
 	for _, sc := range chaosSchedules() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
+			defer leakcheck.Check(t)()
 			hub, faulties := chaosHub(t, sc, core.WithShards(4), core.WithWorkersPerShard(workers/4))
 			defer hub.StopWorkers()
 
@@ -283,6 +287,166 @@ func TestChaosExactlyOnceAccounting(t *testing.T) {
 	}
 }
 
+// TestChaosPartnerOutageBreaker: the partner-outage schedule. TP2's Oracle
+// backend goes hard down (100% injected errors) while TP1 and TP3 stay
+// healthy; with the breaker enabled the outage plays out as closed → open
+// (fast-fails and sheds park in the DLQ without burning retry budgets) →
+// half-open probes after the backend heals → closed, and dead-letter
+// resubmission then delivers every order exactly once. The exactly-once
+// accounting contract of the chaos harness must hold at every phase.
+func TestChaosPartnerOutageBreaker(t *testing.T) {
+	defer leakcheck.Check(t)()
+	sc := chaosSchedule{
+		name:   "partner-outage",
+		faults: backend.FaultSchedule{}, // healthy baseline; the outage is set per backend below
+		policy: core.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	}
+	hub, faulties := chaosHub(t, sc,
+		core.WithShards(4), core.WithWorkersPerShard(2),
+		core.WithHealth(health.Config{
+			Window:        2 * time.Second,
+			Threshold:     0.5,
+			MinSamples:    3,
+			ProbeInterval: 10 * time.Millisecond,
+		}))
+	defer hub.StopWorkers()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+
+	// Phase 1 — outage: TP2's backend fails every operation.
+	faulties["Oracle"].SetSchedule(backend.FaultSchedule{ErrProb: 1, Seed: 21 + chaosSeedOffset()})
+
+	const ordersPerPartner = 30
+	gens := map[string]*doc.Generator{}
+	submitted, failed := 0, 0
+	var futs []*core.Future
+	for pi, p := range hub.Model.Partners {
+		buyer := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+		g := doc.NewGenerator(int64(2000*pi) + 17 + chaosSeedOffset())
+		gens[p.ID] = g
+		for i := 0; i < ordersPerPartner; i++ {
+			fut, err := hub.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: g.PO(buyer, hubParty)})
+			if err != nil {
+				t.Fatalf("submit %s/%d: %v", p.ID, i, err)
+			}
+			submitted++
+			futs = append(futs, fut)
+		}
+	}
+	tp2Party := doc.Party{ID: "TP2", Name: "Trading Partner 2", DUNS: "222222222"}
+	for i, fut := range futs {
+		res := fut.Result(ctx)
+		if res.Exchange == nil {
+			t.Fatalf("submission %d resolved without an exchange record (err %v)", i, res.Err)
+		}
+		if res.Err != nil {
+			failed++
+			if res.Exchange.Partner.ID != "TP2" {
+				t.Fatalf("healthy partner %s failed during TP2's outage: %v", res.Exchange.Partner.ID, res.Err)
+			}
+		}
+	}
+	if failed != ordersPerPartner {
+		t.Fatalf("outage phase: %d failures, want all %d TP2 orders (and only those)", failed, ordersPerPartner)
+	}
+	if got := hub.Health().StateOf("TP2"); got == health.StateClosed {
+		t.Fatalf("TP2 breaker still closed after a %d-order hard outage", ordersPerPartner)
+	}
+
+	// The circuit is now guarding admission: within a few submissions one
+	// must be rejected outright with ErrPartnerUnavailable (a submission
+	// hitting the instant after a failed probe re-armed the interval runs
+	// as that probe instead, so allow a short run of them).
+	sawFastFail := false
+	for i := 0; i < 5 && !sawFastFail; i++ {
+		_, err := hub.Do(ctx, core.Request{Kind: core.DocPO, PO: gens["TP2"].PO(tp2Party, hubParty)})
+		if err == nil {
+			t.Fatal("TP2 exchange succeeded while its backend is hard down")
+		}
+		submitted++
+		failed++
+		sawFastFail = errors.Is(err, core.ErrPartnerUnavailable)
+	}
+	if !sawFastFail {
+		t.Fatal("no submission fast-failed with ErrPartnerUnavailable against the open circuit")
+	}
+
+	// Accounting holds mid-outage: every failure is dead-lettered, every
+	// fast-fail/shed included; nothing healthy was dead-lettered.
+	c := hub.Counters()
+	dls := hub.DeadLetters()
+	if c.Started != int64(submitted) || c.ByFlow[obs.FlowPO] != int64(submitted) {
+		t.Fatalf("counters started=%d terminal=%d, want %d submitted", c.Started, c.ByFlow[obs.FlowPO], submitted)
+	}
+	if c.Failed != int64(failed) || c.DeadLettered != int64(failed) || len(dls) != failed {
+		t.Fatalf("failed=%d dead-lettered=%d dlq=%d, want %d", c.Failed, c.DeadLettered, len(dls), failed)
+	}
+	for _, dl := range dls {
+		if dl.Partner != "TP2" {
+			t.Fatalf("dead letter for healthy partner %s", dl.Partner)
+		}
+	}
+
+	// Phase 2 — heal: the backend recovers; the next admitted probe
+	// succeeds and closes the circuit. Until the probe fires, submissions
+	// may still fast-fail against the open circuit — they join the DLQ.
+	faulties["Oracle"].SetSchedule(backend.FaultSchedule{})
+	healDeadline := time.Now().Add(30 * time.Second)
+	healed := false
+	for !healed {
+		if time.Now().After(healDeadline) {
+			t.Fatal("TP2 circuit did not close within 30s of the backend healing")
+		}
+		_, err := hub.Do(ctx, core.Request{Kind: core.DocPO, PO: gens["TP2"].PO(tp2Party, hubParty)})
+		submitted++
+		switch {
+		case err == nil:
+			healed = true
+		case errors.Is(err, core.ErrPartnerUnavailable):
+			failed++ // fast-fail while the probe timer is armed: parked
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("unexpected post-heal failure: %v", err)
+		}
+	}
+	if got := hub.Health().StateOf("TP2"); got != health.StateClosed {
+		t.Fatalf("TP2 breaker %v after successful probe, want closed", got)
+	}
+
+	// Phase 3 — replay: every dead letter resubmits cleanly and each
+	// submitted order ends up stored exactly once system-wide.
+	for _, dl := range hub.DrainDeadLetters() {
+		if _, err := hub.Resubmit(ctx, dl); err != nil {
+			t.Fatalf("resubmit %s: %v", dl.ExchangeID, err)
+		}
+	}
+	if n := len(hub.DeadLetters()); n != 0 {
+		t.Fatalf("dead-letter queue holds %d entries after the post-heal drain", n)
+	}
+	storedTotal := 0
+	for _, f := range faulties {
+		storedTotal += f.Inner().StoredOrders()
+	}
+	if storedTotal != submitted {
+		t.Fatalf("backends hold %d orders, want %d (each submitted order exactly once)", storedTotal, submitted)
+	}
+
+	hm := hub.HealthMetrics().Snapshot()
+	if len(hm) == 0 {
+		t.Fatal("no partner-health gauges recorded through the outage")
+	}
+	for _, g := range hm {
+		if g.Partner != "TP2" && (g.Opens > 0 || g.Sheds > 0 || g.FastFails > 0) {
+			t.Fatalf("healthy partner %s shows breaker activity: %+v", g.Partner, g)
+		}
+		if g.Partner == "TP2" && (g.Opens == 0 || g.Closes == 0 || g.Probes == 0 || g.State != "closed") {
+			t.Fatalf("TP2 gauges %+v, want opens/probes/closes > 0 and a closed end state", g)
+		}
+	}
+	t.Logf("partner-outage: %d submitted, %d parked and replayed, TP2 gauges %+v", submitted, failed, hm)
+}
+
 // TestChaosCancellationAccounting: cancelling mid-flight still accounts
 // every exchange exactly once — whatever was started terminates as
 // finished or failed-and-dead-lettered, and nothing leaks in between.
@@ -292,6 +456,7 @@ func TestChaosCancellationAccounting(t *testing.T) {
 		faults: backend.FaultSchedule{ErrProb: 0.2, Latency: time.Millisecond, Seed: 5 + chaosSeedOffset()},
 		policy: core.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
 	}
+	defer leakcheck.Check(t)()
 	hub, _ := chaosHub(t, sc, core.WithShards(2), core.WithWorkersPerShard(2))
 	defer hub.StopWorkers()
 

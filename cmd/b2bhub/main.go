@@ -16,10 +16,17 @@
 // reliability layer; -trace then prints the event streams of the first
 // retried and first dead-lettered exchanges.
 //
+// With -breaker-threshold > 0 the per-partner circuit breaker guards
+// admission: sustained backend failures open a partner's circuit, further
+// orders for it fast-fail to the dead-letter queue, and half-open probes
+// close it again once the backend heals; -trace then also prints the
+// per-partner health gauges (state, opens, probes, sheds, fast-fails).
+//
 // Usage:
 //
 //	b2bhub [-n 100] [-workers 4] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
 //	b2bhub [-berr 0.3] [-bhang 0.1] [-battempts 8] [-bseed 7] [-trace]
+//	b2bhub [-berr 1] [-breaker-threshold 0.5] [-breaker-window 5s] [-probe-interval 500ms]
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
+	"repro/internal/health"
 	"repro/internal/msg"
 	"repro/internal/obs"
 )
@@ -57,6 +65,12 @@ var (
 	bhang     = flag.Float64("bhang", 0, "backend hang probability (enables chaos mode)")
 	battempts = flag.Int("battempts", 8, "retry attempts per binding step in chaos mode")
 	bseed     = flag.Int64("bseed", 1, "backend fault stream seed")
+
+	// Partner health: a threshold > 0 enables the per-partner circuit
+	// breaker on the admission path.
+	breakerWindow    = flag.Duration("breaker-window", 5*time.Second, "sliding window over which partner failure rates are measured")
+	breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens a partner's circuit; 0 disables the breaker")
+	probeInterval    = flag.Duration("probe-interval", 500*time.Millisecond, "wait before an open circuit admits a half-open probe")
 )
 
 // network abstracts the two transports the tool can run over.
@@ -75,6 +89,13 @@ func main() {
 	hubOpts := []core.HubOption{core.WithWorkersPerShard(*workers)}
 	if *shards > 0 {
 		hubOpts = append(hubOpts, core.WithShards(*shards))
+	}
+	if *breakerThreshold > 0 {
+		hubOpts = append(hubOpts, core.WithHealth(health.Config{
+			Window:        *breakerWindow,
+			Threshold:     *breakerThreshold,
+			ProbeInterval: *probeInterval,
+		}))
 	}
 	hub, err := core.NewHub(model, hubOpts...)
 	if err != nil {
@@ -210,6 +231,7 @@ func main() {
 	printStageMetrics(hub)
 	if *trace {
 		printShardMetrics(hub)
+		printHealthMetrics(hub)
 	}
 	hub.StopWorkers()
 }
@@ -281,22 +303,34 @@ func runChaos(hub *core.Hub) {
 		}
 	}
 
-	// Heal the backends and resubmit the dead-letter queue.
+	// Heal the backends and resubmit the dead-letter queue. With the
+	// breaker enabled a resubmission against a still-open circuit
+	// fast-fails back onto the queue, so keep draining until the half-open
+	// probes close the circuits and the replays go through (bounded, in
+	// case an entry is genuinely poisoned).
 	if dls := hub.DrainDeadLetters(); len(dls) > 0 {
 		for _, f := range faulties {
 			f.SetSchedule(backend.FaultSchedule{})
 		}
+		total := len(dls)
 		recovered := 0
-		for _, dl := range dls {
-			if _, err := hub.Resubmit(ctx, dl); err == nil {
-				recovered++
+		deadline := time.Now().Add(30 * time.Second)
+		for len(dls) > 0 && time.Now().Before(deadline) {
+			for _, dl := range dls {
+				if _, err := hub.Resubmit(ctx, dl); err == nil {
+					recovered++
+				}
+			}
+			if dls = hub.DrainDeadLetters(); len(dls) > 0 {
+				time.Sleep(*probeInterval)
 			}
 		}
-		fmt.Printf("healed backends: %d/%d dead letters resubmitted successfully\n", recovered, len(dls))
+		fmt.Printf("healed backends: %d/%d dead letters resubmitted successfully\n", recovered, total)
 	}
 	printStageMetrics(hub)
 	if *trace {
 		printShardMetrics(hub)
+		printHealthMetrics(hub)
 	}
 }
 
@@ -363,6 +397,39 @@ func printShardMetrics(hub *core.Hub) {
 	fmt.Println("scheduler shards (queued, busy, completed, bypassed-in):")
 	for _, s := range snaps {
 		fmt.Printf("   shard %2d  %4d %4d %6d %6d\n", s.Shard, s.Queued, s.Busy, s.Completed, s.Bypassed)
+	}
+}
+
+// printHealthMetrics renders the per-partner circuit-breaker gauges: the
+// live breaker state and failure rate from the tracker, merged with the
+// transition/probe/rejection counters derived from the KindHealth event
+// stream. Prints nothing when the hub runs without -breaker-threshold.
+func printHealthMetrics(hub *core.Hub) {
+	tracker := hub.Health()
+	if tracker == nil {
+		return
+	}
+	live := map[string]health.Stats{}
+	for _, s := range tracker.Snapshot() {
+		live[s.Partner] = s
+	}
+	gauges := hub.HealthMetrics().Snapshot()
+	if len(live) == 0 && len(gauges) == 0 {
+		return
+	}
+	fmt.Println("partner health (state, fail-rate, opens, probes, sheds, fast-fails):")
+	seen := map[string]bool{}
+	for _, g := range gauges {
+		seen[g.Partner] = true
+		s := live[g.Partner]
+		fmt.Printf("   %-4s %-9s %5.0f%% %6d %6d %6d %6d\n",
+			g.Partner, s.State, s.FailureRate*100, g.Opens, g.Probes, g.Sheds, g.FastFails)
+	}
+	for _, s := range tracker.Snapshot() {
+		if !seen[s.Partner] {
+			fmt.Printf("   %-4s %-9s %5.0f%% %6d %6d %6d %6d\n",
+				s.Partner, s.State, s.FailureRate*100, s.Opens, 0, 0, 0)
+		}
 	}
 }
 

@@ -25,6 +25,12 @@ var (
 	// ErrNoOutbound is returned when an exchange's chain completes without
 	// producing an outbound document.
 	ErrNoOutbound = errors.New("core: exchange produced no outbound document")
+	// ErrPartnerUnavailable is returned when the partner's circuit breaker
+	// rejects an exchange at admission: the circuit is open (fast-fail) or
+	// the adaptive shedder dropped the submission under queue pressure.
+	// Rejected exchanges are parked on the dead-letter queue and become
+	// eligible for Resubmit once the circuit closes.
+	ErrPartnerUnavailable = errors.New("core: partner unavailable")
 )
 
 // ExchangeError is the typed pipeline error of the hub boundary: it locates

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/health"
+	"repro/internal/obs"
+)
+
+// Partner health integration: the hub consults the partner's circuit
+// breaker (internal/health) at admission, before a submission can occupy
+// a scheduler slot or a worker. Exchanges for an open partner fast-fail
+// with ErrPartnerUnavailable and are parked on the dead-letter queue with
+// their original Request retained, so a heal + Resubmit replays them
+// exactly once. Half-open partners admit a bounded number of probe
+// exchanges whose real outcomes close or re-open the circuit — there is
+// no separate probe traffic and no background goroutine.
+
+// Health exposes the hub's partner health tracker (nil when the hub was
+// built without WithHealth).
+func (h *Hub) Health() *health.Tracker { return h.health }
+
+// HealthMetrics exposes the per-partner breaker gauges derived from the
+// KindHealth event stream.
+func (h *Hub) HealthMetrics() *obs.HealthMetrics { return h.healthMetrics }
+
+// breakerStep maps the state a breaker transitioned into onto its
+// KindHealth event step.
+func breakerStep(to health.State) string {
+	switch to {
+	case health.StateOpen:
+		return obs.StepBreakerOpen
+	case health.StateHalfOpen:
+		return obs.StepBreakerHalfOpen
+	default:
+		return obs.StepBreakerClosed
+	}
+}
+
+// healthKey names the trading partner a request is bound for, when the
+// request carries it ahead of decoding ("" otherwise — such requests are
+// not health-gated because their partner is unknown until the pipeline
+// decodes them).
+func (r *Request) healthKey() string {
+	switch r.Kind {
+	case DocPO:
+		if r.PO != nil {
+			return r.PO.Buyer.ID
+		}
+	case DocInvoice:
+		return r.PartnerID
+	case DocWirePO:
+		return r.PartnerID
+	}
+	return ""
+}
+
+// healthGate consults the partner's circuit breaker at admission. It
+// returns the breaker key ("" when health is not consulted), whether the
+// admitted exchange is a half-open probe, and — when the circuit rejects
+// the exchange — the fast-fail result, already dead-lettered.
+func (h *Hub) healthGate(req Request) (partner string, probe bool, rejected *Result) {
+	if h.health == nil {
+		return "", false, nil
+	}
+	partner = req.healthKey()
+	if partner == "" {
+		return "", false, nil
+	}
+	if _, ok := h.resolveRoute(partner); !ok {
+		// Unknown partner: let the pipeline fail with ErrUnknownPartner
+		// instead of growing a breaker for a partner that does not exist.
+		return "", false, nil
+	}
+	probe, admitted := h.health.Breaker(partner).Allow()
+	if admitted {
+		return partner, probe, nil
+	}
+	res := h.fastFail(req, partner, obs.StepFastFail)
+	return partner, false, &res
+}
+
+// fastFail terminates a request at admission without consuming a worker
+// or any retry attempts: an exchange record is created and immediately
+// failed with ErrPartnerUnavailable, the request itself is retained on
+// the dead-letter queue for Resubmit, and a KindHealth event (fast-fail
+// or shed) attributes the rejection to the partner's breaker.
+func (h *Hub) fastFail(req Request, partner string, step string) Result {
+	route, ok := h.resolveRoute(partner)
+	if !ok {
+		err := fmt.Errorf("%w: %q", ErrUnknownPartner, partner)
+		return Result{Err: err}
+	}
+	flow := obs.FlowPO
+	if req.Kind == DocInvoice {
+		flow = obs.FlowInvoice
+	}
+	ex := h.newExchange(route, flow, exchangeOpts{})
+	cause := fmt.Errorf("%w: circuit %s", ErrPartnerUnavailable, h.health.StateOf(partner))
+	err := wrapExchangeErr(ex, obs.StageExchange, "", cause)
+	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
+	h.emitLifecycle(ex, obs.StepFailed, 0, err)
+	h.deadLetterRequest(ex, err, req)
+	h.bus.Emit(obs.Event{
+		ExchangeID: ex.ID,
+		Partner:    partner,
+		Flow:       flow,
+		Kind:       obs.KindHealth,
+		Stage:      obs.StageHealth,
+		Step:       step,
+		Err:        err,
+	})
+	if step == obs.StepShed {
+		h.shed.Add(1)
+	}
+	return Result{Exchange: ex, Err: err}
+}
+
+// runTracked executes a request and feeds its outcome to the partner's
+// breaker: probe outcomes close or re-open a half-open circuit, normal
+// outcomes drive the sliding failure window. A cancellation of the
+// submission's own context is the caller's doing, not the endpoint's,
+// and is not recorded.
+func (h *Hub) runTracked(ctx context.Context, req Request, partner string, probe bool) Result {
+	res := h.run(ctx, req)
+	if h.health == nil || partner == "" {
+		return res
+	}
+	if res.Err != nil && errors.Is(res.Err, context.Canceled) {
+		return res
+	}
+	failed := res.Err != nil
+	br := h.health.Breaker(partner)
+	if probe {
+		var exID string
+		if res.Exchange != nil {
+			exID = res.Exchange.ID
+		}
+		h.bus.Emit(obs.Event{
+			ExchangeID: exID,
+			Partner:    partner,
+			Kind:       obs.KindHealth,
+			Stage:      obs.StageHealth,
+			Step:       obs.StepProbe,
+			Err:        res.Err,
+		})
+		br.RecordProbe(failed)
+	} else {
+		br.Record(failed)
+	}
+	return res
+}
+
+// healthDegraded reports whether the adaptive shedder should drop
+// normal-priority work for the scheduler key (a trading partner) under
+// queue pressure.
+func (h *Hub) healthDegraded(key string) bool {
+	return h.health != nil && h.health.Breaker(key).Degraded()
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/health"
+	"repro/internal/leakcheck"
+)
+
+// TestBreakerFastFailAndResubmit covers the full degradation round trip
+// deterministically on a manual clock: an open circuit fast-fails both Do
+// and DoAsync with ErrPartnerUnavailable (dead-lettered, no worker and no
+// retry attempts consumed), the first admission past ProbeInterval runs
+// as a half-open probe whose success closes the circuit, and the parked
+// dead letters then Resubmit cleanly.
+func TestBreakerFastFailAndResubmit(t *testing.T) {
+	defer leakcheck.Check(t)()
+	clock := health.NewManualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	h := newFig14Hub(t, WithShards(2), WithHealth(health.Config{
+		Threshold:     0.5,
+		MinSamples:    2,
+		ProbeInterval: time.Minute,
+		Now:           clock.Now,
+	}))
+	defer h.StopWorkers()
+	ctx := context.Background()
+	g := doc.NewGenerator(7)
+
+	// Trip TP1's breaker directly (two failures at MinSamples 2).
+	br := h.Health().Breaker("TP1")
+	br.Record(true)
+	br.Record(true)
+	if got := br.State(); got != health.StateOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// DoAsync fast-fails: the future is already resolved, no worker ran.
+	fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fut.Done():
+	default:
+		t.Fatal("fast-fail future not resolved at submission time")
+	}
+	res := fut.Result(ctx)
+	if !errors.Is(res.Err, ErrPartnerUnavailable) {
+		t.Fatalf("async fast-fail error = %v, want ErrPartnerUnavailable", res.Err)
+	}
+	var ee *ExchangeError
+	if !errors.As(res.Err, &ee) || ee.Partner != "TP1" || ee.ExchangeID == "" {
+		t.Fatalf("fast-fail error not a partner-attributed *ExchangeError: %v", res.Err)
+	}
+
+	// The synchronous path fast-fails identically.
+	if _, err := h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrPartnerUnavailable) {
+		t.Fatalf("sync fast-fail error = %v, want ErrPartnerUnavailable", err)
+	}
+
+	dls := h.DeadLetters()
+	if len(dls) != 2 {
+		t.Fatalf("dead letters = %d, want 2 (both fast-fails parked)", len(dls))
+	}
+	for _, dl := range dls {
+		if dl.Partner != "TP1" || !errors.Is(dl.Reason, ErrPartnerUnavailable) {
+			t.Fatalf("dead letter %+v, want TP1/ErrPartnerUnavailable", dl)
+		}
+	}
+	c := h.Counters()
+	if c.Started != 2 || c.Failed != 2 || c.DeadLettered != 2 || c.Retries != 0 {
+		t.Fatalf("counters = %+v, want 2 started / 2 failed / 2 dead-lettered / 0 retries", c)
+	}
+
+	// A healthy partner is unaffected by TP1's open circuit.
+	if _, _, err := roundTrip(h, ctx, g.PO(tp2, seller)); err != nil {
+		t.Fatalf("healthy partner failed during TP1 outage: %v", err)
+	}
+
+	// Heal: past ProbeInterval the next admission is the probe; the
+	// backend is healthy, so its success closes the circuit.
+	clock.Advance(time.Minute)
+	if _, _, err := roundTrip(h, ctx, g.PO(tp1, seller)); err != nil {
+		t.Fatalf("probe exchange failed: %v", err)
+	}
+	if got := h.Health().StateOf("TP1"); got != health.StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+
+	// The parked fast-fails replay exactly once each.
+	for _, dl := range h.DrainDeadLetters() {
+		if _, err := h.Resubmit(ctx, dl); err != nil {
+			t.Fatalf("resubmit of %s failed after heal: %v", dl.ExchangeID, err)
+		}
+	}
+	if n := len(h.DeadLetters()); n != 0 {
+		t.Fatalf("dead-letter queue has %d entries after resubmission, want 0", n)
+	}
+
+	hm := h.HealthMetrics().Snapshot()
+	if len(hm) != 1 || hm[0].Partner != "TP1" {
+		t.Fatalf("health metrics = %+v, want one TP1 entry", hm)
+	}
+	if hm[0].FastFails != 2 || hm[0].Probes != 1 || hm[0].Opens != 1 || hm[0].Closes != 1 || hm[0].State != "closed" {
+		t.Fatalf("TP1 gauges = %+v, want 2 fast-fails / 1 probe / 1 open / 1 close / closed", hm[0])
+	}
+}
+
+// TestShedNormalLaneBeforeHigh pins the shed ordering: with a degraded
+// (but not yet open) partner whose home shard is saturated, a
+// normal-priority submission is shed immediately while a high-priority one
+// is still admitted to the queue.
+func TestShedNormalLaneBeforeHigh(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := newFig14Hub(t,
+		WithShards(2), WithWorkersPerShard(1), WithQueueDepth(1),
+		WithHealth(health.Config{Threshold: 0.8, MinSamples: 4}),
+	)
+	defer h.StopWorkers()
+	g := doc.NewGenerator(11)
+
+	// Saturate TP2's home shard: a hung backend wedges the single worker
+	// and the second submission fills the one-deep normal lane.
+	hangBackend(h, "Oracle")
+	cancel, wg := submitHung(h, tp2, 2)
+	waitFor(t, func() bool {
+		for _, sh := range h.SchedMetrics().Snapshot() {
+			if sh.Busy > 0 && sh.Queued > 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Put TP2 in the degraded-but-closed band: 1 failure / 2 samples = 0.5
+	// >= Threshold/2 (0.4) with the circuit still closed (2 < MinSamples).
+	br := h.Health().Breaker("TP2")
+	br.Record(true)
+	br.Record(false)
+	if br.State() != health.StateClosed || !br.Degraded() {
+		t.Fatalf("breaker state=%v degraded=%v, want closed+degraded", br.State(), br.Degraded())
+	}
+
+	// Normal priority: shed immediately — the future resolves without any
+	// queue slot freeing up.
+	ctx := context.Background()
+	fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp2, seller)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fut.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("normal-priority submission for degraded partner not shed")
+	}
+	if res := fut.Result(ctx); !errors.Is(res.Err, ErrPartnerUnavailable) {
+		t.Fatalf("shed error = %v, want ErrPartnerUnavailable", res.Err)
+	}
+	if n := len(h.DeadLetters()); n != 1 {
+		t.Fatalf("dead letters after shed = %d, want 1", n)
+	}
+
+	// High priority: never shed — it lands in the (empty) high lane and
+	// stays pending until the shard unwedges.
+	hctx, hcancel := context.WithCancel(ctx)
+	hfut, err := h.DoAsync(hctx, Request{Kind: DocPO, PO: g.PO(tp2, seller), Priority: PriorityHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-hfut.Done():
+		t.Fatalf("high-priority submission was shed: %v", hfut.Result(ctx).Err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	hm := h.HealthMetrics().Snapshot()
+	if len(hm) != 1 || hm[0].Sheds != 1 || hm[0].FastFails != 0 {
+		t.Fatalf("health metrics = %+v, want TP2 with exactly 1 shed", hm)
+	}
+
+	// Unwedge everything and shut down.
+	hcancel()
+	cancel()
+	wg.Wait()
+	hfut.Result(ctx)
+}
+
+// waitFor polls cond with a bounded deadline — no fixed sleeps.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDrainSummaryAndRestart covers graceful drain: admission stops, the
+// backlog completes, dead letters are flushed into the summary, and the
+// scheduler can be restarted afterwards — leaking nothing.
+func TestDrainSummaryAndRestart(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := newFig14Hub(t, WithShards(2), WithWorkersPerShard(2),
+		WithHealth(health.Config{Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Hour}))
+	ctx := context.Background()
+	g := doc.NewGenerator(13)
+
+	// One parked fast-fail so the drain has a dead letter to flush.
+	br := h.Health().Breaker("TP1")
+	br.Record(true)
+	br.Record(true)
+	if _, err := h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrPartnerUnavailable) {
+		t.Fatalf("setup fast-fail error = %v", err)
+	}
+
+	const n = 12
+	futs := make([]*Future, 0, n)
+	for i := 0; i < n; i++ {
+		fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp2, seller)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+
+	sum, err := h.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fut := range futs {
+		if res := fut.Result(ctx); res.Err != nil {
+			t.Fatalf("exchange %d did not complete through the drain: %v", i, res.Err)
+		}
+	}
+	if sum.Completed != n || sum.Failed != 1 || sum.Shed != 0 {
+		t.Fatalf("summary = %+v, want %d completed / 1 failed / 0 shed", sum, n)
+	}
+	if sum.DeadLettered != 1 || len(sum.DeadLetters) != 1 {
+		t.Fatalf("summary dead letters = %d/%d, want 1/1", sum.DeadLettered, len(sum.DeadLetters))
+	}
+	if n := len(h.DeadLetters()); n != 0 {
+		t.Fatalf("hub queue still holds %d dead letters after drain", n)
+	}
+
+	// Drained hub rejects new async work...
+	if _, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp2, seller)}); !errors.Is(err, ErrHubStopped) {
+		t.Fatalf("DoAsync after drain = %v, want ErrHubStopped", err)
+	}
+	// ...until the scheduler is explicitly restarted.
+	h.StartScheduler()
+	fut, err := h.DoAsync(ctx, Request{Kind: DocPO, PO: g.PO(tp2, seller)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := fut.Result(ctx); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	h.StopWorkers()
+}
+
+// TestDrainDeadlineExpiry pins Drain's contract under a wedged scheduler:
+// it returns ctx.Err() with a partial summary and leaves the dead-letter
+// queue intact for a later flush.
+func TestDrainDeadlineExpiry(t *testing.T) {
+	h := newFig14Hub(t, WithShards(1), WithWorkersPerShard(1))
+	g := doc.NewGenerator(17)
+	hangBackend(h, "Oracle")
+	cancel, wg := submitHung(h, tp2, 1)
+	waitFor(t, func() bool {
+		for _, sh := range h.SchedMetrics().Snapshot() {
+			if sh.Busy > 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer dcancel()
+	if _, err := h.Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain on wedged scheduler = %v, want DeadlineExceeded", err)
+	}
+	// The hub is closed to new work even though the drain timed out.
+	if _, err := h.DoAsync(context.Background(), Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrHubStopped) {
+		t.Fatalf("DoAsync after timed-out drain = %v, want ErrHubStopped", err)
+	}
+	cancel()
+	wg.Wait()
+	h.StopWorkers()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/formats/oracleoif"
 	"repro/internal/formats/rosettanet"
 	"repro/internal/formats/sapidoc"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/transform"
 	"repro/internal/wf"
@@ -126,6 +128,15 @@ type Hub struct {
 	defaultRetry  RetryPolicy
 	dlqMu         sync.Mutex
 	dlq           []DeadLetter
+
+	// Partner health tracking (see health.go in this package and
+	// internal/health): nil unless the hub was built WithHealth. The
+	// tracker's breakers gate admission in Do/DoAsync; healthMetrics
+	// derives per-partner gauges from the KindHealth events; shed counts
+	// submissions dropped by the adaptive shedder for Drain's summary.
+	health        *health.Tracker
+	healthMetrics *obs.HealthMetrics
+	shed          atomic.Int64
 }
 
 // HubStats counts the hub's activity since startup. It is a compatibility
@@ -230,17 +241,18 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 		opt(&cfg)
 	}
 	h := &Hub{
-		Model:        m,
-		Systems:      map[string]backend.System{},
-		reg:          &transform.Registry{},
-		codecs:       NewCodecRegistry(),
-		exchanges:    map[string]*Exchange{},
-		bus:          cfg.bus,
-		metrics:      obs.NewMetrics(),
-		collector:    obs.NewCollector(0),
-		counters:     obs.NewExchangeCounters(),
-		schedMetrics: obs.NewSchedMetrics(),
-		schedCfg:     cfg,
+		Model:         m,
+		Systems:       map[string]backend.System{},
+		reg:           &transform.Registry{},
+		codecs:        NewCodecRegistry(),
+		exchanges:     map[string]*Exchange{},
+		bus:           cfg.bus,
+		metrics:       obs.NewMetrics(),
+		collector:     obs.NewCollector(0),
+		counters:      obs.NewExchangeCounters(),
+		schedMetrics:  obs.NewSchedMetrics(),
+		healthMetrics: obs.NewHealthMetrics(),
+		schedCfg:      cfg,
 	}
 	if h.bus == nil {
 		h.bus = obs.NewBus()
@@ -248,10 +260,21 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	if cfg.defaultRetry != nil {
 		h.defaultRetry = *cfg.defaultRetry
 	}
+	if cfg.health != nil {
+		h.health = health.NewTracker(*cfg.health, func(partner string, from, to health.State) {
+			h.bus.Emit(obs.Event{
+				Partner: partner,
+				Kind:    obs.KindHealth,
+				Stage:   obs.StageHealth,
+				Step:    breakerStep(to),
+			})
+		})
+	}
 	h.bus.Attach(h.metrics)
 	h.bus.Attach(h.collector)
 	h.bus.Attach(h.counters)
 	h.bus.Attach(h.schedMetrics)
+	h.bus.Attach(h.healthMetrics)
 	transform.RegisterAll(h.reg)
 	for _, b := range m.Backends {
 		sys, err := newSystem(b)

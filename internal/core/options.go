@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/health"
 	"repro/internal/msg"
 	"repro/internal/obs"
 )
@@ -27,6 +28,7 @@ type hubConfig struct {
 	queueDepth      int
 	defaultRetry    *RetryPolicy
 	bus             *obs.Bus
+	health          *health.Config
 	// schedConfigured records that a scheduler topology option was given
 	// explicitly, so compat entry points (ServeConcurrent's workers
 	// argument) defer to it instead of imposing the single-pool shape.
@@ -86,6 +88,17 @@ func WithBus(b *obs.Bus) HubOption {
 			c.bus = b
 		}
 	}
+}
+
+// WithHealth enables the partner health tracker: a sliding-window
+// failure-rate circuit breaker per trading partner (see internal/health)
+// consulted at admission. Open circuits fast-fail submissions into the
+// dead-letter queue without consuming workers or retry attempts; degraded
+// partners have their normal-priority work shed under shard-queue
+// pressure. Hubs built without this option track nothing and admit
+// everything (the pre-breaker behavior).
+func WithHealth(cfg health.Config) HubOption {
+	return func(c *hubConfig) { c.health = &cfg }
 }
 
 // queueDepthOrDefault resolves the effective per-shard queue bound.

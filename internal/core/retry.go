@@ -216,6 +216,10 @@ type DeadLetter struct {
 	// billed order (FlowInvoice).
 	native any
 	poID   string
+	// req is the original submission, retained when the exchange was
+	// rejected at admission (circuit fast-fail or shed) and never reached
+	// the pipeline: Resubmit simply reruns it.
+	req *Request
 }
 
 // deadLetter parks a failed exchange on the queue and emits the
@@ -230,6 +234,25 @@ func (h *Hub) deadLetter(ex *Exchange, reason error, native any, poID string) {
 		At:         time.Now(),
 		native:     native,
 		poID:       poID,
+	}
+	h.dlqMu.Lock()
+	h.dlq = append(h.dlq, dl)
+	h.dlqMu.Unlock()
+	h.emitLifecycle(ex, obs.StepDeadLetter, 0, reason)
+}
+
+// deadLetterRequest parks a request rejected at admission (fast-fail or
+// shed) on the queue, retaining the request itself: it never touched the
+// pipeline or a backend, so Resubmit can rerun it without duplicate risk.
+func (h *Hub) deadLetterRequest(ex *Exchange, reason error, req Request) {
+	dl := DeadLetter{
+		ExchangeID: ex.ID,
+		Partner:    ex.Partner.ID,
+		Flow:       ex.Flow,
+		Protocol:   ex.Protocol,
+		Reason:     reason,
+		At:         time.Now(),
+		req:        &req,
 	}
 	h.dlqMu.Lock()
 	h.dlq = append(h.dlq, dl)
@@ -259,6 +282,18 @@ func (h *Hub) DrainDeadLetters() []DeadLetter {
 // when the dead-lettered run already stored the order, the store step is
 // satisfied by the existing copy instead of double-mutating the backend.
 func (h *Hub) Resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
+	if dl.req != nil {
+		// Rejected at admission (fast-fail or shed): the original run
+		// never started, so this is a plain rerun — health-gated again,
+		// and its outcome feeds the breaker like any other exchange.
+		req := *dl.req
+		partner, probe, rejected := h.healthGate(req)
+		if rejected != nil {
+			return rejected.Exchange, rejected.Err
+		}
+		res := h.runTracked(ctx, req, partner, probe)
+		return res.Exchange, res.Err
+	}
 	switch dl.Flow {
 	case obs.FlowInvoice:
 		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, exchangeOpts{resubmit: true})

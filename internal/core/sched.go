@@ -34,7 +34,11 @@ type schedJob struct {
 	key   string
 	shard int
 	run   func(ctx context.Context) Result
-	fut   *Future
+	// onShed, when set, resolves the job as shed instead of running it —
+	// the admission layer's escape hatch for degraded partners under
+	// queue pressure.
+	onShed func() Result
+	fut    *Future
 }
 
 // shard is one scheduler partition: a two-lane bounded queue (high-priority
@@ -172,11 +176,13 @@ func lane(sh *shard, priority Priority) chan schedJob {
 	return sh.norm
 }
 
-// submit admits one job: non-blocking enqueue on the home shard, bypass to
-// the least-loaded shard while the key is under its fair share, else a
-// blocking wait on the home shard (backpressure). It returns ErrHubStopped
-// after stop and ctx.Err() on cancellation while blocked.
-func (s *scheduler) submit(ctx context.Context, key string, priority Priority, run func(context.Context) Result) (*Future, error) {
+// submit admits one job: non-blocking enqueue on the home shard, adaptive
+// shed for degraded partners, bypass to the least-loaded shard while the
+// key is under its fair share, else a blocking wait on the home shard
+// (backpressure). It returns ErrHubStopped after stop and ctx.Err() on
+// cancellation while blocked. onShed (optional) resolves the job as shed
+// when the shedder drops it.
+func (s *scheduler) submit(ctx context.Context, key string, priority Priority, run func(context.Context) Result, onShed func() Result) (*Future, error) {
 	if !s.admit(key) {
 		return nil, ErrHubStopped
 	}
@@ -184,7 +190,7 @@ func (s *scheduler) submit(ctx context.Context, key string, priority Priority, r
 
 	home := s.shardFor(key)
 	fut := &Future{done: make(chan struct{})}
-	j := schedJob{ctx: ctx, key: key, shard: home.id, run: run, fut: fut}
+	j := schedJob{ctx: ctx, key: key, shard: home.id, run: run, onShed: onShed, fut: fut}
 
 	// Fast path: room on the home shard.
 	select {
@@ -193,6 +199,18 @@ func (s *scheduler) submit(ctx context.Context, key string, priority Priority, r
 		s.emit(j, obs.StepEnqueued, 0, nil)
 		return fut, nil
 	default:
+	}
+
+	// Adaptive shed: the home shard is backed up and this partner is
+	// degraded — drop the submission now (it resolves as dead-lettered
+	// via onShed) rather than let a sick partner's work bypass into
+	// healthy shards or block the producer. The high-priority lane is
+	// never shed; it falls through to bypass and backpressure.
+	if onShed != nil && priority != PriorityHigh && s.hub.healthDegraded(key) {
+		fut.res = onShed()
+		close(fut.done)
+		s.release(key)
+		return fut, nil
 	}
 
 	// Home shard is backed up. Divert to the least-loaded shard — but only

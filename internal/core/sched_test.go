@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/doc"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 )
 
@@ -86,6 +87,7 @@ func measureLatencies(t *testing.T, h *Hub, party doc.Party, tag string, n int) 
 // p99 within 2x of the unloaded baseline — one wedged partner cannot stall
 // the rest of the hub.
 func TestShardIsolationHungPartner(t *testing.T) {
+	defer leakcheck.Check(t)()
 	h := newFig14Hub(t, WithShards(4), WithWorkersPerShard(2), WithQueueDepth(2))
 	defer h.StopWorkers()
 	hangBackend(h, "Oracle") // TP2 → Oracle; TP1 → SAP stays healthy
@@ -133,6 +135,7 @@ func TestShardIsolationHungPartner(t *testing.T) {
 // TestSchedulerBackpressure: a full shard queue blocks further submissions
 // (bounded admission) and a blocked submission honors its context.
 func TestSchedulerBackpressure(t *testing.T) {
+	defer leakcheck.Check(t)()
 	h := newFig14Hub(t, WithShards(1), WithWorkersPerShard(1), WithQueueDepth(1))
 	defer h.StopWorkers()
 	hangBackend(h, "SAP") // TP1 → SAP: every dispatched job wedges
@@ -184,6 +187,7 @@ func (r *dispatchRecorder) Emit(e obs.Event) {
 // job queued after a backlog of normal jobs is dispatched first once the
 // worker frees up.
 func TestSchedulerPriorityLane(t *testing.T) {
+	defer leakcheck.Check(t)()
 	h := newFig14Hub(t, WithShards(1), WithWorkersPerShard(1), WithQueueDepth(4))
 	defer h.StopWorkers()
 	if _, err := h.AddPartner(Figure15Partner()); err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/doc"
 	"repro/internal/formats"
+	"repro/internal/obs"
 )
 
 // The unified submission API: every way into the hub — normalized PO round
@@ -154,7 +155,11 @@ func (h *Hub) Do(ctx context.Context, req Request) (*Result, error) {
 	if err := req.normalize(); err != nil {
 		return &Result{Err: err}, err
 	}
-	res := h.run(ctx, req)
+	partner, probe, rejected := h.healthGate(req)
+	if rejected != nil {
+		return rejected, rejected.Err
+	}
+	res := h.runTracked(ctx, req, partner, probe)
 	return &res, res.Err
 }
 
@@ -166,13 +171,27 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 	if err := req.normalize(); err != nil {
 		return nil, err
 	}
+	partner, probe, rejected := h.healthGate(req)
+	if rejected != nil {
+		// Open circuit: resolve immediately without touching the scheduler.
+		fut := &Future{done: make(chan struct{}), res: *rejected}
+		close(fut.done)
+		return fut, nil
+	}
 	s, err := h.ensureScheduler()
 	if err != nil {
 		return nil, err
 	}
+	// The shedder may drop normal-priority work for a degraded partner
+	// when its home shard is backed up — but never probes (they are the
+	// recovery signal) and never requests without a health-gated partner.
+	var onShed func() Result
+	if partner != "" && !probe {
+		onShed = func() Result { return h.fastFail(req, partner, obs.StepShed) }
+	}
 	return s.submit(ctx, req.shardKey(), req.Priority, func(ctx context.Context) Result {
-		return h.run(ctx, req)
-	})
+		return h.runTracked(ctx, req, partner, probe)
+	}, onShed)
 }
 
 // run executes a normalized request.
@@ -263,6 +282,70 @@ func (h *Hub) StopWorkers() {
 	h.schedMu.Lock()
 	h.sched = nil
 	h.schedMu.Unlock()
+}
+
+// DrainSummary reports what a graceful Drain delivered.
+type DrainSummary struct {
+	// Completed counts exchanges that finished successfully over the hub's
+	// lifetime, including those completed during the drain itself.
+	Completed int64
+	// Failed counts exchanges that ended in error (fast-fails and sheds
+	// included).
+	Failed int64
+	// Shed counts submissions dropped by the adaptive load shedder.
+	Shed int64
+	// DeadLettered is the number of dead letters flushed by this drain.
+	DeadLettered int64
+	// DeadLetters are the flushed dead letters, handed to the caller for
+	// offline replay; the hub's queue is empty afterwards.
+	DeadLetters []DeadLetter
+}
+
+// Drain gracefully shuts the scheduler down: admission stops immediately
+// (new submissions get ErrHubStopped), queued and in-flight exchanges run
+// to completion, and the dead-letter queue is flushed into the returned
+// summary. ctx bounds the wait: on expiry Drain returns ctx.Err() with a
+// summary of what had finished by then, while the shutdown continues in
+// the background (dead letters are left queued for a later flush).
+func (h *Hub) Drain(ctx context.Context) (DrainSummary, error) {
+	h.schedMu.Lock()
+	s := h.sched
+	h.schedClosed = true
+	h.schedMu.Unlock()
+	if s != nil {
+		done := make(chan struct{})
+		go func() {
+			s.stop()
+			close(done)
+		}()
+		select {
+		case <-done:
+			h.schedMu.Lock()
+			if h.sched == s {
+				h.sched = nil
+			}
+			h.schedMu.Unlock()
+		case <-ctx.Done():
+			return h.drainSummary(nil), ctx.Err()
+		}
+	}
+	return h.drainSummary(h.DrainDeadLetters()), nil
+}
+
+// drainSummary derives the drain outcome from the lifecycle counters.
+func (h *Hub) drainSummary(dls []DeadLetter) DrainSummary {
+	c := h.Counters()
+	var terminal int64
+	for _, n := range c.ByFlow {
+		terminal += n
+	}
+	return DrainSummary{
+		Completed:    terminal - c.Failed,
+		Failed:       c.Failed,
+		Shed:         h.shed.Load(),
+		DeadLettered: int64(len(dls)),
+		DeadLetters:  dls,
+	}
 }
 
 // Submit enqueues a normalized purchase order for a full round trip through

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/doc"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/wf"
 )
@@ -26,6 +27,7 @@ const (
 // stats and per-exchange event counts exactly. The hub runs the sharded
 // scheduler (4 shards x 2 workers). Run with -race.
 func TestSubmitStress(t *testing.T) {
+	defer leakcheck.Check(t)()
 	h := newFig14Hub(t, WithShards(4), WithWorkersPerShard(2))
 	if _, err := h.AddPartner(Figure15Partner()); err != nil {
 		t.Fatal(err)
@@ -205,6 +207,7 @@ func TestSubmitCancellationAbortsPipeline(t *testing.T) {
 // TestStopWorkersRejectsAndRestarts: submissions against a stopped scheduler
 // are rejected with ErrHubStopped, and the scheduler can be restarted.
 func TestStopWorkersRejectsAndRestarts(t *testing.T) {
+	defer leakcheck.Check(t)()
 	h := newFig14Hub(t, WithShards(2), WithWorkersPerShard(1))
 	ctx := context.Background()
 	g := doc.NewGenerator(9)

@@ -1,0 +1,33 @@
+package health
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a deterministic, manually advanced clock for tests.
+// Pass its Now method as Config.Now to drive breaker transitions without
+// real sleeps.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock starts a clock at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now reports the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,392 @@
+// Package health tracks per-partner endpoint health as a first-class
+// runtime artifact. A sliding-window failure-rate tracker drives a
+// classic three-state circuit breaker per trading partner:
+//
+//	closed ──(failure rate >= Threshold over >= MinSamples)──> open
+//	open ──(ProbeInterval elapsed)──> half-open
+//	half-open ──(probe succeeds)──> closed
+//	half-open ──(probe fails)──> open
+//
+// The breaker never sleeps and never spawns goroutines: transitions are
+// evaluated lazily against an injectable clock whenever a caller asks to
+// admit work (Allow) or reports an outcome (Record / RecordProbe), which
+// keeps tests fully deterministic with a manually advanced clock.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit-breaker state.
+type State int
+
+const (
+	// StateClosed admits all traffic; outcomes feed the failure window.
+	StateClosed State = iota
+	// StateOpen rejects all traffic until ProbeInterval has elapsed.
+	StateOpen
+	// StateHalfOpen admits up to ProbeBudget probe exchanges whose
+	// outcomes close or re-open the circuit.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Config tunes the breaker. Zero values take the documented defaults.
+type Config struct {
+	// Window is the span of the sliding failure window.
+	Window time.Duration // default 10s
+	// Buckets is the window granularity: outcomes age out one bucket
+	// (Window/Buckets) at a time rather than all at once.
+	Buckets int // default 10
+	// Threshold is the windowed failure rate at which a closed circuit
+	// opens.
+	Threshold float64 // default 0.5
+	// MinSamples is how many outcomes the window must hold before the
+	// threshold applies, so one early failure cannot open the circuit.
+	MinSamples int // default 5
+	// ProbeInterval is how long an open circuit waits before admitting
+	// half-open probes (and how long a failed probe re-arms it for).
+	ProbeInterval time.Duration // default 1s
+	// ProbeBudget caps concurrently outstanding half-open probes.
+	ProbeBudget int // default 1
+	// Now is the clock; tests inject a ManualClock's Now.
+	Now func() time.Time // default time.Now
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// TransitionFunc observes breaker state changes. It is invoked outside
+// the breaker's lock, so it may call back into the breaker.
+type TransitionFunc func(partner string, from, to State)
+
+type bucket struct {
+	ok   int64
+	fail int64
+}
+
+// Breaker is the per-partner circuit breaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	partner string
+	cfg     Config
+	notify  TransitionFunc
+
+	mu       sync.Mutex
+	state    State
+	buckets  []bucket
+	cur      int
+	curStart time.Time
+	probeAt  time.Time // earliest probe admission while open
+	probes   int       // outstanding probes while half-open
+	opens    int64
+}
+
+func newBreaker(partner string, cfg Config, notify TransitionFunc) *Breaker {
+	return &Breaker{
+		partner: partner,
+		cfg:     cfg,
+		notify:  notify,
+		buckets: make([]bucket, cfg.Buckets),
+	}
+}
+
+// advance rotates the bucket ring so that b.cur covers now. Callers hold b.mu.
+func (b *Breaker) advance(now time.Time) {
+	if b.curStart.IsZero() {
+		b.curStart = now
+		return
+	}
+	if now.Sub(b.curStart) >= b.cfg.Window {
+		// Idle longer than the whole window: everything has aged out.
+		for i := range b.buckets {
+			b.buckets[i] = bucket{}
+		}
+		b.curStart = now
+		return
+	}
+	step := b.cfg.Window / time.Duration(len(b.buckets))
+	for now.Sub(b.curStart) >= step {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = bucket{}
+		b.curStart = b.curStart.Add(step)
+	}
+}
+
+func (b *Breaker) totalsLocked() (ok, fail int64) {
+	for _, bk := range b.buckets {
+		ok += bk.ok
+		fail += bk.fail
+	}
+	return ok, fail
+}
+
+func (b *Breaker) resetWindowLocked(now time.Time) {
+	for i := range b.buckets {
+		b.buckets[i] = bucket{}
+	}
+	b.cur = 0
+	b.curStart = now
+}
+
+// transitionLocked flips the state and returns the notification to fire
+// after the lock is released (nil when no observer is registered).
+func (b *Breaker) transitionLocked(to State) func() {
+	from := b.state
+	b.state = to
+	if to == StateOpen {
+		b.opens++
+	}
+	if b.notify == nil || from == to {
+		return nil
+	}
+	notify, partner := b.notify, b.partner
+	return func() { notify(partner, from, to) }
+}
+
+// Allow decides whether an exchange for the partner may be admitted.
+// probe reports that the admitted exchange is a half-open probe whose
+// outcome must be reported via RecordProbe rather than Record.
+func (b *Breaker) Allow() (probe, admitted bool) {
+	b.mu.Lock()
+	switch b.state {
+	case StateClosed:
+		b.mu.Unlock()
+		return false, true
+	case StateOpen:
+		now := b.cfg.Now()
+		if now.Before(b.probeAt) {
+			b.mu.Unlock()
+			return false, false
+		}
+		fire := b.transitionLocked(StateHalfOpen)
+		b.probes = 1
+		b.mu.Unlock()
+		if fire != nil {
+			fire()
+		}
+		return true, true
+	default: // StateHalfOpen
+		if b.probes >= b.cfg.ProbeBudget {
+			b.mu.Unlock()
+			return false, false
+		}
+		b.probes++
+		b.mu.Unlock()
+		return true, true
+	}
+}
+
+// Record feeds a normal (non-probe) exchange outcome into the sliding
+// window. Only a closed circuit evaluates the opening threshold; outcomes
+// reported while open or half-open (stragglers admitted earlier) still
+// land in the window but cannot cause a transition.
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	b.advance(now)
+	if failed {
+		b.buckets[b.cur].fail++
+	} else {
+		b.buckets[b.cur].ok++
+	}
+	var fire func()
+	if b.state == StateClosed {
+		ok, fail := b.totalsLocked()
+		if ok+fail >= int64(b.cfg.MinSamples) && float64(fail)/float64(ok+fail) >= b.cfg.Threshold {
+			fire = b.transitionLocked(StateOpen)
+			b.probeAt = now.Add(b.cfg.ProbeInterval)
+		}
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// RecordProbe reports the outcome of a probe admitted by Allow. A success
+// closes the circuit and resets the window; a failure re-opens it and
+// re-arms the probe timer. If the circuit has already left half-open (a
+// concurrent probe resolved it first), the outcome degrades to Record.
+func (b *Breaker) RecordProbe(failed bool) {
+	b.mu.Lock()
+	if b.state != StateHalfOpen {
+		b.mu.Unlock()
+		b.Record(failed)
+		return
+	}
+	now := b.cfg.Now()
+	if b.probes > 0 {
+		b.probes--
+	}
+	var fire func()
+	if failed {
+		fire = b.transitionLocked(StateOpen)
+		b.probeAt = now.Add(b.cfg.ProbeInterval)
+		b.probes = 0
+	} else {
+		fire = b.transitionLocked(StateClosed)
+		b.resetWindowLocked(now)
+		b.probes = 0
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// State reports the current state without mutating it: an open circuit
+// whose probe timer has elapsed still reports open until Allow admits the
+// probe.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Degraded reports whether load shedding should prefer dropping this
+// partner's normal-priority work under queue pressure: the circuit is not
+// closed, or the windowed failure rate has already reached half the
+// opening threshold (the "getting sick" band, so shedding starts before
+// the breaker trips).
+func (b *Breaker) Degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateClosed {
+		return true
+	}
+	b.advance(b.cfg.Now())
+	ok, fail := b.totalsLocked()
+	min := int64(b.cfg.MinSamples) / 2
+	if min < 1 {
+		min = 1
+	}
+	return ok+fail >= min && float64(fail)/float64(ok+fail) >= b.cfg.Threshold/2
+}
+
+// Stats is a point-in-time view of one breaker.
+type Stats struct {
+	Partner     string
+	State       State
+	FailureRate float64
+	Samples     int64
+	Opens       int64
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(b.cfg.Now())
+	ok, fail := b.totalsLocked()
+	var rate float64
+	if ok+fail > 0 {
+		rate = float64(fail) / float64(ok+fail)
+	}
+	return Stats{
+		Partner:     b.partner,
+		State:       b.state,
+		FailureRate: rate,
+		Samples:     ok + fail,
+		Opens:       b.opens,
+	}
+}
+
+// Tracker owns one Breaker per trading partner, created lazily on first
+// reference so only partners that actually exchange documents are tracked.
+type Tracker struct {
+	cfg    Config
+	notify TransitionFunc
+
+	mu       sync.RWMutex
+	partners map[string]*Breaker
+}
+
+// NewTracker builds a tracker; notify (optional) observes every state
+// transition of every partner's breaker.
+func NewTracker(cfg Config, notify TransitionFunc) *Tracker {
+	return &Tracker{
+		cfg:      cfg.withDefaults(),
+		notify:   notify,
+		partners: make(map[string]*Breaker),
+	}
+}
+
+// Breaker returns the partner's breaker, creating it (closed) on first use.
+func (t *Tracker) Breaker(partner string) *Breaker {
+	t.mu.RLock()
+	b := t.partners[partner]
+	t.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b = t.partners[partner]; b == nil {
+		b = newBreaker(partner, t.cfg, t.notify)
+		t.partners[partner] = b
+	}
+	return b
+}
+
+// StateOf reports the partner's breaker state (closed when never seen).
+func (t *Tracker) StateOf(partner string) State {
+	t.mu.RLock()
+	b := t.partners[partner]
+	t.mu.RUnlock()
+	if b == nil {
+		return StateClosed
+	}
+	return b.State()
+}
+
+// Snapshot reports all tracked partners sorted by partner ID.
+func (t *Tracker) Snapshot() []Stats {
+	t.mu.RLock()
+	breakers := make([]*Breaker, 0, len(t.partners))
+	for _, b := range t.partners {
+		breakers = append(breakers, b)
+	}
+	t.mu.RUnlock()
+	out := make([]Stats, 0, len(breakers))
+	for _, b := range breakers {
+		out = append(out, b.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partner < out[j].Partner })
+	return out
+}

@@ -1,0 +1,315 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// testTracker builds a tracker on a manual clock, recording every
+// transition as "partner:from->to".
+func testTracker(cfg Config) (*Tracker, *ManualClock, *[]string) {
+	clock := NewManualClock(epoch)
+	cfg.Now = clock.Now
+	var mu sync.Mutex
+	transitions := []string{}
+	tr := NewTracker(cfg, func(partner string, from, to State) {
+		mu.Lock()
+		transitions = append(transitions, fmt.Sprintf("%s:%s->%s", partner, from, to))
+		mu.Unlock()
+	})
+	return tr, clock, &transitions
+}
+
+func TestBreakerOpensOnThreshold(t *testing.T) {
+	tr, _, transitions := testTracker(Config{
+		Window: 10 * time.Second, Threshold: 0.5, MinSamples: 4,
+		ProbeInterval: time.Second,
+	})
+	b := tr.Breaker("TP2")
+
+	// Below MinSamples nothing can open, whatever the rate.
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 3 failures (MinSamples 4) = %v, want closed", got)
+	}
+	// Fourth sample: 4/4 failures >= 0.5 -> open.
+	b.Record(true)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	if want := []string{"TP2:closed->open"}; len(*transitions) != 1 || (*transitions)[0] != want[0] {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	st := b.Stats()
+	if st.Opens != 1 || st.Samples != 4 || st.FailureRate != 1 {
+		t.Fatalf("stats = %+v, want opens=1 samples=4 rate=1", st)
+	}
+}
+
+func TestBreakerStaysClosedBelowThreshold(t *testing.T) {
+	tr, _, _ := testTracker(Config{Threshold: 0.5, MinSamples: 4})
+	b := tr.Breaker("TP1")
+	for i := 0; i < 20; i++ {
+		b.Record(i%4 == 0) // 25% failure rate, below 0.5 at every prefix
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed at 25%% failures", got)
+	}
+}
+
+func TestOpenRejectsUntilProbeInterval(t *testing.T) {
+	tr, clock, transitions := testTracker(Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	if probe, admitted := b.Allow(); probe || admitted {
+		t.Fatalf("Allow while freshly open = (probe=%v, admitted=%v), want rejected", probe, admitted)
+	}
+	clock.Advance(999 * time.Millisecond)
+	if _, admitted := b.Allow(); admitted {
+		t.Fatal("Allow admitted before ProbeInterval elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	probe, admitted := b.Allow()
+	if !probe || !admitted {
+		t.Fatalf("Allow after ProbeInterval = (probe=%v, admitted=%v), want probe admitted", probe, admitted)
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", got)
+	}
+	want := []string{"TP2:closed->open", "TP2:open->half-open"}
+	if len(*transitions) != 2 || (*transitions)[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+}
+
+func TestHalfOpenProbeAdmissionCap(t *testing.T) {
+	tr, clock, _ := testTracker(Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second, ProbeBudget: 2,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	clock.Advance(time.Second)
+
+	// First Allow flips open->half-open and consumes probe slot 1; the
+	// second consumes slot 2; the third must be rejected.
+	for i := 0; i < 2; i++ {
+		if probe, admitted := b.Allow(); !probe || !admitted {
+			t.Fatalf("probe %d not admitted (probe=%v, admitted=%v)", i+1, probe, admitted)
+		}
+	}
+	if _, admitted := b.Allow(); admitted {
+		t.Fatal("third probe admitted past ProbeBudget=2")
+	}
+	// Resolving one probe frees its slot.
+	b.RecordProbe(true) // fails -> re-open, budget reset
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if _, admitted := b.Allow(); admitted {
+		t.Fatal("Allow admitted immediately after failed probe re-opened the circuit")
+	}
+}
+
+func TestProbeSuccessClosesAndResetsWindow(t *testing.T) {
+	tr, clock, transitions := testTracker(Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	clock.Advance(time.Second)
+	if _, admitted := b.Allow(); !admitted {
+		t.Fatal("probe not admitted")
+	}
+	b.RecordProbe(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if st := b.Stats(); st.Samples != 0 {
+		t.Fatalf("window not reset on close: samples = %d", st.Samples)
+	}
+	// Fully recovered: the old failures must not contribute to reopening.
+	b.Record(true)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("one failure after reset reopened the circuit (state %v)", got)
+	}
+	want := "TP2:half-open->closed"
+	if n := len(*transitions); n != 3 || (*transitions)[2] != want {
+		t.Fatalf("transitions = %v, want last %q", *transitions, want)
+	}
+}
+
+func TestProbeFailureReopens(t *testing.T) {
+	tr, clock, transitions := testTracker(Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	clock.Advance(time.Second)
+	if _, admitted := b.Allow(); !admitted {
+		t.Fatal("probe not admitted")
+	}
+	b.RecordProbe(true)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The probe timer re-armed: rejected for another full interval.
+	clock.Advance(999 * time.Millisecond)
+	if _, admitted := b.Allow(); admitted {
+		t.Fatal("Allow admitted before the re-armed ProbeInterval elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	if probe, admitted := b.Allow(); !probe || !admitted {
+		t.Fatal("second probe cycle not admitted after re-armed interval")
+	}
+	want := "TP2:half-open->open"
+	if n := len(*transitions); n != 4 || (*transitions)[2] != want {
+		t.Fatalf("transitions = %v, want third %q", *transitions, want)
+	}
+	if st := b.Stats(); st.Opens != 2 {
+		t.Fatalf("opens = %d, want 2", st.Opens)
+	}
+}
+
+func TestWindowSlidesFailuresOut(t *testing.T) {
+	tr, clock, _ := testTracker(Config{
+		Window: 10 * time.Second, Buckets: 10, Threshold: 0.5, MinSamples: 4,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	b.Record(true) // 3 < MinSamples, still closed
+	clock.Advance(11 * time.Second)
+	// The old failures have aged out entirely; this is sample #1 again.
+	b.Record(true)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed (old failures should have expired)", got)
+	}
+	if st := b.Stats(); st.Samples != 1 {
+		t.Fatalf("samples after window expiry = %d, want 1", st.Samples)
+	}
+	// Partial aging: a bucket is dropped only when the ring wraps onto
+	// it, i.e. a full Window after it was filled.
+	b.Record(true)
+	b.Record(false) // samples: 3, all in the bucket at T0
+	clock.Advance(9 * time.Second)
+	if st := b.Stats(); st.Samples != 3 {
+		t.Fatalf("samples after 9s = %d, want 3 (still inside the 10s window)", st.Samples)
+	}
+	b.Record(false) // lands in the bucket at T0+9s
+	clock.Advance(time.Second)
+	if st := b.Stats(); st.Samples != 1 {
+		t.Fatalf("samples after 10s = %d, want 1 (T0 bucket aged out, T0+9s retained)", st.Samples)
+	}
+}
+
+func TestDegradedBeforeOpen(t *testing.T) {
+	tr, _, _ := testTracker(Config{Threshold: 0.8, MinSamples: 4})
+	b := tr.Breaker("TP2")
+	if b.Degraded() {
+		t.Fatal("fresh breaker reported degraded")
+	}
+	// 1 failure / 2 samples = 0.5 >= Threshold/2 (0.4), but the circuit
+	// stays closed (2 < MinSamples and 0.5 < 0.8): degraded-but-closed.
+	b.Record(true)
+	b.Record(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	if !b.Degraded() {
+		t.Fatal("breaker at half the opening threshold not reported degraded")
+	}
+	// A healthy run clears the degraded band.
+	for i := 0; i < 20; i++ {
+		b.Record(false)
+	}
+	if b.Degraded() {
+		t.Fatal("healthy breaker still reported degraded")
+	}
+}
+
+func TestDegradedWhileOpenAndHalfOpen(t *testing.T) {
+	tr, clock, _ := testTracker(Config{Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	if !b.Degraded() {
+		t.Fatal("open circuit not reported degraded")
+	}
+	clock.Advance(time.Second)
+	b.Allow() // -> half-open
+	if !b.Degraded() {
+		t.Fatal("half-open circuit not reported degraded")
+	}
+	b.RecordProbe(false)
+	if b.Degraded() {
+		t.Fatal("closed circuit with reset window reported degraded")
+	}
+}
+
+func TestTrackerSnapshotSortedAndLazy(t *testing.T) {
+	tr, _, _ := testTracker(Config{Threshold: 0.5, MinSamples: 2})
+	if snaps := tr.Snapshot(); len(snaps) != 0 {
+		t.Fatalf("fresh tracker snapshot has %d entries, want 0", len(snaps))
+	}
+	if got := tr.StateOf("never-seen"); got != StateClosed {
+		t.Fatalf("StateOf(unseen) = %v, want closed (and no breaker created)", got)
+	}
+	if snaps := tr.Snapshot(); len(snaps) != 0 {
+		t.Fatal("StateOf must not create breakers")
+	}
+	tr.Breaker("TP2").Record(true)
+	tr.Breaker("TP2").Record(true)
+	tr.Breaker("TP1").Record(false)
+	snaps := tr.Snapshot()
+	if len(snaps) != 2 || snaps[0].Partner != "TP1" || snaps[1].Partner != "TP2" {
+		t.Fatalf("snapshot = %+v, want [TP1 TP2]", snaps)
+	}
+	if snaps[1].State != StateOpen || snaps[0].State != StateClosed {
+		t.Fatalf("snapshot states = %v/%v, want closed/open", snaps[0].State, snaps[1].State)
+	}
+	if same := tr.Breaker("TP2"); same != tr.Breaker("TP2") {
+		t.Fatal("Breaker not idempotent per partner")
+	}
+}
+
+func TestBreakerConcurrentAccess(t *testing.T) {
+	// Not deterministic in outcome, but must be race-free: hammer one
+	// breaker from many goroutines under -race.
+	tr := NewTracker(Config{Threshold: 0.5, MinSamples: 4, ProbeInterval: time.Millisecond}, nil)
+	b := tr.Breaker("TP2")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if probe, admitted := b.Allow(); admitted {
+					if probe {
+						b.RecordProbe(i%2 == 0)
+					} else {
+						b.Record(i%3 == 0)
+					}
+				}
+				b.Degraded()
+				b.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. It
+// snapshots runtime.NumGoroutine at the start and, at the end, polls for
+// the count to return to the baseline — failing with a full stack dump of
+// every live goroutine when it does not. Use it around anything that
+// starts workers (the hub scheduler, probe-driven breakers) to prove
+// Stop/Drain really reap them:
+//
+//	defer leakcheck.Check(t)()
+//	h := newHub(t)
+//	defer h.StopWorkers()
+//
+// Deferred FIRST so it runs LAST (LIFO), after the deferred shutdown.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and returns the assertion to defer.
+// The returned func allows a short grace period (goroutine exit is
+// asynchronous even after WaitGroup.Wait returns) before failing the test
+// with a stack dump of everything still running.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("leakcheck: %d goroutines still running, want <= %d baseline\n%s",
+			runtime.NumGoroutine(), base, buf[:n])
+	}
+}

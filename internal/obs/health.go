@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// HealthMetrics is a Sink that derives per-partner circuit-breaker gauges
+// from the KindHealth event stream: the last observed breaker state,
+// transition counts, probe traffic and admission rejections (fast-fails
+// and sheds). It is safe for concurrent use.
+type HealthMetrics struct {
+	mu       sync.Mutex
+	partners map[string]*healthGauge
+}
+
+type healthGauge struct {
+	state         string
+	opens         int64
+	halfOpens     int64
+	closes        int64
+	probes        int64
+	probeFailures int64
+	sheds         int64
+	fastFails     int64
+}
+
+// NewHealthMetrics returns an empty partner-health sink.
+func NewHealthMetrics() *HealthMetrics {
+	return &HealthMetrics{partners: map[string]*healthGauge{}}
+}
+
+// Emit implements Sink.
+func (h *HealthMetrics) Emit(e Event) {
+	if e.Kind != KindHealth || e.Partner == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g := h.partners[e.Partner]
+	if g == nil {
+		g = &healthGauge{state: "closed"}
+		h.partners[e.Partner] = g
+	}
+	switch e.Step {
+	case StepBreakerOpen:
+		g.state = "open"
+		g.opens++
+	case StepBreakerHalfOpen:
+		g.state = "half-open"
+		g.halfOpens++
+	case StepBreakerClosed:
+		g.state = "closed"
+		g.closes++
+	case StepProbe:
+		g.probes++
+		if e.Err != nil {
+			g.probeFailures++
+		}
+	case StepShed:
+		g.sheds++
+	case StepFastFail:
+		g.fastFails++
+	}
+}
+
+// HealthSnapshot is the exported view of one partner's health gauges.
+type HealthSnapshot struct {
+	// Partner is the trading partner the breaker guards.
+	Partner string
+	// State is the last observed breaker state ("closed" until the first
+	// transition event).
+	State string
+	// Opens / HalfOpens / Closes count breaker state transitions.
+	Opens     int64
+	HalfOpens int64
+	Closes    int64
+	// Probes counts half-open probe exchanges; ProbeFailures the failed ones.
+	Probes        int64
+	ProbeFailures int64
+	// Sheds counts normal-priority submissions dropped by the adaptive
+	// shedder; FastFails counts submissions rejected by an open circuit.
+	Sheds     int64
+	FastFails int64
+}
+
+// Snapshot returns the per-partner gauges sorted by partner ID.
+func (h *HealthMetrics) Snapshot() []HealthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HealthSnapshot, 0, len(h.partners))
+	for id, g := range h.partners {
+		out = append(out, HealthSnapshot{
+			Partner:       id,
+			State:         g.state,
+			Opens:         g.opens,
+			HalfOpens:     g.halfOpens,
+			Closes:        g.closes,
+			Probes:        g.probes,
+			ProbeFailures: g.probeFailures,
+			Sheds:         g.sheds,
+			FastFails:     g.fastFails,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partner < out[j].Partner })
+	return out
+}

@@ -31,6 +31,7 @@ const (
 	StageApp      Stage = "app"      // application binding steps
 	StageRoute    Stage = "route"    // hub routing hops between instances
 	StageSched    Stage = "sched"    // scheduler admission and dispatch
+	StageHealth   Stage = "health"   // partner health tracking (breakers)
 )
 
 // Kind classifies events.
@@ -53,6 +54,12 @@ const (
 	// failed delivery attempt (Err set, Elapsed is the attempt duration) or
 	// StepBackoff for the pause before the next one (Elapsed is the backoff).
 	KindRetry Kind = "retry"
+	// KindHealth marks partner-health activity: breaker state transitions
+	// (StepBreakerOpen / StepBreakerHalfOpen / StepBreakerClosed), probe
+	// outcomes (StepProbe, Err set when the probe failed), and admission
+	// rejections (StepFastFail for an open circuit, StepShed for the
+	// adaptive load shedder). Partner names the breaker.
+	KindHealth Kind = "health"
 	// KindSched marks scheduler activity: Step is StepEnqueued or
 	// StepBypassed when a submission is admitted to a shard queue,
 	// StepDispatched when a worker picks it up, and StepCompleted (Elapsed
@@ -74,6 +81,14 @@ const (
 	StepBypassed   = "bypassed"
 	StepDispatched = "dispatched"
 	StepCompleted  = "completed"
+	// Health steps (KindHealth). The three breaker-* steps record the state
+	// a partner's circuit transitioned INTO.
+	StepBreakerOpen     = "breaker-open"
+	StepBreakerHalfOpen = "breaker-half-open"
+	StepBreakerClosed   = "breaker-closed"
+	StepProbe           = "probe"
+	StepShed            = "shed"
+	StepFastFail        = "fast-fail"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.

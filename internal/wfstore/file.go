@@ -37,11 +37,24 @@ type logRecord struct {
 }
 
 // OpenFileStore opens (creating if needed) the log at path and replays it.
+// A torn final record — an append cut short by a crash, recognizable by
+// its missing newline terminator — is dropped and truncated away; only
+// that one record is lost. Unparseable records that were fully written
+// (newline-terminated) are corruption and fail the open.
 func OpenFileStore(path string) (*FileStore, error) {
 	s := &FileStore{mem: NewMemStore(), path: path}
 	if data, err := os.ReadFile(path); err == nil {
-		if err := s.replay(data); err != nil {
-			return nil, fmt.Errorf("wfstore: replay %s: %w", path, err)
+		good, rerr := s.replay(data)
+		if rerr != nil {
+			return nil, fmt.Errorf("wfstore: replay %s: %w", path, rerr)
+		}
+		if good < len(data) {
+			// Physically drop the torn tail before reopening for append:
+			// writing after a partial record would fuse it with the next
+			// record into garbage.
+			if terr := os.Truncate(path, int64(good)); terr != nil {
+				return nil, fmt.Errorf("wfstore: truncate torn tail of %s: %w", path, terr)
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("wfstore: open %s: %w", path, err)
@@ -55,46 +68,54 @@ func OpenFileStore(path string) (*FileStore, error) {
 	return s, nil
 }
 
-func (s *FileStore) replay(data []byte) error {
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+// replay applies the log records in data and returns the byte offset just
+// past the last durable record. Records are durable only once their
+// trailing newline hit the file (append writes record+newline in one
+// flush), so an unterminated final line is the torn tail of a crashed
+// append: it is not replayed and not counted, whatever it contains.
+func (s *FileStore) replay(data []byte) (int, error) {
+	off := 0
 	line := 0
-	for sc.Scan() {
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return off, nil // torn tail
+		}
 		line++
-		if len(sc.Bytes()) == 0 {
+		raw := data[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(raw)) == 0 {
 			continue
 		}
 		var rec logRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			// A torn final record after a crash is expected; anything
-			// mid-log is corruption.
-			return fmt.Errorf("line %d: %w", line, err)
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return off, fmt.Errorf("line %d: %w", line, err)
 		}
 		switch rec.Op {
 		case "type":
 			if err := rec.Type.Validate(); err != nil {
-				return fmt.Errorf("line %d: %w", line, err)
+				return off, fmt.Errorf("line %d: %w", line, err)
 			}
 			if err := s.mem.PutType(rec.Type); err != nil {
-				return err
+				return off, err
 			}
 		case "inst":
 			in, err := decodeInstance(rec.Instance)
 			if err != nil {
-				return fmt.Errorf("line %d: %w", line, err)
+				return off, fmt.Errorf("line %d: %w", line, err)
 			}
 			if err := s.mem.PutInstance(in); err != nil {
-				return err
+				return off, err
 			}
 		case "del":
 			if err := s.mem.DeleteInstance(rec.ID); err != nil {
-				return err
+				return off, err
 			}
 		default:
-			return fmt.Errorf("line %d: unknown op %q", line, rec.Op)
+			return off, fmt.Errorf("line %d: unknown op %q", line, rec.Op)
 		}
 	}
-	return sc.Err()
+	return off, nil
 }
 
 func (s *FileStore) append(rec logRecord) error {

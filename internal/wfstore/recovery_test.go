@@ -1,0 +1,120 @@
+package wfstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wf"
+)
+
+// TestFileStoreTornTailRecovery simulates a crash mid-append: the log is
+// truncated inside its final record (no newline terminator). Reopening
+// must succeed, replay everything before the tear, drop exactly the torn
+// record, and physically truncate it away so subsequent appends do not
+// fuse with the partial line.
+func TestFileStoreTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.log")
+	s := openFile(t, path)
+	if err := s.PutType(sampleType()); err != nil {
+		t.Fatal(err)
+	}
+	put := func(st *FileStore, id string) {
+		t.Helper()
+		in := &wf.Instance{ID: id, Type: "t", Version: 1, State: wf.InstRunning,
+			Data: map[string]any{"n": 1}}
+		if err := st.PutInstance(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(s, "i1")
+	put(s, "i2")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: chop bytes off the end, well inside i2's
+	// JSON line, leaving no trailing newline.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-9]
+	if torn[len(torn)-1] == '\n' {
+		t.Fatal("test setup: tear landed on a record boundary")
+	}
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: i1 survives, the torn i2 is gone, nothing errors.
+	s2 := openFile(t, path)
+	if _, err := s2.GetInstance("i1"); err != nil {
+		t.Fatalf("i1 lost in recovery: %v", err)
+	}
+	if _, err := s2.GetInstance("i2"); err == nil {
+		t.Fatal("torn record i2 resurrected from a partial line")
+	}
+	// The tail was truncated away on disk, not just skipped in memory.
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) >= len(torn) {
+		t.Fatalf("torn tail not truncated: %d bytes on disk, tear was at %d", len(onDisk), len(torn))
+	}
+	if n := bytes.Count(onDisk, []byte("\n")); len(onDisk) > 0 && onDisk[len(onDisk)-1] != '\n' {
+		t.Fatalf("recovered log does not end on a record boundary (%d records)", n)
+	}
+
+	// Appending after recovery starts on a clean boundary: a third
+	// instance persists and survives another reopen alongside i1.
+	put(s2, "i3")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openFile(t, path)
+	if _, err := s3.GetInstance("i1"); err != nil {
+		t.Fatalf("i1 lost after post-recovery append: %v", err)
+	}
+	if _, err := s3.GetInstance("i3"); err != nil {
+		t.Fatalf("post-recovery append lost: %v", err)
+	}
+	if _, err := s3.GetInstance("i2"); err == nil {
+		t.Fatal("torn record i2 reappeared after append + reopen")
+	}
+}
+
+// TestFileStoreMidLogCorruptionStillErrors pins the boundary of torn-tail
+// tolerance: a fully written (newline-terminated) record that does not
+// parse is corruption and must fail the open, even when a crash-recovery
+// path exists for unterminated tails.
+func TestFileStoreMidLogCorruptionStillErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.log")
+	s := openFile(t, path)
+	if err := s.PutType(sampleType()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record in the middle of the log, newline-terminated, with a
+	// valid record after it.
+	if _, err := f.WriteString("{garbage mid-log}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"del","id":"nope"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("mid-log corruption silently accepted")
+	}
+}

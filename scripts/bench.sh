@@ -5,9 +5,11 @@
 # speedup, plus the faulty-backend variant (8 workers, 10% injected
 # backend errors absorbed by the retry layer), plus the sharded-scheduler
 # sweep (BenchmarkHubSharded: shards x workers-per-shard over the
-# in-process DoAsync API, clean and faulty). Acceptance bars: speedup >= 2
-# on the clean worker-pool benchmark, and the clean shards=8 row >= 1.5x
-# the workers=8 row.
+# in-process DoAsync API, clean and faulty), plus the circuit-breaker
+# outage drill (BenchmarkHubBreaker: healthy-partner throughput while one
+# backend is hard down, breaker off vs on). Acceptance bars: speedup >= 2
+# on the clean worker-pool benchmark, the clean shards=8 row >= 1.5x the
+# workers=8 row, and breaker-on >= 2x breaker-off healthy throughput.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +25,9 @@ go test -run '^$' -bench '^BenchmarkHubParallelFaulty$' -benchtime "${BENCH_FAUL
 
 echo "== BenchmarkHubSharded (benchtime $SHARD_COUNT) =="
 go test -run '^$' -bench '^BenchmarkHubSharded$' -benchtime "$SHARD_COUNT" . | tee /tmp/bench_hub_sharded.txt
+
+echo "== BenchmarkHubBreaker (benchtime ${BENCH_BREAKER_COUNT:-300x}) =="
+go test -run '^$' -bench '^BenchmarkHubBreaker$' -benchtime "${BENCH_BREAKER_COUNT:-300x}" . | tee /tmp/bench_hub_breaker.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -67,6 +72,19 @@ for line in open("/tmp/bench_hub_sharded.txt"):
             row["retries_per_exchange"] = float(m.group(6))
         sharded[f"{m.group(1)}/shards={m.group(2)}/workers={m.group(3)}"] = row
 
+breaker = {}
+for line in open("/tmp/bench_hub_breaker.txt"):
+    m = re.search(
+        r"BenchmarkHubBreaker/breaker=(off|on)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) healthy-exchanges/s",
+        line)
+    if m:
+        breaker[m.group(1)] = {
+            "ns_per_op": float(m.group(2)),
+            "healthy_exchanges_per_sec": float(m.group(3)),
+        }
+if "off" not in breaker or "on" not in breaker:
+    sys.exit("bench.sh: missing BenchmarkHubBreaker off/on results")
+
 best_clean8 = max(
     (row["exchanges_per_sec"] for key, row in sharded.items()
      if key.startswith("clean/shards=8/")),
@@ -76,6 +94,8 @@ if best_clean8 is None:
 
 speedup = results[8]["exchanges_per_sec"] / results[1]["exchanges_per_sec"]
 sharded_speedup = best_clean8 / results[8]["exchanges_per_sec"]
+breaker_speedup = (breaker["on"]["healthy_exchanges_per_sec"]
+                   / breaker["off"]["healthy_exchanges_per_sec"])
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -90,6 +110,14 @@ record = {
         "clean_shards8_vs_workers8": round(sharded_speedup, 2),
         "passes_1_5x": sharded_speedup >= 1.5,
     },
+    "breaker": {
+        "benchmark": "BenchmarkHubBreaker",
+        "scenario": "one partner backend hard down (100% errors), "
+                    "healthy throughput with breaker off vs on",
+        "rows": breaker,
+        "on_vs_off": round(breaker_speedup, 2),
+        "passes_2x": breaker_speedup >= 2.0,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -100,7 +128,9 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"{faulty['retries_per_exchange']:.2f} retries/exchange; "
       f"sharded clean 8-shard = {best_clean8:.0f} exchanges/s "
       f"({sharded_speedup:.2f}x workers=8, "
-      f"{'PASS' if sharded_speedup >= 1.5 else 'FAIL'} >= 1.5x)")
-if speedup < 2.0 or sharded_speedup < 1.5:
+      f"{'PASS' if sharded_speedup >= 1.5 else 'FAIL'} >= 1.5x); "
+      f"breaker on vs off = {breaker_speedup:.2f}x "
+      f"({'PASS' if breaker_speedup >= 2.0 else 'FAIL'} >= 2x)")
+if speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0:
     sys.exit(1)
 EOF

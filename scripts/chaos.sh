@@ -1,10 +1,13 @@
 #!/bin/sh
 # Sweep the deterministic chaos harness across several fault streams: the
 # chaos tests run under the race detector once per seed offset, shifting
-# every schedule's RNG seed via CHAOS_SEED. Any violation of the
-# exactly-once accounting invariants (submitted == completed +
-# dead-lettered, no double mutation, counters reconcile with event
-# streams) fails the sweep and prints the seed that reproduces it.
+# every schedule's RNG seed via CHAOS_SEED. The schedules cover transient
+# errors, latency, hangs, overload, and a hard partner outage driven
+# through the circuit breaker (closed -> open -> half-open -> closed with
+# dead-letter replay). Any violation of the exactly-once accounting
+# invariants (submitted == completed + dead-lettered, no double mutation,
+# counters reconcile with event streams) fails the sweep and prints the
+# seed that reproduces it.
 set -eu
 cd "$(dirname "$0")/.."
 

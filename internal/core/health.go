@@ -120,18 +120,17 @@ func (h *Hub) fastFail(req Request, partner string, step string) Result {
 
 // runTracked executes a request and feeds its outcome to the partner's
 // breaker: probe outcomes close or re-open a half-open circuit, normal
-// outcomes drive the sliding failure window. A cancellation of the
-// submission's own context is the caller's doing, not the endpoint's,
-// and is not recorded.
+// outcomes drive the sliding failure window. Only outcomes attributable
+// to the endpoint are recorded — a cancellation or deadline expiry of the
+// submission's own context is the caller's doing, and a pipeline failure
+// (malformed document, protocol mismatch, codec error) says nothing about
+// the partner's availability; such outcomes release a probe's slot
+// without a verdict so the half-open circuit can admit a fresh probe.
 func (h *Hub) runTracked(ctx context.Context, req Request, partner string, probe bool) Result {
 	res := h.run(ctx, req)
 	if h.health == nil || partner == "" {
 		return res
 	}
-	if res.Err != nil && errors.Is(res.Err, context.Canceled) {
-		return res
-	}
-	failed := res.Err != nil
 	br := h.health.Breaker(partner)
 	if probe {
 		var exID string
@@ -146,11 +145,64 @@ func (h *Hub) runTracked(ctx context.Context, req Request, partner string, probe
 			Step:       obs.StepProbe,
 			Err:        res.Err,
 		})
-		br.RecordProbe(failed)
-	} else {
-		br.Record(failed)
+	}
+	switch {
+	case res.Err == nil:
+		if probe {
+			br.RecordProbe(false)
+		} else {
+			br.Record(false)
+		}
+	case ctx.Err() != nil || errors.Is(res.Err, context.Canceled):
+		// The submission's own context was cancelled or expired: the
+		// caller's doing, not the endpoint's. No verdict.
+		if probe {
+			br.ReleaseProbe()
+		}
+	case !endpointFailure(res.Err):
+		// Pipeline/document failure: one client repeatedly submitting a
+		// malformed document must not open a healthy partner's circuit.
+		if probe {
+			br.ReleaseProbe()
+		}
+	default:
+		if probe {
+			br.RecordProbe(true)
+		} else {
+			br.Record(true)
+		}
 	}
 	return res
+}
+
+// endpointFailure reports whether an exchange error is attributable to
+// the partner's endpoint — a failure of a delivery/step stage of the
+// pipeline (a backend fault, a hung or refusing endpoint, a per-attempt
+// timeout) — rather than to the document or the hub itself. Decode and
+// normalization errors, admission sentinels and "no outbound produced"
+// never carry a step stage, so they do not feed the breaker.
+func endpointFailure(err error) bool {
+	var ee *ExchangeError
+	if !errors.As(err, &ee) {
+		// Raw errors (decode, codec lookup, normalization) precede any
+		// pipeline step and are never the endpoint's fault.
+		return false
+	}
+	switch ee.Stage {
+	case obs.StagePublic, obs.StageBinding, obs.StagePrivate, obs.StageApp:
+		return true
+	}
+	return false
+}
+
+// releaseProbe frees a half-open probe slot admitted by healthGate when
+// the admitted exchange will never run and report an outcome (the
+// scheduler refused or dropped it).
+func (h *Hub) releaseProbe(partner string, probe bool) {
+	if !probe || h.health == nil || partner == "" {
+		return
+	}
+	h.health.Breaker(partner).ReleaseProbe()
 }
 
 // healthDegraded reports whether the adaptive shedder should drop

@@ -3,12 +3,15 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/doc"
+	"repro/internal/formats"
 	"repro/internal/health"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 )
 
 // TestBreakerFastFailAndResubmit covers the full degradation round trip
@@ -189,6 +192,130 @@ func TestShedNormalLaneBeforeHigh(t *testing.T) {
 	hfut.Result(ctx)
 }
 
+// TestBreakerIgnoresPipelineFailures pins the attribution rule: failures
+// that never reached the partner's endpoint — here a malformed wire
+// document that dies at decode — feed neither the sliding window nor a
+// probe verdict, so one client resubmitting a bad document cannot open a
+// healthy partner's circuit and dead-letter its good traffic.
+func TestBreakerIgnoresPipelineFailures(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := newFig14Hub(t, WithHealth(health.Config{Threshold: 0.5, MinSamples: 2}))
+	ctx := context.Background()
+
+	bad := Request{Kind: DocWirePO, Protocol: formats.EDI, Wire: []byte("not an EDI document"), PartnerID: "TP1"}
+	for i := 0; i < 6; i++ {
+		if _, err := h.Do(ctx, bad); err == nil {
+			t.Fatal("malformed wire document unexpectedly decoded")
+		}
+	}
+	br := h.Health().Breaker("TP1")
+	if got := br.State(); got != health.StateClosed {
+		t.Fatalf("state after 6 malformed submissions = %v, want closed", got)
+	}
+	if st := br.Stats(); st.Samples != 0 {
+		t.Fatalf("window samples = %d, want 0 (pipeline failures are not endpoint outcomes)", st.Samples)
+	}
+}
+
+// TestEndpointFailureAttribution pins which errors count as the
+// endpoint's: step/delivery-stage exchange errors do, everything that
+// precedes or bypasses the pipeline's stages does not.
+func TestEndpointFailureAttribution(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"app stage", &ExchangeError{Stage: obs.StageApp, Err: errors.New("backend fault")}, true},
+		{"binding stage", &ExchangeError{Stage: obs.StageBinding, Err: errors.New("translate failed")}, true},
+		{"wrapped private stage", fmt.Errorf("outer: %w", &ExchangeError{Stage: obs.StagePrivate, Err: errors.New("x")}), true},
+		{"public stage", &ExchangeError{Stage: obs.StagePublic, Err: errors.New("deliver")}, true},
+		{"exchange envelope", &ExchangeError{Stage: obs.StageExchange, Err: ErrNoOutbound}, false},
+		{"route stage", &ExchangeError{Stage: obs.StageRoute, Err: errors.New("no such port")}, false},
+		{"raw decode error", errors.New("core: inbound EDI PO: parse error"), false},
+		{"unknown partner", fmt.Errorf("%w: %q", ErrUnknownPartner, "GHOST"), false},
+	}
+	for _, tc := range cases {
+		if got := endpointFailure(tc.err); got != tc.want {
+			t.Errorf("endpointFailure(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestProbeSlotReleasedOnCancellation guards the half-open budget against
+// a probe whose outcome never arrives: the caller cancels the probe
+// exchange mid-flight, and the slot must come back so the next admission
+// is a fresh probe rather than a permanent rejection.
+func TestProbeSlotReleasedOnCancellation(t *testing.T) {
+	defer leakcheck.Check(t)()
+	clock := health.NewManualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	h := newFig14Hub(t, WithHealth(health.Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Minute, Now: clock.Now,
+	}))
+	g := doc.NewGenerator(23)
+
+	hangBackend(h, "Oracle")
+	br := h.Health().Breaker("TP2")
+	br.Record(true)
+	br.Record(true)
+	clock.Advance(time.Minute)
+
+	// The probe wedges against the hung backend; cancel the submission.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.Do(ctx, Request{Kind: DocPO, PO: g.PO(tp2, seller)})
+		done <- err
+	}()
+	waitFor(t, func() bool { return h.Health().StateOf("TP2") == health.StateHalfOpen })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled probe error = %v, want context.Canceled", err)
+	}
+
+	// No verdict was recorded — the circuit is still half-open — but the
+	// slot is free again for a replacement probe.
+	if got := h.Health().StateOf("TP2"); got != health.StateHalfOpen {
+		t.Fatalf("state after cancelled probe = %v, want half-open", got)
+	}
+	if probe, admitted := br.Allow(); !probe || !admitted {
+		t.Fatalf("Allow after cancelled probe = (probe=%v, admitted=%v), want fresh probe", probe, admitted)
+	}
+	br.ReleaseProbe()
+}
+
+// TestProbeSlotReleasedOnStoppedScheduler covers the DoAsync early-error
+// path: the breaker admits a probe at the health gate, the stopped
+// scheduler then refuses the submission, and the probe slot must be put
+// back instead of leaking.
+func TestProbeSlotReleasedOnStoppedScheduler(t *testing.T) {
+	defer leakcheck.Check(t)()
+	clock := health.NewManualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	h := newFig14Hub(t, WithHealth(health.Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Minute, Now: clock.Now,
+	}))
+	// Close admission without ever starting the scheduler.
+	if _, err := h.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	br := h.Health().Breaker("TP1")
+	br.Record(true)
+	br.Record(true)
+	clock.Advance(time.Minute)
+
+	g := doc.NewGenerator(29)
+	if _, err := h.DoAsync(context.Background(), Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrHubStopped) {
+		t.Fatalf("DoAsync on drained hub = %v, want ErrHubStopped", err)
+	}
+	if got := h.Health().StateOf("TP1"); got != health.StateHalfOpen {
+		t.Fatalf("state after refused probe = %v, want half-open", got)
+	}
+	if probe, admitted := br.Allow(); !probe || !admitted {
+		t.Fatalf("Allow after refused probe = (probe=%v, admitted=%v), want fresh probe", probe, admitted)
+	}
+	br.ReleaseProbe()
+}
+
 // waitFor polls cond with a bounded deadline — no fixed sleeps.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
@@ -290,7 +417,19 @@ func TestDrainDeadlineExpiry(t *testing.T) {
 	if _, err := h.DoAsync(context.Background(), Request{Kind: DocPO, PO: g.PO(tp1, seller)}); !errors.Is(err, ErrHubStopped) {
 		t.Fatalf("DoAsync after timed-out drain = %v, want ErrHubStopped", err)
 	}
+
+	// Unwedging the worker lets the background shutdown finish, after
+	// which the hub is restartable — a timed-out Drain is not terminal.
 	cancel()
 	wg.Wait()
+	waitFor(t, func() bool { return h.ShardCount() == 0 })
+	h.StartScheduler()
+	fut, err := h.DoAsync(context.Background(), Request{Kind: DocPO, PO: g.PO(tp1, seller)})
+	if err != nil {
+		t.Fatalf("DoAsync after restart = %v, want admitted", err)
+	}
+	if res := fut.Result(context.Background()); res.Err != nil {
+		t.Fatalf("exchange after restart failed: %v", res.Err)
+	}
 	h.StopWorkers()
 }

@@ -38,6 +38,10 @@ type schedJob struct {
 	// the admission layer's escape hatch for degraded partners under
 	// queue pressure.
 	onShed func() Result
+	// onDrop, when set, is called when the scheduler resolves the job
+	// with ErrHubStopped instead of running it, so admission-time state
+	// (a half-open probe slot) is released even though run never fired.
+	onDrop func()
 	fut    *Future
 }
 
@@ -181,8 +185,9 @@ func lane(sh *shard, priority Priority) chan schedJob {
 // key is under its fair share, else a blocking wait on the home shard
 // (backpressure). It returns ErrHubStopped after stop and ctx.Err() on
 // cancellation while blocked. onShed (optional) resolves the job as shed
-// when the shedder drops it.
-func (s *scheduler) submit(ctx context.Context, key string, priority Priority, run func(context.Context) Result, onShed func() Result) (*Future, error) {
+// when the shedder drops it; onDrop (optional) runs when the scheduler
+// resolves the enqueued job with ErrHubStopped instead of running it.
+func (s *scheduler) submit(ctx context.Context, key string, priority Priority, run func(context.Context) Result, onShed func() Result, onDrop func()) (*Future, error) {
 	if !s.admit(key) {
 		return nil, ErrHubStopped
 	}
@@ -190,7 +195,7 @@ func (s *scheduler) submit(ctx context.Context, key string, priority Priority, r
 
 	home := s.shardFor(key)
 	fut := &Future{done: make(chan struct{})}
-	j := schedJob{ctx: ctx, key: key, shard: home.id, run: run, onShed: onShed, fut: fut}
+	j := schedJob{ctx: ctx, key: key, shard: home.id, run: run, onShed: onShed, onDrop: onDrop, fut: fut}
 
 	// Fast path: room on the home shard.
 	select {
@@ -310,11 +315,9 @@ func (s *scheduler) stop() {
 		for {
 			select {
 			case j := <-sh.high:
-				j.fut.res = Result{Err: ErrHubStopped}
-				close(j.fut.done)
+				s.drop(j)
 			case j := <-sh.norm:
-				j.fut.res = Result{Err: ErrHubStopped}
-				close(j.fut.done)
+				s.drop(j)
 			default:
 			}
 			if len(sh.high) == 0 && len(sh.norm) == 0 {
@@ -322,6 +325,17 @@ func (s *scheduler) stop() {
 			}
 		}
 	}
+}
+
+// drop resolves a job the stopped scheduler will never run. onDrop lets
+// the admission layer release state it committed when the job was
+// enqueued (a half-open probe slot), since run will never report back.
+func (s *scheduler) drop(j schedJob) {
+	if j.onDrop != nil {
+		j.onDrop()
+	}
+	j.fut.res = Result{Err: ErrHubStopped}
+	close(j.fut.done)
 }
 
 // ShardCount reports the number of scheduler shards currently running (0

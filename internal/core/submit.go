@@ -180,6 +180,9 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 	}
 	s, err := h.ensureScheduler()
 	if err != nil {
+		// The breaker already admitted this exchange: free a probe's slot
+		// or the half-open circuit would wait forever for its verdict.
+		h.releaseProbe(partner, probe)
 		return nil, err
 	}
 	// The shedder may drop normal-priority work for a degraded partner
@@ -189,9 +192,22 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 	if partner != "" && !probe {
 		onShed = func() Result { return h.fastFail(req, partner, obs.StepShed) }
 	}
-	return s.submit(ctx, req.shardKey(), req.Priority, func(ctx context.Context) Result {
+	// onDrop releases the probe slot when the scheduler resolves the job
+	// with ErrHubStopped instead of running it (stop raced the enqueue).
+	var onDrop func()
+	if probe {
+		onDrop = func() { h.releaseProbe(partner, probe) }
+	}
+	fut, err := s.submit(ctx, req.shardKey(), req.Priority, func(ctx context.Context) Result {
 		return h.runTracked(ctx, req, partner, probe)
-	}, onShed)
+	}, onShed, onDrop)
+	if err != nil {
+		// Rejected or abandoned before the job could run (scheduler
+		// stopped, ctx cancelled while blocked on backpressure).
+		h.releaseProbe(partner, probe)
+		return nil, err
+	}
+	return fut, nil
 }
 
 // run executes a normalized request.
@@ -306,7 +322,9 @@ type DrainSummary struct {
 // to completion, and the dead-letter queue is flushed into the returned
 // summary. ctx bounds the wait: on expiry Drain returns ctx.Err() with a
 // summary of what had finished by then, while the shutdown continues in
-// the background (dead letters are left queued for a later flush).
+// the background — dead letters are left queued for a later flush
+// (DrainDeadLetters or another Drain), and once the background shutdown
+// completes the hub can be restarted with StartScheduler/StartWorkers.
 func (h *Hub) Drain(ctx context.Context) (DrainSummary, error) {
 	h.schedMu.Lock()
 	s := h.sched
@@ -316,15 +334,19 @@ func (h *Hub) Drain(ctx context.Context) (DrainSummary, error) {
 		done := make(chan struct{})
 		go func() {
 			s.stop()
-			close(done)
-		}()
-		select {
-		case <-done:
+			// Clear the slot here, not on Drain's goroutine: when ctx
+			// expired before the stop finished, the hub would otherwise
+			// keep the dead scheduler forever and could never restart
+			// (StartScheduler only re-opens admission once h.sched is nil).
 			h.schedMu.Lock()
 			if h.sched == s {
 				h.sched = nil
 			}
 			h.schedMu.Unlock()
+			close(done)
+		}()
+		select {
+		case <-done:
 		case <-ctx.Done():
 			return h.drainSummary(nil), ctx.Err()
 		}

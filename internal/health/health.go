@@ -270,6 +270,21 @@ func (b *Breaker) RecordProbe(failed bool) {
 	}
 }
 
+// ReleaseProbe returns a probe slot admitted by Allow without a verdict:
+// the probe never reached the endpoint (caller cancellation, scheduler
+// shutdown, a failure of the pipeline rather than the partner), so it
+// must not close or re-open the circuit — but its slot must be freed, or
+// a half-open breaker with ProbeBudget outstanding probes would reject
+// the partner's traffic forever. The circuit stays half-open and the next
+// Allow may admit a fresh probe.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	if b.state == StateHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+	b.mu.Unlock()
+}
+
 // State reports the current state without mutating it: an open circuit
 // whose probe timer has elapsed still reports open until Allow admits the
 // probe.

@@ -186,6 +186,46 @@ func TestProbeFailureReopens(t *testing.T) {
 	}
 }
 
+func TestReleaseProbeFreesSlotWithoutVerdict(t *testing.T) {
+	tr, clock, transitions := testTracker(Config{
+		Threshold: 0.5, MinSamples: 2, ProbeInterval: time.Second, ProbeBudget: 1,
+	})
+	b := tr.Breaker("TP2")
+	b.Record(true)
+	b.Record(true)
+	clock.Advance(time.Second)
+	if probe, admitted := b.Allow(); !probe || !admitted {
+		t.Fatal("probe not admitted")
+	}
+	// The budget is spent: without a release the circuit would reject the
+	// partner's traffic forever if the probe's outcome never arrives.
+	if _, admitted := b.Allow(); admitted {
+		t.Fatal("second probe admitted past ProbeBudget=1")
+	}
+	b.ReleaseProbe()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after release = %v, want half-open (no verdict)", got)
+	}
+	if probe, admitted := b.Allow(); !probe || !admitted {
+		t.Fatal("fresh probe not admitted after ReleaseProbe freed the slot")
+	}
+	// The replacement probe's verdict still drives the transition.
+	b.RecordProbe(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful replacement probe = %v, want closed", got)
+	}
+	want := []string{"TP2:closed->open", "TP2:open->half-open", "TP2:half-open->closed"}
+	if n := len(*transitions); n != 3 || (*transitions)[2] != want[2] {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+
+	// Outside half-open, ReleaseProbe is a no-op.
+	b.ReleaseProbe()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after closed-state release = %v, want closed", got)
+	}
+}
+
 func TestWindowSlidesFailuresOut(t *testing.T) {
 	tr, clock, _ := testTracker(Config{
 		Window: 10 * time.Second, Buckets: 10, Threshold: 0.5, MinSamples: 4,

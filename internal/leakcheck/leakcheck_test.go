@@ -1,0 +1,114 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTB records Fatalf instead of killing the test, so the failure path
+// of Check can itself be asserted.
+type fakeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+// shortDeadline shrinks the straggler grace period for failure-path tests.
+func shortDeadline(t *testing.T) {
+	old := pollDeadline
+	pollDeadline = 50 * time.Millisecond
+	t.Cleanup(func() { pollDeadline = old })
+}
+
+func TestCheckPassesWhenGoroutinesReaped(t *testing.T) {
+	check := Check(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-stop
+	}()
+	close(stop)
+	wg.Wait()
+	check()
+}
+
+func TestCheckFlagsModuleLeak(t *testing.T) {
+	shortDeadline(t)
+	f := &fakeTB{TB: t}
+	check := Check(f)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // created by repro/internal/leakcheck.TestCheckFlagsModuleLeak
+		defer wg.Done()
+		<-stop
+	}()
+	check()
+	close(stop)
+	wg.Wait()
+	if !f.failed {
+		t.Fatal("leaked module goroutine not flagged")
+	}
+	if !strings.Contains(f.msg, "TestCheckFlagsModuleLeak") {
+		t.Fatalf("failure message does not carry the leaked stack:\n%s", f.msg)
+	}
+}
+
+func TestCheckIgnoresForeignGoroutines(t *testing.T) {
+	shortDeadline(t)
+	f := &fakeTB{TB: t}
+	check := Check(f)
+	// The timer callback goroutine is created by the time package, not by
+	// this module: it must not be reported even while still running.
+	done := make(chan struct{})
+	tm := time.AfterFunc(time.Millisecond, func() { <-done })
+	defer tm.Stop()
+	check()
+	close(done)
+	if f.failed {
+		t.Fatalf("foreign goroutine flagged as a leak:\n%s", f.msg)
+	}
+}
+
+func TestCheckCatchesSwappedGoroutines(t *testing.T) {
+	// The failure mode of a raw count baseline: one module goroutine is
+	// alive at Check time, exits, and a NEW one leaks — the count is
+	// unchanged, but identity comparison still flags the newcomer.
+	shortDeadline(t)
+	preStop := make(chan struct{})
+	var preWG sync.WaitGroup
+	preWG.Add(1)
+	go func() {
+		defer preWG.Done()
+		<-preStop
+	}()
+
+	f := &fakeTB{TB: t}
+	check := Check(f)
+	close(preStop) // baseline goroutine exits...
+	preWG.Wait()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ...and this one leaks in its place
+		defer wg.Done()
+		<-stop
+	}()
+	check()
+	close(stop)
+	wg.Wait()
+	if !f.failed {
+		t.Fatal("swapped-in leaked goroutine not flagged (count-masking)")
+	}
+}

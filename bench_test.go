@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/health"
 	"repro/internal/interorg"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/rules"
@@ -1106,5 +1108,74 @@ func BenchmarkInvoiceFlow(b *testing.B) {
 		if _, err := h.Do(ctx, core.Request{Kind: core.DocInvoice, PartnerID: "TP1", POID: po.ID}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHubJournal: exchange throughput with the write-ahead journal at
+// each fsync policy, against the unjournaled baseline ("off"). The
+// exchanges/s metric is what scripts/bench.sh records as the journal
+// section of BENCH_hub.json (acceptance: batched >= 0.4x off).
+func BenchmarkHubJournal(b *testing.B) {
+	for _, mode := range []string{"off", "never", "batched", "always"} {
+		b.Run("fsync="+mode, func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []core.HubOption{core.WithShards(4), core.WithWorkersPerShard(4)}
+			if mode != "off" {
+				opts = append(opts,
+					core.WithJournal(filepath.Join(b.TempDir(), "hub.wal")),
+					core.WithFsyncPolicy(journal.FsyncPolicy(mode)))
+			}
+			h, err := core.NewHub(m, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			defer h.StopWorkers()
+			defer h.CloseJournal()
+			ctx := context.Background()
+
+			var buyers []doc.Party
+			for _, p := range h.Model.Partners {
+				buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(4000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-j%d-%d", pos[i].ID, w, i)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			futs := make([]*core.Future, b.N)
+			for i, po := range pos {
+				fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs[i] = fut
+			}
+			for i, fut := range futs {
+				if res := fut.Result(ctx); res.Err != nil {
+					b.Fatalf("exchange %d: %v", i, res.Err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
+			if j := h.Journal(); j != nil {
+				st := j.Stats()
+				b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
+			}
+		})
 	}
 }

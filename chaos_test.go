@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/health"
+	"repro/internal/journal"
 	"repro/internal/leakcheck"
 	"repro/internal/obs"
 )
@@ -495,5 +497,208 @@ func TestChaosCancellationAccounting(t *testing.T) {
 	}
 	if c.Failed != c.DeadLettered {
 		t.Fatalf("failed %d != dead-lettered %d", c.Failed, c.DeadLettered)
+	}
+}
+
+// TestChaosCrashRecovery: the journal's crash-point injector kills the hub
+// at each named point of the admit → execute → commit protocol, then a
+// second incarnation reopens the same journal against the SAME backend
+// instances (the ERP survives the hub crash) and Recovers. The invariant at
+// every point is exactly-once mutation across the restart: the backend
+// holds each order exactly once, whatever the crash swallowed — and when
+// the completion record was lost after execution, the replay re-delivers
+// at most once into the dead-letter queue instead of double-executing.
+func TestChaosCrashRecovery(t *testing.T) {
+	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	off := chaosSeedOffset()
+
+	type crashCase struct {
+		name string
+		// arm freezes the journal at the crash point (nil: no freeze).
+		arm func(j *journal.Journal)
+		// faults is hub1's backend schedule ({}: healthy).
+		faults backend.FaultSchedule
+		// wantErr marks cases whose doomed run fails before the crash.
+		wantErr bool
+		// check asserts the recovery outcome.
+		check func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int)
+	}
+	cases := []crashCase{
+		{
+			// Crash before the admission record: the doomed process still
+			// executed the exchange, but nothing durable says so. Recovery
+			// replays nothing — and must not invent a second execution.
+			name: "admit-lost",
+			arm: func(j *journal.Journal) {
+				j.Arm(journal.CrashPoint{Match: func(r journal.Record) bool { return r.Kind == "admit" }, Before: true})
+			},
+			check: func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int) {
+				if rep.Reenqueued != 0 || rep.Restored != 0 || rep.DeadLetters != 0 {
+					t.Fatalf("recovered %+v from a journal the crash kept empty", rep)
+				}
+				if stored != 1 {
+					t.Fatalf("backend holds %d orders, want 1 (doomed run's store)", stored)
+				}
+			},
+		},
+		{
+			// Crash between "executed" and "journaled-complete": the classic
+			// window. The admission is durable, the execution happened, the
+			// outcome record is lost. Recovery re-runs under resubmit
+			// tolerance: the store step is satisfied by the backend's
+			// duplicate elimination (no double mutation) and the already-
+			// consumed acknowledgment dead-letters the replay — at-most-once
+			// re-delivery into the DLQ, never double execution.
+			name: "executed-uncommitted",
+			arm: func(j *journal.Journal) {
+				j.Arm(journal.CrashPoint{Match: func(r journal.Record) bool { return r.Kind == "complete" }, Before: true})
+			},
+			check: func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int) {
+				if rep.Reenqueued != 1 || rep.Redelivered != 1 || rep.Recovered != 0 {
+					t.Fatalf("recovery report %+v, want the replay re-delivered", rep)
+				}
+				if stored != 1 {
+					t.Fatalf("backend holds %d orders, want exactly 1 across crash and replay", stored)
+				}
+				if dls := hub2.DeadLetters(); len(dls) != 1 {
+					t.Fatalf("DLQ holds %d entries, want the re-delivery notice", len(dls))
+				}
+			},
+		},
+		{
+			// Crash right after the completion record: fully committed.
+			// Recovery restores the exchange as a record and re-runs nothing.
+			name: "completed-committed",
+			arm: func(j *journal.Journal) {
+				j.Arm(journal.CrashPoint{Match: func(r journal.Record) bool { return r.Kind == "complete" }})
+			},
+			check: func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int) {
+				if rep.Restored != 1 || rep.Reenqueued != 0 {
+					t.Fatalf("recovery report %+v, want 1 restored and nothing replayed", rep)
+				}
+				if stored != 1 {
+					t.Fatalf("backend holds %d orders, want 1", stored)
+				}
+			},
+		},
+		{
+			// The backend was hard down, the exchange dead-lettered durably,
+			// then the hub died. The restored dead letter must be replayable:
+			// after the backend heals, Resubmit delivers it exactly once.
+			name:    "deadletter-committed",
+			faults:  backend.FaultSchedule{ErrProb: 1, Seed: 21 + off},
+			wantErr: true,
+			check: func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int) {
+				if rep.DeadLetters != 1 || rep.Reenqueued != 0 {
+					t.Fatalf("recovery report %+v, want 1 restored dead letter", rep)
+				}
+				if stored != 0 {
+					t.Fatalf("backend holds %d orders before resubmission, want 0", stored)
+				}
+				ctx := context.Background()
+				for _, dl := range hub2.DrainDeadLetters() {
+					if _, err := hub2.Resubmit(ctx, dl); err != nil {
+						t.Fatalf("resubmit restored dead letter: %v", err)
+					}
+				}
+			},
+		},
+		{
+			// Crash mid-compaction: the rewrite exists, the rename never
+			// happened. The next open must serve the old log.
+			name: "compact-crash",
+			check: func(t *testing.T, rep core.RecoveryReport, hub2 *core.Hub, stored int) {
+				if rep.Restored != 1 || rep.Reenqueued != 0 {
+					t.Fatalf("recovery report %+v, want 1 restored from the pre-compaction log", rep)
+				}
+				if stored != 1 {
+					t.Fatalf("backend holds %d orders, want 1", stored)
+				}
+			},
+		},
+	}
+
+	for ci, cc := range cases {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			defer leakcheck.Check(t)()
+			path := filepath.Join(t.TempDir(), "hub.wal")
+			model, err := core.PaperFigure14Model()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub1, err := core.NewHub(model, core.WithJournal(path), core.WithFsyncPolicy(journal.FsyncNever))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The backends outlive the hub: captured here, re-wired into the
+			// second incarnation below.
+			shared := map[string]*backend.Faulty{}
+			hub1.WrapBackends(func(sys backend.System) backend.System {
+				f := backend.NewFaulty(sys, cc.faults)
+				shared[f.Name()] = f
+				return f
+			})
+			hub1.SetDefaultRetryPolicy(core.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond})
+			if cc.arm != nil {
+				cc.arm(hub1.Journal())
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			g := doc.NewGenerator(int64(100*ci) + 31 + off)
+			po := g.PO(buyer, hubParty)
+			_, err = hub1.Do(ctx, core.Request{Kind: core.DocPO, PO: po})
+			if cc.wantErr != (err != nil) {
+				t.Fatalf("doomed run error = %v, wantErr %v", err, cc.wantErr)
+			}
+			if cc.name == "compact-crash" {
+				hub1.Journal().ArmCompactCrash()
+				if err := hub1.CheckpointJournal(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cc.arm != nil || cc.name == "compact-crash" {
+				if !hub1.Journal().Crashed() {
+					t.Fatal("crash point did not fire")
+				}
+			}
+			// hub1 is abandoned un-closed, as a crash would leave it.
+
+			hub2, err := core.NewHub(model, core.WithJournal(path), core.WithFsyncPolicy(journal.FsyncNever))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hub2.StopWorkers()
+			defer hub2.CloseJournal()
+			// The ERP survived the crash; heal any injected faults for the
+			// recovery run.
+			hub2.WrapBackends(func(sys backend.System) backend.System {
+				f := shared[sys.Name()]
+				f.SetSchedule(backend.FaultSchedule{})
+				return f
+			})
+			hub2.SetDefaultRetryPolicy(core.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond})
+			rep, err := hub2.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stored := 0
+			for _, f := range shared {
+				stored += f.Inner().StoredOrders()
+			}
+			cc.check(t, rep, hub2, stored)
+
+			// Whatever the crash point, the system-wide terminal state is
+			// exactly one stored copy of the order.
+			finalStored := 0
+			for _, f := range shared {
+				finalStored += f.Inner().StoredOrders()
+			}
+			if finalStored != 1 {
+				t.Fatalf("backends hold %d copies of the order after recovery, want exactly 1", finalStored)
+			}
+		})
 	}
 }

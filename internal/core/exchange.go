@@ -79,6 +79,8 @@ type exchangeOpts struct {
 	// resubmit marks a dead-letter replay: its app binding tolerates the
 	// backend's duplicate-order rejection.
 	resubmit bool
+	// journaled marks an exchange whose admission was write-ahead-logged.
+	journaled bool
 	// retry overrides the hub's retry policies for this exchange only.
 	retry *RetryPolicy
 }
@@ -89,10 +91,10 @@ type exchangeOpts struct {
 //
 // Deprecated: use Do with a DocWirePO Request.
 func (h *Hub) ProcessInboundPO(ctx context.Context, protocol formats.Format, wire []byte) ([]byte, *Exchange, error) {
-	return h.processInboundPO(ctx, protocol, wire, nil)
+	return h.processInboundPO(ctx, protocol, wire, exchangeOpts{})
 }
 
-func (h *Hub) processInboundPO(ctx context.Context, protocol formats.Format, wire []byte, retry *RetryPolicy) ([]byte, *Exchange, error) {
+func (h *Hub) processInboundPO(ctx context.Context, protocol formats.Format, wire []byte, opts exchangeOpts) ([]byte, *Exchange, error) {
 	poCodec, err := h.codecs.Lookup(protocol, doc.TypePO)
 	if err != nil {
 		return nil, nil, err
@@ -101,7 +103,7 @@ func (h *Hub) processInboundPO(ctx context.Context, protocol formats.Format, wir
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: inbound %s PO: %w", protocol, err)
 	}
-	ex, err := h.processNativeOpt(ctx, protocol, native, exchangeOpts{retry: retry})
+	ex, err := h.processNativeOpt(ctx, protocol, native, opts)
 	if err != nil {
 		return nil, ex, err
 	}
@@ -122,10 +124,10 @@ func (h *Hub) processInboundPO(ctx context.Context, protocol formats.Format, wir
 //
 // Deprecated: use Do with a DocPO Request.
 func (h *Hub) RoundTrip(ctx context.Context, po *doc.PurchaseOrder) (*doc.PurchaseOrderAck, *Exchange, error) {
-	return h.roundTrip(ctx, po, nil)
+	return h.roundTrip(ctx, po, exchangeOpts{})
 }
 
-func (h *Hub) roundTrip(ctx context.Context, po *doc.PurchaseOrder, retry *RetryPolicy) (*doc.PurchaseOrderAck, *Exchange, error) {
+func (h *Hub) roundTrip(ctx context.Context, po *doc.PurchaseOrder, opts exchangeOpts) (*doc.PurchaseOrderAck, *Exchange, error) {
 	route, ok := h.resolveRoute(po.Buyer.ID)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, po.Buyer.ID)
@@ -134,7 +136,7 @@ func (h *Hub) roundTrip(ctx context.Context, po *doc.PurchaseOrder, retry *Retry
 	if err != nil {
 		return nil, nil, err
 	}
-	ex, err := h.processNativeOpt(ctx, route.partner.Protocol, native, exchangeOpts{retry: retry})
+	ex, err := h.processNativeOpt(ctx, route.partner.Protocol, native, opts)
 	if err != nil {
 		return nil, ex, err
 	}
@@ -211,14 +213,15 @@ func (h *Hub) newExchange(route resolvedRoute, flow obs.Flow, opts exchangeOpts)
 	defer h.mu.Unlock()
 	h.exchSeq++
 	ex := &Exchange{
-		ID:       fmt.Sprintf("ex-%06d", h.exchSeq),
-		Partner:  route.partner,
-		Protocol: route.partner.Protocol,
-		Backend:  route.partner.Backend,
-		Flow:     flow,
-		route:    route,
-		resubmit: opts.resubmit,
-		retry:    opts.retry,
+		ID:        fmt.Sprintf("ex-%06d", h.exchSeq),
+		Partner:   route.partner,
+		Protocol:  route.partner.Protocol,
+		Backend:   route.partner.Backend,
+		Flow:      flow,
+		route:     route,
+		resubmit:  opts.resubmit,
+		journaled: opts.journaled,
+		retry:     opts.retry,
 	}
 	h.exchanges[ex.ID] = ex
 	return ex

@@ -97,7 +97,7 @@ func (h *Hub) fastFail(req Request, partner string, step string) Result {
 	if req.Kind == DocInvoice {
 		flow = obs.FlowInvoice
 	}
-	ex := h.newExchange(route, flow, exchangeOpts{})
+	ex := h.newExchange(route, flow, exchangeOpts{journaled: req.journaled})
 	cause := fmt.Errorf("%w: circuit %s", ErrPartnerUnavailable, h.health.StateOf(partner))
 	err := wrapExchangeErr(ex, obs.StageExchange, "", cause)
 	h.emitLifecycle(ex, obs.StepStarted, 0, nil)

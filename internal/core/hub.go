@@ -17,6 +17,7 @@ import (
 	"repro/internal/formats/rosettanet"
 	"repro/internal/formats/sapidoc"
 	"repro/internal/health"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/transform"
 	"repro/internal/wf"
@@ -62,6 +63,15 @@ type Exchange struct {
 	// resubmit marks a dead-letter replay: its app binding tolerates the
 	// backend's duplicate-order rejection.
 	resubmit bool
+
+	// journaled marks an exchange whose admission was write-ahead-logged;
+	// its dead letter survives a restart through the journal.
+	journaled bool
+
+	// deadLettered records that the exchange was parked on the dead-letter
+	// queue. Set by the goroutine driving the exchange before its result
+	// resolves; journalComplete classifies the terminal outcome by it.
+	deadLettered bool
 
 	// retry is the per-call retry policy override (Request.Retry), nil to
 	// use the hub's configured policies.
@@ -137,6 +147,24 @@ type Hub struct {
 	health        *health.Tracker
 	healthMetrics *obs.HealthMetrics
 	shed          atomic.Int64
+
+	// Durability layer (see journal.go in this package and
+	// internal/journal): nil unless the hub was built WithJournal. jrnMu
+	// orders journal appends and guards the live compaction index
+	// (jrnPending: admissions without a terminal outcome; jrnDead:
+	// unresolved dead letters) plus jrnSeq, the admission-key sequence.
+	// jrnStartup is the open-time replay snapshot, consumed once by
+	// Recover. Lock order: h.mu is never taken inside jrnMu.
+	jrn             *journal.Journal
+	jrnMu           sync.Mutex
+	jrnSeq          int
+	jrnPending      map[string]*journalRequest
+	jrnDead         map[string]journalOutcome
+	jrnStartup      *journalSnapshot
+	recoveryMetrics *obs.RecoveryMetrics
+
+	// dlqCap bounds the in-memory dead-letter queue (0 = unbounded).
+	dlqCap int
 }
 
 // HubStats counts the hub's activity since startup. It is a compatibility
@@ -241,18 +269,20 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 		opt(&cfg)
 	}
 	h := &Hub{
-		Model:         m,
-		Systems:       map[string]backend.System{},
-		reg:           &transform.Registry{},
-		codecs:        NewCodecRegistry(),
-		exchanges:     map[string]*Exchange{},
-		bus:           cfg.bus,
-		metrics:       obs.NewMetrics(),
-		collector:     obs.NewCollector(0),
-		counters:      obs.NewExchangeCounters(),
-		schedMetrics:  obs.NewSchedMetrics(),
-		healthMetrics: obs.NewHealthMetrics(),
-		schedCfg:      cfg,
+		Model:           m,
+		Systems:         map[string]backend.System{},
+		reg:             &transform.Registry{},
+		codecs:          NewCodecRegistry(),
+		exchanges:       map[string]*Exchange{},
+		bus:             cfg.bus,
+		metrics:         obs.NewMetrics(),
+		collector:       obs.NewCollector(0),
+		counters:        obs.NewExchangeCounters(),
+		schedMetrics:    obs.NewSchedMetrics(),
+		healthMetrics:   obs.NewHealthMetrics(),
+		recoveryMetrics: obs.NewRecoveryMetrics(),
+		schedCfg:        cfg,
+		dlqCap:          cfg.dlqCap,
 	}
 	if h.bus == nil {
 		h.bus = obs.NewBus()
@@ -275,6 +305,15 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	h.bus.Attach(h.counters)
 	h.bus.Attach(h.schedMetrics)
 	h.bus.Attach(h.healthMetrics)
+	h.bus.Attach(h.recoveryMetrics)
+	if cfg.journalPath != "" {
+		j, err := journal.Open(cfg.journalPath, journal.Options{Fsync: cfg.fsync})
+		if err != nil {
+			return nil, fmt.Errorf("core: open journal: %w", err)
+		}
+		h.jrn = j
+		h.initJournal()
+	}
 	transform.RegisterAll(h.reg)
 	for _, b := range m.Backends {
 		sys, err := newSystem(b)

@@ -1,0 +1,616 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/formats"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// The durability layer: a hub built WithJournal write-ahead-logs its
+// exchange lifecycle (see internal/journal for the file format). The
+// protocol is three record kinds plus a compaction checkpoint:
+//
+//   - "admit": one record per admitted Request, appended in Do/DoAsync
+//     before the health gate or the scheduler sees the submission. The
+//     payload is the request itself, so a crashed hub can re-run it.
+//   - "complete": the terminal outcome of an admitted request, keyed by
+//     its admission key. Dead-letter outcomes carry a replayable copy of
+//     the request so the queue entry survives a restart; "aborted" marks
+//     submissions the scheduler refused, which have nothing to recover.
+//   - "resolve": a dead letter left the queue for good (a successful
+//     Resubmit), keyed by its exchange ID.
+//   - "checkpoint": compaction high-water marks (exchange and admission
+//     sequence floors), so IDs are never reused after records that carried
+//     them are compacted away.
+//
+// An admit without a complete is an unfinished admission: Recover re-runs
+// it with resubmit tolerance, keyed by exchange identity end to end — when
+// the crash hit between "executed" and "journaled-complete", the re-run's
+// store step is satisfied by the backend's existing copy (duplicate
+// elimination) and anything genuinely unrecoverable re-delivers at most
+// once into the dead-letter queue instead of double-executing.
+
+// Journal record kinds.
+const (
+	recAdmit      = "admit"
+	recComplete   = "complete"
+	recResolve    = "resolve"
+	recCheckpoint = "checkpoint"
+)
+
+// Terminal outcomes of a complete record.
+const (
+	outcomeCompleted  = "completed"
+	outcomeDeadLetter = "dead-letter"
+	outcomeFailed     = "failed"
+	outcomeAborted    = "aborted"
+)
+
+// ErrNoJournal is returned by journal-only operations on a hub built
+// without WithJournal.
+var ErrNoJournal = errors.New("core: hub has no journal")
+
+// journalRequest is the serialized form of a Request in admit records and
+// dead-letter complete records.
+type journalRequest struct {
+	Kind      DocKind            `json:"kind"`
+	PO        *doc.PurchaseOrder `json:"po,omitempty"`
+	Protocol  formats.Format     `json:"protocol,omitempty"`
+	Wire      []byte             `json:"wire,omitempty"`
+	PartnerID string             `json:"partner,omitempty"`
+	POID      string             `json:"poid,omitempty"`
+	Priority  Priority           `json:"priority,omitempty"`
+	Retry     *RetryPolicy       `json:"retry,omitempty"`
+}
+
+func toJournalRequest(r *Request) *journalRequest {
+	return &journalRequest{
+		Kind:      r.Kind,
+		PO:        r.PO,
+		Protocol:  r.Protocol,
+		Wire:      r.Wire,
+		PartnerID: r.PartnerID,
+		POID:      r.POID,
+		Priority:  r.Priority,
+		Retry:     r.Retry,
+	}
+}
+
+// toRequest rebuilds the submission for a recovery replay: journaled
+// requests were admitted through the journal, and replays tolerate the
+// backend's duplicate-order rejection because the original run may have
+// executed before the crash.
+func (jr *journalRequest) toRequest() Request {
+	return Request{
+		Kind:      jr.Kind,
+		PO:        jr.PO,
+		Protocol:  jr.Protocol,
+		Wire:      jr.Wire,
+		PartnerID: jr.PartnerID,
+		POID:      jr.POID,
+		Priority:  jr.Priority,
+		Retry:     jr.Retry,
+		resubmit:  true,
+		journaled: true,
+	}
+}
+
+// journalOutcome is the payload of a complete record.
+type journalOutcome struct {
+	ExchangeID string          `json:"ex,omitempty"`
+	Partner    string          `json:"partner,omitempty"`
+	Flow       obs.Flow        `json:"flow,omitempty"`
+	Protocol   formats.Format  `json:"proto,omitempty"`
+	Outcome    string          `json:"outcome"`
+	Reason     string          `json:"reason,omitempty"`
+	Request    *journalRequest `json:"req,omitempty"`
+}
+
+// journalResolve is the payload of a resolve record.
+type journalResolvePayload struct {
+	ExchangeID string `json:"ex"`
+}
+
+// journalCheckpoint is the payload of a checkpoint record.
+type journalCheckpoint struct {
+	ExchSeq int `json:"exchSeq"`
+	JrnSeq  int `json:"jrnSeq"`
+}
+
+// journalSnapshot is what the open-time replay derived, consumed once by
+// Recover.
+type journalSnapshot struct {
+	records   int
+	tornBytes int64
+	// pending maps admission key → request for admits without a complete.
+	pending map[string]*journalRequest
+	// pendingOrder preserves admission order for deterministic replay.
+	pendingOrder []string
+	// dead maps exchange ID → outcome for unresolved dead letters.
+	dead map[string]journalOutcome
+	// deadOrder preserves journal order.
+	deadOrder []string
+	// finished are completed/failed outcomes, restored as exchange records.
+	finished []journalOutcome
+	// dupAdmits counts duplicate admission records that were ignored.
+	dupAdmits int
+}
+
+// initJournal builds the startup snapshot and the live compaction index
+// from the journal's open-time replay, and floors the hub's sequence
+// counters so post-restart IDs never collide with journaled ones. Called
+// once from NewHub.
+func (h *Hub) initJournal() {
+	snap := &journalSnapshot{
+		pending: map[string]*journalRequest{},
+		dead:    map[string]journalOutcome{},
+	}
+	completedKeys := map[string]bool{}
+	maxExch, maxKey := 0, 0
+	recs := h.jrn.Records()
+	snap.records = len(recs)
+	snap.tornBytes = h.jrn.Stats().TornBytes
+	noteExch := func(exID string) {
+		var n int
+		if _, err := fmt.Sscanf(exID, "ex-%d", &n); err == nil && n > maxExch {
+			maxExch = n
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recCheckpoint:
+			var cp journalCheckpoint
+			if json.Unmarshal(rec.Payload, &cp) == nil {
+				if cp.ExchSeq > maxExch {
+					maxExch = cp.ExchSeq
+				}
+				if cp.JrnSeq > maxKey {
+					maxKey = cp.JrnSeq
+				}
+			}
+		case recAdmit:
+			var n int
+			if _, err := fmt.Sscanf(rec.Key, "j-%d", &n); err == nil && n > maxKey {
+				maxKey = n
+			}
+			if _, dup := snap.pending[rec.Key]; dup || completedKeys[rec.Key] {
+				snap.dupAdmits++
+				continue
+			}
+			var jr journalRequest
+			if json.Unmarshal(rec.Payload, &jr) != nil || jr.Kind == "" {
+				continue
+			}
+			snap.pending[rec.Key] = &jr
+			snap.pendingOrder = append(snap.pendingOrder, rec.Key)
+		case recComplete:
+			var out journalOutcome
+			if json.Unmarshal(rec.Payload, &out) != nil {
+				continue
+			}
+			if rec.Key != "" {
+				completedKeys[rec.Key] = true
+				if _, ok := snap.pending[rec.Key]; ok {
+					delete(snap.pending, rec.Key)
+					snap.pendingOrder = removeKey(snap.pendingOrder, rec.Key)
+				}
+			}
+			noteExch(out.ExchangeID)
+			switch out.Outcome {
+			case outcomeDeadLetter:
+				if out.ExchangeID != "" {
+					if _, ok := snap.dead[out.ExchangeID]; !ok {
+						snap.deadOrder = append(snap.deadOrder, out.ExchangeID)
+					}
+					snap.dead[out.ExchangeID] = out
+				}
+			case outcomeCompleted, outcomeFailed:
+				if out.ExchangeID != "" {
+					snap.finished = append(snap.finished, out)
+				}
+			}
+		case recResolve:
+			var rp journalResolvePayload
+			if json.Unmarshal(rec.Payload, &rp) == nil && rp.ExchangeID != "" {
+				if _, ok := snap.dead[rp.ExchangeID]; ok {
+					delete(snap.dead, rp.ExchangeID)
+					snap.deadOrder = removeKey(snap.deadOrder, rp.ExchangeID)
+				}
+			}
+		}
+	}
+	h.jrnStartup = snap
+	h.jrnSeq = maxKey
+	h.mu.Lock()
+	if maxExch > h.exchSeq {
+		h.exchSeq = maxExch
+	}
+	h.mu.Unlock()
+	// The live compaction index starts as a copy of the snapshot (Recover
+	// consumes the snapshot; completions of its replays mutate the index).
+	h.jrnPending = make(map[string]*journalRequest, len(snap.pending))
+	for k, v := range snap.pending {
+		h.jrnPending[k] = v
+	}
+	h.jrnDead = make(map[string]journalOutcome, len(snap.dead))
+	for k, v := range snap.dead {
+		h.jrnDead[k] = v
+	}
+}
+
+func removeKey(keys []string, key string) []string {
+	for i, k := range keys {
+		if k == key {
+			return append(keys[:i], keys[i+1:]...)
+		}
+	}
+	return keys
+}
+
+// journalAdmit write-ahead-logs one admitted request and returns its
+// admission key. With no journal it returns "" and nil. An append error
+// fails the admission: a hub asked to be durable must not accept work it
+// cannot log.
+func (h *Hub) journalAdmit(req *Request) (string, error) {
+	if h.jrn == nil {
+		return "", nil
+	}
+	jr := toJournalRequest(req)
+	payload, err := json.Marshal(jr)
+	if err != nil {
+		return "", fmt.Errorf("core: journal admit: %w", err)
+	}
+	h.jrnMu.Lock()
+	h.jrnSeq++
+	key := fmt.Sprintf("j-%08d", h.jrnSeq)
+	err = h.jrn.Append(journal.Record{Kind: recAdmit, Key: key, Payload: payload})
+	if err == nil {
+		h.jrnPending[key] = jr
+	}
+	h.jrnMu.Unlock()
+	if err != nil {
+		return "", fmt.Errorf("core: journal admit: %w", err)
+	}
+	req.journaled = true
+	return key, nil
+}
+
+// journalComplete appends the terminal outcome of an admitted request.
+// Dead-letter outcomes retain the request so the queue entry survives a
+// restart. Append errors are swallowed: the admission stays pending in the
+// journal and a future Recover re-delivers it at most once.
+func (h *Hub) journalComplete(key string, req *Request, res *Result) {
+	if h.jrn == nil || key == "" {
+		return
+	}
+	out := journalOutcome{Outcome: outcomeCompleted}
+	if ex := res.Exchange; ex != nil {
+		out.ExchangeID = ex.ID
+		out.Partner = ex.Partner.ID
+		out.Flow = ex.Flow
+		out.Protocol = ex.Protocol
+	}
+	if res.Err != nil {
+		out.Reason = res.Err.Error()
+		if res.Exchange != nil && res.Exchange.deadLettered {
+			out.Outcome = outcomeDeadLetter
+			out.Request = toJournalRequest(req)
+		} else {
+			out.Outcome = outcomeFailed
+		}
+	}
+	h.appendOutcome(key, out)
+}
+
+// journalAbort marks an admission the scheduler refused as terminal with
+// nothing to recover.
+func (h *Hub) journalAbort(key string, reason error) {
+	if h.jrn == nil || key == "" {
+		return
+	}
+	out := journalOutcome{Outcome: outcomeAborted}
+	if reason != nil {
+		out.Reason = reason.Error()
+	}
+	h.appendOutcome(key, out)
+}
+
+func (h *Hub) appendOutcome(key string, out journalOutcome) {
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	h.jrnMu.Lock()
+	defer h.jrnMu.Unlock()
+	if h.jrn.Append(journal.Record{Kind: recComplete, Key: key, Payload: payload}) != nil {
+		return
+	}
+	delete(h.jrnPending, key)
+	if out.Outcome == outcomeDeadLetter && out.ExchangeID != "" {
+		h.jrnDead[out.ExchangeID] = out
+	}
+}
+
+// journalResubmitOutcome settles a dead letter's journal entry after a
+// Resubmit attempt: a successful rerun resolves it for good; a rerun that
+// dead-lettered again resolves the old entry and parks the new exchange's
+// record in its place; a rerun that never produced a dead letter (unknown
+// partner, lost payload) leaves the original entry recoverable.
+func (h *Hub) journalResubmitOutcome(dl DeadLetter, ex *Exchange, err error) {
+	if h.jrn == nil {
+		return
+	}
+	reparked := err != nil && ex != nil && ex.deadLettered
+	if err != nil && !reparked {
+		return
+	}
+	payload, merr := json.Marshal(journalResolvePayload{ExchangeID: dl.ExchangeID})
+	if merr != nil {
+		return
+	}
+	h.jrnMu.Lock()
+	if h.jrn.Append(journal.Record{Kind: recResolve, Payload: payload}) == nil {
+		delete(h.jrnDead, dl.ExchangeID)
+	}
+	h.jrnMu.Unlock()
+	if reparked {
+		out := journalOutcome{
+			ExchangeID: ex.ID,
+			Partner:    ex.Partner.ID,
+			Flow:       ex.Flow,
+			Protocol:   ex.Protocol,
+			Outcome:    outcomeDeadLetter,
+			Reason:     err.Error(),
+			Request:    h.replayableRequest(dl),
+		}
+		h.appendOutcome("", out)
+	}
+}
+
+// replayableRequest derives a Request that re-runs a dead letter: the
+// retained request if admission never ran it, the billing identifiers for
+// an invoice, or the native PO re-encoded to its wire form.
+func (h *Hub) replayableRequest(dl DeadLetter) *journalRequest {
+	switch {
+	case dl.req != nil:
+		return toJournalRequest(dl.req)
+	case dl.Flow == obs.FlowInvoice:
+		return &journalRequest{Kind: DocInvoice, PartnerID: dl.Partner, POID: dl.poID}
+	case dl.native != nil:
+		codec, err := h.codecs.Lookup(dl.Protocol, doc.TypePO)
+		if err != nil {
+			return nil
+		}
+		wire, err := codec.Encode(dl.native)
+		if err != nil {
+			return nil
+		}
+		return &journalRequest{Kind: DocWirePO, Protocol: dl.Protocol, Wire: wire, PartnerID: dl.Partner}
+	}
+	return nil
+}
+
+// RecoveryReport is what one Recover pass did.
+type RecoveryReport struct {
+	// Records is how many journal records the open-time replay yielded;
+	// TornBytes how many trailing bytes of a torn final append were
+	// truncated away.
+	Records   int
+	TornBytes int64
+	// Restored counts completed exchanges restored as records.
+	Restored int
+	// DeadLetters counts dead letters restored to the queue, replayable
+	// via Resubmit.
+	DeadLetters int
+	// Reenqueued counts unfinished admissions re-run through the
+	// scheduler; Recovered the replays that completed, Redelivered the
+	// replays that dead-lettered again (at-most-once redelivery).
+	Reenqueued  int
+	Recovered   int
+	Redelivered int
+	// DuplicateAdmits counts duplicate admission records ignored by the
+	// replay (idempotence by admission key).
+	DuplicateAdmits int
+}
+
+// Recover replays the journal a hub was opened on: completed exchanges
+// come back as records (ExchangeByID), unresolved dead letters come back
+// on the queue replayable via Resubmit, and unfinished admissions are
+// re-enqueued through the scheduler with duplicate tolerance — a crash
+// between "executed" and "journaled-complete" re-delivers at most once
+// into the dead-letter queue instead of double-executing. Recover blocks
+// until the re-enqueued admissions resolve or ctx is done, and is
+// idempotent: a second call finds nothing to replay.
+//
+// Call Recover before submitting new work; replayed admissions share the
+// scheduler with live traffic otherwise.
+func (h *Hub) Recover(ctx context.Context) (RecoveryReport, error) {
+	var rep RecoveryReport
+	if h.jrn == nil {
+		return rep, ErrNoJournal
+	}
+	h.jrnMu.Lock()
+	snap := h.jrnStartup
+	h.jrnStartup = nil
+	h.jrnMu.Unlock()
+	if snap == nil {
+		return rep, nil
+	}
+	start := time.Now()
+	rep.Records = snap.records
+	rep.TornBytes = snap.tornBytes
+	rep.DuplicateAdmits = snap.dupAdmits
+	h.bus.Emit(obs.Event{Kind: obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepStarted})
+
+	// Completed exchanges come back as records so ExchangeByID and audit
+	// trails survive the restart.
+	for _, out := range snap.finished {
+		if h.restoreExchange(out) {
+			rep.Restored++
+			h.bus.Emit(obs.Event{
+				ExchangeID: out.ExchangeID, Partner: out.Partner, Flow: out.Flow,
+				Kind: obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepRestored,
+			})
+		}
+	}
+
+	// Unresolved dead letters come back on the queue, replayable via
+	// Resubmit exactly like entries that never left memory.
+	for _, exID := range snap.deadOrder {
+		out := snap.dead[exID]
+		h.restoreExchange(out)
+		dl := DeadLetter{
+			ExchangeID: out.ExchangeID,
+			Partner:    out.Partner,
+			Flow:       out.Flow,
+			Protocol:   out.Protocol,
+			Reason:     errors.New(out.Reason),
+			At:         time.Now(),
+			journaled:  true,
+		}
+		if out.Request != nil {
+			req := out.Request.toRequest()
+			dl.req = &req
+		}
+		h.dlqMu.Lock()
+		h.dlq = append(h.dlq, dl)
+		h.dlqMu.Unlock()
+		rep.DeadLetters++
+		h.bus.Emit(obs.Event{
+			ExchangeID: out.ExchangeID, Partner: out.Partner, Flow: out.Flow,
+			Kind: obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepDeadLetterRestored,
+		})
+	}
+
+	// Unfinished admissions re-enter through the front door: health gate,
+	// scheduler, journal completion under their original admission key.
+	type replay struct {
+		key string
+		fut *Future
+	}
+	var replays []replay
+	for _, key := range snap.pendingOrder {
+		jr := snap.pending[key]
+		req := jr.toRequest()
+		fut, err := h.doAsync(ctx, req, key)
+		if err != nil {
+			// The scheduler refused (stopped, ctx done): the admission
+			// stays pending in the journal for the next Recover.
+			continue
+		}
+		rep.Reenqueued++
+		replays = append(replays, replay{key: key, fut: fut})
+	}
+	for _, r := range replays {
+		res := r.fut.Result(ctx)
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		if res.Err == nil {
+			rep.Recovered++
+		} else {
+			rep.Redelivered++
+		}
+		var exID string
+		if res.Exchange != nil {
+			exID = res.Exchange.ID
+		}
+		h.bus.Emit(obs.Event{
+			ExchangeID: exID,
+			Kind:       obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepReplayed,
+			Err: res.Err,
+		})
+	}
+	h.bus.Emit(obs.Event{
+		Kind: obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepFinished,
+		Elapsed: time.Since(start),
+	})
+	return rep, nil
+}
+
+// restoreExchange recreates a journaled exchange's record. The partner
+// must still be in the model; records for partners removed since are
+// skipped (false).
+func (h *Hub) restoreExchange(out journalOutcome) bool {
+	if out.ExchangeID == "" {
+		return false
+	}
+	route, ok := h.resolveRoute(out.Partner)
+	if !ok {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.exchanges[out.ExchangeID]; exists {
+		return false
+	}
+	h.exchanges[out.ExchangeID] = &Exchange{
+		ID:       out.ExchangeID,
+		Partner:  route.partner,
+		Protocol: route.partner.Protocol,
+		Backend:  route.partner.Backend,
+		Flow:     out.Flow,
+		route:    route,
+	}
+	return true
+}
+
+// CheckpointJournal compacts the journal to its live entries: a checkpoint
+// record carrying the sequence floors, every unfinished admission, and
+// every unresolved dead letter. Finished exchanges' records are dropped —
+// compaction trades restart-time history for a log that grows with live
+// state, not with traffic.
+func (h *Hub) CheckpointJournal() error {
+	if h.jrn == nil {
+		return ErrNoJournal
+	}
+	h.mu.Lock()
+	exchSeq := h.exchSeq
+	h.mu.Unlock()
+	h.jrnMu.Lock()
+	defer h.jrnMu.Unlock()
+	cp, err := json.Marshal(journalCheckpoint{ExchSeq: exchSeq, JrnSeq: h.jrnSeq})
+	if err != nil {
+		return err
+	}
+	live := []journal.Record{{Kind: recCheckpoint, Payload: cp}}
+	for key, jr := range h.jrnPending {
+		payload, err := json.Marshal(jr)
+		if err != nil {
+			continue
+		}
+		live = append(live, journal.Record{Kind: recAdmit, Key: key, Payload: payload})
+	}
+	for _, out := range h.jrnDead {
+		payload, err := json.Marshal(out)
+		if err != nil {
+			continue
+		}
+		live = append(live, journal.Record{Kind: recComplete, Payload: payload})
+	}
+	return h.jrn.Compact(live)
+}
+
+// Journal exposes the hub's write-ahead log (nil without WithJournal);
+// chaos harnesses arm crash points through it.
+func (h *Hub) Journal() *journal.Journal { return h.jrn }
+
+// CloseJournal syncs and closes the journal. The hub must not admit new
+// work afterwards.
+func (h *Hub) CloseJournal() error {
+	if h.jrn == nil {
+		return nil
+	}
+	return h.jrn.Close()
+}
+
+// RecoveryMetrics exposes the crash-recovery gauges derived from the
+// KindRecovery event stream.
+func (h *Hub) RecoveryMetrics() *obs.RecoveryMetrics { return h.recoveryMetrics }

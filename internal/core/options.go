@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/health"
+	"repro/internal/journal"
 	"repro/internal/msg"
 	"repro/internal/obs"
 )
@@ -29,6 +30,9 @@ type hubConfig struct {
 	defaultRetry    *RetryPolicy
 	bus             *obs.Bus
 	health          *health.Config
+	journalPath     string
+	fsync           journal.FsyncPolicy
+	dlqCap          int
 	// schedConfigured records that a scheduler topology option was given
 	// explicitly, so compat entry points (ServeConcurrent's workers
 	// argument) defer to it instead of imposing the single-pool shape.
@@ -99,6 +103,37 @@ func WithBus(b *obs.Bus) HubOption {
 // everything (the pre-breaker behavior).
 func WithHealth(cfg health.Config) HubOption {
 	return func(c *hubConfig) { c.health = &cfg }
+}
+
+// WithJournal write-ahead-logs the hub's exchange lifecycle to the file at
+// path (see internal/journal): every admission through Do/DoAsync is
+// journaled before the scheduler sees it, terminal outcomes append
+// completion records, and Recover replays the log after a restart —
+// unfinished admissions re-run with duplicate tolerance, dead letters come
+// back replayable via Resubmit. NewHub fails when the journal cannot be
+// opened. The deprecated direct entry points (RoundTrip, ProcessInboundPO,
+// SendInvoice) bypass admission and are not journaled.
+func WithJournal(path string) HubOption {
+	return func(c *hubConfig) { c.journalPath = path }
+}
+
+// WithFsyncPolicy selects the journal's durability level (default
+// journal.FsyncBatched — group commit). Only meaningful WithJournal.
+func WithFsyncPolicy(p journal.FsyncPolicy) HubOption {
+	return func(c *hubConfig) { c.fsync = p }
+}
+
+// WithDLQCap bounds the in-memory dead-letter queue at n entries (0, the
+// default, is unbounded). When the queue is full, a hub with a journal
+// spills its oldest journaled entry to journal-only retention (a later
+// Recover restores it); a hub without one rejects the incoming entry.
+// Either way a KindHealth dlq-evict event feeds HealthMetrics.
+func WithDLQCap(n int) HubOption {
+	return func(c *hubConfig) {
+		if n >= 0 {
+			c.dlqCap = n
+		}
+	}
 }
 
 // queueDepthOrDefault resolves the effective per-shard queue bound.

@@ -212,6 +212,11 @@ type DeadLetter struct {
 	// At is when the exchange was dead-lettered.
 	At time.Time
 
+	// journaled marks an entry whose exchange was write-ahead-logged: it
+	// survives a restart through the journal, so the bounded queue may
+	// spill it from memory without losing it.
+	journaled bool
+
 	// native is the decoded native inbound PO (FlowPO); poID identifies the
 	// billed order (FlowInvoice).
 	native any
@@ -232,12 +237,12 @@ func (h *Hub) deadLetter(ex *Exchange, reason error, native any, poID string) {
 		Protocol:   ex.Protocol,
 		Reason:     reason,
 		At:         time.Now(),
+		journaled:  ex.journaled,
 		native:     native,
 		poID:       poID,
 	}
-	h.dlqMu.Lock()
-	h.dlq = append(h.dlq, dl)
-	h.dlqMu.Unlock()
+	ex.deadLettered = true
+	h.parkDeadLetter(dl)
 	h.emitLifecycle(ex, obs.StepDeadLetter, 0, reason)
 }
 
@@ -252,12 +257,46 @@ func (h *Hub) deadLetterRequest(ex *Exchange, reason error, req Request) {
 		Protocol:   ex.Protocol,
 		Reason:     reason,
 		At:         time.Now(),
+		journaled:  req.journaled,
 		req:        &req,
 	}
-	h.dlqMu.Lock()
-	h.dlq = append(h.dlq, dl)
-	h.dlqMu.Unlock()
+	ex.deadLettered = true
+	h.parkDeadLetter(dl)
 	h.emitLifecycle(ex, obs.StepDeadLetter, 0, reason)
+}
+
+// parkDeadLetter appends one entry to the bounded in-memory queue. At the
+// cap (WithDLQCap; 0 = unbounded), a hub with a journal spills its oldest
+// journaled entry to journal-only retention — the entry's completion
+// record survives, so a later Recover restores it — and a hub without one
+// (or whose oldest entry predates the journal) rejects the incoming entry
+// instead. Either way the pushed-out entry is emitted as a KindHealth
+// dlq-evict event, feeding the HealthMetrics DLQEvicted gauge.
+func (h *Hub) parkDeadLetter(dl DeadLetter) {
+	var evicted *DeadLetter
+	h.dlqMu.Lock()
+	switch {
+	case h.dlqCap <= 0 || len(h.dlq) < h.dlqCap:
+		h.dlq = append(h.dlq, dl)
+	case h.jrn != nil && len(h.dlq) > 0 && h.dlq[0].journaled:
+		old := h.dlq[0]
+		evicted = &old
+		h.dlq = append(h.dlq[1:], dl)
+	default:
+		evicted = &dl
+	}
+	h.dlqMu.Unlock()
+	if evicted != nil {
+		h.bus.Emit(obs.Event{
+			ExchangeID: evicted.ExchangeID,
+			Partner:    evicted.Partner,
+			Flow:       evicted.Flow,
+			Kind:       obs.KindHealth,
+			Stage:      obs.StageHealth,
+			Step:       obs.StepDLQEvict,
+			Err:        evicted.Reason,
+		})
+	}
 }
 
 // DeadLetters returns a snapshot of the dead-letter queue.
@@ -282,10 +321,19 @@ func (h *Hub) DrainDeadLetters() []DeadLetter {
 // when the dead-lettered run already stored the order, the store step is
 // satisfied by the existing copy instead of double-mutating the backend.
 func (h *Hub) Resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
+	ex, err := h.resubmit(ctx, dl)
+	// Settle the journal: a successful rerun resolves the entry for good, a
+	// rerun that dead-lettered again takes the original's place, anything
+	// else leaves the original recoverable.
+	h.journalResubmitOutcome(dl, ex, err)
+	return ex, err
+}
+
+func (h *Hub) resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
 	if dl.req != nil {
-		// Rejected at admission (fast-fail or shed): the original run
-		// never started, so this is a plain rerun — health-gated again,
-		// and its outcome feeds the breaker like any other exchange.
+		// Rejected at admission (fast-fail or shed) or restored from the
+		// journal with its request intact: a plain rerun — health-gated
+		// again, and its outcome feeds the breaker like any other exchange.
 		req := *dl.req
 		partner, probe, rejected := h.healthGate(req)
 		if rejected != nil {
@@ -294,15 +342,16 @@ func (h *Hub) Resubmit(ctx context.Context, dl DeadLetter) (*Exchange, error) {
 		res := h.runTracked(ctx, req, partner, probe)
 		return res.Exchange, res.Err
 	}
+	opts := exchangeOpts{resubmit: true, journaled: dl.journaled && h.jrn != nil}
 	switch dl.Flow {
 	case obs.FlowInvoice:
-		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, exchangeOpts{resubmit: true})
+		_, ex, err := h.sendInvoice(ctx, dl.Partner, dl.poID, opts)
 		return ex, err
 	default:
 		if dl.native == nil {
 			return nil, fmt.Errorf("core: dead letter %s retains no payload", dl.ExchangeID)
 		}
-		return h.processNativeOpt(ctx, dl.Protocol, dl.native, exchangeOpts{resubmit: true})
+		return h.processNativeOpt(ctx, dl.Protocol, dl.native, opts)
 	}
 }
 

@@ -63,6 +63,13 @@ type Request struct {
 	Priority Priority
 	// Retry overrides the hub's retry policies for this exchange only.
 	Retry *RetryPolicy
+
+	// resubmit marks a recovery replay or dead-letter rerun: its app
+	// binding tolerates the backend's duplicate-order rejection (the
+	// original run may have executed before a crash or downstream failure).
+	resubmit bool
+	// journaled marks a request whose admission was write-ahead-logged.
+	journaled bool
 }
 
 // normalize fills derivable fields and validates the request.
@@ -155,11 +162,17 @@ func (h *Hub) Do(ctx context.Context, req Request) (*Result, error) {
 	if err := req.normalize(); err != nil {
 		return &Result{Err: err}, err
 	}
+	key, err := h.journalAdmit(&req)
+	if err != nil {
+		return &Result{Err: err}, err
+	}
 	partner, probe, rejected := h.healthGate(req)
 	if rejected != nil {
+		h.journalComplete(key, &req, rejected)
 		return rejected, rejected.Err
 	}
 	res := h.runTracked(ctx, req, partner, probe)
+	h.journalComplete(key, &req, &res)
 	return &res, res.Err
 }
 
@@ -171,9 +184,23 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 	if err := req.normalize(); err != nil {
 		return nil, err
 	}
+	key, err := h.journalAdmit(&req)
+	if err != nil {
+		return nil, err
+	}
+	return h.doAsync(ctx, req, key)
+}
+
+// doAsync queues an already-admitted (normalized, journaled) request; key
+// is its journal admission key ("" without a journal). Recovery replays
+// re-enter here under their original key. When the scheduler refuses the
+// submission, the admission is left pending in the journal — it never ran,
+// so a later Recover re-delivers it.
+func (h *Hub) doAsync(ctx context.Context, req Request, key string) (*Future, error) {
 	partner, probe, rejected := h.healthGate(req)
 	if rejected != nil {
 		// Open circuit: resolve immediately without touching the scheduler.
+		h.journalComplete(key, &req, rejected)
 		fut := &Future{done: make(chan struct{}), res: *rejected}
 		close(fut.done)
 		return fut, nil
@@ -190,7 +217,11 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 	// recovery signal) and never requests without a health-gated partner.
 	var onShed func() Result
 	if partner != "" && !probe {
-		onShed = func() Result { return h.fastFail(req, partner, obs.StepShed) }
+		onShed = func() Result {
+			res := h.fastFail(req, partner, obs.StepShed)
+			h.journalComplete(key, &req, &res)
+			return res
+		}
 	}
 	// onDrop releases the probe slot when the scheduler resolves the job
 	// with ErrHubStopped instead of running it (stop raced the enqueue).
@@ -199,7 +230,9 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 		onDrop = func() { h.releaseProbe(partner, probe) }
 	}
 	fut, err := s.submit(ctx, req.shardKey(), req.Priority, func(ctx context.Context) Result {
-		return h.runTracked(ctx, req, partner, probe)
+		res := h.runTracked(ctx, req, partner, probe)
+		h.journalComplete(key, &req, &res)
+		return res
 	}, onShed, onDrop)
 	if err != nil {
 		// Rejected or abandoned before the job could run (scheduler
@@ -212,15 +245,16 @@ func (h *Hub) DoAsync(ctx context.Context, req Request) (*Future, error) {
 
 // run executes a normalized request.
 func (h *Hub) run(ctx context.Context, req Request) Result {
+	opts := exchangeOpts{retry: req.Retry, resubmit: req.resubmit, journaled: req.journaled}
 	switch req.Kind {
 	case DocPO:
-		poa, ex, err := h.roundTrip(ctx, req.PO, req.Retry)
+		poa, ex, err := h.roundTrip(ctx, req.PO, opts)
 		return Result{POA: poa, Exchange: ex, Err: err}
 	case DocWirePO:
-		out, ex, err := h.processInboundPO(ctx, req.Protocol, req.Wire, req.Retry)
+		out, ex, err := h.processInboundPO(ctx, req.Protocol, req.Wire, opts)
 		return Result{Wire: out, Exchange: ex, Err: err}
 	case DocInvoice:
-		wire, ex, err := h.sendInvoice(ctx, req.PartnerID, req.POID, exchangeOpts{retry: req.Retry})
+		wire, ex, err := h.sendInvoice(ctx, req.PartnerID, req.POID, opts)
 		return Result{Wire: wire, Exchange: ex, Err: err}
 	}
 	err := fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, req.Kind)

@@ -1,0 +1,424 @@
+// Package journal is the hub's write-ahead log: an append-only file of
+// CRC-framed, length-prefixed records that survives process crashes. The
+// hub journals every admitted exchange before the scheduler sees it and
+// every terminal outcome after, so a restarted hub can replay the log and
+// re-derive exactly what was in flight (see core.Hub.Recover).
+//
+// # Record framing
+//
+// Each record is framed as
+//
+//	| length uint32 LE | crc32(payload) uint32 LE | payload |
+//
+// where payload is the JSON encoding of Record. A reader accepts a record
+// only when the full frame is present, the length is sane and the CRC
+// matches; the first frame that fails any check ends the replay and is
+// truncated away together with everything after it. Because the journal
+// has a single appender writing sequentially, bytes after a broken frame
+// can only be the debris of a crashed append — there is no resynchronization
+// heuristic that could mis-parse flipped bits into a valid record.
+//
+// # Durability contract
+//
+// The fsync policy bounds what a crash can lose of *acknowledged* appends
+// (Append returned nil):
+//
+//   - FsyncAlways: every append is fsynced before Append returns. Nothing
+//     acknowledged is lost, even on power failure.
+//   - FsyncBatched (default): appends are flushed to the OS immediately and
+//     fsynced in groups (every DefaultBatchAppends appends or
+//     DefaultBatchInterval, whichever first). A process crash loses
+//     nothing; a power failure loses at most the last unsynced batch.
+//   - FsyncNever: appends are flushed to the OS but never fsynced. A
+//     process crash loses nothing; a power failure may lose any suffix.
+//
+// # Compaction
+//
+// Compact atomically rewrites the log to the given live records: the new
+// log is written to path+".compact", fsynced, and renamed over the old
+// one. A crash mid-compaction leaves the old log intact plus an orphan
+// .compact file, which Open discards (the rename never happened, so the
+// orphan is an incomplete rewrite by definition).
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are fsynced to stable storage.
+type FsyncPolicy string
+
+// Fsync policies. See the package comment for the durability contract.
+const (
+	FsyncAlways  FsyncPolicy = "always"
+	FsyncBatched FsyncPolicy = "batched"
+	FsyncNever   FsyncPolicy = "never"
+)
+
+// ParsePolicy parses a policy name as given on a command line.
+func ParsePolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncBatched, FsyncNever:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("journal: unknown fsync policy %q (want always, batched or never)", s)
+}
+
+// Batched group-commit defaults and the frame sanity bound.
+const (
+	// DefaultBatchAppends is how many appends a batched journal groups
+	// under one fsync.
+	DefaultBatchAppends = 32
+	// DefaultBatchInterval bounds how stale a batched journal's last fsync
+	// may get while appends keep arriving.
+	DefaultBatchInterval = 2 * time.Millisecond
+	// MaxRecordSize bounds a frame's declared payload length; a length
+	// beyond it (a torn header or flipped bits) ends replay instead of
+	// attempting a gigabyte allocation.
+	MaxRecordSize = 16 << 20
+
+	headerSize = 8
+)
+
+// Record is one journal entry. The journal itself is payload-agnostic:
+// Kind and Key index the record, Payload carries the owner's data (the hub
+// stores admitted requests and exchange outcomes, see core).
+type Record struct {
+	// Kind classifies the record ("admit", "complete", "resolve",
+	// "checkpoint" for the hub's log).
+	Kind string `json:"k"`
+	// Key correlates records of one unit of work (the hub's admission key).
+	Key string `json:"key,omitempty"`
+	// Payload is the owner's data.
+	Payload json.RawMessage `json:"p,omitempty"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Fsync is the durability policy; empty means FsyncBatched.
+	Fsync FsyncPolicy
+	// BatchAppends and BatchInterval tune the batched policy's group
+	// commit; zero values take the defaults.
+	BatchAppends  int
+	BatchInterval time.Duration
+}
+
+// Stats is a snapshot of a journal's activity.
+type Stats struct {
+	// Records is how many records the open-time replay yielded.
+	Records int
+	// TornBytes is how many trailing bytes the open-time replay truncated
+	// (a torn final frame, or debris after one).
+	TornBytes int64
+	// Appends counts records appended since open; Syncs counts fsyncs.
+	Appends int64
+	Syncs   int64
+}
+
+// CrashPoint names a place in the append stream where a test harness wants
+// the process to "crash". When the armed point trips, the journal freezes:
+// the bytes on disk stay exactly as they were at the point, every later
+// Append/Compact/Sync silently does nothing (the doomed process runs on,
+// but nothing more reaches disk), and a reopened journal sees only the
+// pre-crash state — the same observable state a real crash leaves behind.
+// Crash points exist for the chaos harness; production code never arms one.
+type CrashPoint struct {
+	// Match selects the record the point trips on; nil matches every record.
+	Match func(Record) bool
+	// Skip skips that many matching records before tripping.
+	Skip int
+	// Before trips the point before the matching record is written (the
+	// record is lost); otherwise it is written and synced first (the
+	// record is durable, everything after is lost).
+	Before bool
+}
+
+// Journal is an open write-ahead log. It is safe for concurrent use.
+type Journal struct {
+	path string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	replayed []Record
+	torn     int64
+	appends  int64
+	syncer   Syncer
+
+	crash        *CrashPoint
+	crashCompact bool
+	frozen       bool
+}
+
+// Open opens (creating if needed) the journal at path and replays it. A
+// torn tail — the debris of an append cut short by a crash — is dropped
+// and truncated away; an orphan compaction file from a crashed Compact is
+// discarded. The replayed records are available via Records.
+func Open(path string, opts Options) (*Journal, error) {
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncBatched
+	}
+	if opts.BatchAppends <= 0 {
+		opts.BatchAppends = DefaultBatchAppends
+	}
+	if opts.BatchInterval <= 0 {
+		opts.BatchInterval = DefaultBatchInterval
+	}
+	// A crash between writing path+".compact" and renaming it leaves the
+	// old log authoritative: the orphan is an incomplete rewrite.
+	if err := os.Remove(path + ".compact"); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: remove stale compaction %s: %w", path+".compact", err)
+	}
+	j := &Journal{path: path, opts: opts}
+	if data, err := os.ReadFile(path); err == nil {
+		recs, good := Decode(data)
+		j.replayed = recs
+		j.torn = int64(len(data)) - good
+		if j.torn > 0 {
+			if terr := os.Truncate(path, good); terr != nil {
+				return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, terr)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	j.syncer = NewSyncer(opts.Fsync, opts.BatchAppends, opts.BatchInterval)
+	return j, nil
+}
+
+// Decode scans data for framed records and returns every valid record plus
+// the byte offset just past the last one. Scanning stops at the first
+// frame that is incomplete, oversized, CRC-mismatched or undecodable —
+// whatever follows is a torn tail, never a record.
+func Decode(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := int64(0)
+	for int(off)+headerSize <= len(data) {
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		if length == 0 || length > MaxRecordSize {
+			break
+		}
+		end := off + headerSize + int64(length)
+		if end > int64(len(data)) {
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+headerSize : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind == "" {
+			break
+		}
+		recs = append(recs, rec)
+		off = end
+	}
+	return recs, off
+}
+
+// Encode frames one record.
+func Encode(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal: %w", err)
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds MaxRecordSize", len(payload))
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// Records returns the records the open-time replay yielded.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.replayed...)
+}
+
+// Append writes one record under the journal's fsync policy. When the
+// policy is FsyncAlways the record is durable before Append returns.
+func (j *Journal) Append(rec Record) error {
+	frame, err := Encode(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if cp := j.crash; cp != nil && cp.Before && cp.matches(rec) {
+		j.frozen = true
+		return nil
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appends++
+	if err := j.syncer.DidAppend(j.f); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	if cp := j.crash; cp != nil && !cp.Before && cp.matches(rec) {
+		// The matching record must be durable before the freeze: "crash
+		// after committed" means exactly that.
+		if err := j.syncer.Force(j.f); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+		j.frozen = true
+	}
+	return nil
+}
+
+// matches consumes one Skip per matching record and reports whether the
+// point trips now. Callers hold the journal lock.
+func (cp *CrashPoint) matches(rec Record) bool {
+	if cp.Match != nil && !cp.Match(rec) {
+		return false
+	}
+	if cp.Skip > 0 {
+		cp.Skip--
+		return false
+	}
+	return true
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	return j.syncer.Force(j.f)
+}
+
+// Close syncs (per policy) and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if err := j.syncer.Flush(j.f); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// Compact atomically replaces the log's contents with the given records —
+// the owner's live set (the hub writes a checkpoint plus every unfinished
+// admission and unresolved dead letter). The new log is fully written and
+// fsynced before the rename, so a crash at any point leaves either the
+// complete old log or the complete new one.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, rec := range live {
+		frame, err := Encode(rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if j.crashCompact {
+		// Crash-point simulation: the rewrite is on disk but the rename
+		// never happens — exactly the old+new state Open must untangle.
+		j.frozen = true
+		return nil
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	j.f = nf
+	return nil
+}
+
+// Size reports the current log size in bytes.
+func (j *Journal) Size() (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fi, err := os.Stat(j.path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Stats returns an activity snapshot.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Records:   len(j.replayed),
+		TornBytes: j.torn,
+		Appends:   j.appends,
+		Syncs:     j.syncer.Syncs(),
+	}
+}
+
+// Arm installs a crash point (chaos harness only; see CrashPoint).
+func (j *Journal) Arm(cp CrashPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crash = &cp
+}
+
+// ArmCompactCrash makes the next Compact freeze after writing the rewrite
+// but before the atomic rename, leaving old and new files both on disk.
+func (j *Journal) ArmCompactCrash() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crashCompact = true
+}
+
+// Crashed reports whether an armed crash point has tripped.
+func (j *Journal) Crashed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.frozen
+}

@@ -1,0 +1,87 @@
+package journal
+
+import (
+	"os"
+	"time"
+)
+
+// Syncer applies one FsyncPolicy to an append-only file: the owner calls
+// DidAppend after each append has reached the OS (written, and flushed if
+// the owner buffers) and the Syncer decides when the file must be fsynced.
+// It implements the batched policy's group commit without a background
+// goroutine: an fsync happens when enough appends have accumulated or
+// enough time has passed since the last one, amortizing the cost across
+// the batch. wfstore.FileStore shares it with Journal so both logs honor
+// the same durability contract.
+//
+// A Syncer is not safe for concurrent use on its own; owners call it under
+// the same lock that serializes their appends.
+type Syncer struct {
+	policy        FsyncPolicy
+	batchAppends  int
+	batchInterval time.Duration
+
+	pending  int
+	lastSync time.Time
+	syncs    int64
+}
+
+// NewSyncer returns a Syncer for the policy; zero batch parameters take
+// the package defaults.
+func NewSyncer(policy FsyncPolicy, batchAppends int, batchInterval time.Duration) Syncer {
+	if policy == "" {
+		policy = FsyncBatched
+	}
+	if batchAppends <= 0 {
+		batchAppends = DefaultBatchAppends
+	}
+	if batchInterval <= 0 {
+		batchInterval = DefaultBatchInterval
+	}
+	return Syncer{policy: policy, batchAppends: batchAppends, batchInterval: batchInterval, lastSync: time.Now()}
+}
+
+// DidAppend records one completed append and fsyncs per policy.
+func (s *Syncer) DidAppend(f *os.File) error {
+	switch s.policy {
+	case FsyncAlways:
+		return s.sync(f)
+	case FsyncNever:
+		return nil
+	default: // batched group commit
+		s.pending++
+		if s.pending >= s.batchAppends || time.Since(s.lastSync) >= s.batchInterval {
+			return s.sync(f)
+		}
+		return nil
+	}
+}
+
+// Force fsyncs unconditionally, regardless of policy.
+func (s *Syncer) Force(f *os.File) error { return s.sync(f) }
+
+// Flush is the close-time sync: it drains the pending batch for the
+// always and batched policies and is a no-op for never (whose contract is
+// that no fsync is ever issued).
+func (s *Syncer) Flush(f *os.File) error {
+	if s.policy == FsyncNever || s.pending == 0 {
+		return nil
+	}
+	return s.sync(f)
+}
+
+// Syncs reports how many fsyncs have been issued.
+func (s *Syncer) Syncs() int64 { return s.syncs }
+
+// Policy returns the Syncer's policy.
+func (s *Syncer) Policy() FsyncPolicy { return s.policy }
+
+func (s *Syncer) sync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	s.pending = 0
+	s.lastSync = time.Now()
+	s.syncs++
+	return nil
+}

@@ -23,6 +23,7 @@ type healthGauge struct {
 	probeFailures int64
 	sheds         int64
 	fastFails     int64
+	dlqEvicted    int64
 }
 
 // NewHealthMetrics returns an empty partner-health sink.
@@ -61,6 +62,8 @@ func (h *HealthMetrics) Emit(e Event) {
 		g.sheds++
 	case StepFastFail:
 		g.fastFails++
+	case StepDLQEvict:
+		g.dlqEvicted++
 	}
 }
 
@@ -82,6 +85,10 @@ type HealthSnapshot struct {
 	// shedder; FastFails counts submissions rejected by an open circuit.
 	Sheds     int64
 	FastFails int64
+	// DLQEvicted counts this partner's dead letters pushed out of the
+	// bounded in-memory queue (spilled to journal-only retention, or
+	// rejected when the hub has no journal).
+	DLQEvicted int64
 }
 
 // Snapshot returns the per-partner gauges sorted by partner ID.
@@ -100,6 +107,7 @@ func (h *HealthMetrics) Snapshot() []HealthSnapshot {
 			ProbeFailures: g.probeFailures,
 			Sheds:         g.sheds,
 			FastFails:     g.fastFails,
+			DLQEvicted:    g.dlqEvicted,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Partner < out[j].Partner })

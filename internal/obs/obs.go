@@ -32,6 +32,7 @@ const (
 	StageRoute    Stage = "route"    // hub routing hops between instances
 	StageSched    Stage = "sched"    // scheduler admission and dispatch
 	StageHealth   Stage = "health"   // partner health tracking (breakers)
+	StageRecovery Stage = "recovery" // journal replay after a restart
 )
 
 // Kind classifies events.
@@ -65,6 +66,13 @@ const (
 	// StepDispatched when a worker picks it up, and StepCompleted (Elapsed
 	// is the job's run time) when it finishes. Shard locates the queue.
 	KindSched Kind = "sched"
+	// KindRecovery marks journal replay after a restart: StepStarted and
+	// StepFinished bracket one Recover pass (Elapsed on the latter is its
+	// duration), StepRestored is one completed exchange restored as a
+	// record, StepDeadLetterRestored is one dead letter restored to the
+	// queue, and StepReplayed is one unfinished admission re-run through
+	// the scheduler (Err set when the replay dead-lettered again).
+	KindRecovery Kind = "recovery"
 )
 
 // Well-known Step values for lifecycle, retry and scheduler events.
@@ -89,6 +97,14 @@ const (
 	StepProbe           = "probe"
 	StepShed            = "shed"
 	StepFastFail        = "fast-fail"
+	// StepDLQEvict (KindHealth) records a dead letter pushed out of the
+	// bounded in-memory queue: spilled to journal-only retention when the
+	// hub has a journal, rejected outright when it does not.
+	StepDLQEvict = "dlq-evict"
+	// Recovery steps (KindRecovery).
+	StepRestored           = "restored"
+	StepDeadLetterRestored = "dead-letter-restored"
+	StepReplayed           = "replayed"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.

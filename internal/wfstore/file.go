@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/journal"
 	"repro/internal/wf"
 )
 
@@ -17,16 +18,27 @@ import (
 // store replays the log, so an engine restarted after a crash resumes from
 // its last persisted transition (Figure 4's database made durable).
 //
+// Durability contract: every append is flushed to the OS before the
+// mutating call returns, so a process crash never loses an acknowledged
+// mutation. What a power loss can take is bounded by the store's fsync
+// policy (journal.FsyncPolicy, default FsyncBatched): FsyncAlways fsyncs
+// each append, FsyncBatched group-commits an fsync every few appends or
+// milliseconds, FsyncNever leaves syncing to the OS entirely. A torn final
+// record (an append the crash cut short, recognizable by its missing
+// newline terminator) is dropped and truncated at the next open; only that
+// one record is lost.
+//
 // Instance data values are serialized through the codec in codec.go, which
 // supports primitives and the normalized document types. Native
 // format values (e.g. a decoded IDoc) are transient hub state and must not
 // be placed in instance data that reaches a FileStore.
 type FileStore struct {
-	mu   sync.Mutex
-	mem  *MemStore
-	f    *os.File
-	w    *bufio.Writer
-	path string
+	mu     sync.Mutex
+	mem    *MemStore
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	syncer journal.Syncer
 }
 
 type logRecord struct {
@@ -36,13 +48,24 @@ type logRecord struct {
 	ID       string          `json:"id,omitempty"`
 }
 
-// OpenFileStore opens (creating if needed) the log at path and replays it.
-// A torn final record — an append cut short by a crash, recognizable by
-// its missing newline terminator — is dropped and truncated away; only
-// that one record is lost. Unparseable records that were fully written
-// (newline-terminated) are corruption and fail the open.
+// OpenFileStore opens (creating if needed) the log at path and replays it,
+// with the default batched fsync policy. A torn final record — an append
+// cut short by a crash, recognizable by its missing newline terminator —
+// is dropped and truncated away; only that one record is lost. Unparseable
+// records that were fully written (newline-terminated) are corruption and
+// fail the open.
 func OpenFileStore(path string) (*FileStore, error) {
-	s := &FileStore{mem: NewMemStore(), path: path}
+	return OpenFileStoreFsync(path, journal.FsyncBatched)
+}
+
+// OpenFileStoreFsync is OpenFileStore with an explicit fsync policy (see
+// the durability contract in the package comment of this type).
+func OpenFileStoreFsync(path string, policy journal.FsyncPolicy) (*FileStore, error) {
+	s := &FileStore{
+		mem:    NewMemStore(),
+		path:   path,
+		syncer: journal.NewSyncer(policy, 0, 0),
+	}
 	if data, err := os.ReadFile(path); err == nil {
 		good, rerr := s.replay(data)
 		if rerr != nil {
@@ -129,14 +152,20 @@ func (s *FileStore) append(rec logRecord) error {
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("wfstore: flush: %w", err)
 	}
+	if err := s.syncer.DidAppend(s.f); err != nil {
+		return fmt.Errorf("wfstore: fsync: %w", err)
+	}
 	return nil
 }
 
-// Close flushes and closes the log.
+// Close drains any pending group commit, flushes and closes the log.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.syncer.Flush(s.f); err != nil {
 		return err
 	}
 	return s.f.Close()
@@ -205,6 +234,12 @@ func (s *FileStore) Compact() error {
 		}
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	// Sync the rewrite before the rename makes it the log: the rename must
+	// never point the store at a snapshot the disk does not yet hold.
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

@@ -7,9 +7,12 @@
 # sweep (BenchmarkHubSharded: shards x workers-per-shard over the
 # in-process DoAsync API, clean and faulty), plus the circuit-breaker
 # outage drill (BenchmarkHubBreaker: healthy-partner throughput while one
-# backend is hard down, breaker off vs on). Acceptance bars: speedup >= 2
-# on the clean worker-pool benchmark, the clean shards=8 row >= 1.5x the
-# workers=8 row, and breaker-on >= 2x breaker-off healthy throughput.
+# backend is hard down, breaker off vs on), plus the write-ahead-journal
+# overhead sweep (BenchmarkHubJournal: fsync=never/batched/always vs the
+# unjournaled baseline). Acceptance bars: speedup >= 2 on the clean
+# worker-pool benchmark, the clean shards=8 row >= 1.5x the workers=8 row,
+# breaker-on >= 2x breaker-off healthy throughput, and journaled
+# fsync=batched throughput >= 0.4x the unjournaled baseline.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,9 @@ go test -run '^$' -bench '^BenchmarkHubSharded$' -benchtime "$SHARD_COUNT" . | t
 
 echo "== BenchmarkHubBreaker (benchtime ${BENCH_BREAKER_COUNT:-300x}) =="
 go test -run '^$' -bench '^BenchmarkHubBreaker$' -benchtime "${BENCH_BREAKER_COUNT:-300x}" . | tee /tmp/bench_hub_breaker.txt
+
+echo "== BenchmarkHubJournal (benchtime ${BENCH_JOURNAL_COUNT:-400x}) =="
+go test -run '^$' -bench '^BenchmarkHubJournal$' -benchtime "${BENCH_JOURNAL_COUNT:-400x}" . | tee /tmp/bench_hub_journal.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -85,6 +91,22 @@ for line in open("/tmp/bench_hub_breaker.txt"):
 if "off" not in breaker or "on" not in breaker:
     sys.exit("bench.sh: missing BenchmarkHubBreaker off/on results")
 
+journal = {}
+for line in open("/tmp/bench_hub_journal.txt"):
+    m = re.search(
+        r"BenchmarkHubJournal/fsync=(off|never|batched|always)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s(?:\s+([\d.]+) fsyncs/op)?",
+        line)
+    if m:
+        row = {
+            "ns_per_op": float(m.group(2)),
+            "exchanges_per_sec": float(m.group(3)),
+        }
+        if m.group(4):
+            row["fsyncs_per_exchange"] = float(m.group(4))
+        journal[m.group(1)] = row
+if "off" not in journal or "batched" not in journal:
+    sys.exit("bench.sh: missing BenchmarkHubJournal off/batched results")
+
 best_clean8 = max(
     (row["exchanges_per_sec"] for key, row in sharded.items()
      if key.startswith("clean/shards=8/")),
@@ -96,6 +118,8 @@ speedup = results[8]["exchanges_per_sec"] / results[1]["exchanges_per_sec"]
 sharded_speedup = best_clean8 / results[8]["exchanges_per_sec"]
 breaker_speedup = (breaker["on"]["healthy_exchanges_per_sec"]
                    / breaker["off"]["healthy_exchanges_per_sec"])
+journal_ratio = (journal["batched"]["exchanges_per_sec"]
+                 / journal["off"]["exchanges_per_sec"])
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -118,6 +142,14 @@ record = {
         "on_vs_off": round(breaker_speedup, 2),
         "passes_2x": breaker_speedup >= 2.0,
     },
+    "journal": {
+        "benchmark": "BenchmarkHubJournal",
+        "scenario": "write-ahead exchange journal at each fsync policy "
+                    "vs the unjournaled baseline (off)",
+        "rows": journal,
+        "batched_vs_off": round(journal_ratio, 2),
+        "passes_0_4x": journal_ratio >= 0.4,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -130,7 +162,9 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"({sharded_speedup:.2f}x workers=8, "
       f"{'PASS' if sharded_speedup >= 1.5 else 'FAIL'} >= 1.5x); "
       f"breaker on vs off = {breaker_speedup:.2f}x "
-      f"({'PASS' if breaker_speedup >= 2.0 else 'FAIL'} >= 2x)")
-if speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0:
+      f"({'PASS' if breaker_speedup >= 2.0 else 'FAIL'} >= 2x); "
+      f"journal batched vs off = {journal_ratio:.2f}x "
+      f"({'PASS' if journal_ratio >= 0.4 else 'FAIL'} >= 0.4x)")
+if speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0 or journal_ratio < 0.4:
     sys.exit(1)
 EOF

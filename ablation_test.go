@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
 	"repro/internal/formats/edi"
@@ -142,6 +143,104 @@ func BenchmarkAblationRawVsReliable(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestAblationChangeImpactRecompiles is the compilation-cost side of the
+// paper's change-locality argument (Section 4.6): each model change is
+// applied to a live hub and the number of plan recompilations it triggers
+// is measured via the engine's compile counter. Rules-only changes and
+// partners on existing protocols must recompile nothing; structural changes
+// must recompile exactly the types they touch, never the whole model.
+func TestAblationChangeImpactRecompiles(t *testing.T) {
+	model, err := core.PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := core.NewHub(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.StopWorkers()
+
+	recompiles := func(apply func() error) int64 {
+		t.Helper()
+		before := hub.Engine.CompiledPlans()
+		if err := apply(); err != nil {
+			t.Fatal(err)
+		}
+		return hub.Engine.CompiledPlans() - before
+	}
+
+	// Rules-only change: invisible to every process type.
+	if n := recompiles(func() error {
+		_, err := hub.Model.ChangePartnerThreshold("TP1", 70000)
+		return err
+	}); n != 0 {
+		t.Fatalf("threshold change recompiled %d plans, want 0", n)
+	}
+	// Local private-process change: one type.
+	if n := recompiles(func() error {
+		_, err := hub.AddPrivateAuditStep()
+		return err
+	}); n != 1 {
+		t.Fatalf("audit step recompiled %d plans, want 1", n)
+	}
+	// Local public-process changes: one type each.
+	if n := recompiles(func() error {
+		_, err := hub.EnableTransportAcks(hub.Model.Partners[0])
+		return err
+	}); n != 1 {
+		t.Fatalf("transport acks recompiled %d plans, want 1", n)
+	}
+	if n := recompiles(func() error {
+		_, err := hub.EnableFunctionalAcks(formats.EDI)
+		return err
+	}); n != 1 {
+		t.Fatalf("functional acks recompiled %d plans, want 1", n)
+	}
+	// A partner on an already-served protocol is rules-only.
+	if n := recompiles(func() error {
+		_, err := hub.AddPartner(core.TradingPartner{
+			ID: "TP4", Name: "Trading Partner 4", DUNS: "444444444",
+			Protocol: formats.EDI, Backend: "SAP", ApprovalThreshold: 25000,
+		})
+		return err
+	}); n != 0 {
+		t.Fatalf("existing-protocol partner recompiled %d plans, want 0", n)
+	}
+	// A partner bringing a new protocol adds its public process + binding.
+	if n := recompiles(func() error {
+		_, err := hub.AddPartner(core.Figure15Partner())
+		return err
+	}); n != 2 {
+		t.Fatalf("new-protocol partner recompiled %d plans, want 2", n)
+	}
+	// A new backend adds one application binding.
+	if n := recompiles(func() error {
+		_, err := hub.AddBackend(core.Backend{Name: "SAP2", Format: formats.SAPIDoc})
+		return err
+	}); n != 1 {
+		t.Fatalf("new backend recompiled %d plans, want 1", n)
+	}
+	// Enabling the invoice flow adds the invoice chain: one private
+	// dispatch process plus a public process and binding per protocol and
+	// an app binding per backend — and nothing from the PO chain.
+	n := recompiles(func() error {
+		_, err := hub.EnableInvoicing()
+		return err
+	})
+	want := int64(1 + len(hub.Model.InvoicePublic) + len(hub.Model.InvoiceBindings) + len(hub.Model.InvoiceAppBindings))
+	if n != want {
+		t.Fatalf("invoicing recompiled %d plans, want %d", n, want)
+	}
+
+	// The reshaped model still serves exchanges.
+	g := doc.NewGenerator(1)
+	po := g.PO(doc.Party{ID: "TP4", Name: "Trading Partner 4", DUNS: "444444444"},
+		doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"})
+	if _, err := hub.Do(context.Background(), core.Request{Kind: core.DocPO, PO: po}); err != nil {
+		t.Fatalf("post-sweep round trip: %v", err)
+	}
 }
 
 // BenchmarkAblationRuleLocation compares evaluating a partner threshold as

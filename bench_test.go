@@ -887,6 +887,184 @@ func BenchmarkHubSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkHubPlanned measures the compiled-plan execution layer.
+//
+// The clean/legacy pair drives the BenchmarkHubSharded clean shards=8
+// workers=4 configuration through the default (plan-interpreting) hub and
+// through one pinned to the legacy TypeDef interpreter. At the hub level
+// interpretation is a small slice of each exchange (scheduling, transforms
+// and backend work dominate), so these rows bound regressions rather than
+// showcase the win: scripts/bench.sh holds the clean row to >= 0.9x the
+// BenchmarkHubSharded clean shards=8 row (the identical configuration and
+// code path — a noise guard).
+//
+// The interp pair isolates what the compilation layer actually changes: a
+// bare engine running a 40-step conditional chain to completion, compiled
+// plan vs legacy interpreter. The plan's ready-set worklist replaces the
+// legacy rescan of every step after every signal (O(steps²) per advance),
+// so plan instances/s must hold >= 1.0x legacy (acceptance gate; in
+// practice it is well above).
+//
+// The wide pair isolates intra-instance step parallelism on a bare engine:
+// an 8-way fan-out whose sends each hold a ~200µs port (the simulated slow
+// transport), interpreted with parallelism 1 vs 8. Instances/s at
+// parallelism=8 is the measured speedup scripts/bench.sh records
+// (acceptance: > 1.0x the parallelism=1 row).
+func BenchmarkHubPlanned(b *testing.B) {
+	for _, mode := range []string{"clean", "legacy"} {
+		b.Run(fmt.Sprintf("%s/shards=8/workers=4", mode), func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []core.HubOption{core.WithShards(8), core.WithWorkersPerShard(4)}
+			if mode == "legacy" {
+				opts = append(opts, core.WithLegacyWorkflowInterpreter())
+			}
+			h, err := core.NewHub(m, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			defer h.StopWorkers()
+			ctx := context.Background()
+
+			var buyers []doc.Party
+			for _, p := range h.Model.Partners {
+				buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(3000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-p%d-%d", pos[i].ID, w, i)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			futs := make([]*core.Future, b.N)
+			for i, po := range pos {
+				fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs[i] = fut
+			}
+			for i, fut := range futs {
+				if res := fut.Result(ctx); res.Err != nil {
+					b.Fatalf("exchange %d: %v", i, res.Err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
+		})
+	}
+
+	// The chain is declared in reverse execution order (s39 first, entry
+	// s0 last): each completion signals a step declared *earlier*, the
+	// legacy interpreter's worst case — every pass rescans all steps to
+	// find the one newly-ready successor (O(steps²) scans per instance),
+	// while the plan worklist just carries the signaled index to the next
+	// pass.
+	chainDef := func() *wf.TypeDef {
+		const depth = 40
+		t := &wf.TypeDef{Name: "chain", Version: 1}
+		for i := depth - 1; i >= 0; i-- {
+			t.Steps = append(t.Steps, wf.StepDef{
+				Name: fmt.Sprintf("s%d", i), Kind: wf.StepTask, Handler: "nop"})
+		}
+		for i := 1; i < depth; i++ {
+			a := wf.Arc{From: fmt.Sprintf("s%d", i-1), To: fmt.Sprintf("s%d", i)}
+			if i%4 == 0 {
+				a.Condition = "n >= 0"
+			}
+			t.Arcs = append(t.Arcs, a)
+		}
+		return t
+	}
+	for _, mode := range []string{"plan", "legacy"} {
+		b.Run("interp/mode="+mode, func(b *testing.B) {
+			h := wf.NewHandlers()
+			h.Register("nop", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return nil })
+			var opts []wf.EngineOption
+			if mode == "legacy" {
+				opts = append(opts, wf.WithLegacyInterpreter())
+			}
+			e := wf.NewEngine("interp", wfstore.NewMemStore(), h, nil, opts...)
+			if err := e.Deploy(chainDef()); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				in, err := e.Start(ctx, "chain", map[string]any{"n": 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if in.State != wf.InstCompleted {
+					b.Fatalf("instance %s: %s", in.ID, in.State)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "instances/s")
+		})
+	}
+
+	const fan = 8
+	wideDef := func() *wf.TypeDef {
+		t := &wf.TypeDef{Name: "wide", Version: 1,
+			Steps: []wf.StepDef{{Name: "seed", Kind: wf.StepTask, Handler: "nop"}}}
+		for i := 0; i < fan; i++ {
+			send := fmt.Sprintf("send%d", i)
+			t.Steps = append(t.Steps, wf.StepDef{Name: send, Kind: wf.StepSend, Port: fmt.Sprintf("p%d", i)})
+			t.Arcs = append(t.Arcs,
+				wf.Arc{From: "seed", To: send},
+				wf.Arc{From: send, To: "done"})
+		}
+		t.Steps = append(t.Steps, wf.StepDef{Name: "done", Kind: wf.StepTask, Handler: "nop", Join: wf.JoinAll})
+		return t
+	}
+	for _, par := range []int{1, fan} {
+		b.Run(fmt.Sprintf("wide/parallelism=%d", par), func(b *testing.B) {
+			h := wf.NewHandlers()
+			h.Register("nop", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return nil })
+			slowPort := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+				time.Sleep(200 * time.Microsecond)
+				return nil
+			}
+			e := wf.NewEngine("wide", wfstore.NewMemStore(), h, slowPort,
+				wf.WithStepParallelism(par))
+			if err := e.Deploy(wideDef()); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				in, err := e.Start(ctx, "wide", map[string]any{"document": "payload"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if in.State != wf.InstCompleted {
+					b.Fatalf("instance %s: %s", in.ID, in.State)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "instances/s")
+		})
+	}
+}
+
 // BenchmarkHubBreaker: healthy-partner throughput while one partner's
 // backend is hard down, with the circuit breaker off vs on. The feeder
 // interleaves one doomed TP2 order per two healthy (TP1/TP3) orders; with

@@ -51,6 +51,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/health"
 	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/obs"
 )
@@ -59,6 +60,7 @@ var (
 	n       = flag.Int("n", 100, "purchase orders per partner")
 	workers = flag.Int("workers", 1, "hub workers (per shard when -shards > 1); >1 serves exchanges concurrently")
 	shards  = flag.Int("shards", 0, "scheduler shards; >0 runs the sharded per-partner scheduler")
+	stepPar = flag.Int("step-parallelism", 1, "independent ready steps one workflow instance may run concurrently")
 	loss    = flag.Float64("loss", 0, "message loss probability (in-process network only)")
 	dup     = flag.Float64("dup", 0, "message duplication probability (in-process network only)")
 	tp3     = flag.Bool("tp3", false, "add the Figure 15 partner (OAGIS)")
@@ -103,6 +105,9 @@ func main() {
 	hubOpts := []core.HubOption{core.WithWorkersPerShard(*workers)}
 	if *shards > 0 {
 		hubOpts = append(hubOpts, core.WithShards(*shards))
+	}
+	if *stepPar > 1 {
+		hubOpts = append(hubOpts, core.WithStepParallelism(*stepPar))
 	}
 	if *breakerThreshold > 0 {
 		hubOpts = append(hubOpts, core.WithHealth(health.Config{
@@ -268,6 +273,7 @@ func main() {
 	if *trace {
 		printShardMetrics(hub)
 		printHealthMetrics(hub)
+		printPlanMetrics(hub)
 	}
 	hub.StopWorkers()
 }
@@ -367,6 +373,7 @@ func runChaos(hub *core.Hub) {
 	if *trace {
 		printShardMetrics(hub)
 		printHealthMetrics(hub)
+		printPlanMetrics(hub)
 	}
 }
 
@@ -467,6 +474,17 @@ func printHealthMetrics(hub *core.Hub) {
 				s.Partner, s.State, s.FailureRate*100, s.Opens, 0, 0, 0)
 		}
 	}
+}
+
+// printPlanMetrics renders the deploy-time compilation gauges and the shape
+// of the engine's live plan cache.
+func printPlanMetrics(hub *core.Hub) {
+	snap := hub.PlanMetrics().Snapshot()
+	stats := metrics.PlanStatsOf(hub.Engine)
+	fmt.Printf("compiled plans: %d cached (%d steps, %d arcs, max parallel width %d); "+
+		"%d compilations (%d rejected) in %v, plan epoch %d\n",
+		stats.Plans, stats.Steps, stats.Arcs, stats.MaxWidth,
+		snap.Compiled+snap.Rejected, snap.Rejected, snap.CompileTime.Round(time.Microsecond), stats.Epoch)
 }
 
 // printStageMetrics renders the per-stage latency summary derived from the

@@ -174,12 +174,17 @@ func (h *Hub) AddPartner(p TradingPartner) (*ChangeRecord, error) {
 		return nil, err
 	}
 	h.invalidateRoutes()
-	if _, ok := h.Model.PublicProcesses[p.Protocol]; ok {
-		if err := h.Engine.Deploy(h.Model.PublicProcesses[p.Protocol]); err != nil {
-			return rec, err
-		}
-		if err := h.Engine.Deploy(h.Model.Bindings[p.Protocol]); err != nil {
-			return rec, err
+	// Deploy (and so recompile) only when the change actually added types:
+	// a partner on an existing protocol reuses the deployed plans as-is —
+	// the change-impact sweep in the ablation suite counts on this.
+	if len(rec.TypesAdded) > 0 {
+		if _, ok := h.Model.PublicProcesses[p.Protocol]; ok {
+			if err := h.deployType(h.Model.PublicProcesses[p.Protocol]); err != nil {
+				return rec, err
+			}
+			if err := h.deployType(h.Model.Bindings[p.Protocol]); err != nil {
+				return rec, err
+			}
 		}
 	}
 	return rec, nil
@@ -203,7 +208,7 @@ func (h *Hub) AddPrivateAuditStep() (*ChangeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rec, h.Engine.Deploy(h.Model.Private)
+	return rec, h.deployType(h.Model.Private)
 }
 
 // EnableTransportAcks applies and deploys the public-process ack change.
@@ -213,7 +218,7 @@ func (h *Hub) EnableTransportAcks(p TradingPartner) (*ChangeRecord, error) {
 		return nil, err
 	}
 	h.invalidateRoutes()
-	return rec, h.Engine.Deploy(h.Model.PublicProcesses[p.Protocol])
+	return rec, h.deployType(h.Model.PublicProcesses[p.Protocol])
 }
 
 // EnableFunctionalAcks switches a protocol's public process to the variant
@@ -244,5 +249,5 @@ func (h *Hub) EnableFunctionalAcks(p formats.Format) (*ChangeRecord, error) {
 		return nil, err
 	}
 	h.invalidateRoutes()
-	return rec, h.Engine.Deploy(h.Model.PublicProcesses[p])
+	return rec, h.deployType(h.Model.PublicProcesses[p])
 }

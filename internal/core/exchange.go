@@ -24,16 +24,24 @@ type resolvedRoute struct {
 	invPublicName  string
 	invBindingName string
 	invAppBinding  string
+
+	// epoch is the engine's plan epoch at resolution time. Every successful
+	// deploy advances the epoch, so a cached route older than the current
+	// epoch may name type versions whose plans were superseded — it is
+	// treated as a miss and re-resolved. This catches deploys that bypass
+	// invalidateRoutes (direct Engine.Deploy in tests or embedders).
+	epoch int64
 }
 
 // resolveRoute returns the partner's route, read-through: a miss resolves
 // against the model under the write lock. Deploy-time changes (AddPartner,
 // AddBackend, EnableInvoicing, …) invalidate the cache wholesale.
 func (h *Hub) resolveRoute(partnerID string) (resolvedRoute, bool) {
+	epoch := h.Engine.PlanEpoch()
 	h.routeMu.RLock()
 	r, ok := h.routes[partnerID]
 	h.routeMu.RUnlock()
-	if ok {
+	if ok && r.epoch == epoch {
 		return r, true
 	}
 	partner, ok := h.Model.PartnerByID(partnerID)
@@ -48,6 +56,7 @@ func (h *Hub) resolveRoute(partnerID string) (resolvedRoute, bool) {
 		invPublicName:  InvoicePublicProcessName(partner.Protocol),
 		invBindingName: InvoiceBindingName(partner.Protocol),
 		invAppBinding:  InvoiceAppBindingName(partner.Backend),
+		epoch:          epoch,
 	}
 	h.routeMu.Lock()
 	if h.routes == nil {

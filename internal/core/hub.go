@@ -112,6 +112,7 @@ type Hub struct {
 	collector    *obs.Collector
 	counters     *obs.ExchangeCounters
 	schedMetrics *obs.SchedMetrics
+	planMetrics  *obs.PlanMetrics
 
 	// Sharded scheduler for asynchronous submission (see sched.go and
 	// submit.go). schedCfg holds the NewHub option values the scheduler is
@@ -279,6 +280,7 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 		collector:       obs.NewCollector(0),
 		counters:        obs.NewExchangeCounters(),
 		schedMetrics:    obs.NewSchedMetrics(),
+		planMetrics:     obs.NewPlanMetrics(),
 		healthMetrics:   obs.NewHealthMetrics(),
 		recoveryMetrics: obs.NewRecoveryMetrics(),
 		schedCfg:        cfg,
@@ -304,6 +306,7 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	h.bus.Attach(h.collector)
 	h.bus.Attach(h.counters)
 	h.bus.Attach(h.schedMetrics)
+	h.bus.Attach(h.planMetrics)
 	h.bus.Attach(h.healthMetrics)
 	h.bus.Attach(h.recoveryMetrics)
 	if cfg.journalPath != "" {
@@ -324,7 +327,34 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	}
 	handlers := wf.NewHandlers()
 	h.registerHandlers(handlers)
-	h.Engine = wf.NewEngine("hub", wfstore.NewMemStore(), handlers, h.portFunc)
+	// The engine compiles every deployed type against the hub's routing
+	// fabric (checkPort) so broken models are rejected before any exchange
+	// runs; WithStepParallelism/WithLegacyWorkflowInterpreter pass through
+	// to the plan interpreter.
+	engOpts := []wf.EngineOption{wf.WithPortChecker(h.checkPort)}
+	if cfg.stepParallelism > 1 {
+		engOpts = append(engOpts, wf.WithStepParallelism(cfg.stepParallelism))
+	}
+	if cfg.legacyInterp {
+		engOpts = append(engOpts, wf.WithLegacyInterpreter())
+	}
+	h.Engine = wf.NewEngine("hub", wfstore.NewMemStore(), handlers, h.portFunc, engOpts...)
+	// Every compilation — eager at deploy, lazy on first execution of a
+	// store-loaded type — surfaces as a plan event keyed by the type.
+	h.Engine.SetPlanObserver(func(t *wf.TypeDef, p *wf.Plan, elapsed time.Duration, err error) {
+		step := obs.StepCompiled
+		if err != nil {
+			step = obs.StepRejected
+		}
+		h.bus.Emit(obs.Event{
+			ExchangeID: t.Key(),
+			Kind:       obs.KindPlan,
+			Stage:      obs.StagePlan,
+			Step:       step,
+			Elapsed:    elapsed,
+			Err:        err,
+		})
+	})
 	// Every step execution anywhere in the chain surfaces as a step event
 	// attributed to its exchange and pipeline stage.
 	h.Engine.SetStepObserver(func(in *wf.Instance, s *wf.StepDef, elapsed time.Duration, err error) {
@@ -345,7 +375,7 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	// nothing beyond each step's own Retries budget.
 	h.Engine.SetRetryDecider(h.retryDecider)
 	for _, t := range m.AllTypes() {
-		if err := h.Engine.Deploy(t); err != nil {
+		if err := h.deployType(t); err != nil {
 			return nil, err
 		}
 	}
@@ -378,7 +408,7 @@ func (h *Hub) DeployBackend(b Backend) error {
 	}
 	h.appHandlersFor(b.Name)
 	h.invalidateRoutes()
-	return h.Engine.Deploy(ab)
+	return h.deployType(ab)
 }
 
 // registerHandlers registers the generic handler set. Note what is NOT

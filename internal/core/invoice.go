@@ -203,7 +203,7 @@ func (h *Hub) EnableInvoicing() (*ChangeRecord, error) {
 		deploy = append(deploy, t)
 	}
 	for _, t := range deploy {
-		if err := h.Engine.Deploy(t); err != nil {
+		if err := h.deployType(t); err != nil {
 			return rec, err
 		}
 	}

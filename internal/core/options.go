@@ -33,6 +33,8 @@ type hubConfig struct {
 	journalPath     string
 	fsync           journal.FsyncPolicy
 	dlqCap          int
+	stepParallelism int
+	legacyInterp    bool
 	// schedConfigured records that a scheduler topology option was given
 	// explicitly, so compat entry points (ServeConcurrent's workers
 	// argument) defer to it instead of imposing the single-pool shape.
@@ -134,6 +136,29 @@ func WithDLQCap(n int) HubOption {
 			c.dlqCap = n
 		}
 	}
+}
+
+// WithStepParallelism lets the workflow engine execute independent ready
+// steps of one instance concurrently, up to n at a time (minimum 1, the
+// default). Parallelism applies within a single advance — two sends on
+// disjoint branches go out together — and is safe only because compiled
+// plans know each step's declared reads/writes. n == 1 preserves the exact
+// legacy step order.
+func WithStepParallelism(n int) HubOption {
+	return func(c *hubConfig) {
+		if n >= 1 {
+			c.stepParallelism = n
+		}
+	}
+}
+
+// WithLegacyWorkflowInterpreter makes the hub's engine interpret TypeDefs
+// directly instead of executing compiled plans. Deploy-time plan validation
+// still runs (broken models are still rejected); only the execution path
+// reverts. Kept as an escape hatch and as the oracle for differential
+// tests.
+func WithLegacyWorkflowInterpreter() HubOption {
+	return func(c *hubConfig) { c.legacyInterp = true }
 }
 
 // queueDepthOrDefault resolves the effective per-shard queue bound.

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/wf"
+)
+
+// TestPlanInterpreterMatchesLegacyHub is the hub-level differential test
+// for the compiled-plan interpreter: two hubs over the same model — one
+// executing compiled plans (the default), one pinned to the legacy TypeDef
+// interpreter — are driven through identical PO round trips and invoice
+// flows, and every workflow instance either engine produced must match the
+// other's byte for byte (state, error, full event history). The wf package
+// proves equivalence on synthetic graphs; this proves it on the paper's
+// actual model.
+func TestPlanInterpreterMatchesLegacyHub(t *testing.T) {
+	build := func(opts ...HubOption) *Hub {
+		t.Helper()
+		model, err := PaperFigure14Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub, err := NewHub(model, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hub.EnableInvoicing(); err != nil {
+			t.Fatal(err)
+		}
+		return hub
+	}
+	planned := build()
+	legacy := build(WithLegacyWorkflowInterpreter())
+
+	ctx := context.Background()
+	seller := doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"}
+	drive := func(hub *Hub) []*doc.PurchaseOrderAck {
+		t.Helper()
+		var acks []*doc.PurchaseOrderAck
+		for _, p := range hub.Model.Partners {
+			g := doc.NewGenerator(int64(len(p.ID) + int(p.ApprovalThreshold)))
+			buyer := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+			for i := 0; i < 3; i++ {
+				po := g.PO(buyer, seller)
+				poa, _, err := hub.RoundTrip(ctx, po)
+				if err != nil {
+					t.Fatalf("%s order %d: %v", p.ID, i, err)
+				}
+				acks = append(acks, poa)
+				if i == 0 {
+					if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
+						t.Fatalf("%s invoice: %v", p.ID, err)
+					}
+				}
+			}
+		}
+		return acks
+	}
+	plannedAcks := drive(planned)
+	legacyAcks := drive(legacy)
+	if !reflect.DeepEqual(plannedAcks, legacyAcks) {
+		t.Fatal("outbound POAs diverge between plan and legacy interpreters")
+	}
+
+	ids := func(e *wf.Engine) []string {
+		out, err := e.Store().ListInstances()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(out)
+		return out
+	}
+	pIDs, lIDs := ids(planned.Engine), ids(legacy.Engine)
+	if !reflect.DeepEqual(pIDs, lIDs) {
+		t.Fatalf("instance ID sets diverge: plan %v, legacy %v", pIDs, lIDs)
+	}
+	if len(pIDs) == 0 {
+		t.Fatal("no instances recorded")
+	}
+	for _, id := range pIDs {
+		pi, err := planned.Engine.Store().GetInstance(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, err := legacy.Engine.Store().GetInstance(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi.Type != li.Type || pi.State != li.State || pi.Error != li.Error {
+			t.Fatalf("instance %s: plan (%s %s %q) vs legacy (%s %s %q)",
+				id, pi.Type, pi.State, pi.Error, li.Type, li.State, li.Error)
+		}
+		if !reflect.DeepEqual(pi.History, li.History) {
+			max := len(pi.History)
+			if len(li.History) > max {
+				max = len(li.History)
+			}
+			for k := 0; k < max; k++ {
+				var pe, le any
+				if k < len(pi.History) {
+					pe = pi.History[k]
+				}
+				if k < len(li.History) {
+					le = li.History[k]
+				}
+				if !reflect.DeepEqual(pe, le) {
+					t.Fatalf("instance %s (%s) history diverges at %d: plan %+v vs legacy %+v",
+						id, pi.Type, k, pe, le)
+				}
+			}
+		}
+	}
+}

@@ -73,6 +73,40 @@ func countTerms(cond string) int {
 	return n
 }
 
+// PlanStats summarizes the compiled execution plans an engine currently
+// holds: the derived (never persisted) lowering of the deployed model.
+type PlanStats struct {
+	// Plans is the number of cached compiled plans.
+	Plans int
+	// Steps and Arcs count across all plans.
+	Steps int
+	Arcs  int
+	// MaxWidth is the largest parallel group any plan exposes — an upper
+	// bound on how much intra-instance step parallelism the model admits.
+	MaxWidth int
+	// Epoch is the engine's plan epoch: it advances on every successful
+	// deploy, and route caches keyed off plans use it for invalidation.
+	Epoch int64
+	// Compiles counts compilations the engine has performed over its
+	// lifetime (eager deploys plus lazy recompiles) — the change-impact
+	// measure: how much compiler work a model edit triggered.
+	Compiles int64
+}
+
+// PlanStatsOf computes PlanStats over an engine's live plan cache.
+func PlanStatsOf(e *wf.Engine) PlanStats {
+	s := PlanStats{Epoch: e.PlanEpoch(), Compiles: e.CompiledPlans()}
+	for _, p := range e.Plans() {
+		s.Plans++
+		s.Steps += p.NumSteps()
+		s.Arcs += p.NumArcs()
+		if w := p.MaxWidth(); w > s.MaxWidth {
+			s.MaxWidth = w
+		}
+	}
+	return s
+}
+
 // ChangeImpact describes which workflow types a model change touched.
 type ChangeImpact struct {
 	// Added, Removed and Modified list workflow type names.

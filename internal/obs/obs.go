@@ -33,6 +33,7 @@ const (
 	StageSched    Stage = "sched"    // scheduler admission and dispatch
 	StageHealth   Stage = "health"   // partner health tracking (breakers)
 	StageRecovery Stage = "recovery" // journal replay after a restart
+	StagePlan     Stage = "plan"     // workflow plan compilation at deploy
 )
 
 // Kind classifies events.
@@ -73,6 +74,12 @@ const (
 	// queue, and StepReplayed is one unfinished admission re-run through
 	// the scheduler (Err set when the replay dead-lettered again).
 	KindRecovery Kind = "recovery"
+	// KindPlan marks workflow-type compilation at deploy time: Step is
+	// StepCompiled when the type lowered into an executable plan (Elapsed is
+	// the compile time) or StepRejected when compilation produced plan
+	// errors (Err carries them). Partner-less: ExchangeID holds the type key
+	// ("name@version").
+	KindPlan Kind = "plan"
 )
 
 // Well-known Step values for lifecycle, retry and scheduler events.
@@ -101,6 +108,9 @@ const (
 	// bounded in-memory queue: spilled to journal-only retention when the
 	// hub has a journal, rejected outright when it does not.
 	StepDLQEvict = "dlq-evict"
+	// Plan steps (KindPlan).
+	StepCompiled = "compiled"
+	StepRejected = "rejected"
 	// Recovery steps (KindRecovery).
 	StepRestored           = "restored"
 	StepDeadLetterRestored = "dead-letter-restored"

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PlanMetrics is a Sink that derives deploy-time compilation gauges from
+// the KindPlan event stream: how many workflow types compiled into plans,
+// how many were rejected with plan errors, and the cumulative time spent
+// compiling. It is safe for concurrent use.
+type PlanMetrics struct {
+	mu       sync.Mutex
+	compiled int64
+	rejected int64
+	elapsed  time.Duration
+}
+
+// NewPlanMetrics returns an empty plan-metrics sink.
+func NewPlanMetrics() *PlanMetrics { return &PlanMetrics{} }
+
+// Emit implements Sink.
+func (p *PlanMetrics) Emit(e Event) {
+	if e.Kind != KindPlan {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Step {
+	case StepCompiled:
+		p.compiled++
+		p.elapsed += e.Elapsed
+	case StepRejected:
+		p.rejected++
+		p.elapsed += e.Elapsed
+	}
+}
+
+// PlanSnapshot is the exported view of the compilation gauges.
+type PlanSnapshot struct {
+	// Compiled counts successful type compilations (re-deploys of the same
+	// type count again — the gauge measures compiler work, not plan-cache
+	// size).
+	Compiled int64
+	// Rejected counts deploys refused with plan errors.
+	Rejected int64
+	// CompileTime is the cumulative wall time spent in the compiler.
+	CompileTime time.Duration
+}
+
+// Snapshot returns the current gauges.
+func (p *PlanMetrics) Snapshot() PlanSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PlanSnapshot{Compiled: p.compiled, Rejected: p.rejected, CompileTime: p.elapsed}
+}

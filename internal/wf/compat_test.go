@@ -1,0 +1,395 @@
+package wf_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/wf"
+	"repro/internal/wfstore"
+)
+
+// compat_test pins the compiled-plan interpreter to the legacy TypeDef
+// interpreter: at parallelism 1 the two must produce byte-identical
+// instance state — the same history events in the same order, the same step
+// states, attempts, arc signals and data — for every workflow shape the
+// engine supports.
+
+// compatEngines builds a plan-interpreting engine and a legacy oracle with
+// identical registries and ports.
+func compatEngines(t *testing.T, setup func(h *wf.Handlers, sent *[]string) wf.PortFunc) (plan, legacy *wf.Engine) {
+	t.Helper()
+	mk := func(opts ...wf.EngineOption) *wf.Engine {
+		h := wf.NewHandlers()
+		var sent []string
+		ports := setup(h, &sent)
+		return wf.NewEngine("cmp", wfstore.NewMemStore(), h, ports, opts...)
+	}
+	return mk(), mk(wf.WithLegacyInterpreter())
+}
+
+// compareInstances asserts two instances are byte-identical in everything
+// the engine records.
+func compareInstances(t *testing.T, label string, a, b *wf.Instance) {
+	t.Helper()
+	if a == nil || b == nil {
+		if a != b {
+			t.Fatalf("%s: one instance is nil (plan=%v legacy=%v)", label, a, b)
+		}
+		return
+	}
+	if a.State != b.State || a.Error != b.Error {
+		t.Fatalf("%s: state %q/%q vs %q/%q", label, a.State, a.Error, b.State, b.Error)
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		max := len(a.History)
+		if len(b.History) > max {
+			max = len(b.History)
+		}
+		for i := 0; i < max; i++ {
+			var ea, eb wf.Event
+			if i < len(a.History) {
+				ea = a.History[i]
+			}
+			if i < len(b.History) {
+				eb = b.History[i]
+			}
+			if ea != eb {
+				t.Fatalf("%s: history diverges at %d: plan %+v vs legacy %+v", label, i, ea, eb)
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Steps, b.Steps) {
+		t.Fatalf("%s: step states diverge: %+v vs %+v", label, a.Steps, b.Steps)
+	}
+	if !reflect.DeepEqual(a.Arcs, b.Arcs) {
+		t.Fatalf("%s: arc signals diverge: %v vs %v", label, a.Arcs, b.Arcs)
+	}
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatalf("%s: data diverges: %v vs %v", label, a.Data, b.Data)
+	}
+}
+
+// runCompat deploys defs on both engines, starts the first type with data,
+// optionally drives both instances further, and compares every instance in
+// both stores.
+func runCompat(t *testing.T, label string,
+	setup func(h *wf.Handlers, sent *[]string) wf.PortFunc,
+	defs []*wf.TypeDef, data map[string]any,
+	drive func(e *wf.Engine, in *wf.Instance)) {
+	t.Helper()
+	plan, legacy := compatEngines(t, setup)
+	for _, e := range []*wf.Engine{plan, legacy} {
+		for _, def := range defs {
+			if err := e.Deploy(def.Clone()); err != nil {
+				t.Fatalf("%s: deploy %s: %v", label, def.Name, err)
+			}
+		}
+	}
+	ctx := context.Background()
+	pin, _ := plan.Start(ctx, defs[0].Name, data)
+	lin, _ := legacy.Start(ctx, defs[0].Name, data)
+	if drive != nil {
+		drive(plan, pin)
+		drive(legacy, lin)
+	}
+	compareInstances(t, label+"/live", pin, lin)
+	pids, _ := plan.Store().ListInstances()
+	lids, _ := legacy.Store().ListInstances()
+	sort.Strings(pids)
+	sort.Strings(lids)
+	if !reflect.DeepEqual(pids, lids) {
+		t.Fatalf("%s: instance sets diverge: %v vs %v", label, pids, lids)
+	}
+	for _, id := range pids {
+		pi, _ := plan.Store().GetInstance(id)
+		li, _ := legacy.Store().GetInstance(id)
+		compareInstances(t, label+"/"+id, pi, li)
+	}
+}
+
+func noPorts(h *wf.Handlers, sent *[]string) wf.PortFunc { return nil }
+
+func recordPorts(h *wf.Handlers, sent *[]string) wf.PortFunc {
+	return func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		*sent = append(*sent, s.Port)
+		return nil
+	}
+}
+
+func TestCompatConditionalRouting(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "route",
+		Steps: []wf.StepDef{
+			{Name: "in", Kind: wf.StepTask, Handler: "mark"},
+			{Name: "hi", Kind: wf.StepTask, Handler: "mark"},
+			{Name: "lo", Kind: wf.StepTask, Handler: "mark"},
+			{Name: "out", Kind: wf.StepNoop, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "in", To: "hi", Condition: "n > 1"},
+			{From: "in", To: "lo", Condition: "n <= 1"},
+			{From: "hi", To: "out"}, {From: "lo", To: "out"},
+		},
+	}
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		h.Register("mark", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			in.Data["last"] = s.Name
+			return nil
+		})
+		return nil
+	}
+	for _, n := range []float64{0, 2} {
+		runCompat(t, fmt.Sprintf("route/n=%v", n), setup,
+			[]*wf.TypeDef{def}, map[string]any{"n": n}, nil)
+	}
+}
+
+func TestCompatLoop(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "loop",
+		Steps: []wf.StepDef{
+			{Name: "inc", Kind: wf.StepTask, Handler: "inc"},
+			{Name: "done", Kind: wf.StepNoop},
+		},
+		Arcs: []wf.Arc{
+			{From: "inc", To: "done", Condition: "n >= 3"},
+			{From: "inc", To: "inc", Condition: "n < 3", Loop: true},
+		},
+	}
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		h.Register("inc", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			in.Data["n"] = in.Data["n"].(float64) + 1
+			return nil
+		})
+		return nil
+	}
+	runCompat(t, "loop", setup, []*wf.TypeDef{def}, map[string]any{"n": float64(0)}, nil)
+}
+
+func TestCompatDeliverAndTimeout(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "talk",
+		Steps: []wf.StepDef{
+			{Name: "ask", Kind: wf.StepSend, Port: "q", Message: "PO"},
+			{Name: "answer", Kind: wf.StepReceive, Port: "a", DataKey: "reply", OnTimeout: "escalate"},
+			{Name: "escalate", Kind: wf.StepTask, Handler: "mark"},
+			{Name: "finish", Kind: wf.StepNoop, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "ask", To: "answer"},
+			{From: "answer", To: "finish"},
+			{From: "escalate", To: "finish"},
+		},
+	}
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		h.Register("mark", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			in.Data["escalated"] = true
+			return nil
+		})
+		return recordPorts(h, sent)
+	}
+	runCompat(t, "deliver", setup, []*wf.TypeDef{def}, nil,
+		func(e *wf.Engine, in *wf.Instance) {
+			if err := e.Deliver(context.Background(), in.ID, "a", "yes"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	runCompat(t, "timeout", setup, []*wf.TypeDef{def}, nil,
+		func(e *wf.Engine, in *wf.Instance) {
+			if err := e.Expire(context.Background(), in.ID, "answer"); err != nil {
+				t.Fatal(err)
+			}
+		})
+}
+
+func TestCompatSubworkflow(t *testing.T) {
+	child := &wf.TypeDef{
+		Name: "kid",
+		Steps: []wf.StepDef{
+			{Name: "work", Kind: wf.StepTask, Handler: "double"},
+		},
+	}
+	parent := &wf.TypeDef{
+		Name: "mom",
+		Steps: []wf.StepDef{
+			{Name: "call", Kind: wf.StepSubworkflow, Subworkflow: "kid"},
+			{Name: "after", Kind: wf.StepTask, Handler: "double"},
+		},
+		Arcs: []wf.Arc{{From: "call", To: "after"}},
+	}
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		h.Register("double", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			in.Data["result"] = in.Data["n"].(float64) * 2
+			return nil
+		})
+		return nil
+	}
+	runCompat(t, "subworkflow", setup, []*wf.TypeDef{parent, child},
+		map[string]any{"n": float64(5)}, nil)
+}
+
+func TestCompatRetriesAndFailure(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "flaky",
+		Steps: []wf.StepDef{
+			{Name: "try", Kind: wf.StepTask, Handler: "flaky", Retries: 3},
+			{Name: "boom", Kind: wf.StepTask, Handler: "alwaysfail"},
+		},
+		Arcs: []wf.Arc{{From: "try", To: "boom"}},
+	}
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		calls := 0
+		h.Register("flaky", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("transient %d", calls)
+			}
+			return nil
+		})
+		h.Register("alwaysfail", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+			return fmt.Errorf("terminal fault")
+		})
+		return nil
+	}
+	runCompat(t, "retries", setup, []*wf.TypeDef{def}, nil, nil)
+}
+
+func TestCompatDeadPathPropagation(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "dead",
+		Steps: []wf.StepDef{
+			{Name: "a", Kind: wf.StepNoop},
+			{Name: "b", Kind: wf.StepNoop},
+			{Name: "c", Kind: wf.StepNoop, Join: wf.JoinAll},
+			{Name: "d", Kind: wf.StepNoop, Join: wf.JoinAny},
+		},
+		Arcs: []wf.Arc{
+			{From: "a", To: "b", Condition: "false"},
+			{From: "a", To: "c"}, {From: "b", To: "c"},
+			{From: "c", To: "d"}, {From: "b", To: "d"},
+		},
+	}
+	runCompat(t, "deadpath", noPorts, []*wf.TypeDef{def}, nil, nil)
+}
+
+// TestCompatRandomDAGCorpus sweeps the random-DAG generator: the compiled
+// interpreter must match the legacy oracle on every generated type.
+func TestCompatRandomDAGCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	setup := func(h *wf.Handlers, sent *[]string) wf.PortFunc {
+		h.Register("count", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error { return nil })
+		return nil
+	}
+	for iter := 0; iter < 120; iter++ {
+		def := randomDAG(r, 2+r.Intn(4), 3)
+		n := float64(r.Intn(3))
+		runCompat(t, fmt.Sprintf("dag-%d", iter), setup,
+			[]*wf.TypeDef{def}, map[string]any{"n": n}, nil)
+	}
+}
+
+// TestParallelWideWorkflow checks WithStepParallelism correctness (not
+// ordering): a wide fan-out of declared-access tasks and sends completes
+// with every per-step effect applied and every port hit exactly once.
+func TestParallelWideWorkflow(t *testing.T) {
+	const width = 8
+	def := &wf.TypeDef{Name: "wide"}
+	def.Steps = append(def.Steps, wf.StepDef{Name: "in", Kind: wf.StepNoop})
+	join := wf.StepDef{Name: "out", Kind: wf.StepNoop, Join: wf.JoinAll}
+	for i := 0; i < width; i++ {
+		task := fmt.Sprintf("t%d", i)
+		send := fmt.Sprintf("s%d", i)
+		def.Steps = append(def.Steps,
+			wf.StepDef{Name: task, Kind: wf.StepTask, Handler: "stamp",
+				Reads: []string{"seed"}, Writes: []string{task}},
+			wf.StepDef{Name: send, Kind: wf.StepSend, Port: "p" + task, DataKey: "seed"},
+		)
+		def.Arcs = append(def.Arcs,
+			wf.Arc{From: "in", To: task}, wf.Arc{From: task, To: send},
+			wf.Arc{From: send, To: "out"})
+	}
+	def.Steps = append(def.Steps, join)
+
+	h := wf.NewHandlers()
+	h.Register("stamp", func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
+		in.Data[s.Name] = "done-" + s.Name
+		return nil
+	})
+	var mu = make(chan struct{}, 1)
+	ports := map[string]int{}
+	mu <- struct{}{}
+	portFn := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		<-mu
+		ports[s.Port]++
+		mu <- struct{}{}
+		return nil
+	}
+	e := wf.NewEngine("wide", wfstore.NewMemStore(), h, portFn, wf.WithStepParallelism(4))
+	if err := e.Deploy(def); err != nil {
+		t.Fatal(err)
+	}
+	in, err := e.Start(context.Background(), "wide", map[string]any{"seed": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.State != wf.InstCompleted {
+		t.Fatalf("state %s: %s", in.State, in.Error)
+	}
+	for i := 0; i < width; i++ {
+		task := fmt.Sprintf("t%d", i)
+		if in.Data[task] != "done-"+task {
+			t.Fatalf("task %s write lost: %v", task, in.Data[task])
+		}
+		if ports["p"+task] != 1 {
+			t.Fatalf("port p%s hit %d times", task, ports["p"+task])
+		}
+		if in.Steps[task].State != wf.StepCompleted || in.Steps[task].Attempts != 1 {
+			t.Fatalf("step %s: %+v", task, in.Steps[task])
+		}
+	}
+}
+
+// TestParallelBatchFailure: a failing member of a concurrent batch fails the
+// instance exactly once, and the batch members ahead of it are acknowledged.
+func TestParallelBatchFailure(t *testing.T) {
+	def := &wf.TypeDef{
+		Name: "pfail",
+		Steps: []wf.StepDef{
+			{Name: "in", Kind: wf.StepNoop},
+			{Name: "s0", Kind: wf.StepSend, Port: "ok"},
+			{Name: "s1", Kind: wf.StepSend, Port: "bad"},
+			{Name: "out", Kind: wf.StepNoop, Join: wf.JoinAll},
+		},
+		Arcs: []wf.Arc{
+			{From: "in", To: "s0"}, {From: "in", To: "s1"},
+			{From: "s0", To: "out"}, {From: "s1", To: "out"},
+		},
+	}
+	portFn := func(ctx context.Context, in *wf.Instance, s *wf.StepDef, payload any) error {
+		if s.Port == "bad" {
+			return fmt.Errorf("wire down")
+		}
+		return nil
+	}
+	e := wf.NewEngine("pf", wfstore.NewMemStore(), nil, portFn, wf.WithStepParallelism(4))
+	if err := e.Deploy(def); err != nil {
+		t.Fatal(err)
+	}
+	in, err := e.Start(context.Background(), "pfail", nil)
+	if err == nil {
+		t.Fatal("expected start error")
+	}
+	if in.State != wf.InstFailed {
+		t.Fatalf("state %s", in.State)
+	}
+	if in.Steps["s0"].State != wf.StepCompleted {
+		t.Fatalf("s0 state %s, want completed (its side effect happened)", in.Steps["s0"].State)
+	}
+	if in.Steps["s1"].State != wf.StepFailed {
+		t.Fatalf("s1 state %s", in.Steps["s1"].State)
+	}
+}

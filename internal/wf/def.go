@@ -121,6 +121,14 @@ type StepDef struct {
 	// guard against the paper's "endlessly repeating error conditions":
 	// transient faults retry a bounded number of times, then surface.
 	Retries int
+	// Reads and Writes optionally declare the instance data keys a task
+	// step's handler touches. Declared task steps with disjoint accesses
+	// may execute concurrently under WithStepParallelism; a task step that
+	// declares nothing always runs serially. The engine copies back only
+	// the declared Writes keys after a concurrent execution, so the
+	// declaration is a contract, not a hint.
+	Reads  []string
+	Writes []string
 }
 
 func (s *StepDef) join() JoinKind {
@@ -264,7 +272,9 @@ func (t *TypeDef) Validate() error {
 }
 
 // checkAcyclic verifies the graph without loop arcs is a DAG (loop arcs are
-// the only sanctioned back edges).
+// the only sanctioned back edges). Roots are visited in declaration order so
+// the same defective type always reports the same cycle — error messages are
+// stable run to run and safe to pin in tests.
 func (t *TypeDef) checkAcyclic() error {
 	const (
 		white = 0
@@ -291,7 +301,8 @@ func (t *TypeDef) checkAcyclic() error {
 		color[n] = black
 		return nil
 	}
-	for name := range t.steps {
+	for i := range t.Steps {
+		name := t.Steps[i].Name
 		if color[name] == white {
 			if err := visit(name); err != nil {
 				return err
@@ -335,11 +346,19 @@ func (t *TypeDef) CountSteps() int { return len(t.Steps) }
 // CountArcs reports the number of control connectors.
 func (t *TypeDef) CountArcs() int { return len(t.Arcs) }
 
-// Clone returns a deep copy of the definition (without compiled state; call
-// Validate on the copy).
+// Clone returns a deep copy of the definition WITHOUT compiled state: arc
+// conditions, step/arc indexes and timeout links are all rebuilt by
+// Validate, and the copy is unusable until the caller runs it (directly or
+// via Engine.Deploy, which validates and compiles). Compile enforces this
+// contract — handing it an un-validated clone is rejected with a clear
+// error rather than panicking on the missing indexes.
 func (t *TypeDef) Clone() *TypeDef {
 	cp := &TypeDef{Name: t.Name, Version: t.Version}
 	cp.Steps = append([]StepDef(nil), t.Steps...)
+	for i := range cp.Steps {
+		cp.Steps[i].Reads = append([]string(nil), t.Steps[i].Reads...)
+		cp.Steps[i].Writes = append([]string(nil), t.Steps[i].Writes...)
+	}
 	cp.Arcs = make([]Arc, len(t.Arcs))
 	for i, a := range t.Arcs {
 		cp.Arcs[i] = Arc{From: a.From, To: a.To, Condition: a.Condition, Loop: a.Loop}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/expr"
@@ -15,28 +16,62 @@ import (
 // for that).
 type Handler func(ctx context.Context, in *Instance, step *StepDef) error
 
-// Handlers is a registry of task-step implementations.
+// Handlers is a registry of task-step implementations. Each name owns a
+// stable slot: compiled plans pre-resolve the slot once at compile time, and
+// re-registering a name later swaps the function inside the slot, so already
+// compiled plans observe the replacement — the same dynamic-rebinding
+// semantics a per-execution map lookup had.
 type Handlers struct {
 	mu sync.RWMutex
-	m  map[string]Handler
+	m  map[string]*handlerSlot
+}
+
+// handlerSlot is the stable indirection cell for one handler name.
+type handlerSlot struct {
+	mu sync.RWMutex
+	fn Handler
+}
+
+func (s *handlerSlot) load() Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fn
 }
 
 // NewHandlers returns an empty registry.
-func NewHandlers() *Handlers { return &Handlers{m: map[string]Handler{}} }
+func NewHandlers() *Handlers { return &Handlers{m: map[string]*handlerSlot{}} }
 
 // Register adds (or replaces) a handler under name.
 func (h *Handlers) Register(name string, fn Handler) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.m[name] = fn
+	s, ok := h.m[name]
+	if !ok {
+		s = &handlerSlot{}
+		h.m[name] = s
+	}
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
 }
 
 // Lookup resolves a handler.
 func (h *Handlers) Lookup(name string) (Handler, bool) {
 	h.mu.RLock()
+	s, ok := h.m[name]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return s.load(), true
+}
+
+// slot resolves the stable cell for a handler name (used by the compiler).
+func (h *Handlers) slot(name string) (*handlerSlot, bool) {
+	h.mu.RLock()
 	defer h.mu.RUnlock()
-	fn, ok := h.m[name]
-	return fn, ok
+	s, ok := h.m[name]
+	return s, ok
 }
 
 // PortFunc is the engine's outbound interface: it is invoked for send steps
@@ -68,10 +103,11 @@ type Store interface {
 // ErrNotFound is returned by stores for missing types or instances.
 var ErrNotFound = errors.New("wf: not found")
 
-// Engine is the workflow engine: an interpreter that advances workflow
-// instances and persists their state to the workflow database between
-// transitions. An engine is identified by name; instance IDs embed it so
-// migrated instances remain traceable.
+// Engine is the workflow engine: it compiles deployed workflow types into
+// execution plans (see Plan), advances workflow instances against them and
+// persists instance state to the workflow database between transitions. An
+// engine is identified by name; instance IDs embed it so migrated instances
+// remain traceable.
 type Engine struct {
 	name     string
 	store    Store
@@ -79,10 +115,69 @@ type Engine struct {
 	ports    PortFunc
 	observer StepObserver
 	decider  RetryDecider
+	planObs  PlanObserver
+
+	// parallelism bounds how many independent ready steps of one instance
+	// execute concurrently (1 = strictly serial, byte-identical to the
+	// pre-plan interpreter's trace order).
+	parallelism int
+	// portCheck, when set, validates send/receive/connection ports at
+	// compile time (the hub installs its routing-table checker).
+	portCheck PortChecker
+	// legacy pins the engine to the pre-plan TypeDef interpreter; kept as
+	// the differential-testing oracle for the compiled path.
+	legacy bool
+
+	// plans caches compiled plans by type key; epoch increments on every
+	// deploy so downstream caches (the hub's route cache) can detect
+	// recompiles. compiles counts compilations for change-impact analysis.
+	planMu   sync.RWMutex
+	plans    map[string]*Plan
+	epoch    atomic.Int64
+	compiles atomic.Int64
 
 	mu      sync.Mutex
 	counter int
 }
+
+// EngineOption configures NewEngine without growing its signature.
+type EngineOption func(*Engine)
+
+// WithStepParallelism lets up to n independent ready steps of one instance
+// execute concurrently. Only steps whose data accesses are declared and
+// disjoint are batched: send and outbound-connection steps (they read their
+// payload slot), and task steps that declare Reads/Writes. n <= 1 keeps the
+// strictly serial order.
+func WithStepParallelism(n int) EngineOption {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.parallelism = n
+		}
+	}
+}
+
+// WithPortChecker installs the compile-time port validator: Deploy rejects
+// types whose send/receive/connection ports the environment cannot route.
+func WithPortChecker(fn PortChecker) EngineOption {
+	return func(e *Engine) { e.portCheck = fn }
+}
+
+// WithLegacyInterpreter pins the engine to the pre-plan TypeDef
+// interpreter. Deploy still compiles (and rejects broken models); only the
+// advance loop differs. This exists as the differential-testing oracle: the
+// compiled interpreter at parallelism 1 must produce byte-identical
+// instance histories.
+func WithLegacyInterpreter() EngineOption {
+	return func(e *Engine) { e.legacy = true }
+}
+
+// PlanObserver is called after every compilation attempt with the type, the
+// plan (nil when compilation failed), the compile time and the error.
+type PlanObserver func(t *TypeDef, p *Plan, elapsed time.Duration, err error)
+
+// SetPlanObserver installs the engine's plan observer. Like the step
+// observer it must be installed before types are deployed.
+func (e *Engine) SetPlanObserver(fn PlanObserver) { e.planObs = fn }
 
 // StepObserver is called after every step execution attempt with the
 // instance, the step, the wall time the execution took, and the error (nil
@@ -109,11 +204,19 @@ func (e *Engine) SetRetryDecider(fn RetryDecider) { e.decider = fn }
 
 // NewEngine creates an engine bound to a store and handler registry. ports
 // may be nil if no type uses send/connection steps.
-func NewEngine(name string, store Store, handlers *Handlers, ports PortFunc) *Engine {
+func NewEngine(name string, store Store, handlers *Handlers, ports PortFunc, opts ...EngineOption) *Engine {
 	if handlers == nil {
 		handlers = NewHandlers()
 	}
-	return &Engine{name: name, store: store, handlers: handlers, ports: ports}
+	e := &Engine{
+		name: name, store: store, handlers: handlers, ports: ports,
+		parallelism: 1,
+		plans:       map[string]*Plan{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Name returns the engine identifier.
@@ -123,12 +226,84 @@ func (e *Engine) Name() string { return e.name }
 // inspect it).
 func (e *Engine) Store() Store { return e.store }
 
-// Deploy validates and stores a workflow type.
+// Deploy validates a workflow type, compiles it into an execution plan and
+// stores it. Model defects the compiler detects — unknown handlers,
+// unroutable ports, unsatisfiable joins, unreachable steps, dead timeout
+// branches — reject the deployment with typed PlanErrors instead of
+// surfacing mid-exchange at runtime.
 func (e *Engine) Deploy(t *TypeDef) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	return e.store.PutType(t)
+	start := time.Now()
+	p, err := Compile(t, CompileDeps{Handlers: e.handlers, Ports: e.portCheck})
+	e.compiles.Add(1)
+	if e.planObs != nil {
+		e.planObs(t, p, time.Since(start), err)
+	}
+	if err != nil {
+		return err
+	}
+	if err := e.store.PutType(t); err != nil {
+		return err
+	}
+	e.planMu.Lock()
+	e.plans[t.Key()] = p
+	e.planMu.Unlock()
+	e.epoch.Add(1)
+	return nil
+}
+
+// PlanEpoch increments on every successful Deploy. Downstream caches keyed
+// off compiled plans (the hub's binding-resolution cache) compare epochs to
+// detect recompiles.
+func (e *Engine) PlanEpoch() int64 { return e.epoch.Load() }
+
+// CompiledPlans counts compilation runs since engine creation — the
+// change-impact metric: how many plans a model edit forced to recompile.
+func (e *Engine) CompiledPlans() int64 { return e.compiles.Load() }
+
+// PlanFor returns the cached plan of a deployed type version, if any.
+func (e *Engine) PlanFor(name string, version int) (*Plan, bool) {
+	e.planMu.RLock()
+	defer e.planMu.RUnlock()
+	p, ok := e.plans[fmt.Sprintf("%s@%d", name, version)]
+	return p, ok
+}
+
+// Plans snapshots the engine's live compiled plans.
+func (e *Engine) Plans() []*Plan {
+	e.planMu.RLock()
+	defer e.planMu.RUnlock()
+	out := make([]*Plan, 0, len(e.plans))
+	for _, p := range e.plans {
+		out = append(out, p)
+	}
+	return out
+}
+
+// planFor resolves the plan for a type, compiling lazily for types that
+// reached the store without passing through this engine's Deploy (shared or
+// reopened stores). A type that fails lazy compilation returns nil and the
+// engine falls back to the legacy interpreter for it — the behavior such a
+// type would have had before compilation existed.
+func (e *Engine) planFor(t *TypeDef) *Plan {
+	key := t.Key()
+	e.planMu.RLock()
+	p := e.plans[key]
+	e.planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p, err := Compile(t, CompileDeps{Handlers: e.handlers, Ports: e.portCheck})
+	e.compiles.Add(1)
+	if err != nil {
+		return nil
+	}
+	e.planMu.Lock()
+	e.plans[key] = p
+	e.planMu.Unlock()
+	return p
 }
 
 func (e *Engine) nextID() string {
@@ -273,8 +448,22 @@ func (e *Engine) advance(ctx context.Context, t *TypeDef, in *Instance) error {
 }
 
 // advanceWith runs the instance with an initial set of force-activated
-// steps (loop re-entries and timeout branches).
+// steps (loop re-entries and timeout branches). It dispatches to the
+// compiled-plan interpreter when a plan is available, falling back to the
+// legacy TypeDef interpreter otherwise (or always, under
+// WithLegacyInterpreter).
 func (e *Engine) advanceWith(ctx context.Context, t *TypeDef, in *Instance, forced map[string]bool) error {
+	if !e.legacy {
+		if p := e.planFor(t); p != nil {
+			return e.advancePlan(ctx, p, in, forced)
+		}
+	}
+	return e.advanceLegacy(ctx, t, in, forced)
+}
+
+// advanceLegacy is the pre-plan interpreter: a full rescan of every step per
+// pass. Kept verbatim as the differential-testing oracle for advancePlan.
+func (e *Engine) advanceLegacy(ctx context.Context, t *TypeDef, in *Instance, forced map[string]bool) error {
 	for in.State == InstRunning {
 		progressed := false
 		for i := range t.Steps {
@@ -518,15 +707,20 @@ func (e *Engine) completeStep(ctx context.Context, t *TypeDef, in *Instance, s *
 }
 
 func (e *Engine) failStep(in *Instance, s *StepDef, err error) error {
+	e.markFailed(in, s, err)
+	if perr := e.persist(in); perr != nil {
+		return errors.Join(err, perr)
+	}
+	return err
+}
+
+// markFailed records a step failure on the instance without persisting.
+func (e *Engine) markFailed(in *Instance, s *StepDef, err error) {
 	in.Steps[s.Name].State = StepFailed
 	in.Steps[s.Name].Error = err.Error()
 	in.State = InstFailed
 	in.Error = fmt.Sprintf("step %q: %v", s.Name, err)
 	in.log(s.Name, "failed: "+err.Error())
-	if perr := e.persist(in); perr != nil {
-		return errors.Join(err, perr)
-	}
-	return err
 }
 
 // signalOutgoing evaluates the outgoing arcs of a finished step. completed
@@ -642,9 +836,13 @@ func (e *Engine) resumeParentIfDone(ctx context.Context, child *Instance) error 
 		return nil
 	}
 	if child.State == InstFailed {
-		err := e.failStep(parent, s, fmt.Errorf("wf: subworkflow %s failed: %s", child.ID, child.Error))
-		_ = err
-		return e.resumeParentIfDone(ctx, parent)
+		// The parent is now failed; persisting that is a real durability
+		// obligation, so a persist error must not be dropped on the floor —
+		// join it with whatever propagating further up the chain reports.
+		e.markFailed(parent, s, fmt.Errorf("wf: subworkflow %s failed: %s", child.ID, child.Error))
+		perr := e.persist(parent)
+		rerr := e.resumeParentIfDone(ctx, parent)
+		return errors.Join(perr, rerr)
 	}
 	e.absorbChild(parent, child)
 	e.completeStep(ctx, t, parent, s)

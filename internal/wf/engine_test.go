@@ -406,14 +406,22 @@ func TestLoop(t *testing.T) {
 }
 
 func TestMissingHandlerFails(t *testing.T) {
+	// Since the compilation layer, a missing handler is a deploy-time
+	// rejection (PlanUnknownHandler) instead of a runtime step failure.
 	e, _ := newEngine(t, nil)
-	deploy(t, e, &wf.TypeDef{
+	err := e.Deploy(&wf.TypeDef{
 		Name:  "nohandler",
 		Steps: []wf.StepDef{{Name: "a", Kind: wf.StepTask, Handler: "ghost"}},
 	})
-	in, err := e.Start(context.Background(), "nohandler", nil)
-	if err == nil || in.State != wf.InstFailed {
-		t.Fatalf("err %v, state %s", err, in.State)
+	var perrs wf.PlanErrors
+	if !errors.As(err, &perrs) {
+		t.Fatalf("deploy err = %v, want PlanErrors", err)
+	}
+	if len(perrs.ByClass(wf.PlanUnknownHandler)) != 1 {
+		t.Fatalf("errors = %v, want one unknown-handler", perrs)
+	}
+	if _, err := e.Start(context.Background(), "nohandler", nil); err == nil {
+		t.Fatal("start of rejected type should fail")
 	}
 }
 

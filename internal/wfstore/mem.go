@@ -3,6 +3,13 @@
 // workflow engine. Two implementations are provided: an in-memory store for
 // simulations and benchmarks, and a durable append-log store with crash
 // recovery for deployments that need to survive restarts.
+//
+// The store holds workflow TYPES and INSTANCES only. Compiled execution
+// plans (wf.Plan) are deliberately not part of the schema: a plan is a
+// deterministic derivation of a type plus the engine's environment (handler
+// registry, port checker), so persisting it would only create a second
+// source of truth that can drift. An engine restarted over this store
+// recompiles plans lazily from the persisted types.
 package wfstore
 
 import (

@@ -243,6 +243,85 @@ func TestAblationChangeImpactRecompiles(t *testing.T) {
 	}
 }
 
+// TestAblationRuntimeChangeImpact is the runtime counterpart of the
+// recompile sweep: each class of hot change is applied to a serving hub and
+// its blast radius is measured in config-store terms — how many new artifact
+// versions it registers, how many epochs it burns, and how many plan
+// recompilations it triggers. The change-locality claim at runtime: a
+// threshold change is one rules version and zero recompiles; a transform
+// swap is one version and zero recompiles; a binding swap is one version and
+// exactly one recompile; a partner on a new protocol is two of each. Nothing
+// ever recompiles types it does not touch.
+func TestAblationRuntimeChangeImpact(t *testing.T) {
+	model, err := core.PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := core.NewHub(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.StopWorkers()
+
+	impact := func(apply func() error) (versions int, epochs int64, recompiles int64) {
+		t.Helper()
+		v0 := hub.ConfigStore().LiveVersions()
+		e0 := hub.ConfigStore().Epoch()
+		c0 := hub.Engine.CompiledPlans()
+		if err := apply(); err != nil {
+			t.Fatal(err)
+		}
+		return hub.ConfigStore().LiveVersions() - v0,
+			hub.ConfigStore().Epoch() - e0,
+			hub.Engine.CompiledPlans() - c0
+	}
+
+	// Threshold change: one new rules version, no recompilation.
+	if v, e, r := impact(func() error {
+		_, err := hub.ChangePartnerThreshold("TP1", 70000)
+		return err
+	}); v != 1 || e != 1 || r != 0 {
+		t.Fatalf("threshold change: %d versions, %d epochs, %d recompiles; want 1, 1, 0", v, e, r)
+	}
+	// Transform swap: one new transform version, no recompilation — the
+	// binding step resolves the transformer at run time, not compile time.
+	if v, e, r := impact(func() error {
+		_, err := hub.SwapTransform(ediPOTransformV2())
+		return err
+	}); v != 1 || e != 1 || r != 0 {
+		t.Fatalf("transform swap: %d versions, %d epochs, %d recompiles; want 1, 1, 0", v, e, r)
+	}
+	// Binding swap: one new binding version, exactly one recompile (the
+	// swapped type), and nothing else in the model.
+	if v, e, r := impact(func() error {
+		_, err := hub.SwapBinding(formats.EDI, nil)
+		return err
+	}); v != 1 || e != 1 || r != 1 {
+		t.Fatalf("binding swap: %d versions, %d epochs, %d recompiles; want 1, 1, 1", v, e, r)
+	}
+	// A partner on a new protocol deploys its public process and binding:
+	// two versions, two epochs, two recompiles — the existing partners'
+	// types are untouched.
+	if v, e, r := impact(func() error {
+		_, err := hub.AddPartner(core.Figure15Partner())
+		return err
+	}); v != 2 || e != 2 || r != 2 {
+		t.Fatalf("new-protocol partner: %d versions, %d epochs, %d recompiles; want 2, 2, 2", v, e, r)
+	}
+
+	// The reshaped hub still serves on both an old and the new protocol.
+	g := doc.NewGenerator(9)
+	for _, p := range []doc.Party{
+		{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"},
+		{ID: "TP3", Name: "Trading Partner 3", DUNS: "333333333"},
+	} {
+		po := g.PO(p, doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"})
+		if _, err := hub.Do(context.Background(), core.Request{Kind: core.DocPO, PO: po}); err != nil {
+			t.Fatalf("post-sweep round trip for %s: %v", p.ID, err)
+		}
+	}
+}
+
 // BenchmarkAblationRuleLocation compares evaluating a partner threshold as
 // an external business rule (the Section 4.3 design) against the same
 // predicate compiled into a workflow-condition string (the naive design's

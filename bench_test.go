@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/bpss"
+	"repro/internal/cfgstore"
 	"repro/internal/conformance"
 	"repro/internal/coop"
 	"repro/internal/core"
@@ -1354,6 +1355,80 @@ func BenchmarkHubJournal(b *testing.B) {
 				st := j.Stats()
 				b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
 			}
+		})
+	}
+}
+
+// BenchmarkHubCanary: exchange throughput with an active canary on one
+// partner's binding, against the no-canary baseline. The canary adds a hash
+// route decision per admission for the canaried partner and an outcome
+// record per completion; neither touches the hot path of the other
+// partners. scripts/bench.sh records both rows in the canary section of
+// BENCH_hub.json (acceptance: canary=on >= 0.9x canary=off).
+func BenchmarkHubCanary(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run("canary="+mode, func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.NewHub(m,
+				core.WithShards(4), core.WithWorkersPerShard(4),
+				// A sample floor no run reaches: the canary stays active for
+				// the whole benchmark instead of settling after a few ops.
+				core.WithCanaryPolicy(cfgstore.CanaryPolicy{MinSamples: 1 << 30, Margin: 0.1}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			defer h.StopWorkers()
+			if mode == "on" {
+				// A healthy rebuilt candidate: identical behavior, new version.
+				cand, err := core.BuildBinding(formats.EDI)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Canary("TP1", cand, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+
+			var buyers []doc.Party
+			for _, p := range h.Model.Partners {
+				buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(5000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-c%d-%d", pos[i].ID, w, i)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			futs := make([]*core.Future, b.N)
+			for i, po := range pos {
+				fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs[i] = fut
+			}
+			for i, fut := range futs {
+				if res := fut.Result(ctx); res.Err != nil {
+					b.Fatalf("exchange %d: %v", i, res.Err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
 		})
 	}
 }

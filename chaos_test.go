@@ -30,12 +30,15 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cfgstore"
 	"repro/internal/core"
 	"repro/internal/doc"
+	"repro/internal/formats"
 	"repro/internal/health"
 	"repro/internal/journal"
 	"repro/internal/leakcheck"
 	"repro/internal/obs"
+	"repro/internal/wf"
 )
 
 // chaosSchedule is one sweep point: a fault schedule plus the retry policy
@@ -701,4 +704,183 @@ func TestChaosCrashRecovery(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestChaosCanaryBrokenCandidate: a deliberately broken binding candidate
+// is canaried onto TP1 while seeded backend faults rumble under all three
+// partners. The candidate's hash-selected arm fails every exchange; the
+// canary comparison must roll the partner back to the incumbent
+// automatically, and the blast radius must stay exactly the candidate arm:
+//
+//  1. the canary settles on rollback and the incumbent version is active
+//     again (config store, metrics and event stream all agree);
+//  2. incumbent traffic is unaffected — every failure is a candidate-armed
+//     TP1 exchange, and TP1's circuit breaker never opens (candidate
+//     config failures must not indict the partner's endpoint);
+//  3. exactly-once accounting holds through the incident: failed exchanges
+//     dead-lettered before any backend mutation, and resubmitting them
+//     after the rollback lands every order in a backend exactly once;
+//  4. traffic submitted after the rollback runs entirely on the incumbent.
+func TestChaosCanaryBrokenCandidate(t *testing.T) {
+	defer leakcheck.Check(t)()
+	sc := chaosSchedule{
+		name:   "canary-broken-candidate",
+		faults: backend.FaultSchedule{ErrProb: 0.25, Seed: 61 + chaosSeedOffset()},
+		policy: core.RetryPolicy{MaxAttempts: 25, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	}
+	hub, faulties := chaosHub(t, sc,
+		core.WithShards(4), core.WithWorkersPerShard(2),
+		core.WithHealth(health.Config{
+			Window:        2 * time.Second,
+			Threshold:     0.5,
+			MinSamples:    3,
+			ProbeInterval: 10 * time.Millisecond,
+		}),
+		core.WithCanaryPolicy(cfgstore.CanaryPolicy{MinSamples: 6, Margin: 0.2}))
+	defer hub.StopWorkers()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+
+	// The broken candidate: TP1's EDI binding with its inbound transform
+	// step pointed at a handler that always fails. The failure surfaces at
+	// the binding stage — endpoint-attributable, so it feeds the canary
+	// comparison (and would feed the breaker, were it not canary-armed).
+	hub.RegisterHandler("canary-broken", func(ctx context.Context, in *wf.Instance, step *wf.StepDef) error {
+		return errors.New("canary candidate misconfigured")
+	})
+	candidate, err := core.BuildBinding(formats.EDI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broke := false
+	for i, s := range candidate.Steps {
+		if strings.HasPrefix(s.Handler, "bind-xform-in") {
+			candidate.Steps[i].Handler = "canary-broken"
+			broke = true
+			break
+		}
+	}
+	if !broke {
+		t.Fatal("no inbound transform step found in the EDI binding to break")
+	}
+	c, err := hub.Canary("TP1", candidate, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbentVersion := c.Incumbent
+
+	// Drive all three partners' order streams concurrently.
+	const ordersPerPartner = 40
+	type sub struct {
+		po  *doc.PurchaseOrder
+		fut *core.Future
+	}
+	var subs []sub
+	gens := map[string]*doc.Generator{}
+	for pi, p := range hub.Model.Partners {
+		buyer := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
+		g := doc.NewGenerator(int64(3000*pi) + sc.faults.Seed)
+		gens[p.ID] = g
+		for i := 0; i < ordersPerPartner; i++ {
+			po := g.PO(buyer, hubParty)
+			fut, err := hub.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+			if err != nil {
+				t.Fatalf("submit %s/%d: %v", p.ID, i, err)
+			}
+			subs = append(subs, sub{po: po, fut: fut})
+		}
+	}
+	completed, failed := 0, 0
+	for i, s := range subs {
+		res := s.fut.Result(ctx)
+		if res.Exchange == nil {
+			t.Fatalf("submission %d resolved without an exchange record (err %v)", i, res.Err)
+		}
+		if res.Err != nil {
+			failed++
+			// Blast radius: only candidate-armed TP1 exchanges may fail.
+			if res.Exchange.Partner.ID != "TP1" || !res.Exchange.CanaryArm() {
+				t.Fatalf("non-candidate exchange failed during the canary: partner %s arm=%v err=%v",
+					res.Exchange.Partner.ID, res.Exchange.CanaryArm(), res.Err)
+			}
+			continue
+		}
+		completed++
+		if res.POA == nil || res.POA.POID != s.po.ID {
+			t.Fatalf("submission %d: wrong correlation %+v", i, res.POA)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no candidate-armed exchange failed; the broken candidate never took traffic")
+	}
+
+	// 1. The canary settled on rollback and the incumbent is active again.
+	if _, running := hub.ActiveCanary("TP1"); running {
+		t.Fatal("canary still running after the full order stream resolved")
+	}
+	if got := c.Verdict(); got != cfgstore.CanaryRollback {
+		t.Fatalf("canary verdict %s, want rollback", got)
+	}
+	if got, _ := hub.ConfigStore().Active(cfgstore.ClassBinding, core.BindingName(formats.EDI)); got != incumbentVersion {
+		t.Fatalf("EDI binding active at v%d after rollback, want incumbent v%d", got, incumbentVersion)
+	}
+	cm := hub.ConfigMetrics().Snapshot()
+	if cm.Canaries != 1 || cm.RolledBack != 1 || cm.Promoted != 0 {
+		t.Fatalf("config gauges %+v, want exactly one canary, rolled back", cm)
+	}
+
+	// 2. The candidate's failures never opened TP1's circuit: the breaker
+	// records no opens and every partner ends closed.
+	for _, p := range hub.Model.Partners {
+		if st := hub.Health().StateOf(p.ID); st != health.StateClosed {
+			t.Fatalf("partner %s breaker %v after the canary incident, want closed", p.ID, st)
+		}
+	}
+	for _, g := range hub.HealthMetrics().Snapshot() {
+		if g.Opens > 0 || g.FastFails > 0 {
+			t.Fatalf("partner %s breaker activity %+v during a config-only incident", g.Partner, g)
+		}
+	}
+
+	// 3. Exactly-once accounting: candidate failures dead-lettered at the
+	// binding stage, before any backend mutation; healing the faults and
+	// resubmitting lands every order exactly once system-wide.
+	dls := hub.DrainDeadLetters()
+	if len(dls) != failed {
+		t.Fatalf("dead-letter queue holds %d entries, want %d failed exchanges", len(dls), failed)
+	}
+	for _, f := range faulties {
+		f.SetSchedule(backend.FaultSchedule{})
+	}
+	for _, dl := range dls {
+		if _, err := hub.Resubmit(ctx, dl); err != nil {
+			t.Fatalf("resubmit %s after rollback: %v", dl.ExchangeID, err)
+		}
+	}
+	storedTotal := 0
+	for _, f := range faulties {
+		storedTotal += f.Inner().StoredOrders()
+	}
+	if storedTotal != len(subs) {
+		t.Fatalf("backends hold %d orders after the rollback drain, want %d (each exactly once)", storedTotal, len(subs))
+	}
+
+	// 4. Post-rollback traffic runs entirely on the incumbent version.
+	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	for i := 0; i < 5; i++ {
+		res, err := hub.Do(ctx, core.Request{Kind: core.DocPO, PO: gens["TP1"].PO(buyer, hubParty)})
+		if err != nil {
+			t.Fatalf("post-rollback order %d: %v", i, err)
+		}
+		if res.Exchange.CanaryArm() {
+			t.Fatalf("post-rollback exchange %s still canary-armed", res.Exchange.ID)
+		}
+		if v := hub.StageVersions(res.Exchange)[obs.StageBinding]; v != incumbentVersion {
+			t.Fatalf("post-rollback exchange ran binding v%d, want incumbent v%d", v, incumbentVersion)
+		}
+	}
+	incOK, incFail, candOK, candFail := c.Samples()
+	t.Logf("canary rolled back: incumbent %d ok / %d fail, candidate %d ok / %d fail; %d dead-lettered and replayed",
+		incOK, incFail, candOK, candFail, failed)
 }

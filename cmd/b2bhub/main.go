@@ -29,12 +29,20 @@
 // reached a terminal outcome are re-run with at-most-once redelivery. The
 // recovery report is printed before any new orders are driven.
 //
+// With -swap the EDI binding is hot-swapped mid-run — while orders are in
+// flight — and then rolled back to the prior version, without draining;
+// with -canary F a rebuilt EDI binding candidate takes fraction F of TP1's
+// traffic until the sample window fills and the canary auto-promotes (or
+// auto-rolls-back on regression). Either flag prints the change-management
+// gauges (swaps, activations, canary verdicts, config epoch) at the end.
+//
 // Usage:
 //
 //	b2bhub [-n 100] [-workers 4] [-loss 0.1] [-dup 0.05] [-tp3] [-trace]
 //	b2bhub [-berr 0.3] [-bhang 0.1] [-battempts 8] [-bseed 7] [-trace]
 //	b2bhub [-berr 1] [-breaker-threshold 0.5] [-breaker-window 5s] [-probe-interval 500ms]
 //	b2bhub [-journal hub.wal] [-fsync batched]
+//	b2bhub [-workers 4] [-swap] [-canary 0.25]
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cfgstore"
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
@@ -87,6 +96,11 @@ var (
 	// lifecycle and recovers unfinished work at startup.
 	journalPath = flag.String("journal", "", "write-ahead journal path; enables crash recovery (empty disables)")
 	fsyncMode   = flag.String("fsync", "batched", "journal fsync policy: always, batched or never")
+
+	// Runtime change management: hot-swap and canary demos applied mid-run,
+	// while orders are in flight.
+	swap       = flag.Bool("swap", false, "hot-swap the EDI binding mid-run, then roll it back")
+	canaryFrac = flag.Float64("canary", 0, "canary a rebuilt EDI binding on this fraction of TP1 traffic; 0 disables")
 )
 
 // network abstracts the two transports the tool can run over.
@@ -189,6 +203,7 @@ func main() {
 	} else {
 		go server.Serve(ctx, nil)
 	}
+	cfgDone := startConfigOps(hub)
 
 	sellerParty := doc.Party{ID: "HUB", Name: "Widget Inc", DUNS: "999999999"}
 	start := time.Now()
@@ -255,6 +270,7 @@ func main() {
 		}
 	}
 	wg.Wait()
+	<-cfgDone
 	for _, line := range summaries {
 		fmt.Println(line)
 	}
@@ -269,6 +285,7 @@ func main() {
 	}
 	hs := hub.Stats()
 	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n", hs.Exchanges, hs.Invoices, hs.Failed)
+	printConfigMetrics(hub)
 	printStageMetrics(hub)
 	if *trace {
 		printShardMetrics(hub)
@@ -276,6 +293,77 @@ func main() {
 		printPlanMetrics(hub)
 	}
 	hub.StopWorkers()
+}
+
+// liveCanary retains the -canary deployment so its verdict and per-arm
+// sample counts can be reported after the run; it is written before the
+// startConfigOps channel closes and read only after.
+var liveCanary *cfgstore.Canary
+
+// startConfigOps applies the -swap and -canary runtime changes from a
+// goroutine a beat after the order streams start, so the changes land while
+// exchanges are in flight — the point of non-draining hot-swap. The
+// returned channel closes when the changes have been applied.
+func startConfigOps(hub *core.Hub) chan struct{} {
+	done := make(chan struct{})
+	if !*swap && *canaryFrac <= 0 {
+		close(done)
+		return done
+	}
+	go func() {
+		defer close(done)
+		name := core.BindingName(formats.EDI)
+		if *canaryFrac > 0 {
+			cand, err := core.BuildBinding(formats.EDI)
+			if err != nil {
+				log.Fatalf("build canary candidate: %v", err)
+			}
+			c, err := hub.Canary("TP1", cand, *canaryFrac)
+			if err != nil {
+				log.Fatalf("canary %s: %v", name, err)
+			}
+			liveCanary = c
+			fmt.Printf("canary: %s candidate v%d staged on %.0f%% of TP1 traffic (incumbent v%d)\n",
+				name, c.Candidate, c.Fraction*100, c.Incumbent)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if *swap {
+			prev, _ := hub.ConfigStore().Active(cfgstore.ClassBinding, name)
+			nt, err := hub.SwapBinding(formats.EDI, nil)
+			if err != nil {
+				log.Fatalf("hot-swap %s: %v", name, err)
+			}
+			fmt.Printf("hot-swap: %s v%d -> v%d live at epoch %d, no drain; in-flight exchanges finish on v%d\n",
+				name, prev, nt.Version, hub.ConfigStore().Epoch(), prev)
+			time.Sleep(10 * time.Millisecond)
+			if _, err := hub.Rollback(cfgstore.ClassBinding, name, prev); err != nil {
+				log.Fatalf("rollback %s to v%d: %v", name, prev, err)
+			}
+			fmt.Printf("rollback: %s active pointer back to v%d at epoch %d (v%d stays registered)\n",
+				name, prev, hub.ConfigStore().Epoch(), nt.Version)
+		}
+	}()
+	return done
+}
+
+// printConfigMetrics renders the change-management gauges and, with
+// -canary, the canary's verdict and per-arm sample counts. Prints nothing
+// unless the run applied config changes (the swap gauge alone also counts
+// the seed deploys, so it is not a useful signal on an unchanged run).
+func printConfigMetrics(hub *core.Hub) {
+	if !*swap && *canaryFrac <= 0 {
+		return
+	}
+	cs := hub.ConfigMetrics().Snapshot()
+	fmt.Printf("config changes: %d swaps, %d activations, %d canaries (%d promoted, %d rolled back); "+
+		"epoch %d, %d live versions of %d artifacts\n",
+		cs.Swaps, cs.Activations, cs.Canaries, cs.Promoted, cs.RolledBack,
+		hub.ConfigStore().Epoch(), hub.ConfigStore().LiveVersions(), hub.ConfigStore().Artifacts())
+	if liveCanary != nil {
+		iOK, iFail, cOK, cFail := liveCanary.Samples()
+		fmt.Printf("canary verdict: %s (incumbent %d ok / %d fail, candidate %d ok / %d fail)\n",
+			liveCanary.Verdict(), iOK, iFail, cOK, cFail)
+	}
 }
 
 // runChaos drives the order streams through the hub's submission pool
@@ -298,6 +386,7 @@ func runChaos(hub *core.Hub) {
 	})
 	hub.StartScheduler()
 	defer hub.StopWorkers()
+	cfgDone := startConfigOps(hub)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -323,6 +412,7 @@ func runChaos(hub *core.Hub) {
 			completed++
 		}
 	}
+	<-cfgDone
 	elapsed := time.Since(start)
 
 	c := hub.Counters()
@@ -369,6 +459,7 @@ func runChaos(hub *core.Hub) {
 		}
 		fmt.Printf("healed backends: %d/%d dead letters resubmitted successfully\n", recovered, total)
 	}
+	printConfigMetrics(hub)
 	printStageMetrics(hub)
 	if *trace {
 		printShardMetrics(hub)

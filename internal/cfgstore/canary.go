@@ -1,0 +1,158 @@
+package cfgstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// CanaryVerdict is the lifecycle state of a canary deployment.
+type CanaryVerdict string
+
+const (
+	// CanaryRunning: still collecting samples, no verdict yet.
+	CanaryRunning CanaryVerdict = "running"
+	// CanaryPromote: the candidate matched or beat the incumbent's failure
+	// rate over the sample window; it should become the active version.
+	CanaryPromote CanaryVerdict = "promote"
+	// CanaryRollback: the candidate regressed against the incumbent; the
+	// incumbent should stay (or be restored as) the active version.
+	CanaryRollback CanaryVerdict = "rollback"
+)
+
+// CanaryPolicy tunes the verdict comparison.
+type CanaryPolicy struct {
+	// MinSamples is how many candidate-routed exchanges must finish before
+	// a verdict is reached.
+	MinSamples int
+	// Margin is the failure-rate excess (candidate minus incumbent) the
+	// candidate is allowed before the verdict is rollback. Zero means any
+	// regression rolls back.
+	Margin float64
+}
+
+// DefaultCanaryPolicy is used when a policy field is unset.
+var DefaultCanaryPolicy = CanaryPolicy{MinSamples: 8, Margin: 0.1}
+
+func (p CanaryPolicy) withDefaults() CanaryPolicy {
+	if p.MinSamples <= 0 {
+		p.MinSamples = DefaultCanaryPolicy.MinSamples
+	}
+	if p.Margin < 0 {
+		p.Margin = DefaultCanaryPolicy.Margin
+	}
+	return p
+}
+
+// Canary is one live canary deployment: a candidate version of one artifact
+// taking a deterministic hash-selected fraction of one partner's traffic,
+// its failure rate compared breaker-style against the incumbent's over the
+// same window. The comparison is relative — under a globally faulty backend
+// both arms fail alike and the candidate is not blamed.
+type Canary struct {
+	// Partner scopes the canary to one trading partner's traffic.
+	Partner string
+	// Class/Name identify the artifact; Incumbent and Candidate are its
+	// competing versions.
+	Class     Class
+	Name      string
+	Incumbent int
+	Candidate int
+	// Fraction in [0,1] is the share of the partner's exchanges routed to
+	// the candidate.
+	Fraction float64
+	// Policy tunes the verdict.
+	Policy CanaryPolicy
+
+	mu       sync.Mutex
+	verdict  CanaryVerdict
+	incOK    int64
+	incFail  int64
+	candOK   int64
+	candFail int64
+}
+
+// NewCanary validates and creates a running canary.
+func NewCanary(partner string, class Class, name string, incumbent, candidate int, fraction float64, policy CanaryPolicy) (*Canary, error) {
+	if partner == "" || name == "" {
+		return nil, fmt.Errorf("cfgstore: canary needs a partner and an artifact name")
+	}
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("cfgstore: canary fraction %v outside (0,1]", fraction)
+	}
+	if candidate == incumbent {
+		return nil, fmt.Errorf("cfgstore: canary candidate version %d equals incumbent", candidate)
+	}
+	return &Canary{
+		Partner: partner, Class: class, Name: name,
+		Incumbent: incumbent, Candidate: candidate,
+		Fraction: fraction, Policy: policy.withDefaults(),
+		verdict: CanaryRunning,
+	}, nil
+}
+
+// RouteCandidate decides deterministically whether the exchange identified
+// by id rides the candidate: the FNV-32a hash of the id is mapped onto
+// [0,1) and compared against Fraction. The same id always routes the same
+// way, so resubmits and recovery replays keep their arm.
+func (c *Canary) RouteCandidate(id string) bool {
+	if c.Fraction >= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return float64(h.Sum32()%100000)/100000 < c.Fraction
+}
+
+// Record feeds one finished exchange outcome into the comparison window and
+// returns the canary's verdict afterward. decided is true exactly once —
+// on the call that crossed the sample threshold — so the caller acts on
+// the verdict (promote/rollback) exactly once. Outcomes arriving after the
+// verdict are ignored.
+func (c *Canary) Record(candidate, failed bool) (verdict CanaryVerdict, decided bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.verdict != CanaryRunning {
+		return c.verdict, false
+	}
+	switch {
+	case candidate && failed:
+		c.candFail++
+	case candidate:
+		c.candOK++
+	case failed:
+		c.incFail++
+	default:
+		c.incOK++
+	}
+	cand := c.candOK + c.candFail
+	if cand < int64(c.Policy.MinSamples) {
+		return CanaryRunning, false
+	}
+	candRate := float64(c.candFail) / float64(cand)
+	incRate := 0.0
+	if inc := c.incOK + c.incFail; inc > 0 {
+		incRate = float64(c.incFail) / float64(inc)
+	}
+	if candRate > incRate+c.Policy.Margin {
+		c.verdict = CanaryRollback
+	} else {
+		c.verdict = CanaryPromote
+	}
+	return c.verdict, true
+}
+
+// Verdict returns the current verdict without recording anything.
+func (c *Canary) Verdict() CanaryVerdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verdict
+}
+
+// Samples reports the outcome counts (incumbent ok/fail, candidate
+// ok/fail) for metrics and tests.
+func (c *Canary) Samples() (incOK, incFail, candOK, candFail int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incOK, c.incFail, c.candOK, c.candFail
+}

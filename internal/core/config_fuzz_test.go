@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cfgstore"
+)
+
+// FuzzConfigRecordDecode feeds arbitrary payloads through the config-record
+// decoding surface (the same harness shape as internal/journal.FuzzDecode):
+// decodeConfigRecord must never panic and must either return a well-formed
+// change — valid action, non-empty artifact key, positive version,
+// non-negative epoch — or an error, never a malformed apply. Accepted
+// records must round-trip through re-marshaling, and replaying any accepted
+// record into a fresh config store must keep the store's invariants (epoch
+// never negative, restore never panics).
+func FuzzConfigRecordDecode(f *testing.F) {
+	seed := func(jc journalConfig) []byte {
+		b, err := json.Marshal(jc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`null`))
+	f.Add(seed(journalConfig{Epoch: 1, Action: cfgActionRegister, Class: string(cfgstore.ClassBinding), Name: "binding:EDI-X12", Version: 2, Note: "swap"}))
+	f.Add(seed(journalConfig{Epoch: 2, Action: cfgActionStage, Class: string(cfgstore.ClassBinding), Name: "binding:EDI-X12", Version: 3, Note: "canary"}))
+	f.Add(seed(journalConfig{Epoch: 3, Action: cfgActionActivate, Class: string(cfgstore.ClassRules), Name: ApprovalRuleSet, Version: 1, Note: "rollback"}))
+	f.Add(seed(journalConfig{Epoch: -1, Action: cfgActionRegister, Class: "rules", Name: "x", Version: 1}))
+	f.Add(seed(journalConfig{Epoch: 0, Action: "promote", Class: "rules", Name: "x", Version: 1}))
+	f.Add(seed(journalConfig{Epoch: 0, Action: cfgActionRegister, Class: "", Name: "", Version: 0}))
+	f.Add([]byte(`{"epoch":9007199254740993,"action":"register","class":"binding","name":"b","version":2147483647}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jc, err := decodeConfigRecord(data)
+		if err != nil {
+			return // rejected: the replay path skips it, nothing else to hold
+		}
+		// The validity contract: only well-formed changes decode.
+		switch jc.Action {
+		case cfgActionRegister, cfgActionStage, cfgActionActivate:
+		default:
+			t.Fatalf("accepted unknown action %q", jc.Action)
+		}
+		if jc.Class == "" || jc.Name == "" {
+			t.Fatalf("accepted record without an artifact key: %+v", jc)
+		}
+		if jc.Version <= 0 {
+			t.Fatalf("accepted non-positive version %d", jc.Version)
+		}
+		if jc.Epoch < 0 {
+			t.Fatalf("accepted negative epoch %d", jc.Epoch)
+		}
+		// Round-trip: an accepted record re-marshals and re-decodes to itself.
+		reenc, err := json.Marshal(jc)
+		if err != nil {
+			t.Fatalf("re-marshal accepted record: %v", err)
+		}
+		jc2, err := decodeConfigRecord(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted record rejected: %v", err)
+		}
+		if jc2 != jc {
+			t.Fatalf("round trip changed the record: %+v != %+v", jc2, jc)
+		}
+		// Replaying into a fresh store must preserve store invariants
+		// regardless of the record's content.
+		s := cfgstore.New()
+		_ = s.Restore(cfgstore.Class(jc.Class), jc.Name, jc.Version, jc.Epoch, jc.Action != cfgActionStage, jc.Note)
+		if s.Epoch() < 0 {
+			t.Fatalf("restore drove the epoch negative: %d", s.Epoch())
+		}
+		if v, ok := s.Active(cfgstore.Class(jc.Class), jc.Name); ok && v < 0 {
+			t.Fatalf("restore produced negative active version %d", v)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cfgstore"
 	"repro/internal/doc"
 	"repro/internal/formats"
 	"repro/internal/obs"
@@ -31,6 +32,13 @@ type resolvedRoute struct {
 	// treated as a miss and re-resolved. This catches deploys that bypass
 	// invalidateRoutes (direct Engine.Deploy in tests or embedders).
 	epoch int64
+
+	// cfg is the config-store snapshot at resolution time: the config epoch
+	// plus every active artifact version. Admissions copy it onto their
+	// exchange so all stages resolve versions from one consistent view; a
+	// route whose snapshot epoch is behind the store is stale (hot-swaps
+	// invalidate cached routes without an explicit invalidateRoutes call).
+	cfg cfgstore.Snapshot
 }
 
 // resolveRoute returns the partner's route, read-through: a miss resolves
@@ -38,10 +46,11 @@ type resolvedRoute struct {
 // AddBackend, EnableInvoicing, …) invalidate the cache wholesale.
 func (h *Hub) resolveRoute(partnerID string) (resolvedRoute, bool) {
 	epoch := h.Engine.PlanEpoch()
+	cfgEpoch := h.cfg.Epoch()
 	h.routeMu.RLock()
 	r, ok := h.routes[partnerID]
 	h.routeMu.RUnlock()
-	if ok && r.epoch == epoch {
+	if ok && r.epoch == epoch && r.cfg.Epoch == cfgEpoch {
 		return r, true
 	}
 	partner, ok := h.Model.PartnerByID(partnerID)
@@ -57,6 +66,7 @@ func (h *Hub) resolveRoute(partnerID string) (resolvedRoute, bool) {
 		invBindingName: InvoiceBindingName(partner.Protocol),
 		invAppBinding:  InvoiceAppBindingName(partner.Backend),
 		epoch:          epoch,
+		cfg:            h.cfg.Snapshot(),
 	}
 	h.routeMu.Lock()
 	if h.routes == nil {
@@ -92,6 +102,10 @@ type exchangeOpts struct {
 	journaled bool
 	// retry overrides the hub's retry policies for this exchange only.
 	retry *RetryPolicy
+	// canaryKey is the stable business identifier (PO ID) canary routing
+	// hashes on, so a resubmitted document lands on the same arm as its
+	// original run. Empty falls back to the exchange ID.
+	canaryKey string
 }
 
 // ProcessInboundPO drives one inbound purchase order (wire bytes in the
@@ -179,12 +193,14 @@ func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, nat
 			ErrProtocolMismatch, route.partner.ID, route.partner.Protocol, protocol)
 	}
 
+	opts.canaryKey = po.ID
 	ex := h.newExchange(route, obs.FlowPO, opts)
 	start := time.Now()
 	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
 	err = h.runPO(ctx, ex, native)
 	err = wrapExchangeErr(ex, obs.StageExchange, "", err)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
+	h.recordCanaryOutcome(ex, err)
 	if err != nil {
 		h.deadLetter(ex, err, native, "")
 	}
@@ -193,8 +209,9 @@ func (h *Hub) processNativeOpt(ctx context.Context, protocol formats.Format, nat
 
 // runPO drives the inbound PO chain of an already-created exchange.
 func (h *Hub) runPO(ctx context.Context, ex *Exchange, native any) error {
-	// Start the public process; it parks on its receive step.
-	pub, err := h.Engine.Start(ctx, ex.route.publicName, h.exchangeData(ex))
+	// Start the public process at the exchange's pinned version; it parks on
+	// its receive step.
+	pub, err := h.Engine.StartVersion(ctx, ex.route.publicName, h.pinnedVersion(ex, ex.route.publicName), h.exchangeData(ex))
 	if err != nil {
 		return err
 	}
@@ -228,10 +245,12 @@ func (h *Hub) newExchange(route resolvedRoute, flow obs.Flow, opts exchangeOpts)
 		Backend:   route.partner.Backend,
 		Flow:      flow,
 		route:     route,
+		cfg:       route.cfg,
 		resubmit:  opts.resubmit,
 		journaled: opts.journaled,
 		retry:     opts.retry,
 	}
+	h.armCanary(ex, opts.canaryKey)
 	h.exchanges[ex.ID] = ex
 	return ex
 }
@@ -383,13 +402,13 @@ func (h *Hub) route(ctx context.Context, ex *Exchange, t routeTask) error {
 	return fmt.Errorf("core: unrouteable port %q", t.port)
 }
 
-// ensureInstance starts the named process for the exchange once and caches
-// its instance ID.
+// ensureInstance starts the named process for the exchange once — at the
+// exchange's pinned version — and caches its instance ID.
 func (h *Hub) ensureInstance(ctx context.Context, slot *string, typeName string, ex *Exchange) (string, error) {
 	if *slot != "" {
 		return *slot, nil
 	}
-	in, err := h.Engine.Start(ctx, typeName, h.exchangeData(ex))
+	in, err := h.Engine.StartVersion(ctx, typeName, h.pinnedVersion(ex, typeName), h.exchangeData(ex))
 	if err != nil {
 		return "", err
 	}

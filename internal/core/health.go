@@ -165,6 +165,14 @@ func (h *Hub) runTracked(ctx context.Context, req Request, partner string, probe
 		if probe {
 			br.ReleaseProbe()
 		}
+	case res.Exchange != nil && res.Exchange.canaryArm:
+		// The exchange rode a canary candidate: its failure indicts the
+		// candidate configuration, which the canary comparison handles
+		// (rollback), not the partner's endpoint. Feeding it to the breaker
+		// would open the circuit and take down the incumbent's traffic too.
+		if probe {
+			br.ReleaseProbe()
+		}
 	default:
 		if probe {
 			br.RecordProbe(true)

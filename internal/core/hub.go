@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cfgstore"
 	"repro/internal/doc"
 	"repro/internal/formats"
 	"repro/internal/formats/edi"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/rules"
 	"repro/internal/transform"
 	"repro/internal/wf"
 	"repro/internal/wfstore"
@@ -76,7 +78,24 @@ type Exchange struct {
 	// retry is the per-call retry policy override (Request.Retry), nil to
 	// use the hub's configured policies.
 	retry *RetryPolicy
+
+	// cfg is the admission-time config snapshot (epoch + active artifact
+	// versions): every stage of this exchange resolves its artifact version
+	// from this one snapshot, so hot-swaps concurrent with the exchange are
+	// invisible to it. Immutable after newExchange.
+	cfg cfgstore.Snapshot
+
+	// canary is the partner's canary run at admission time (nil if none);
+	// canaryArm marks this exchange as routed to the candidate version.
+	canary    *canaryRun
+	canaryArm bool
 }
+
+// ConfigEpoch returns the config epoch the exchange was admitted under.
+func (ex *Exchange) ConfigEpoch() int64 { return ex.cfg.Epoch }
+
+// CanaryArm reports whether the exchange rode a canary candidate version.
+func (ex *Exchange) CanaryArm() bool { return ex.canaryArm }
 
 // routeTask is one queued hop between process instances.
 type routeTask struct {
@@ -166,6 +185,26 @@ type Hub struct {
 
 	// dlqCap bounds the in-memory dead-letter queue (0 = unbounded).
 	dlqCap int
+
+	// Runtime change management (see config.go): cfg is the versioned
+	// config store every admission snapshots; configMetrics derives the
+	// change gauges from KindConfig events; canaryMu guards the per-partner
+	// canary runs. Lock order: canaryMu is never taken inside h.mu or jrnMu.
+	cfg           *cfgstore.Store
+	configMetrics *obs.ConfigMetrics
+	canaryPolicy  cfgstore.CanaryPolicy
+	canaryMu      sync.Mutex
+	canaries      map[string]*canaryRun
+	// swapMu serializes hot-swap/canary/rollback operations (they mutate
+	// model maps and assign version numbers). Never taken inside canaryMu.
+	swapMu sync.Mutex
+
+	// Frozen non-workflow artifact versions: when a rule set or transform is
+	// hot-swapped, the displaced value is kept here under its version so
+	// pinned exchanges keep evaluating exactly what they admitted under.
+	frozenMu     sync.RWMutex
+	frozenRules  map[string]map[int]*rules.Set
+	frozenXforms map[string]map[int]transform.Transformer
 }
 
 // HubStats counts the hub's activity since startup. It is a compatibility
@@ -283,9 +322,17 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 		planMetrics:     obs.NewPlanMetrics(),
 		healthMetrics:   obs.NewHealthMetrics(),
 		recoveryMetrics: obs.NewRecoveryMetrics(),
+		configMetrics:   obs.NewConfigMetrics(),
+		canaryPolicy:    cfg.canaryPolicy,
+		canaries:        map[string]*canaryRun{},
+		frozenRules:     map[string]map[int]*rules.Set{},
+		frozenXforms:    map[string]map[int]transform.Transformer{},
 		schedCfg:        cfg,
 		dlqCap:          cfg.dlqCap,
 	}
+	// The versioned config store must exist before the journal is opened:
+	// initJournal replays config records into it.
+	h.cfg = cfgstore.New()
 	if h.bus == nil {
 		h.bus = obs.NewBus()
 	}
@@ -309,6 +356,7 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	h.bus.Attach(h.planMetrics)
 	h.bus.Attach(h.healthMetrics)
 	h.bus.Attach(h.recoveryMetrics)
+	h.bus.Attach(h.configMetrics)
 	if cfg.journalPath != "" {
 		j, err := journal.Open(cfg.journalPath, journal.Options{Fsync: cfg.fsync})
 		if err != nil {
@@ -379,6 +427,19 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 			return nil, err
 		}
 	}
+	// Rule sets and transform programs join version management at v1 so
+	// exchanges pin them like process artifacts. registerArtifact skips
+	// versions already restored from the journal on a restart.
+	for _, set := range m.Rules.SetNames() {
+		if _, err := h.registerArtifact(cfgstore.ClassRules, set, 1, "seed", false); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range h.reg.Keys() {
+		if _, err := h.registerArtifact(cfgstore.ClassTransform, name, 1, "seed", false); err != nil {
+			return nil, err
+		}
+	}
 	return h, nil
 }
 
@@ -419,7 +480,7 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 	for _, p := range []formats.Format{formats.EDI, formats.RosettaNet, formats.OAGIS} {
 		p := p
 		reg.Register("bind-xform-in:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
-			nd, err := h.reg.ToNormalized(p, doc.TypePO, in.Document())
+			nd, err := h.applyXform(in, p, formats.Normalized, doc.TypePO, in.Document())
 			if err != nil {
 				return err
 			}
@@ -427,7 +488,7 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 			return nil
 		})
 		reg.Register("bind-xform-out:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
-			native, err := h.reg.FromNormalized(p, doc.TypePOA, in.Document())
+			native, err := h.applyXform(in, formats.Normalized, p, doc.TypePOA, in.Document())
 			if err != nil {
 				return err
 			}
@@ -435,7 +496,7 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 			return nil
 		})
 		reg.Register("bind-inv-xform:"+string(p), func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
-			native, err := h.reg.FromNormalized(p, doc.TypeINV, in.Document())
+			native, err := h.applyXform(in, formats.Normalized, p, doc.TypeINV, in.Document())
 			if err != nil {
 				return err
 			}
@@ -446,7 +507,7 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 	reg.Register("rule:"+ApprovalRuleSet, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 		source, _ := in.Data["source"].(string)
 		target, _ := in.Data["target"].(string)
-		decision, err := h.Model.Rules.Evaluate(ApprovalRuleSet, source, target, in.Document())
+		decision, err := h.evalRules(in, ApprovalRuleSet, source, target, in.Document())
 		if err != nil {
 			return err
 		}
@@ -457,7 +518,7 @@ func (h *Hub) registerHandlers(reg *wf.Handlers) {
 	reg.Register("rule:"+InvoiceReviewRuleSet, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 		source, _ := in.Data["source"].(string)
 		target, _ := in.Data["target"].(string)
-		decision, err := h.Model.Rules.Evaluate(InvoiceReviewRuleSet, source, target, in.Document())
+		decision, err := h.evalRules(in, InvoiceReviewRuleSet, source, target, in.Document())
 		if err != nil {
 			return err
 		}
@@ -517,7 +578,7 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 				return fmt.Errorf("core: app binding expects a normalized PO, got %T", in.Document())
 			}
 			in.Data["poid"] = po.ID
-			native, err := h.reg.FromNormalized(b.Format, doc.TypePO, po)
+			native, err := h.applyXform(in, formats.Normalized, b.Format, doc.TypePO, po)
 			if err != nil {
 				return err
 			}
@@ -578,7 +639,7 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 		})
 		register("app-xform-out:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 			b, _ := h.Model.BackendByName(bName)
-			nd, err := h.reg.ToNormalized(b.Format, doc.TypePOA, in.Document())
+			nd, err := h.applyXform(in, b.Format, formats.Normalized, doc.TypePOA, in.Document())
 			if err != nil {
 				return err
 			}
@@ -615,7 +676,7 @@ func (h *Hub) registerAppHandlers(reg *wf.Handlers) {
 		})
 		register("app-inv-xform:"+bName, func(ctx context.Context, in *wf.Instance, s *wf.StepDef) error {
 			b, _ := h.Model.BackendByName(bName)
-			nd, err := h.reg.ToNormalized(b.Format, doc.TypeINV, in.Document())
+			nd, err := h.applyXform(in, b.Format, formats.Normalized, doc.TypeINV, in.Document())
 			if err != nil {
 				return err
 			}

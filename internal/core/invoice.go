@@ -231,12 +231,14 @@ func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, opts exch
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPartner, partnerID)
 	}
+	opts.canaryKey = poID
 	ex := h.newExchange(route, obs.FlowInvoice, opts)
 	start := time.Now()
 	h.emitLifecycle(ex, obs.StepStarted, 0, nil)
 	outbound, err := h.runInvoice(ctx, ex, poID)
 	err = wrapExchangeErr(ex, obs.StageExchange, "", err)
 	h.emitLifecycle(ex, terminalStep(err), time.Since(start), err)
+	h.recordCanaryOutcome(ex, err)
 	if err != nil {
 		h.deadLetter(ex, err, nil, poID)
 		return nil, ex, err
@@ -257,7 +259,7 @@ func (h *Hub) sendInvoice(ctx context.Context, partnerID, poID string, opts exch
 func (h *Hub) runInvoice(ctx context.Context, ex *Exchange, poID string) (any, error) {
 	data := h.exchangeData(ex)
 	data["poid"] = poID
-	app, err := h.Engine.Start(ctx, ex.route.invAppBinding, data)
+	app, err := h.Engine.StartVersion(ctx, ex.route.invAppBinding, h.pinnedVersion(ex, ex.route.invAppBinding), data)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cfgstore"
 	"repro/internal/doc"
 	"repro/internal/formats"
 	"repro/internal/journal"
@@ -43,7 +44,105 @@ const (
 	recComplete   = "complete"
 	recResolve    = "resolve"
 	recCheckpoint = "checkpoint"
+	// recConfig is one runtime configuration change (register, stage or
+	// activate of an artifact version); replaying the config records restores
+	// the exact pre-crash config epoch and active-version set.
+	recConfig = "config"
 )
+
+// Config record actions.
+const (
+	cfgActionRegister = "register"
+	cfgActionStage    = "stage"
+	cfgActionActivate = "activate"
+)
+
+// journalConfig is the payload of a config record.
+type journalConfig struct {
+	Epoch   int64  `json:"epoch"`
+	Action  string `json:"action"`
+	Class   string `json:"class"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Note    string `json:"note,omitempty"`
+}
+
+// decodeConfigRecord parses and validates one config record payload. It is
+// the fuzzed decoding surface: arbitrary payloads must either yield a
+// well-formed change or an error, never a malformed apply.
+func decodeConfigRecord(payload []byte) (journalConfig, error) {
+	var jc journalConfig
+	if err := json.Unmarshal(payload, &jc); err != nil {
+		return journalConfig{}, fmt.Errorf("core: config record: %w", err)
+	}
+	switch jc.Action {
+	case cfgActionRegister, cfgActionStage, cfgActionActivate:
+	default:
+		return journalConfig{}, fmt.Errorf("core: config record: unknown action %q", jc.Action)
+	}
+	if jc.Class == "" || jc.Name == "" {
+		return journalConfig{}, fmt.Errorf("core: config record: missing artifact key")
+	}
+	if jc.Version <= 0 {
+		return journalConfig{}, fmt.Errorf("core: config record: version %d must be positive", jc.Version)
+	}
+	if jc.Epoch < 0 {
+		return journalConfig{}, fmt.Errorf("core: config record: epoch %d must be non-negative", jc.Epoch)
+	}
+	return jc, nil
+}
+
+// applyConfigRecord replays one config record into the hub's config store.
+// Undecodable or unreplayable records are skipped: a torn or corrupt tail
+// must not block recovery of the rest of the journal.
+func (h *Hub) applyConfigRecord(payload []byte) {
+	jc, err := decodeConfigRecord(payload)
+	if err != nil {
+		return
+	}
+	activate := jc.Action != cfgActionStage
+	_ = h.cfg.Restore(cfgstore.Class(jc.Class), jc.Name, jc.Version, jc.Epoch, activate, jc.Note)
+}
+
+// journalConfigChange write-ahead-logs one config change. Append errors are
+// swallowed: the change is already applied in memory and a lost record only
+// costs epoch exactness after a crash, never correctness of live routing.
+func (h *Hub) journalConfigChange(jc journalConfig) {
+	if h.jrn == nil {
+		return
+	}
+	payload, err := json.Marshal(jc)
+	if err != nil {
+		return
+	}
+	h.jrnMu.Lock()
+	_ = h.jrn.Append(journal.Record{Kind: recConfig, Payload: payload})
+	h.jrnMu.Unlock()
+}
+
+// configLiveRecords exports the config store's current state as replayable
+// records for compaction: per-artifact registration records carrying their
+// original epochs (staged, so replay does not move pointers prematurely)
+// followed by an activation record per artifact carrying the current epoch,
+// so replay lands on the exact live epoch and active-version set.
+func (h *Hub) configLiveRecords() []journal.Record {
+	var out []journal.Record
+	epoch := h.cfg.Epoch()
+	appendRec := func(jc journalConfig) {
+		if payload, err := json.Marshal(jc); err == nil {
+			out = append(out, journal.Record{Kind: recConfig, Payload: payload})
+		}
+	}
+	for _, k := range h.cfg.Keys() {
+		for _, v := range h.cfg.History(k.Class, k.Name) {
+			appendRec(journalConfig{Epoch: v.Epoch, Action: cfgActionStage, Class: string(k.Class), Name: k.Name, Version: v.Version, Note: v.Note})
+		}
+		if active, ok := h.cfg.Active(k.Class, k.Name); ok && active > 0 {
+			appendRec(journalConfig{Epoch: epoch, Action: cfgActionActivate, Class: string(k.Class), Name: k.Name, Version: active, Note: "checkpoint"})
+		}
+	}
+	return out
+}
 
 // Terminal outcomes of a complete record.
 const (
@@ -224,6 +323,11 @@ func (h *Hub) initJournal() {
 					snap.deadOrder = removeKey(snap.deadOrder, rp.ExchangeID)
 				}
 			}
+		case recConfig:
+			// Replay config changes in journal order so the store converges
+			// on the exact pre-crash epoch and active-version set before the
+			// seed deploys run (they skip already-restored versions).
+			h.applyConfigRecord(rec.Payload)
 		}
 	}
 	h.jrnStartup = snap
@@ -595,6 +699,9 @@ func (h *Hub) CheckpointJournal() error {
 		}
 		live = append(live, journal.Record{Kind: recComplete, Payload: payload})
 	}
+	// The config store's live state is part of the compacted log: replaying
+	// it restores the exact config epoch and active versions.
+	live = append(live, h.configLiveRecords()...)
 	return h.jrn.Compact(live)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/cfgstore"
 	"repro/internal/health"
 	"repro/internal/journal"
 	"repro/internal/msg"
@@ -35,6 +36,7 @@ type hubConfig struct {
 	dlqCap          int
 	stepParallelism int
 	legacyInterp    bool
+	canaryPolicy    cfgstore.CanaryPolicy
 	// schedConfigured records that a scheduler topology option was given
 	// explicitly, so compat entry points (ServeConcurrent's workers
 	// argument) defer to it instead of imposing the single-pool shape.
@@ -159,6 +161,15 @@ func WithStepParallelism(n int) HubOption {
 // tests.
 func WithLegacyWorkflowInterpreter() HubOption {
 	return func(c *hubConfig) { c.legacyInterp = true }
+}
+
+// WithCanaryPolicy sets the verdict policy for canary deployments started
+// via Hub.Canary: how many candidate samples must accumulate before a
+// verdict, and how much worse than the incumbent the candidate's failure
+// rate may be before it is rolled back. The zero-valued fields fall back to
+// cfgstore.DefaultCanaryPolicy.
+func WithCanaryPolicy(p cfgstore.CanaryPolicy) HubOption {
+	return func(c *hubConfig) { c.canaryPolicy = p }
 }
 
 // queueDepthOrDefault resolves the effective per-shard queue bound.

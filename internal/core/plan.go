@@ -66,6 +66,13 @@ func (h *Hub) checkPort(s *wf.StepDef) error {
 // would end in ErrNoOutbound. Catching that shape here makes the runtime
 // ErrNoOutbound path unreachable for compiled deployments.
 func (h *Hub) deployType(t *wf.TypeDef) error {
+	return h.deployTypeMode(t, false, "deploy")
+}
+
+// deployTypeMode is deployType with the version-management mode explicit:
+// staged deploys (canary candidates) register the version in the config
+// store without moving the active pointer.
+func (h *Hub) deployTypeMode(t *wf.TypeDef, staged bool, note string) error {
 	if isPublicProcess(t.Name) && !sendsOnPublicOut(t) {
 		perr := wf.PlanErrors{{
 			Class:  wf.PlanUnroutablePort,
@@ -75,7 +82,14 @@ func (h *Hub) deployType(t *wf.TypeDef) error {
 		}}
 		return fmt.Errorf("core: deploy %s: %w", t.Name, perr)
 	}
-	return h.Engine.Deploy(t)
+	if err := h.Engine.Deploy(t); err != nil {
+		return err
+	}
+	// Every deployed type joins version management. A version already in the
+	// store (restored from the journal before the seed deploys re-ran) is
+	// skipped inside registerArtifact so restarts do not re-bump the epoch.
+	_, err := h.registerArtifact(classOf(t.Name), t.Name, t.Version, note, staged)
+	return err
 }
 
 // isPublicProcess reports whether the type name identifies a public process

@@ -1,0 +1,75 @@
+package obs
+
+import "sync"
+
+// ConfigMetrics is a Sink that derives runtime change-management gauges
+// from the KindConfig event stream: how many artifact versions were
+// hot-swapped in, how many active-pointer moves (rollbacks/promotions)
+// happened, the canary lifecycle counts, and the highest config epoch
+// observed. It is safe for concurrent use.
+type ConfigMetrics struct {
+	mu          sync.Mutex
+	swaps       int64
+	activations int64
+	canaries    int64
+	promoted    int64
+	rolledBack  int64
+	epoch       int64
+}
+
+// NewConfigMetrics returns an empty config-metrics sink.
+func NewConfigMetrics() *ConfigMetrics { return &ConfigMetrics{} }
+
+// Emit implements Sink.
+func (c *ConfigMetrics) Emit(e Event) {
+	if e.Kind != KindConfig {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Step {
+	case StepSwapped:
+		c.swaps++
+	case StepActivated:
+		c.activations++
+	case StepCanaryStarted:
+		c.canaries++
+	case StepCanaryPromoted:
+		c.promoted++
+	case StepCanaryRolledBack:
+		c.rolledBack++
+	}
+	if e.Epoch > c.epoch {
+		c.epoch = e.Epoch
+	}
+}
+
+// ConfigSnapshot is the exported view of the change-management gauges.
+type ConfigSnapshot struct {
+	// Swaps counts new artifact versions registered as active on the live
+	// hub; Activations counts active-pointer moves to already-registered
+	// versions (rollbacks and canary promotions).
+	Swaps       int64
+	Activations int64
+	// Canaries counts canary deployments started; Promoted and RolledBack
+	// count their verdicts.
+	Canaries   int64
+	Promoted   int64
+	RolledBack int64
+	// Epoch is the highest config epoch any change event carried.
+	Epoch int64
+}
+
+// Snapshot returns the current gauges.
+func (c *ConfigMetrics) Snapshot() ConfigSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ConfigSnapshot{
+		Swaps:       c.swaps,
+		Activations: c.activations,
+		Canaries:    c.canaries,
+		Promoted:    c.promoted,
+		RolledBack:  c.rolledBack,
+		Epoch:       c.epoch,
+	}
+}

@@ -34,6 +34,7 @@ const (
 	StageHealth   Stage = "health"   // partner health tracking (breakers)
 	StageRecovery Stage = "recovery" // journal replay after a restart
 	StagePlan     Stage = "plan"     // workflow plan compilation at deploy
+	StageConfig   Stage = "config"   // runtime configuration changes
 )
 
 // Kind classifies events.
@@ -80,6 +81,13 @@ const (
 	// errors (Err carries them). Partner-less: ExchangeID holds the type key
 	// ("name@version").
 	KindPlan Kind = "plan"
+	// KindConfig marks runtime configuration changes on a live hub: Step is
+	// StepSwapped for a hot-swapped artifact version, StepActivated for an
+	// active-pointer move (rollback or promotion), and the canary-* steps
+	// for canary deployment lifecycle. ExchangeID holds the artifact key
+	// ("class:name@version"); Epoch carries the config epoch the change
+	// produced.
+	KindConfig Kind = "config"
 )
 
 // Well-known Step values for lifecycle, retry and scheduler events.
@@ -115,6 +123,16 @@ const (
 	StepRestored           = "restored"
 	StepDeadLetterRestored = "dead-letter-restored"
 	StepReplayed           = "replayed"
+	// Config steps (KindConfig). StepSwapped registers a new artifact
+	// version as active; StepActivated moves the active pointer to an
+	// already-registered version (rollback/promotion). The canary steps
+	// bracket a canary deployment: started when a candidate begins taking a
+	// traffic fraction, promoted/rolled-back when its verdict lands.
+	StepSwapped          = "swapped"
+	StepActivated        = "activated"
+	StepCanaryStarted    = "canary-started"
+	StepCanaryPromoted   = "canary-promoted"
+	StepCanaryRolledBack = "canary-rolled-back"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.
@@ -149,6 +167,8 @@ type Event struct {
 	Step string
 	// Shard is the scheduler shard the event refers to (KindSched only).
 	Shard int
+	// Epoch is the config epoch a KindConfig event produced (0 elsewhere).
+	Epoch int64
 	// Elapsed is the duration of the observed unit of work.
 	Elapsed time.Duration
 	// Err is non-nil when the unit of work failed.

@@ -132,6 +132,22 @@ func (s *Set) Names() []string {
 	return out
 }
 
+// Clone returns a copy of the set sharing no mutable state with the
+// original: versioned-configuration callers freeze the current set, clone
+// it, mutate the clone and atomically install it via Registry.Replace, so
+// exchanges pinned to the frozen version never observe a half-applied
+// change.
+func (s *Set) Clone() *Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &Set{Name: s.Name, rules: make([]*Rule, len(s.rules))}
+	for i, r := range s.rules {
+		rr := *r
+		c.rules[i] = &rr
+	}
+	return c
+}
+
 // Evaluate selects the applicable rule for (source, target, document) and
 // returns its boolean result. The document is exposed to conditions through
 // doc.Env. It returns ErrNoRuleApplies when no rule's selectors match.
@@ -180,6 +196,17 @@ func (g *Registry) Set(name string) *Set {
 		g.sets[name] = s
 	}
 	return s
+}
+
+// Replace atomically installs the set under its name and returns the set
+// it displaced (nil if none). The displaced set keeps working for callers
+// that already hold it — the basis of version-pinned rule evaluation.
+func (g *Registry) Replace(s *Set) *Set {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.sets[s.Name]
+	g.sets[s.Name] = s
+	return old
 }
 
 // Lookup returns the named set without creating it.

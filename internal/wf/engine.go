@@ -306,6 +306,15 @@ func (e *Engine) planFor(t *TypeDef) *Plan {
 	return p
 }
 
+// HasType reports whether the engine's store holds the named type at the
+// exact version (version 0 asks for the latest). Version-pinned callers use
+// it to detect pins that predate the store's content — e.g. a config epoch
+// journaled before a crash whose type bodies did not survive the restart.
+func (e *Engine) HasType(name string, version int) bool {
+	_, err := e.store.GetType(name, version)
+	return err == nil
+}
+
 func (e *Engine) nextID() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -318,11 +327,23 @@ func (e *Engine) nextID() string {
 // receive step. The returned instance is the engine's live state; treat it
 // as read-only.
 func (e *Engine) Start(ctx context.Context, typeName string, data map[string]any) (*Instance, error) {
-	return e.startChild(ctx, typeName, data, "", "")
+	return e.startChildVersion(ctx, typeName, 0, data, "", "")
+}
+
+// StartVersion is Start pinned to a specific type version (0 means latest).
+// Callers that captured a version at admission time use it to keep an
+// exchange on one consistent configuration even if the type is redeployed
+// mid-flight: the store retains every deployed version.
+func (e *Engine) StartVersion(ctx context.Context, typeName string, version int, data map[string]any) (*Instance, error) {
+	return e.startChildVersion(ctx, typeName, version, data, "", "")
 }
 
 func (e *Engine) startChild(ctx context.Context, typeName string, data map[string]any, parent, parentStep string) (*Instance, error) {
-	t, err := e.store.GetType(typeName, 0)
+	return e.startChildVersion(ctx, typeName, 0, data, parent, parentStep)
+}
+
+func (e *Engine) startChildVersion(ctx context.Context, typeName string, version int, data map[string]any, parent, parentStep string) (*Instance, error) {
+	t, err := e.store.GetType(typeName, version)
 	if err != nil {
 		return nil, fmt.Errorf("wf: start %q: %w", typeName, err)
 	}

@@ -21,8 +21,11 @@
 # the hub-level clean row is noise-dominated by scheduling/transform work
 # with +/-20% inter-run variance between byte-identical configurations, so
 # it carries only a loose 0.75x sanity guard against the identically-
-# configured sharded clean shards=8 row instead of a 1.0x gate), and wide
-# parallelism=8 > 1.0x parallelism=1.
+# configured sharded clean shards=8 row instead of a 1.0x gate), wide
+# parallelism=8 > 1.0x parallelism=1, and the live-canary section
+# (BenchmarkHubCanary: an active never-settling canary on one partner's
+# binding vs no canary) canary=on >= 0.9x canary=off — the route hash and
+# outcome record must stay off the hot path.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,6 +50,9 @@ go test -run '^$' -bench '^BenchmarkHubJournal$' -benchtime "${BENCH_JOURNAL_COU
 
 echo "== BenchmarkHubPlanned (benchtime $SHARD_COUNT) =="
 go test -run '^$' -bench '^BenchmarkHubPlanned$' -benchtime "$SHARD_COUNT" . | tee /tmp/bench_hub_planned.txt
+
+echo "== BenchmarkHubCanary (benchtime ${BENCH_CANARY_COUNT:-800x}) =="
+go test -run '^$' -bench '^BenchmarkHubCanary$' -benchtime "${BENCH_CANARY_COUNT:-800x}" . | tee /tmp/bench_hub_canary.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -151,6 +157,19 @@ if (planned_clean is None or planned_legacy is None or interp_plan is None
         or interp_legacy is None or wide1 is None or wide8 is None):
     sys.exit("bench.sh: missing BenchmarkHubPlanned clean/legacy/interp/wide results")
 
+canary = {}
+for line in open("/tmp/bench_hub_canary.txt"):
+    m = re.search(
+        r"BenchmarkHubCanary/canary=(off|on)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s",
+        line)
+    if m:
+        canary[m.group(1)] = {
+            "ns_per_op": float(m.group(2)),
+            "exchanges_per_sec": float(m.group(3)),
+        }
+if "off" not in canary or "on" not in canary:
+    sys.exit("bench.sh: missing BenchmarkHubCanary off/on results")
+
 best_clean8 = max(
     (row["exchanges_per_sec"] for key, row in sharded.items()
      if key.startswith("clean/shards=8/")),
@@ -168,6 +187,8 @@ plan_vs_legacy = planned_clean / planned_legacy
 interp_speedup = interp_plan / interp_legacy
 planned_ratio = planned_clean / best_clean8
 wide_speedup = wide8 / wide1
+canary_ratio = (canary["on"]["exchanges_per_sec"]
+                / canary["off"]["exchanges_per_sec"])
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -212,6 +233,14 @@ record = {
         "wide_parallel_speedup": round(wide_speedup, 2),
         "passes_parallel_gt_1x": wide_speedup > 1.0,
     },
+    "canary": {
+        "benchmark": "BenchmarkHubCanary",
+        "scenario": "active never-settling canary (fraction 0.25) on one "
+                    "partner's binding vs no canary, sharded DoAsync",
+        "rows": canary,
+        "on_vs_off": round(canary_ratio, 2),
+        "passes_0_9x": canary_ratio >= 0.9,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -232,9 +261,11 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"planned clean vs sharded clean8 = {planned_ratio:.2f}x "
       f"({'PASS' if planned_ratio >= 0.75 else 'FAIL'} >= 0.75x noise guard); "
       f"wide parallelism 8 vs 1 = {wide_speedup:.2f}x "
-      f"({'PASS' if wide_speedup > 1.0 else 'FAIL'} > 1x)")
+      f"({'PASS' if wide_speedup > 1.0 else 'FAIL'} > 1x); "
+      f"canary on vs off = {canary_ratio:.2f}x "
+      f"({'PASS' if canary_ratio >= 0.9 else 'FAIL'} >= 0.9x)")
 if (speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0
         or journal_ratio < 0.4 or interp_speedup < 1.0 or planned_ratio < 0.75
-        or wide_speedup <= 1.0):
+        or wide_speedup <= 1.0 or canary_ratio < 0.9):
     sys.exit(1)
 EOF

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/rules"
+	"repro/internal/server"
 	"repro/internal/transform"
 	"repro/internal/wf"
 	"repro/internal/wfstore"
@@ -793,7 +795,7 @@ func BenchmarkHubParallelFaulty(b *testing.B) {
 	elapsed := time.Since(start)
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
-	c := h.Counters()
+	c := h.Status().Exchanges
 	b.ReportMetric(float64(c.Retries)/float64(b.N), "retries/op")
 }
 
@@ -881,9 +883,143 @@ func BenchmarkHubSharded(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "exchanges/s")
 			if c.mode == "faulty" {
-				cs := h.Counters()
+				cs := h.Status().Exchanges
 				b.ReportMetric(float64(cs.Retries)/float64(b.N), "retries/op")
 			}
+		})
+	}
+}
+
+// BenchmarkHubWire: networked throughput of the daemon front door. The
+// inproc row is the BenchmarkHubSharded clean shards=8 workers=4
+// configuration driven through DoAsync directly — the no-wire baseline.
+// The wire row serves the identically configured hub through
+// internal/server on a real TCP loopback socket and drives the same order
+// mix through 4 clients x 8 pipelined submit calls each, so the measured
+// path adds frame encode/decode, the socket round trip and response
+// correlation on top of everything the baseline does. scripts/bench.sh
+// records both rows into BENCH_hub.json and holds wire >= 0.5x inproc:
+// the front door may cost at most half the in-process clean throughput.
+func BenchmarkHubWire(b *testing.B) {
+	for _, mode := range []string{"inproc", "wire"} {
+		b.Run(fmt.Sprintf("%s/shards=8/workers=4", mode), func(b *testing.B) {
+			m, err := core.PaperFigure14Model()
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.NewHub(m, core.WithShards(8), core.WithWorkersPerShard(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+				b.Fatal(err)
+			}
+			defer h.StopWorkers()
+			ctx := context.Background()
+
+			var buyers []doc.Party
+			for _, p := range h.Model.Partners {
+				buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(3000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-w%d-%d", pos[i].ID, w, i)
+			}
+
+			if mode == "inproc" {
+				b.ResetTimer()
+				start := time.Now()
+				futs := make([]*core.Future, b.N)
+				for i, po := range pos {
+					fut, err := h.DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+					if err != nil {
+						b.Fatal(err)
+					}
+					futs[i] = fut
+				}
+				for i, fut := range futs {
+					if res := fut.Result(ctx); res.Err != nil {
+						b.Fatalf("exchange %d: %v", i, res.Err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "exchanges/s")
+				return
+			}
+
+			// Wire: marshal the submit requests up front so the timed
+			// region measures the protocol, not client-side PO encoding
+			// symmetry with the baseline, whose POs are also pre-built.
+			reqs := make([]server.SubmitRequest, b.N)
+			for i, po := range pos {
+				req, err := server.PORequest(po)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.Async = true
+				reqs[i] = req
+			}
+			h.StartScheduler()
+			d, err := server.NewDaemon(h, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- d.Serve() }()
+			const clients, pipeline = 4, 8
+			conns := make([]*server.Client, clients)
+			for i := range conns {
+				c, err := server.Dial(ctx, d.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = c
+			}
+			defer func() {
+				for _, c := range conns {
+					c.Close()
+				}
+				d.Close()
+				if err := <-serveDone; err != nil {
+					b.Error(err)
+				}
+			}()
+
+			b.ResetTimer()
+			start := time.Now()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients*pipeline)
+			for w := 0; w < clients*pipeline; w++ {
+				wg.Add(1)
+				go func(c *server.Client) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						if _, err := c.Submit(ctx, reqs[i]); err != nil {
+							errc <- fmt.Errorf("exchange %d: %w", i, err)
+							return
+						}
+					}
+				}(conns[w%clients])
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "exchanges/s")
 		})
 	}
 }

@@ -177,7 +177,7 @@ func TestChaosExactlyOnceAccounting(t *testing.T) {
 			}
 
 			// Counters reconcile with the resolved futures and the DLQ.
-			c := hub.Counters()
+			c := hub.Status().Exchanges
 			dls := hub.DeadLetters()
 			if c.Started != int64(submitted) {
 				t.Fatalf("counters.Started %d != %d submitted", c.Started, submitted)
@@ -379,7 +379,7 @@ func TestChaosPartnerOutageBreaker(t *testing.T) {
 
 	// Accounting holds mid-outage: every failure is dead-lettered, every
 	// fast-fail/shed included; nothing healthy was dead-lettered.
-	c := hub.Counters()
+	c := hub.Status().Exchanges
 	dls := hub.DeadLetters()
 	if c.Started != int64(submitted) || c.ByFlow[obs.FlowPO] != int64(submitted) {
 		t.Fatalf("counters started=%d terminal=%d, want %d submitted", c.Started, c.ByFlow[obs.FlowPO], submitted)
@@ -437,7 +437,7 @@ func TestChaosPartnerOutageBreaker(t *testing.T) {
 		t.Fatalf("backends hold %d orders, want %d (each submitted order exactly once)", storedTotal, submitted)
 	}
 
-	hm := hub.HealthMetrics().Snapshot()
+	hm := hub.Status().Partners
 	if len(hm) == 0 {
 		t.Fatal("no partner-health gauges recorded through the outage")
 	}
@@ -494,7 +494,7 @@ func TestChaosCancellationAccounting(t *testing.T) {
 	if resolved != len(futs) {
 		t.Fatalf("resolved %d of %d futures", resolved, len(futs))
 	}
-	c := hub.Counters()
+	c := hub.Status().Exchanges
 	if got := c.ByFlow[obs.FlowPO]; got != c.Started {
 		t.Fatalf("started %d but %d terminal events", c.Started, got)
 	}
@@ -825,7 +825,7 @@ func TestChaosCanaryBrokenCandidate(t *testing.T) {
 	if got, _ := hub.ConfigStore().Active(cfgstore.ClassBinding, core.BindingName(formats.EDI)); got != incumbentVersion {
 		t.Fatalf("EDI binding active at v%d after rollback, want incumbent v%d", got, incumbentVersion)
 	}
-	cm := hub.ConfigMetrics().Snapshot()
+	cm := hub.Status().Config
 	if cm.Canaries != 1 || cm.RolledBack != 1 || cm.Promoted != 0 {
 		t.Fatalf("config gauges %+v, want exactly one canary, rolled back", cm)
 	}
@@ -837,7 +837,7 @@ func TestChaosCanaryBrokenCandidate(t *testing.T) {
 			t.Fatalf("partner %s breaker %v after the canary incident, want closed", p.ID, st)
 		}
 	}
-	for _, g := range hub.HealthMetrics().Snapshot() {
+	for _, g := range hub.Status().Partners {
 		if g.Opens > 0 || g.FastFails > 0 {
 			t.Fatalf("partner %s breaker activity %+v during a config-only incident", g.Partner, g)
 		}

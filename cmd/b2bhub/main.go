@@ -29,6 +29,12 @@
 // reached a terminal outcome are re-run with at-most-once redelivery. The
 // recovery report is printed before any new orders are driven.
 //
+// With -serve ADDR the tool becomes a long-lived daemon instead of a
+// self-driving benchmark: it listens on ADDR and serves the versioned wire
+// protocol (submit, status, trace, dlq, resubmit, drain) until SIGTERM or
+// SIGINT, which triggers a graceful drain (bounded by -drain-timeout) and a
+// journal checkpoint before exit. Use cmd/b2bctl to talk to it.
+//
 // With -swap the EDI binding is hot-swapped mid-run — while orders are in
 // flight — and then rolled back to the prior version, without draining;
 // with -canary F a rebuilt EDI binding candidate takes fraction F of TP1's
@@ -43,6 +49,7 @@
 //	b2bhub [-berr 1] [-breaker-threshold 0.5] [-breaker-window 5s] [-probe-interval 500ms]
 //	b2bhub [-journal hub.wal] [-fsync batched]
 //	b2bhub [-workers 4] [-swap] [-canary 0.25]
+//	b2bhub -serve 127.0.0.1:7340 [-journal hub.wal] [-shards 4] [-drain-timeout 30s]
 package main
 
 import (
@@ -50,7 +57,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/backend"
@@ -63,6 +73,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 var (
@@ -101,6 +112,10 @@ var (
 	// while orders are in flight.
 	swap       = flag.Bool("swap", false, "hot-swap the EDI binding mid-run, then roll it back")
 	canaryFrac = flag.Float64("canary", 0, "canary a rebuilt EDI binding on this fraction of TP1 traffic; 0 disables")
+
+	// Daemon mode: serve the wire protocol instead of driving a benchmark.
+	serveAddr    = flag.String("serve", "", "listen address (host:port); runs as a long-lived daemon serving the wire protocol")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline in daemon mode")
 )
 
 // network abstracts the two transports the tool can run over.
@@ -171,6 +186,11 @@ func main() {
 		if _, err := hub.EnableInvoicing(); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *serveAddr != "" {
+		runDaemon(hub)
+		return
 	}
 
 	if *berr > 0 || *bhang > 0 {
@@ -283,8 +303,9 @@ func main() {
 	for name, sys := range hub.Systems {
 		fmt.Printf("backend %-7s stored %d orders\n", name, sys.StoredOrders())
 	}
-	hs := hub.Stats()
-	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n", hs.Exchanges, hs.Invoices, hs.Failed)
+	hst := hub.Status()
+	fmt.Printf("hub: %d exchanges, %d invoices, %d failed\n",
+		hst.Exchanges.ByFlow[obs.FlowPO], hst.Exchanges.ByFlow[obs.FlowInvoice], hst.Exchanges.Failed)
 	printConfigMetrics(hub)
 	printStageMetrics(hub)
 	if *trace {
@@ -293,6 +314,45 @@ func main() {
 		printPlanMetrics(hub)
 	}
 	hub.StopWorkers()
+}
+
+// runDaemon serves the hub over the wire protocol until SIGTERM or SIGINT,
+// then drains gracefully: admission stops, in-flight exchanges finish under
+// -drain-timeout, the journal is checkpointed, and the listener closes. The
+// listen line is printed first and is stable ("b2bhub daemon listening on
+// ADDR") so scripts and tests can scrape the bound address.
+func runDaemon(hub *core.Hub) {
+	hub.StartScheduler()
+	defer hub.StopWorkers()
+	d, err := server.NewDaemon(hub, *serveAddr, server.WithDrainTimeout(*drainTimeout))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("b2bhub daemon listening on %s\n", d.Addr())
+	fmt.Printf("serving %d partners (journal=%v); SIGTERM drains within %v\n",
+		len(hub.Model.Partners), hub.Journal() != nil, *drainTimeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigc
+		fmt.Printf("b2bhub: caught %v, draining (deadline %v)\n", sig, *drainTimeout)
+		sum, err := d.DrainAndClose(*drainTimeout)
+		if err != nil {
+			fmt.Printf("b2bhub: drain: %v\n", err)
+		}
+		fmt.Printf("drained: %d completed, %d failed, %d shed, %d dead letters flushed\n",
+			sum.Completed, sum.Failed, sum.Shed, sum.DeadLettered)
+	}()
+	if err := d.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	<-drained
+	st := hub.Status()
+	fmt.Printf("final: %d exchanges started, %d failed, %d retries, %d dead-lettered\n",
+		st.Exchanges.Started, st.Exchanges.Failed, st.Exchanges.Retries, st.Exchanges.DeadLettered)
 }
 
 // liveCanary retains the -canary deployment so its verdict and per-arm
@@ -354,7 +414,7 @@ func printConfigMetrics(hub *core.Hub) {
 	if !*swap && *canaryFrac <= 0 {
 		return
 	}
-	cs := hub.ConfigMetrics().Snapshot()
+	cs := hub.Status().Config
 	fmt.Printf("config changes: %d swaps, %d activations, %d canaries (%d promoted, %d rolled back); "+
 		"epoch %d, %d live versions of %d artifacts\n",
 		cs.Swaps, cs.Activations, cs.Canaries, cs.Promoted, cs.RolledBack,
@@ -415,7 +475,7 @@ func runChaos(hub *core.Hub) {
 	<-cfgDone
 	elapsed := time.Since(start)
 
-	c := hub.Counters()
+	c := hub.Status().Exchanges
 	fmt.Printf("%d submitted in %v (%.0f/s) with %d worker(s) over backend err=%.0f%% hang=%.0f%%\n",
 		len(futs), elapsed.Round(time.Millisecond), float64(len(futs))/elapsed.Seconds(), *workers, *berr*100, *bhang*100)
 	fmt.Printf("accounting: %d completed + %d dead-lettered = %d; %d retried attempts\n",
@@ -524,7 +584,7 @@ func printTrace(hub *core.Hub, exchangeID string) {
 // printShardMetrics renders the scheduler's per-shard gauges (queue depth,
 // busy workers, completed throughput, bypass admissions).
 func printShardMetrics(hub *core.Hub) {
-	snaps := hub.SchedMetrics().Snapshot()
+	snaps := hub.Status().Sched.PerShard
 	if len(snaps) == 0 {
 		return
 	}
@@ -547,7 +607,7 @@ func printHealthMetrics(hub *core.Hub) {
 	for _, s := range tracker.Snapshot() {
 		live[s.Partner] = s
 	}
-	gauges := hub.HealthMetrics().Snapshot()
+	gauges := hub.Status().Partners
 	if len(live) == 0 && len(gauges) == 0 {
 		return
 	}
@@ -570,7 +630,7 @@ func printHealthMetrics(hub *core.Hub) {
 // printPlanMetrics renders the deploy-time compilation gauges and the shape
 // of the engine's live plan cache.
 func printPlanMetrics(hub *core.Hub) {
-	snap := hub.PlanMetrics().Snapshot()
+	snap := hub.Status().Plans
 	stats := metrics.PlanStatsOf(hub.Engine)
 	fmt.Printf("compiled plans: %d cached (%d steps, %d arcs, max parallel width %d); "+
 		"%d compilations (%d rejected) in %v, plan epoch %d\n",

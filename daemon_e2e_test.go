@@ -1,0 +1,272 @@
+package repro
+
+// End-to-end crash test for the daemon front door: a real child process
+// serves a journaled hub over TCP, a mixed sync/async workload runs against
+// it over the wire, and the process is SIGKILLed mid-flight. A second child
+// on the same journal must recover every exchange exactly once:
+//
+//   - every acked exchange survives as a restored record (its completion
+//     was journaled with fsync=always before the ack crossed the wire), is
+//     traceable by its original ID, and is never re-run;
+//   - every unfinished admission is re-enqueued exactly once and resolves
+//     terminally (recovered or redelivered to the DLQ — never both, never
+//     neither);
+//   - the journal ends with zero pending admits, and new work submits
+//     cleanly after recovery.
+//
+// The child is this test binary re-exec'ed with -test.run pinned to the
+// helper, so the daemon lifecycle under test is the real one: listen line
+// on stdout, wire protocol on the socket, kill -9 on the process.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/journal"
+	"repro/internal/leakcheck"
+	"repro/internal/server"
+)
+
+// TestDaemonHelperProcess is not a test: it is the daemon child re-exec'ed
+// by TestDaemonCrashRecovery. It builds a journaled Figure 14 hub, recovers
+// the journal, prints the report and its listen address in a parseable form,
+// and serves the wire protocol until killed.
+func TestDaemonHelperProcess(t *testing.T) {
+	if os.Getenv("B2B_DAEMON_HELPER") != "1" {
+		t.Skip("helper process for TestDaemonCrashRecovery")
+	}
+	jpath := os.Getenv("B2B_DAEMON_JOURNAL")
+	m, err := core.PaperFigure14Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.NewHub(m,
+		core.WithShards(2), core.WithWorkersPerShard(2),
+		core.WithJournal(jpath), core.WithFsyncPolicy(journal.FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, rcancel := context.WithTimeout(context.Background(), time.Minute)
+	rep, err := h.Recover(rctx)
+	rcancel()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.StartScheduler()
+	d, err := server.NewDaemon(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parent scrapes these two lines off stdout.
+	fmt.Printf("RECOVER %s\n", repJSON)
+	fmt.Printf("ADDR %s\n", d.Addr())
+	if err := d.Serve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helperDaemon is one child run: the process, its parsed recovery report
+// and its listen address.
+type helperDaemon struct {
+	cmd  *exec.Cmd
+	rep  core.RecoveryReport
+	addr string
+}
+
+// startHelperDaemon re-execs the test binary as a daemon child on jpath and
+// blocks until it prints its recovery report and listen address.
+func startHelperDaemon(t *testing.T, jpath string) *helperDaemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestDaemonHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "B2B_DAEMON_HELPER=1", "B2B_DAEMON_JOURNAL="+jpath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hd := &helperDaemon{cmd: cmd}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "RECOVER "); ok {
+			if err := json.Unmarshal([]byte(rest), &hd.rep); err != nil {
+				t.Fatalf("parse recovery report %q: %v", rest, err)
+			}
+		}
+		if rest, ok := strings.CutPrefix(line, "ADDR "); ok {
+			hd.addr = rest
+			break
+		}
+	}
+	deadline.Stop()
+	if hd.addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon child never printed its address")
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return hd
+}
+
+func (hd *helperDaemon) kill() {
+	hd.cmd.Process.Kill()
+	hd.cmd.Wait()
+}
+
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	defer leakcheck.Check(t)()
+	jpath := filepath.Join(t.TempDir(), "daemon.journal")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Phase 1: fresh daemon, mixed workload, SIGKILL mid-flight.
+	first := startHelperDaemon(t, jpath)
+	if first.rep.Records != 0 {
+		t.Fatalf("fresh journal replayed %d records", first.rep.Records)
+	}
+	c, err := server.Dial(ctx, first.addr)
+	if err != nil {
+		first.kill()
+		t.Fatal(err)
+	}
+	partners := c.Hello().Partners
+	if len(partners) == 0 {
+		first.kill()
+		t.Fatal("daemon reports no partners")
+	}
+
+	var (
+		mu    sync.Mutex
+		acked []string
+	)
+	ackedCount := func() int { mu.Lock(); defer mu.Unlock(); return len(acked) }
+	seller := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := partners[w%len(partners)]
+			buyer := doc.Party{ID: p, Name: p + " e2e", DUNS: "000000000"}
+			g := doc.NewGenerator(int64(100 + w))
+			for i := 0; ; i++ {
+				req, err := server.PORequest(g.PO(buyer, seller))
+				if err != nil {
+					return
+				}
+				req.Async = i%2 == 0
+				req.High = i%4 == 0
+				resp, err := c.Submit(ctx, req)
+				if err != nil {
+					return // the kill landed
+				}
+				mu.Lock()
+				acked = append(acked, resp.ExchangeID)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for ackedCount() < 10 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	first.kill() // SIGKILL: no drain, no checkpoint, torn tail allowed
+	wg.Wait()
+	c.Close()
+	ackedIDs := map[string]bool{}
+	for _, id := range acked {
+		if ackedIDs[id] {
+			t.Fatalf("exchange %s acked twice before the crash", id)
+		}
+		ackedIDs[id] = true
+	}
+
+	// Phase 2: restart on the same journal and hold recovery to the
+	// exactly-once contract.
+	second := startHelperDaemon(t, jpath)
+	defer second.kill()
+	rep := second.rep
+	t.Logf("recovery: %+v (acked before kill: %d)", rep, len(ackedIDs))
+	if rep.Records == 0 {
+		t.Fatal("restart replayed no journal records")
+	}
+	if rep.Restored < len(ackedIDs) {
+		t.Errorf("restored %d completed exchanges, want >= %d acked", rep.Restored, len(ackedIDs))
+	}
+	if rep.Reenqueued != rep.Recovered+rep.Redelivered {
+		t.Errorf("replay accounting: %d re-enqueued != %d recovered + %d redelivered",
+			rep.Reenqueued, rep.Recovered, rep.Redelivered)
+	}
+
+	c2, err := server.Dial(ctx, second.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Every acked exchange is traceable by its original ID.
+	for id := range ackedIDs {
+		if _, err := c2.Trace(ctx, id); err != nil {
+			t.Errorf("acked exchange %s lost across the crash: %v", id, err)
+		}
+	}
+	// No acked exchange was re-delivered to the DLQ: its completion record
+	// was durable, so recovery restored it instead of re-running it.
+	dlq, err := c2.DLQ(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range dlq.Entries {
+		if ackedIDs[e.ExchangeID] {
+			t.Errorf("acked exchange %s re-ran into the DLQ", e.ExchangeID)
+		}
+	}
+	st, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Journal.Enabled || st.Journal.PendingAdmits != 0 {
+		t.Errorf("journal not settled after recovery: %+v", st.Journal)
+	}
+
+	// The recovered daemon accepts new work and drains cleanly.
+	g := doc.NewGenerator(999)
+	req, err := server.PORequest(g.PO(doc.Party{ID: partners[0], Name: "post-recovery", DUNS: "000000000"}, seller))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Submit(ctx, req); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	sum, err := c2.Drain(ctx, 10_000)
+	if err != nil {
+		t.Fatalf("post-recovery drain: %v", err)
+	}
+	if sum.TimedOut || !sum.Checkpointed {
+		t.Errorf("post-recovery drain: %+v", sum)
+	}
+}

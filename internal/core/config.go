@@ -58,6 +58,8 @@ func (h *Hub) ConfigStore() *cfgstore.Store { return h.cfg }
 
 // ConfigMetrics exposes the runtime change-management gauges derived from
 // the KindConfig event stream.
+//
+// Deprecated: use Status().Config.
 func (h *Hub) ConfigMetrics() *obs.ConfigMetrics { return h.configMetrics }
 
 // RegisterHandler registers (or replaces) a workflow step handler on the

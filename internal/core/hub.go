@@ -222,6 +222,9 @@ type HubStats struct {
 
 // Stats returns a snapshot of the hub's activity counters, derived from the
 // exchange lifecycle events.
+//
+// Deprecated: use Status; HubStats is a flattened subset of
+// StatusSnapshot.Exchanges.
 func (h *Hub) Stats() HubStats {
 	s := h.counters.Snapshot()
 	st := HubStats{
@@ -243,6 +246,8 @@ func (h *Hub) Bus() *obs.Bus { return h.bus }
 func (h *Hub) Metrics() *obs.Metrics { return h.metrics }
 
 // Counters exposes the exchange lifecycle counters.
+//
+// Deprecated: use Status().Exchanges.
 func (h *Hub) Counters() obs.CountersSnapshot { return h.counters.Snapshot() }
 
 // Events returns the retained event history of one exchange in emission

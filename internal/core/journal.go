@@ -720,4 +720,6 @@ func (h *Hub) CloseJournal() error {
 
 // RecoveryMetrics exposes the crash-recovery gauges derived from the
 // KindRecovery event stream.
+//
+// Deprecated: use Status().Recovery.
 func (h *Hub) RecoveryMetrics() *obs.RecoveryMetrics { return h.recoveryMetrics }

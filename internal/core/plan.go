@@ -114,4 +114,6 @@ func sendsOnPublicOut(t *wf.TypeDef) bool {
 }
 
 // PlanMetrics exposes the hub's deploy-time compilation gauges.
+//
+// Deprecated: use Status().Plans.
 func (h *Hub) PlanMetrics() *obs.PlanMetrics { return h.planMetrics }

@@ -47,13 +47,13 @@ func TestPlanInterpreterMatchesLegacyHub(t *testing.T) {
 			buyer := doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS}
 			for i := 0; i < 3; i++ {
 				po := g.PO(buyer, seller)
-				poa, _, err := hub.RoundTrip(ctx, po)
+				res, err := hub.Do(ctx, Request{Kind: DocPO, PO: po})
 				if err != nil {
 					t.Fatalf("%s order %d: %v", p.ID, i, err)
 				}
-				acks = append(acks, poa)
+				acks = append(acks, res.POA)
 				if i == 0 {
-					if _, _, err := hub.SendInvoice(ctx, p.ID, po.ID); err != nil {
+					if _, err := hub.Do(ctx, Request{Kind: DocInvoice, PartnerID: p.ID, POID: po.ID}); err != nil {
 						t.Fatalf("%s invoice: %v", p.ID, err)
 					}
 				}

@@ -351,4 +351,6 @@ func (h *Hub) ShardCount() int {
 
 // SchedMetrics exposes the per-shard scheduler gauges (queue depth, busy
 // workers, completed throughput, bypass admissions).
+//
+// Deprecated: use Status().Sched.PerShard.
 func (h *Hub) SchedMetrics() *obs.SchedMetrics { return h.schedMetrics }

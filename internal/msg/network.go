@@ -13,7 +13,24 @@ import (
 var ErrClosed = errors.New("msg: endpoint closed")
 
 // ErrUnknownAddress is returned when sending to an unregistered address.
+// Sends fail with an *UnknownAddressError that unwraps to this sentinel.
 var ErrUnknownAddress = errors.New("msg: unknown address")
+
+// UnknownAddressError reports a send to an address no endpoint has
+// registered, naming the address so callers can route or log it. It
+// unwraps to ErrUnknownAddress for errors.Is.
+type UnknownAddressError struct {
+	// Addr is the unregistered logical address.
+	Addr string
+}
+
+// Error implements error.
+func (e *UnknownAddressError) Error() string {
+	return fmt.Sprintf("%v: %q", ErrUnknownAddress, e.Addr)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *UnknownAddressError) Unwrap() error { return ErrUnknownAddress }
 
 // Endpoint is one party's attachment to a network: it can send messages to
 // other addresses and receive messages sent to its own.
@@ -118,7 +135,7 @@ func (n *InProcNetwork) deliver(to string, m *Message) error {
 	box, ok := n.boxes[to]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+		return &UnknownAddressError{Addr: to}
 	}
 	copies := 1
 	if n.faults.LossProb > 0 && n.rng.Float64() < n.faults.LossProb {

@@ -116,7 +116,21 @@ func (e *tcpEndpoint) serve(conn net.Conn) {
 	}
 }
 
+// defaultSendTimeout bounds Send dials and writes when the caller brings
+// no context of its own.
+const defaultSendTimeout = 2 * time.Second
+
 func (e *tcpEndpoint) Send(to string, m *Message) error {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultSendTimeout)
+	defer cancel()
+	return e.SendContext(ctx, to, m)
+}
+
+// SendContext transmits m to the given address, honoring ctx for the dial
+// and the write: a canceled or expired context unsticks a send mid-dial
+// instead of blocking for the full fixed timeout. Unknown addresses fail
+// with an *UnknownAddressError (errors.Is ErrUnknownAddress).
+func (e *tcpEndpoint) SendContext(ctx context.Context, to string, m *Message) error {
 	select {
 	case <-e.done:
 		return ErrClosed
@@ -124,7 +138,7 @@ func (e *tcpEndpoint) Send(to string, m *Message) error {
 	}
 	hostport, ok := e.net.resolve(to)
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+		return &UnknownAddressError{Addr: to}
 	}
 	cp := m.Clone()
 	cp.From = e.addr
@@ -133,11 +147,17 @@ func (e *tcpEndpoint) Send(to string, m *Message) error {
 	if err != nil {
 		return fmt.Errorf("msg: marshal: %w", err)
 	}
-	conn, err := net.DialTimeout("tcp", hostport, 2*time.Second)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", hostport)
 	if err != nil {
 		return fmt.Errorf("msg: dial %q: %w", to, err)
 	}
 	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("msg: deadline for %q: %w", to, err)
+		}
+	}
 	if _, err := conn.Write(append(frame, '\n')); err != nil {
 		return fmt.Errorf("msg: write to %q: %w", to, err)
 	}

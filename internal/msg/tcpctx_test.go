@@ -1,0 +1,89 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestUnknownAddressTyped pins the typed unknown-address failure on both
+// networks: errors.As extracts the address, errors.Is still matches the
+// sentinel.
+func TestUnknownAddressTyped(t *testing.T) {
+	t.Run("inproc", func(t *testing.T) {
+		n := NewInProcNetwork(Faults{})
+		defer n.Close()
+		a, err := n.Endpoint("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = a.Send("ghost", &Message{ID: "x"})
+		var ua *UnknownAddressError
+		if !errors.As(err, &ua) || ua.Addr != "ghost" {
+			t.Fatalf("want *UnknownAddressError{ghost}, got %v", err)
+		}
+		if !errors.Is(err, ErrUnknownAddress) {
+			t.Fatalf("sentinel lost: %v", err)
+		}
+	})
+	t.Run("tcp", func(t *testing.T) {
+		n := NewTCPNetwork()
+		defer n.Close()
+		a, err := n.Endpoint("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		err = a.Send("ghost", &Message{ID: "x"})
+		var ua *UnknownAddressError
+		if !errors.As(err, &ua) || ua.Addr != "ghost" {
+			t.Fatalf("want *UnknownAddressError{ghost}, got %v", err)
+		}
+		if !errors.Is(err, ErrUnknownAddress) {
+			t.Fatalf("sentinel lost: %v", err)
+		}
+	})
+}
+
+// TestTCPSendContext pins that dials honor the caller's context: an
+// already-canceled context fails the send immediately (no fixed 2s dial
+// timeout), and a live context delivers normally.
+func TestTCPSendContext(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	a, err := n.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := n.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err = a.(*tcpEndpoint).SendContext(canceled, "B", &Message{ID: "x"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled send blocked %v", elapsed)
+	}
+
+	ctx, cancelOK := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelOK()
+	if err := a.(*tcpEndpoint).SendContext(ctx, "B", &Message{ID: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "ok" || got.From != "A" {
+		t.Fatalf("delivered %+v", got)
+	}
+}

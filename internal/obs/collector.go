@@ -128,15 +128,15 @@ func (c *ExchangeCounters) Emit(e Event) {
 
 // CountersSnapshot is the exported view of the exchange counters.
 type CountersSnapshot struct {
-	Started int64
-	Failed  int64
+	Started int64 `json:"started"`
+	Failed  int64 `json:"failed"`
 	// Retries counts failed delivery attempts that were retried.
-	Retries int64
+	Retries int64 `json:"retries"`
 	// DeadLettered counts exchanges parked on the dead-letter queue.
-	DeadLettered int64
-	ByFlow       map[Flow]int64
+	DeadLettered int64          `json:"dead_lettered"`
+	ByFlow       map[Flow]int64 `json:"by_flow,omitempty"`
 	// ByPartner counts terminal exchanges per trading partner.
-	ByPartner map[string]int64
+	ByPartner map[string]int64 `json:"by_partner,omitempty"`
 }
 
 // Snapshot returns a deep copy of the counters.

@@ -49,15 +49,15 @@ type ConfigSnapshot struct {
 	// Swaps counts new artifact versions registered as active on the live
 	// hub; Activations counts active-pointer moves to already-registered
 	// versions (rollbacks and canary promotions).
-	Swaps       int64
-	Activations int64
+	Swaps       int64 `json:"swaps"`
+	Activations int64 `json:"activations"`
 	// Canaries counts canary deployments started; Promoted and RolledBack
 	// count their verdicts.
-	Canaries   int64
-	Promoted   int64
-	RolledBack int64
+	Canaries   int64 `json:"canaries"`
+	Promoted   int64 `json:"promoted"`
+	RolledBack int64 `json:"rolled_back"`
 	// Epoch is the highest config epoch any change event carried.
-	Epoch int64
+	Epoch int64 `json:"epoch"`
 }
 
 // Snapshot returns the current gauges.

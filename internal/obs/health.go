@@ -70,25 +70,25 @@ func (h *HealthMetrics) Emit(e Event) {
 // HealthSnapshot is the exported view of one partner's health gauges.
 type HealthSnapshot struct {
 	// Partner is the trading partner the breaker guards.
-	Partner string
+	Partner string `json:"partner"`
 	// State is the last observed breaker state ("closed" until the first
 	// transition event).
-	State string
+	State string `json:"state"`
 	// Opens / HalfOpens / Closes count breaker state transitions.
-	Opens     int64
-	HalfOpens int64
-	Closes    int64
+	Opens     int64 `json:"opens"`
+	HalfOpens int64 `json:"half_opens"`
+	Closes    int64 `json:"closes"`
 	// Probes counts half-open probe exchanges; ProbeFailures the failed ones.
-	Probes        int64
-	ProbeFailures int64
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
 	// Sheds counts normal-priority submissions dropped by the adaptive
 	// shedder; FastFails counts submissions rejected by an open circuit.
-	Sheds     int64
-	FastFails int64
+	Sheds     int64 `json:"sheds"`
+	FastFails int64 `json:"fast_fails"`
 	// DLQEvicted counts this partner's dead letters pushed out of the
 	// bounded in-memory queue (spilled to journal-only retention, or
 	// rejected when the hub has no journal).
-	DLQEvicted int64
+	DLQEvicted int64 `json:"dlq_evicted"`
 }
 
 // Snapshot returns the per-partner gauges sorted by partner ID.

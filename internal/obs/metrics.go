@@ -79,15 +79,18 @@ func (m *Metrics) Emit(e Event) {
 
 // StageSnapshot is the exported view of one stage's metrics.
 type StageSnapshot struct {
-	Stage  Stage
-	Count  int64
-	Errors int64
-	Total  time.Duration
-	Mean   time.Duration
-	Max    time.Duration
+	Stage  Stage `json:"stage"`
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	// Durations serialize as integer nanoseconds (Go time.Duration).
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
 	// P50/P95/P99 are histogram-resolution latency quantiles (upper bound
 	// of the bucket the quantile falls into).
-	P50, P95, P99 time.Duration
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
 }
 
 // Snapshot returns the per-stage metrics, sorted by stage name.

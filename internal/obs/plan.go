@@ -41,11 +41,12 @@ type PlanSnapshot struct {
 	// Compiled counts successful type compilations (re-deploys of the same
 	// type count again — the gauge measures compiler work, not plan-cache
 	// size).
-	Compiled int64
+	Compiled int64 `json:"compiled"`
 	// Rejected counts deploys refused with plan errors.
-	Rejected int64
-	// CompileTime is the cumulative wall time spent in the compiler.
-	CompileTime time.Duration
+	Rejected int64 `json:"rejected"`
+	// CompileTime is the cumulative wall time spent in the compiler,
+	// serialized as integer nanoseconds.
+	CompileTime time.Duration `json:"compile_time_ns"`
 }
 
 // Snapshot returns the current gauges.

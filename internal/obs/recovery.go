@@ -49,18 +49,19 @@ func (r *RecoveryMetrics) Emit(e Event) {
 // RecoverySnapshot is the exported view of the recovery gauges.
 type RecoverySnapshot struct {
 	// Recoveries counts Recover passes since the sink was attached.
-	Recoveries int64
+	Recoveries int64 `json:"recoveries"`
 	// Restored counts completed exchanges restored as records.
-	Restored int64
+	Restored int64 `json:"restored"`
 	// DeadLetters counts dead letters restored to the queue.
-	DeadLetters int64
+	DeadLetters int64 `json:"dead_letters"`
 	// Replayed counts unfinished admissions re-run through the scheduler;
 	// Redelivered are the replays that dead-lettered again (the at-most-once
 	// redelivery of a crash between "executed" and "journaled-complete").
-	Replayed    int64
-	Redelivered int64
-	// LastDuration is how long the most recent Recover pass took.
-	LastDuration time.Duration
+	Replayed    int64 `json:"replayed"`
+	Redelivered int64 `json:"redelivered"`
+	// LastDuration is how long the most recent Recover pass took,
+	// serialized as integer nanoseconds.
+	LastDuration time.Duration `json:"last_duration_ns"`
 }
 
 // Snapshot returns the current gauges.

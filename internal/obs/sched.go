@@ -56,16 +56,16 @@ func (s *SchedMetrics) Emit(e Event) {
 // ShardSnapshot is the exported view of one shard's gauges.
 type ShardSnapshot struct {
 	// Shard is the shard index.
-	Shard int
+	Shard int `json:"shard"`
 	// Queued is the current queue depth (admitted, not yet dispatched).
-	Queued int64
+	Queued int64 `json:"queued"`
 	// Busy is the number of workers currently running a job.
-	Busy int64
+	Busy int64 `json:"busy"`
 	// Completed counts finished jobs — the shard's lifetime throughput.
-	Completed int64
+	Completed int64 `json:"completed"`
 	// Bypassed counts jobs diverted INTO this shard by the slow-shard
 	// bypass (their home shard was backed up).
-	Bypassed int64
+	Bypassed int64 `json:"bypassed"`
 }
 
 // Snapshot returns the per-shard gauges sorted by shard index.

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+)
+
+// ErrClientClosed is returned by calls on a closed client (or one whose
+// connection broke; the underlying cause is wrapped).
+var ErrClientClosed = errors.New("server: client closed")
+
+// Client is one connection to a daemon. Calls are safe for concurrent use:
+// requests are pipelined on the single connection and matched to their
+// responses by frame ID, so many goroutines can share one client.
+type Client struct {
+	conn  net.Conn
+	hello HelloResponse
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Frame
+	nextID  uint64
+	cause   error // terminal reason, set once before done closes
+	done    chan struct{}
+	closed  bool
+}
+
+// Dial connects to a daemon, honoring ctx for the dial itself, and
+// performs the OpHello handshake so a protocol-version mismatch surfaces
+// immediately (as a CodeVersion error) rather than on first use.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *Frame{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	var hello HelloResponse
+	if err := c.Call(ctx, OpHello, struct{}{}, &hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.hello = hello
+	return c, nil
+}
+
+// Hello returns the daemon's handshake response.
+func (c *Client) Hello() HelloResponse { return c.hello }
+
+// Close tears the connection down; in-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	var cause error
+	for {
+		f, err := ReadFrame(c.conn, MaxFrame)
+		if err != nil {
+			cause = err
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+	c.mu.Lock()
+	c.cause = cause
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Call performs one op: in is marshaled as the request body, and the
+// response body is unmarshaled into out (out may be nil to discard it).
+// Wire errors come back typed: errors.Is sees the core sentinels and
+// errors.As extracts *core.ExchangeError, exactly as in-process callers do.
+func (c *Client) Call(ctx context.Context, op string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server: marshal %s request: %w", op, err)
+	}
+	ch := make(chan *Frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	c.writeMu.Lock()
+	err = WriteFrame(c.conn, &Frame{V: ProtocolVersion, ID: id, Op: op, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	select {
+	case f := <-ch:
+		if f.Err != nil {
+			return DecodeError(f.Err)
+		}
+		if out != nil && len(f.Body) > 0 {
+			if err := json.Unmarshal(f.Body, out); err != nil {
+				return fmt.Errorf("server: decode %s response: %w", op, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		cause := c.cause
+		c.mu.Unlock()
+		if cause != nil {
+			return fmt.Errorf("%w: %v", ErrClientClosed, cause)
+		}
+		return ErrClientClosed
+	}
+}
+
+// Status fetches the hub's unified snapshot.
+func (c *Client) Status(ctx context.Context) (*core.StatusSnapshot, error) {
+	out := &core.StatusSnapshot{}
+	if err := c.Call(ctx, OpStatus, struct{}{}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit runs one exchange on the daemon and returns its outcome.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error) {
+	out := &SubmitResponse{}
+	if err := c.Call(ctx, OpSubmit, req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace fetches one exchange's record and trace lines.
+func (c *Client) Trace(ctx context.Context, exchangeID string) (*TraceResponse, error) {
+	out := &TraceResponse{}
+	if err := c.Call(ctx, OpTrace, TraceRequest{ExchangeID: exchangeID}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DLQ lists the daemon's dead-letter queue.
+func (c *Client) DLQ(ctx context.Context) (*DLQResponse, error) {
+	out := &DLQResponse{}
+	if err := c.Call(ctx, OpDLQ, struct{}{}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Resubmit reruns one dead-lettered exchange by ID, or all of them.
+func (c *Client) Resubmit(ctx context.Context, exchangeID string, all bool) (*ResubmitResponse, error) {
+	out := &ResubmitResponse{}
+	req := ResubmitRequest{ExchangeID: exchangeID, All: all}
+	if err := c.Call(ctx, OpResubmit, req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Drain gracefully drains the daemon's hub under the given deadline
+// (0 = the daemon's default) and checkpoints its journal.
+func (c *Client) Drain(ctx context.Context, timeoutMS int64) (*DrainResponse, error) {
+	out := &DrainResponse{}
+	if err := c.Call(ctx, OpDrain, DrainRequest{TimeoutMS: timeoutMS}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PORequest builds the SubmitRequest for a normalized purchase order.
+func PORequest(po *doc.PurchaseOrder) (SubmitRequest, error) {
+	raw, err := json.Marshal(po)
+	if err != nil {
+		return SubmitRequest{}, fmt.Errorf("server: marshal po: %w", err)
+	}
+	return SubmitRequest{Kind: string(core.DocPO), PO: raw}, nil
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/formats"
+)
+
+// Daemon serves one hub over the wire protocol. Each accepted connection
+// gets a reader goroutine; each request frame is served on its own
+// goroutine so slow exchanges never head-of-line-block status queries on
+// the same connection (responses correlate by frame ID).
+type Daemon struct {
+	hub *core.Hub
+	ln  net.Listener
+
+	name         string
+	maxFrame     int
+	drainTimeout time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Option configures a Daemon.
+type Option func(*Daemon)
+
+// WithName sets the daemon name reported by OpHello.
+func WithName(name string) Option { return func(d *Daemon) { d.name = name } }
+
+// WithMaxFrame caps inbound frame payloads (default MaxFrame).
+func WithMaxFrame(n int) Option { return func(d *Daemon) { d.maxFrame = n } }
+
+// WithDrainTimeout sets the default OpDrain deadline used when the request
+// carries none (default 30s).
+func WithDrainTimeout(t time.Duration) Option {
+	return func(d *Daemon) { d.drainTimeout = t }
+}
+
+// NewDaemon listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns a daemon ready to Serve the hub.
+func NewDaemon(h *core.Hub, addr string, opts ...Option) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		hub:          h,
+		ln:           ln,
+		name:         "b2bhub",
+		maxFrame:     MaxFrame,
+		drainTimeout: 30 * time.Second,
+		ctx:          ctx,
+		cancel:       cancel,
+		conns:        map[net.Conn]struct{}{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d, nil
+}
+
+// Addr is the daemon's listen address (host:port).
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Serve accepts connections until Close; it returns nil on a clean close.
+func (d *Daemon) Serve() error {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		d.conns[conn] = struct{}{}
+		d.wg.Add(1)
+		d.mu.Unlock()
+		go d.handleConn(conn)
+	}
+}
+
+// Close stops accepting, closes every connection and waits for in-flight
+// handlers. It does not touch the hub — drain the hub first for a graceful
+// shutdown (DrainAndClose).
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return nil
+	}
+	d.closed = true
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	d.cancel()
+	err := d.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+// DrainAndClose is the graceful shutdown sequence shared by the SIGTERM
+// handler and tests: drain the hub under the deadline, checkpoint the
+// journal (when there is one), then close the daemon. The drain summary is
+// returned even when the deadline expired (with the deadline error).
+func (d *Daemon) DrainAndClose(timeout time.Duration) (core.DrainSummary, error) {
+	if timeout <= 0 {
+		timeout = d.drainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	sum, err := d.hub.Drain(ctx)
+	if err == nil {
+		if cerr := d.hub.CheckpointJournal(); cerr != nil && !errors.Is(cerr, core.ErrNoJournal) {
+			err = cerr
+		}
+	}
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return sum, err
+}
+
+// conn wraps one accepted connection with its write lock and request group.
+type connState struct {
+	c       net.Conn
+	writeMu sync.Mutex
+	reqs    sync.WaitGroup
+}
+
+func (cs *connState) respond(f *Frame) {
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
+	// A write error means the peer is gone; the read loop will notice.
+	_ = WriteFrame(cs.c, f)
+}
+
+func (d *Daemon) handleConn(c net.Conn) {
+	cs := &connState{c: c}
+	defer func() {
+		cs.reqs.Wait()
+		c.Close()
+		d.mu.Lock()
+		delete(d.conns, c)
+		d.mu.Unlock()
+		d.wg.Done()
+	}()
+	for {
+		f, err := ReadFrame(c, d.maxFrame)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				cs.respond(&Frame{V: ProtocolVersion, Err: protoError(CodeBadFrame, err.Error())})
+			}
+			return
+		}
+		if f.V != ProtocolVersion {
+			cs.respond(&Frame{V: ProtocolVersion, ID: f.ID, Err: protoError(CodeVersion,
+				fmt.Sprintf("server: protocol version %d not supported (daemon speaks %d)", f.V, ProtocolVersion))})
+			continue
+		}
+		cs.reqs.Add(1)
+		go func(f *Frame) {
+			defer cs.reqs.Done()
+			cs.respond(d.dispatch(f))
+		}(f)
+	}
+}
+
+// dispatch serves one request frame and builds its response frame.
+func (d *Daemon) dispatch(f *Frame) *Frame {
+	resp := &Frame{V: ProtocolVersion, ID: f.ID, Op: f.Op}
+	body, err := d.serve(f.Op, f.Body)
+	if err != nil {
+		if we, ok := err.(*WireError); ok {
+			resp.Err = we
+		} else {
+			resp.Err = EncodeError(err)
+		}
+		return resp
+	}
+	raw, merr := json.Marshal(body)
+	if merr != nil {
+		resp.Err = protoError(CodeInternal, fmt.Sprintf("server: marshal response: %v", merr))
+		return resp
+	}
+	resp.Body = raw
+	return resp
+}
+
+// Error implements error so a *WireError can flow through serve directly
+// for protocol-level failures.
+func (w *WireError) Error() string { return w.Message }
+
+func (d *Daemon) serve(op string, body json.RawMessage) (any, error) {
+	switch op {
+	case OpHello:
+		return d.hello(), nil
+	case OpStatus:
+		return d.hub.Status(), nil
+	case OpSubmit:
+		return d.submit(body)
+	case OpTrace:
+		return d.trace(body)
+	case OpDLQ:
+		return d.dlq(), nil
+	case OpResubmit:
+		return d.resubmitOp(body)
+	case OpDrain:
+		return d.drain(body)
+	default:
+		return nil, protoError(CodeUnknownOp, fmt.Sprintf("server: unknown op %q", op))
+	}
+}
+
+func (d *Daemon) hello() *HelloResponse {
+	h := &HelloResponse{
+		Version: ProtocolVersion,
+		Name:    d.name,
+		Journal: d.hub.Journal() != nil,
+	}
+	for _, p := range d.hub.Model.Partners {
+		h.Partners = append(h.Partners, p.ID)
+	}
+	sort.Strings(h.Partners)
+	return h
+}
+
+func (d *Daemon) submit(body json.RawMessage) (any, error) {
+	var sr SubmitRequest
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode submit: %v", err))
+	}
+	req := core.Request{
+		Kind:      core.DocKind(sr.Kind),
+		Protocol:  formats.Format(sr.Protocol),
+		Wire:      sr.Wire,
+		PartnerID: sr.PartnerID,
+		POID:      sr.POID,
+	}
+	if len(sr.PO) > 0 {
+		po := &doc.PurchaseOrder{}
+		if err := json.Unmarshal(sr.PO, po); err != nil {
+			return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode po: %v", err))
+		}
+		req.PO = po
+	}
+	if sr.High {
+		req.Priority = core.PriorityHigh
+	}
+	if r := sr.Retry; r != nil {
+		req.Retry = &core.RetryPolicy{
+			MaxAttempts:       r.MaxAttempts,
+			BaseBackoff:       time.Duration(r.BaseBackoffMS) * time.Millisecond,
+			MaxBackoff:        time.Duration(r.MaxBackoffMS) * time.Millisecond,
+			PerAttemptTimeout: time.Duration(r.PerAttemptTimeoutMS) * time.Millisecond,
+		}
+	}
+	ctx := d.ctx
+	if sr.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(sr.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	var res core.Result
+	if sr.Async {
+		fut, err := d.hub.DoAsync(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		res = fut.Result(ctx)
+	} else {
+		r, err := d.hub.Do(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		res = *r
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	out := &SubmitResponse{Wire: res.Wire}
+	if res.Exchange != nil {
+		out.ExchangeID = res.Exchange.ID
+		out.Partner = res.Exchange.Partner.ID
+	}
+	if res.POA != nil {
+		raw, err := json.Marshal(res.POA)
+		if err != nil {
+			return nil, protoError(CodeInternal, fmt.Sprintf("server: marshal poa: %v", err))
+		}
+		out.POA = raw
+	}
+	return out, nil
+}
+
+func (d *Daemon) trace(body json.RawMessage) (any, error) {
+	var tr TraceRequest
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode trace: %v", err))
+	}
+	ex, ok := d.hub.ExchangeByID(tr.ExchangeID)
+	if !ok {
+		return nil, protoError(CodeNotFound, fmt.Sprintf("server: exchange %q not found", tr.ExchangeID))
+	}
+	return &TraceResponse{
+		ExchangeID: ex.ID,
+		Partner:    ex.Partner.ID,
+		Flow:       string(ex.Flow),
+		Protocol:   string(ex.Protocol),
+		Backend:    ex.Backend,
+		Trace:      d.hub.Trace(ex.ID),
+	}, nil
+}
+
+func (d *Daemon) dlq() *DLQResponse {
+	dls := d.hub.DeadLetters()
+	resp := &DLQResponse{Entries: make([]DLQEntry, 0, len(dls))}
+	for _, dl := range dls {
+		reason := ""
+		if dl.Reason != nil {
+			reason = dl.Reason.Error()
+		}
+		resp.Entries = append(resp.Entries, DLQEntry{
+			ExchangeID: dl.ExchangeID,
+			Partner:    dl.Partner,
+			Flow:       string(dl.Flow),
+			Protocol:   string(dl.Protocol),
+			Reason:     reason,
+			At:         dl.At.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	return resp
+}
+
+func (d *Daemon) resubmitOp(body json.RawMessage) (any, error) {
+	var rr ResubmitRequest
+	if err := json.Unmarshal(body, &rr); err != nil {
+		return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode resubmit: %v", err))
+	}
+	var entries []core.DeadLetter
+	switch {
+	case rr.All:
+		entries = d.hub.DrainDeadLetters()
+	case rr.ExchangeID != "":
+		dl, ok := d.hub.TakeDeadLetter(rr.ExchangeID)
+		if !ok {
+			return nil, protoError(CodeNotFound, fmt.Sprintf("server: exchange %q not on the dead-letter queue", rr.ExchangeID))
+		}
+		entries = []core.DeadLetter{dl}
+	default:
+		return nil, protoError(CodeBadFrame, "server: resubmit requires exchange_id or all")
+	}
+	resp := &ResubmitResponse{Outcomes: make([]ResubmitOutcome, 0, len(entries))}
+	for _, dl := range entries {
+		out := ResubmitOutcome{ExchangeID: dl.ExchangeID}
+		ex, err := d.hub.Resubmit(d.ctx, dl)
+		if ex != nil {
+			out.NewExchangeID = ex.ID
+		}
+		if err != nil {
+			out.Err = EncodeError(err)
+		}
+		resp.Outcomes = append(resp.Outcomes, out)
+	}
+	return resp, nil
+}
+
+func (d *Daemon) drain(body json.RawMessage) (any, error) {
+	var dr DrainRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &dr); err != nil {
+			return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode drain: %v", err))
+		}
+	}
+	timeout := d.drainTimeout
+	if dr.TimeoutMS > 0 {
+		timeout = time.Duration(dr.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	sum, err := d.hub.Drain(ctx)
+	resp := &DrainResponse{
+		Completed:    sum.Completed,
+		Failed:       sum.Failed,
+		Shed:         sum.Shed,
+		DeadLettered: sum.DeadLettered,
+		TimedOut:     errors.Is(err, context.DeadlineExceeded),
+	}
+	if err != nil && !resp.TimedOut {
+		return nil, err
+	}
+	if err == nil {
+		if cerr := d.hub.CheckpointJournal(); cerr == nil {
+			resp.Checkpointed = true
+		} else if !errors.Is(cerr, core.ErrNoJournal) {
+			return nil, cerr
+		}
+	}
+	return resp, nil
+}

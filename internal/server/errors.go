@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Wire error mapping: the daemon serializes every failure as a WireError
+// carrying a stable machine-readable code plus, for pipeline failures, the
+// *core.ExchangeError detail (exchange/partner/stage/port/attempt). The
+// client reconstructs a typed error on the other side, so a remote caller
+// can errors.Is against the core sentinels and errors.As out the
+// *core.ExchangeError exactly as an in-process caller would.
+
+// Stable error codes of protocol version 1. Codes are append-only: a code
+// is never renamed or reused, so old clients keep classifying correctly.
+const (
+	// Codes mapped 1:1 onto the core sentinels.
+	CodeHubStopped         = "hub-stopped"
+	CodeUnknownPartner     = "unknown-partner"
+	CodeProtocolMismatch   = "protocol-mismatch"
+	CodeInvalidRequest     = "invalid-request"
+	CodeNoOutbound         = "no-outbound"
+	CodePartnerUnavailable = "partner-unavailable"
+	CodeNoJournal          = "no-journal"
+
+	// Context outcomes.
+	CodeDeadline = "deadline-exceeded"
+	CodeCanceled = "canceled"
+
+	// Protocol-level failures originated by the daemon itself.
+	CodeBadFrame  = "bad-frame"
+	CodeVersion   = "version-mismatch"
+	CodeUnknownOp = "unknown-op"
+	CodeNotFound  = "not-found"
+	CodeInternal  = "internal"
+)
+
+// WireError is the serialized form of a daemon-side error.
+type WireError struct {
+	// Code is the stable machine-readable class (Code* constants).
+	Code string `json:"code"`
+	// Message is the full rendered error text.
+	Message string `json:"message"`
+	// Exchange carries the *core.ExchangeError detail for pipeline
+	// failures.
+	Exchange *ExchangeErrDetail `json:"exchange,omitempty"`
+}
+
+// ExchangeErrDetail locates a pipeline failure, mirroring
+// core.ExchangeError field for field.
+type ExchangeErrDetail struct {
+	ExchangeID string `json:"exchange_id,omitempty"`
+	Partner    string `json:"partner,omitempty"`
+	Stage      string `json:"stage,omitempty"`
+	Port       string `json:"port,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	// Cause is the wrapped cause's own message (the part of Message after
+	// the exchange prefix), so the reconstructed error renders identically.
+	Cause string `json:"cause,omitempty"`
+}
+
+// codeSentinel maps wire codes back to the matchable sentinel errors.
+var codeSentinel = map[string]error{
+	CodeHubStopped:         core.ErrHubStopped,
+	CodeUnknownPartner:     core.ErrUnknownPartner,
+	CodeProtocolMismatch:   core.ErrProtocolMismatch,
+	CodeInvalidRequest:     core.ErrInvalidRequest,
+	CodeNoOutbound:         core.ErrNoOutbound,
+	CodePartnerUnavailable: core.ErrPartnerUnavailable,
+	CodeNoJournal:          core.ErrNoJournal,
+	CodeDeadline:           context.DeadlineExceeded,
+	CodeCanceled:           context.Canceled,
+}
+
+// codeFor classifies an error into its wire code.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, core.ErrHubStopped):
+		return CodeHubStopped
+	case errors.Is(err, core.ErrUnknownPartner):
+		return CodeUnknownPartner
+	case errors.Is(err, core.ErrProtocolMismatch):
+		return CodeProtocolMismatch
+	case errors.Is(err, core.ErrInvalidRequest):
+		return CodeInvalidRequest
+	case errors.Is(err, core.ErrNoOutbound):
+		return CodeNoOutbound
+	case errors.Is(err, core.ErrPartnerUnavailable):
+		return CodePartnerUnavailable
+	case errors.Is(err, core.ErrNoJournal):
+		return CodeNoJournal
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// EncodeError serializes err for the wire, preserving the exchange detail
+// and sentinel class.
+func EncodeError(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	we := &WireError{Code: codeFor(err), Message: err.Error()}
+	var ee *core.ExchangeError
+	if errors.As(err, &ee) {
+		we.Exchange = &ExchangeErrDetail{
+			ExchangeID: ee.ExchangeID,
+			Partner:    ee.Partner,
+			Stage:      string(ee.Stage),
+			Port:       ee.Port,
+			Attempt:    ee.Attempt,
+			Cause:      ee.Err.Error(),
+		}
+	}
+	return we
+}
+
+// protoError builds a daemon-originated WireError (no exchange detail).
+func protoError(code, msg string) *WireError {
+	return &WireError{Code: code, Message: msg}
+}
+
+// remoteError is the client-side reconstruction of a remote cause: it
+// renders the remote message and unwraps to the sentinel matching the wire
+// code, so errors.Is works across the connection.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// DecodeError reconstructs a typed error from its wire form: pipeline
+// failures come back as *core.ExchangeError wrapping a cause that unwraps
+// to the sentinel named by the code, and plain failures unwrap to the
+// sentinel directly. Unknown codes (from a newer daemon) decode to an
+// opaque error carrying the remote message.
+func DecodeError(we *WireError) error {
+	if we == nil {
+		return nil
+	}
+	sentinel := codeSentinel[we.Code]
+	if we.Exchange != nil {
+		d := we.Exchange
+		cause := d.Cause
+		if cause == "" {
+			cause = we.Message
+		}
+		var inner error
+		if sentinel != nil {
+			inner = &remoteError{msg: cause, sentinel: sentinel}
+		} else {
+			inner = errors.New(cause)
+		}
+		return &core.ExchangeError{
+			ExchangeID: d.ExchangeID,
+			Partner:    d.Partner,
+			Stage:      obs.Stage(d.Stage),
+			Port:       d.Port,
+			Attempt:    d.Attempt,
+			Err:        inner,
+		}
+	}
+	if sentinel != nil {
+		return &remoteError{msg: we.Message, sentinel: sentinel}
+	}
+	return errors.New(we.Message)
+}

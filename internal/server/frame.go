@@ -1,0 +1,56 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFrameTooLarge is returned for frames exceeding the reader's cap.
+var ErrFrameTooLarge = errors.New("server: frame exceeds size cap")
+
+// WriteFrame marshals f and writes it as one length-prefixed wire message:
+// a 4-byte big-endian payload length followed by the JSON payload. The
+// single Write keeps the frame atomic for concurrent writers serialized by
+// the caller's mutex.
+func WriteFrame(w io.Writer, f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("server: marshal frame: %w", err)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("server: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame. max caps the payload length
+// (<=0 means MaxFrame); oversized frames return ErrFrameTooLarge without
+// consuming the payload, so the caller must drop the connection.
+func ReadFrame(r io.Reader, max int) (*Frame, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: %d bytes (cap %d)", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("server: short frame: %w", err)
+	}
+	f := &Frame{}
+	if err := json.Unmarshal(payload, f); err != nil {
+		return nil, fmt.Errorf("server: decode frame: %w", err)
+	}
+	return f, nil
+}

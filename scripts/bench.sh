@@ -22,10 +22,14 @@
 # with +/-20% inter-run variance between byte-identical configurations, so
 # it carries only a loose 0.75x sanity guard against the identically-
 # configured sharded clean shards=8 row instead of a 1.0x gate), wide
-# parallelism=8 > 1.0x parallelism=1, and the live-canary section
+# parallelism=8 > 1.0x parallelism=1, the live-canary section
 # (BenchmarkHubCanary: an active never-settling canary on one partner's
 # binding vs no canary) canary=on >= 0.9x canary=off — the route hash and
-# outcome record must stay off the hot path.
+# outcome record must stay off the hot path — and the wire section
+# (BenchmarkHubWire: the daemon front door over a real TCP loopback socket
+# vs the identically configured in-process DoAsync baseline) wire >= 0.5x
+# inproc — framing, the socket round trip and response correlation may cost
+# at most half the clean throughput.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -53,6 +57,9 @@ go test -run '^$' -bench '^BenchmarkHubPlanned$' -benchtime "$SHARD_COUNT" . | t
 
 echo "== BenchmarkHubCanary (benchtime ${BENCH_CANARY_COUNT:-800x}) =="
 go test -run '^$' -bench '^BenchmarkHubCanary$' -benchtime "${BENCH_CANARY_COUNT:-800x}" . | tee /tmp/bench_hub_canary.txt
+
+echo "== BenchmarkHubWire (benchtime ${BENCH_WIRE_COUNT:-400x}) =="
+go test -run '^$' -bench '^BenchmarkHubWire$' -benchtime "${BENCH_WIRE_COUNT:-400x}" . | tee /tmp/bench_hub_wire.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -170,6 +177,19 @@ for line in open("/tmp/bench_hub_canary.txt"):
 if "off" not in canary or "on" not in canary:
     sys.exit("bench.sh: missing BenchmarkHubCanary off/on results")
 
+wire = {}
+for line in open("/tmp/bench_hub_wire.txt"):
+    m = re.search(
+        r"BenchmarkHubWire/(inproc|wire)/shards=(\d+)/workers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s",
+        line)
+    if m:
+        wire[m.group(1)] = {
+            "ns_per_op": float(m.group(4)),
+            "exchanges_per_sec": float(m.group(5)),
+        }
+if "inproc" not in wire or "wire" not in wire:
+    sys.exit("bench.sh: missing BenchmarkHubWire inproc/wire results")
+
 best_clean8 = max(
     (row["exchanges_per_sec"] for key, row in sharded.items()
      if key.startswith("clean/shards=8/")),
@@ -189,6 +209,8 @@ planned_ratio = planned_clean / best_clean8
 wide_speedup = wide8 / wide1
 canary_ratio = (canary["on"]["exchanges_per_sec"]
                 / canary["off"]["exchanges_per_sec"])
+wire_ratio = (wire["wire"]["exchanges_per_sec"]
+              / wire["inproc"]["exchanges_per_sec"])
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -241,6 +263,15 @@ record = {
         "on_vs_off": round(canary_ratio, 2),
         "passes_0_9x": canary_ratio >= 0.9,
     },
+    "wire": {
+        "benchmark": "BenchmarkHubWire",
+        "scenario": "daemon front door over TCP loopback (4 clients x 8 "
+                    "pipelined submits, length-prefixed JSON frames) vs the "
+                    "identically configured in-process DoAsync baseline",
+        "rows": wire,
+        "wire_vs_inproc": round(wire_ratio, 2),
+        "passes_0_5x": wire_ratio >= 0.5,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -263,9 +294,11 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"wide parallelism 8 vs 1 = {wide_speedup:.2f}x "
       f"({'PASS' if wide_speedup > 1.0 else 'FAIL'} > 1x); "
       f"canary on vs off = {canary_ratio:.2f}x "
-      f"({'PASS' if canary_ratio >= 0.9 else 'FAIL'} >= 0.9x)")
+      f"({'PASS' if canary_ratio >= 0.9 else 'FAIL'} >= 0.9x); "
+      f"wire vs inproc = {wire_ratio:.2f}x "
+      f"({'PASS' if wire_ratio >= 0.5 else 'FAIL'} >= 0.5x)")
 if (speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0
         or journal_ratio < 0.4 or interp_speedup < 1.0 or planned_ratio < 0.75
-        or wide_speedup <= 1.0 or canary_ratio < 0.9):
+        or wide_speedup <= 1.0 or canary_ratio < 0.9 or wire_ratio < 0.5):
     sys.exit(1)
 EOF

@@ -19,6 +19,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/bpss"
 	"repro/internal/cfgstore"
+	"repro/internal/cluster"
 	"repro/internal/conformance"
 	"repro/internal/coop"
 	"repro/internal/core"
@@ -1018,6 +1019,175 @@ func BenchmarkHubWire(b *testing.B) {
 			case err := <-errc:
 				b.Fatal(err)
 			default:
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "exchanges/s")
+		})
+	}
+}
+
+// BenchmarkHubForward: cross-node federation throughput. Two cluster
+// nodes serve identically configured hubs over TCP loopback; every order
+// targets a partner the second node owns. The inproc row drives the
+// owner's hub through DoAsync directly — the no-wire, no-forward
+// baseline. The forward row submits the same mix through the OTHER node's
+// front door, so every exchange pays the relay's frame decode, the
+// ownership lookup, a second full wire round trip to the owner and the
+// response relay on top of everything the baseline does. scripts/bench.sh
+// records both rows into BENCH_hub.json and holds forward >= 0.4x inproc:
+// partner-affinity routing may cost at most 60% of local throughput.
+func BenchmarkHubForward(b *testing.B) {
+	for _, mode := range []string{"inproc", "forward"} {
+		b.Run(fmt.Sprintf("%s/shards=8/workers=4", mode), func(b *testing.B) {
+			ids := []string{"f1", "f2"}
+			hubs := map[string]*core.Hub{}
+			daemons := map[string]*server.Daemon{}
+			members := make([]cluster.Peer, 0, len(ids))
+			for _, id := range ids {
+				m, err := core.PaperFigure14Model()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := cluster.Config{Node: id}
+				for _, pid := range ids {
+					cfg.Peers = append(cfg.Peers, cluster.Peer{Node: pid})
+				}
+				h, err := core.NewHub(m,
+					core.WithShards(8), core.WithWorkersPerShard(4),
+					core.WithExchangeIDBase(cfg.ExchangeIDBase()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.AddPartner(core.Figure15Partner()); err != nil {
+					b.Fatal(err)
+				}
+				h.StartScheduler()
+				d, err := server.NewDaemon(h, "127.0.0.1:0", server.WithName(id))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hubs[id], daemons[id] = h, d
+				members = append(members, cluster.Peer{Node: id, Addr: d.Addr()})
+			}
+			nodes := map[string]*cluster.Node{}
+			for _, id := range ids {
+				node, err := cluster.New(hubs[id], cluster.Config{
+					Node: id, Peers: members,
+					Forward: core.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond,
+						MaxBackoff: 10 * time.Millisecond, PerAttemptTimeout: 5 * time.Second},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				node.Attach(daemons[id])
+				go daemons[id].Serve()
+				nodes[id] = node
+			}
+			defer func() {
+				for _, id := range ids {
+					nodes[id].Stop()
+					daemons[id].Close()
+					hubs[id].StopWorkers()
+				}
+			}()
+
+			// Every order targets a partner f2 owns; f1 is the relay.
+			owner, relay := "f2", "f1"
+			var buyers []doc.Party
+			for _, p := range hubs[owner].Model.Partners {
+				if nodes[relay].Owner(p.ID) == owner {
+					buyers = append(buyers, doc.Party{ID: p.ID, Name: p.Name, DUNS: p.DUNS})
+				}
+			}
+			if len(buyers) == 0 {
+				b.Fatal("fixture: f2 owns no partners")
+			}
+			gens := make([]*doc.Generator, len(buyers))
+			for i := range gens {
+				gens[i] = doc.NewGenerator(int64(7000 + i))
+			}
+			pos := make([]*doc.PurchaseOrder, b.N)
+			for i := range pos {
+				w := i % len(buyers)
+				pos[i] = gens[w].PO(buyers[w], benchSeller)
+				pos[i].ID = fmt.Sprintf("%s-f%d-%d", pos[i].ID, w, i)
+			}
+			ctx := context.Background()
+
+			if mode == "inproc" {
+				b.ResetTimer()
+				start := time.Now()
+				futs := make([]*core.Future, b.N)
+				for i, po := range pos {
+					fut, err := hubs[owner].DoAsync(ctx, core.Request{Kind: core.DocPO, PO: po})
+					if err != nil {
+						b.Fatal(err)
+					}
+					futs[i] = fut
+				}
+				for i, fut := range futs {
+					if res := fut.Result(ctx); res.Err != nil {
+						b.Fatalf("exchange %d: %v", i, res.Err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "exchanges/s")
+				return
+			}
+
+			reqs := make([]server.SubmitRequest, b.N)
+			for i, po := range pos {
+				req, err := server.PORequest(po)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.Async = true
+				reqs[i] = req
+			}
+			const clients, pipeline = 4, 8
+			conns := make([]*server.Client, clients)
+			for i := range conns {
+				c, err := server.Dial(ctx, daemons[relay].Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = c
+			}
+			defer func() {
+				for _, c := range conns {
+					c.Close()
+				}
+			}()
+
+			b.ResetTimer()
+			start := time.Now()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients*pipeline)
+			for w := 0; w < clients*pipeline; w++ {
+				wg.Add(1)
+				go func(c *server.Client) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						if _, err := c.Submit(ctx, reqs[i]); err != nil {
+							errc <- fmt.Errorf("exchange %d: %w", i, err)
+							return
+						}
+					}
+				}(conns[w%clients])
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			if fwd := hubs[relay].Status().Cluster.Forwarded; fwd < int64(b.N) {
+				b.Fatalf("only %d of %d submits crossed the forward path", fwd, b.N)
 			}
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "exchanges/s")
 		})

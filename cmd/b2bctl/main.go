@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -84,6 +85,8 @@ func run(args []string, out, errw io.Writer) int {
 		cmdErr = cmdResubmit(ctx, c, rest, out, errw)
 	case "drain":
 		cmdErr = cmdDrain(ctx, c, rest, out, errw)
+	case "cluster":
+		cmdErr = cmdCluster(ctx, c, rest, out, errw)
 	default:
 		fmt.Fprintf(errw, "b2bctl: unknown command %q\n", cmd)
 		usage(errw, global)
@@ -105,7 +108,7 @@ var errUsage = errors.New("usage")
 
 func usage(w io.Writer, global *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: b2bctl [-addr host:port] [-timeout d] <command> [args]")
-	fmt.Fprintln(w, "commands: status, submit, trace, dlq, resubmit, drain")
+	fmt.Fprintln(w, "commands: status, submit, trace, dlq, resubmit, drain, cluster")
 	global.PrintDefaults()
 }
 
@@ -159,6 +162,66 @@ func renderStatus(out io.Writer, hello server.HelloResponse, st *core.StatusSnap
 		fmt.Fprintf(out, "partner %-4s opens=%d probes=%d sheds=%d fast-fails=%d\n",
 			p.Partner, p.Opens, p.Probes, p.Sheds, p.FastFails)
 	}
+	if st.Cluster != nil {
+		renderCluster(out, st.Cluster)
+	}
+}
+
+// renderCluster prints the federation section as stable, greppable lines.
+func renderCluster(out io.Writer, cs *core.ClusterStatus) {
+	fmt.Fprintf(out, "cluster: node %s, schema v%d, %d members\n", cs.Node, cs.Version, len(cs.Peers))
+	for _, p := range cs.Peers {
+		line := fmt.Sprintf("peer %-4s %-7s addr=%s", p.Node, p.State, p.Addr)
+		if p.State != core.PeerSelf {
+			line += fmt.Sprintf(" missed=%d breaker=%s", p.MissedBeats, p.Breaker)
+		}
+		if len(p.Partners) > 0 {
+			sort.Strings(p.Partners)
+			line += " owns=" + strings.Join(p.Partners, ",")
+		}
+		fmt.Fprintln(out, line)
+	}
+	if len(cs.Ownership) > 0 {
+		ids := make([]string, 0, len(cs.Ownership))
+		for id := range cs.Ownership {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprint(out, "ownership:")
+		for _, id := range ids {
+			fmt.Fprintf(out, " %s=%s", id, cs.Ownership[id])
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "forwards: %d out, %d in, %d retries, %d failed\n",
+		cs.Forwarded, cs.ForwardedIn, cs.ForwardRetries, cs.ForwardFailed)
+	fmt.Fprintf(out, "takeovers: %d journals replayed, %d exchanges taken over\n",
+		cs.Takeovers, cs.TakenOver)
+}
+
+// cmdCluster renders just the federation section of the remote status (or
+// its raw JSON with -json). A standalone daemon has none.
+func cmdCluster(ctx context.Context, c *server.Client, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	asJSON := fs.Bool("json", false, "print the raw ClusterStatus JSON")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Cluster == nil {
+		return errors.New("daemon is not in cluster mode (started without -peers)")
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st.Cluster)
+	}
+	renderCluster(out, st.Cluster)
+	return nil
 }
 
 func cmdSubmit(ctx context.Context, c *server.Client, args []string, out, errw io.Writer) error {

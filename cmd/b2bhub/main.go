@@ -59,12 +59,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cfgstore"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/formats"
@@ -116,7 +118,44 @@ var (
 	// Daemon mode: serve the wire protocol instead of driving a benchmark.
 	serveAddr    = flag.String("serve", "", "listen address (host:port); runs as a long-lived daemon serving the wire protocol")
 	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline in daemon mode")
+
+	// Cluster mode (daemon only): a non-empty -peers list federates this
+	// daemon with its peers — partner-affinity routing, heartbeat failure
+	// detection, journal-backed takeover of dead peers' partners.
+	nodeID     = flag.String("node", "", "this node's cluster ID (cluster mode; must appear in -peers)")
+	peersList  = flag.String("peers", "", `cluster member list "id=host:port,id=host:port" including self; enables cluster mode`)
+	clusterDir = flag.String("cluster-dir", "", "shared directory of per-node journals (<dir>/<id>.wal); enables takeover replay")
+	heartbeat  = flag.Duration("heartbeat", 250*time.Millisecond, "cluster peer probe period")
+	deadAfter  = flag.Int("dead-after", 3, "missed heartbeats before a peer is declared dead")
+	fwdLoss    = flag.Float64("fwd-loss", 0, "seeded loss probability injected on the cluster forward path")
+	fwdSeed    = flag.Int64("fwd-seed", 1, "forward-path fault stream seed")
 )
+
+// clusterConfig builds the cluster.Config from the -node/-peers flags, or
+// nil when -peers is unset (standalone daemon).
+func clusterConfig() *cluster.Config {
+	if *peersList == "" {
+		return nil
+	}
+	if *serveAddr == "" {
+		log.Fatal("cluster mode (-peers) requires -serve")
+	}
+	cfg := cluster.Config{
+		Node:       *nodeID,
+		JournalDir: *clusterDir,
+		Heartbeat:  *heartbeat,
+		DeadAfter:  *deadAfter,
+		Faults:     msg.Faults{LossProb: *fwdLoss, Seed: *fwdSeed},
+	}
+	for _, m := range strings.Split(*peersList, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(m), "=")
+		if !ok {
+			log.Fatalf("bad -peers member %q (want id=host:port)", m)
+		}
+		cfg.Peers = append(cfg.Peers, cluster.Peer{Node: id, Addr: addr})
+	}
+	return &cfg
+}
 
 // network abstracts the two transports the tool can run over.
 type network interface {
@@ -144,6 +183,15 @@ func main() {
 			Threshold:     *breakerThreshold,
 			ProbeInterval: *probeInterval,
 		}))
+	}
+	ccfg := clusterConfig()
+	if ccfg != nil {
+		if *journalPath == "" && ccfg.JournalDir != "" {
+			*journalPath = cluster.JournalPath(ccfg.JournalDir, ccfg.Node)
+		}
+		// Disjoint per-node exchange ID ranges, so takeover can restore a
+		// dead peer's exchanges under their original IDs.
+		hubOpts = append(hubOpts, core.WithExchangeIDBase(ccfg.ExchangeIDBase()))
 	}
 	if *journalPath != "" {
 		policy, err := journal.ParsePolicy(*fsyncMode)
@@ -189,7 +237,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		runDaemon(hub)
+		runDaemon(hub, ccfg)
 		return
 	}
 
@@ -321,9 +369,16 @@ func main() {
 // -drain-timeout, the journal is checkpointed, and the listener closes. The
 // listen line is printed first and is stable ("b2bhub daemon listening on
 // ADDR") so scripts and tests can scrape the bound address.
-func runDaemon(hub *core.Hub) {
+func runDaemon(hub *core.Hub, ccfg *cluster.Config) {
 	hub.StartScheduler()
 	defer hub.StopWorkers()
+	var node *cluster.Node
+	if ccfg != nil {
+		var err error
+		if node, err = cluster.New(hub, *ccfg); err != nil {
+			log.Fatal(err)
+		}
+	}
 	d, err := server.NewDaemon(hub, *serveAddr, server.WithDrainTimeout(*drainTimeout))
 	if err != nil {
 		log.Fatal(err)
@@ -331,6 +386,12 @@ func runDaemon(hub *core.Hub) {
 	fmt.Printf("b2bhub daemon listening on %s\n", d.Addr())
 	fmt.Printf("serving %d partners (journal=%v); SIGTERM drains within %v\n",
 		len(hub.Model.Partners), hub.Journal() != nil, *drainTimeout)
+	if node != nil {
+		node.Attach(d)
+		node.Start()
+		fmt.Printf("cluster node %s: %d members, heartbeat %v, journal dir %q\n",
+			ccfg.Node, len(ccfg.Peers), *heartbeat, ccfg.JournalDir)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -339,6 +400,9 @@ func runDaemon(hub *core.Hub) {
 		defer close(drained)
 		sig := <-sigc
 		fmt.Printf("b2bhub: caught %v, draining (deadline %v)\n", sig, *drainTimeout)
+		if node != nil {
+			node.Stop()
+		}
 		sum, err := d.DrainAndClose(*drainTimeout)
 		if err != nil {
 			fmt.Printf("b2bhub: drain: %v\n", err)

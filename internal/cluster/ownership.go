@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// Partner ownership: the scheduler's FNV-32a partner→shard hash, extended
+// across processes. A partner hashes to a home slot on the sorted member
+// list; if the home node is dead, ownership walks the ring to the next
+// non-dead node. Alive nodes' assignments never move when some other node
+// dies — only the dead node's partition is redistributed — and every node
+// computes the same answer from the same membership + liveness view, so
+// reassignment needs no coordination. (Liveness views converge via
+// heartbeats; in the window where they disagree, the forward hop limit
+// makes a bounced submit execute where it landed instead of looping.)
+
+// ringSlot is the partner's home position on the sorted member list.
+func ringSlot(partner string, members int) int {
+	h := fnv.New32a()
+	h.Write([]byte(partner))
+	return int(h.Sum32() % uint32(members))
+}
+
+// ownerOf is the node currently owning partner: the home node, or the next
+// non-dead node walking the ring from it. With every member dead (cannot
+// happen to the local caller — it is its own alive member) the home node
+// is returned.
+func (n *Node) ownerOf(partner string) string {
+	slot := ringSlot(partner, len(n.order))
+	for i := 0; i < len(n.order); i++ {
+		id := n.order[(slot+i)%len(n.order)]
+		if id == n.cfg.Node {
+			return id // self is alive by definition
+		}
+		p := n.peers[id]
+		p.mu.Lock()
+		dead := p.state == core.PeerDead
+		p.mu.Unlock()
+		if !dead {
+			return id
+		}
+	}
+	return n.order[slot]
+}
+
+// Owner is the exported ownership probe, used by tests and the ops CLI
+// walkthrough to predict placements.
+func (n *Node) Owner(partner string) string { return n.ownerOf(partner) }

@@ -31,6 +31,12 @@ var (
 	// Rejected exchanges are parked on the dead-letter queue and become
 	// eligible for Resubmit once the circuit closes.
 	ErrPartnerUnavailable = errors.New("core: partner unavailable")
+	// ErrPeerUnavailable is returned when a federated exchange could not be
+	// forwarded to the cluster node owning its partner: every forward
+	// attempt was exhausted or the peer's circuit breaker is open. The
+	// exchange is parked on the local dead-letter queue and becomes
+	// eligible for Resubmit once the peer recovers (or ownership moves).
+	ErrPeerUnavailable = errors.New("core: peer node unavailable")
 )
 
 // ExchangeError is the typed pipeline error of the hub boundary: it locates

@@ -205,6 +205,12 @@ type Hub struct {
 	frozenMu     sync.RWMutex
 	frozenRules  map[string]map[int]*rules.Set
 	frozenXforms map[string]map[int]transform.Transformer
+
+	// Federation (see federation.go): clusterFn is the registered provider
+	// of StatusSnapshot's cluster section, set by the cluster node wrapping
+	// this hub (nil on standalone hubs).
+	clusterMu sync.Mutex
+	clusterFn func() *ClusterStatus
 }
 
 // HubStats counts the hub's activity since startup. It is a compatibility
@@ -334,6 +340,7 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 		frozenXforms:    map[string]map[int]transform.Transformer{},
 		schedCfg:        cfg,
 		dlqCap:          cfg.dlqCap,
+		exchSeq:         cfg.exchIDBase,
 	}
 	// The versioned config store must exist before the journal is opened:
 	// initJournal replays config records into it.

@@ -242,20 +242,20 @@ type journalSnapshot struct {
 	dupAdmits int
 }
 
-// initJournal builds the startup snapshot and the live compaction index
-// from the journal's open-time replay, and floors the hub's sequence
-// counters so post-restart IDs never collide with journaled ones. Called
-// once from NewHub.
-func (h *Hub) initJournal() {
-	snap := &journalSnapshot{
+// scanJournal derives a replay snapshot from a sequence of journal records:
+// unfinished admissions, unresolved dead letters, finished outcomes, plus
+// the exchange/admission sequence high-water marks. It is shared by the
+// open-time replay of the hub's own journal (initJournal, which also replays
+// config records via onConfig) and by the read-only takeover scan of a dead
+// peer's journal (TakeOverJournal, which passes a nil onConfig — a peer's
+// config history is not replayed into this hub).
+func scanJournal(recs []journal.Record, onConfig func([]byte)) (snap *journalSnapshot, maxExch, maxKey int) {
+	snap = &journalSnapshot{
 		pending: map[string]*journalRequest{},
 		dead:    map[string]journalOutcome{},
 	}
 	completedKeys := map[string]bool{}
-	maxExch, maxKey := 0, 0
-	recs := h.jrn.Records()
 	snap.records = len(recs)
-	snap.tornBytes = h.jrn.Stats().TornBytes
 	noteExch := func(exID string) {
 		var n int
 		if _, err := fmt.Sscanf(exID, "ex-%d", &n); err == nil && n > maxExch {
@@ -327,9 +327,21 @@ func (h *Hub) initJournal() {
 			// Replay config changes in journal order so the store converges
 			// on the exact pre-crash epoch and active-version set before the
 			// seed deploys run (they skip already-restored versions).
-			h.applyConfigRecord(rec.Payload)
+			if onConfig != nil {
+				onConfig(rec.Payload)
+			}
 		}
 	}
+	return snap, maxExch, maxKey
+}
+
+// initJournal builds the startup snapshot and the live compaction index
+// from the journal's open-time replay, and floors the hub's sequence
+// counters so post-restart IDs never collide with journaled ones. Called
+// once from NewHub.
+func (h *Hub) initJournal() {
+	snap, maxExch, maxKey := scanJournal(h.jrn.Records(), h.applyConfigRecord)
+	snap.tornBytes = h.jrn.Stats().TornBytes
 	h.jrnStartup = snap
 	h.jrnSeq = maxKey
 	h.mu.Lock()

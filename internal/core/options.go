@@ -37,6 +37,7 @@ type hubConfig struct {
 	stepParallelism int
 	legacyInterp    bool
 	canaryPolicy    cfgstore.CanaryPolicy
+	exchIDBase      int
 	// schedConfigured records that a scheduler topology option was given
 	// explicitly, so compat entry points (ServeConcurrent's workers
 	// argument) defer to it instead of imposing the single-pool shape.
@@ -170,6 +171,19 @@ func WithLegacyWorkflowInterpreter() HubOption {
 // cfgstore.DefaultCanaryPolicy.
 func WithCanaryPolicy(p cfgstore.CanaryPolicy) HubOption {
 	return func(c *hubConfig) { c.canaryPolicy = p }
+}
+
+// WithExchangeIDBase floors the exchange ID sequence at base, so the first
+// allocated ID is "ex-<base+1>". Federated hubs give each cluster node a
+// disjoint base (node index × a wide stride): exchange IDs stay unique
+// across the cluster, and a successor can restore a dead peer's exchanges
+// under their original IDs without colliding with its own.
+func WithExchangeIDBase(base int) HubOption {
+	return func(c *hubConfig) {
+		if base > 0 {
+			c.exchIDBase = base
+		}
+	}
 }
 
 // queueDepthOrDefault resolves the effective per-shard queue bound.

@@ -82,6 +82,10 @@ type StatusSnapshot struct {
 	Config obs.ConfigSnapshot `json:"config"`
 	// Plans is the workflow-compilation gauge set.
 	Plans obs.PlanSnapshot `json:"plans"`
+	// Cluster is the federation section (nil on standalone hubs). It is an
+	// additive field with its own schema version (ClusterVersion), so its
+	// presence does not bump StatusVersion.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // Status returns the hub's unified observability snapshot: lifecycle
@@ -126,6 +130,7 @@ func (h *Hub) Status() StatusSnapshot {
 		}
 		h.jrnMu.Unlock()
 	}
+	s.Cluster = h.clusterStatus()
 	return s
 }
 

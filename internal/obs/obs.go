@@ -35,6 +35,7 @@ const (
 	StageRecovery Stage = "recovery" // journal replay after a restart
 	StagePlan     Stage = "plan"     // workflow plan compilation at deploy
 	StageConfig   Stage = "config"   // runtime configuration changes
+	StageCluster  Stage = "cluster"  // multi-node federation (forwarding, takeover)
 )
 
 // Kind classifies events.
@@ -88,6 +89,13 @@ const (
 	// ("class:name@version"); Epoch carries the config epoch the change
 	// produced.
 	KindConfig Kind = "config"
+	// KindCluster marks multi-node federation activity: forwards between
+	// peers (StepForwarded / StepForwardRetry / StepForwardFailed, Partner
+	// names the target partner), peer liveness transitions (StepPeerAlive /
+	// StepPeerSuspect / StepPeerDead, ExchangeID holds the peer's node ID)
+	// and journal takeover of a dead peer (StepTakeover, Elapsed is the
+	// replay duration).
+	KindCluster Kind = "cluster"
 )
 
 // Well-known Step values for lifecycle, retry and scheduler events.
@@ -133,6 +141,19 @@ const (
 	StepCanaryStarted    = "canary-started"
 	StepCanaryPromoted   = "canary-promoted"
 	StepCanaryRolledBack = "canary-rolled-back"
+	// Cluster steps (KindCluster). StepForwarded is one submit successfully
+	// relayed to the partner's owner node; StepForwardRetry is a failed
+	// attempt that will back off and retry; StepForwardFailed exhausted its
+	// policy (the exchange parks on the local DLQ). The peer-* steps record
+	// liveness transitions from heartbeating, and StepTakeover records a
+	// dead peer's journal replayed by its successor.
+	StepForwarded     = "forwarded"
+	StepForwardRetry  = "forward-retry"
+	StepForwardFailed = "forward-failed"
+	StepPeerAlive     = "peer-alive"
+	StepPeerSuspect   = "peer-suspect"
+	StepPeerDead      = "peer-dead"
+	StepTakeover      = "takeover"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.

@@ -5,63 +5,158 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/doc"
 )
 
-// ErrClientClosed is returned by calls on a closed client (or one whose
-// connection broke; the underlying cause is wrapped).
+// ErrClientClosed is returned by calls on a client that was Closed.
 var ErrClientClosed = errors.New("server: client closed")
 
-// Client is one connection to a daemon. Calls are safe for concurrent use:
-// requests are pipelined on the single connection and matched to their
-// responses by frame ID, so many goroutines can share one client.
+// ErrConnLost is the typed retryable error of a dropped connection: every
+// in-flight call fails fast with it the moment the connection breaks
+// (instead of hanging until its context deadline), and new calls keep
+// failing with it while the background redialer works. Callers match it
+// with errors.Is and retry: by the time they do, the client may already be
+// reconnected.
+var ErrConnLost = errors.New("server: connection lost (retryable)")
+
+// ReconnectPolicy shapes the client's automatic redial after a dropped
+// connection or a failed dial attempt: capped exponential backoff starting
+// at Base, doubling up to Max, with up to 50% uniform jitter on every
+// wait. The zero value disables reconnection (a broken client stays
+// broken, the pre-federation behavior).
+type ReconnectPolicy struct {
+	// Base is the first retry's backoff; Max caps the doubling.
+	Base time.Duration
+	Max  time.Duration
+}
+
+// DefaultReconnect is the policy Dial installs: 50ms doubling to 2s.
+var DefaultReconnect = ReconnectPolicy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// DialOption configures Dial.
+type DialOption func(*Client)
+
+// WithReconnect overrides the client's reconnect policy. A zero policy
+// disables automatic reconnection.
+func WithReconnect(p ReconnectPolicy) DialOption {
+	return func(c *Client) { c.rc = p }
+}
+
+// callResult is what a pending call receives: its response frame, or the
+// connection-loss error that failed it fast.
+type callResult struct {
+	f   *Frame
+	err error
+}
+
+// Client is one logical connection to a daemon. Calls are safe for
+// concurrent use: requests are pipelined and matched to their responses by
+// frame ID, so many goroutines share one client. When the connection
+// drops, in-flight calls fail fast with ErrConnLost and a background
+// redialer re-establishes the connection with capped exponential backoff +
+// jitter; frame IDs are allocated from one counter across reconnects, so
+// correlation can never alias a response from a previous connection.
 type Client struct {
-	conn  net.Conn
-	hello HelloResponse
+	addr string
+	rc   ReconnectPolicy
 
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
-	pending map[uint64]chan *Frame
-	nextID  uint64
-	cause   error // terminal reason, set once before done closes
-	done    chan struct{}
-	closed  bool
+	mu       sync.Mutex
+	conn     net.Conn // nil while disconnected
+	hello    HelloResponse
+	pending  map[uint64]chan callResult
+	nextID   uint64
+	lost     error // last disconnect cause
+	redial   bool  // background redialer running
+	rng      *rand.Rand
+	closed   bool
+	closedCh chan struct{}
 }
 
-// Dial connects to a daemon, honoring ctx for the dial itself, and
+// Dial connects to a daemon, honoring ctx for the dial and handshake, and
 // performs the OpHello handshake so a protocol-version mismatch surfaces
-// immediately (as a CodeVersion error) rather than on first use.
-func Dial(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+// immediately (as a CodeVersion error) rather than on first use. The
+// initial dial does not retry — a wrong address fails fast; automatic
+// reconnection begins once a connection has been established.
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	conn, hello, err := dialHello(ctx, addr)
 	if err != nil {
-		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
-	}
-	c := &Client{
-		conn:    conn,
-		pending: map[uint64]chan *Frame{},
-		done:    make(chan struct{}),
-	}
-	go c.readLoop()
-	var hello HelloResponse
-	if err := c.Call(ctx, OpHello, struct{}{}, &hello); err != nil {
-		c.Close()
 		return nil, err
 	}
-	c.hello = hello
+	c := &Client{
+		addr:     addr,
+		rc:       DefaultReconnect,
+		conn:     conn,
+		hello:    hello,
+		pending:  map[uint64]chan callResult{},
+		nextID:   1, // ID 1 was the handshake's
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		closedCh: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop(conn)
 	return c, nil
 }
 
-// Hello returns the daemon's handshake response.
-func (c *Client) Hello() HelloResponse { return c.hello }
+// dialHello dials addr and performs the OpHello handshake on the fresh
+// connection (single-threaded, so raw frame I/O is safe), bounded by ctx's
+// deadline.
+func dialHello(ctx context.Context, addr string) (net.Conn, HelloResponse, error) {
+	var hello HelloResponse
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, hello, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	fail := func(err error) (net.Conn, HelloResponse, error) {
+		conn.Close()
+		return nil, hello, err
+	}
+	if err := WriteFrame(conn, &Frame{V: ProtocolVersion, ID: 1, Op: OpHello, Body: json.RawMessage("{}")}); err != nil {
+		return fail(fmt.Errorf("server: handshake %s: %w", addr, err))
+	}
+	f, err := ReadFrame(conn, MaxFrame)
+	if err != nil {
+		return fail(fmt.Errorf("server: handshake %s: %w", addr, err))
+	}
+	if f.Err != nil {
+		return fail(DecodeError(f.Err))
+	}
+	if err := json.Unmarshal(f.Body, &hello); err != nil {
+		return fail(fmt.Errorf("server: decode hello: %w", err))
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, hello, nil
+}
 
-// Close tears the connection down; in-flight calls fail with
-// ErrClientClosed.
+// Hello returns the daemon's most recent handshake response.
+func (c *Client) Hello() HelloResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hello
+}
+
+// Connected reports whether the client currently holds a live connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
+}
+
+// Close tears the client down for good: the connection is closed, in-flight
+// calls fail with ErrClientClosed, and the redialer (if running) stops.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -69,46 +164,139 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callResult{err: ErrClientClosed}
+	}
+	close(c.closedCh)
 	c.mu.Unlock()
-	return c.conn.Close()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
-func (c *Client) readLoop() {
-	var cause error
+// readLoop consumes one connection's responses until it breaks.
+func (c *Client) readLoop(conn net.Conn) {
 	for {
-		f, err := ReadFrame(c.conn, MaxFrame)
+		f, err := ReadFrame(conn, MaxFrame)
 		if err != nil {
-			cause = err
-			break
+			c.connLost(conn, err)
+			return
 		}
 		c.mu.Lock()
 		ch := c.pending[f.ID]
 		delete(c.pending, f.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- f
+			ch <- callResult{f: f}
 		}
 	}
+}
+
+// connLost handles the death of one specific connection: every pending
+// call fails fast with ErrConnLost and the background redialer starts.
+// Stale notifications (a write error racing the read loop, or an error on
+// an already-replaced connection) are ignored.
+func (c *Client) connLost(conn net.Conn, cause error) {
 	c.mu.Lock()
-	c.cause = cause
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	c.lost = cause
+	err := fmt.Errorf("%w: %v", ErrConnLost, cause)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callResult{err: err}
+	}
+	start := !c.closed && !c.redial && c.rc.Base > 0
+	if start {
+		c.redial = true
+	}
 	c.mu.Unlock()
-	close(c.done)
+	conn.Close()
+	if start {
+		go c.redialLoop()
+	}
+}
+
+// redialLoop re-establishes the connection with capped exponential backoff
+// and jitter, until it succeeds or the client is closed.
+func (c *Client) redialLoop() {
+	backoff := c.rc.Base
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.redial = false
+			c.mu.Unlock()
+			return
+		}
+		jitter := time.Duration(0)
+		if backoff > 1 {
+			jitter = time.Duration(c.rng.Int63n(int64(backoff)/2 + 1))
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-time.After(backoff + jitter):
+		case <-c.closedCh:
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		conn, hello, err := dialHello(ctx, c.addr)
+		cancel()
+		if err != nil {
+			if backoff *= 2; backoff > c.rc.Max {
+				backoff = c.rc.Max
+			}
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn = conn
+		c.hello = hello
+		c.lost = nil
+		c.redial = false
+		c.mu.Unlock()
+		go c.readLoop(conn)
+		return
+	}
 }
 
 // Call performs one op: in is marshaled as the request body, and the
 // response body is unmarshaled into out (out may be nil to discard it).
 // Wire errors come back typed: errors.Is sees the core sentinels and
-// errors.As extracts *core.ExchangeError, exactly as in-process callers do.
+// errors.As extracts *core.ExchangeError, exactly as in-process callers
+// do. While the connection is down, Call fails fast with ErrConnLost
+// (retryable) instead of blocking on the redialer.
 func (c *Client) Call(ctx context.Context, op string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("server: marshal %s request: %w", op, err)
 	}
-	ch := make(chan *Frame, 1)
+	ch := make(chan callResult, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClientClosed
+	}
+	conn := c.conn
+	if conn == nil {
+		lost := c.lost
+		c.mu.Unlock()
+		if lost != nil {
+			return fmt.Errorf("%w: %v", ErrConnLost, lost)
+		}
+		return ErrConnLost
 	}
 	c.nextID++
 	id := c.nextID
@@ -121,33 +309,29 @@ func (c *Client) Call(ctx context.Context, op string, in, out any) error {
 	}()
 
 	c.writeMu.Lock()
-	err = WriteFrame(c.conn, &Frame{V: ProtocolVersion, ID: id, Op: op, Body: body})
+	err = WriteFrame(conn, &Frame{V: ProtocolVersion, ID: id, Op: op, Body: body})
 	c.writeMu.Unlock()
 	if err != nil {
-		return err
+		c.connLost(conn, err)
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 
 	select {
-	case f := <-ch:
-		if f.Err != nil {
-			return DecodeError(f.Err)
+	case r := <-ch:
+		if r.err != nil {
+			return r.err
 		}
-		if out != nil && len(f.Body) > 0 {
-			if err := json.Unmarshal(f.Body, out); err != nil {
+		if r.f.Err != nil {
+			return DecodeError(r.f.Err)
+		}
+		if out != nil && len(r.f.Body) > 0 {
+			if err := json.Unmarshal(r.f.Body, out); err != nil {
 				return fmt.Errorf("server: decode %s response: %w", op, err)
 			}
 		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-c.done:
-		c.mu.Lock()
-		cause := c.cause
-		c.mu.Unlock()
-		if cause != nil {
-			return fmt.Errorf("%w: %v", ErrClientClosed, cause)
-		}
-		return ErrClientClosed
 	}
 }
 
@@ -164,6 +348,24 @@ func (c *Client) Status(ctx context.Context) (*core.StatusSnapshot, error) {
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error) {
 	out := &SubmitResponse{}
 	if err := c.Call(ctx, OpSubmit, req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Forward relays a submit to a peer daemon on behalf of another node.
+func (c *Client) Forward(ctx context.Context, req ForwardRequest) (*ForwardResponse, error) {
+	out := &ForwardResponse{}
+	if err := c.Call(ctx, OpForward, req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Heartbeat probes a peer daemon's liveness.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+	out := &HeartbeatResponse{}
+	if err := c.Call(ctx, OpHeartbeat, req, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -11,8 +11,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/doc"
-	"repro/internal/formats"
 )
 
 // Daemon serves one hub over the wire protocol. Each accepted connection
@@ -26,6 +24,9 @@ type Daemon struct {
 	name         string
 	maxFrame     int
 	drainTimeout time.Duration
+	writeTimeout time.Duration
+	writeQueue   int
+	handlers     map[string]HandlerFunc
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -51,6 +52,50 @@ func WithDrainTimeout(t time.Duration) Option {
 	return func(d *Daemon) { d.drainTimeout = t }
 }
 
+// WithWriteTimeout bounds each response frame's write (default 10s). A
+// client that stops reading long enough to stall a write past the deadline
+// is evicted — its connection is closed — instead of wedging the
+// connection's writer.
+func WithWriteTimeout(t time.Duration) Option {
+	return func(d *Daemon) {
+		if t > 0 {
+			d.writeTimeout = t
+		}
+	}
+}
+
+// WithWriteQueue bounds each connection's response queue (default 256
+// frames). Handlers that outrun a slow reader block on the full queue for
+// at most the write timeout, then the connection is evicted.
+func WithWriteQueue(n int) Option {
+	return func(d *Daemon) {
+		if n > 0 {
+			d.writeQueue = n
+		}
+	}
+}
+
+// HandlerFunc serves one op: body is the request frame's payload, the
+// returned value is marshaled as the response body (an error becomes a
+// typed WireError, exactly like built-in ops).
+type HandlerFunc func(ctx context.Context, body json.RawMessage) (any, error)
+
+// WithHandler registers fn for op, consulted before the built-in ops — an
+// extension point for layers above the daemon (the cluster node overrides
+// OpSubmit to route by partner ownership and adds OpForward/OpHeartbeat)
+// without the server package depending on them. An override can delegate
+// to the built-in behavior with Builtin.
+func WithHandler(op string, fn HandlerFunc) Option {
+	return func(d *Daemon) { d.handlers[op] = fn }
+}
+
+// Handle registers fn for op after construction, with WithHandler
+// semantics. It must be called before Serve — the map is read without a
+// lock once connections are being accepted. It exists for layers whose
+// configuration needs the daemon's bound address (a cluster node's member
+// list can only be final once every daemon has a port).
+func (d *Daemon) Handle(op string, fn HandlerFunc) { d.handlers[op] = fn }
+
 // NewDaemon listens on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns a daemon ready to Serve the hub.
 func NewDaemon(h *core.Hub, addr string, opts ...Option) (*Daemon, error) {
@@ -65,6 +110,9 @@ func NewDaemon(h *core.Hub, addr string, opts ...Option) (*Daemon, error) {
 		name:         "b2bhub",
 		maxFrame:     MaxFrame,
 		drainTimeout: 30 * time.Second,
+		writeTimeout: 10 * time.Second,
+		writeQueue:   256,
+		handlers:     map[string]HandlerFunc{},
 		ctx:          ctx,
 		cancel:       cancel,
 		conns:        map[net.Conn]struct{}{},
@@ -77,6 +125,14 @@ func NewDaemon(h *core.Hub, addr string, opts ...Option) (*Daemon, error) {
 
 // Addr is the daemon's listen address (host:port).
 func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Hub is the hub the daemon serves.
+func (d *Daemon) Hub() *core.Hub { return d.hub }
+
+// Context is the daemon's lifecycle context: cancelled by Close, it bounds
+// the hub work of in-flight requests and any background work layered on
+// the daemon (heartbeat loops, takeover replays).
+func (d *Daemon) Context() context.Context { return d.ctx }
 
 // Serve accepts connections until Close; it returns nil on a clean close.
 func (d *Daemon) Serve() error {
@@ -151,25 +207,89 @@ func (d *Daemon) DrainAndClose(timeout time.Duration) (core.DrainSummary, error)
 	return sum, err
 }
 
-// conn wraps one accepted connection with its write lock and request group.
+// connState wraps one accepted connection: its request group, the bounded
+// response queue, and the single writer goroutine that drains it under a
+// per-frame write deadline. Responses used to be written directly by the
+// handler goroutines under a mutex — one client that stopped reading could
+// park every handler of the connection on a blocked write forever. Now a
+// handler enqueues and moves on; a reader that stalls the writer past the
+// write deadline (or keeps the queue full past it) is evicted: the
+// connection is closed, the pipelined handlers finish into a draining
+// queue, and the rest of the daemon never notices.
 type connState struct {
 	c       net.Conn
-	writeMu sync.Mutex
+	writeTO time.Duration
+	out     chan *Frame
 	reqs    sync.WaitGroup
+	wdone   chan struct{}
+
+	aborted   chan struct{}
+	abortOnce sync.Once
 }
 
+// abort evicts the connection: further queued frames are discarded and the
+// socket is closed (which also unblocks the read loop).
+func (cs *connState) abort() {
+	cs.abortOnce.Do(func() {
+		close(cs.aborted)
+		cs.c.Close()
+	})
+}
+
+// respond enqueues one response frame. A full queue blocks the handler for
+// at most the write timeout before the connection is declared wedged and
+// evicted.
 func (cs *connState) respond(f *Frame) {
-	cs.writeMu.Lock()
-	defer cs.writeMu.Unlock()
-	// A write error means the peer is gone; the read loop will notice.
-	_ = WriteFrame(cs.c, f)
+	select {
+	case cs.out <- f:
+	case <-cs.aborted:
+	default:
+		t := time.NewTimer(cs.writeTO)
+		defer t.Stop()
+		select {
+		case cs.out <- f:
+		case <-cs.aborted:
+		case <-t.C:
+			cs.abort()
+		}
+	}
+}
+
+// writeLoop is the connection's single writer: it drains the response
+// queue under a per-frame write deadline until the queue is closed. After
+// a write failure or deadline expiry it keeps draining (discarding) so
+// handlers never block on a dead connection.
+func (cs *connState) writeLoop() {
+	defer close(cs.wdone)
+	for f := range cs.out {
+		select {
+		case <-cs.aborted:
+			continue // discard: the connection is gone
+		default:
+		}
+		if cs.writeTO > 0 {
+			_ = cs.c.SetWriteDeadline(time.Now().Add(cs.writeTO))
+		}
+		if WriteFrame(cs.c, f) != nil {
+			cs.abort()
+		}
+	}
 }
 
 func (d *Daemon) handleConn(c net.Conn) {
-	cs := &connState{c: c}
+	cs := &connState{
+		c:       c,
+		writeTO: d.writeTimeout,
+		out:     make(chan *Frame, d.writeQueue),
+		wdone:   make(chan struct{}),
+		aborted: make(chan struct{}),
+	}
+	go cs.writeLoop()
 	defer func() {
-		cs.reqs.Wait()
-		c.Close()
+		cs.reqs.Wait() // all handlers enqueued (or timed out enqueueing)
+		close(cs.out)  // writer flushes what is queued, then exits
+		<-cs.wdone
+		cs.abort()
 		d.mu.Lock()
 		delete(d.conns, c)
 		d.mu.Unlock()
@@ -222,6 +342,17 @@ func (d *Daemon) dispatch(f *Frame) *Frame {
 func (w *WireError) Error() string { return w.Message }
 
 func (d *Daemon) serve(op string, body json.RawMessage) (any, error) {
+	if fn, ok := d.handlers[op]; ok {
+		return fn(d.ctx, body)
+	}
+	return d.Builtin(op, body)
+}
+
+// Builtin serves one op with the daemon's built-in handler, bypassing any
+// WithHandler override. Overrides delegate to it for the local path (the
+// cluster node's submit override calls Builtin(OpSubmit, …) when this node
+// owns the partner).
+func (d *Daemon) Builtin(op string, body json.RawMessage) (any, error) {
 	switch op {
 	case OpHello:
 		return d.hello(), nil
@@ -260,30 +391,9 @@ func (d *Daemon) submit(body json.RawMessage) (any, error) {
 	if err := json.Unmarshal(body, &sr); err != nil {
 		return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode submit: %v", err))
 	}
-	req := core.Request{
-		Kind:      core.DocKind(sr.Kind),
-		Protocol:  formats.Format(sr.Protocol),
-		Wire:      sr.Wire,
-		PartnerID: sr.PartnerID,
-		POID:      sr.POID,
-	}
-	if len(sr.PO) > 0 {
-		po := &doc.PurchaseOrder{}
-		if err := json.Unmarshal(sr.PO, po); err != nil {
-			return nil, protoError(CodeBadFrame, fmt.Sprintf("server: decode po: %v", err))
-		}
-		req.PO = po
-	}
-	if sr.High {
-		req.Priority = core.PriorityHigh
-	}
-	if r := sr.Retry; r != nil {
-		req.Retry = &core.RetryPolicy{
-			MaxAttempts:       r.MaxAttempts,
-			BaseBackoff:       time.Duration(r.BaseBackoffMS) * time.Millisecond,
-			MaxBackoff:        time.Duration(r.MaxBackoffMS) * time.Millisecond,
-			PerAttemptTimeout: time.Duration(r.PerAttemptTimeoutMS) * time.Millisecond,
-		}
+	req, err := sr.CoreRequest()
+	if err != nil {
+		return nil, protoError(CodeBadFrame, err.Error())
 	}
 	ctx := d.ctx
 	if sr.TimeoutMS > 0 {

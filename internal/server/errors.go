@@ -25,6 +25,7 @@ const (
 	CodeInvalidRequest     = "invalid-request"
 	CodeNoOutbound         = "no-outbound"
 	CodePartnerUnavailable = "partner-unavailable"
+	CodePeerUnavailable    = "peer-unavailable"
 	CodeNoJournal          = "no-journal"
 
 	// Context outcomes.
@@ -71,6 +72,7 @@ var codeSentinel = map[string]error{
 	CodeInvalidRequest:     core.ErrInvalidRequest,
 	CodeNoOutbound:         core.ErrNoOutbound,
 	CodePartnerUnavailable: core.ErrPartnerUnavailable,
+	CodePeerUnavailable:    core.ErrPeerUnavailable,
 	CodeNoJournal:          core.ErrNoJournal,
 	CodeDeadline:           context.DeadlineExceeded,
 	CodeCanceled:           context.Canceled,
@@ -89,6 +91,8 @@ func codeFor(err error) string {
 		return CodeInvalidRequest
 	case errors.Is(err, core.ErrNoOutbound):
 		return CodeNoOutbound
+	case errors.Is(err, core.ErrPeerUnavailable):
+		return CodePeerUnavailable
 	case errors.Is(err, core.ErrPartnerUnavailable):
 		return CodePartnerUnavailable
 	case errors.Is(err, core.ErrNoJournal):

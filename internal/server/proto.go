@@ -44,6 +44,16 @@ const (
 	// OpDrain gracefully stops admission, waits for in-flight exchanges
 	// under a deadline, flushes the DLQ and checkpoints the journal.
 	OpDrain = "drain"
+	// OpForward relays a submit from a cluster node that does not own the
+	// target partner to the node that does. The receiver executes it
+	// locally (journaling it in its own journal before acking) and answers
+	// with a SubmitResponse, so the forwarding node can ack its caller with
+	// the owner's durable exchange ID.
+	OpForward = "forward"
+	// OpHeartbeat is the cluster liveness probe: peers exchange it on a
+	// fixed period, and a run of missed beats marks the peer suspect and
+	// then dead (triggering partner reassignment and journal takeover).
+	OpHeartbeat = "heartbeat"
 )
 
 // Frame is one wire message in either direction.
@@ -114,6 +124,40 @@ type SubmitResponse struct {
 	POA json.RawMessage `json:"poa,omitempty"`
 	// Wire is the outbound wire document (kinds "wire-po", "invoice").
 	Wire []byte `json:"wire,omitempty"`
+}
+
+// ForwardRequest is the body of OpForward: a SubmitRequest relayed between
+// cluster nodes on behalf of the origin's caller.
+type ForwardRequest struct {
+	// From is the forwarding node's cluster ID.
+	From string `json:"from"`
+	// Hops counts forwards so a routing disagreement between nodes (e.g.
+	// during a takeover window) cannot bounce an exchange forever: a
+	// receiver that thinks a third node owns the partner executes locally
+	// once Hops reaches the cluster's hop limit.
+	Hops int `json:"hops,omitempty"`
+	// Submit is the relayed submission, unchanged from the origin.
+	Submit SubmitRequest `json:"submit"`
+}
+
+// ForwardResponse is the body of a successful OpForward: the owner's
+// SubmitResponse, unchanged.
+type ForwardResponse = SubmitResponse
+
+// HeartbeatRequest is the body of OpHeartbeat.
+type HeartbeatRequest struct {
+	// From is the probing node's cluster ID.
+	From string `json:"from"`
+	// Seq is the probe sequence number (monotonic per sender).
+	Seq uint64 `json:"seq"`
+}
+
+// HeartbeatResponse answers OpHeartbeat.
+type HeartbeatResponse struct {
+	// Node is the responder's cluster ID.
+	Node string `json:"node"`
+	// Seq echoes the probe's sequence number.
+	Seq uint64 `json:"seq"`
 }
 
 // TraceRequest is the body of OpTrace.

@@ -29,7 +29,11 @@
 # (BenchmarkHubWire: the daemon front door over a real TCP loopback socket
 # vs the identically configured in-process DoAsync baseline) wire >= 0.5x
 # inproc — framing, the socket round trip and response correlation may cost
-# at most half the clean throughput.
+# at most half the clean throughput — and the federation section
+# (BenchmarkHubForward: every submit relayed through a non-owner cluster
+# node to the partner's owner over a second TCP hop vs the owner's
+# in-process DoAsync baseline) forward >= 0.4x inproc — partner-affinity
+# routing may cost at most 60% of local throughput.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,6 +64,9 @@ go test -run '^$' -bench '^BenchmarkHubCanary$' -benchtime "${BENCH_CANARY_COUNT
 
 echo "== BenchmarkHubWire (benchtime ${BENCH_WIRE_COUNT:-400x}) =="
 go test -run '^$' -bench '^BenchmarkHubWire$' -benchtime "${BENCH_WIRE_COUNT:-400x}" . | tee /tmp/bench_hub_wire.txt
+
+echo "== BenchmarkHubForward (benchtime ${BENCH_FORWARD_COUNT:-400x}) =="
+go test -run '^$' -bench '^BenchmarkHubForward$' -benchtime "${BENCH_FORWARD_COUNT:-400x}" . | tee /tmp/bench_hub_forward.txt
 
 python3 - "$OUT" <<'EOF'
 import json, re, sys
@@ -190,6 +197,19 @@ for line in open("/tmp/bench_hub_wire.txt"):
 if "inproc" not in wire or "wire" not in wire:
     sys.exit("bench.sh: missing BenchmarkHubWire inproc/wire results")
 
+forward = {}
+for line in open("/tmp/bench_hub_forward.txt"):
+    m = re.search(
+        r"BenchmarkHubForward/(inproc|forward)/shards=(\d+)/workers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s",
+        line)
+    if m:
+        forward[m.group(1)] = {
+            "ns_per_op": float(m.group(4)),
+            "exchanges_per_sec": float(m.group(5)),
+        }
+if "inproc" not in forward or "forward" not in forward:
+    sys.exit("bench.sh: missing BenchmarkHubForward inproc/forward results")
+
 best_clean8 = max(
     (row["exchanges_per_sec"] for key, row in sharded.items()
      if key.startswith("clean/shards=8/")),
@@ -211,6 +231,8 @@ canary_ratio = (canary["on"]["exchanges_per_sec"]
                 / canary["off"]["exchanges_per_sec"])
 wire_ratio = (wire["wire"]["exchanges_per_sec"]
               / wire["inproc"]["exchanges_per_sec"])
+forward_ratio = (forward["forward"]["exchanges_per_sec"]
+                 / forward["inproc"]["exchanges_per_sec"])
 record = {
     "benchmark": "BenchmarkHubParallel",
     "transport": "in-proc, 2ms simulated wire latency",
@@ -272,6 +294,16 @@ record = {
         "wire_vs_inproc": round(wire_ratio, 2),
         "passes_0_5x": wire_ratio >= 0.5,
     },
+    "forward": {
+        "benchmark": "BenchmarkHubForward",
+        "scenario": "two-node federation: every submit relayed through the "
+                    "non-owner's front door to the partner's owner (two TCP "
+                    "hops, 4 clients x 8 pipelined submits) vs the owner's "
+                    "in-process DoAsync baseline",
+        "rows": forward,
+        "forward_vs_inproc": round(forward_ratio, 2),
+        "passes_0_4x": forward_ratio >= 0.4,
+    },
 }
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2)
@@ -296,9 +328,12 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"canary on vs off = {canary_ratio:.2f}x "
       f"({'PASS' if canary_ratio >= 0.9 else 'FAIL'} >= 0.9x); "
       f"wire vs inproc = {wire_ratio:.2f}x "
-      f"({'PASS' if wire_ratio >= 0.5 else 'FAIL'} >= 0.5x)")
+      f"({'PASS' if wire_ratio >= 0.5 else 'FAIL'} >= 0.5x); "
+      f"forward vs inproc = {forward_ratio:.2f}x "
+      f"({'PASS' if forward_ratio >= 0.4 else 'FAIL'} >= 0.4x)")
 if (speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0
         or journal_ratio < 0.4 or interp_speedup < 1.0 or planned_ratio < 0.75
-        or wide_speedup <= 1.0 or canary_ratio < 0.9 or wire_ratio < 0.5):
+        or wide_speedup <= 1.0 or canary_ratio < 0.9 or wire_ratio < 0.5
+        or forward_ratio < 0.4):
     sys.exit(1)
 EOF

@@ -1597,18 +1597,29 @@ func BenchmarkInvoiceFlow(b *testing.B) {
 }
 
 // BenchmarkHubJournal: exchange throughput with the write-ahead journal at
-// each fsync policy, against the unjournaled baseline ("off"). The
+// each fsync policy, against the unjournaled baseline ("off"). The "seam"
+// row is the batched configuration with the journal's I/O routed through a
+// pass-through FaultFS (no fault armed) — it prices the fs indirection the
+// fault-injection seam adds to every write, sync and rename. The
 // exchanges/s metric is what scripts/bench.sh records as the journal
-// section of BENCH_hub.json (acceptance: batched >= 0.4x off).
+// section of BENCH_hub.json (acceptance: batched >= 0.4x off, and
+// seam >= 0.95x batched — the seam must stay free when healthy).
 func BenchmarkHubJournal(b *testing.B) {
-	for _, mode := range []string{"off", "never", "batched", "always"} {
+	for _, mode := range []string{"off", "never", "batched", "always", "seam"} {
 		b.Run("fsync="+mode, func(b *testing.B) {
 			m, err := core.PaperFigure14Model()
 			if err != nil {
 				b.Fatal(err)
 			}
 			opts := []core.HubOption{core.WithShards(4), core.WithWorkersPerShard(4)}
-			if mode != "off" {
+			switch mode {
+			case "off":
+			case "seam":
+				opts = append(opts,
+					core.WithJournal(filepath.Join(b.TempDir(), "hub.wal")),
+					core.WithFsyncPolicy(journal.FsyncBatched),
+					core.WithJournalFS(journal.NewFaultFS(nil, 1)))
+			default:
 				opts = append(opts,
 					core.WithJournal(filepath.Join(b.TempDir(), "hub.wal")),
 					core.WithFsyncPolicy(journal.FsyncPolicy(mode)))

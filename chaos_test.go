@@ -706,6 +706,263 @@ func TestChaosCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestChaosDiskFaults: the storage-fault drill. The journal's disk dies in
+// every mode FaultFS speaks — write errors, short writes, fsync failures
+// that drop the page cache, a full disk, and at-rest bit rot — under both
+// durability failure policies. The invariants, per (fault × policy) cell:
+//
+//  1. exactly-once across the drill: every exchange the hub acknowledged
+//     (Do returned nil) is stored in the backend exactly once after a
+//     crash and recovery — acknowledged work is never lost to the fault
+//     and never double-executed by the replay;
+//  2. fail-stop rejects unloggable admissions with the typed sentinel and
+//     resumes by itself once the disk heals;
+//  3. degraded keeps serving non-durably, auto-re-arms on a fresh segment
+//     when the disk heals, and its non-durable exchanges are never
+//     replayed by the next incarnation;
+//  4. mid-file corruption (bit rot, short-write debris under later valid
+//     records) is quarantined by the scrub-enabled reopen, so recovery
+//     proceeds past it instead of truncating acknowledged history.
+func TestChaosDiskFaults(t *testing.T) {
+	buyer := doc.Party{ID: "TP1", Name: "Trading Partner 1", DUNS: "111111111"}
+	hubParty := doc.Party{ID: "HUB", Name: "Receiver Inc", DUNS: "999999999"}
+	off := chaosSeedOffset()
+
+	waitRearmed := func(t *testing.T, hub *core.Hub) *core.DurabilityStatus {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ds := hub.Status().Durability
+			if ds != nil && ds.Mode == "durable" && ds.Rearms == 1 {
+				return ds
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("journal never re-armed: %+v", ds)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	modes := []journal.FaultMode{
+		journal.FaultWriteErr, journal.FaultShortWrite, journal.FaultSyncLoss,
+		journal.FaultENOSPC, journal.FaultBitRot,
+	}
+	policies := []core.JournalFailurePolicy{core.FailStop, core.FailDegraded}
+	for pi, policy := range policies {
+		for mi, mode := range modes {
+			policy, mode := policy, mode
+			seed := int64(100*pi+10*mi) + 71 + off
+			t.Run(string(policy)+"/"+string(mode), func(t *testing.T) {
+				defer leakcheck.Check(t)()
+				path := filepath.Join(t.TempDir(), "hub.wal")
+				ffs := journal.NewFaultFS(nil, seed)
+				model, err := core.PaperFigure14Model()
+				if err != nil {
+					t.Fatal(err)
+				}
+				hub1, err := core.NewHub(model,
+					core.WithJournal(path),
+					core.WithJournalFS(ffs),
+					core.WithFsyncPolicy(journal.FsyncAlways),
+					core.WithJournalFailurePolicy(policy),
+					core.WithJournalProbeInterval(2*time.Millisecond))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The ERP outlives the hub: captured here, re-wired into the
+				// recovering incarnation below.
+				shared := map[string]*backend.Faulty{}
+				hub1.WrapBackends(func(sys backend.System) backend.System {
+					f := backend.NewFaulty(sys, backend.FaultSchedule{})
+					shared[f.Name()] = f
+					return f
+				})
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				g := doc.NewGenerator(seed)
+				ack := func() string {
+					t.Helper()
+					res, err := hub1.Do(ctx, core.Request{Kind: core.DocPO, PO: g.PO(buyer, hubParty)})
+					if err != nil {
+						t.Fatalf("healthy-disk exchange failed: %v", err)
+					}
+					return res.Exchange.ID
+				}
+
+				// Phase 1 — healthy disk: two acknowledged, durable exchanges.
+				acked := []string{ack(), ack()}
+				durable := append([]string(nil), acked...)
+
+				// Phase 2 — the fault window. Bit rot is a read-side fault:
+				// appends keep succeeding and the damage is done at rest
+				// below; every other mode breaks the admission append and
+				// exercises the failure policy.
+				var nonDurable []string
+				if mode == journal.FaultENOSPC {
+					ffs.ArmENOSPC(0)
+				} else {
+					ffs.Arm(mode)
+				}
+				for i := 0; i < 3; i++ {
+					res, err := hub1.Do(ctx, core.Request{Kind: core.DocPO, PO: g.PO(buyer, hubParty)})
+					switch {
+					case mode == journal.FaultBitRot:
+						if err != nil {
+							t.Fatalf("bit rot broke an append: %v", err)
+						}
+						acked = append(acked, res.Exchange.ID)
+						durable = append(durable, res.Exchange.ID)
+					case policy == core.FailStop:
+						if !errors.Is(err, core.ErrJournalUnavailable) {
+							t.Fatalf("fail-stop admission on dead disk: %v, want ErrJournalUnavailable", err)
+						}
+					default: // degraded
+						if err != nil {
+							t.Fatalf("degraded admission rejected: %v", err)
+						}
+						acked = append(acked, res.Exchange.ID)
+						nonDurable = append(nonDurable, res.Exchange.ID)
+					}
+				}
+				if mode == journal.FaultBitRot {
+					// The rot is visible to a read-only scrub through the
+					// faulty medium even while appends succeed.
+					rep, err := hub1.ScrubJournal()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Corrupt == 0 && rep.TornBytes == 0 {
+						t.Fatalf("scrub through rotting medium reported clean: %+v", rep)
+					}
+				} else if policy == core.FailDegraded {
+					if ds := hub1.Status().Durability; ds.Mode != "degraded" || ds.NonDurableAdmits < 3 {
+						t.Fatalf("durability status %+v, want a degraded episode with 3+ non-durable admits", ds)
+					}
+				}
+
+				// Phase 3 — the disk heals. Fail-stop resumes on the next
+				// admission; degraded re-arms via the prober first.
+				ffs.Heal()
+				if mode != journal.FaultBitRot && policy == core.FailDegraded {
+					waitRearmed(t, hub1)
+					// Re-arm compacts onto a fresh segment holding only the
+					// live set: the completed healthy-phase exchanges are
+					// checkpointed away and no longer restorable (their
+					// outcomes live in the backend, counted below).
+					durable = nil
+				}
+				id := ack()
+				acked = append(acked, id)
+				durable = append(durable, id)
+
+				// Bit rot's lasting damage: flip a mid-file record at rest
+				// (an acknowledged exchange's outcome) with valid records
+				// after it, exactly what a scrub-enabled reopen must
+				// quarantine rather than truncate.
+				wantCorrupt := 0
+				if mode == journal.FaultBitRot {
+					corruptJournalRecord(t, path, durable[2])
+					// durable[2]'s complete record is rot: its admission will
+					// re-deliver, not restore.
+					durable = append(durable[:2], durable[3:]...)
+					wantCorrupt = 1
+				}
+				if mode == journal.FaultShortWrite && policy == core.FailStop {
+					// Fail-stop retried the append per admission, so the torn
+					// half-frames sit as debris under the post-heal records:
+					// one coalesced region for the scrub to quarantine.
+					wantCorrupt = 1
+				}
+				// hub1 is abandoned un-closed, as a crash would leave it.
+
+				hub2, err := core.NewHub(model,
+					core.WithJournal(path),
+					core.WithFsyncPolicy(journal.FsyncNever),
+					core.WithJournalScrub())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer hub2.StopWorkers()
+				defer hub2.CloseJournal()
+				hub2.WrapBackends(func(sys backend.System) backend.System {
+					return shared[sys.Name()]
+				})
+				rep, err := hub2.Recover(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Corrupt != wantCorrupt {
+					t.Fatalf("recovery report %+v, want %d quarantined regions", rep, wantCorrupt)
+				}
+				if rep.Restored != len(durable) {
+					t.Fatalf("recovery report %+v, want %d durable exchanges restored", rep, len(durable))
+				}
+
+				// Invariant 1: every acknowledged exchange stored exactly
+				// once across fault, crash and recovery — replays of the
+				// rotted outcome re-deliver into the DLQ, never re-execute.
+				stored := 0
+				for _, f := range shared {
+					stored += f.Inner().StoredOrders()
+				}
+				if stored != len(acked) {
+					t.Fatalf("backends hold %d orders, want %d (one per acknowledged exchange)", stored, len(acked))
+				}
+
+				// Invariant 3: durable history survived; non-durable
+				// (degraded-window) exchanges are gone by contract.
+				for _, id := range durable {
+					if _, ok := hub2.ExchangeByID(id); !ok {
+						t.Fatalf("durable exchange %s lost across the drill", id)
+					}
+				}
+				for _, id := range nonDurable {
+					if _, ok := hub2.ExchangeByID(id); ok {
+						t.Fatalf("non-durable exchange %s replayed — degraded admissions must never be", id)
+					}
+				}
+				if mode == journal.FaultBitRot {
+					if rep.Reenqueued != 1 || rep.Redelivered != 1 {
+						t.Fatalf("recovery report %+v, want the rotted outcome re-delivered at most once", rep)
+					}
+					if _, err := os.Stat(journal.QuarantinePath(path)); err != nil {
+						t.Fatalf("no quarantine sidecar after scrubbed recovery: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// corruptJournalRecord flips the payload bytes of exchange exID's complete
+// record in the journal at path, leaving the frames around it intact.
+func corruptJournalRecord(t *testing.T, path string, exID string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := journal.Decode(data)
+	offset := int64(0)
+	for _, r := range recs {
+		frame, ferr := journal.Encode(r)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if r.Kind == "complete" && strings.Contains(string(r.Payload), `"`+exID+`"`) {
+			for b := offset + 8; b < offset+int64(len(frame)); b++ {
+				data[b] ^= 0xFF
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		offset += int64(len(frame))
+	}
+	t.Fatalf("no complete record for %s in %s", exID, path)
+}
+
 // TestChaosCanaryBrokenCandidate: a deliberately broken binding candidate
 // is canaried onto TP1 while seeded backend faults rumble under all three
 // partners. The candidate's hash-selected arm fails every exchange; the

@@ -15,6 +15,11 @@
 //	b2bctl dlq
 //	b2bctl resubmit (-all | EXCHANGE-ID)
 //	b2bctl drain [-drain-timeout 30s]
+//	b2bctl scrub [-json]
+//
+// scrub walks the daemon's journal read-only and reports valid records,
+// mid-file corrupt regions and torn tail bytes; it exits 2 when corrupt
+// regions exist, so a cron probe can alarm on rot without parsing output.
 //
 // Wire errors arrive typed: the daemon's *core.ExchangeError round-trips
 // the protocol, so a failed submit reports the partner, stage and error
@@ -87,6 +92,8 @@ func run(args []string, out, errw io.Writer) int {
 		cmdErr = cmdDrain(ctx, c, rest, out, errw)
 	case "cluster":
 		cmdErr = cmdCluster(ctx, c, rest, out, errw)
+	case "scrub":
+		cmdErr = cmdScrub(ctx, c, rest, out, errw)
 	default:
 		fmt.Fprintf(errw, "b2bctl: unknown command %q\n", cmd)
 		usage(errw, global)
@@ -97,6 +104,9 @@ func run(args []string, out, errw io.Writer) int {
 			return 2
 		}
 		fmt.Fprintf(errw, "b2bctl: %v\n", cmdErr)
+		if errors.Is(cmdErr, errCorrupt) {
+			return 2
+		}
 		return 1
 	}
 	return 0
@@ -106,9 +116,13 @@ func run(args []string, out, errw io.Writer) int {
 // printed by the FlagSet).
 var errUsage = errors.New("usage")
 
+// errCorrupt marks a scrub that found corrupt records (exit 2, so probes
+// can distinguish "journal has rot" from connection failures).
+var errCorrupt = errors.New("journal has corrupt records")
+
 func usage(w io.Writer, global *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: b2bctl [-addr host:port] [-timeout d] <command> [args]")
-	fmt.Fprintln(w, "commands: status, submit, trace, dlq, resubmit, drain, cluster")
+	fmt.Fprintln(w, "commands: status, submit, trace, dlq, resubmit, drain, cluster, scrub")
 	global.PrintDefaults()
 }
 
@@ -154,6 +168,9 @@ func renderStatus(out io.Writer, hello server.HelloResponse, st *core.StatusSnap
 	fmt.Fprintf(out, "dlq: depth=%d cap=%d\n", st.DLQ.Depth, st.DLQ.Cap)
 	fmt.Fprintf(out, "journal: enabled=%v pending-admits=%d unresolved-dead-letters=%d\n",
 		st.Journal.Enabled, st.Journal.PendingAdmits, st.Journal.UnresolvedDeadLetters)
+	if st.Durability != nil {
+		renderDurability(out, st.Durability)
+	}
 	for _, s := range st.Stages {
 		fmt.Fprintf(out, "stage %-9s count=%d errors=%d mean=%v p95=%v max=%v\n",
 			s.Stage, s.Count, s.Errors, s.Mean.Round(time.Microsecond), s.P95, s.Max.Round(time.Microsecond))
@@ -165,6 +182,20 @@ func renderStatus(out io.Writer, hello server.HelloResponse, st *core.StatusSnap
 	if st.Cluster != nil {
 		renderCluster(out, st.Cluster)
 	}
+}
+
+// renderDurability prints the storage-health section as stable, greppable
+// lines: the failure-policy state on one line, the on-disk accounting
+// (quarantined rot, compactions) on the next.
+func renderDurability(out io.Writer, ds *core.DurabilityStatus) {
+	line := fmt.Sprintf("durability: mode=%s policy=%s append-failures=%d rejected-admits=%d non-durable-admits=%d probes=%d rearms=%d poisoned=%d",
+		ds.Mode, ds.Policy, ds.AppendFailures, ds.RejectedAdmits, ds.NonDurableAdmits, ds.Probes, ds.Rearms, ds.Poisoned)
+	if ds.LastError != "" {
+		line += fmt.Sprintf(" last-error=%q", ds.LastError)
+	}
+	fmt.Fprintln(out, line)
+	fmt.Fprintf(out, "storage: corrupt=%d quarantined-bytes=%d rotations=%d\n",
+		ds.Corrupt, ds.QuarantinedBytes, ds.Rotations)
 }
 
 // renderCluster prints the federation section as stable, greppable lines.
@@ -323,6 +354,33 @@ func cmdResubmit(ctx context.Context, c *server.Client, args []string, out, errw
 	fmt.Fprintf(out, "resubmitted %d/%d\n", len(resp.Outcomes)-failed, len(resp.Outcomes))
 	if failed > 0 {
 		return fmt.Errorf("%d of %d resubmissions failed", failed, len(resp.Outcomes))
+	}
+	return nil
+}
+
+func cmdScrub(ctx context.Context, c *server.Client, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	asJSON := fs.Bool("json", false, "print the raw ScrubResponse JSON")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	resp, err := c.Scrub(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "scrub %s: records=%d corrupt=%d quarantined-bytes=%d torn-bytes=%d\n",
+			resp.Path, resp.Records, resp.Corrupt, resp.QuarantinedBytes, resp.TornBytes)
+	}
+	if resp.Corrupt > 0 {
+		return fmt.Errorf("%w: %d regions, %d bytes", errCorrupt, resp.Corrupt, resp.QuarantinedBytes)
 	}
 	return nil
 }

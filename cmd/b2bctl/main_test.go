@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/leakcheck"
 	"repro/internal/server"
 )
@@ -204,6 +206,119 @@ func TestGoldenResubmit(t *testing.T) {
 	}
 	if _, out, _ = ctl(t, addr, "dlq"); out != "dead letters: 0\n" {
 		t.Errorf("queue not empty after resubmit: %q", out)
+	}
+}
+
+// TestGoldenDurabilityStatusAndScrub pins the storage-health surface on a
+// healthy daemon: the durability/storage lines in status, the durability
+// key in -json, and a clean scrub exiting 0.
+func TestGoldenDurabilityStatusAndScrub(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	addr, h := startDaemon(t)
+
+	if code, _, errOut := ctl(t, addr, "submit", "-partner", "TP1", "-seed", "11"); code != 0 {
+		t.Fatalf("submit exit %d, stderr %q", code, errOut)
+	}
+
+	code, out, _ := ctl(t, addr, "status")
+	if code != 0 {
+		t.Fatalf("status exit %d", code)
+	}
+	for _, want := range []string{
+		"durability: mode=durable policy=fail-stop append-failures=0 rejected-admits=0 non-durable-admits=0 probes=0 rearms=0 poisoned=0\n",
+		"storage: corrupt=0 quarantined-bytes=0 rotations=0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = ctl(t, addr, "status", "-json")
+	if code != 0 {
+		t.Fatalf("status -json exit %d", code)
+	}
+	for _, key := range []string{`"durability"`, `"mode": "durable"`, `"policy": "fail-stop"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("json status missing %s:\n%s", key, out)
+		}
+	}
+
+	code, out, errOut := ctl(t, addr, "scrub")
+	if code != 0 {
+		t.Fatalf("clean scrub exit %d, stderr %q", code, errOut)
+	}
+	prefix := "scrub " + h.Journal().Path() + ": records="
+	if !strings.HasPrefix(out, prefix) ||
+		!strings.HasSuffix(out, " corrupt=0 quarantined-bytes=0 torn-bytes=0\n") {
+		t.Errorf("clean scrub output %q, want %q...corrupt=0", out, prefix)
+	}
+
+	code, out, _ = ctl(t, addr, "scrub", "-json")
+	if code != 0 {
+		t.Fatalf("scrub -json exit %d", code)
+	}
+	for _, key := range []string{`"path"`, `"records"`, `"corrupt": 0`, `"quarantined_bytes": 0`, `"torn_bytes": 0`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("scrub json missing %s:\n%s", key, out)
+		}
+	}
+}
+
+// TestGoldenScrubCorruptJournal pins the dirty-scrub contract: mid-file
+// rot makes scrub report the region, print the account to stdout, explain
+// itself on stderr and exit 2 — distinct from daemon failures (1) but
+// scriptable like usage errors.
+func TestGoldenScrubCorruptJournal(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	addr, h := startDaemon(t)
+	if code, _, errOut := ctl(t, addr, "submit", "-partner", "TP1", "-n", "2", "-seed", "13"); code != 0 {
+		t.Fatalf("submit exit %d, stderr %q", code, errOut)
+	}
+	corruptMidFileRecord(t, h.Journal().Path())
+
+	code, out, errOut := ctl(t, addr, "scrub")
+	if code != 2 {
+		t.Fatalf("dirty scrub exit %d, want 2 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(out, " corrupt=1 quarantined-bytes=") {
+		t.Errorf("dirty scrub stdout %q, want the corrupt region accounted", out)
+	}
+	if !strings.Contains(errOut, "journal has corrupt records: 1 regions") {
+		t.Errorf("dirty scrub stderr %q, want the corrupt explanation", errOut)
+	}
+
+	if code, _, _ := ctl(t, addr, "scrub", "-json"); code != 2 {
+		t.Errorf("dirty scrub -json exit %d, want 2", code)
+	}
+	// The walk is read-only: the daemon keeps serving and status still
+	// exits 0 (quarantining happens at the next open with scrub enabled).
+	if code, _, _ := ctl(t, addr, "status"); code != 0 {
+		t.Errorf("status after dirty scrub exit %d, want 0", code)
+	}
+}
+
+// corruptMidFileRecord flips the payload bytes of an early record in the
+// journal at path, leaving valid frames after it — mid-file rot, not a
+// torn tail.
+func corruptMidFileRecord(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := journal.Decode(data)
+	if len(recs) < 2 {
+		t.Fatalf("journal has %d records, need 2+ for mid-file rot", len(recs))
+	}
+	frame, err := journal.Encode(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 8; b < len(frame); b++ {
+		data[b] ^= 0xFF
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

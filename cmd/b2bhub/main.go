@@ -109,6 +109,8 @@ var (
 	// lifecycle and recovers unfinished work at startup.
 	journalPath = flag.String("journal", "", "write-ahead journal path; enables crash recovery (empty disables)")
 	fsyncMode   = flag.String("fsync", "batched", "journal fsync policy: always, batched or never")
+	jrnPolicy   = flag.String("journal-policy", "fail-stop", "journal failure policy: fail-stop rejects admissions when the disk fails, degraded keeps serving non-durably and re-arms when it heals")
+	jrnScrub    = flag.Bool("journal-scrub", false, "scrub & repair the journal at open: mid-file corrupt regions are quarantined to a sidecar instead of truncating everything after them")
 
 	// Runtime change management: hot-swap and canary demos applied mid-run,
 	// while orders are in flight.
@@ -198,7 +200,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		hubOpts = append(hubOpts, core.WithJournal(*journalPath), core.WithFsyncPolicy(policy))
+		fpolicy, err := core.ParseFailurePolicy(*jrnPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hubOpts = append(hubOpts, core.WithJournal(*journalPath), core.WithFsyncPolicy(policy),
+			core.WithJournalFailurePolicy(fpolicy))
+		if *jrnScrub {
+			hubOpts = append(hubOpts, core.WithJournalScrub())
+		}
 	}
 	hub, err := core.NewHub(model, hubOpts...)
 	if err != nil {
@@ -223,6 +233,10 @@ func main() {
 			*journalPath, *fsyncMode, rep.Records, rep.TornBytes,
 			rep.Restored, rep.DeadLetters, rep.Reenqueued,
 			rep.Recovered, rep.Redelivered, rep.DuplicateAdmits)
+		if rep.Corrupt > 0 || rep.Poisoned > 0 {
+			fmt.Printf("journal scrub: %d corrupt regions (%d bytes) quarantined; %d poison admissions parked to DLQ\n",
+				rep.Corrupt, rep.QuarantinedBytes, rep.Poisoned)
+		}
 	}
 
 	if *fa997 {

@@ -37,6 +37,12 @@ var (
 	// exchange is parked on the local dead-letter queue and becomes
 	// eligible for Resubmit once the peer recovers (or ownership moves).
 	ErrPeerUnavailable = errors.New("core: peer node unavailable")
+	// ErrJournalUnavailable is returned under the fail-stop durability
+	// policy (the default) for admissions whose journal append failed: a
+	// hub asked to be durable rejects work it cannot log. Resubmitting
+	// after the disk heals succeeds; WithJournalFailurePolicy(FailDegraded)
+	// trades the rejection for non-durable admission instead.
+	ErrJournalUnavailable = errors.New("core: journal unavailable")
 )
 
 // ExchangeError is the typed pipeline error of the hub boundary: it locates

@@ -157,9 +157,13 @@ func (h *Hub) ParkRequest(req Request, cause error) (*Result, error) {
 // peer's journal.
 type TakeoverReport struct {
 	// Records is how many records the peer's journal yielded; TornBytes how
-	// many trailing bytes of a torn final append were ignored.
+	// many trailing bytes of a torn final append were ignored; Corrupt how
+	// many mid-file corrupt regions the scan skipped past (the dead file
+	// is read-only, so nothing is quarantined — the regions are simply not
+	// replayed).
 	Records   int
 	TornBytes int64
+	Corrupt   int
 	// Restored counts the peer's completed exchanges restored as records
 	// under their original IDs (traceable, never re-run).
 	Restored int
@@ -180,9 +184,12 @@ type TakeoverReport struct {
 
 // TakeOverJournal replays a dead peer's journal into this hub, filtered to
 // the partners the owns predicate claims (nil claims everything). The file
-// at path is read strictly read-only — journal.Decode, never journal.Open,
-// so a torn tail is skipped without truncating the dead node's file and
-// concurrent successors can scan the same journal for their own partitions.
+// at path is read strictly read-only — journal.ScanAll, never
+// journal.Open, so a torn tail is skipped without truncating the dead
+// node's file and concurrent successors can scan the same journal for
+// their own partitions. ScanAll also resynchronizes past mid-file corrupt
+// regions (a dead node's disk may be why it died), so isolated rot costs
+// only the records it covers, not everything after them.
 //
 // The single-node exactly-once argument carries over per entry:
 //
@@ -201,17 +208,22 @@ type TakeoverReport struct {
 // peer's journal would double-run its pending admissions.
 func (h *Hub) TakeOverJournal(ctx context.Context, path string, owns func(partner string) bool) (TakeoverReport, error) {
 	var rep TakeoverReport
-	data, err := os.ReadFile(path)
+	fs := h.jrnFS
+	if fs == nil {
+		fs = journal.OSFS()
+	}
+	data, err := fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return rep, nil
 	}
 	if err != nil {
 		return rep, fmt.Errorf("core: takeover: %w", err)
 	}
-	recs, torn := journal.Decode(data)
+	recs, regions, torn := journal.ScanAll(data)
 	snap, _, _ := scanJournal(recs, nil)
 	rep.Records = snap.records
-	rep.TornBytes = int64(len(data)) - torn
+	rep.TornBytes = torn
+	rep.Corrupt = len(regions)
 	if owns == nil {
 		owns = func(string) bool { return true }
 	}
@@ -282,6 +294,14 @@ func (h *Hub) TakeOverJournal(ctx context.Context, path string, owns func(partne
 		// unattributable work.
 		if !owns(req.healthKey()) {
 			rep.Skipped++
+			continue
+		}
+		if snap.attempts[key] >= poisonThreshold {
+			// The peer's recovery crash-looped on this admission; the
+			// successor parks it durably instead of inheriting the loop.
+			_, _ = h.ParkRequest(jr.toRequest(), fmt.Errorf("taken-over poison admission %s: %d recovery replays did not complete", key, snap.attempts[key]))
+			rep.Reenqueued++
+			rep.Redelivered++
 			continue
 		}
 		fut, err := h.DoAsync(ctx, req)

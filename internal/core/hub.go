@@ -175,13 +175,21 @@ type Hub struct {
 	// unresolved dead letters) plus jrnSeq, the admission-key sequence.
 	// jrnStartup is the open-time replay snapshot, consumed once by
 	// Recover. Lock order: h.mu is never taken inside jrnMu.
+	// jrnAttempts counts recovery replay attempts per pending admission
+	// key (poison detection); jrnFS is the storage seam under the journal
+	// (and TakeOverJournal's reads), nil meaning the real filesystem.
 	jrn             *journal.Journal
+	jrnFS           journal.FS
 	jrnMu           sync.Mutex
 	jrnSeq          int
 	jrnPending      map[string]*journalRequest
 	jrnDead         map[string]journalOutcome
+	jrnAttempts     map[string]int
 	jrnStartup      *journalSnapshot
 	recoveryMetrics *obs.RecoveryMetrics
+	// dur is the storage-health state of the durability failure policy
+	// (see durability.go).
+	dur durability
 
 	// dlqCap bounds the in-memory dead-letter queue (0 = unbounded).
 	dlqCap int
@@ -369,8 +377,21 @@ func NewHub(m *Model, opts ...HubOption) (*Hub, error) {
 	h.bus.Attach(h.healthMetrics)
 	h.bus.Attach(h.recoveryMetrics)
 	h.bus.Attach(h.configMetrics)
+	h.jrnFS = cfg.journalFS
+	h.dur.policy = cfg.jrnPolicy
+	if h.dur.policy == "" {
+		h.dur.policy = FailStop
+	}
+	h.dur.probeInterval = cfg.probeInterval
+	if h.dur.probeInterval <= 0 {
+		h.dur.probeInterval = DefaultJournalProbeInterval
+	}
 	if cfg.journalPath != "" {
-		j, err := journal.Open(cfg.journalPath, journal.Options{Fsync: cfg.fsync})
+		j, err := journal.Open(cfg.journalPath, journal.Options{
+			Fsync:      cfg.fsync,
+			FS:         cfg.journalFS,
+			AutoRepair: cfg.journalScrub,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open journal: %w", err)
 		}

@@ -48,7 +48,18 @@ const (
 	// activate of an artifact version); replaying the config records restores
 	// the exact pre-crash config epoch and active-version set.
 	recConfig = "config"
+	// recReplay marks one recovery replay attempt of a pending admission
+	// (keyed like the admit). Appended before the replay runs, so an
+	// admission that crashes the hub during its own replay accumulates
+	// attempt records; at poisonThreshold the replay is skipped and the
+	// admission parks on the dead-letter queue instead of crash-looping
+	// recovery forever.
+	recReplay = "replay"
 )
+
+// poisonThreshold is how many journaled replay attempts an admission may
+// accumulate before Recover stops re-running it and parks it as poisoned.
+const poisonThreshold = 3
 
 // Config record actions.
 const (
@@ -108,7 +119,10 @@ func (h *Hub) applyConfigRecord(payload []byte) {
 // swallowed: the change is already applied in memory and a lost record only
 // costs epoch exactness after a crash, never correctness of live routing.
 func (h *Hub) journalConfigChange(jc journalConfig) {
-	if h.jrn == nil {
+	if h.jrn == nil || h.journalDown() {
+		// Degraded: the config store itself holds the state and the re-arm
+		// compaction snapshots it (configLiveRecords), so the skipped
+		// record costs nothing once the disk heals.
 		return
 	}
 	payload, err := json.Marshal(jc)
@@ -238,6 +252,9 @@ type journalSnapshot struct {
 	deadOrder []string
 	// finished are completed/failed outcomes, restored as exchange records.
 	finished []journalOutcome
+	// attempts counts replay-attempt records per pending admission key
+	// (poison detection).
+	attempts map[string]int
 	// dupAdmits counts duplicate admission records that were ignored.
 	dupAdmits int
 }
@@ -251,8 +268,9 @@ type journalSnapshot struct {
 // config history is not replayed into this hub).
 func scanJournal(recs []journal.Record, onConfig func([]byte)) (snap *journalSnapshot, maxExch, maxKey int) {
 	snap = &journalSnapshot{
-		pending: map[string]*journalRequest{},
-		dead:    map[string]journalOutcome{},
+		pending:  map[string]*journalRequest{},
+		dead:     map[string]journalOutcome{},
+		attempts: map[string]int{},
 	}
 	completedKeys := map[string]bool{}
 	snap.records = len(recs)
@@ -323,6 +341,10 @@ func scanJournal(recs []journal.Record, onConfig func([]byte)) (snap *journalSna
 					snap.deadOrder = removeKey(snap.deadOrder, rp.ExchangeID)
 				}
 			}
+		case recReplay:
+			if rec.Key != "" {
+				snap.attempts[rec.Key]++
+			}
 		case recConfig:
 			// Replay config changes in journal order so the store converges
 			// on the exact pre-crash epoch and active-version set before the
@@ -359,6 +381,12 @@ func (h *Hub) initJournal() {
 	for k, v := range snap.dead {
 		h.jrnDead[k] = v
 	}
+	h.jrnAttempts = make(map[string]int, len(snap.attempts))
+	for k, v := range snap.attempts {
+		if _, pending := snap.pending[k]; pending {
+			h.jrnAttempts[k] = v
+		}
+	}
 }
 
 func removeKey(keys []string, key string) []string {
@@ -371,11 +399,20 @@ func removeKey(keys []string, key string) []string {
 }
 
 // journalAdmit write-ahead-logs one admitted request and returns its
-// admission key. With no journal it returns "" and nil. An append error
-// fails the admission: a hub asked to be durable must not accept work it
-// cannot log.
+// admission key. With no journal it returns "" and nil. An append error is
+// routed through the durability failure policy (see durability.go):
+// fail-stop fails the admission with ErrJournalUnavailable — a hub asked
+// to be durable must not accept work it cannot log — and degraded admits
+// it non-durably (key "", never replayed) while the prober watches for
+// the disk to heal. While degraded, appends are skipped outright: writing
+// to a disk known broken could tear frames under the live segment for
+// nothing.
 func (h *Hub) journalAdmit(req *Request) (string, error) {
 	if h.jrn == nil {
+		return "", nil
+	}
+	if h.journalDown() {
+		h.noteNonDurableAdmit()
 		return "", nil
 	}
 	jr := toJournalRequest(req)
@@ -392,7 +429,7 @@ func (h *Hub) journalAdmit(req *Request) (string, error) {
 	}
 	h.jrnMu.Unlock()
 	if err != nil {
-		return "", fmt.Errorf("core: journal admit: %w", err)
+		return "", h.journalAppendFailed(err)
 	}
 	req.journaled = true
 	return key, nil
@@ -443,12 +480,19 @@ func (h *Hub) appendOutcome(key string, out journalOutcome) {
 	if err != nil {
 		return
 	}
+	// While degraded the append is skipped but the live index still moves:
+	// the index is what the re-arm compaction writes to the fresh segment,
+	// so a completion during the outage is not resurrected after it. (A
+	// crash before the re-arm replays the stale journal and re-delivers at
+	// most once, as always.)
+	down := h.journalDown()
 	h.jrnMu.Lock()
 	defer h.jrnMu.Unlock()
-	if h.jrn.Append(journal.Record{Kind: recComplete, Key: key, Payload: payload}) != nil {
+	if !down && h.jrn.Append(journal.Record{Kind: recComplete, Key: key, Payload: payload}) != nil {
 		return
 	}
 	delete(h.jrnPending, key)
+	delete(h.jrnAttempts, key)
 	if out.Outcome == outcomeDeadLetter && out.ExchangeID != "" {
 		h.jrnDead[out.ExchangeID] = out
 	}
@@ -471,8 +515,11 @@ func (h *Hub) journalResubmitOutcome(dl DeadLetter, ex *Exchange, err error) {
 	if merr != nil {
 		return
 	}
+	down := h.journalDown()
 	h.jrnMu.Lock()
-	if h.jrn.Append(journal.Record{Kind: recResolve, Payload: payload}) == nil {
+	if down || h.jrn.Append(journal.Record{Kind: recResolve, Payload: payload}) == nil {
+		// Degraded: the in-memory index is what the re-arm compaction
+		// writes, so dropping the entry there resolves it durably enough.
 		delete(h.jrnDead, dl.ExchangeID)
 	}
 	h.jrnMu.Unlock()
@@ -534,6 +581,14 @@ type RecoveryReport struct {
 	// DuplicateAdmits counts duplicate admission records ignored by the
 	// replay (idempotence by admission key).
 	DuplicateAdmits int
+	// Corrupt counts mid-file corrupt regions the open-time scrub
+	// quarantined (WithJournalScrub); QuarantinedBytes their total size.
+	Corrupt          int
+	QuarantinedBytes int64
+	// Poisoned counts admissions parked to the dead-letter queue instead
+	// of replayed, after poisonThreshold replay attempts crashed or failed
+	// to complete.
+	Poisoned int
 }
 
 // Recover replays the journal a hub was opened on: completed exchanges
@@ -563,6 +618,9 @@ func (h *Hub) Recover(ctx context.Context) (RecoveryReport, error) {
 	rep.Records = snap.records
 	rep.TornBytes = snap.tornBytes
 	rep.DuplicateAdmits = snap.dupAdmits
+	jst := h.jrn.Stats()
+	rep.Corrupt = jst.Corrupt
+	rep.QuarantinedBytes = jst.QuarantinedBytes
 	h.bus.Emit(obs.Event{Kind: obs.KindRecovery, Stage: obs.StageRecovery, Step: obs.StepStarted})
 
 	// Completed exchanges come back as records so ExchangeByID and audit
@@ -607,6 +665,10 @@ func (h *Hub) Recover(ctx context.Context) (RecoveryReport, error) {
 
 	// Unfinished admissions re-enter through the front door: health gate,
 	// scheduler, journal completion under their original admission key.
+	// Each replay is preceded by a journaled attempt record, so an
+	// admission that keeps crashing the hub mid-replay accumulates
+	// attempts across restarts; at poisonThreshold it is parked on the
+	// dead-letter queue instead of crash-looping recovery forever.
 	type replay struct {
 		key string
 		fut *Future
@@ -614,6 +676,15 @@ func (h *Hub) Recover(ctx context.Context) (RecoveryReport, error) {
 	var replays []replay
 	for _, key := range snap.pendingOrder {
 		jr := snap.pending[key]
+		if snap.attempts[key] >= poisonThreshold {
+			h.parkPoisoned(key, jr, snap.attempts[key])
+			rep.Poisoned++
+			continue
+		}
+		h.jrnMu.Lock()
+		_ = h.jrn.Append(journal.Record{Kind: recReplay, Key: key})
+		h.jrnAttempts[key]++
+		h.jrnMu.Unlock()
 		req := jr.toRequest()
 		fut, err := h.doAsync(ctx, req, key)
 		if err != nil {
@@ -649,6 +720,51 @@ func (h *Hub) Recover(ctx context.Context) (RecoveryReport, error) {
 		Elapsed: time.Since(start),
 	})
 	return rep, nil
+}
+
+// parkPoisoned terminates a poison admission: instead of a replay, the
+// request goes to the dead-letter queue under a fresh exchange ID with a
+// journaled dead-letter outcome, still replayable via Resubmit once an
+// operator has looked at it. Recovery of everything else proceeds.
+func (h *Hub) parkPoisoned(key string, jr *journalRequest, attempts int) {
+	h.mu.Lock()
+	h.exchSeq++
+	exID := fmt.Sprintf("ex-%d", h.exchSeq)
+	h.mu.Unlock()
+	reason := fmt.Errorf("core: poison admission %s: %d recovery replays did not complete", key, attempts)
+	flow := obs.FlowPO
+	if jr.Kind == DocInvoice {
+		flow = obs.FlowInvoice
+	}
+	out := journalOutcome{
+		ExchangeID: exID,
+		Partner:    jr.PartnerID,
+		Flow:       flow,
+		Protocol:   jr.Protocol,
+		Outcome:    outcomeDeadLetter,
+		Reason:     reason.Error(),
+		Request:    jr,
+	}
+	h.appendOutcome(key, out)
+	req := jr.toRequest()
+	h.parkDeadLetter(DeadLetter{
+		ExchangeID: exID,
+		Partner:    jr.PartnerID,
+		Flow:       flow,
+		Protocol:   jr.Protocol,
+		Reason:     reason,
+		At:         time.Now(),
+		journaled:  true,
+		req:        &req,
+	})
+	h.dur.mu.Lock()
+	h.dur.poisoned++
+	h.dur.mu.Unlock()
+	h.bus.Emit(obs.Event{
+		ExchangeID: exID, Partner: jr.PartnerID, Flow: flow,
+		Kind: obs.KindDurability, Stage: obs.StageDurability,
+		Step: obs.StepPoisoned, Err: reason,
+	})
 }
 
 // restoreExchange recreates a journaled exchange's record. The partner
@@ -703,6 +819,11 @@ func (h *Hub) CheckpointJournal() error {
 			continue
 		}
 		live = append(live, journal.Record{Kind: recAdmit, Key: key, Payload: payload})
+		// The admission's replay-attempt count survives compaction, or a
+		// poison record could reset its own clock every checkpoint.
+		for i := 0; i < h.jrnAttempts[key]; i++ {
+			live = append(live, journal.Record{Kind: recReplay, Key: key})
+		}
 	}
 	for _, out := range h.jrnDead {
 		payload, err := json.Marshal(out)
@@ -721,12 +842,14 @@ func (h *Hub) CheckpointJournal() error {
 // chaos harnesses arm crash points through it.
 func (h *Hub) Journal() *journal.Journal { return h.jrn }
 
-// CloseJournal syncs and closes the journal. The hub must not admit new
-// work afterwards.
+// CloseJournal syncs and closes the journal, stopping the degraded-mode
+// disk prober if one is running. The hub must not admit new work
+// afterwards.
 func (h *Hub) CloseJournal() error {
 	if h.jrn == nil {
 		return nil
 	}
+	h.stopDurabilityProbe()
 	return h.jrn.Close()
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/cfgstore"
 	"repro/internal/health"
 	"repro/internal/journal"
@@ -33,6 +35,10 @@ type hubConfig struct {
 	health          *health.Config
 	journalPath     string
 	fsync           journal.FsyncPolicy
+	journalFS       journal.FS
+	journalScrub    bool
+	jrnPolicy       JournalFailurePolicy
+	probeInterval   time.Duration
 	dlqCap          int
 	stepParallelism int
 	legacyInterp    bool
@@ -126,6 +132,44 @@ func WithJournal(path string) HubOption {
 // journal.FsyncBatched — group commit). Only meaningful WithJournal.
 func WithFsyncPolicy(p journal.FsyncPolicy) HubOption {
 	return func(c *hubConfig) { c.fsync = p }
+}
+
+// WithJournalFS threads a storage seam (journal.FS) under the hub's
+// journal: every file operation of the write-ahead log goes through it.
+// The chaos harness injects disk faults with journal.NewFaultFS; nil (the
+// default) is the real filesystem. Only meaningful WithJournal.
+func WithJournalFS(fs journal.FS) HubOption {
+	return func(c *hubConfig) { c.journalFS = fs }
+}
+
+// WithJournalFailurePolicy selects what happens to admissions whose
+// journal append fails: FailStop (the default) rejects them with
+// ErrJournalUnavailable, FailDegraded keeps admitting non-durably while a
+// background prober watches for the disk to heal and re-arms journaling
+// on a fresh segment once it does. Only meaningful WithJournal.
+func WithJournalFailurePolicy(p JournalFailurePolicy) HubOption {
+	return func(c *hubConfig) { c.jrnPolicy = p }
+}
+
+// WithJournalProbeInterval tunes how often a degraded hub probes the disk
+// for recovery (default DefaultJournalProbeInterval). Only meaningful
+// with WithJournalFailurePolicy(FailDegraded).
+func WithJournalProbeInterval(d time.Duration) HubOption {
+	return func(c *hubConfig) {
+		if d > 0 {
+			c.probeInterval = d
+		}
+	}
+}
+
+// WithJournalScrub runs a scrub-and-repair pass before the journal's
+// open-time replay: mid-file corrupt regions (bit rot under valid
+// records) are quarantined into the journal's .quarantine sidecar and
+// replay proceeds past them, instead of the default torn-tail semantics
+// that would truncate everything after the first bad frame. Only
+// meaningful WithJournal.
+func WithJournalScrub() HubOption {
+	return func(c *hubConfig) { c.journalScrub = true }
 }
 
 // WithDLQCap bounds the in-memory dead-letter queue at n entries (0, the

@@ -267,18 +267,23 @@ func (h *Hub) deadLetterRequest(ex *Exchange, reason error, req Request) {
 
 // parkDeadLetter appends one entry to the bounded in-memory queue. At the
 // cap (WithDLQCap; 0 = unbounded), a hub with a journal spills its oldest
-// journaled entry to journal-only retention — the entry's completion
-// record survives, so a later Recover restores it — and a hub without one
-// (or whose oldest entry predates the journal) rejects the incoming entry
-// instead. Either way the pushed-out entry is emitted as a KindHealth
-// dlq-evict event, feeding the HealthMetrics DLQEvicted gauge.
+// journaled entry to journal-only retention — the entry's journal records
+// survive (its dead-letter completion, or at worst its admit, which a
+// later Recover re-delivers at most once) — and a hub without one (or
+// whose oldest entry predates the journal) rejects the incoming entry
+// instead. While the journal is degraded (disk down), nothing spills:
+// journal-only retention cannot be trusted when the journal cannot be
+// written, so the queue falls back to bounded in-memory retention and
+// rejects the incoming entry. Either way the pushed-out entry is emitted
+// as a KindHealth dlq-evict event, feeding the HealthMetrics DLQEvicted
+// gauge.
 func (h *Hub) parkDeadLetter(dl DeadLetter) {
 	var evicted *DeadLetter
 	h.dlqMu.Lock()
 	switch {
 	case h.dlqCap <= 0 || len(h.dlq) < h.dlqCap:
 		h.dlq = append(h.dlq, dl)
-	case h.jrn != nil && len(h.dlq) > 0 && h.dlq[0].journaled:
+	case h.jrn != nil && !h.journalDown() && len(h.dlq) > 0 && h.dlq[0].journaled:
 		old := h.dlq[0]
 		evicted = &old
 		h.dlq = append(h.dlq[1:], dl)

@@ -86,6 +86,11 @@ type StatusSnapshot struct {
 	// additive field with its own schema version (ClusterVersion), so its
 	// presence does not bump StatusVersion.
 	Cluster *ClusterStatus `json:"cluster,omitempty"`
+	// Durability is the storage-health section (nil on hubs built without
+	// WithJournal). Like Cluster it is additive with its own schema
+	// version (DurabilityVersion), so its presence does not bump
+	// StatusVersion.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // Status returns the hub's unified observability snapshot: lifecycle
@@ -131,6 +136,7 @@ func (h *Hub) Status() StatusSnapshot {
 		h.jrnMu.Unlock()
 	}
 	s.Cluster = h.clusterStatus()
+	s.Durability = h.durabilityStatus()
 	return s
 }
 

@@ -1,0 +1,239 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultMode selects which storage fault a FaultFS injects. Exactly one
+// mode is armed at a time; Heal disarms it.
+type FaultMode string
+
+// Storage fault modes.
+const (
+	// FaultWriteErr fails every Write with an injected I/O error; no
+	// bytes reach the file.
+	FaultWriteErr FaultMode = "write-error"
+	// FaultShortWrite persists a strict prefix of each Write and returns
+	// an error, leaving a torn frame on disk.
+	FaultShortWrite FaultMode = "short-write"
+	// FaultSyncLoss fails Sync and drops the data buffered since the
+	// last successful sync — the page cache a power failure would lose.
+	FaultSyncLoss FaultMode = "fsync-loss"
+	// FaultENOSPC admits writes until a byte budget is exhausted, then
+	// fails them with syscall.ENOSPC (the budget-crossing write lands a
+	// partial prefix first, as a full disk does).
+	FaultENOSPC FaultMode = "enospc"
+	// FaultBitRot flips one seeded bit in every ReadFile result,
+	// simulating at-rest corruption discovered at replay time.
+	FaultBitRot FaultMode = "bit-rot"
+)
+
+// ErrInjected marks injected write/sync failures so tests can tell a
+// deliberate fault from a real one.
+var ErrInjected = errors.New("journal: injected storage fault")
+
+// FaultStats counts the faults a FaultFS has injected.
+type FaultStats struct {
+	WriteErrs   int64
+	ShortWrites int64
+	SyncFails   int64
+	ENOSPCs     int64
+	BitFlips    int64
+	// LostBytes is how many buffered bytes FaultSyncLoss discarded.
+	LostBytes int64
+}
+
+// FaultFS is a seeded fault-injecting FS for the chaos harness. It wraps
+// an inner FS (the real filesystem in the drills) and, while a fault mode
+// is armed, corrupts the storage operations flowing through it in a
+// deterministic, seed-reproducible way. Arm/Heal may be called at any
+// time from any goroutine — the drills flip faults while a hub is live.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	mode   FaultMode
+	budget int64 // remaining bytes before ENOSPC
+	stats  FaultStats
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem) with a healthy
+// fault injector; faults are injected only after Arm.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm injects mode into every subsequent operation until Heal. For
+// FaultENOSPC use ArmENOSPC to set the byte budget.
+func (ffs *FaultFS) Arm(mode FaultMode) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.mode = mode
+	if mode == FaultENOSPC && ffs.budget <= 0 {
+		ffs.budget = 0
+	}
+}
+
+// ArmENOSPC arms FaultENOSPC with budget bytes of remaining disk.
+func (ffs *FaultFS) ArmENOSPC(budget int64) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.mode = FaultENOSPC
+	ffs.budget = budget
+}
+
+// Heal disarms the active fault; subsequent operations pass through.
+func (ffs *FaultFS) Heal() {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.mode = ""
+	ffs.budget = 0
+}
+
+// Mode reports the armed fault mode ("" when healthy).
+func (ffs *FaultFS) Mode() FaultMode {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.mode
+}
+
+// Stats snapshots the injected-fault counters.
+func (ffs *FaultFS) Stats() FaultStats {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.stats
+}
+
+// OpenFile opens name on the inner FS and wraps the handle so writes and
+// syncs consult the armed fault mode.
+func (ffs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := ffs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if fi, serr := ffs.inner.Stat(name); serr == nil {
+		size = fi.Size()
+	}
+	return &faultFile{ffs: ffs, name: name, f: f, synced: size, written: size}, nil
+}
+
+// ReadFile reads name from the inner FS, flipping one seeded bit when
+// FaultBitRot is armed.
+func (ffs *FaultFS) ReadFile(name string) ([]byte, error) {
+	data, err := ffs.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	ffs.mu.Lock()
+	if ffs.mode == FaultBitRot && len(data) > 0 {
+		pos := ffs.rng.Intn(len(data))
+		data[pos] ^= 1 << uint(ffs.rng.Intn(8))
+		ffs.stats.BitFlips++
+	}
+	ffs.mu.Unlock()
+	return data, err
+}
+
+// Rename passes through; FaultWriteErr and FaultENOSPC also fail renames
+// (a full or failing disk cannot commit a directory update either).
+func (ffs *FaultFS) Rename(oldpath, newpath string) error {
+	ffs.mu.Lock()
+	mode, exhausted := ffs.mode, ffs.budget <= 0
+	ffs.mu.Unlock()
+	if mode == FaultWriteErr || (mode == FaultENOSPC && exhausted) {
+		return fmt.Errorf("%w: rename %s", ErrInjected, oldpath)
+	}
+	return ffs.inner.Rename(oldpath, newpath)
+}
+
+func (ffs *FaultFS) Remove(name string) error               { return ffs.inner.Remove(name) }
+func (ffs *FaultFS) Truncate(name string, size int64) error { return ffs.inner.Truncate(name, size) }
+func (ffs *FaultFS) Stat(name string) (os.FileInfo, error)  { return ffs.inner.Stat(name) }
+
+// faultFile wraps one open file. It tracks the last successfully synced
+// length so FaultSyncLoss can discard exactly the bytes a power failure
+// would: everything written since the last sync.
+type faultFile struct {
+	ffs  *FaultFS
+	name string
+	f    File
+
+	synced  int64 // bytes known durable
+	written int64 // bytes handed to the OS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.ffs.mu.Lock()
+	mode := ff.ffs.mode
+	switch mode {
+	case FaultWriteErr:
+		ff.ffs.stats.WriteErrs++
+		ff.ffs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write %s", ErrInjected, ff.name)
+	case FaultShortWrite:
+		n := 0
+		if len(p) > 1 {
+			n = 1 + ff.ffs.rng.Intn(len(p)-1)
+		}
+		ff.ffs.stats.ShortWrites++
+		ff.ffs.mu.Unlock()
+		wrote, _ := ff.f.Write(p[:n])
+		ff.written += int64(wrote)
+		return wrote, fmt.Errorf("%w: short write %s (%d of %d bytes)", ErrInjected, ff.name, wrote, len(p))
+	case FaultENOSPC:
+		if ff.ffs.budget <= 0 {
+			ff.ffs.stats.ENOSPCs++
+			ff.ffs.mu.Unlock()
+			return 0, fmt.Errorf("write %s: %w", ff.name, syscall.ENOSPC)
+		}
+		if int64(len(p)) > ff.ffs.budget {
+			n := int(ff.ffs.budget)
+			ff.ffs.budget = 0
+			ff.ffs.stats.ENOSPCs++
+			ff.ffs.mu.Unlock()
+			wrote, _ := ff.f.Write(p[:n])
+			ff.written += int64(wrote)
+			return wrote, fmt.Errorf("write %s: %w", ff.name, syscall.ENOSPC)
+		}
+		ff.ffs.budget -= int64(len(p))
+	}
+	ff.ffs.mu.Unlock()
+	n, err := ff.f.Write(p)
+	ff.written += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	ff.ffs.mu.Lock()
+	if ff.ffs.mode == FaultSyncLoss {
+		lost := ff.written - ff.synced
+		ff.ffs.stats.SyncFails++
+		ff.ffs.stats.LostBytes += lost
+		ff.ffs.mu.Unlock()
+		// The failed fsync takes the unsynced page cache with it: the
+		// file reverts to its last durable length.
+		if lost > 0 {
+			_ = ff.ffs.inner.Truncate(ff.name, ff.synced)
+			ff.written = ff.synced
+		}
+		return fmt.Errorf("%w: fsync %s", ErrInjected, ff.name)
+	}
+	ff.ffs.mu.Unlock()
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	ff.synced = ff.written
+	return nil
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

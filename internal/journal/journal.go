@@ -15,8 +15,17 @@
 // matches; the first frame that fails any check ends the replay and is
 // truncated away together with everything after it. Because the journal
 // has a single appender writing sequentially, bytes after a broken frame
-// can only be the debris of a crashed append — there is no resynchronization
-// heuristic that could mis-parse flipped bits into a valid record.
+// can only be the debris of a crashed append — Decode has no
+// resynchronization heuristic that could mis-parse flipped bits into a
+// valid record. Mid-file rot (bits flipped at rest under valid records
+// that follow) is the province of Scrub/Repair (scrub.go), which walk the
+// whole file and quarantine corrupt regions instead of truncating them.
+//
+// # Storage seam
+//
+// Every filesystem operation goes through the FS interface (fs.go);
+// Options.FS selects the implementation. Production uses the real
+// filesystem (OSFS); the chaos harness injects disk faults with FaultFS.
 //
 // # Durability contract
 //
@@ -32,18 +41,27 @@
 //   - FsyncNever: appends are flushed to the OS but never fsynced. A
 //     process crash loses nothing; a power failure may lose any suffix.
 //
+// An Append that returns an error makes no durability promise: the frame
+// may be absent, torn, or present but unsynced. The hub's durability
+// failure policy (core.WithJournalFailurePolicy) decides what happens to
+// the exchange.
+//
 // # Compaction
 //
 // Compact atomically rewrites the log to the given live records: the new
 // log is written to path+".compact", fsynced, and renamed over the old
 // one. A crash mid-compaction leaves the old log intact plus an orphan
 // .compact file, which Open discards (the rename never happened, so the
-// orphan is an incomplete rewrite by definition).
+// orphan is an incomplete rewrite by definition). A *failure*
+// mid-compaction — a sync error, a full disk, a rename refusal — removes
+// the orphan and leaves the original journal open and appendable, so a
+// failed compaction never costs durability of what is already logged.
 package journal
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -86,6 +104,12 @@ const (
 	headerSize = 8
 )
 
+// ErrNoAppender reports an append on a journal whose write handle was
+// lost mid-rotation (a Compact renamed the new log into place but could
+// not reopen it). The journal heals on the next successful Compact — the
+// hub's degraded-mode probe drives that.
+var ErrNoAppender = errors.New("journal: no appender (reopen after compaction rename failed)")
+
 // Record is one journal entry. The journal itself is payload-agnostic:
 // Kind and Key index the record, Payload carries the owner's data (the hub
 // stores admitted requests and exchange outcomes, see core).
@@ -107,6 +131,13 @@ type Options struct {
 	// commit; zero values take the defaults.
 	BatchAppends  int
 	BatchInterval time.Duration
+	// FS is the storage seam; nil means the real filesystem.
+	FS FS
+	// AutoRepair runs Repair before replay: mid-file corrupt regions are
+	// quarantined into path+".quarantine" and replay proceeds past them.
+	// Off, a mid-file corrupt frame ends replay exactly like a torn tail
+	// (everything after it is truncated away).
+	AutoRepair bool
 }
 
 // Stats is a snapshot of a journal's activity.
@@ -116,9 +147,16 @@ type Stats struct {
 	// TornBytes is how many trailing bytes the open-time replay truncated
 	// (a torn final frame, or debris after one).
 	TornBytes int64
+	// Corrupt is how many mid-file corrupt regions the open-time repair
+	// quarantined (AutoRepair only).
+	Corrupt int
+	// QuarantinedBytes is the total size of those regions.
+	QuarantinedBytes int64
 	// Appends counts records appended since open; Syncs counts fsyncs.
 	Appends int64
 	Syncs   int64
+	// Rotations counts successful Compacts since open.
+	Rotations int64
 }
 
 // CrashPoint names a place in the append stream where a test harness wants
@@ -143,13 +181,16 @@ type CrashPoint struct {
 type Journal struct {
 	path string
 	opts Options
+	fs   FS
 
-	mu       sync.Mutex
-	f        *os.File
-	replayed []Record
-	torn     int64
-	appends  int64
-	syncer   Syncer
+	mu        sync.Mutex
+	f         File
+	replayed  []Record
+	torn      int64
+	appends   int64
+	rotations int64
+	syncer    Syncer
+	scrub     ScrubReport
 
 	crash        *CrashPoint
 	crashCompact bool
@@ -159,7 +200,9 @@ type Journal struct {
 // Open opens (creating if needed) the journal at path and replays it. A
 // torn tail — the debris of an append cut short by a crash — is dropped
 // and truncated away; an orphan compaction file from a crashed Compact is
-// discarded. The replayed records are available via Records.
+// discarded. With Options.AutoRepair, mid-file corrupt regions are
+// quarantined first (see Repair) so replay proceeds past isolated rot.
+// The replayed records are available via Records.
 func Open(path string, opts Options) (*Journal, error) {
 	if opts.Fsync == "" {
 		opts.Fsync = FsyncBatched
@@ -170,25 +213,36 @@ func Open(path string, opts Options) (*Journal, error) {
 	if opts.BatchInterval <= 0 {
 		opts.BatchInterval = DefaultBatchInterval
 	}
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	fs := opts.FS
 	// A crash between writing path+".compact" and renaming it leaves the
 	// old log authoritative: the orphan is an incomplete rewrite.
-	if err := os.Remove(path + ".compact"); err != nil && !os.IsNotExist(err) {
+	if err := fs.Remove(path + ".compact"); err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("journal: remove stale compaction %s: %w", path+".compact", err)
 	}
-	j := &Journal{path: path, opts: opts}
-	if data, err := os.ReadFile(path); err == nil {
+	j := &Journal{path: path, opts: opts, fs: fs}
+	if opts.AutoRepair {
+		rep, err := Repair(fs, path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: auto-repair %s: %w", path, err)
+		}
+		j.scrub = rep
+	}
+	if data, err := fs.ReadFile(path); err == nil {
 		recs, good := Decode(data)
 		j.replayed = recs
 		j.torn = int64(len(data)) - good
 		if j.torn > 0 {
-			if terr := os.Truncate(path, good); terr != nil {
+			if terr := fs.Truncate(path, good); terr != nil {
 				return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, terr)
 			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
@@ -200,32 +254,46 @@ func Open(path string, opts Options) (*Journal, error) {
 // Decode scans data for framed records and returns every valid record plus
 // the byte offset just past the last one. Scanning stops at the first
 // frame that is incomplete, oversized, CRC-mismatched or undecodable —
-// whatever follows is a torn tail, never a record.
+// whatever follows is a torn tail, never a record. For a walk that
+// resynchronizes past corrupt regions instead, see ScanAll.
 func Decode(data []byte) ([]Record, int64) {
 	var recs []Record
 	off := int64(0)
 	for int(off)+headerSize <= len(data) {
-		length := binary.LittleEndian.Uint32(data[off : off+4])
-		if length == 0 || length > MaxRecordSize {
-			break
-		}
-		end := off + headerSize + int64(length)
-		if end > int64(len(data)) {
-			break
-		}
-		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		payload := data[off+headerSize : end]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break
-		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind == "" {
+		rec, end, ok := decodeFrame(data, off)
+		if !ok {
 			break
 		}
 		recs = append(recs, rec)
 		off = end
 	}
 	return recs, off
+}
+
+// decodeFrame parses one frame at off, returning the record and the
+// offset just past it.
+func decodeFrame(data []byte, off int64) (Record, int64, bool) {
+	var rec Record
+	if int(off)+headerSize > len(data) {
+		return rec, off, false
+	}
+	length := binary.LittleEndian.Uint32(data[off : off+4])
+	if length == 0 || length > MaxRecordSize {
+		return rec, off, false
+	}
+	end := off + headerSize + int64(length)
+	if end > int64(len(data)) {
+		return rec, off, false
+	}
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	payload := data[off+headerSize : end]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, off, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind == "" {
+		return rec, off, false
+	}
+	return rec, end, true
 }
 
 // Encode frames one record.
@@ -252,7 +320,9 @@ func (j *Journal) Records() []Record {
 }
 
 // Append writes one record under the journal's fsync policy. When the
-// policy is FsyncAlways the record is durable before Append returns.
+// policy is FsyncAlways the record is durable before Append returns. An
+// error voids the durability promise for this record only: the journal
+// stays open and later appends may succeed (the disk may have healed).
 func (j *Journal) Append(rec Record) error {
 	frame, err := Encode(rec)
 	if err != nil {
@@ -262,6 +332,9 @@ func (j *Journal) Append(rec Record) error {
 	defer j.mu.Unlock()
 	if j.frozen {
 		return nil
+	}
+	if j.f == nil {
+		return ErrNoAppender
 	}
 	if cp := j.crash; cp != nil && cp.Before && cp.matches(rec) {
 		j.frozen = true
@@ -305,6 +378,9 @@ func (j *Journal) Sync() error {
 	if j.frozen {
 		return nil
 	}
+	if j.f == nil {
+		return ErrNoAppender
+	}
 	return j.syncer.Force(j.f)
 }
 
@@ -312,20 +388,27 @@ func (j *Journal) Sync() error {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.frozen {
+	if j.frozen || j.f == nil {
 		return nil
 	}
 	if err := j.syncer.Flush(j.f); err != nil {
 		return err
 	}
-	return j.f.Close()
+	err := j.f.Close()
+	j.f = nil
+	return err
 }
 
 // Compact atomically replaces the log's contents with the given records —
 // the owner's live set (the hub writes a checkpoint plus every unfinished
 // admission and unresolved dead letter). The new log is fully written and
 // fsynced before the rename, so a crash at any point leaves either the
-// complete old log or the complete new one.
+// complete old log or the complete new one; a write/sync/rename *failure*
+// removes the temp file and leaves the original journal open and
+// appendable. Compact is also the recovery rotation: it succeeds even
+// when the journal's appender was lost (ErrNoAppender) or its tail is
+// dirty, because the rewrite never touches the old handle until the new
+// log is durably in place.
 func (j *Journal) Compact(live []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -333,7 +416,14 @@ func (j *Journal) Compact(live []Record) error {
 		return nil
 	}
 	tmp := j.path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	// cleanupTmp discards a failed rewrite so the next Compact (or Open)
+	// never mistakes it for anything.
+	cleanupTmp := func() {
+		if err := j.fs.Remove(tmp); err != nil && !os.IsNotExist(err) {
+			_ = err // best effort: Open also discards orphans
+		}
+	}
+	f, err := j.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
@@ -341,18 +431,22 @@ func (j *Journal) Compact(live []Record) error {
 		frame, err := Encode(rec)
 		if err != nil {
 			f.Close()
+			cleanupTmp()
 			return err
 		}
 		if _, err := f.Write(frame); err != nil {
 			f.Close()
+			cleanupTmp()
 			return fmt.Errorf("journal: compact: %w", err)
 		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		cleanupTmp()
 		return fmt.Errorf("journal: compact sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
+		cleanupTmp()
 		return fmt.Errorf("journal: compact close: %w", err)
 	}
 	if j.crashCompact {
@@ -361,17 +455,26 @@ func (j *Journal) Compact(live []Record) error {
 		j.frozen = true
 		return nil
 	}
-	if err := j.f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		return fmt.Errorf("journal: compact rename: %w", err)
-	}
-	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	// Open the future appender on the temp file *before* the rename: the
+	// handle follows the inode across it, so once the rename lands the
+	// appender is the new journal and no post-rename open can strand us.
+	nf, err := j.fs.OpenFile(tmp, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		cleanupTmp()
 		return fmt.Errorf("journal: compact reopen: %w", err)
 	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		nf.Close()
+		cleanupTmp()
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	// Point of no return: the new log is authoritative. The old handle's
+	// close error (if any) cannot matter anymore.
+	if j.f != nil {
+		_ = j.f.Close()
+	}
 	j.f = nf
+	j.rotations++
 	return nil
 }
 
@@ -379,7 +482,7 @@ func (j *Journal) Compact(live []Record) error {
 func (j *Journal) Size() (int64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	fi, err := os.Stat(j.path)
+	fi, err := j.fs.Stat(j.path)
 	if err != nil {
 		return 0, err
 	}
@@ -394,11 +497,23 @@ func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Stats{
-		Records:   len(j.replayed),
-		TornBytes: j.torn,
-		Appends:   j.appends,
-		Syncs:     j.syncer.Syncs(),
+		Records:          len(j.replayed),
+		TornBytes:        j.torn,
+		Corrupt:          j.scrub.Corrupt,
+		QuarantinedBytes: j.scrub.QuarantinedBytes,
+		Appends:          j.appends,
+		Syncs:            j.syncer.Syncs(),
+		Rotations:        j.rotations,
 	}
+}
+
+// Scrub walks the journal's current on-disk bytes read-only and reports
+// every valid record, corrupt region and torn tail (see the package-level
+// Scrub). It takes the journal lock so the walk never races a rotation.
+func (j *Journal) Scrub() (ScrubReport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Scrub(j.fs, j.path)
 }
 
 // Arm installs a crash point (chaos harness only; see CrashPoint).

@@ -1,7 +1,6 @@
 package journal
 
 import (
-	"os"
 	"time"
 )
 
@@ -42,7 +41,7 @@ func NewSyncer(policy FsyncPolicy, batchAppends int, batchInterval time.Duration
 }
 
 // DidAppend records one completed append and fsyncs per policy.
-func (s *Syncer) DidAppend(f *os.File) error {
+func (s *Syncer) DidAppend(f File) error {
 	switch s.policy {
 	case FsyncAlways:
 		return s.sync(f)
@@ -58,12 +57,12 @@ func (s *Syncer) DidAppend(f *os.File) error {
 }
 
 // Force fsyncs unconditionally, regardless of policy.
-func (s *Syncer) Force(f *os.File) error { return s.sync(f) }
+func (s *Syncer) Force(f File) error { return s.sync(f) }
 
 // Flush is the close-time sync: it drains the pending batch for the
 // always and batched policies and is a no-op for never (whose contract is
 // that no fsync is ever issued).
-func (s *Syncer) Flush(f *os.File) error {
+func (s *Syncer) Flush(f File) error {
 	if s.policy == FsyncNever || s.pending == 0 {
 		return nil
 	}
@@ -76,7 +75,7 @@ func (s *Syncer) Syncs() int64 { return s.syncs }
 // Policy returns the Syncer's policy.
 func (s *Syncer) Policy() FsyncPolicy { return s.policy }
 
-func (s *Syncer) sync(f *os.File) error {
+func (s *Syncer) sync(f File) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}

@@ -36,6 +36,9 @@ const (
 	StagePlan     Stage = "plan"     // workflow plan compilation at deploy
 	StageConfig   Stage = "config"   // runtime configuration changes
 	StageCluster  Stage = "cluster"  // multi-node federation (forwarding, takeover)
+	// StageDurability is the journal's storage health: degraded-mode
+	// transitions, disk probes and re-arms.
+	StageDurability Stage = "durability"
 )
 
 // Kind classifies events.
@@ -96,6 +99,15 @@ const (
 	// and journal takeover of a dead peer (StepTakeover, Elapsed is the
 	// replay duration).
 	KindCluster Kind = "cluster"
+	// KindDurability marks journal storage-health transitions: Step is
+	// StepDegraded when an append failure flips the hub to non-durable
+	// admission (Err carries the disk error), StepProbe for each re-arm
+	// probe of the disk (Err set when the probe failed), StepRearmed when a
+	// probe succeeded and journaling resumed on a fresh segment,
+	// StepAdmitRejected for a fail-stop admission rejection, and
+	// StepPoisoned for an admission parked after repeatedly crashing
+	// recovery.
+	KindDurability Kind = "durability"
 )
 
 // Well-known Step values for lifecycle, retry and scheduler events.
@@ -154,6 +166,14 @@ const (
 	StepPeerSuspect   = "peer-suspect"
 	StepPeerDead      = "peer-dead"
 	StepTakeover      = "takeover"
+	// Durability steps (KindDurability). StepDegraded and StepRearmed
+	// bracket one degraded-mode episode; StepProbe is one disk probe in
+	// between; StepAdmitRejected is one fail-stop admission rejection;
+	// StepPoisoned is one admission parked for repeatedly crashing recovery.
+	StepDegraded      = "degraded"
+	StepRearmed       = "rearmed"
+	StepAdmitRejected = "admit-rejected"
+	StepPoisoned      = "poisoned"
 )
 
 // Flow distinguishes the business flow an exchange belongs to.

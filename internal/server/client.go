@@ -399,6 +399,16 @@ func (c *Client) Resubmit(ctx context.Context, exchangeID string, all bool) (*Re
 	return out, nil
 }
 
+// Scrub runs a read-only full-file walk of the daemon's journal and
+// reports valid records, mid-file corrupt regions and torn tail bytes.
+func (c *Client) Scrub(ctx context.Context) (*ScrubResponse, error) {
+	out := &ScrubResponse{}
+	if err := c.Call(ctx, OpScrub, struct{}{}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Drain gracefully drains the daemon's hub under the given deadline
 // (0 = the daemon's default) and checkpoints its journal.
 func (c *Client) Drain(ctx context.Context, timeoutMS int64) (*DrainResponse, error) {

@@ -368,6 +368,8 @@ func (d *Daemon) Builtin(op string, body json.RawMessage) (any, error) {
 		return d.resubmitOp(body)
 	case OpDrain:
 		return d.drain(body)
+	case OpScrub:
+		return d.scrub()
 	default:
 		return nil, protoError(CodeUnknownOp, fmt.Sprintf("server: unknown op %q", op))
 	}
@@ -503,6 +505,20 @@ func (d *Daemon) resubmitOp(body json.RawMessage) (any, error) {
 		resp.Outcomes = append(resp.Outcomes, out)
 	}
 	return resp, nil
+}
+
+func (d *Daemon) scrub() (any, error) {
+	rep, err := d.hub.ScrubJournal()
+	if err != nil {
+		return nil, err
+	}
+	return &ScrubResponse{
+		Path:             d.hub.Journal().Path(),
+		Records:          rep.Records,
+		Corrupt:          rep.Corrupt,
+		QuarantinedBytes: rep.QuarantinedBytes,
+		TornBytes:        rep.TornBytes,
+	}, nil
 }
 
 func (d *Daemon) drain(body json.RawMessage) (any, error) {

@@ -54,6 +54,10 @@ const (
 	// fixed period, and a run of missed beats marks the peer suspect and
 	// then dead (triggering partner reassignment and journal takeover).
 	OpHeartbeat = "heartbeat"
+	// OpScrub walks the hub's journal read-only and reports every valid
+	// record, mid-file corrupt region and torn tail byte, without
+	// modifying the file. Fails with CodeNoJournal on journal-less hubs.
+	OpScrub = "scrub"
 )
 
 // Frame is one wire message in either direction.
@@ -210,6 +214,24 @@ type ResubmitOutcome struct {
 // ResubmitResponse is the body of a successful OpResubmit.
 type ResubmitResponse struct {
 	Outcomes []ResubmitOutcome `json:"outcomes"`
+}
+
+// ScrubResponse is the body of a successful OpScrub: one read-only
+// full-file walk of the daemon's journal.
+type ScrubResponse struct {
+	// Path is the journal file the daemon scrubbed.
+	Path string `json:"path"`
+	// Records is how many valid records the walk yielded.
+	Records int `json:"records"`
+	// Corrupt is how many mid-file corrupt regions were found.
+	Corrupt int `json:"corrupt"`
+	// QuarantinedBytes is the total size of those regions (what a Repair
+	// would cut into the quarantine sidecar).
+	QuarantinedBytes int64 `json:"quarantined_bytes"`
+	// TornBytes is the size of the trailing bad region, when the file
+	// ends in one (a torn tail — truncated on recovery, never
+	// quarantined).
+	TornBytes int64 `json:"torn_bytes"`
 }
 
 // DrainRequest is the body of OpDrain.

@@ -35,7 +35,8 @@ import (
 type FileStore struct {
 	mu     sync.Mutex
 	mem    *MemStore
-	f      *os.File
+	fs     journal.FS
+	f      journal.File
 	w      *bufio.Writer
 	path   string
 	syncer journal.Syncer
@@ -61,12 +62,23 @@ func OpenFileStore(path string) (*FileStore, error) {
 // OpenFileStoreFsync is OpenFileStore with an explicit fsync policy (see
 // the durability contract in the package comment of this type).
 func OpenFileStoreFsync(path string, policy journal.FsyncPolicy) (*FileStore, error) {
+	return OpenFileStoreFS(path, policy, nil)
+}
+
+// OpenFileStoreFS is OpenFileStoreFsync with an explicit storage seam
+// (nil means the real filesystem) — the chaos harness threads a
+// journal.FaultFS through it to test the store against a failing disk.
+func OpenFileStoreFS(path string, policy journal.FsyncPolicy, fs journal.FS) (*FileStore, error) {
+	if fs == nil {
+		fs = journal.OSFS()
+	}
 	s := &FileStore{
 		mem:    NewMemStore(),
+		fs:     fs,
 		path:   path,
 		syncer: journal.NewSyncer(policy, 0, 0),
 	}
-	if data, err := os.ReadFile(path); err == nil {
+	if data, err := fs.ReadFile(path); err == nil {
 		good, rerr := s.replay(data)
 		if rerr != nil {
 			return nil, fmt.Errorf("wfstore: replay %s: %w", path, rerr)
@@ -75,14 +87,14 @@ func OpenFileStoreFsync(path string, policy journal.FsyncPolicy) (*FileStore, er
 			// Physically drop the torn tail before reopening for append:
 			// writing after a partial record would fuse it with the next
 			// record into garbage.
-			if terr := os.Truncate(path, int64(good)); terr != nil {
+			if terr := fs.Truncate(path, int64(good)); terr != nil {
 				return nil, fmt.Errorf("wfstore: truncate torn tail of %s: %w", path, terr)
 			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("wfstore: open %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wfstore: open %s: %w", path, err)
 	}
@@ -182,7 +194,7 @@ func (s *FileStore) Compact() error {
 		return err
 	}
 	tmp := s.path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wfstore: compact: %w", err)
 	}
@@ -235,27 +247,34 @@ func (s *FileStore) Compact() error {
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
+		_ = s.fs.Remove(tmp)
 		return err
 	}
 	// Sync the rewrite before the rename makes it the log: the rename must
 	// never point the store at a snapshot the disk does not yet hold.
 	if err := f.Sync(); err != nil {
 		f.Close()
+		_ = s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
 		return err
 	}
-	if err := s.f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		return fmt.Errorf("wfstore: compact rename: %w", err)
-	}
-	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	// Open the future appender on the temp file before the rename (the
+	// handle follows the inode across it), so a failure at any point
+	// leaves the original log open and appendable.
+	nf, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("wfstore: compact reopen: %w", err)
 	}
+	if err := s.fs.Rename(tmp, s.path); err != nil {
+		nf.Close()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("wfstore: compact rename: %w", err)
+	}
+	_ = s.f.Close()
 	s.f = nf
 	s.w = bufio.NewWriter(nf)
 	return nil
@@ -268,7 +287,7 @@ func (s *FileStore) Size() (int64, error) {
 	if err := s.w.Flush(); err != nil {
 		return 0, err
 	}
-	fi, err := os.Stat(s.path)
+	fi, err := s.fs.Stat(s.path)
 	if err != nil {
 		return 0, err
 	}

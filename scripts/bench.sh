@@ -9,14 +9,18 @@
 # outage drill (BenchmarkHubBreaker: healthy-partner throughput while one
 # backend is hard down, breaker off vs on), plus the write-ahead-journal
 # overhead sweep (BenchmarkHubJournal: fsync=never/batched/always vs the
-# unjournaled baseline), plus the compiled-plan section (BenchmarkHubPlanned:
+# unjournaled baseline, plus the fsync=seam row — the batched configuration
+# with journal I/O routed through a pass-through fault-injection FS, pricing
+# the storage seam), plus the compiled-plan section (BenchmarkHubPlanned:
 # plan-interpreting hub vs the legacy interpreter at the sharded clean
 # configuration, a bare-engine interpreter pair where interpretation
 # dominates, and the wide fan-out at step parallelism 1 vs 8).
 # Acceptance bars: speedup >= 2 on the clean worker-pool benchmark, the
 # clean shards=8 row >= 1.5x the workers=8 row, breaker-on >= 2x breaker-off
 # healthy throughput, journaled fsync=batched throughput >= 0.4x the
-# unjournaled baseline, the bare-engine plan interpreter >= 1.0x the legacy
+# unjournaled baseline, journal fsync=seam >= 0.95x fsync=batched (the
+# fault-injection seam must stay free when no fault is armed), the
+# bare-engine plan interpreter >= 1.0x the legacy
 # interpreter (compilation must never cost throughput at parallelism=1;
 # the hub-level clean row is noise-dominated by scheduling/transform work
 # with +/-20% inter-run variance between byte-identical configurations, so
@@ -127,7 +131,7 @@ if "off" not in breaker or "on" not in breaker:
 journal = {}
 for line in open("/tmp/bench_hub_journal.txt"):
     m = re.search(
-        r"BenchmarkHubJournal/fsync=(off|never|batched|always)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s(?:\s+([\d.]+) fsyncs/op)?",
+        r"BenchmarkHubJournal/fsync=(off|never|batched|always|seam)\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) exchanges/s(?:\s+([\d.]+) fsyncs/op)?",
         line)
     if m:
         row = {
@@ -137,8 +141,8 @@ for line in open("/tmp/bench_hub_journal.txt"):
         if m.group(4):
             row["fsyncs_per_exchange"] = float(m.group(4))
         journal[m.group(1)] = row
-if "off" not in journal or "batched" not in journal:
-    sys.exit("bench.sh: missing BenchmarkHubJournal off/batched results")
+if "off" not in journal or "batched" not in journal or "seam" not in journal:
+    sys.exit("bench.sh: missing BenchmarkHubJournal off/batched/seam results")
 
 planned = {}
 for line in open("/tmp/bench_hub_planned.txt"):
@@ -223,6 +227,8 @@ breaker_speedup = (breaker["on"]["healthy_exchanges_per_sec"]
                    / breaker["off"]["healthy_exchanges_per_sec"])
 journal_ratio = (journal["batched"]["exchanges_per_sec"]
                  / journal["off"]["exchanges_per_sec"])
+seam_ratio = (journal["seam"]["exchanges_per_sec"]
+              / journal["batched"]["exchanges_per_sec"])
 plan_vs_legacy = planned_clean / planned_legacy
 interp_speedup = interp_plan / interp_legacy
 planned_ratio = planned_clean / best_clean8
@@ -262,6 +268,8 @@ record = {
         "rows": journal,
         "batched_vs_off": round(journal_ratio, 2),
         "passes_0_4x": journal_ratio >= 0.4,
+        "seam_vs_batched": round(seam_ratio, 2),
+        "passes_seam_0_95x": seam_ratio >= 0.95,
     },
     "planned": {
         "benchmark": "BenchmarkHubPlanned",
@@ -319,6 +327,8 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"({'PASS' if breaker_speedup >= 2.0 else 'FAIL'} >= 2x); "
       f"journal batched vs off = {journal_ratio:.2f}x "
       f"({'PASS' if journal_ratio >= 0.4 else 'FAIL'} >= 0.4x); "
+      f"journal seam vs batched = {seam_ratio:.2f}x "
+      f"({'PASS' if seam_ratio >= 0.95 else 'FAIL'} >= 0.95x); "
       f"interp plan vs legacy = {interp_speedup:.2f}x "
       f"({'PASS' if interp_speedup >= 1.0 else 'FAIL'} >= 1.0x); "
       f"planned clean vs sharded clean8 = {planned_ratio:.2f}x "
@@ -332,8 +342,8 @@ print(f"\nwrote {sys.argv[1]}: speedup 8 vs 1 = {speedup:.2f}x "
       f"forward vs inproc = {forward_ratio:.2f}x "
       f"({'PASS' if forward_ratio >= 0.4 else 'FAIL'} >= 0.4x)")
 if (speedup < 2.0 or sharded_speedup < 1.5 or breaker_speedup < 2.0
-        or journal_ratio < 0.4 or interp_speedup < 1.0 or planned_ratio < 0.75
-        or wide_speedup <= 1.0 or canary_ratio < 0.9 or wire_ratio < 0.5
-        or forward_ratio < 0.4):
+        or journal_ratio < 0.4 or seam_ratio < 0.95 or interp_speedup < 1.0
+        or planned_ratio < 0.75 or wide_speedup <= 1.0 or canary_ratio < 0.9
+        or wire_ratio < 0.5 or forward_ratio < 0.4):
     sys.exit(1)
 EOF
